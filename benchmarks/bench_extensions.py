@@ -1,0 +1,41 @@
+"""Section VI extensions — maximality/closedness and n-gram time series.
+
+Not a numbered figure in the paper, but Section VI claims that (a) the sets
+of maximal and closed n-grams are (much) smaller than the full result while
+closedness loses no information, and (b) SUFFIX-σ supports aggregations
+beyond occurrence counting (time series) at the cost of shipping the
+document metadata once per suffix.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import extensions_overview
+from repro.harness.report import format_table
+
+
+def test_extensions_maximal_closed_timeseries(benchmark, datasets):
+    result = run_once(benchmark, extensions_overview, datasets)
+
+    rows = [
+        {
+            "dataset": name,
+            "all n-grams": result.all_ngrams[name],
+            "closed": result.closed_ngrams[name],
+            "maximal": result.maximal_ngrams[name],
+        }
+        for name in result.all_ngrams
+    ]
+    print("\n=== Extensions: result sizes (tau=default, sigma=5) ===")
+    print(format_table(rows))
+    print("\nsample n-gram time series (occurrences per year):")
+    for name, samples in result.sample_time_series.items():
+        print(f"--- {name} ---")
+        for ngram, series in samples.items():
+            print(f"  {ngram}: {dict(sorted(series.items()))}")
+
+    for name in result.all_ngrams:
+        # maximal ⊆ closed ⊆ all, with strict reductions on real data.
+        assert result.maximal_ngrams[name] <= result.closed_ngrams[name]
+        assert result.closed_ngrams[name] <= result.all_ngrams[name]
+        assert result.maximal_ngrams[name] < result.all_ngrams[name]

@@ -1,0 +1,36 @@
+"""Figure 2 — output characteristics (τ=5, σ=∞).
+
+Computes, for both datasets, all n-grams occurring at least five times with
+no length restriction (using SUFFIX-σ, which the paper highlights can do
+this in a single job) and bins them into the 2-dimensional exponential
+histogram of Figure 2: bucket (i, j) counts n-grams with
+10^i ≤ length < 10^(i+1) and 10^j ≤ cf < 10^(j+1).
+
+The paper's observation to reproduce: the distribution is heavily biased
+toward short, less frequent n-grams, but *very long* n-grams (tens of terms)
+with non-trivial frequency exist in both corpora.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import figure2_output_characteristics
+from repro.harness.report import format_histogram
+
+
+def test_figure2_output_characteristics(benchmark, datasets):
+    histograms = run_once(benchmark, figure2_output_characteristics, datasets)
+
+    print("\n=== Figure 2: # n-grams per (length, cf) bucket (tau=5, sigma=inf) ===")
+    for name, histogram in histograms.items():
+        print(f"\n--- {name} ---")
+        print(format_histogram(histogram))
+
+    for name, histogram in histograms.items():
+        assert histogram, f"{name} produced an empty histogram"
+        # Bias towards short n-grams: bucket (0, *) dominates.
+        short = sum(count for (length_b, _), count in histogram.items() if length_b == 0)
+        longer = sum(count for (length_b, _), count in histogram.items() if length_b >= 1)
+        assert short > longer
+        # Long n-grams (>= 10 terms) occurring >= 5 times exist in both corpora.
+        assert any(length_b >= 1 for (length_b, _) in histogram)

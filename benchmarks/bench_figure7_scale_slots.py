@@ -1,0 +1,51 @@
+"""Figure 7 — scaling computational resources (16, 32, 48, 64 slots).
+
+Every method runs once per dataset on a 50 % sample with a fixed, large task
+count; the simulated-cluster cost model then evaluates the same measured
+per-task work under 16, 32, 48 and 64 map/reduce slots — exactly what the
+paper does by re-running on a capacity-constrained scheduler pool.
+
+Shapes to reproduce from the paper: all methods benefit from additional
+slots, the gains are diminishing (halving again saves less than the first
+halving), and the relative order of the methods is unchanged by the slot
+count.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import figure7_scale_slots
+from repro.harness.report import format_sweep
+
+
+def test_figure7_scale_slots(benchmark, datasets):
+    sweeps = run_once(benchmark, figure7_scale_slots, datasets)
+
+    for name, sweep in sweeps.items():
+        print(f"\n=== Figure 7 ({name}): scaling map/reduce slots ===")
+        print("\nsimulated wallclock (s):")
+        print(format_sweep(sweep, metric="simulated_s", parameter_label="method"))
+
+    for name, sweep in sweeps.items():
+        slot_counts = sorted(sweep.keys())
+        for algorithm in ("NAIVE", "APRIORI-SCAN", "APRIORI-INDEX", "SUFFIX-SIGMA"):
+            series = []
+            for slots in slot_counts:
+                measurement = next(m for m in sweep[slots] if m.algorithm == algorithm)
+                series.append(measurement.simulated_wallclock_seconds)
+            # More slots never hurt.
+            assert all(later <= earlier * 1.001 for earlier, later in zip(series, series[1:]))
+            # Diminishing returns: the first doubling saves at least as much
+            # (absolutely) as the last step.
+            first_gain = series[0] - series[1]
+            last_gain = series[-2] - series[-1]
+            assert first_gain >= last_gain - 1e-9
+
+        # The methods' relative order is independent of the slot count.
+        def ordering(slots):
+            measurements = sorted(
+                sweep[slots], key=lambda m: m.simulated_wallclock_seconds
+            )
+            return [m.algorithm for m in measurements]
+
+        assert ordering(slot_counts[0])[0] == ordering(slot_counts[-1])[0] == "SUFFIX-SIGMA"

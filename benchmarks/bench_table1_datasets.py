@@ -1,0 +1,42 @@
+"""Table I — dataset characteristics.
+
+Prints, for the NYT-like and ClueWeb-like synthetic corpora, the same rows
+Table I of the paper reports for NYT and ClueWeb09-B: number of documents,
+term occurrences, distinct terms, sentences, and sentence-length mean and
+standard deviation.  The absolute sizes are scaled down; the *shape*
+(CW has more distinct terms, shorter but higher-variance sentences) matches.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import table1_dataset_characteristics
+from repro.harness.report import format_table
+
+
+def test_table1_dataset_characteristics(benchmark, datasets):
+    statistics = run_once(benchmark, table1_dataset_characteristics, datasets)
+
+    rows = []
+    for name, stats in statistics.items():
+        rows.append({"measure": "", "dataset": name, **dict(stats.as_rows())})
+    print("\n=== Table I: dataset characteristics ===")
+    print(
+        format_table(
+            [
+                {
+                    "dataset": name,
+                    **{label: value for label, value in stats.as_rows()},
+                }
+                for name, stats in statistics.items()
+            ]
+        )
+    )
+
+    # Sanity checks on the shape Table I documents.
+    nyt = statistics["NYT-like"]
+    clueweb = statistics["CW-like"]
+    assert nyt.num_documents > 0 and clueweb.num_documents > 0
+    assert clueweb.num_distinct_terms > nyt.num_distinct_terms
+    assert nyt.sentence_length_mean > clueweb.sentence_length_mean
+    assert clueweb.sentence_length_stddev > nyt.sentence_length_stddev

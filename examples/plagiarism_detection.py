@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Co-derivative document detection via long shared n-grams.
+
+The paper motivates long n-grams with applications such as plagiarism
+detection (it cites Bernstein and Zobel's work on co-derivative documents):
+two documents sharing a long n-gram are very likely derived from one
+another.  This example builds a small corpus in which some documents copy
+sentences from others, uses the SUFFIX-σ inverted-index extension to find
+which documents share long n-grams, and ranks document pairs by the length
+of their longest shared n-gram.
+
+Run with::
+
+    python examples/plagiarism_detection.py
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.algorithms.extensions import SuffixSigmaIndexCounter
+from repro.config import NGramJobConfig
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.synthetic import NewswireCorpusGenerator
+
+MIN_SHARED_LENGTH = 8
+
+
+def build_corpus_with_plagiarism(seed: int = 5) -> Tuple[DocumentCollection, List[Tuple[int, int]]]:
+    """A newswire corpus where a few documents copy sentences from others."""
+    rng = random.Random(seed)
+    base = NewswireCorpusGenerator(num_documents=60, seed=seed).generate()
+    documents = list(base.documents)
+    plagiarised_pairs: List[Tuple[int, int]] = []
+
+    next_doc_id = max(document.doc_id for document in documents) + 1
+    for _ in range(5):
+        source = rng.choice(documents)
+        long_sentences = [s for s in source.sentences if len(s) >= MIN_SHARED_LENGTH]
+        if not long_sentences:
+            continue
+        copied = rng.choice(long_sentences)
+        filler = rng.choice(documents).sentences[:2]
+        plagiarist = Document.from_sentences(
+            next_doc_id, list(filler) + [copied], timestamp=source.timestamp
+        )
+        documents.append(plagiarist)
+        plagiarised_pairs.append((source.doc_id, next_doc_id))
+        next_doc_id += 1
+
+    return DocumentCollection(documents), plagiarised_pairs
+
+
+def main() -> None:
+    collection, planted_pairs = build_corpus_with_plagiarism()
+    encoded = collection.encode()
+    print(f"corpus: {len(collection)} documents, {len(planted_pairs)} planted co-derivative pairs")
+
+    # df >= 2: we only care about n-grams occurring in at least two documents.
+    config = NGramJobConfig(min_frequency=2, max_length=None)
+    counter = SuffixSigmaIndexCounter(config)
+    counter.run(encoded)
+
+    # Longest shared n-gram per document pair.
+    best_shared: Dict[Tuple[int, int], int] = defaultdict(int)
+    for ngram, postings in counter.document_postings.items():
+        if len(ngram) < MIN_SHARED_LENGTH or len(postings) < 2:
+            continue
+        doc_ids = sorted(postings)
+        for i, left in enumerate(doc_ids):
+            for right in doc_ids[i + 1 :]:
+                pair = (left, right)
+                best_shared[pair] = max(best_shared[pair], len(ngram))
+
+    ranked = sorted(best_shared.items(), key=lambda item: -item[1])
+    print(f"\ndocument pairs sharing an n-gram of >= {MIN_SHARED_LENGTH} words:")
+    detected = set()
+    for (left, right), length in ranked[:10]:
+        marker = "PLANTED" if (left, right) in set(planted_pairs) else "       "
+        detected.add((left, right))
+        print(f"  {marker}  docs {left:3d} & {right:3d} share a {length}-gram")
+
+    found = sum(1 for pair in planted_pairs if pair in detected)
+    print(f"\nrecovered {found} of {len(planted_pairs)} planted co-derivative pairs")
+
+
+if __name__ == "__main__":
+    main()

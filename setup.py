@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) work in offline environments where the ``wheel``
+package is unavailable and PEP 660 editable wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

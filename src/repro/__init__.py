@@ -1,0 +1,59 @@
+"""Reproduction of "Computing n-Gram Statistics in MapReduce" (EDBT 2013).
+
+The package is organised in layers:
+
+``repro.mapreduce``
+    An in-process MapReduce engine (jobs, shuffle, counters, partitioners,
+    sort comparators, multi-job pipelines, a simulated cluster cost model).
+
+``repro.corpus``
+    The document-collection substrate: documents, tokenisation, sentence
+    splitting, vocabulary construction, integer sequence encoding and
+    synthetic corpus generators standing in for the New York Times Annotated
+    Corpus and ClueWeb09-B.
+
+``repro.ngrams``
+    n-gram primitives: sequence predicates, reverse lexicographic ordering,
+    statistics containers and brute-force reference implementations.
+
+``repro.algorithms``
+    The paper's algorithms: NAIVE, APRIORI-SCAN, APRIORI-INDEX and the
+    contributed SUFFIX-SIGMA method, plus its extensions (maximality,
+    closedness, document frequency, time series, inverted indexes).
+
+``repro.harness``
+    The experiment harness reproducing every table and figure of the paper's
+    evaluation section.
+
+The most common entry points are re-exported here for convenience.
+"""
+
+from repro.config import NGramJobConfig
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.synthetic import NewswireCorpusGenerator, WebCorpusGenerator
+from repro.algorithms import (
+    AprioriIndexCounter,
+    AprioriScanCounter,
+    NaiveCounter,
+    SuffixSigmaCounter,
+    count_ngrams,
+)
+from repro.ngrams.statistics import NGramStatistics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AprioriIndexCounter",
+    "AprioriScanCounter",
+    "Document",
+    "DocumentCollection",
+    "NGramJobConfig",
+    "NGramStatistics",
+    "NaiveCounter",
+    "NewswireCorpusGenerator",
+    "SuffixSigmaCounter",
+    "WebCorpusGenerator",
+    "count_ngrams",
+    "__version__",
+]

@@ -1,0 +1,101 @@
+"""The paper's n-gram counting algorithms.
+
+Four methods compute the same statistics (all n-grams with collection
+frequency ≥ τ and length ≤ σ):
+
+* :class:`NaiveCounter` — word counting extended to variable-length n-grams
+  (Algorithm 1);
+* :class:`AprioriScanCounter` — one scan of the collection per n-gram
+  length, pruning candidates with the APRIORI principle (Algorithm 2);
+* :class:`AprioriIndexCounter` — builds an inverted index with positional
+  information and derives longer n-grams by joining posting lists
+  (Algorithm 3);
+* :class:`SuffixSigmaCounter` — the paper's contribution: emit truncated
+  suffixes, partition by first term, sort in reverse lexicographic order and
+  aggregate prefix counts with two stacks (Algorithm 4).
+
+:func:`count_ngrams` is a convenience façade selecting a method by name.
+"""
+
+from typing import Optional, Union
+
+from repro.algorithms.base import CountingResult, NGramCounter
+from repro.algorithms.naive import NaiveCounter
+from repro.algorithms.apriori_scan import AprioriScanCounter
+from repro.algorithms.apriori_index import AprioriIndexCounter
+from repro.algorithms.suffix_sigma import SuffixSigmaCounter
+from repro.config import NGramJobConfig
+from repro.exceptions import ConfigurationError
+
+#: Registry of counter classes by their canonical (paper) name.
+ALGORITHMS = {
+    NaiveCounter.name: NaiveCounter,
+    AprioriScanCounter.name: AprioriScanCounter,
+    AprioriIndexCounter.name: AprioriIndexCounter,
+    SuffixSigmaCounter.name: SuffixSigmaCounter,
+}
+
+
+def make_counter(algorithm: str, config: NGramJobConfig, **kwargs: object) -> NGramCounter:
+    """Instantiate the counter registered under ``algorithm`` (case-insensitive)."""
+    normalised = algorithm.strip().upper().replace("_", "-")
+    aliases = {
+        "SUFFIX-SIGMA": SuffixSigmaCounter.name,
+        "SUFFIXSIGMA": SuffixSigmaCounter.name,
+        "SUFFIX": SuffixSigmaCounter.name,
+        "NAIVE": NaiveCounter.name,
+        "APRIORI-SCAN": AprioriScanCounter.name,
+        "APRIORI-INDEX": AprioriIndexCounter.name,
+    }
+    name = aliases.get(normalised, normalised)
+    if name not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose one of {sorted(ALGORITHMS)}"
+        )
+    return ALGORITHMS[name](config, **kwargs)  # type: ignore[arg-type]
+
+
+def count_ngrams(
+    collection,
+    min_frequency: int = 1,
+    max_length: Optional[int] = None,
+    algorithm: Union[str, type] = "SUFFIX-SIGMA",
+    **config_overrides,
+) -> CountingResult:
+    """Count n-grams in ``collection`` with the requested algorithm.
+
+    Parameters
+    ----------
+    collection:
+        Any object exposing ``records()`` yielding ``(doc_id, term_sequence)``
+        pairs — a :class:`~repro.corpus.collection.DocumentCollection`, an
+        :class:`~repro.corpus.collection.EncodedCollection`, or a test double.
+    min_frequency / max_length:
+        The paper's τ and σ parameters.
+    algorithm:
+        Either a canonical name (``"NAIVE"``, ``"APRIORI-SCAN"``,
+        ``"APRIORI-INDEX"``, ``"SUFFIX-SIGMA"``) or a counter class.
+    config_overrides:
+        Additional :class:`~repro.config.NGramJobConfig` fields.
+    """
+    config = NGramJobConfig(
+        min_frequency=min_frequency, max_length=max_length, **config_overrides
+    )
+    if isinstance(algorithm, str):
+        counter = make_counter(algorithm, config)
+    else:
+        counter = algorithm(config)
+    return counter.run(collection)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "AprioriIndexCounter",
+    "AprioriScanCounter",
+    "CountingResult",
+    "NGramCounter",
+    "NaiveCounter",
+    "SuffixSigmaCounter",
+    "count_ngrams",
+    "make_counter",
+]

@@ -1,0 +1,141 @@
+"""Aggregation strategies for the SUFFIX-σ reducer.
+
+Algorithm 4 aggregates plain occurrence counts on its ``counts`` stack.
+Section VI.B observes that the same lazy stack-based aggregation works for
+any associative, commutative combination of per-suffix contributions — the
+paper's example is n-gram *time series* (counts per publication year), and
+it also mentions inverted-index style aggregations and document frequencies.
+
+A strategy defines what one stack element is, how per-suffix contributions
+are created from the reducer's value list, how a popped child element is
+folded into its parent, which scalar magnitude is compared against τ, and
+what value is finally emitted.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+
+class SuffixAggregation:
+    """Strategy interface for the SUFFIX-σ reducer's second stack."""
+
+    def empty(self) -> Any:
+        """The neutral element pushed for interior stack positions."""
+        raise NotImplementedError
+
+    def from_values(self, values: Sequence[Any]) -> Any:
+        """Element representing the contribution of one suffix's value list."""
+        raise NotImplementedError
+
+    def merge(self, parent: Any, child: Any) -> Any:
+        """Fold a popped child element into its parent element."""
+        raise NotImplementedError
+
+    def magnitude(self, element: Any) -> int:
+        """Scalar compared against the minimum collection frequency τ."""
+        raise NotImplementedError
+
+    def output_value(self, element: Any) -> Any:
+        """The value emitted alongside the n-gram."""
+        raise NotImplementedError
+
+
+class CountAggregation(SuffixAggregation):
+    """Plain occurrence counting — the ``counts`` stack of Algorithm 4."""
+
+    def empty(self) -> int:
+        return 0
+
+    def from_values(self, values: Sequence[Any]) -> int:
+        return len(values)
+
+    def merge(self, parent: int, child: int) -> int:
+        return parent + child
+
+    def magnitude(self, element: int) -> int:
+        return element
+
+    def output_value(self, element: int) -> int:
+        return element
+
+
+class DistinctDocumentAggregation(SuffixAggregation):
+    """Document-frequency counting: values are document identifiers."""
+
+    def empty(self) -> set:
+        return set()
+
+    def from_values(self, values: Sequence[Any]) -> set:
+        return set(values)
+
+    def merge(self, parent: set, child: set) -> set:
+        if not parent:
+            return set(child)
+        parent.update(child)
+        return parent
+
+    def magnitude(self, element: set) -> int:
+        return len(element)
+
+    def output_value(self, element: set) -> int:
+        return len(element)
+
+
+class TimeSeriesAggregation(SuffixAggregation):
+    """n-gram time series: values are ``(doc_id, timestamp)`` pairs.
+
+    The magnitude compared against τ is the total number of occurrences
+    (documents without a timestamp still count towards the total but do not
+    contribute an observation).
+    """
+
+    def empty(self) -> Tuple[int, Counter]:
+        return (0, Counter())
+
+    def from_values(self, values: Sequence[Tuple[int, Optional[int]]]) -> Tuple[int, Counter]:
+        observations: Counter = Counter()
+        for _, timestamp in values:
+            if timestamp is not None:
+                observations[timestamp] += 1
+        return (len(values), observations)
+
+    def merge(self, parent: Tuple[int, Counter], child: Tuple[int, Counter]) -> Tuple[int, Counter]:
+        total = parent[0] + child[0]
+        observations = parent[1]
+        observations.update(child[1])
+        return (total, observations)
+
+    def magnitude(self, element: Tuple[int, Counter]) -> int:
+        return element[0]
+
+    def output_value(self, element: Tuple[int, Counter]) -> Tuple[int, dict]:
+        return (element[0], dict(element[1]))
+
+
+class DocumentPostingAggregation(SuffixAggregation):
+    """Inverted-index style aggregation: per-document occurrence counts.
+
+    Values are document identifiers; the emitted value maps each document to
+    the number of occurrences of the n-gram in it ("how often ... it occurs
+    in individual documents", Section VI.B).
+    """
+
+    def empty(self) -> Counter:
+        return Counter()
+
+    def from_values(self, values: Sequence[int]) -> Counter:
+        return Counter(values)
+
+    def merge(self, parent: Counter, child: Counter) -> Counter:
+        if not parent:
+            return Counter(child)
+        parent.update(child)
+        return parent
+
+    def magnitude(self, element: Counter) -> int:
+        return sum(element.values())
+
+    def output_value(self, element: Counter) -> dict:
+        return dict(element)

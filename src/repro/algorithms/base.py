@@ -1,0 +1,145 @@
+"""Shared infrastructure of the four n-gram counting algorithms.
+
+Every algorithm is an :class:`NGramCounter`: it prepares input records from a
+document collection (optionally applying the document-splitting optimisation
+of Section V), runs one or more MapReduce jobs through a
+:class:`~repro.mapreduce.pipeline.JobPipeline`, and returns a
+:class:`CountingResult` bundling the computed statistics with the measured
+counters and per-job metrics — the exact quantities the paper's experiments
+report (wallclock, bytes transferred, number of records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.algorithms.doc_split import split_records
+from repro.config import ClusterConfig, NGramJobConfig
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.cluster import ClusterCostModel
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.pipeline import JobPipeline, PipelineResult
+from repro.ngrams.statistics import NGramStatistics
+from repro.util.timer import Timer
+
+Record = Tuple[Any, Tuple]
+
+
+class SupportsRecords:
+    """Structural protocol for algorithm inputs (anything with ``records()``)."""
+
+    def records(self) -> Iterable[Record]:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+
+@dataclass
+class CountingResult:
+    """Outcome of one algorithm run.
+
+    Attributes
+    ----------
+    algorithm:
+        Canonical algorithm name (``"NAIVE"``, ``"APRIORI-SCAN"``, ...).
+    config:
+        The :class:`~repro.config.NGramJobConfig` the run used.
+    statistics:
+        The computed n-gram statistics (collection or document frequencies).
+    pipeline:
+        Per-job results: counters, metrics and outputs of every MapReduce job
+        the method launched.
+    elapsed_seconds:
+        Measured in-process wallclock of the whole computation.
+    """
+
+    algorithm: str
+    config: NGramJobConfig
+    statistics: NGramStatistics
+    pipeline: PipelineResult
+    elapsed_seconds: float
+
+    @property
+    def counters(self) -> Counters:
+        """Counters aggregated over every job the method launched."""
+        return self.pipeline.counters
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of MapReduce jobs launched (1 for NAIVE and SUFFIX-σ)."""
+        return self.pipeline.num_jobs
+
+    @property
+    def map_output_records(self) -> int:
+        """The paper's "# records" measure (aggregated over all jobs)."""
+        return self.counters.map_output_records
+
+    @property
+    def map_output_bytes(self) -> int:
+        """The paper's "bytes transferred" measure (aggregated over all jobs)."""
+        return self.counters.map_output_bytes
+
+    def simulated_wallclock(self, cluster: ClusterConfig) -> float:
+        """Simulated cluster wallclock under ``cluster`` (Figure 6/7 metric)."""
+        model = ClusterCostModel(cluster)
+        return model.estimate_pipeline(self.pipeline.job_metrics)
+
+
+class NGramCounter:
+    """Abstract base class of the four counting algorithms."""
+
+    #: Canonical name used in reports; subclasses override.
+    name: str = "ABSTRACT"
+
+    def __init__(self, config: NGramJobConfig, num_map_tasks: int = 4) -> None:
+        if num_map_tasks < 1:
+            raise ConfigurationError("num_map_tasks must be >= 1")
+        self.config = config
+        self.num_map_tasks = num_map_tasks
+
+    # ------------------------------------------------------------ plumbing
+    def prepare_records(self, collection: SupportsRecords) -> List[Record]:
+        """Materialise input records, applying document splitting if enabled.
+
+        The collection yields ``(doc_id, term_sequence)`` pairs, one per
+        sentence (sentence boundaries are n-gram barriers).  With
+        ``config.split_documents`` the sequences are additionally split at
+        terms occurring fewer than τ times.  The returned records are keyed
+        by ``(doc_id, sequence_index)`` so that every input sequence has a
+        globally unique identifier — APRIORI-INDEX needs this to keep
+        positions from different sentences of the same document apart.
+        """
+        records = list(collection.records())
+        if self.config.split_documents:
+            records = split_records(records, self.config.min_frequency)
+        return [
+            ((doc_id, sequence_index), tuple(sequence))
+            for sequence_index, (doc_id, sequence) in enumerate(records)
+        ]
+
+    def _new_pipeline(self) -> JobPipeline:
+        return JobPipeline(default_map_tasks=self.num_map_tasks)
+
+    # ----------------------------------------------------------------- API
+    def run(self, collection: SupportsRecords) -> CountingResult:
+        """Run the algorithm over ``collection`` and return its result."""
+        pipeline = self._new_pipeline()
+        with Timer() as timer:
+            records = self.prepare_records(collection)
+            statistics = self._execute(records, pipeline, collection)
+        return CountingResult(
+            algorithm=self.name,
+            config=self.config,
+            statistics=statistics,
+            pipeline=pipeline.result,
+            elapsed_seconds=timer.elapsed,
+        )
+
+    # ------------------------------------------------------------ subclass
+    def _execute(
+        self,
+        records: List[Record],
+        pipeline: JobPipeline,
+        collection: SupportsRecords,
+    ) -> NGramStatistics:
+        """Run the algorithm's MapReduce job(s); return the statistics."""
+        raise NotImplementedError

@@ -1,0 +1,52 @@
+"""Mapper/reducer building blocks shared by several algorithms.
+
+NAIVE and APRIORI-SCAN both end with the same reduce step: count the values
+received for an n-gram and emit the n-gram when the count reaches τ
+(Algorithms 1 and 2 share their reducer verbatim in the paper).  The classes
+here implement that reducer in its three flavours — plain occurrence
+counting, pre-aggregated partial counts (when a combiner is used) and
+document frequency — plus the combiner itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.mapreduce.job import Combiner, Reducer, TaskContext
+
+
+class FrequencyReducer(Reducer):
+    """Counts values per n-gram and emits the n-gram when the count ≥ τ."""
+
+    def __init__(
+        self,
+        min_frequency: int,
+        values_are_counts: bool = False,
+        document_frequency: bool = False,
+    ) -> None:
+        self.min_frequency = min_frequency
+        self.values_are_counts = values_are_counts
+        self.document_frequency = document_frequency
+
+    def reduce(self, key: Any, values: Iterable[Any], context: TaskContext) -> None:
+        values = list(values)
+        if self.document_frequency:
+            frequency = len(set(values))
+        elif self.values_are_counts:
+            frequency = sum(values)
+        else:
+            frequency = len(values)
+        if frequency >= self.min_frequency:
+            context.emit(key, frequency)
+
+
+class CountSumCombiner(Combiner):
+    """Map-side pre-aggregation: sums partial counts per n-gram.
+
+    Only applicable when the mapper emits partial counts (integer ``1``\\ s)
+    rather than document identifiers; the reducer must then be configured
+    with ``values_are_counts=True``.
+    """
+
+    def reduce(self, key: Any, values: Iterable[Any], context: TaskContext) -> None:
+        context.emit(key, sum(values))

@@ -1,0 +1,75 @@
+"""The "Document Splits" optimisation (Section V).
+
+Collection frequencies of individual terms can be exploited to reduce work:
+every input sequence is split at terms whose collection frequency is below
+τ.  This is safe by the APRIORI principle — no frequent n-gram can contain
+an infrequent term — and it shortens the sequences every method has to
+process, which matters most for large σ.
+
+In a Hadoop deployment the unigram frequencies come from the preprocessing
+step that builds the term dictionary (identifiers are assigned in descending
+collection-frequency order, so the frequency of every term is known).  Here
+:func:`unigram_frequencies` recomputes them from the input records when no
+vocabulary is supplied.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Record = Tuple[Tuple[int, int], Tuple]
+
+
+def unigram_frequencies(records: Iterable[Tuple[object, Sequence]]) -> Counter:
+    """Collection frequency of every term across ``records``."""
+    counts: Counter = Counter()
+    for _, sequence in records:
+        counts.update(sequence)
+    return counts
+
+
+def split_sequence_at_infrequent_terms(
+    sequence: Sequence, frequent_terms: "set | Dict | frozenset"
+) -> List[Tuple]:
+    """Split ``sequence`` into maximal runs of frequent terms.
+
+    Terms not contained in ``frequent_terms`` act as barriers and are dropped
+    (as unigrams they are infrequent, so nothing frequent is lost).  Empty
+    fragments are discarded.
+    """
+    fragments: List[Tuple] = []
+    current: List = []
+    for term in sequence:
+        if term in frequent_terms:
+            current.append(term)
+        elif current:
+            fragments.append(tuple(current))
+            current = []
+    if current:
+        fragments.append(tuple(current))
+    return fragments
+
+
+def split_records(
+    records: Sequence[Tuple[object, Sequence]],
+    min_frequency: int,
+    term_frequencies: Counter | None = None,
+) -> List[Tuple[object, Tuple]]:
+    """Apply document splitting to a full record list.
+
+    Returns new ``(doc_id, fragment)`` records; a record producing several
+    fragments contributes several output records with the same document
+    identifier, which is exactly how the optimisation behaves on a cluster
+    (fragments are independent input sequences).
+    """
+    if term_frequencies is None:
+        term_frequencies = unigram_frequencies(records)
+    frequent_terms = {
+        term for term, count in term_frequencies.items() if count >= min_frequency
+    }
+    output: List[Tuple[object, Tuple]] = []
+    for doc_id, sequence in records:
+        for fragment in split_sequence_at_infrequent_terms(sequence, frequent_terms):
+            output.append((doc_id, fragment))
+    return output

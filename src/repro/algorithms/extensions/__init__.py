@@ -1,0 +1,24 @@
+"""Extensions of SUFFIX-σ (Section VI of the paper).
+
+* :mod:`repro.algorithms.extensions.maximal` — maximal and closed n-grams
+  via the prefix-filter + reversed post-filter construction of Section VI.A;
+* :mod:`repro.algorithms.extensions.timeseries` — n-gram time series
+  (occurrences per publication year), Section VI.B;
+* :mod:`repro.algorithms.extensions.inverted_index` — per-document
+  occurrence counts (an inverted index keyed by n-gram), Section VI.B;
+* :mod:`repro.algorithms.extensions.docfreq` — document frequencies instead
+  of collection frequencies (Section II notes all methods support this).
+"""
+
+from repro.algorithms.extensions.maximal import ClosedNGramCounter, MaximalNGramCounter
+from repro.algorithms.extensions.timeseries import SuffixSigmaTimeSeriesCounter
+from repro.algorithms.extensions.inverted_index import SuffixSigmaIndexCounter
+from repro.algorithms.extensions.docfreq import document_frequencies
+
+__all__ = [
+    "ClosedNGramCounter",
+    "MaximalNGramCounter",
+    "SuffixSigmaIndexCounter",
+    "SuffixSigmaTimeSeriesCounter",
+    "document_frequencies",
+]

@@ -1,0 +1,35 @@
+"""Document frequencies instead of collection frequencies.
+
+Section II: "all methods presented below can easily be modified to produce
+document frequencies instead" — document frequency (the number of documents
+containing an n-gram at least once) is the support notion of classical
+frequent sequence mining.  Every counter in this package honours
+``NGramJobConfig.count_document_frequency``; this module provides a small
+convenience façade.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.algorithms import make_counter
+from repro.algorithms.base import CountingResult
+from repro.config import NGramJobConfig
+
+
+def document_frequencies(
+    collection,
+    min_frequency: int = 1,
+    max_length: Optional[int] = None,
+    algorithm: str = "SUFFIX-SIGMA",
+    **config_overrides,
+) -> CountingResult:
+    """Compute document frequencies of n-grams with df ≥ τ and length ≤ σ."""
+    config = NGramJobConfig(
+        min_frequency=min_frequency,
+        max_length=max_length,
+        count_document_frequency=True,
+        **config_overrides,
+    )
+    counter = make_counter(algorithm, config)
+    return counter.run(collection)

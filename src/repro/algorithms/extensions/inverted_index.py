@@ -1,0 +1,47 @@
+"""Per-document occurrence counts with SUFFIX-σ (Section VI.B).
+
+"Build an inverted index that records for every n-gram how often ... it
+occurs in individual documents": the reducer aggregates, per n-gram, a
+mapping from document identifier to occurrence count, using the same lazy
+stack mechanism as plain counting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.algorithms.aggregation import DocumentPostingAggregation
+from repro.algorithms.base import SupportsRecords
+from repro.algorithms.suffix_sigma import SuffixSigmaCounter
+from repro.config import NGramJobConfig
+from repro.mapreduce.pipeline import JobPipeline
+from repro.ngrams.statistics import NGramStatistics
+
+
+class SuffixSigmaIndexCounter(SuffixSigmaCounter):
+    """SUFFIX-σ building an n-gram → {document → occurrences} index.
+
+    After :meth:`run`, :attr:`document_postings` maps every frequent n-gram
+    to a dictionary of per-document occurrence counts; the returned
+    statistics hold the total collection frequencies.
+    """
+
+    name = "SUFFIX-SIGMA-INDEX"
+
+    def __init__(self, config: NGramJobConfig, num_map_tasks: int = 4) -> None:
+        super().__init__(
+            config,
+            num_map_tasks=num_map_tasks,
+            aggregation_factory=DocumentPostingAggregation,
+        )
+        self.document_postings: Dict[Tuple, Dict[int, int]] = {}
+
+    def _collect_statistics(
+        self, output: List[Tuple[Tuple, Any]], pipeline: JobPipeline
+    ) -> NGramStatistics:
+        self.document_postings = {}
+        statistics = NGramStatistics()
+        for ngram, postings in output:
+            statistics.set(ngram, sum(postings.values()))
+            self.document_postings[ngram] = dict(postings)
+        return statistics

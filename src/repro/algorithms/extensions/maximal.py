@@ -1,0 +1,103 @@
+"""Maximal and closed n-grams (Section VI.A).
+
+An n-gram ``r`` is *maximal* when no frequent n-gram ``s`` exists with
+``r ⊑ s`` (proper contiguous super-sequence); it is *closed* when no such
+``s`` exists with the same collection frequency.  Both sets can be much
+smaller than the full result; closed n-grams lose no information because
+omitted n-grams can be reconstructed with their exact frequencies.
+
+SUFFIX-σ computes them in two steps, both reusing its machinery:
+
+1. **Prefix filtering** inside the normal SUFFIX-σ reducer: because n-grams
+   are emitted in reverse lexicographic order, an n-gram that is a prefix of
+   the previously emitted one (with equal frequency, for closedness) is
+   suppressed.  The surviving n-grams are the *prefix-maximal* /
+   *prefix-closed* ones.
+2. **A post-filtering MapReduce job**: every surviving n-gram is reversed,
+   partitioned by its (new) first term and sorted in reverse lexicographic
+   order; applying the same filter now suppresses n-grams that are a suffix
+   of a longer surviving n-gram.  Reversing the survivors back yields the
+   maximal / closed n-grams.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import Record, SupportsRecords
+from repro.algorithms.suffix_sigma import (
+    FirstTermPartitioner,
+    PrefixEmissionFilter,
+    SuffixSigmaCounter,
+)
+from repro.config import NGramJobConfig
+from repro.mapreduce.job import JobSpec, Mapper, Reducer, TaskContext
+from repro.mapreduce.pipeline import JobPipeline
+from repro.ngrams.ordering import ReverseLexicographicOrder
+from repro.ngrams.statistics import NGramStatistics
+
+
+class ReversingMapper(Mapper):
+    """Post-filter mapper: reverses each n-gram, forwarding its frequency."""
+
+    def map(self, key: Sequence, value: Any, context: TaskContext) -> None:
+        context.emit(tuple(reversed(tuple(key))), value)
+
+
+class ReversedFilterReducer(Reducer):
+    """Post-filter reducer: keeps suffix-maximal / suffix-closed n-grams.
+
+    Keys arrive reversed and in reverse lexicographic order, so the same
+    prefix-based filter used inside SUFFIX-σ now removes n-grams that are a
+    *suffix* of a longer surviving n-gram.  Emitted n-grams are restored to
+    their original order.
+    """
+
+    def __init__(self, mode: str) -> None:
+        self._filter = PrefixEmissionFilter(mode)
+
+    def reduce(self, key: Sequence, values: Iterable[int], context: TaskContext) -> None:
+        reversed_ngram = tuple(key)
+        frequency = sum(values) if not isinstance(values, int) else values
+        if self._filter.should_emit(reversed_ngram, frequency):
+            context.emit(tuple(reversed(reversed_ngram)), frequency)
+
+
+class MaximalNGramCounter(SuffixSigmaCounter):
+    """SUFFIX-σ restricted to maximal n-grams."""
+
+    name = "SUFFIX-SIGMA-MAXIMAL"
+    filter_mode = PrefixEmissionFilter.MAXIMAL
+
+    def _emission_filter_factory(self) -> Optional[Callable[[], PrefixEmissionFilter]]:
+        mode = self.filter_mode
+        return lambda: PrefixEmissionFilter(mode)
+
+    def _post_filter_job(self) -> JobSpec:
+        mode = self.filter_mode
+        return JobSpec(
+            name=f"suffix-sigma-postfilter-{mode}",
+            mapper_factory=ReversingMapper,
+            reducer_factory=lambda: ReversedFilterReducer(mode),
+            partitioner=FirstTermPartitioner(),
+            sort_comparator=ReverseLexicographicOrder(),
+            num_reducers=self.config.num_reducers,
+            num_map_tasks=self.num_map_tasks,
+        )
+
+    def _execute(
+        self,
+        records: List[Record],
+        pipeline: JobPipeline,
+        collection: SupportsRecords,
+    ) -> NGramStatistics:
+        first = pipeline.run_job(self.job_spec(collection), records)
+        second = pipeline.run_job(self._post_filter_job(), first.output)
+        return NGramStatistics.from_pairs(second.output)
+
+
+class ClosedNGramCounter(MaximalNGramCounter):
+    """SUFFIX-σ restricted to closed n-grams."""
+
+    name = "SUFFIX-SIGMA-CLOSED"
+    filter_mode = PrefixEmissionFilter.CLOSED

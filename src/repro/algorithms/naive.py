@@ -1,0 +1,84 @@
+"""NAIVE n-gram counting (Algorithm 1 of the paper).
+
+Word counting extended to variable-length n-grams: the mapper emits *every*
+n-gram of length ≤ σ contained in the document (once per occurrence); the
+reducer counts occurrences and keeps those reaching τ.  This is essentially
+the method Brants et al. used at Google for training large language models.
+
+Its weakness, analysed in Section III.A, is the sheer volume of intermediate
+data: per document ``d`` it emits ``O(|d|·σ)`` records totalling
+``Σ_{|s| ≤ σ} cf(s)`` key-value pairs over the collection — all of which
+must be transferred and sorted by the framework.
+
+Two practical refinements from Section V are supported:
+
+* local pre-aggregation with a combiner (``config.use_combiner``); the
+  mapper then emits partial counts instead of document identifiers;
+* document splitting at infrequent terms (``config.split_documents``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.algorithms.base import NGramCounter, Record, SupportsRecords
+from repro.algorithms.common import CountSumCombiner, FrequencyReducer
+from repro.config import NGramJobConfig
+from repro.mapreduce.job import JobSpec, Mapper, TaskContext
+from repro.mapreduce.pipeline import JobPipeline
+from repro.ngrams.statistics import NGramStatistics
+
+
+class NaiveMapper(Mapper):
+    """Emits every n-gram of length ≤ σ, once per occurrence."""
+
+    def __init__(self, max_length: Optional[int], emit_partial_counts: bool) -> None:
+        self.max_length = max_length
+        self.emit_partial_counts = emit_partial_counts
+
+    def map(self, key: Any, value: Tuple, context: TaskContext) -> None:
+        doc_id = key[0] if isinstance(key, tuple) else key
+        sequence = value
+        n = len(sequence)
+        for begin in range(n):
+            end_limit = n if self.max_length is None else min(begin + self.max_length, n)
+            for end in range(begin + 1, end_limit + 1):
+                ngram = tuple(sequence[begin:end])
+                if self.emit_partial_counts:
+                    context.emit(ngram, 1)
+                else:
+                    context.emit(ngram, doc_id)
+
+
+class NaiveCounter(NGramCounter):
+    """The NAIVE baseline (Algorithm 1)."""
+
+    name = "NAIVE"
+
+    def __init__(self, config: NGramJobConfig, num_map_tasks: int = 4) -> None:
+        super().__init__(config, num_map_tasks=num_map_tasks)
+
+    def _job_spec(self) -> JobSpec:
+        config = self.config
+        emit_partial_counts = config.use_combiner and not config.count_document_frequency
+        return JobSpec(
+            name="naive",
+            mapper_factory=lambda: NaiveMapper(config.max_length, emit_partial_counts),
+            reducer_factory=lambda: FrequencyReducer(
+                config.min_frequency,
+                values_are_counts=emit_partial_counts,
+                document_frequency=config.count_document_frequency,
+            ),
+            combiner_factory=CountSumCombiner if emit_partial_counts else None,
+            num_reducers=config.num_reducers,
+            num_map_tasks=self.num_map_tasks,
+        )
+
+    def _execute(
+        self,
+        records: List[Record],
+        pipeline: JobPipeline,
+        collection: SupportsRecords,
+    ) -> NGramStatistics:
+        result = pipeline.run_job(self._job_spec(), records)
+        return NGramStatistics.from_pairs(result.output)

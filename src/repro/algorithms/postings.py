@@ -1,0 +1,153 @@
+"""Positional posting lists used by APRIORI-INDEX (Algorithm 3).
+
+A :class:`Posting` records where an n-gram occurs within one input sequence
+(one sentence / document fragment); a :class:`PostingList` aggregates the
+postings of an n-gram over the whole collection.  The central operation is
+:meth:`PostingList.join`: the posting lists of two (k-1)-grams that overlap
+in k-2 terms are joined into the posting list of the resulting k-gram by
+keeping the positions where the left operand is immediately followed by the
+right operand.
+
+Both classes expose ``serialized_size`` so the MapReduce byte accounting
+charges them with the size a compact varint serialisation would occupy,
+matching how the paper measures bytes transferred for APRIORI-INDEX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.exceptions import ReproError
+from repro.util.varint import encoded_length
+
+SequenceKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Posting:
+    """Occurrences of an n-gram inside one input sequence.
+
+    Attributes
+    ----------
+    doc_id:
+        Identifier of the document the sequence belongs to (used for
+        document-frequency counting).
+    seq_id:
+        Identifier of the input sequence (sentence / fragment) within the
+        collection.  Positions from different sequences must never be
+        considered adjacent, so joins require equal ``(doc_id, seq_id)``.
+    positions:
+        Start offsets of the n-gram within the sequence, strictly increasing.
+    """
+
+    doc_id: int
+    seq_id: int
+    positions: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(b <= a for a, b in zip(self.positions, self.positions[1:])):
+            raise ReproError("posting positions must be strictly increasing")
+
+    @property
+    def frequency(self) -> int:
+        """Number of occurrences recorded by this posting."""
+        return len(self.positions)
+
+    def serialized_size(self) -> int:
+        """Bytes of a varint serialisation (doc id, seq id, gap-encoded positions)."""
+        size = encoded_length(self.doc_id) + encoded_length(self.seq_id)
+        size += encoded_length(len(self.positions))
+        previous = 0
+        for position in self.positions:
+            size += encoded_length(position - previous)
+            previous = position
+        return size
+
+
+class PostingList:
+    """The postings of one n-gram across the collection, sorted by sequence."""
+
+    def __init__(self, postings: Iterable[Posting] = ()) -> None:
+        merged: Dict[Tuple[int, int], List[int]] = {}
+        doc_ids: Dict[Tuple[int, int], int] = {}
+        for posting in postings:
+            key = (posting.doc_id, posting.seq_id)
+            merged.setdefault(key, []).extend(posting.positions)
+            doc_ids[key] = posting.doc_id
+        self._postings: List[Posting] = [
+            Posting(doc_id=doc_id, seq_id=seq_id, positions=tuple(sorted(set(positions))))
+            for (doc_id, seq_id), positions in sorted(merged.items())
+        ]
+
+    # -------------------------------------------------------------- access
+    @property
+    def postings(self) -> Tuple[Posting, ...]:
+        return tuple(self._postings)
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self._postings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PostingList):
+            return NotImplemented
+        return self._postings == other._postings
+
+    @property
+    def collection_frequency(self) -> int:
+        """Total number of occurrences (the ``cf()`` of Algorithm 3)."""
+        return sum(posting.frequency for posting in self._postings)
+
+    @property
+    def document_frequency(self) -> int:
+        """Number of distinct documents with at least one occurrence."""
+        return len({posting.doc_id for posting in self._postings})
+
+    def serialized_size(self) -> int:
+        """Bytes of a varint serialisation of the whole list."""
+        return encoded_length(len(self._postings)) + sum(
+            posting.serialized_size() for posting in self._postings
+        )
+
+    # ---------------------------------------------------------------- ops
+    def join(self, other: "PostingList") -> "PostingList":
+        """Adjacency join: occurrences of ``self`` immediately followed by ``other``.
+
+        ``self`` holds the postings of the left (k-1)-gram and ``other``
+        those of the right (k-1)-gram (overlapping in k-2 terms).  The result
+        contains, per sequence, the start positions ``p`` of the left operand
+        such that the right operand starts at ``p + 1`` — exactly the
+        positions of the joined k-gram.
+        """
+        other_by_key = {
+            (posting.doc_id, posting.seq_id): set(posting.positions) for posting in other
+        }
+        joined: List[Posting] = []
+        for posting in self._postings:
+            right_positions = other_by_key.get((posting.doc_id, posting.seq_id))
+            if not right_positions:
+                continue
+            positions = tuple(
+                position
+                for position in posting.positions
+                if position + 1 in right_positions
+            )
+            if positions:
+                joined.append(
+                    Posting(doc_id=posting.doc_id, seq_id=posting.seq_id, positions=positions)
+                )
+        return PostingList(joined)
+
+    def merge(self, other: "PostingList") -> "PostingList":
+        """Union of two posting lists of the same n-gram."""
+        return PostingList(list(self._postings) + list(other._postings))
+
+    def documents(self) -> List[int]:
+        """Sorted distinct document identifiers."""
+        return sorted({posting.doc_id for posting in self._postings})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PostingList(cf={self.collection_frequency}, df={self.document_frequency})"

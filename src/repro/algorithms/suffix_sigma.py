@@ -1,0 +1,245 @@
+"""SUFFIX-σ — the paper's contribution (Algorithm 4).
+
+The method needs a single MapReduce job:
+
+* The **mapper** emits, for every position of an input sequence, the suffix
+  starting there, truncated to σ terms, with the document identifier as the
+  value.  A sequence of ``n`` terms therefore yields only ``n`` records (the
+  NAIVE method emits up to ``n·σ``).
+* The **partitioner** assigns suffixes to reducers by their *first term
+  only*, so one reducer sees every suffix that can contribute to the
+  collection frequency of any n-gram starting with that term.
+* The **sort comparator** orders suffixes in *reverse lexicographic* order
+  (larger terms first; a longer sequence before its proper prefixes).  This
+  guarantees that when the reducer processes suffix ``s``, every n-gram that
+  is not a prefix of ``s`` can never gain further occurrences — so it can be
+  emitted immediately and forgotten.
+* The **reducer** maintains two synchronised stacks — the terms of the
+  current suffix and one aggregation element per prefix — and lazily pushes
+  counts upward as prefixes are popped, emitting every n-gram whose count
+  reaches τ exactly once.
+
+The reducer's aggregation is pluggable (see
+:mod:`repro.algorithms.aggregation`), which is how the extensions of Section
+VI — document frequencies, n-gram time series, per-document postings — reuse
+the same job structure.  The maximality/closedness extension (Section VI.A)
+adds an emission filter plus a second, reversed post-filtering job and is
+implemented in :mod:`repro.algorithms.extensions.maximal`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algorithms.aggregation import CountAggregation, SuffixAggregation
+from repro.algorithms.base import NGramCounter, Record, SupportsRecords
+from repro.config import NGramJobConfig
+from repro.mapreduce.job import JobSpec, Mapper, Partitioner, Reducer, TaskContext
+from repro.mapreduce.pipeline import JobPipeline
+from repro.ngrams.ordering import ReverseLexicographicOrder
+from repro.ngrams.sequence import is_prefix, longest_common_prefix
+from repro.ngrams.statistics import NGramStatistics
+from repro.util.hashing import stable_hash
+
+
+class SuffixMapper(Mapper):
+    """Emits every suffix of the input sequence, truncated to σ terms.
+
+    ``value_function`` maps ``(doc_id, key)`` to the emitted value; the
+    default emits the document identifier, as in Algorithm 4.
+    """
+
+    def __init__(
+        self,
+        max_length: Optional[int],
+        value_function: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        self.max_length = max_length
+        self.value_function = value_function
+
+    def map(self, key: Any, value: Tuple, context: TaskContext) -> None:
+        doc_id = key[0] if isinstance(key, tuple) else key
+        emitted_value = doc_id if self.value_function is None else self.value_function(doc_id)
+        sequence = value
+        n = len(sequence)
+        for begin in range(n):
+            end = n if self.max_length is None else min(begin + self.max_length, n)
+            context.emit(tuple(sequence[begin:end]), emitted_value)
+
+
+class FirstTermPartitioner(Partitioner):
+    """Partitions suffixes by their first term only (Algorithm 4's ``partition``)."""
+
+    def partition(self, key: Sequence, num_partitions: int) -> int:
+        if len(key) == 0:
+            return 0
+        return stable_hash(key[0]) % num_partitions
+
+
+class PrefixEmissionFilter:
+    """Emission filter implementing prefix-maximality / prefix-closedness.
+
+    Section VI.A: with suffixes processed in reverse lexicographic order, let
+    ``r`` be the last n-gram emitted.  For maximality the next n-gram ``s``
+    is emitted only if it is not a prefix of ``r``; for closedness only if it
+    is not a prefix of ``r`` with the same collection frequency.
+    """
+
+    MAXIMAL = "maximal"
+    CLOSED = "closed"
+
+    def __init__(self, mode: str) -> None:
+        if mode not in (self.MAXIMAL, self.CLOSED):
+            raise ValueError(f"unknown emission filter mode {mode!r}")
+        self.mode = mode
+        self._last_ngram: Optional[Tuple] = None
+        self._last_magnitude: Optional[int] = None
+
+    def should_emit(self, ngram: Tuple, magnitude: int) -> bool:
+        """Decide whether ``ngram`` (with frequency ``magnitude``) is emitted."""
+        emit = True
+        if self._last_ngram is not None and is_prefix(ngram, self._last_ngram):
+            if self.mode == self.MAXIMAL:
+                emit = False
+            elif magnitude == self._last_magnitude:
+                emit = False
+        if emit:
+            self._last_ngram = ngram
+            self._last_magnitude = magnitude
+        return emit
+
+
+class SuffixSigmaReducer(Reducer):
+    """The stack-based reducer of Algorithm 4 with pluggable aggregation."""
+
+    def __init__(
+        self,
+        min_frequency: int,
+        aggregation: Optional[SuffixAggregation] = None,
+        emission_filter: Optional[PrefixEmissionFilter] = None,
+    ) -> None:
+        self.min_frequency = min_frequency
+        self.aggregation = aggregation if aggregation is not None else CountAggregation()
+        self.emission_filter = emission_filter
+        self._terms: List[Any] = []
+        self._elements: List[Any] = []
+
+    # ----------------------------------------------------------- internals
+    def _pop_and_emit(self, context: TaskContext) -> None:
+        ngram = tuple(self._terms)
+        element = self._elements[-1]
+        magnitude = self.aggregation.magnitude(element)
+        if magnitude >= self.min_frequency:
+            if self.emission_filter is None or self.emission_filter.should_emit(
+                ngram, magnitude
+            ):
+                context.emit(ngram, self.aggregation.output_value(element))
+        self._terms.pop()
+        popped = self._elements.pop()
+        if self._elements:
+            self._elements[-1] = self.aggregation.merge(self._elements[-1], popped)
+
+    # ------------------------------------------------------------ contract
+    def reduce(self, key: Sequence, values: Iterable[Any], context: TaskContext) -> None:
+        suffix = tuple(key)
+        values = list(values)
+        # Pop (and emit) every stacked n-gram that is not a prefix of the
+        # current suffix: no unseen suffix can contribute to it any more.
+        while longest_common_prefix(suffix, self._terms) < len(self._terms):
+            self._pop_and_emit(context)
+
+        contribution = self.aggregation.from_values(values) if values else None
+        if len(self._terms) == len(suffix):
+            # The whole suffix is already on the stack (it equals the stack
+            # contents); add this group's contribution to its element.
+            if contribution is not None and self._elements:
+                self._elements[-1] = self.aggregation.merge(
+                    self._elements[-1], contribution
+                )
+            return
+        # Push the new terms of the suffix; only the deepest position carries
+        # this group's contribution, interior positions start neutral.
+        for index in range(len(self._terms), len(suffix)):
+            self._terms.append(suffix[index])
+            if index == len(suffix) - 1 and contribution is not None:
+                self._elements.append(contribution)
+            else:
+                self._elements.append(self.aggregation.empty())
+
+    def cleanup(self, context: TaskContext) -> None:
+        # Flush the remaining stack by processing a virtual empty suffix
+        # (Algorithm 4's cleanup() calls reduce(∅, ∅)).
+        self.reduce((), [], context)
+
+
+class SuffixSigmaCounter(NGramCounter):
+    """The SUFFIX-σ method (Algorithm 4)."""
+
+    name = "SUFFIX-SIGMA"
+
+    def __init__(
+        self,
+        config: NGramJobConfig,
+        num_map_tasks: int = 4,
+        aggregation_factory: Optional[Callable[[], SuffixAggregation]] = None,
+    ) -> None:
+        super().__init__(config, num_map_tasks=num_map_tasks)
+        self.aggregation_factory = aggregation_factory
+
+    # ------------------------------------------------------------ plumbing
+    def _make_aggregation(self) -> SuffixAggregation:
+        if self.aggregation_factory is not None:
+            return self.aggregation_factory()
+        if self.config.count_document_frequency:
+            from repro.algorithms.aggregation import DistinctDocumentAggregation
+
+            return DistinctDocumentAggregation()
+        return CountAggregation()
+
+    def _mapper_value_function(
+        self, collection: SupportsRecords
+    ) -> Optional[Callable[[Any], Any]]:
+        """Hook for extensions that emit values beyond the document identifier."""
+        return None
+
+    def _emission_filter_factory(self) -> Optional[Callable[[], PrefixEmissionFilter]]:
+        """Hook for the maximality/closedness extension."""
+        return None
+
+    def job_spec(self, collection: SupportsRecords) -> JobSpec:
+        """The single MapReduce job of SUFFIX-σ."""
+        config = self.config
+        value_function = self._mapper_value_function(collection)
+        filter_factory = self._emission_filter_factory()
+        return JobSpec(
+            name="suffix-sigma",
+            mapper_factory=lambda: SuffixMapper(config.max_length, value_function),
+            reducer_factory=lambda: SuffixSigmaReducer(
+                config.min_frequency,
+                aggregation=self._make_aggregation(),
+                emission_filter=filter_factory() if filter_factory is not None else None,
+            ),
+            partitioner=FirstTermPartitioner(),
+            sort_comparator=ReverseLexicographicOrder(),
+            num_reducers=config.num_reducers,
+            num_map_tasks=self.num_map_tasks,
+        )
+
+    # ----------------------------------------------------------------- run
+    def _execute(
+        self,
+        records: List[Record],
+        pipeline: JobPipeline,
+        collection: SupportsRecords,
+    ) -> NGramStatistics:
+        result = pipeline.run_job(self.job_spec(collection), records)
+        return self._collect_statistics(result.output, pipeline)
+
+    def _collect_statistics(
+        self, output: List[Tuple[Tuple, Any]], pipeline: JobPipeline
+    ) -> NGramStatistics:
+        """Convert job output into statistics; extensions may post-process."""
+        statistics = NGramStatistics()
+        for ngram, value in output:
+            statistics.set(ngram, value if isinstance(value, int) else len(value))
+        return statistics

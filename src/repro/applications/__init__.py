@@ -1,0 +1,36 @@
+"""Applications built on top of the n-gram statistics.
+
+The paper motivates n-gram statistics as "an important building block" for
+information retrieval and natural language processing.  This package
+implements the three applications its introduction and evaluation highlight,
+each as a small library component driven by the statistics the core
+algorithms produce:
+
+* :mod:`repro.applications.language_model` — n-gram language models with
+  back-off smoothing (the σ=5 / low-τ use case of Figure 3a);
+* :mod:`repro.applications.coderivatives` — co-derivative / plagiarised
+  document detection via long shared n-grams (Bernstein & Zobel, cited in
+  Section VIII);
+* :mod:`repro.applications.culturomics` — n-gram time-series analysis in the
+  style of Michel et al. (Section VI.B).
+"""
+
+from repro.applications.language_model import NGramLanguageModel, build_language_model
+from repro.applications.coderivatives import CoderivativePair, find_coderivative_pairs
+from repro.applications.culturomics import (
+    TrendReport,
+    normalise_series,
+    peak_bucket,
+    trend_report,
+)
+
+__all__ = [
+    "CoderivativePair",
+    "NGramLanguageModel",
+    "TrendReport",
+    "build_language_model",
+    "find_coderivative_pairs",
+    "normalise_series",
+    "peak_bucket",
+    "trend_report",
+]

@@ -1,0 +1,126 @@
+"""Time-series analysis over n-gram statistics ("culturomics").
+
+Section VI.B motivates aggregations beyond counting with the n-gram time
+series of Michel et al.: how often an n-gram occurs in documents published in
+each year.  This module adds the analysis conveniences such studies need on
+top of :class:`~repro.ngrams.timeseries.TimeSeries`: normalisation by yearly
+totals, peak detection, and a simple linear-trend report for
+rising/declining phrases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.ngrams.timeseries import NGramTimeSeriesCollection, TimeSeries
+
+
+def normalise_series(
+    series: TimeSeries, yearly_totals: Mapping[int, int]
+) -> Dict[int, float]:
+    """Relative frequency per bucket: occurrences divided by that bucket's total.
+
+    Buckets with a zero (or missing) total are omitted, mirroring how the
+    culturomics viewer normalises by the number of words published per year.
+    """
+    normalised: Dict[int, float] = {}
+    for bucket, count in series.as_dict().items():
+        total = yearly_totals.get(bucket, 0)
+        if total > 0:
+            normalised[bucket] = count / total
+    return normalised
+
+
+def peak_bucket(series: TimeSeries) -> Optional[int]:
+    """The bucket with the most occurrences (earliest wins ties); None if empty."""
+    observations = series.as_dict()
+    if not observations:
+        return None
+    return min(observations, key=lambda bucket: (-observations[bucket], bucket))
+
+
+def _linear_slope(points: List[Tuple[int, float]]) -> float:
+    """Least-squares slope of (bucket, value) points (0.0 for fewer than 2 points)."""
+    if len(points) < 2:
+        return 0.0
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    denominator = sum((x - mean_x) ** 2 for x, _ in points)
+    if denominator == 0:
+        return 0.0
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    return numerator / denominator
+
+
+@dataclass(frozen=True)
+class TrendReport:
+    """Trend summary of one n-gram's time series."""
+
+    ngram: Tuple
+    total: int
+    peak: Optional[int]
+    slope: float
+    first_bucket: Optional[int]
+    last_bucket: Optional[int]
+
+    @property
+    def rising(self) -> bool:
+        """Whether occurrences grow over time (positive least-squares slope)."""
+        return self.slope > 0
+
+    @property
+    def declining(self) -> bool:
+        """Whether occurrences shrink over time."""
+        return self.slope < 0
+
+
+def trend_report(
+    collection: NGramTimeSeriesCollection,
+    yearly_totals: Optional[Mapping[int, int]] = None,
+    min_total: int = 1,
+) -> List[TrendReport]:
+    """Build trend reports for every n-gram in a time-series collection.
+
+    When ``yearly_totals`` is given, slopes are computed on normalised
+    (relative-frequency) series so that corpus growth over time does not
+    masquerade as a rising phrase.
+    """
+    if min_total < 1:
+        raise ConfigurationError("min_total must be >= 1")
+    reports: List[TrendReport] = []
+    for ngram, series in collection.items():
+        if series.total < min_total:
+            continue
+        if yearly_totals is not None:
+            values: Mapping[int, float] = normalise_series(series, yearly_totals)
+        else:
+            values = {bucket: float(count) for bucket, count in series.as_dict().items()}
+        points = sorted(values.items())
+        buckets = series.buckets()
+        reports.append(
+            TrendReport(
+                ngram=ngram,
+                total=series.total,
+                peak=peak_bucket(series),
+                slope=_linear_slope([(bucket, value) for bucket, value in points]),
+                first_bucket=buckets[0] if buckets else None,
+                last_bucket=buckets[-1] if buckets else None,
+            )
+        )
+    reports.sort(key=lambda report: -report.slope)
+    return reports
+
+
+def yearly_token_totals(collection) -> Dict[int, int]:
+    """Total token occurrences per timestamp bucket of a document collection."""
+    totals: Dict[int, int] = {}
+    timestamps = collection.timestamps() if hasattr(collection, "timestamps") else {}
+    for document in collection:
+        bucket = timestamps.get(document.doc_id)
+        if bucket is None:
+            continue
+        totals[bucket] = totals.get(bucket, 0) + document.num_tokens
+    return totals

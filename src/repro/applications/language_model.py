@@ -1,0 +1,199 @@
+"""n-gram language models built from collection-frequency statistics.
+
+The paper's first use case (Section VII.D) computes 1..σ-gram statistics "for
+which one would only look at n-grams up to a specific length and/or resort to
+back-off models [Katz] to obtain more robust estimates".  This module turns
+an :class:`~repro.ngrams.statistics.NGramStatistics` into a usable language
+model with two smoothing strategies:
+
+* **stupid backoff** (Brants et al., the paper the NAIVE baseline comes
+  from): score(w | context) falls back to shorter contexts, multiplying by a
+  fixed back-off factor; scores are not normalised probabilities but work
+  well for ranking;
+* **maximum likelihood** with optional additive (Laplace) smoothing, for
+  contexts that are fully observed.
+
+The model consumes whatever term type the statistics were computed over
+(surface strings or integer term identifiers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.ngrams.statistics import NGramStatistics
+
+#: Default back-off factor recommended by Brants et al. for stupid backoff.
+DEFAULT_BACKOFF = 0.4
+
+
+@dataclass(frozen=True)
+class ScoredSentence:
+    """Log-score breakdown of one sentence."""
+
+    tokens: Tuple
+    log10_score: float
+    per_token_scores: Tuple[float, ...]
+
+    @property
+    def perplexity_proxy(self) -> float:
+        """10^(-average log score): lower is more fluent (not a true perplexity
+        under stupid backoff because scores are unnormalised)."""
+        if not self.per_token_scores:
+            return float("inf")
+        return 10 ** (-self.log10_score / len(self.per_token_scores))
+
+
+class NGramLanguageModel:
+    """A back-off n-gram language model over precomputed statistics.
+
+    Parameters
+    ----------
+    statistics:
+        n-gram collection frequencies; must contain at least the unigrams of
+        every order up to ``order`` for useful scores (n-grams dropped by the
+        τ threshold simply back off to shorter contexts).
+    order:
+        Maximum n-gram order used when scoring (σ of the counting run).
+    total_tokens:
+        Number of token occurrences in the training collection; used as the
+        unigram denominator.  Defaults to the sum of unigram frequencies.
+    backoff:
+        Stupid-backoff multiplier applied per back-off step.
+    smoothing:
+        Additive smoothing constant for maximum-likelihood estimates.
+    """
+
+    def __init__(
+        self,
+        statistics: NGramStatistics,
+        order: int = 5,
+        total_tokens: Optional[int] = None,
+        backoff: float = DEFAULT_BACKOFF,
+        smoothing: float = 0.0,
+    ) -> None:
+        if order < 1:
+            raise ConfigurationError("language model order must be >= 1")
+        if not 0.0 < backoff <= 1.0:
+            raise ConfigurationError("backoff factor must be in (0, 1]")
+        if smoothing < 0.0:
+            raise ConfigurationError("smoothing must be >= 0")
+        self.statistics = statistics
+        self.order = order
+        self.backoff = backoff
+        self.smoothing = smoothing
+        if total_tokens is None:
+            total_tokens = sum(
+                count for ngram, count in statistics.items() if len(ngram) == 1
+            )
+        self.total_tokens = max(1, total_tokens)
+        self._vocabulary_size = sum(1 for ngram in statistics if len(ngram) == 1)
+
+    # ------------------------------------------------------------- scoring
+    def unigram_probability(self, term) -> float:
+        """Smoothed unigram probability of ``term``."""
+        count = self.statistics.frequency((term,))
+        numerator = count + self.smoothing
+        denominator = self.total_tokens + self.smoothing * max(1, self._vocabulary_size)
+        if numerator == 0:
+            # Unknown term: back off to a uniform floor over an open vocabulary.
+            return 1.0 / (denominator + 1)
+        return numerator / denominator
+
+    def conditional_probability(self, context: Sequence, term) -> float:
+        """Maximum-likelihood P(term | context) with additive smoothing.
+
+        Returns 0.0 when the context itself was never observed (callers that
+        want back-off behaviour should use :meth:`score`).
+        """
+        context = tuple(context)[-(self.order - 1) :] if self.order > 1 else ()
+        if not context:
+            return self.unigram_probability(term)
+        context_count = self.statistics.frequency(context)
+        if context_count == 0:
+            return 0.0
+        joint_count = self.statistics.frequency(context + (term,))
+        numerator = joint_count + self.smoothing
+        denominator = context_count + self.smoothing * max(1, self._vocabulary_size)
+        return numerator / denominator
+
+    def score(self, context: Sequence, term) -> float:
+        """Stupid-backoff score S(term | context) in (0, 1]."""
+        context = tuple(context)[-(self.order - 1) :] if self.order > 1 else ()
+        multiplier = 1.0
+        while context:
+            context_count = self.statistics.frequency(context)
+            joint_count = self.statistics.frequency(context + (term,))
+            if context_count > 0 and joint_count > 0:
+                return multiplier * joint_count / context_count
+            context = context[1:]
+            multiplier *= self.backoff
+        return multiplier * self.unigram_probability(term)
+
+    def score_sentence(self, tokens: Sequence) -> ScoredSentence:
+        """Log10 stupid-backoff score of a full sentence."""
+        tokens = tuple(tokens)
+        per_token: List[float] = []
+        for index, term in enumerate(tokens):
+            context = tokens[max(0, index - self.order + 1) : index]
+            per_token.append(math.log10(self.score(context, term)))
+        return ScoredSentence(
+            tokens=tokens,
+            log10_score=sum(per_token),
+            per_token_scores=tuple(per_token),
+        )
+
+    def compare(self, sentences: Iterable[Sequence]) -> List[ScoredSentence]:
+        """Score several sentences and return them ordered best-first."""
+        scored = [self.score_sentence(sentence) for sentence in sentences]
+        return sorted(scored, key=lambda item: -item.log10_score)
+
+    # ---------------------------------------------------------- generation
+    def continuations(self, context: Sequence, top_k: int = 5) -> List[Tuple]:
+        """The most likely next terms after ``context`` (by stupid backoff).
+
+        Candidates are drawn from observed extensions of the longest matching
+        context; the unigram distribution is the fallback.
+        """
+        context = tuple(context)[-(self.order - 1) :] if self.order > 1 else ()
+        while context:
+            extensions = [
+                (ngram[-1], count)
+                for ngram, count in self.statistics.items()
+                if len(ngram) == len(context) + 1 and ngram[:-1] == context
+            ]
+            if extensions:
+                extensions.sort(key=lambda item: -item[1])
+                return [term for term, _ in extensions[:top_k]]
+            context = context[1:]
+        unigrams = [
+            (ngram[0], count) for ngram, count in self.statistics.items() if len(ngram) == 1
+        ]
+        unigrams.sort(key=lambda item: -item[1])
+        return [term for term, _ in unigrams[:top_k]]
+
+
+def build_language_model(
+    collection,
+    order: int = 5,
+    min_frequency: int = 2,
+    algorithm: str = "SUFFIX-SIGMA",
+    **model_kwargs,
+) -> NGramLanguageModel:
+    """Count n-grams in ``collection`` and wrap them in a language model.
+
+    This is the end-to-end path of the paper's language-model use case:
+    σ = ``order``, τ = ``min_frequency``, counted with SUFFIX-σ by default.
+    """
+    from repro.algorithms import count_ngrams
+
+    result = count_ngrams(
+        collection, min_frequency=min_frequency, max_length=order, algorithm=algorithm
+    )
+    total_tokens = sum(len(sequence) for _, sequence in collection.records())
+    return NGramLanguageModel(
+        result.statistics, order=order, total_tokens=total_tokens, **model_kwargs
+    )

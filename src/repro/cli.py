@@ -1,0 +1,303 @@
+"""Command-line interface.
+
+Installed as ``repro-ngrams`` (or ``python -m repro``).  Sub-commands:
+
+``generate``
+    Generate a synthetic corpus (NYT-like or ClueWeb-like), encode it and
+    write it to a directory in the paper's on-disk layout.
+
+``stats``
+    Print Table-I style characteristics of a corpus directory.
+
+``count``
+    Compute n-gram statistics of a corpus directory with any of the four
+    algorithms, optionally restricted to maximal or closed n-grams.
+
+``experiment``
+    Run one of the paper's experiments (table1, fig2 ... fig7, extensions,
+    ablations) on the built-in synthetic datasets and print paper-style
+    tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.algorithms import make_counter
+from repro.algorithms.extensions import ClosedNGramCounter, MaximalNGramCounter
+from repro.config import NGramJobConfig
+from repro.corpus.io import read_encoded_collection, write_encoded_collection
+from repro.corpus.stats import compute_statistics
+from repro.harness import figures
+from repro.harness.datasets import clueweb_like, nytimes_like
+from repro.harness.report import (
+    format_histogram,
+    format_measurements,
+    format_sweep,
+    format_table,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ngrams",
+        description="Computing n-gram statistics in MapReduce (EDBT 2013) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic corpus")
+    generate.add_argument("--dataset", choices=("nyt", "cw"), default="nyt")
+    generate.add_argument("--documents", type=int, default=150)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--output", required=True, help="output directory")
+    generate.add_argument("--shards", type=int, default=8)
+
+    stats = subparsers.add_parser("stats", help="print corpus characteristics (Table I)")
+    stats.add_argument("--input", required=True, help="corpus directory")
+
+    count = subparsers.add_parser("count", help="compute n-gram statistics")
+    count.add_argument("--input", required=True, help="corpus directory")
+    count.add_argument("--tau", type=int, default=5, help="minimum collection frequency")
+    count.add_argument("--sigma", type=int, default=None, help="maximum n-gram length")
+    count.add_argument(
+        "--algorithm",
+        default="SUFFIX-SIGMA",
+        help="NAIVE, APRIORI-SCAN, APRIORI-INDEX or SUFFIX-SIGMA",
+    )
+    count.add_argument("--maximal", action="store_true", help="only maximal n-grams")
+    count.add_argument("--closed", action="store_true", help="only closed n-grams")
+    count.add_argument("--document-frequency", action="store_true")
+    count.add_argument("--top", type=int, default=20, help="print only the top-k n-grams")
+    count.add_argument("--output", default=None, help="write all n-grams to this TSV file")
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument(
+        "name",
+        choices=(
+            "table1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "extensions",
+            "ablations",
+        ),
+    )
+    experiment.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    experiment.add_argument(
+        "--export", default=None, help="also write measurements to this CSV file (fig3/fig4/fig5/fig6/fig7/ablations)"
+    )
+
+    coderivatives = subparsers.add_parser(
+        "coderivatives", help="find co-derivative document pairs via long shared n-grams"
+    )
+    coderivatives.add_argument("--input", required=True, help="corpus directory")
+    coderivatives.add_argument("--min-length", type=int, default=8)
+    coderivatives.add_argument("--top", type=int, default=10)
+
+    trends = subparsers.add_parser(
+        "trends", help="rank n-grams by their time-series trend (culturomics)"
+    )
+    trends.add_argument("--input", required=True, help="corpus directory")
+    trends.add_argument("--tau", type=int, default=5)
+    trends.add_argument("--sigma", type=int, default=3)
+    trends.add_argument("--top", type=int, default=10)
+    return parser
+
+
+# ----------------------------------------------------------------- actions
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "nyt":
+        spec = nytimes_like(num_documents=args.documents, seed=args.seed)
+    else:
+        spec = clueweb_like(num_documents=args.documents, seed=args.seed)
+    collection = spec.build()
+    write_encoded_collection(collection, args.output, num_shards=args.shards)
+    statistics = compute_statistics(collection)
+    print(f"wrote {spec.name} corpus to {args.output}")
+    print(format_table([dict(statistics.as_rows())]))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    collection = read_encoded_collection(args.input)
+    statistics = compute_statistics(collection)
+    for label, value in statistics.as_rows():
+        print(f"{label:30s} {value}")
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    if args.maximal and args.closed:
+        print("error: --maximal and --closed are mutually exclusive", file=sys.stderr)
+        return 2
+    collection = read_encoded_collection(args.input)
+    config = NGramJobConfig(
+        min_frequency=args.tau,
+        max_length=args.sigma,
+        count_document_frequency=args.document_frequency,
+    )
+    if args.maximal:
+        counter = MaximalNGramCounter(config)
+    elif args.closed:
+        counter = ClosedNGramCounter(config)
+    else:
+        counter = make_counter(args.algorithm, config)
+    result = counter.run(collection)
+    decoded = result.statistics.decoded(collection.vocabulary)
+
+    print(
+        f"{counter.name}: {len(decoded)} n-grams "
+        f"(tau={args.tau}, sigma={args.sigma or 'inf'}, jobs={result.num_jobs}, "
+        f"records={result.map_output_records}, bytes={result.map_output_bytes})"
+    )
+    for ngram, frequency in decoded.top(args.top):
+        print(f"{frequency:10d}  {' '.join(ngram)}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for ngram, frequency in sorted(decoded.items(), key=lambda item: -item[1]):
+                handle.write(f"{frequency}\t{' '.join(ngram)}\n")
+        print(f"wrote {len(decoded)} n-grams to {args.output}")
+    return 0
+
+
+def _export_measurements(measurements, path: Optional[str]) -> None:
+    if not path:
+        return
+    from repro.harness.export import write_measurements_csv
+
+    write_measurements_csv(measurements, path)
+    print(f"wrote {len(list(measurements))} measurements to {path}")
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.harness.datasets import default_datasets
+
+    datasets = default_datasets(scale=args.scale)
+    exported: List = []
+    if args.name == "table1":
+        for name, statistics in figures.table1_dataset_characteristics(datasets).items():
+            print(f"== {name} ==")
+            for label, value in statistics.as_rows():
+                print(f"{label:30s} {value}")
+    elif args.name == "fig2":
+        for name, histogram in figures.figure2_output_characteristics(datasets).items():
+            print(f"== {name} ==")
+            print(format_histogram(histogram))
+    elif args.name == "fig3":
+        result = figures.figure3_use_cases(datasets)
+        print("== language model use case (sigma=5) ==")
+        for name, measurements in result.language_model.items():
+            print(format_measurements(measurements))
+            exported.extend(measurements)
+        print("== analytics use case (sigma=100) ==")
+        for name, measurements in result.analytics.items():
+            print(format_measurements(measurements))
+            exported.extend(measurements)
+    elif args.name in ("fig4", "fig5", "fig6", "fig7"):
+        driver = {
+            "fig4": figures.figure4_vary_tau,
+            "fig5": figures.figure5_vary_sigma,
+            "fig6": figures.figure6_scale_datasets,
+            "fig7": figures.figure7_scale_slots,
+        }[args.name]
+        sweeps = driver(datasets)
+        for name, sweep in sweeps.items():
+            print(f"== {name} ==")
+            print(format_sweep(sweep, metric="simulated_s", parameter_label="method"))
+            print(format_sweep(sweep, metric="records", parameter_label="method"))
+            for measurements in sweep.values():
+                exported.extend(measurements)
+    elif args.name == "extensions":
+        result = figures.extensions_overview(datasets)
+        rows = [
+            {
+                "dataset": name,
+                "all": result.all_ngrams[name],
+                "closed": result.closed_ngrams[name],
+                "maximal": result.maximal_ngrams[name],
+            }
+            for name in result.all_ngrams
+        ]
+        print(format_table(rows))
+    elif args.name == "ablations":
+        measurements = figures.ablation_implementation_choices(datasets[0])
+        print(format_measurements(measurements))
+        exported.extend(measurements)
+    if getattr(args, "export", None) and exported:
+        _export_measurements(exported, args.export)
+    return 0
+
+
+def _cmd_coderivatives(args: argparse.Namespace) -> int:
+    from repro.applications.coderivatives import find_coderivative_pairs
+
+    collection = read_encoded_collection(args.input)
+    pairs = find_coderivative_pairs(
+        collection, min_shared_length=args.min_length, max_pairs=args.top
+    )
+    if not pairs:
+        print("no co-derivative document pairs found")
+        return 0
+    rows = [
+        {
+            "left": pair.left_doc_id,
+            "right": pair.right_doc_id,
+            "longest shared n-gram": pair.longest_shared_length,
+            "shared n-grams": pair.shared_ngrams,
+            "shared tokens": pair.shared_tokens,
+        }
+        for pair in pairs
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_trends(args: argparse.Namespace) -> int:
+    from repro.algorithms.extensions import SuffixSigmaTimeSeriesCounter
+    from repro.applications.culturomics import trend_report, yearly_token_totals
+
+    collection = read_encoded_collection(args.input)
+    config = NGramJobConfig(min_frequency=args.tau, max_length=args.sigma)
+    counter = SuffixSigmaTimeSeriesCounter(config)
+    counter.run(collection)
+    totals = yearly_token_totals(collection)
+    reports = trend_report(counter.time_series, yearly_totals=totals or None, min_total=args.tau)
+
+    def describe(report) -> dict:
+        surface = " ".join(collection.vocabulary.term(term_id) for term_id in report.ngram)
+        return {
+            "n-gram": surface,
+            "total": report.total,
+            "peak": report.peak,
+            "slope": round(report.slope, 6),
+        }
+
+    print("== rising n-grams ==")
+    print(format_table([describe(report) for report in reports[: args.top]]))
+    print("== declining n-grams ==")
+    print(format_table([describe(report) for report in reports[-args.top :][::-1]]))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-ngrams`` command."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "count": _cmd_count,
+        "experiment": _cmd_experiment,
+        "coderivatives": _cmd_coderivatives,
+        "trends": _cmd_trends,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

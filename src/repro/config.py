@@ -1,0 +1,140 @@
+"""Configuration objects shared by all n-gram counting algorithms.
+
+The paper restricts the n-gram statistics to be computed by two parameters
+(Section II/III):
+
+* ``min_frequency`` (τ) — only n-grams occurring at least τ times in the
+  document collection are reported;
+* ``max_length`` (σ) — only n-grams of at most σ terms are considered.
+  ``None`` represents σ = ∞.
+
+Additional knobs correspond to the implementation techniques of Section V
+(document splitting at infrequent terms, combiners for local aggregation) and
+to engine-level settings (number of reducers, i.e. the ``R`` used by the
+partition function of Algorithm 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+#: Sentinel used to express "no maximum length" (σ = ∞) in user-facing APIs.
+UNBOUNDED: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class NGramJobConfig:
+    """Parameters controlling an n-gram statistics computation.
+
+    Attributes
+    ----------
+    min_frequency:
+        The minimum collection frequency τ ≥ 1.  n-grams occurring fewer than
+        ``min_frequency`` times are not reported.
+    max_length:
+        The maximum n-gram length σ ≥ 1, or ``None`` for unbounded length.
+    num_reducers:
+        Number of reduce partitions ``R`` used by the engine.
+    split_documents:
+        Apply the "Document Splits" optimisation of Section V: documents are
+        split at terms whose collection frequency is below τ, which is safe by
+        the APRIORI principle and shortens the sequences each method has to
+        process.
+    use_combiner:
+        Enable map-side local aggregation (a Hadoop combiner) where the
+        algorithm supports it (NAIVE and the first phase of APRIORI methods).
+    apriori_index_k:
+        The ``K`` parameter of APRIORI-INDEX: n-grams up to this length are
+        counted by direct indexing; longer n-grams are derived by joining
+        posting lists.  The paper uses K = 4 in its experiments.
+    count_document_frequency:
+        When true, report document frequencies (number of documents containing
+        the n-gram at least once) instead of collection frequencies.
+    """
+
+    min_frequency: int = 1
+    max_length: Optional[int] = UNBOUNDED
+    num_reducers: int = 4
+    split_documents: bool = False
+    use_combiner: bool = True
+    apriori_index_k: int = 4
+    count_document_frequency: bool = False
+
+    def __post_init__(self) -> None:
+        if self.min_frequency < 1:
+            raise ConfigurationError(
+                f"min_frequency (tau) must be >= 1, got {self.min_frequency}"
+            )
+        if self.max_length is not None and self.max_length < 1:
+            raise ConfigurationError(
+                f"max_length (sigma) must be >= 1 or None, got {self.max_length}"
+            )
+        if self.num_reducers < 1:
+            raise ConfigurationError(
+                f"num_reducers must be >= 1, got {self.num_reducers}"
+            )
+        if self.apriori_index_k < 1:
+            raise ConfigurationError(
+                f"apriori_index_k must be >= 1, got {self.apriori_index_k}"
+            )
+
+    @property
+    def sigma(self) -> Optional[int]:
+        """Alias for :attr:`max_length` using the paper's symbol."""
+        return self.max_length
+
+    @property
+    def tau(self) -> int:
+        """Alias for :attr:`min_frequency` using the paper's symbol."""
+        return self.min_frequency
+
+    def effective_max_length(self, document_length: int) -> int:
+        """Return σ clamped to a concrete document length.
+
+        When σ is unbounded the longest n-gram a document of
+        ``document_length`` terms can contribute is the document itself.
+        """
+        if self.max_length is None:
+            return document_length
+        return min(self.max_length, document_length)
+
+    def with_updates(self, **changes: object) -> "NGramJobConfig":
+        """Return a copy of this configuration with ``changes`` applied."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Configuration of the simulated cluster used for wallclock modelling.
+
+    The paper's cluster has nine worker nodes, each running up to ten map and
+    ten reduce tasks; experiments vary the number of *slots* (Section VII.H).
+    The cost-model parameters below are expressed in abstract time units; only
+    relative wallclock matters for the reproduction.
+    """
+
+    map_slots: int = 4
+    reduce_slots: int = 4
+    job_overhead: float = 0.3
+    per_record_map_cost: float = 5e-5
+    per_byte_shuffle_cost: float = 2e-7
+    per_record_reduce_cost: float = 5e-5
+    per_record_sort_cost: float = 5e-6
+    task_overhead: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.map_slots < 1 or self.reduce_slots < 1:
+            raise ConfigurationError("map_slots and reduce_slots must be >= 1")
+        if self.job_overhead < 0:
+            raise ConfigurationError("job_overhead must be >= 0")
+
+    @classmethod
+    def with_slots(cls, slots: int, **overrides: float) -> "ClusterConfig":
+        """Create a configuration with ``slots`` map slots and reduce slots."""
+        return cls(map_slots=slots, reduce_slots=slots, **overrides)  # type: ignore[arg-type]
+
+
+DEFAULT_CLUSTER = ClusterConfig()

@@ -1,0 +1,29 @@
+"""Document collection substrate.
+
+This package provides everything the paper assumes as input infrastructure:
+documents, tokenisation, sentence-boundary detection (the paper uses OpenNLP;
+sentence boundaries act as n-gram barriers), boilerplate removal (the paper
+uses boilerpipe for ClueWeb), vocabulary construction with term identifiers
+assigned in descending collection-frequency order, integer sequence encoding
+with variable-byte serialisation, corpus statistics (Table I) and synthetic
+corpus generators standing in for the New York Times Annotated Corpus and
+ClueWeb09-B.
+"""
+
+from repro.corpus.collection import DocumentCollection, EncodedCollection, EncodedDocument
+from repro.corpus.document import Document
+from repro.corpus.stats import CollectionStatistics, compute_statistics
+from repro.corpus.synthetic import NewswireCorpusGenerator, WebCorpusGenerator
+from repro.corpus.vocabulary import Vocabulary
+
+__all__ = [
+    "CollectionStatistics",
+    "Document",
+    "DocumentCollection",
+    "EncodedCollection",
+    "EncodedDocument",
+    "NewswireCorpusGenerator",
+    "Vocabulary",
+    "WebCorpusGenerator",
+    "compute_statistics",
+]

@@ -1,0 +1,76 @@
+"""Boilerplate detection for web documents.
+
+The paper runs ClueWeb09-B through boilerpipe's default extractor
+(Kohlschütter et al., WSDM 2010) to isolate the core content of web pages
+before computing n-grams.  Boilerpipe classifies text blocks using shallow
+features — most importantly text density (words per block) and link density.
+:func:`extract_main_content` reproduces that block-level heuristic for the
+plain-text documents the synthetic web corpus produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TextBlock:
+    """A candidate content block of a web document."""
+
+    text: str
+    num_words: int
+    link_density: float
+
+    @classmethod
+    def from_text(cls, text: str, num_link_words: int = 0) -> "TextBlock":
+        words = text.split()
+        link_density = (num_link_words / len(words)) if words else 1.0
+        return cls(text=text, num_words=len(words), link_density=link_density)
+
+
+#: Blocks with fewer words than this are considered boilerplate unless their
+#: neighbours are content (headline exception handled by ``min_run``).
+DEFAULT_MIN_WORDS = 10
+
+#: Blocks whose fraction of link words exceeds this are navigation/boilerplate.
+DEFAULT_MAX_LINK_DENSITY = 0.33
+
+
+def classify_blocks(
+    blocks: Sequence[TextBlock],
+    min_words: int = DEFAULT_MIN_WORDS,
+    max_link_density: float = DEFAULT_MAX_LINK_DENSITY,
+) -> List[bool]:
+    """Return a content/boilerplate flag per block (True = content).
+
+    The rule mirrors boilerpipe's NumWordsRules classifier: a block is
+    content when it has enough words and a low link density, or when it is a
+    short block sandwiched between two content blocks (e.g. a one-line
+    paragraph inside an article).
+    """
+    flags = [
+        block.num_words >= min_words and block.link_density <= max_link_density
+        for block in blocks
+    ]
+    # Rescue short blocks between two content blocks.
+    for index in range(1, len(blocks) - 1):
+        if not flags[index] and flags[index - 1] and flags[index + 1]:
+            if blocks[index].link_density <= max_link_density:
+                flags[index] = True
+    return flags
+
+
+def extract_main_content(
+    blocks: Sequence[str],
+    link_word_counts: Sequence[int] = (),
+    min_words: int = DEFAULT_MIN_WORDS,
+    max_link_density: float = DEFAULT_MAX_LINK_DENSITY,
+) -> Tuple[str, ...]:
+    """Filter a sequence of text blocks down to the main content blocks."""
+    text_blocks = []
+    for index, text in enumerate(blocks):
+        links = link_word_counts[index] if index < len(link_word_counts) else 0
+        text_blocks.append(TextBlock.from_text(text, num_link_words=links))
+    flags = classify_blocks(text_blocks, min_words=min_words, max_link_density=max_link_density)
+    return tuple(text for text, keep in zip(blocks, flags) if keep)

@@ -1,0 +1,219 @@
+"""Document collections, raw and integer-encoded.
+
+Two levels exist, mirroring the paper's preprocessing (Section V, "Sequence
+Encoding"):
+
+* :class:`DocumentCollection` holds :class:`~repro.corpus.document.Document`
+  objects with string tokens; it is convenient for tests and small examples.
+* :class:`EncodedCollection` holds :class:`EncodedDocument` objects whose
+  sentences are tuples of integer term identifiers assigned in descending
+  collection-frequency order by a :class:`~repro.corpus.vocabulary.Vocabulary`.
+
+Both expose ``records()`` — the ``(document identifier, term sequence)``
+pairs that all MapReduce jobs consume, one record per sentence because
+sentence boundaries act as n-gram barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.corpus.document import Document, TokenSequence
+from repro.corpus.vocabulary import Vocabulary
+from repro.exceptions import CorpusError
+
+TermSequence = Tuple[int, ...]
+Record = Tuple[int, Tuple]
+
+
+@dataclass(frozen=True)
+class EncodedDocument:
+    """A document whose sentences are integer term-identifier sequences."""
+
+    doc_id: int
+    sentences: Tuple[TermSequence, ...]
+    timestamp: Optional[int] = None
+
+    @property
+    def num_tokens(self) -> int:
+        """Total number of term occurrences in the document."""
+        return sum(len(sentence) for sentence in self.sentences)
+
+    @property
+    def num_sentences(self) -> int:
+        return len(self.sentences)
+
+
+class DocumentCollection:
+    """An ordered collection of raw (string-token) documents."""
+
+    def __init__(self, documents: Optional[Iterable[Document]] = None) -> None:
+        self._documents: List[Document] = []
+        self._by_id: Dict[int, Document] = {}
+        if documents is not None:
+            for document in documents:
+                self.add(document)
+
+    # ----------------------------------------------------------- mutation
+    def add(self, document: Document) -> None:
+        """Append ``document``; document identifiers must be unique."""
+        if document.doc_id in self._by_id:
+            raise CorpusError(f"duplicate document identifier {document.doc_id}")
+        self._documents.append(document)
+        self._by_id[document.doc_id] = document
+
+    @classmethod
+    def from_token_lists(
+        cls,
+        token_lists: Sequence[Sequence[str]],
+        timestamps: Optional[Sequence[Optional[int]]] = None,
+    ) -> "DocumentCollection":
+        """Build a collection of single-sentence documents from token lists.
+
+        This is the convenience constructor used throughout the tests and the
+        paper's running example (three documents over the vocabulary
+        ``{a, b, x}``).
+        """
+        if timestamps is not None and len(timestamps) != len(token_lists):
+            raise CorpusError("timestamps must match token_lists in length")
+        collection = cls()
+        for index, tokens in enumerate(token_lists):
+            timestamp = timestamps[index] if timestamps is not None else None
+            collection.add(Document.from_tokens(index, tokens, timestamp=timestamp))
+        return collection
+
+    # ------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __getitem__(self, doc_id: int) -> Document:
+        if doc_id not in self._by_id:
+            raise KeyError(doc_id)
+        return self._by_id[doc_id]
+
+    @property
+    def documents(self) -> Tuple[Document, ...]:
+        return tuple(self._documents)
+
+    def records(self) -> Iterator[Record]:
+        """Yield one ``(doc_id, sentence_tokens)`` record per sentence."""
+        for document in self._documents:
+            for sentence in document.sentences:
+                yield document.doc_id, sentence
+
+    def timestamps(self) -> Dict[int, Optional[int]]:
+        """Mapping from document identifier to timestamp."""
+        return {document.doc_id: document.timestamp for document in self._documents}
+
+    @property
+    def num_token_occurrences(self) -> int:
+        """Total number of token occurrences across all documents."""
+        return sum(document.num_tokens for document in self._documents)
+
+    @property
+    def num_sentences(self) -> int:
+        return sum(document.num_sentences for document in self._documents)
+
+    def distinct_terms(self) -> set:
+        """The set of distinct tokens occurring in the collection."""
+        terms: set = set()
+        for document in self._documents:
+            for sentence in document.sentences:
+                terms.update(sentence)
+        return terms
+
+    # ------------------------------------------------------------ sampling
+    def sample(self, fraction: float, seed: int = 0) -> "DocumentCollection":
+        """Return a random ``fraction`` of the documents (Figure 6 workload).
+
+        Sampling is deterministic for a given ``seed`` and preserves document
+        order, so 25 %/50 %/75 % samples of the same collection are nested in
+        distribution even though they are drawn independently.
+        """
+        import random
+
+        if not 0.0 < fraction <= 1.0:
+            raise CorpusError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return DocumentCollection(self._documents)
+        rng = random.Random(seed)
+        chosen = [doc for doc in self._documents if rng.random() < fraction]
+        return DocumentCollection(chosen)
+
+    # ------------------------------------------------------------ encoding
+    def encode(self, vocabulary: Optional[Vocabulary] = None) -> "EncodedCollection":
+        """Encode the collection into integer term-identifier sequences."""
+        if vocabulary is None:
+            vocabulary = Vocabulary.from_collection(self)
+        encoded_documents = []
+        for document in self._documents:
+            encoded_sentences = tuple(
+                tuple(vocabulary.term_id(token) for token in sentence)
+                for sentence in document.sentences
+            )
+            encoded_documents.append(
+                EncodedDocument(
+                    doc_id=document.doc_id,
+                    sentences=encoded_sentences,
+                    timestamp=document.timestamp,
+                )
+            )
+        return EncodedCollection(encoded_documents, vocabulary)
+
+
+class EncodedCollection:
+    """A collection of integer-encoded documents plus its vocabulary."""
+
+    def __init__(
+        self,
+        documents: Iterable[EncodedDocument],
+        vocabulary: Vocabulary,
+    ) -> None:
+        self._documents: List[EncodedDocument] = list(documents)
+        self._by_id: Dict[int, EncodedDocument] = {}
+        for document in self._documents:
+            if document.doc_id in self._by_id:
+                raise CorpusError(f"duplicate document identifier {document.doc_id}")
+            self._by_id[document.doc_id] = document
+        self.vocabulary = vocabulary
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[EncodedDocument]:
+        return iter(self._documents)
+
+    def __getitem__(self, doc_id: int) -> EncodedDocument:
+        if doc_id not in self._by_id:
+            raise KeyError(doc_id)
+        return self._by_id[doc_id]
+
+    @property
+    def documents(self) -> Tuple[EncodedDocument, ...]:
+        return tuple(self._documents)
+
+    def records(self) -> Iterator[Record]:
+        """Yield one ``(doc_id, term_id_sequence)`` record per sentence."""
+        for document in self._documents:
+            for sentence in document.sentences:
+                yield document.doc_id, sentence
+
+    def timestamps(self) -> Dict[int, Optional[int]]:
+        """Mapping from document identifier to timestamp."""
+        return {document.doc_id: document.timestamp for document in self._documents}
+
+    @property
+    def num_token_occurrences(self) -> int:
+        return sum(document.num_tokens for document in self._documents)
+
+    @property
+    def num_sentences(self) -> int:
+        return sum(document.num_sentences for document in self._documents)
+
+    def decode_ngram(self, ngram: Sequence[int]) -> Tuple[str, ...]:
+        """Translate an integer n-gram back into its surface form."""
+        return tuple(self.vocabulary.term(term_id) for term_id in ngram)

@@ -1,0 +1,97 @@
+"""Documents: identifier, token sequences grouped into sentences, metadata.
+
+A document's tokens are grouped into sentences because the paper treats
+sentence boundaries as barriers — no n-gram spans two sentences (Section
+VII.B).  Documents optionally carry a timestamp (publication year) which the
+n-gram time-series extension aggregates over (Section VI.B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.exceptions import CorpusError
+
+TokenSequence = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Document:
+    """A single document.
+
+    Attributes
+    ----------
+    doc_id:
+        Unique non-negative integer identifier.
+    sentences:
+        The document's tokens, one tuple per sentence.
+    timestamp:
+        Optional publication year (or any integer time bucket) used by the
+        time-series extension.
+    metadata:
+        Free-form string metadata (e.g. source, title).
+    """
+
+    doc_id: int
+    sentences: Tuple[TokenSequence, ...]
+    timestamp: Optional[int] = None
+    metadata: Dict[str, str] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.doc_id < 0:
+            raise CorpusError(f"doc_id must be non-negative, got {self.doc_id}")
+
+    @classmethod
+    def from_tokens(
+        cls,
+        doc_id: int,
+        tokens: Sequence[str],
+        timestamp: Optional[int] = None,
+        **metadata: str,
+    ) -> "Document":
+        """Build a single-sentence document from a flat token sequence."""
+        return cls(
+            doc_id=doc_id,
+            sentences=(tuple(tokens),),
+            timestamp=timestamp,
+            metadata=dict(metadata),
+        )
+
+    @classmethod
+    def from_sentences(
+        cls,
+        doc_id: int,
+        sentences: Sequence[Sequence[str]],
+        timestamp: Optional[int] = None,
+        **metadata: str,
+    ) -> "Document":
+        """Build a document from pre-split sentences."""
+        return cls(
+            doc_id=doc_id,
+            sentences=tuple(tuple(sentence) for sentence in sentences),
+            timestamp=timestamp,
+            metadata=dict(metadata),
+        )
+
+    @property
+    def tokens(self) -> TokenSequence:
+        """All tokens of the document, sentence boundaries removed."""
+        flat: list[str] = []
+        for sentence in self.sentences:
+            flat.extend(sentence)
+        return tuple(flat)
+
+    @property
+    def num_tokens(self) -> int:
+        """Total number of token occurrences in the document."""
+        return sum(len(sentence) for sentence in self.sentences)
+
+    @property
+    def num_sentences(self) -> int:
+        """Number of sentences in the document."""
+        return len(self.sentences)
+
+    def iter_sentences(self) -> Iterator[TokenSequence]:
+        """Iterate over the document's sentences."""
+        return iter(self.sentences)

@@ -1,0 +1,103 @@
+"""On-disk format for encoded collections.
+
+The paper's preprocessing stores "the term dictionary ... as a single text
+file; documents are spread as key-value pairs of 64-bit document identifier
+and content integer array over a total of 256 binary files".  This module
+reproduces that layout at configurable shard count:
+
+``<directory>/dictionary.txt``
+    One ``term<TAB>frequency`` line per term, in term-identifier order.
+
+``<directory>/part-NNNNN.bin``
+    Binary shards.  Each record is: varint document identifier, varint
+    timestamp-plus-one (0 means "no timestamp"), varint sentence count, then
+    each sentence as a length-prefixed varint sequence of term identifiers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.corpus.collection import EncodedCollection, EncodedDocument
+from repro.corpus.vocabulary import Vocabulary
+from repro.exceptions import CorpusError
+from repro.util.varint import decode_sequence, decode_varint, encode_sequence, encode_varint
+
+DICTIONARY_FILENAME = "dictionary.txt"
+SHARD_PATTERN = "part-{index:05d}.bin"
+
+
+def _shard_path(directory: str, index: int) -> str:
+    return os.path.join(directory, SHARD_PATTERN.format(index=index))
+
+
+def _encode_document(document: EncodedDocument) -> bytes:
+    payload = bytearray()
+    payload.extend(encode_varint(document.doc_id))
+    timestamp = 0 if document.timestamp is None else document.timestamp + 1
+    payload.extend(encode_varint(timestamp))
+    payload.extend(encode_varint(len(document.sentences)))
+    for sentence in document.sentences:
+        payload.extend(encode_sequence(sentence))
+    return bytes(payload)
+
+
+def _decode_document(data: bytes, offset: int) -> tuple:
+    doc_id, offset = decode_varint(data, offset)
+    raw_timestamp, offset = decode_varint(data, offset)
+    timestamp = None if raw_timestamp == 0 else raw_timestamp - 1
+    num_sentences, offset = decode_varint(data, offset)
+    sentences = []
+    for _ in range(num_sentences):
+        sentence, offset = decode_sequence(data, offset)
+        sentences.append(tuple(sentence))
+    document = EncodedDocument(doc_id=doc_id, sentences=tuple(sentences), timestamp=timestamp)
+    return document, offset
+
+
+def write_encoded_collection(
+    collection: EncodedCollection, directory: str, num_shards: int = 8
+) -> None:
+    """Write ``collection`` to ``directory`` in the paper's on-disk layout."""
+    if num_shards < 1:
+        raise CorpusError("num_shards must be >= 1")
+    os.makedirs(directory, exist_ok=True)
+
+    dictionary_path = os.path.join(directory, DICTIONARY_FILENAME)
+    with open(dictionary_path, "w", encoding="utf-8") as handle:
+        for line in collection.vocabulary.to_lines():
+            handle.write(line + "\n")
+
+    shards: List[bytearray] = [bytearray() for _ in range(num_shards)]
+    for index, document in enumerate(collection.documents):
+        shards[index % num_shards].extend(_encode_document(document))
+    for shard_index, payload in enumerate(shards):
+        with open(_shard_path(directory, shard_index), "wb") as handle:
+            handle.write(bytes(payload))
+
+
+def read_encoded_collection(directory: str) -> EncodedCollection:
+    """Read a collection previously written by :func:`write_encoded_collection`."""
+    dictionary_path = os.path.join(directory, DICTIONARY_FILENAME)
+    if not os.path.exists(dictionary_path):
+        raise CorpusError(f"no dictionary file found in {directory!r}")
+    with open(dictionary_path, "r", encoding="utf-8") as handle:
+        vocabulary = Vocabulary.from_lines(handle)
+
+    documents: List[EncodedDocument] = []
+    shard_index = 0
+    while True:
+        path = _shard_path(directory, shard_index)
+        if not os.path.exists(path):
+            break
+        with open(path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset < len(data):
+            document, offset = _decode_document(data, offset)
+            documents.append(document)
+        shard_index += 1
+
+    documents.sort(key=lambda document: document.doc_id)
+    return EncodedCollection(documents, vocabulary)

@@ -1,0 +1,87 @@
+"""Phrase banks for the synthetic corpora.
+
+Section VII.C of the paper reports that both corpora contain *very long*
+n-grams occurring ten times or more: ingredient lists of recipes and chess
+openings in the New York Times corpus; web spam, error messages and stack
+traces in ClueWeb09-B.  The generators inject phrases from the banks below so
+that the synthetic corpora reproduce exactly this heavy tail, which is what
+makes the analytics use case (σ = 100) expensive for the APRIORI methods.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+# --------------------------------------------------------------------------
+# Newswire-style long phrases (NYT stand-in)
+# --------------------------------------------------------------------------
+
+QUOTATIONS: Tuple[Tuple[str, ...], ...] = (
+    tuple("ask not what your country can do for you ask what you can do for your country".split()),
+    tuple("the only thing we have to fear is fear itself".split()),
+    tuple("i have a dream that one day this nation will rise up and live out the true meaning of its creed".split()),
+    tuple("to be or not to be that is the question".split()),
+    tuple("four score and seven years ago our fathers brought forth on this continent a new nation".split()),
+    tuple("it was the best of times it was the worst of times it was the age of wisdom it was the age of foolishness".split()),
+    tuple("in the beginning god created the heaven and the earth".split()),
+    tuple("we hold these truths to be self evident that all men are created equal".split()),
+)
+
+RECIPE_INGREDIENTS: Tuple[Tuple[str, ...], ...] = (
+    tuple("1 tablespoon cooking oil 2 cups flour 1 teaspoon salt 1 cup sugar 2 eggs 1 cup milk".split()),
+    tuple("2 tablespoons olive oil 1 onion chopped 2 cloves garlic minced 1 teaspoon salt half teaspoon pepper".split()),
+    tuple("1 cup butter softened 2 cups brown sugar 2 eggs 1 teaspoon vanilla extract 3 cups flour".split()),
+    tuple("3 cups chicken stock 1 cup white wine 2 tablespoons butter 1 cup arborio rice half cup parmesan".split()),
+)
+
+CHESS_OPENINGS: Tuple[Tuple[str, ...], ...] = (
+    tuple("1 e4 e5 2 nf3 nc6 3 bb5 a6 4 ba4 nf6 5 o o be7".split()),
+    tuple("1 d4 nf6 2 c4 g6 3 nc3 bg7 4 e4 d6 5 nf3 o o".split()),
+    tuple("1 e4 c5 2 nf3 d6 3 d4 cxd4 4 nxd4 nf6 5 nc3 a6".split()),
+)
+
+# --------------------------------------------------------------------------
+# Web-style long phrases (ClueWeb stand-in)
+# --------------------------------------------------------------------------
+
+SPAM_PHRASES: Tuple[Tuple[str, ...], ...] = (
+    tuple("travel tips san miguel tourism san miguel transport san miguel hotels san miguel restaurants san miguel".split()),
+    tuple("cheap flights cheap hotels cheap car rental best deals best prices book now limited offer".split()),
+    tuple("buy viagra online no prescription lowest price fast shipping discreet packaging money back guarantee".split()),
+    tuple("free download full version no registration no survey direct link updated daily working 100 percent".split()),
+)
+
+ERROR_MESSAGES: Tuple[Tuple[str, ...], ...] = (
+    tuple("warning mysql connect access denied for user root using password yes in home public html php on line 91 warning".split()),
+    tuple("fatal error call to undefined function in var www html index php on line 42".split()),
+    tuple("notice undefined index id in home site public html view php on line 17".split()),
+)
+
+STACK_TRACES: Tuple[Tuple[str, ...], ...] = (
+    tuple("exception in thread main java lang nullpointerexception at com example app main java 25 at java lang reflect method invoke".split()),
+    tuple("traceback most recent call last file app py line 10 in module raise valueerror invalid literal".split()),
+)
+
+BOILERPLATE_SNIPPETS: Tuple[Tuple[str, ...], ...] = (
+    tuple("home about us contact us privacy policy terms of service sitemap".split()),
+    tuple("copyright all rights reserved powered by wordpress log in entries rss comments rss".split()),
+    tuple("click here to read more share this article on facebook twitter email print".split()),
+)
+
+NEWSWIRE_PHRASES: Tuple[Tuple[str, ...], ...] = QUOTATIONS + RECIPE_INGREDIENTS + CHESS_OPENINGS
+WEB_PHRASES: Tuple[Tuple[str, ...], ...] = (
+    SPAM_PHRASES + ERROR_MESSAGES + STACK_TRACES + BOILERPLATE_SNIPPETS
+)
+
+
+def pick_phrase(
+    rng: random.Random, bank: Sequence[Tuple[str, ...]] = NEWSWIRE_PHRASES
+) -> Tuple[str, ...]:
+    """Pick one phrase from ``bank`` uniformly at random."""
+    return bank[rng.randrange(len(bank))]
+
+
+def all_phrases() -> List[Tuple[str, ...]]:
+    """Every phrase in every bank (useful for assertions in tests)."""
+    return list(NEWSWIRE_PHRASES + WEB_PHRASES)

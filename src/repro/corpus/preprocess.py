@@ -1,0 +1,69 @@
+"""End-to-end preprocessing of raw text into documents.
+
+Reproduces the paper's preparation pipeline (Section VII.B):
+
+1. optional boilerplate removal (for web documents);
+2. sentence-boundary detection (sentence boundaries are n-gram barriers);
+3. tokenisation;
+4. (separately, via :meth:`DocumentCollection.encode`) conversion to integer
+   term-identifier sequences with identifiers assigned in descending
+   collection-frequency order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.corpus.boilerplate import extract_main_content
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.sentences import split_sentences
+from repro.corpus.tokenize import tokenize
+
+
+def document_from_text(
+    doc_id: int,
+    text: str,
+    timestamp: Optional[int] = None,
+    remove_boilerplate: bool = False,
+    lowercase: bool = True,
+) -> Document:
+    """Convert one raw text into a :class:`Document`.
+
+    When ``remove_boilerplate`` is set the text is first split into blocks at
+    blank lines and filtered with the boilerplate heuristic, mirroring how
+    the paper treats ClueWeb documents.
+    """
+    if remove_boilerplate:
+        blocks = [block.strip() for block in text.split("\n\n") if block.strip()]
+        kept = extract_main_content(blocks)
+        text = "\n\n".join(kept)
+
+    sentences: List[Tuple[str, ...]] = []
+    for sentence_text in split_sentences(text):
+        tokens = tokenize(sentence_text, lowercase=lowercase)
+        if tokens:
+            sentences.append(tokens)
+    return Document(doc_id=doc_id, sentences=tuple(sentences), timestamp=timestamp)
+
+
+def collection_from_texts(
+    texts: Sequence[str],
+    timestamps: Optional[Sequence[Optional[int]]] = None,
+    remove_boilerplate: bool = False,
+    lowercase: bool = True,
+) -> DocumentCollection:
+    """Convert raw texts into a :class:`DocumentCollection`."""
+    collection = DocumentCollection()
+    for doc_id, text in enumerate(texts):
+        timestamp = timestamps[doc_id] if timestamps is not None else None
+        collection.add(
+            document_from_text(
+                doc_id,
+                text,
+                timestamp=timestamp,
+                remove_boilerplate=remove_boilerplate,
+                lowercase=lowercase,
+            )
+        )
+    return collection

@@ -1,0 +1,64 @@
+"""Sentence boundary detection.
+
+The paper uses Apache OpenNLP to detect sentence boundaries, which then act
+as barriers for n-grams (no n-gram spans two sentences).  This module
+provides a rule-based splitter with the behaviours that matter for that
+purpose: it splits on sentence-final punctuation (``.``, ``!``, ``?``)
+followed by whitespace and an upper-case/numeric start, while not splitting
+after common abbreviations, initials or decimal numbers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+#: Abbreviations after which a period does not end a sentence.
+_ABBREVIATIONS = {
+    "mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "vs", "etc", "inc",
+    "ltd", "co", "corp", "gov", "sen", "rep", "gen", "col", "lt", "capt",
+    "mt", "no", "dept", "univ", "assn", "bros", "fig", "e.g", "i.e", "u.s",
+    "u.n", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept",
+    "oct", "nov", "dec",
+}
+
+_BOUNDARY = re.compile(r"([.!?]+)(\s+)")
+
+
+def _is_abbreviation(text_before: str) -> bool:
+    last_word = text_before.rstrip(".").rsplit(" ", 1)[-1].lower().strip()
+    if not last_word:
+        return False
+    if last_word in _ABBREVIATIONS:
+        return True
+    # Single-letter initials such as "J." in "J. Smith".
+    return len(last_word) == 1 and last_word.isalpha()
+
+
+def split_sentences(text: str) -> List[str]:
+    """Split ``text`` into sentence strings.
+
+    Empty sentences are dropped; whitespace is normalised.  The splitter is
+    intentionally conservative: when in doubt it does not split, which only
+    merges sentences and never creates spurious barriers.
+    """
+    if not text or not text.strip():
+        return []
+    sentences: List[str] = []
+    start = 0
+    for match in _BOUNDARY.finditer(text):
+        end = match.end(1)
+        candidate = text[start:end].strip()
+        following = text[match.end():]
+        before = text[start:match.start(1)]
+        if _is_abbreviation(before):
+            continue
+        if following and not (following[0].isupper() or following[0].isdigit() or following[0] in "\"'("):
+            continue
+        if candidate:
+            sentences.append(candidate)
+        start = match.end()
+    tail = text[start:].strip()
+    if tail:
+        sentences.append(tail)
+    return sentences

@@ -1,0 +1,70 @@
+"""Collection statistics — the quantities reported in Table I of the paper.
+
+Table I lists, per dataset: number of documents, number of term occurrences,
+number of distinct terms, number of sentences, and the mean and standard
+deviation of the sentence length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.corpus.collection import DocumentCollection, EncodedCollection
+
+Collection = Union[DocumentCollection, EncodedCollection]
+
+
+@dataclass(frozen=True)
+class CollectionStatistics:
+    """Dataset characteristics as reported in Table I."""
+
+    num_documents: int
+    num_term_occurrences: int
+    num_distinct_terms: int
+    num_sentences: int
+    sentence_length_mean: float
+    sentence_length_stddev: float
+
+    def as_rows(self) -> List[tuple]:
+        """Rows in the order Table I lists them."""
+        return [
+            ("# documents", self.num_documents),
+            ("# term occurrences", self.num_term_occurrences),
+            ("# distinct terms", self.num_distinct_terms),
+            ("# sentences", self.num_sentences),
+            ("sentence length (mean)", round(self.sentence_length_mean, 2)),
+            ("sentence length (stddev)", round(self.sentence_length_stddev, 2)),
+        ]
+
+
+def compute_statistics(collection: Collection) -> CollectionStatistics:
+    """Compute Table I statistics for a (raw or encoded) collection."""
+    sentence_lengths: List[int] = []
+    distinct_terms = set()
+    num_documents = 0
+    for document in collection:
+        num_documents += 1
+        for sentence in document.sentences:
+            sentence_lengths.append(len(sentence))
+            distinct_terms.update(sentence)
+
+    num_sentences = len(sentence_lengths)
+    num_occurrences = sum(sentence_lengths)
+    if num_sentences:
+        mean = num_occurrences / num_sentences
+        variance = sum((length - mean) ** 2 for length in sentence_lengths) / num_sentences
+        stddev = math.sqrt(variance)
+    else:
+        mean = 0.0
+        stddev = 0.0
+
+    return CollectionStatistics(
+        num_documents=num_documents,
+        num_term_occurrences=num_occurrences,
+        num_distinct_terms=len(distinct_terms),
+        num_sentences=num_sentences,
+        sentence_length_mean=mean,
+        sentence_length_stddev=stddev,
+    )

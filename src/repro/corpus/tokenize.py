@@ -1,0 +1,36 @@
+"""Tokenisation of raw text into lower-cased word tokens.
+
+The paper operates on words ("or other textual tokens"); the exact tokeniser
+is not part of the contribution, so a simple, deterministic regular-
+expression tokeniser suffices: words are maximal runs of letters, digits or
+apostrophes, lower-cased.  Punctuation is dropped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9]+(?:'[A-Za-z]+)?")
+
+
+def tokenize(text: str, lowercase: bool = True) -> Tuple[str, ...]:
+    """Split ``text`` into tokens.
+
+    Parameters
+    ----------
+    text:
+        Raw text.
+    lowercase:
+        Lower-case tokens (the default, matching common n-gram corpora).
+    """
+    tokens: List[str] = _TOKEN_PATTERN.findall(text)
+    if lowercase:
+        tokens = [token.lower() for token in tokens]
+    return tuple(tokens)
+
+
+def tokenize_sentences(sentences: List[str], lowercase: bool = True) -> List[Tuple[str, ...]]:
+    """Tokenise a list of sentence strings, dropping empty results."""
+    tokenised = [tokenize(sentence, lowercase=lowercase) for sentence in sentences]
+    return [sentence for sentence in tokenised if sentence]

@@ -1,0 +1,127 @@
+"""Term dictionaries mapping terms to integer identifiers.
+
+The paper assigns identifiers "in descending order of their collection
+frequency to optimize compression" (Section V).  Because n-grams are then
+compared as integer sequences, frequent terms also get small identifiers,
+which makes the variable-byte encoded records short — the effect the byte
+counters in Figures 4/5 depend on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.exceptions import VocabularyError
+
+
+class Vocabulary:
+    """Bidirectional mapping between terms and dense integer identifiers."""
+
+    def __init__(self) -> None:
+        self._term_to_id: Dict[str, int] = {}
+        self._id_to_term: List[str] = []
+        self._frequencies: List[int] = []
+
+    # --------------------------------------------------------- construction
+    @classmethod
+    def from_term_frequencies(cls, frequencies: Dict[str, int]) -> "Vocabulary":
+        """Build a vocabulary from term → collection frequency.
+
+        Identifiers are assigned in descending frequency order; ties are
+        broken lexicographically so construction is deterministic.
+        """
+        vocabulary = cls()
+        ordered = sorted(frequencies.items(), key=lambda item: (-item[1], item[0]))
+        for term, frequency in ordered:
+            vocabulary._add(term, frequency)
+        return vocabulary
+
+    @classmethod
+    def from_collection(cls, collection: "SupportsRecords") -> "Vocabulary":
+        """Build a vocabulary by counting term occurrences in ``collection``."""
+        counts: Counter = Counter()
+        for _, sequence in collection.records():
+            counts.update(sequence)
+        return cls.from_term_frequencies(dict(counts))
+
+    def _add(self, term: str, frequency: int) -> int:
+        if term in self._term_to_id:
+            raise VocabularyError(f"term {term!r} added twice")
+        term_id = len(self._id_to_term)
+        self._term_to_id[term] = term_id
+        self._id_to_term.append(term)
+        self._frequencies.append(frequency)
+        return term_id
+
+    # --------------------------------------------------------------- access
+    def term_id(self, term: str) -> int:
+        """Identifier of ``term``; raises :class:`VocabularyError` if unknown."""
+        try:
+            return self._term_to_id[term]
+        except KeyError:
+            raise VocabularyError(f"unknown term {term!r}") from None
+
+    def term(self, term_id: int) -> str:
+        """Surface form of ``term_id``."""
+        if not 0 <= term_id < len(self._id_to_term):
+            raise VocabularyError(f"unknown term identifier {term_id}")
+        return self._id_to_term[term_id]
+
+    def frequency(self, term: str) -> int:
+        """Collection frequency recorded for ``term`` at construction time."""
+        return self._frequencies[self.term_id(term)]
+
+    def frequency_of_id(self, term_id: int) -> int:
+        """Collection frequency recorded for ``term_id``."""
+        if not 0 <= term_id < len(self._frequencies):
+            raise VocabularyError(f"unknown term identifier {term_id}")
+        return self._frequencies[term_id]
+
+    def contains(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._term_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """Iterate over ``(term, term_id)`` pairs in identifier order."""
+        return iter((term, index) for index, term in enumerate(self._id_to_term))
+
+    def terms(self) -> Iterator[str]:
+        """Iterate over terms in identifier order (most frequent first)."""
+        return iter(self._id_to_term)
+
+    # ------------------------------------------------------------ persistence
+    def to_lines(self) -> List[str]:
+        """Serialise as lines ``term<TAB>frequency`` in identifier order."""
+        return [
+            f"{term}\t{frequency}"
+            for term, frequency in zip(self._id_to_term, self._frequencies)
+        ]
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "Vocabulary":
+        """Rebuild a vocabulary from :meth:`to_lines` output (order preserved)."""
+        vocabulary = cls()
+        for line in lines:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            term, _, frequency_text = line.partition("\t")
+            try:
+                frequency = int(frequency_text) if frequency_text else 0
+            except ValueError as error:
+                raise VocabularyError(f"malformed vocabulary line {line!r}") from error
+            vocabulary._add(term, frequency)
+        return vocabulary
+
+
+class SupportsRecords:
+    """Structural protocol: anything with a ``records()`` iterator."""
+
+    def records(self) -> Iterable[Tuple[int, Tuple[str, ...]]]:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause without
+swallowing unrelated built-in exceptions.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a job or experiment is configured with invalid parameters."""
+
+
+class MapReduceError(ReproError):
+    """Raised when a MapReduce job is mis-specified or fails during execution."""
+
+
+class SerializationError(ReproError):
+    """Raised when key/value serialisation or deserialisation fails."""
+
+
+class VocabularyError(ReproError):
+    """Raised when a term or term identifier cannot be resolved."""
+
+
+class CorpusError(ReproError):
+    """Raised when a document collection is malformed or cannot be read."""
+
+
+class KVStoreError(ReproError):
+    """Raised by the key-value store layer on invalid operations."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness when a run cannot be completed."""

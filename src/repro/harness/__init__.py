@@ -1,0 +1,28 @@
+"""Experiment harness reproducing the paper's evaluation (Section VII).
+
+The harness provides:
+
+* :mod:`repro.harness.datasets` — scaled-down synthetic stand-ins for the
+  NYT and ClueWeb09-B corpora with per-dataset default parameters;
+* :mod:`repro.harness.measurement` — the measurement record (wallclock,
+  bytes transferred, number of records) the paper reports for every run;
+* :mod:`repro.harness.experiment` — running one method once and sweeping
+  methods × parameters;
+* :mod:`repro.harness.figures` — one driver per table/figure of the paper;
+* :mod:`repro.harness.report` — plain-text tables in the paper's layout.
+"""
+
+from repro.harness.datasets import DatasetSpec, clueweb_like, nytimes_like
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.measurement import RunMeasurement
+from repro.harness.report import format_measurements, format_table
+
+__all__ = [
+    "DatasetSpec",
+    "ExperimentRunner",
+    "RunMeasurement",
+    "clueweb_like",
+    "format_measurements",
+    "format_table",
+    "nytimes_like",
+]

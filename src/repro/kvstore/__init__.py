@@ -1,0 +1,29 @@
+"""Key-value stores used as the Berkeley DB substitute (Section V).
+
+APRIORI-SCAN keeps the dictionary of frequent (k-1)-grams and APRIORI-INDEX
+buffers posting lists during its join step; the paper migrates this data into
+a disk-resident key-value store once it outgrows main memory and uses the
+remaining memory as a cache.  The classes here reproduce that structure:
+
+* :class:`InMemoryKVStore` — plain dictionary-backed store;
+* :class:`DiskKVStore` — append-only file store with an in-memory offset
+  index (pickle-serialised values);
+* :class:`CachedKVStore` — LRU read/write-through cache over another store,
+  with hit/miss statistics;
+* :class:`SpillingKVStore` — in-memory store that spills to disk once a
+  configurable entry budget is exceeded (the behaviour the paper describes).
+"""
+
+from repro.kvstore.memory import InMemoryKVStore, KVStore
+from repro.kvstore.disk import DiskKVStore
+from repro.kvstore.cached import CachedKVStore, CacheStats
+from repro.kvstore.spilling import SpillingKVStore
+
+__all__ = [
+    "CacheStats",
+    "CachedKVStore",
+    "DiskKVStore",
+    "InMemoryKVStore",
+    "KVStore",
+    "SpillingKVStore",
+]

@@ -1,0 +1,128 @@
+"""Disk-resident key-value store.
+
+An append-only log of pickled ``(key, value)`` entries with an in-memory
+``key -> (offset, length)`` index.  Overwrites append a new entry and repoint
+the index; :meth:`compact` rewrites the log dropping stale entries.  This is
+a deliberately simple stand-in for Berkeley DB Java Edition: it gives the
+APRIORI methods a place to keep dictionaries and posting-list buffers that do
+not fit in the configured main-memory budget.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import KVStoreError
+from repro.kvstore.memory import KVStore
+
+
+class DiskKVStore(KVStore):
+    """Append-only, pickle-serialised store backed by a single file."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        if path is None:
+            handle, path = tempfile.mkstemp(prefix="repro-kvstore-", suffix=".log")
+            os.close(handle)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = path
+        self._index: Dict[Any, Tuple[int, int]] = {}
+        self._file = open(path, "a+b")
+        self._closed = False
+        self._load_existing()
+
+    # ----------------------------------------------------------- internals
+    def _check_open(self) -> None:
+        if self._closed:
+            raise KVStoreError("store is closed")
+
+    def _load_existing(self) -> None:
+        """Rebuild the index from an existing log file (crash recovery)."""
+        self._file.seek(0)
+        offset = 0
+        while True:
+            header = self._file.read(8)
+            if len(header) < 8:
+                break
+            length = int.from_bytes(header, "little")
+            payload = self._file.read(length)
+            if len(payload) < length:
+                break  # truncated tail entry; ignore it
+            try:
+                key, _ = pickle.loads(payload)
+            except Exception as error:  # corrupted entry ends recovery
+                raise KVStoreError(f"corrupted entry in {self.path}: {error}") from error
+            self._index[key] = (offset, length)
+            offset += 8 + length
+        self._file.seek(0, os.SEEK_END)
+
+    def _append(self, key: Any, value: Any) -> None:
+        payload = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.seek(0, os.SEEK_END)
+        offset = self._file.tell()
+        self._file.write(len(payload).to_bytes(8, "little"))
+        self._file.write(payload)
+        self._file.flush()
+        self._index[key] = (offset, len(payload))
+
+    def _read_at(self, offset: int, length: int) -> Tuple[Any, Any]:
+        self._file.seek(offset)
+        header = self._file.read(8)
+        stored_length = int.from_bytes(header, "little")
+        if stored_length != length:
+            raise KVStoreError("index/log mismatch; store is corrupted")
+        payload = self._file.read(length)
+        return pickle.loads(payload)
+
+    # ------------------------------------------------------------ interface
+    def put(self, key: Any, value: Any) -> None:
+        self._check_open()
+        self._append(key, value)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._check_open()
+        location = self._index.get(key)
+        if location is None:
+            return default
+        _, value = self._read_at(*location)
+        return value
+
+    def contains(self, key: Any) -> bool:
+        self._check_open()
+        return key in self._index
+
+    def delete(self, key: Any) -> None:
+        self._check_open()
+        self._index.pop(key, None)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        self._check_open()
+        for key, location in list(self._index.items()):
+            _, value = self._read_at(*location)
+            yield key, value
+
+    def __len__(self) -> int:
+        self._check_open()
+        return len(self._index)
+
+    def compact(self) -> None:
+        """Rewrite the log keeping only live entries."""
+        self._check_open()
+        entries = list(self.items())
+        self._file.close()
+        self._file = open(self.path, "w+b")
+        self._index.clear()
+        for key, value in entries:
+            self._append(key, value)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._file.close()
+        if self._owns_file and os.path.exists(self.path):
+            os.unlink(self.path)

@@ -1,0 +1,105 @@
+"""In-memory key-value store and the abstract store interface."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import KVStoreError
+
+
+class KVStore:
+    """Abstract key-value store interface.
+
+    Keys must be hashable; values are arbitrary Python objects.  Stores are
+    also usable as context managers so disk-backed implementations release
+    their file handles deterministically.
+    """
+
+    def put(self, key: Any, value: Any) -> None:
+        """Store ``value`` under ``key`` (overwriting any previous value)."""
+        raise NotImplementedError
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value stored under ``key``, or ``default`` if absent."""
+        raise NotImplementedError
+
+    def contains(self, key: Any) -> bool:
+        """Whether ``key`` is present in the store."""
+        raise NotImplementedError
+
+    def delete(self, key: Any) -> None:
+        """Remove ``key`` if present; absent keys are ignored."""
+        raise NotImplementedError
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over all ``(key, value)`` pairs."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources."""
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __getitem__(self, key: Any) -> Any:
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self.put(key, value)
+
+
+class InMemoryKVStore(KVStore):
+    """Dictionary-backed store; the fastest option when everything fits."""
+
+    def __init__(self, initial: Optional[Dict[Any, Any]] = None) -> None:
+        self._data: Dict[Any, Any] = dict(initial) if initial else {}
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise KVStoreError("store is closed")
+
+    def put(self, key: Any, value: Any) -> None:
+        self._check_open()
+        self._data[key] = value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._check_open()
+        return self._data.get(key, default)
+
+    def contains(self, key: Any) -> bool:
+        self._check_open()
+        return key in self._data
+
+    def delete(self, key: Any) -> None:
+        self._check_open()
+        self._data.pop(key, None)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        self._check_open()
+        return iter(list(self._data.items()))
+
+    def __len__(self) -> int:
+        self._check_open()
+        return len(self._data)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def clear(self) -> None:
+        """Remove all entries."""
+        self._check_open()
+        self._data.clear()

@@ -1,0 +1,87 @@
+"""A store that keeps entries in memory until a budget is exceeded.
+
+Section V of the paper: "Our implementation keeps this data in main memory as
+long as possible.  Otherwise, it migrates the data into a disk-resident
+key-value store."  :class:`SpillingKVStore` implements exactly this policy
+with an explicit entry budget: once the number of in-memory entries exceeds
+the budget, the whole in-memory content is migrated to a
+:class:`~repro.kvstore.disk.DiskKVStore` (wrapped in an LRU cache) and all
+subsequent traffic goes through the disk store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.exceptions import KVStoreError
+from repro.kvstore.cached import CachedKVStore
+from repro.kvstore.disk import DiskKVStore
+from repro.kvstore.memory import InMemoryKVStore, KVStore
+
+
+class SpillingKVStore(KVStore):
+    """In-memory store that spills everything to disk past ``memory_budget`` entries."""
+
+    def __init__(
+        self,
+        memory_budget: int = 100_000,
+        cache_capacity: int = 10_000,
+        spill_path: Optional[str] = None,
+    ) -> None:
+        if memory_budget < 1:
+            raise KVStoreError("memory_budget must be >= 1")
+        self.memory_budget = memory_budget
+        self.cache_capacity = cache_capacity
+        self.spill_path = spill_path
+        self._memory: Optional[InMemoryKVStore] = InMemoryKVStore()
+        self._disk: Optional[CachedKVStore] = None
+
+    # ----------------------------------------------------------- internals
+    @property
+    def spilled(self) -> bool:
+        """Whether the store has migrated to its disk-resident backend."""
+        return self._disk is not None
+
+    def _active(self) -> KVStore:
+        if self._disk is not None:
+            return self._disk
+        assert self._memory is not None
+        return self._memory
+
+    def _maybe_spill(self) -> None:
+        if self._disk is not None or self._memory is None:
+            return
+        if len(self._memory) <= self.memory_budget:
+            return
+        disk = DiskKVStore(self.spill_path)
+        for key, value in self._memory.items():
+            disk.put(key, value)
+        self._disk = CachedKVStore(disk, capacity=self.cache_capacity)
+        self._memory.close()
+        self._memory = None
+
+    # ------------------------------------------------------------ interface
+    def put(self, key: Any, value: Any) -> None:
+        self._active().put(key, value)
+        self._maybe_spill()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._active().get(key, default)
+
+    def contains(self, key: Any) -> bool:
+        return self._active().contains(key)
+
+    def delete(self, key: Any) -> None:
+        self._active().delete(key)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return self._active().items()
+
+    def __len__(self) -> int:
+        return len(self._active())
+
+    def close(self) -> None:
+        if self._memory is not None:
+            self._memory.close()
+        if self._disk is not None:
+            self._disk.close()

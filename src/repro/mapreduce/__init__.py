@@ -1,0 +1,48 @@
+"""An in-process MapReduce engine modelled on Hadoop.
+
+The engine exists so that the paper's algorithms can be written against the
+same contract they were designed for — ``map()``, ``reduce()``, an optional
+combiner, a custom partitioner and a custom sort comparator — while running
+on a single machine.  It reproduces the quantities the paper measures:
+
+* ``MAP_OUTPUT_RECORDS`` and ``MAP_OUTPUT_BYTES`` counters at the shuffle
+  boundary (Figures 4 and 5, panels (b), (c), (e), (f));
+* the number of MapReduce jobs a method launches (the per-job fixed cost the
+  paper attributes to the APRIORI methods);
+* per-task work, which feeds the simulated-cluster wallclock model used for
+  the resource-scaling experiment (Figure 7).
+"""
+
+from repro.mapreduce.counters import CounterGroup, Counters
+from repro.mapreduce.job import (
+    Combiner,
+    IdentityMapper,
+    JobSpec,
+    Mapper,
+    Partitioner,
+    Reducer,
+    SortComparator,
+)
+from repro.mapreduce.runner import JobResult, LocalJobRunner
+from repro.mapreduce.pipeline import JobPipeline, PipelineResult
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.cluster import ClusterCostModel, SimulatedCluster
+
+__all__ = [
+    "ClusterCostModel",
+    "Combiner",
+    "CounterGroup",
+    "Counters",
+    "DistributedCache",
+    "IdentityMapper",
+    "JobPipeline",
+    "JobResult",
+    "JobSpec",
+    "LocalJobRunner",
+    "Mapper",
+    "Partitioner",
+    "PipelineResult",
+    "Reducer",
+    "SimulatedCluster",
+    "SortComparator",
+]

@@ -1,0 +1,71 @@
+"""Emulation of Hadoop's distributed cache.
+
+APRIORI-SCAN ships the previous iteration's output (the dictionary of
+frequent (k-1)-grams) to every mapper.  On a cluster this is done either via
+Hadoop's distributed cache (a per-node replica) or a shared key-value store;
+in the in-process engine a :class:`DistributedCache` is simply a named,
+read-mostly object registry that every task context can see.
+
+The cache tracks the serialised size of everything published so experiments
+can reason about the memory the paper says this dictionary requires on every
+cluster node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator
+
+from repro.exceptions import MapReduceError
+from repro.mapreduce.serialization import serialized_size
+
+
+class DistributedCache:
+    """A named registry of objects shared with every task of a pipeline."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Any] = {}
+        self._sizes: Dict[str, int] = {}
+
+    def publish(self, name: str, value: Any) -> None:
+        """Publish ``value`` under ``name``, replacing any previous entry."""
+        self._entries[name] = value
+        try:
+            self._sizes[name] = serialized_size(value)
+        except Exception:
+            # Size accounting is best effort; unsizeable objects count as 0.
+            self._sizes[name] = 0
+
+    def get(self, name: str) -> Any:
+        """Retrieve the object published under ``name``."""
+        if name not in self._entries:
+            raise MapReduceError(f"distributed cache has no entry named {name!r}")
+        return self._entries[name]
+
+    def contains(self, name: str) -> bool:
+        """Whether an entry named ``name`` has been published."""
+        return name in self._entries
+
+    def remove(self, name: str) -> None:
+        """Remove the entry ``name`` if present."""
+        self._entries.pop(name, None)
+        self._sizes.pop(name, None)
+
+    def size_bytes(self, name: str) -> int:
+        """Approximate serialised size of the entry ``name`` in bytes."""
+        if name not in self._sizes:
+            raise MapReduceError(f"distributed cache has no entry named {name!r}")
+        return self._sizes[name]
+
+    def total_bytes(self) -> int:
+        """Approximate serialised size of the whole cache."""
+        return sum(self._sizes.values())
+
+    def names(self) -> Iterator[str]:
+        """Iterate over published entry names."""
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries

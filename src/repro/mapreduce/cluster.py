@@ -1,0 +1,158 @@
+"""Simulated cluster wallclock model.
+
+The paper runs its experiments on a nine-worker Hadoop cluster and varies the
+number of map/reduce *slots* (Section VII.H).  The in-process engine cannot
+reproduce cluster wallclock directly, so this module provides an explicit
+cost model: given the per-task metrics measured by the runner and a
+:class:`~repro.config.ClusterConfig` describing slot counts and unit costs,
+it computes a simulated wallclock per job and per pipeline.
+
+The model captures the effects the paper discusses:
+
+* a fixed per-job overhead (the "administrative fix cost" that penalises the
+  multi-job APRIORI methods);
+* map and reduce phases whose duration is the maximum over *waves* of tasks
+  (``ceil(tasks / slots)`` waves), so adding slots shows diminishing returns
+  once the number of waves stops shrinking;
+* shuffle cost proportional to the bytes crossing the map/reduce boundary;
+* sort cost proportional to ``n log n`` in the records each reduce task
+  sorts — the term that separates NAIVE from SUFFIX-σ.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.config import ClusterConfig
+from repro.mapreduce.metrics import JobMetrics, TaskMetrics
+
+
+@dataclass(frozen=True)
+class PhaseEstimate:
+    """Simulated duration of one phase (map or reduce) of one job."""
+
+    phase: str
+    num_tasks: int
+    num_waves: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class JobEstimate:
+    """Simulated wallclock breakdown of one job."""
+
+    job_name: str
+    map_phase: PhaseEstimate
+    reduce_phase: PhaseEstimate
+    shuffle_seconds: float
+    overhead_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.overhead_seconds
+            + self.map_phase.seconds
+            + self.shuffle_seconds
+            + self.reduce_phase.seconds
+        )
+
+
+class ClusterCostModel:
+    """Translates measured task metrics into simulated cluster wallclock."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------- per task
+    def _map_task_cost(self, task: TaskMetrics) -> float:
+        cost = self.config.task_overhead
+        cost += task.input_records * self.config.per_record_map_cost
+        cost += task.output_records * self.config.per_record_map_cost
+        if task.sorted_records > 1:
+            cost += (
+                task.sorted_records
+                * math.log2(task.sorted_records)
+                * self.config.per_record_sort_cost
+            )
+        return cost
+
+    def _reduce_task_cost(self, task: TaskMetrics) -> float:
+        cost = self.config.task_overhead
+        cost += task.input_records * self.config.per_record_reduce_cost
+        cost += task.output_records * self.config.per_record_reduce_cost
+        if task.sorted_records > 1:
+            cost += (
+                task.sorted_records
+                * math.log2(task.sorted_records)
+                * self.config.per_record_sort_cost
+            )
+        return cost
+
+    # ------------------------------------------------------------ per phase
+    def _phase_estimate(
+        self, phase: str, task_costs: Sequence[float], slots: int
+    ) -> PhaseEstimate:
+        if not task_costs:
+            return PhaseEstimate(phase=phase, num_tasks=0, num_waves=0, seconds=0.0)
+        num_tasks = len(task_costs)
+        num_waves = math.ceil(num_tasks / slots)
+        # Tasks are scheduled longest-first onto ``slots`` workers (LPT rule);
+        # the phase ends when the most loaded worker finishes.
+        ordered = sorted(task_costs, reverse=True)
+        worker_loads = [0.0] * min(slots, num_tasks)
+        for cost in ordered:
+            lightest = min(range(len(worker_loads)), key=worker_loads.__getitem__)
+            worker_loads[lightest] += cost
+        return PhaseEstimate(
+            phase=phase,
+            num_tasks=num_tasks,
+            num_waves=num_waves,
+            seconds=max(worker_loads),
+        )
+
+    # -------------------------------------------------------------- per job
+    def estimate_job(self, metrics: JobMetrics) -> JobEstimate:
+        """Simulated wallclock of one job under the configured cluster."""
+        map_costs = [self._map_task_cost(task) for task in metrics.map_tasks]
+        reduce_costs = [self._reduce_task_cost(task) for task in metrics.reduce_tasks]
+        map_phase = self._phase_estimate("map", map_costs, self.config.map_slots)
+        reduce_phase = self._phase_estimate("reduce", reduce_costs, self.config.reduce_slots)
+        shuffle_bytes = sum(task.output_bytes for task in metrics.map_tasks)
+        # Shuffle bandwidth is shared across reduce slots pulling in parallel.
+        shuffle_seconds = (
+            shuffle_bytes * self.config.per_byte_shuffle_cost / max(1, self.config.reduce_slots)
+        )
+        return JobEstimate(
+            job_name=metrics.job_name,
+            map_phase=map_phase,
+            reduce_phase=reduce_phase,
+            shuffle_seconds=shuffle_seconds,
+            overhead_seconds=self.config.job_overhead,
+        )
+
+    def estimate_pipeline(self, job_metrics: Iterable[JobMetrics]) -> float:
+        """Simulated wallclock of a whole pipeline (jobs run sequentially)."""
+        return sum(self.estimate_job(metrics).total_seconds for metrics in job_metrics)
+
+
+class SimulatedCluster:
+    """Convenience wrapper pairing a cluster configuration with its model."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.model = ClusterCostModel(config)
+
+    @classmethod
+    def with_slots(cls, slots: int, **overrides: float) -> "SimulatedCluster":
+        """Create a cluster with the given number of map and reduce slots."""
+        return cls(ClusterConfig.with_slots(slots, **overrides))
+
+    def wallclock(self, job_metrics: Iterable[JobMetrics]) -> float:
+        """Simulated wallclock seconds for the given job metrics."""
+        return self.model.estimate_pipeline(job_metrics)
+
+    def job_estimates(self, job_metrics: Iterable[JobMetrics]) -> List[JobEstimate]:
+        """Per-job simulated wallclock breakdowns."""
+        return [self.model.estimate_job(metrics) for metrics in job_metrics]

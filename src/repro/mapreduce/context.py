@@ -1,0 +1,44 @@
+"""Task contexts passed to mappers, combiners and reducers.
+
+A context exposes ``emit`` and the task's :class:`~repro.mapreduce.counters.Counters`
+plus read-only access to the job-wide :class:`~repro.mapreduce.cache.DistributedCache`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.cache import DistributedCache
+
+
+class TaskContext:
+    """Execution context handed to user map/reduce code.
+
+    The context buffers emitted records in :attr:`output`; the runner decides
+    what happens with them (shuffling for map output, collecting for reduce
+    output).
+    """
+
+    def __init__(
+        self,
+        counters: Optional[Counters] = None,
+        cache: Optional[DistributedCache] = None,
+    ) -> None:
+        self.counters = counters if counters is not None else Counters()
+        self.cache = cache if cache is not None else DistributedCache()
+        self.output: List[Tuple[Any, Any]] = []
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Emit one key-value pair."""
+        self.output.append((key, value))
+
+    def increment(self, counter: str, amount: int = 1, group: str = "task") -> None:
+        """Increment a user counter."""
+        self.counters.increment(counter, amount, group=group)
+
+    def drain(self) -> List[Tuple[Any, Any]]:
+        """Return and clear the buffered output records."""
+        records = self.output
+        self.output = []
+        return records

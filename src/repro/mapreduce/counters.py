@@ -1,0 +1,116 @@
+"""Hadoop-style counters.
+
+Counters are grouped (e.g. the built-in ``task`` group holds
+``MAP_OUTPUT_RECORDS`` and ``MAP_OUTPUT_BYTES``); jobs and pipelines expose
+aggregated counters so that experiments can read off exactly the numbers the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Tuple
+
+#: Built-in counter group used by the engine itself.
+TASK_GROUP = "task"
+
+#: Number of key-value pairs emitted by all map tasks (pre-combiner), i.e.
+#: Hadoop's ``MAP_OUTPUT_RECORDS``.
+MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
+
+#: Serialised size of all map output records in bytes, i.e. Hadoop's
+#: ``MAP_OUTPUT_BYTES``.
+MAP_OUTPUT_BYTES = "MAP_OUTPUT_BYTES"
+
+MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
+COMBINE_INPUT_RECORDS = "COMBINE_INPUT_RECORDS"
+COMBINE_OUTPUT_RECORDS = "COMBINE_OUTPUT_RECORDS"
+REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
+REDUCE_INPUT_GROUPS = "REDUCE_INPUT_GROUPS"
+REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
+SHUFFLE_RECORDS = "SHUFFLE_RECORDS"
+SHUFFLE_BYTES = "SHUFFLE_BYTES"
+
+
+class CounterGroup:
+    """A named group of integer counters."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: Dict[str, int] = defaultdict(int)
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        """Add ``amount`` to ``counter`` (creating it at zero if absent)."""
+        self._values[counter] += amount
+
+    def get(self, counter: str) -> int:
+        """Current value of ``counter`` (0 if never incremented)."""
+        return self._values.get(counter, 0)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """Iterate over ``(counter, value)`` pairs."""
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of the group as a plain dictionary."""
+        return dict(self._values)
+
+    def merge(self, other: "CounterGroup") -> None:
+        """Add all counters of ``other`` into this group."""
+        for counter, value in other._values.items():
+            self._values[counter] += value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CounterGroup({self.name!r}, {dict(self._values)!r})"
+
+
+class Counters:
+    """A collection of counter groups, mirroring Hadoop's ``Counters``."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, CounterGroup] = {}
+
+    def group(self, name: str = TASK_GROUP) -> CounterGroup:
+        """Return (creating if necessary) the group called ``name``."""
+        if name not in self._groups:
+            self._groups[name] = CounterGroup(name)
+        return self._groups[name]
+
+    def increment(self, counter: str, amount: int = 1, group: str = TASK_GROUP) -> None:
+        """Increment ``counter`` in ``group`` by ``amount``."""
+        self.group(group).increment(counter, amount)
+
+    def get(self, counter: str, group: str = TASK_GROUP) -> int:
+        """Value of ``counter`` in ``group``."""
+        return self.group(group).get(counter)
+
+    @property
+    def map_output_records(self) -> int:
+        """Convenience accessor for the paper's "# records" measure."""
+        return self.get(MAP_OUTPUT_RECORDS)
+
+    @property
+    def map_output_bytes(self) -> int:
+        """Convenience accessor for the paper's "bytes transferred" measure."""
+        return self.get(MAP_OUTPUT_BYTES)
+
+    def merge(self, other: "Counters") -> None:
+        """Aggregate another ``Counters`` object into this one."""
+        for name, group in other._groups.items():
+            self.group(name).merge(group)
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """Snapshot of all groups as nested dictionaries."""
+        return {name: group.as_dict() for name, group in sorted(self._groups.items())}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Mapping[str, int]]) -> "Counters":
+        """Rebuild a ``Counters`` object from :meth:`as_dict` output."""
+        counters = cls()
+        for group_name, group_values in data.items():
+            for counter, value in group_values.items():
+                counters.increment(counter, value, group=group_name)
+        return counters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Counters({self.as_dict()!r})"

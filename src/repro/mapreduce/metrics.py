@@ -1,0 +1,78 @@
+"""Per-task and per-job execution metrics.
+
+These metrics are produced by the runner for every map and reduce task and
+consumed by the simulated-cluster cost model (:mod:`repro.mapreduce.cluster`)
+to derive wallclock estimates under a configurable number of map/reduce
+slots — the quantity varied in the paper's resource-scaling experiment
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class TaskMetrics:
+    """Work performed by a single map or reduce task.
+
+    Attributes
+    ----------
+    task_type:
+        ``"map"`` or ``"reduce"``.
+    task_index:
+        Index of the task within its phase.
+    input_records / output_records:
+        Key-value pairs consumed and produced by the task.
+    output_bytes:
+        Serialised size of the produced records (shuffle bytes for map tasks,
+        job output bytes for reduce tasks).
+    sorted_records:
+        Records the framework sorted on behalf of this task (shuffle sort for
+        reduce tasks, combiner pre-sort for map tasks).
+    elapsed_seconds:
+        Measured wallclock seconds the task took in-process.
+    """
+
+    task_type: str
+    task_index: int
+    input_records: int
+    output_records: int
+    output_bytes: int
+    sorted_records: int = 0
+    elapsed_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.task_type not in ("map", "reduce"):
+            raise ValueError(f"task_type must be 'map' or 'reduce', got {self.task_type!r}")
+
+
+@dataclass
+class JobMetrics:
+    """Aggregated metrics of one job run."""
+
+    job_name: str
+    map_tasks: List[TaskMetrics] = field(default_factory=list)
+    reduce_tasks: List[TaskMetrics] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def num_map_tasks(self) -> int:
+        return len(self.map_tasks)
+
+    @property
+    def num_reduce_tasks(self) -> int:
+        return len(self.reduce_tasks)
+
+    @property
+    def map_output_records(self) -> int:
+        return sum(task.output_records for task in self.map_tasks)
+
+    @property
+    def map_output_bytes(self) -> int:
+        return sum(task.output_bytes for task in self.map_tasks)
+
+    @property
+    def reduce_output_records(self) -> int:
+        return sum(task.output_records for task in self.reduce_tasks)

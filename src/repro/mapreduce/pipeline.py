@@ -1,0 +1,93 @@
+"""Multi-job pipelines.
+
+The APRIORI methods launch one MapReduce job per n-gram length (Algorithms 2
+and 3), and the maximality/closedness extension of SUFFIX-σ adds a
+post-filtering job (Section VI.A).  :class:`JobPipeline` tracks every job run
+of a method, aggregates counters across jobs (the paper reports bytes/records
+as "aggregates over all Hadoop jobs launched") and exposes the per-job
+metrics needed by the cluster cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.runner import JobResult, LocalJobRunner
+
+Record = Tuple[Any, Any]
+
+
+@dataclass
+class PipelineResult:
+    """Aggregated outcome of all jobs a method launched."""
+
+    job_results: List[JobResult] = field(default_factory=list)
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.job_results)
+
+    @property
+    def counters(self) -> Counters:
+        """Counters aggregated over every job of the pipeline."""
+        total = Counters()
+        for result in self.job_results:
+            total.merge(result.counters)
+        return total
+
+    @property
+    def job_metrics(self) -> List[JobMetrics]:
+        return [result.metrics for result in self.job_results]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total measured in-process wallclock over all jobs."""
+        return sum(result.elapsed_seconds for result in self.job_results)
+
+    @property
+    def final_output(self) -> List[Record]:
+        """Output records of the last job (empty if no job ran)."""
+        if not self.job_results:
+            return []
+        return self.job_results[-1].output
+
+
+class JobPipeline:
+    """Runs a sequence of jobs sharing one distributed cache.
+
+    A pipeline is the unit of measurement for an algorithm run: all counters
+    and metrics of the jobs it executed are retained so the harness can
+    report totals exactly the way the paper does.
+    """
+
+    def __init__(
+        self,
+        runner: Optional[LocalJobRunner] = None,
+        cache: Optional[DistributedCache] = None,
+        default_map_tasks: int = 4,
+    ) -> None:
+        self.cache = cache if cache is not None else DistributedCache()
+        self.runner = runner if runner is not None else LocalJobRunner(
+            cache=self.cache, default_map_tasks=default_map_tasks
+        )
+        self.result = PipelineResult()
+
+    def run_job(self, job: JobSpec, input_records: Iterable[Record]) -> JobResult:
+        """Run one job, recording its result in the pipeline history."""
+        job_result = self.runner.run(job, input_records)
+        self.result.job_results.append(job_result)
+        return job_result
+
+    @property
+    def counters(self) -> Counters:
+        """Counters aggregated over all jobs run so far."""
+        return self.result.counters
+
+    @property
+    def num_jobs(self) -> int:
+        return self.result.num_jobs

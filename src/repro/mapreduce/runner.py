@@ -1,0 +1,236 @@
+"""Local execution of MapReduce jobs.
+
+:class:`LocalJobRunner` executes a :class:`~repro.mapreduce.job.JobSpec`
+in-process: it divides the input into map tasks, runs mappers (and the
+optional combiner), shuffles with the job's partitioner and sort comparator,
+and runs one reducer per partition.  It produces a :class:`JobResult` with
+the job output, Hadoop-style counters and per-task metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import MapReduceError
+from repro.mapreduce import counters as counter_names
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.context import TaskContext
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.metrics import JobMetrics, TaskMetrics
+from repro.mapreduce.serialization import record_size
+from repro.mapreduce.shuffle import group_sorted_records, partition_records, sort_partition
+
+Record = Tuple[Any, Any]
+
+
+@dataclass
+class JobResult:
+    """Outcome of a single job run."""
+
+    job_name: str
+    output: List[Record]
+    partition_output: List[List[Record]]
+    counters: Counters
+    metrics: JobMetrics
+    elapsed_seconds: float = 0.0
+
+    @property
+    def output_keys(self) -> List[Any]:
+        """Keys of the job output, in emission order."""
+        return [key for key, _ in self.output]
+
+    def output_as_dict(self) -> dict:
+        """Job output as a dictionary (later emissions win on duplicate keys)."""
+        return dict(self.output)
+
+    def is_empty(self) -> bool:
+        """Whether the job produced no output records."""
+        return not self.output
+
+
+@dataclass
+class _MapPhaseResult:
+    shuffle_records: List[Record] = field(default_factory=list)
+    task_metrics: List[TaskMetrics] = field(default_factory=list)
+
+
+def _split_input(records: Sequence[Record], num_splits: int) -> List[List[Record]]:
+    """Divide input records into at most ``num_splits`` contiguous splits."""
+    if not records:
+        return [[]]
+    num_splits = max(1, min(num_splits, len(records)))
+    split_size, remainder = divmod(len(records), num_splits)
+    splits: List[List[Record]] = []
+    start = 0
+    for index in range(num_splits):
+        length = split_size + (1 if index < remainder else 0)
+        splits.append(list(records[start : start + length]))
+        start += length
+    return splits
+
+
+class LocalJobRunner:
+    """Runs MapReduce jobs in the current process.
+
+    Parameters
+    ----------
+    cache:
+        The distributed cache shared with every task context.  A pipeline
+        typically owns one cache and passes it to its runner.
+    default_map_tasks:
+        Number of map tasks used when a job does not specify its own.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[DistributedCache] = None,
+        default_map_tasks: int = 4,
+    ) -> None:
+        if default_map_tasks < 1:
+            raise MapReduceError("default_map_tasks must be >= 1")
+        self.cache = cache if cache is not None else DistributedCache()
+        self.default_map_tasks = default_map_tasks
+
+    # ------------------------------------------------------------------ map
+    def _run_map_task(
+        self,
+        job: JobSpec,
+        task_index: int,
+        split: Sequence[Record],
+        counters: Counters,
+    ) -> Tuple[List[Record], TaskMetrics]:
+        started = time.perf_counter()
+        mapper = job.make_mapper()
+        context = TaskContext(counters=counters, cache=self.cache)
+        mapper.setup(context)
+        for key, value in split:
+            counters.increment(counter_names.MAP_INPUT_RECORDS)
+            mapper.map(key, value, context)
+        mapper.cleanup(context)
+        emitted = context.drain()
+
+        output_bytes = 0
+        for key, value in emitted:
+            output_bytes += record_size(key, value)
+        counters.increment(counter_names.MAP_OUTPUT_RECORDS, len(emitted))
+        counters.increment(counter_names.MAP_OUTPUT_BYTES, output_bytes)
+
+        shuffle_records = emitted
+        sorted_records = 0
+        combiner = job.make_combiner()
+        if combiner is not None and emitted:
+            shuffle_records = self._run_combiner(job, combiner, emitted, counters)
+            sorted_records = len(emitted)
+
+        shuffle_bytes = sum(record_size(key, value) for key, value in shuffle_records)
+        counters.increment(counter_names.SHUFFLE_RECORDS, len(shuffle_records))
+        counters.increment(counter_names.SHUFFLE_BYTES, shuffle_bytes)
+
+        metrics = TaskMetrics(
+            task_type="map",
+            task_index=task_index,
+            input_records=len(split),
+            output_records=len(emitted),
+            output_bytes=output_bytes,
+            sorted_records=sorted_records,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return shuffle_records, metrics
+
+    def _run_combiner(
+        self,
+        job: JobSpec,
+        combiner: Any,
+        emitted: List[Record],
+        counters: Counters,
+    ) -> List[Record]:
+        sorted_records = sort_partition(emitted, job.sort_comparator)
+        context = TaskContext(counters=counters, cache=self.cache)
+        combiner.setup(context)
+        for key, values in group_sorted_records(sorted_records, job.sort_comparator):
+            counters.increment(counter_names.COMBINE_INPUT_RECORDS, len(values))
+            combiner.reduce(key, values, context)
+        combiner.cleanup(context)
+        combined = context.drain()
+        counters.increment(counter_names.COMBINE_OUTPUT_RECORDS, len(combined))
+        return combined
+
+    # --------------------------------------------------------------- reduce
+    def _run_reduce_task(
+        self,
+        job: JobSpec,
+        task_index: int,
+        partition: List[Record],
+        counters: Counters,
+    ) -> Tuple[List[Record], TaskMetrics]:
+        started = time.perf_counter()
+        sorted_partition = sort_partition(partition, job.sort_comparator)
+        reducer = job.make_reducer()
+        context = TaskContext(counters=counters, cache=self.cache)
+        reducer.setup(context)
+        groups = 0
+        for key, values in group_sorted_records(sorted_partition, job.sort_comparator):
+            groups += 1
+            counters.increment(counter_names.REDUCE_INPUT_RECORDS, len(values))
+            reducer.reduce(key, values, context)
+        reducer.cleanup(context)
+        counters.increment(counter_names.REDUCE_INPUT_GROUPS, groups)
+        output = context.drain()
+        counters.increment(counter_names.REDUCE_OUTPUT_RECORDS, len(output))
+        output_bytes = sum(record_size(key, value) for key, value in output)
+        metrics = TaskMetrics(
+            task_type="reduce",
+            task_index=task_index,
+            input_records=len(sorted_partition),
+            output_records=len(output),
+            output_bytes=output_bytes,
+            sorted_records=len(sorted_partition),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return output, metrics
+
+    # ------------------------------------------------------------------ run
+    def run(self, job: JobSpec, input_records: Iterable[Record]) -> JobResult:
+        """Execute ``job`` over ``input_records`` and return its result."""
+        started = time.perf_counter()
+        records = list(input_records)
+        counters = Counters()
+        metrics = JobMetrics(job_name=job.name)
+
+        num_map_tasks = job.num_map_tasks or self.default_map_tasks
+        splits = _split_input(records, num_map_tasks)
+
+        map_phase = _MapPhaseResult()
+        for task_index, split in enumerate(splits):
+            shuffle_records, task_metrics = self._run_map_task(job, task_index, split, counters)
+            map_phase.shuffle_records.extend(shuffle_records)
+            map_phase.task_metrics.append(task_metrics)
+        metrics.map_tasks = map_phase.task_metrics
+
+        partitions = partition_records(
+            map_phase.shuffle_records, job.partitioner, job.num_reducers
+        )
+
+        output: List[Record] = []
+        partition_output: List[List[Record]] = []
+        for task_index, partition in enumerate(partitions):
+            reduce_output, task_metrics = self._run_reduce_task(
+                job, task_index, partition, counters
+            )
+            partition_output.append(reduce_output)
+            output.extend(reduce_output)
+            metrics.reduce_tasks.append(task_metrics)
+
+        elapsed = time.perf_counter() - started
+        metrics.elapsed_seconds = elapsed
+        return JobResult(
+            job_name=job.name,
+            output=output,
+            partition_output=partition_output,
+            counters=counters,
+            metrics=metrics,
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,90 @@
+"""The shuffle: partitioning, sorting and grouping of map output.
+
+This is the stage the paper's algorithms customise the most: SUFFIX-σ
+partitions suffixes by their *first term only* and sorts them in reverse
+lexicographic order so that its reducer can aggregate prefix counts with two
+stacks (Algorithm 4).  The functions here implement the generic machinery.
+"""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import MapReduceError
+from repro.mapreduce.job import Partitioner, SortComparator
+
+Record = Tuple[Any, Any]
+KeyGroup = Tuple[Any, List[Any]]
+
+
+def partition_records(
+    records: Iterable[Record],
+    partitioner: Partitioner,
+    num_partitions: int,
+) -> List[List[Record]]:
+    """Assign every record to one of ``num_partitions`` buckets."""
+    if num_partitions < 1:
+        raise MapReduceError("num_partitions must be >= 1")
+    partitions: List[List[Record]] = [[] for _ in range(num_partitions)]
+    for key, value in records:
+        index = partitioner.partition(key, num_partitions)
+        if not 0 <= index < num_partitions:
+            raise MapReduceError(
+                f"partitioner returned index {index} outside [0, {num_partitions})"
+            )
+        partitions[index].append((key, value))
+    return partitions
+
+
+def sort_partition(records: List[Record], comparator: SortComparator) -> List[Record]:
+    """Sort one partition's records by key using ``comparator`` (stable).
+
+    When the comparator exposes an equivalent key function (the analogue of a
+    Hadoop raw comparator), the key-based sort is used; it produces the same
+    order much faster than a comparison-based sort.
+    """
+    fast_key = comparator.sort_key_function()
+    if fast_key is not None:
+        try:
+            return sorted(records, key=lambda record: fast_key(record[0]))
+        except TypeError:
+            # Keys not supported by the fast path (e.g. string terms given an
+            # integer-oriented key function); fall back to the comparator.
+            pass
+    key_function = cmp_to_key(comparator.compare)
+    return sorted(records, key=lambda record: key_function(record[0]))
+
+
+def group_sorted_records(records: Sequence[Record], comparator: SortComparator) -> Iterator[KeyGroup]:
+    """Group consecutive records whose keys compare equal.
+
+    ``records`` must already be sorted by ``comparator``; grouping uses the
+    comparator's notion of equality (compare() == 0), mirroring Hadoop's
+    grouping comparator semantics.
+    """
+    current_key: Any = None
+    current_values: List[Any] = []
+    have_group = False
+    for key, value in records:
+        if have_group and comparator.compare(key, current_key) == 0:
+            current_values.append(value)
+        else:
+            if have_group:
+                yield current_key, current_values
+            current_key = key
+            current_values = [value]
+            have_group = True
+    if have_group:
+        yield current_key, current_values
+
+
+def shuffle(
+    records: Iterable[Record],
+    partitioner: Partitioner,
+    comparator: SortComparator,
+    num_partitions: int,
+) -> List[List[Record]]:
+    """Partition and sort map output, returning per-partition sorted records."""
+    partitions = partition_records(records, partitioner, num_partitions)
+    return [sort_partition(partition, comparator) for partition in partitions]

@@ -1,0 +1,36 @@
+"""n-gram primitives: sequence predicates, orderings, statistics, references.
+
+Everything in this package is independent of MapReduce: it defines the
+mathematical objects of Section II (prefix/suffix/subsequence relations,
+occurrence counts, collection frequencies), the reverse lexicographic order
+of Section IV, containers for n-gram statistics, and brute-force reference
+implementations used as ground truth by the test suite.
+"""
+
+from repro.ngrams.ordering import ReverseLexicographicOrder, reverse_lexicographic_compare
+from repro.ngrams.sequence import (
+    count_occurrences,
+    enumerate_ngrams,
+    is_prefix,
+    is_subsequence,
+    is_suffix,
+    longest_common_prefix,
+    suffixes,
+)
+from repro.ngrams.statistics import NGramStatistics
+from repro.ngrams.reference import reference_document_frequencies, reference_ngram_statistics
+
+__all__ = [
+    "NGramStatistics",
+    "ReverseLexicographicOrder",
+    "count_occurrences",
+    "enumerate_ngrams",
+    "is_prefix",
+    "is_subsequence",
+    "is_suffix",
+    "longest_common_prefix",
+    "reference_document_frequencies",
+    "reference_ngram_statistics",
+    "reverse_lexicographic_compare",
+    "suffixes",
+]

@@ -1,0 +1,65 @@
+"""Reverse lexicographic order of term sequences (Section IV).
+
+SUFFIX-σ sorts the suffixes each reducer receives in *reverse lexicographic*
+order, defined in the paper as::
+
+    r < s  ⇔  (|r| > |s| ∧ s . r)
+             ∨ ∃ 0 ≤ i < min(|r|,|s|) : r[i] > s[i] ∧ ∀ 0 ≤ j < i : r[j] = s[j]
+
+i.e. sequences are compared position by position with *larger* terms first,
+and when one sequence is a prefix of the other the *longer* one comes first.
+This guarantees that when the reducer sees suffix ``s``, every n-gram that
+sorts before ``s`` can no longer gain occurrences from unseen suffixes.
+
+:class:`ReverseLexicographicOrder` is the MapReduce sort comparator
+(Algorithm 4's ``compare()``); :func:`reverse_lexicographic_compare` is the
+raw comparison function; :func:`reverse_lexicographic_sort_key` is a fast
+key-based equivalent for integer term identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.mapreduce.job import SortComparator
+
+
+def reverse_lexicographic_compare(r: Sequence, s: Sequence) -> int:
+    """Classic comparator: negative when ``r`` sorts before ``s``."""
+    limit = min(len(r), len(s))
+    for index in range(limit):
+        if r[index] > s[index]:
+            return -1
+        if r[index] < s[index]:
+            return 1
+    # Equal on the common prefix: the longer sequence sorts first.
+    return len(s) - len(r)
+
+
+def reverse_lexicographic_sort_key(sequence: Sequence[int]) -> Tuple:
+    """Sort key equivalent to :func:`reverse_lexicographic_compare` for ints.
+
+    Each term is negated (so larger terms sort first) and a positive sentinel
+    is appended (so a longer sequence sorts before its proper prefixes, since
+    every negated term is ≤ 0 < sentinel).
+    """
+    return tuple(-term for term in sequence) + (1,)
+
+
+class ReverseLexicographicOrder(SortComparator):
+    """Sort comparator installing the reverse lexicographic order."""
+
+    def compare(self, left: Sequence, right: Sequence) -> int:
+        return reverse_lexicographic_compare(left, right)
+
+    def sort_key_function(self) -> Optional[Callable[[Sequence], Tuple]]:
+        """Fast path used by the shuffle when keys are integer sequences."""
+        return reverse_lexicographic_sort_key
+
+
+def is_reverse_lexicographically_sorted(sequences: Sequence[Sequence]) -> bool:
+    """Whether ``sequences`` are in reverse lexicographic order (for tests)."""
+    return all(
+        reverse_lexicographic_compare(sequences[index], sequences[index + 1]) <= 0
+        for index in range(len(sequences) - 1)
+    )

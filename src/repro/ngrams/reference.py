@@ -1,0 +1,112 @@
+"""Brute-force reference implementations used as ground truth in tests.
+
+These are deliberately simple, single-machine computations of the quantities
+the MapReduce algorithms produce: collection frequencies, document
+frequencies, maximal/closed subsets and n-gram time series.  They trade
+efficiency for obviousness, which is exactly what a test oracle should do.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.ngrams.sequence import enumerate_ngrams, is_subsequence
+from repro.ngrams.statistics import NGramStatistics
+
+Record = Tuple[int, Tuple]
+
+
+def reference_ngram_statistics(
+    records: Iterable[Record],
+    min_frequency: int = 1,
+    max_length: Optional[int] = None,
+) -> NGramStatistics:
+    """Collection frequencies of all n-grams with cf ≥ τ and length ≤ σ."""
+    counts: Counter = Counter()
+    for _, sequence in records:
+        for ngram in enumerate_ngrams(sequence, max_length):
+            counts[ngram] += 1
+    statistics = NGramStatistics()
+    for ngram, count in counts.items():
+        if count >= min_frequency:
+            statistics.set(ngram, count)
+    return statistics
+
+
+def reference_document_frequencies(
+    records: Iterable[Record],
+    min_frequency: int = 1,
+    max_length: Optional[int] = None,
+) -> NGramStatistics:
+    """Document frequencies (number of distinct documents containing the n-gram)."""
+    documents: Dict[Tuple, set] = defaultdict(set)
+    for doc_id, sequence in records:
+        for ngram in enumerate_ngrams(sequence, max_length):
+            documents[ngram].add(doc_id)
+    statistics = NGramStatistics()
+    for ngram, doc_ids in documents.items():
+        if len(doc_ids) >= min_frequency:
+            statistics.set(ngram, len(doc_ids))
+    return statistics
+
+
+def reference_maximal(statistics: NGramStatistics) -> NGramStatistics:
+    """Maximal n-grams: no frequent proper super-sequence exists.
+
+    ``statistics`` must already be restricted to the frequent n-grams
+    (cf ≥ τ); maximality is evaluated against that set, matching the paper's
+    definition "r is maximal if there is no n-gram s such that r ⊑ s and
+    cf(s) ≥ τ".
+    """
+    frequent = list(statistics.items())
+    result = NGramStatistics()
+    for ngram, count in frequent:
+        dominated = any(
+            other != ngram and is_subsequence(ngram, other) for other, _ in frequent
+        )
+        if not dominated:
+            result.set(ngram, count)
+    return result
+
+
+def reference_closed(statistics: NGramStatistics) -> NGramStatistics:
+    """Closed n-grams: no frequent proper super-sequence with equal frequency."""
+    frequent = list(statistics.items())
+    result = NGramStatistics()
+    for ngram, count in frequent:
+        dominated = any(
+            other != ngram and is_subsequence(ngram, other) and other_count == count
+            for other, other_count in frequent
+        )
+        if not dominated:
+            result.set(ngram, count)
+    return result
+
+
+def reference_time_series(
+    records: Iterable[Record],
+    timestamps: Mapping[int, Optional[int]],
+    min_frequency: int = 1,
+    max_length: Optional[int] = None,
+) -> Dict[Tuple, Dict[int, int]]:
+    """Per-n-gram time series: occurrences per document timestamp.
+
+    Only n-grams whose *total* collection frequency reaches τ are reported,
+    matching the SUFFIX-σ time-series extension.  Documents without a
+    timestamp are ignored in the per-year breakdown but still count towards
+    the total.
+    """
+    totals: Counter = Counter()
+    series: Dict[Tuple, Counter] = defaultdict(Counter)
+    for doc_id, sequence in records:
+        timestamp = timestamps.get(doc_id)
+        for ngram in enumerate_ngrams(sequence, max_length):
+            totals[ngram] += 1
+            if timestamp is not None:
+                series[ngram][timestamp] += 1
+    return {
+        ngram: dict(series[ngram])
+        for ngram, total in totals.items()
+        if total >= min_frequency
+    }

@@ -1,0 +1,103 @@
+"""Sequence predicates and n-gram enumeration (Section II of the paper).
+
+Sequences are plain Python tuples of terms; terms may be strings (raw
+documents) or integers (encoded documents) as long as they are hashable and
+mutually comparable.  The definitions below transcribe the paper's notation:
+
+* ``r . s`` — ``r`` is a *prefix* of ``s`` (:func:`is_prefix`);
+* ``r / s`` — ``r`` is a *suffix* of ``s`` (:func:`is_suffix`);
+* ``r ⊑ s`` — ``r`` is a (contiguous) *subsequence* of ``s``
+  (:func:`is_subsequence`);
+* ``f(r, s)`` — number of occurrences of ``r`` in ``s``
+  (:func:`count_occurrences`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+Sequence_ = Tuple
+
+
+def is_prefix(r: Sequence, s: Sequence) -> bool:
+    """Whether ``r`` is a prefix of ``s`` (every sequence prefixes itself)."""
+    if len(r) > len(s):
+        return False
+    return all(r[i] == s[i] for i in range(len(r)))
+
+
+def is_suffix(r: Sequence, s: Sequence) -> bool:
+    """Whether ``r`` is a suffix of ``s`` (every sequence suffixes itself)."""
+    if len(r) > len(s):
+        return False
+    offset = len(s) - len(r)
+    return all(r[i] == s[offset + i] for i in range(len(r)))
+
+
+def is_subsequence(r: Sequence, s: Sequence) -> bool:
+    """Whether ``r`` occurs contiguously inside ``s``.
+
+    Note that, following the paper, "subsequence" means *contiguous*
+    subsequence (substring), not the scattered-subsequence relation of
+    general sequence mining.
+    """
+    if len(r) > len(s):
+        return False
+    if len(r) == 0:
+        return True
+    for j in range(len(s) - len(r) + 1):
+        if all(r[i] == s[j + i] for i in range(len(r))):
+            return True
+    return False
+
+
+def count_occurrences(r: Sequence, s: Sequence) -> int:
+    """The number of (possibly overlapping) occurrences ``f(r, s)``."""
+    if len(r) == 0 or len(r) > len(s):
+        return 0
+    count = 0
+    for j in range(len(s) - len(r) + 1):
+        if all(r[i] == s[j + i] for i in range(len(r))):
+            count += 1
+    return count
+
+
+def longest_common_prefix(r: Sequence, s: Sequence) -> int:
+    """Length of the longest common prefix of ``r`` and ``s`` (the ``lcp()`` of Algorithm 4)."""
+    limit = min(len(r), len(s))
+    length = 0
+    while length < limit and r[length] == s[length]:
+        length += 1
+    return length
+
+
+def enumerate_ngrams(
+    sequence: Sequence, max_length: Optional[int] = None
+) -> Iterator[Tuple]:
+    """Enumerate all n-grams of ``sequence`` up to ``max_length`` terms.
+
+    This is exactly what the NAIVE mapper emits (Algorithm 1): for every
+    begin offset ``b`` all end offsets ``e`` with ``e - b < max_length``.
+    """
+    n = len(sequence)
+    for b in range(n):
+        end_limit = n if max_length is None else min(b + max_length, n)
+        for e in range(b + 1, end_limit + 1):
+            yield tuple(sequence[b:e])
+
+
+def suffixes(sequence: Sequence, max_length: Optional[int] = None) -> Iterator[Tuple]:
+    """Enumerate the suffixes of ``sequence``, truncated to ``max_length``.
+
+    This is what the SUFFIX-σ mapper emits (Algorithm 4): one suffix per
+    position, truncated to σ terms when σ is bounded.
+    """
+    n = len(sequence)
+    for b in range(n):
+        end = n if max_length is None else min(b + max_length, n)
+        yield tuple(sequence[b:end])
+
+
+def concatenate(r: Sequence, s: Sequence) -> Tuple:
+    """Concatenation ``r ‖ s`` as a tuple."""
+    return tuple(r) + tuple(s)

@@ -1,0 +1,161 @@
+"""Containers for computed n-gram statistics.
+
+An :class:`NGramStatistics` maps n-grams (tuples of terms) to their
+collection frequency (or document frequency, depending on how it was
+computed).  It offers the operations the experiments need: filtering by the
+paper's τ/σ parameters, bucketing into the 2-dimensional exponential
+histogram of Figure 2, and conversions for reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+NGram = Tuple
+Histogram = Dict[Tuple[int, int], int]
+
+
+class NGramStatistics:
+    """A mapping from n-gram to frequency with analysis helpers."""
+
+    def __init__(self, counts: Optional[Mapping[NGram, int]] = None) -> None:
+        self._counts: Dict[NGram, int] = {}
+        if counts:
+            for ngram, count in counts.items():
+                self.add(ngram, count)
+
+    # ----------------------------------------------------------- mutation
+    def add(self, ngram: Iterable, count: int) -> None:
+        """Add ``count`` occurrences of ``ngram`` (accumulating)."""
+        key = tuple(ngram)
+        if not key:
+            raise ReproError("cannot record statistics for the empty n-gram")
+        if count < 0:
+            raise ReproError(f"negative count {count} for n-gram {key!r}")
+        self._counts[key] = self._counts.get(key, 0) + count
+
+    def set(self, ngram: Iterable, count: int) -> None:
+        """Set the frequency of ``ngram`` (overwriting)."""
+        key = tuple(ngram)
+        if not key:
+            raise ReproError("cannot record statistics for the empty n-gram")
+        self._counts[key] = count
+
+    # ------------------------------------------------------------- access
+    def frequency(self, ngram: Iterable) -> int:
+        """Frequency of ``ngram`` (0 when absent)."""
+        return self._counts.get(tuple(ngram), 0)
+
+    def __getitem__(self, ngram: Iterable) -> int:
+        key = tuple(ngram)
+        if key not in self._counts:
+            raise KeyError(key)
+        return self._counts[key]
+
+    def __contains__(self, ngram: object) -> bool:
+        if not isinstance(ngram, tuple):
+            return False
+        return ngram in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[NGram]:
+        return iter(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NGramStatistics):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def items(self) -> Iterator[Tuple[NGram, int]]:
+        """Iterate over ``(ngram, frequency)`` pairs."""
+        return iter(self._counts.items())
+
+    def as_dict(self) -> Dict[NGram, int]:
+        """Snapshot of the statistics as a plain dictionary."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------ analysis
+    def filtered(
+        self, min_frequency: int = 1, max_length: Optional[int] = None
+    ) -> "NGramStatistics":
+        """Restrict to n-grams with frequency ≥ τ and length ≤ σ."""
+        result = NGramStatistics()
+        for ngram, count in self._counts.items():
+            if count < min_frequency:
+                continue
+            if max_length is not None and len(ngram) > max_length:
+                continue
+            result.set(ngram, count)
+        return result
+
+    def total_frequency(self) -> int:
+        """Sum of all recorded frequencies."""
+        return sum(self._counts.values())
+
+    def max_length(self) -> int:
+        """Length of the longest recorded n-gram (0 when empty)."""
+        return max((len(ngram) for ngram in self._counts), default=0)
+
+    def by_length(self) -> Dict[int, int]:
+        """Number of distinct n-grams per length."""
+        histogram: Dict[int, int] = {}
+        for ngram in self._counts:
+            histogram[len(ngram)] = histogram.get(len(ngram), 0) + 1
+        return histogram
+
+    def top(self, k: int, length: Optional[int] = None) -> List[Tuple[NGram, int]]:
+        """The ``k`` most frequent n-grams, optionally restricted to one length."""
+        candidates = (
+            (ngram, count)
+            for ngram, count in self._counts.items()
+            if length is None or len(ngram) == length
+        )
+        return sorted(candidates, key=lambda item: (-item[1], item[0]))[:k]
+
+    def bucket_histogram(self, base: int = 10) -> Histogram:
+        """The 2-d exponential histogram of Figure 2.
+
+        An n-gram ``s`` with frequency ``cf(s)`` falls into bucket
+        ``(floor(log_base |s|), floor(log_base cf(s)))``.
+        """
+        histogram: Histogram = {}
+        for ngram, count in self._counts.items():
+            if count < 1:
+                continue
+            bucket = (
+                int(math.floor(math.log(len(ngram), base))),
+                int(math.floor(math.log(count, base))),
+            )
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+        return histogram
+
+    # --------------------------------------------------------- conversions
+    def decoded(self, vocabulary: "VocabularyLike") -> "NGramStatistics":
+        """Translate integer term identifiers back to surface forms."""
+        result = NGramStatistics()
+        for ngram, count in self._counts.items():
+            result.set(tuple(vocabulary.term(term_id) for term_id in ngram), count)
+        return result
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[Iterable, int]]) -> "NGramStatistics":
+        """Build statistics from ``(ngram, count)`` pairs (counts accumulate)."""
+        statistics = cls()
+        for ngram, count in pairs:
+            statistics.add(ngram, count)
+        return statistics
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"NGramStatistics({len(self._counts)} n-grams)"
+
+
+class VocabularyLike:
+    """Structural protocol for :meth:`NGramStatistics.decoded`."""
+
+    def term(self, term_id: int) -> str:  # pragma: no cover - interface only
+        raise NotImplementedError

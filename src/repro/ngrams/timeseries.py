@@ -1,0 +1,89 @@
+"""n-gram time series (Section VI.B).
+
+An n-gram time series records, per time bucket (the paper uses publication
+years), how often the n-gram occurs in documents published in that bucket —
+the statistic popularised by the "culturomics" work of Michel et al. that
+the paper cites as the motivating aggregation beyond plain occurrence
+counting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+
+@dataclass
+class TimeSeries:
+    """Occurrence counts per time bucket for a single n-gram."""
+
+    observations: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, int]) -> "TimeSeries":
+        return cls(observations=Counter(dict(mapping)))
+
+    def record(self, bucket: Optional[int], count: int = 1) -> None:
+        """Add ``count`` occurrences in ``bucket`` (ignored when bucket is None)."""
+        if bucket is None:
+            return
+        self.observations[bucket] += count
+
+    def merge(self, other: "TimeSeries") -> "TimeSeries":
+        """Return the element-wise sum of this series and ``other``."""
+        merged = Counter(self.observations)
+        merged.update(other.observations)
+        return TimeSeries(observations=merged)
+
+    @property
+    def total(self) -> int:
+        """Total occurrences across all buckets."""
+        return sum(self.observations.values())
+
+    def value(self, bucket: int) -> int:
+        """Occurrences in ``bucket`` (0 when absent)."""
+        return self.observations.get(bucket, 0)
+
+    def buckets(self) -> List[int]:
+        """Sorted list of buckets with at least one occurrence."""
+        return sorted(self.observations)
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self.observations)
+
+    def dense(self, start: int, end: int) -> List[int]:
+        """Counts for every bucket in ``[start, end]`` inclusive (zeros filled)."""
+        return [self.observations.get(bucket, 0) for bucket in range(start, end + 1)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return dict(self.observations) == dict(other.observations)
+
+
+class NGramTimeSeriesCollection:
+    """Time series for a set of n-grams."""
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple, TimeSeries] = {}
+
+    def series(self, ngram: Iterable) -> TimeSeries:
+        """The time series of ``ngram`` (empty series when absent)."""
+        return self._series.get(tuple(ngram), TimeSeries())
+
+    def set(self, ngram: Iterable, series: TimeSeries) -> None:
+        self._series[tuple(ngram)] = series
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __contains__(self, ngram: object) -> bool:
+        return isinstance(ngram, tuple) and ngram in self._series
+
+    def items(self) -> Iterator[Tuple[Tuple, TimeSeries]]:
+        return iter(self._series.items())
+
+    def as_dict(self) -> Dict[Tuple, Dict[int, int]]:
+        """Nested plain-dict snapshot (n-gram → bucket → count)."""
+        return {ngram: series.as_dict() for ngram, series in self._series.items()}

@@ -1,0 +1,21 @@
+"""Small shared utilities (variable-byte coding, stable hashing, timers)."""
+
+from repro.util.hashing import stable_hash
+from repro.util.timer import Timer
+from repro.util.varint import (
+    decode_sequence,
+    decode_varint,
+    encode_sequence,
+    encode_varint,
+    encoded_length,
+)
+
+__all__ = [
+    "Timer",
+    "decode_sequence",
+    "decode_varint",
+    "encode_sequence",
+    "encode_varint",
+    "encoded_length",
+    "stable_hash",
+]

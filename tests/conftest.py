@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.synthetic import NewswireCorpusGenerator, WebCorpusGenerator
+
+
+@pytest.fixture
+def running_example() -> DocumentCollection:
+    """The three-document running example of Section III of the paper."""
+    return DocumentCollection.from_token_lists(
+        [
+            "a x b x x".split(),
+            "b a x b x".split(),
+            "x b a x b".split(),
+        ]
+    )
+
+
+#: Expected output of the running example for tau=3, sigma=3 (from the paper).
+RUNNING_EXAMPLE_EXPECTED = {
+    ("a",): 3,
+    ("b",): 5,
+    ("x",): 7,
+    ("a", "x"): 3,
+    ("x", "b"): 4,
+    ("a", "x", "b"): 3,
+}
+
+
+@pytest.fixture
+def running_example_expected() -> dict:
+    return dict(RUNNING_EXAMPLE_EXPECTED)
+
+
+@pytest.fixture(scope="session")
+def small_newswire() -> DocumentCollection:
+    """A small deterministic newswire corpus shared across tests."""
+    return NewswireCorpusGenerator(num_documents=30, seed=123).generate()
+
+
+@pytest.fixture(scope="session")
+def small_web() -> DocumentCollection:
+    """A small deterministic web corpus shared across tests."""
+    return WebCorpusGenerator(num_documents=30, seed=321).generate()

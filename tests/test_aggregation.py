@@ -1,0 +1,83 @@
+"""Tests for the pluggable SUFFIX-σ aggregation strategies."""
+
+from collections import Counter
+
+from repro.algorithms.aggregation import (
+    CountAggregation,
+    DistinctDocumentAggregation,
+    DocumentPostingAggregation,
+    TimeSeriesAggregation,
+)
+
+
+class TestCountAggregation:
+    def test_monoid_behaviour(self):
+        aggregation = CountAggregation()
+        assert aggregation.empty() == 0
+        assert aggregation.from_values([1, 2, 2]) == 3
+        assert aggregation.merge(2, 3) == 5
+        assert aggregation.magnitude(7) == 7
+        assert aggregation.output_value(7) == 7
+
+
+class TestDistinctDocumentAggregation:
+    def test_counts_distinct_documents(self):
+        aggregation = DistinctDocumentAggregation()
+        element = aggregation.from_values([1, 1, 2])
+        assert aggregation.magnitude(element) == 2
+        assert aggregation.output_value(element) == 2
+
+    def test_merge_unions(self):
+        aggregation = DistinctDocumentAggregation()
+        merged = aggregation.merge({1, 2}, {2, 3})
+        assert merged == {1, 2, 3}
+
+    def test_merge_into_empty(self):
+        aggregation = DistinctDocumentAggregation()
+        merged = aggregation.merge(aggregation.empty(), {4})
+        assert merged == {4}
+
+
+class TestTimeSeriesAggregation:
+    def test_from_values_counts_timestamps(self):
+        aggregation = TimeSeriesAggregation()
+        element = aggregation.from_values([(1, 1990), (2, 1990), (3, None)])
+        total, observations = element
+        assert total == 3
+        assert observations == Counter({1990: 2})
+
+    def test_merge_adds_totals_and_observations(self):
+        aggregation = TimeSeriesAggregation()
+        left = aggregation.from_values([(1, 1990)])
+        right = aggregation.from_values([(2, 1991), (3, 1990)])
+        total, observations = aggregation.merge(left, right)
+        assert total == 3
+        assert observations == Counter({1990: 2, 1991: 1})
+
+    def test_magnitude_is_total_occurrences(self):
+        aggregation = TimeSeriesAggregation()
+        element = aggregation.from_values([(1, None), (2, None)])
+        assert aggregation.magnitude(element) == 2
+
+    def test_output_value(self):
+        aggregation = TimeSeriesAggregation()
+        element = aggregation.from_values([(1, 2000)])
+        assert aggregation.output_value(element) == (1, {2000: 1})
+
+
+class TestDocumentPostingAggregation:
+    def test_counts_per_document(self):
+        aggregation = DocumentPostingAggregation()
+        element = aggregation.from_values([1, 1, 2])
+        assert aggregation.magnitude(element) == 3
+        assert aggregation.output_value(element) == {1: 2, 2: 1}
+
+    def test_merge(self):
+        aggregation = DocumentPostingAggregation()
+        merged = aggregation.merge(Counter({1: 1}), Counter({1: 2, 3: 1}))
+        assert merged == Counter({1: 3, 3: 1})
+
+    def test_merge_into_empty(self):
+        aggregation = DocumentPostingAggregation()
+        merged = aggregation.merge(aggregation.empty(), Counter({5: 2}))
+        assert merged == Counter({5: 2})

@@ -1,0 +1,103 @@
+"""Tests for APRIORI-INDEX (Algorithm 3)."""
+
+import pytest
+
+from repro.algorithms.apriori_index import AprioriIndexCounter
+from repro.config import NGramJobConfig
+from repro.corpus.collection import DocumentCollection
+from repro.ngrams.reference import (
+    reference_document_frequencies,
+    reference_ngram_statistics,
+)
+from repro.ngrams.sequence import count_occurrences
+
+
+class TestAprioriIndexCounter:
+    def test_running_example_with_small_k(self, running_example, running_example_expected):
+        # K=2 exercises the posting-list join phase for the frequent 3-gram.
+        config = NGramJobConfig(min_frequency=3, max_length=3, apriori_index_k=2)
+        result = AprioriIndexCounter(config).run(running_example)
+        assert result.statistics.as_dict() == running_example_expected
+
+    def test_running_example_with_k1(self, running_example, running_example_expected):
+        config = NGramJobConfig(min_frequency=3, max_length=3, apriori_index_k=1)
+        result = AprioriIndexCounter(config).run(running_example)
+        assert result.statistics.as_dict() == running_example_expected
+
+    def test_running_example_with_large_k(self, running_example, running_example_expected):
+        # K >= sigma means only the direct indexing phase runs.
+        config = NGramJobConfig(min_frequency=3, max_length=3, apriori_index_k=4)
+        result = AprioriIndexCounter(config).run(running_example)
+        assert result.statistics.as_dict() == running_example_expected
+
+    def test_paper_join_example(self, running_example):
+        """Section III.B: joining 'a x' and 'x b' gives 'a x b' in all documents."""
+        config = NGramJobConfig(min_frequency=3, max_length=3, apriori_index_k=2)
+        counter = AprioriIndexCounter(config, keep_index=True)
+        counter.run(running_example)
+        posting_list = counter.inverted_index[("a", "x", "b")]
+        assert posting_list.collection_frequency == 3
+        assert posting_list.document_frequency == 3
+        # One occurrence per document, at the positions given in the paper.
+        positions = {
+            posting.doc_id: posting.positions for posting in posting_list
+        }
+        assert positions == {0: (0,), 1: (1,), 2: (2,)}
+
+    def test_inverted_index_positions_match_bruteforce(self, running_example):
+        config = NGramJobConfig(min_frequency=3, max_length=3, apriori_index_k=2)
+        counter = AprioriIndexCounter(config, keep_index=True)
+        counter.run(running_example)
+        documents = {doc.doc_id: doc.tokens for doc in running_example}
+        for ngram, posting_list in counter.inverted_index.items():
+            total = sum(count_occurrences(ngram, tokens) for tokens in documents.values())
+            assert posting_list.collection_frequency == total
+
+    def test_matches_reference_on_synthetic_corpus(self, small_newswire):
+        config = NGramJobConfig(min_frequency=4, max_length=5, apriori_index_k=2)
+        result = AprioriIndexCounter(config).run(small_newswire)
+        expected = reference_ngram_statistics(
+            small_newswire.records(), min_frequency=4, max_length=5
+        )
+        assert result.statistics == expected
+
+    def test_document_frequency_mode(self, running_example):
+        config = NGramJobConfig(
+            min_frequency=2, max_length=3, apriori_index_k=2, count_document_frequency=True
+        )
+        result = AprioriIndexCounter(config).run(running_example)
+        expected = reference_document_frequencies(
+            running_example.records(), min_frequency=2, max_length=3
+        )
+        assert result.statistics == expected
+
+    def test_sentences_of_same_document_not_joined_across(self):
+        """Positions in different sentences of one document must not be adjacent."""
+        collection = DocumentCollection()
+        from repro.corpus.document import Document
+
+        # "a b" ends sentence 1 and "c" starts sentence 2: "b c" never occurs.
+        collection.add(Document.from_sentences(0, [["a", "b"], ["c", "a", "b"]]))
+        collection.add(Document.from_sentences(1, [["a", "b"], ["c", "a", "b"]]))
+        config = NGramJobConfig(min_frequency=2, max_length=3, apriori_index_k=1)
+        result = AprioriIndexCounter(config).run(collection)
+        assert ("b", "c") not in result.statistics
+        assert result.statistics.frequency(("a", "b")) == 4
+        assert result.statistics.frequency(("c", "a", "b")) == 2
+
+    def test_number_of_jobs(self, running_example):
+        config = NGramJobConfig(min_frequency=3, max_length=3, apriori_index_k=2)
+        result = AprioriIndexCounter(config).run(running_example)
+        # Two indexing jobs (k=1,2) plus one join job (k=3).
+        assert result.num_jobs == 3
+
+    def test_unbounded_sigma_terminates(self, running_example):
+        config = NGramJobConfig(min_frequency=3, max_length=None, apriori_index_k=2)
+        result = AprioriIndexCounter(config).run(running_example)
+        expected = reference_ngram_statistics(running_example.records(), min_frequency=3)
+        assert result.statistics == expected
+
+    def test_empty_collection(self):
+        config = NGramJobConfig(min_frequency=1, max_length=3)
+        result = AprioriIndexCounter(config).run(DocumentCollection())
+        assert len(result.statistics) == 0

@@ -1,0 +1,90 @@
+"""Tests for APRIORI-SCAN (Algorithm 2)."""
+
+import pytest
+
+from repro.algorithms.apriori_scan import AprioriScanCounter
+from repro.algorithms.naive import NaiveCounter
+from repro.config import NGramJobConfig
+from repro.ngrams.reference import (
+    reference_document_frequencies,
+    reference_ngram_statistics,
+)
+
+
+class TestAprioriScanCounter:
+    def test_running_example(self, running_example, running_example_expected):
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        result = AprioriScanCounter(config).run(running_example)
+        assert result.statistics.as_dict() == running_example_expected
+        assert result.algorithm == "APRIORI-SCAN"
+
+    def test_one_job_per_length(self, running_example):
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        result = AprioriScanCounter(config).run(running_example)
+        # sigma = 3 and frequent 3-grams exist, so exactly 3 scans are needed.
+        assert result.num_jobs == 3
+
+    def test_terminates_early_when_no_output(self, running_example):
+        # With tau=4 no 2-gram is frequent (max cf of a bigram is 4 for "x b")
+        # ... actually "x b" has cf 4, so 3-grams are checked and none pass;
+        # the run stops after the empty third scan even though sigma is 10.
+        config = NGramJobConfig(min_frequency=4, max_length=10)
+        result = AprioriScanCounter(config).run(running_example)
+        assert result.num_jobs <= 4
+        assert result.statistics.as_dict() == {("x",): 7, ("b",): 5, ("x", "b"): 4}
+
+    def test_emits_fewer_records_than_naive(self, small_newswire):
+        config = NGramJobConfig(min_frequency=5, max_length=4)
+        scan_result = AprioriScanCounter(config).run(small_newswire)
+        naive_result = NaiveCounter(config).run(small_newswire)
+        assert scan_result.statistics == naive_result.statistics
+        assert scan_result.map_output_records <= naive_result.map_output_records
+
+    def test_matches_reference_on_synthetic_corpus(self, small_web):
+        config = NGramJobConfig(min_frequency=4, max_length=4)
+        result = AprioriScanCounter(config).run(small_web)
+        expected = reference_ngram_statistics(
+            small_web.records(), min_frequency=4, max_length=4
+        )
+        assert result.statistics == expected
+
+    def test_document_frequency_mode(self, running_example):
+        config = NGramJobConfig(min_frequency=2, max_length=3, count_document_frequency=True)
+        result = AprioriScanCounter(config).run(running_example)
+        expected = reference_document_frequencies(
+            running_example.records(), min_frequency=2, max_length=3
+        )
+        assert result.statistics == expected
+
+    def test_without_combiner(self, running_example, running_example_expected):
+        config = NGramJobConfig(min_frequency=3, max_length=3, use_combiner=False)
+        result = AprioriScanCounter(config).run(running_example)
+        assert result.statistics.as_dict() == running_example_expected
+
+    def test_with_kvstore_dictionary(self, running_example, running_example_expected):
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        counter = AprioriScanCounter(config, dictionary_memory_budget=2)
+        result = counter.run(running_example)
+        assert result.statistics.as_dict() == running_example_expected
+
+    def test_unbounded_sigma_terminates(self, running_example):
+        config = NGramJobConfig(min_frequency=3, max_length=None)
+        result = AprioriScanCounter(config).run(running_example)
+        expected = reference_ngram_statistics(running_example.records(), min_frequency=3)
+        assert result.statistics == expected
+
+    def test_with_document_splitting(self, small_newswire):
+        config = NGramJobConfig(min_frequency=5, max_length=3, split_documents=True)
+        result = AprioriScanCounter(config).run(small_newswire)
+        expected = reference_ngram_statistics(
+            small_newswire.records(), min_frequency=5, max_length=3
+        )
+        assert result.statistics == expected
+
+    def test_empty_collection(self):
+        from repro.corpus.collection import DocumentCollection
+
+        config = NGramJobConfig(min_frequency=1, max_length=3)
+        result = AprioriScanCounter(config).run(DocumentCollection())
+        assert len(result.statistics) == 0
+        assert result.num_jobs == 1

@@ -1,0 +1,62 @@
+"""Tests for the distributed cache emulation."""
+
+import pytest
+
+from repro.exceptions import MapReduceError
+from repro.mapreduce.cache import DistributedCache
+
+
+class TestDistributedCache:
+    def test_publish_and_get(self):
+        cache = DistributedCache()
+        cache.publish("dict", {("a",), ("b",)})
+        assert cache.get("dict") == {("a",), ("b",)}
+
+    def test_missing_entry_raises(self):
+        cache = DistributedCache()
+        with pytest.raises(MapReduceError):
+            cache.get("missing")
+
+    def test_contains_and_in(self):
+        cache = DistributedCache()
+        cache.publish("x", 1)
+        assert cache.contains("x")
+        assert "x" in cache
+        assert "y" not in cache
+
+    def test_replace_entry(self):
+        cache = DistributedCache()
+        cache.publish("x", 1)
+        cache.publish("x", 2)
+        assert cache.get("x") == 2
+        assert len(cache) == 1
+
+    def test_remove(self):
+        cache = DistributedCache()
+        cache.publish("x", 1)
+        cache.remove("x")
+        assert "x" not in cache
+        cache.remove("x")  # removing twice is a no-op
+
+    def test_size_accounting(self):
+        cache = DistributedCache()
+        cache.publish("small", (1,))
+        cache.publish("large", tuple(range(1000)))
+        assert cache.size_bytes("large") > cache.size_bytes("small")
+        assert cache.total_bytes() == cache.size_bytes("small") + cache.size_bytes("large")
+
+    def test_size_of_missing_entry_raises(self):
+        cache = DistributedCache()
+        with pytest.raises(MapReduceError):
+            cache.size_bytes("missing")
+
+    def test_unsizeable_values_count_as_zero(self):
+        cache = DistributedCache()
+        cache.publish("opaque", object())
+        assert cache.size_bytes("opaque") == 0
+
+    def test_names_sorted(self):
+        cache = DistributedCache()
+        cache.publish("b", 1)
+        cache.publish("a", 2)
+        assert list(cache.names()) == ["a", "b"]

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    directory = str(tmp_path / "corpus")
+    exit_code = main(
+        [
+            "generate",
+            "--dataset",
+            "nyt",
+            "--documents",
+            "15",
+            "--seed",
+            "3",
+            "--output",
+            directory,
+            "--shards",
+            "2",
+        ]
+    )
+    assert exit_code == 0
+    return directory
+
+
+class TestGenerate:
+    def test_creates_corpus_files(self, corpus_dir, capsys):
+        files = os.listdir(corpus_dir)
+        assert "dictionary.txt" in files
+        assert any(name.startswith("part-") for name in files)
+
+    def test_web_dataset(self, tmp_path):
+        directory = str(tmp_path / "web")
+        assert main(["generate", "--dataset", "cw", "--documents", "10", "--output", directory]) == 0
+        assert os.path.exists(os.path.join(directory, "dictionary.txt"))
+
+
+class TestStats:
+    def test_prints_table1_rows(self, corpus_dir, capsys):
+        assert main(["stats", "--input", corpus_dir]) == 0
+        output = capsys.readouterr().out
+        assert "# documents" in output
+        assert "sentence length (mean)" in output
+
+
+class TestCount:
+    def test_basic_count(self, corpus_dir, capsys):
+        assert main(["count", "--input", corpus_dir, "--tau", "3", "--sigma", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "SUFFIX-SIGMA" in output
+        assert "n-grams" in output
+
+    def test_count_with_naive(self, corpus_dir, capsys):
+        assert (
+            main(["count", "--input", corpus_dir, "--tau", "5", "--sigma", "2", "--algorithm", "NAIVE"])
+            == 0
+        )
+        assert "NAIVE" in capsys.readouterr().out
+
+    def test_count_maximal(self, corpus_dir, capsys):
+        assert main(["count", "--input", corpus_dir, "--tau", "3", "--sigma", "3", "--maximal"]) == 0
+        assert "SUFFIX-SIGMA-MAXIMAL" in capsys.readouterr().out
+
+    def test_count_closed_writes_output_file(self, corpus_dir, tmp_path, capsys):
+        output_file = str(tmp_path / "ngrams.tsv")
+        assert (
+            main(
+                [
+                    "count",
+                    "--input",
+                    corpus_dir,
+                    "--tau",
+                    "3",
+                    "--sigma",
+                    "3",
+                    "--closed",
+                    "--output",
+                    output_file,
+                ]
+            )
+            == 0
+        )
+        with open(output_file, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        assert lines
+        assert all("\t" in line for line in lines)
+
+    def test_maximal_and_closed_conflict(self, corpus_dir, capsys):
+        assert (
+            main(["count", "--input", corpus_dir, "--maximal", "--closed"]) == 2
+        )
+
+    def test_document_frequency_flag(self, corpus_dir, capsys):
+        assert (
+            main(["count", "--input", corpus_dir, "--tau", "2", "--sigma", "2", "--document-frequency"])
+            == 0
+        )
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "NYT-like" in output
+        assert "# term occurrences" in output
+
+    def test_extensions(self, capsys):
+        assert main(["experiment", "extensions", "--scale", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "maximal" in output
+
+    def test_ablations_with_export(self, tmp_path, capsys):
+        export_path = str(tmp_path / "ablations.csv")
+        assert main(["experiment", "ablations", "--scale", "0.08", "--export", export_path]) == 0
+        assert os.path.exists(export_path)
+        with open(export_path, "r", encoding="utf-8") as handle:
+            header = handle.readline()
+        assert "algorithm" in header
+        assert "records" in header
+
+
+class TestApplicationCommands:
+    def test_coderivatives(self, corpus_dir, capsys):
+        assert main(["coderivatives", "--input", corpus_dir, "--min-length", "6", "--top", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "longest shared n-gram" in output or "no co-derivative" in output
+
+    def test_coderivatives_none_found(self, corpus_dir, capsys):
+        assert main(["coderivatives", "--input", corpus_dir, "--min-length", "500"]) == 0
+        assert "no co-derivative" in capsys.readouterr().out
+
+    def test_trends(self, corpus_dir, capsys):
+        assert main(["trends", "--input", corpus_dir, "--tau", "3", "--sigma", "2", "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "rising n-grams" in output
+        assert "declining n-grams" in output

@@ -1,0 +1,118 @@
+"""Tests for the simulated cluster cost model."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.mapreduce.cluster import ClusterCostModel, SimulatedCluster
+from repro.mapreduce.metrics import JobMetrics, TaskMetrics
+
+
+def _job_metrics(num_map_tasks=8, num_reduce_tasks=4, records_per_task=1000, bytes_per_task=10_000):
+    metrics = JobMetrics(job_name="test")
+    for index in range(num_map_tasks):
+        metrics.map_tasks.append(
+            TaskMetrics(
+                task_type="map",
+                task_index=index,
+                input_records=records_per_task,
+                output_records=records_per_task,
+                output_bytes=bytes_per_task,
+            )
+        )
+    for index in range(num_reduce_tasks):
+        metrics.reduce_tasks.append(
+            TaskMetrics(
+                task_type="reduce",
+                task_index=index,
+                input_records=records_per_task,
+                output_records=records_per_task // 10,
+                output_bytes=bytes_per_task // 10,
+                sorted_records=records_per_task,
+            )
+        )
+    return metrics
+
+
+class TestTaskMetrics:
+    def test_invalid_task_type(self):
+        with pytest.raises(ValueError):
+            TaskMetrics(task_type="shuffle", task_index=0, input_records=0, output_records=0, output_bytes=0)
+
+    def test_job_metrics_aggregates(self):
+        metrics = _job_metrics(num_map_tasks=3, num_reduce_tasks=2, records_per_task=10)
+        assert metrics.num_map_tasks == 3
+        assert metrics.num_reduce_tasks == 2
+        assert metrics.map_output_records == 30
+        assert metrics.reduce_output_records == 2
+
+
+class TestClusterCostModel:
+    def test_more_slots_never_slower(self):
+        metrics = _job_metrics(num_map_tasks=32)
+        durations = []
+        for slots in (4, 8, 16, 32, 64):
+            model = ClusterCostModel(ClusterConfig.with_slots(slots))
+            durations.append(model.estimate_job(metrics).total_seconds)
+        assert all(later <= earlier + 1e-9 for earlier, later in zip(durations, durations[1:]))
+
+    def test_diminishing_returns_beyond_task_count(self):
+        metrics = _job_metrics(num_map_tasks=8, num_reduce_tasks=4)
+        model_8 = ClusterCostModel(ClusterConfig.with_slots(8))
+        model_64 = ClusterCostModel(ClusterConfig.with_slots(64))
+        # With only 8 map tasks, going from 8 to 64 slots saves nothing in
+        # the map phase.
+        assert (
+            model_8.estimate_job(metrics).map_phase.seconds
+            == model_64.estimate_job(metrics).map_phase.seconds
+        )
+
+    def test_job_overhead_charged_per_job(self):
+        config = ClusterConfig(job_overhead=2.0)
+        model = ClusterCostModel(config)
+        metrics = _job_metrics()
+        single = model.estimate_pipeline([metrics])
+        double = model.estimate_pipeline([metrics, metrics])
+        assert double == pytest.approx(2 * single)
+        assert single >= 2.0
+
+    def test_empty_phase(self):
+        metrics = JobMetrics(job_name="empty")
+        model = ClusterCostModel(ClusterConfig())
+        estimate = model.estimate_job(metrics)
+        assert estimate.map_phase.seconds == 0.0
+        assert estimate.reduce_phase.seconds == 0.0
+        assert estimate.total_seconds == pytest.approx(ClusterConfig().job_overhead)
+
+    def test_more_records_cost_more(self):
+        model = ClusterCostModel(ClusterConfig())
+        small = model.estimate_job(_job_metrics(records_per_task=100)).total_seconds
+        large = model.estimate_job(_job_metrics(records_per_task=10_000)).total_seconds
+        assert large > small
+
+    def test_shuffle_cost_scales_with_bytes(self):
+        model = ClusterCostModel(ClusterConfig())
+        small = model.estimate_job(_job_metrics(bytes_per_task=1_000)).shuffle_seconds
+        large = model.estimate_job(_job_metrics(bytes_per_task=1_000_000)).shuffle_seconds
+        assert large > small
+
+    def test_phase_estimate_wave_count(self):
+        metrics = _job_metrics(num_map_tasks=10)
+        model = ClusterCostModel(ClusterConfig.with_slots(4))
+        estimate = model.estimate_job(metrics)
+        assert estimate.map_phase.num_tasks == 10
+        assert estimate.map_phase.num_waves == 3
+
+
+class TestSimulatedCluster:
+    def test_wallclock_wrapper(self):
+        cluster = SimulatedCluster.with_slots(16)
+        metrics = [_job_metrics(), _job_metrics()]
+        assert cluster.wallclock(metrics) == pytest.approx(
+            ClusterCostModel(cluster.config).estimate_pipeline(metrics)
+        )
+
+    def test_job_estimates(self):
+        cluster = SimulatedCluster.with_slots(8)
+        estimates = cluster.job_estimates([_job_metrics(), _job_metrics()])
+        assert len(estimates) == 2
+        assert all(estimate.total_seconds > 0 for estimate in estimates)

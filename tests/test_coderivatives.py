@@ -1,0 +1,87 @@
+"""Tests for co-derivative document detection."""
+
+import pytest
+
+from repro.applications.coderivatives import CoderivativePair, find_coderivative_pairs
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.exceptions import ConfigurationError
+
+
+def _collection_with_copy():
+    shared = "it was the best of times it was the worst of times".split()
+    unique_a = "completely unrelated text about gardening and tomatoes".split()
+    unique_b = "another unrelated report about football results yesterday".split()
+    unique_c = "a third piece covering local weather and traffic updates".split()
+    documents = [
+        Document.from_sentences(0, [shared, unique_a]),
+        Document.from_sentences(1, [unique_b]),
+        Document.from_sentences(2, [shared, unique_c]),
+    ]
+    return DocumentCollection(documents)
+
+
+class TestFindCoderivativePairs:
+    def test_detects_planted_copy(self):
+        pairs = find_coderivative_pairs(_collection_with_copy(), min_shared_length=6)
+        assert pairs
+        top = pairs[0]
+        assert top.pair == (0, 2)
+        assert top.longest_shared_length >= 12
+
+    def test_unrelated_documents_not_reported(self):
+        pairs = find_coderivative_pairs(_collection_with_copy(), min_shared_length=6)
+        reported = {pair.pair for pair in pairs}
+        assert (0, 1) not in reported
+        assert (1, 2) not in reported
+
+    def test_min_shared_length_filters(self):
+        collection = DocumentCollection.from_token_lists(
+            [
+                "a b c d e".split(),
+                "a b c x y".split(),
+            ]
+        )
+        # Shared run "a b c" has length 3.
+        assert find_coderivative_pairs(collection, min_shared_length=4) == []
+        pairs = find_coderivative_pairs(collection, min_shared_length=3)
+        assert pairs and pairs[0].longest_shared_length == 3
+
+    def test_max_pairs_truncates(self):
+        collection = DocumentCollection.from_token_lists(
+            [
+                "one two three four five six".split(),
+                "one two three four five six".split(),
+                "one two three four five six".split(),
+            ]
+        )
+        pairs = find_coderivative_pairs(collection, min_shared_length=4, max_pairs=2)
+        assert len(pairs) == 2
+
+    def test_sorted_by_evidence(self):
+        long_shared = "alpha beta gamma delta epsilon zeta eta theta".split()
+        short_shared = "one two three four".split()
+        collection = DocumentCollection(
+            [
+                Document.from_sentences(0, [long_shared]),
+                Document.from_sentences(1, [long_shared]),
+                Document.from_sentences(2, [short_shared]),
+                Document.from_sentences(3, [short_shared]),
+            ]
+        )
+        pairs = find_coderivative_pairs(collection, min_shared_length=4)
+        assert pairs[0].pair == (0, 1)
+        assert pairs[0].longest_shared_length > pairs[-1].longest_shared_length
+
+    def test_invalid_parameters(self):
+        collection = _collection_with_copy()
+        with pytest.raises(ConfigurationError):
+            find_coderivative_pairs(collection, min_shared_length=0)
+        with pytest.raises(ConfigurationError):
+            find_coderivative_pairs(collection, min_documents=1)
+
+    def test_pair_dataclass_properties(self):
+        pair = CoderivativePair(
+            left_doc_id=3, right_doc_id=9, longest_shared_length=10, shared_ngrams=2, shared_tokens=19
+        )
+        assert pair.pair == (3, 9)

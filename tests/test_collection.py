@@ -1,0 +1,125 @@
+"""Tests for document collections (raw and encoded)."""
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection, EncodedCollection, EncodedDocument
+from repro.corpus.document import Document
+from repro.corpus.vocabulary import Vocabulary
+from repro.exceptions import CorpusError
+
+
+class TestDocumentCollection:
+    def test_from_token_lists(self):
+        collection = DocumentCollection.from_token_lists([["a", "b"], ["c"]])
+        assert len(collection) == 2
+        assert collection[0].tokens == ("a", "b")
+        assert collection[1].tokens == ("c",)
+
+    def test_from_token_lists_with_timestamps(self):
+        collection = DocumentCollection.from_token_lists([["a"], ["b"]], timestamps=[2000, 2001])
+        assert collection.timestamps() == {0: 2000, 1: 2001}
+
+    def test_timestamps_length_mismatch(self):
+        with pytest.raises(CorpusError):
+            DocumentCollection.from_token_lists([["a"]], timestamps=[1, 2])
+
+    def test_duplicate_doc_id_rejected(self):
+        collection = DocumentCollection()
+        collection.add(Document.from_tokens(0, ["a"]))
+        with pytest.raises(CorpusError):
+            collection.add(Document.from_tokens(0, ["b"]))
+
+    def test_records_one_per_sentence(self):
+        collection = DocumentCollection(
+            [Document.from_sentences(0, [["a", "b"], ["c"]]), Document.from_tokens(1, ["d"])]
+        )
+        records = list(collection.records())
+        assert records == [(0, ("a", "b")), (0, ("c",)), (1, ("d",))]
+
+    def test_counts(self, running_example):
+        assert len(running_example) == 3
+        assert running_example.num_token_occurrences == 15
+        assert running_example.num_sentences == 3
+        assert running_example.distinct_terms() == {"a", "b", "x"}
+
+    def test_missing_doc_raises_keyerror(self, running_example):
+        with pytest.raises(KeyError):
+            _ = running_example[99]
+
+    def test_sample_fraction_one_returns_all(self, small_newswire):
+        sampled = small_newswire.sample(1.0)
+        assert len(sampled) == len(small_newswire)
+
+    def test_sample_deterministic(self, small_newswire):
+        first = small_newswire.sample(0.5, seed=3)
+        second = small_newswire.sample(0.5, seed=3)
+        assert [d.doc_id for d in first] == [d.doc_id for d in second]
+
+    def test_sample_rough_size(self, small_newswire):
+        sampled = small_newswire.sample(0.5, seed=1)
+        assert 0 < len(sampled) < len(small_newswire)
+
+    def test_sample_invalid_fraction(self, small_newswire):
+        with pytest.raises(CorpusError):
+            small_newswire.sample(0.0)
+        with pytest.raises(CorpusError):
+            small_newswire.sample(1.5)
+
+
+class TestEncoding:
+    def test_encode_roundtrip_surface_forms(self, running_example):
+        encoded = running_example.encode()
+        assert len(encoded) == 3
+        for document, encoded_document in zip(running_example, encoded):
+            decoded = tuple(
+                encoded.vocabulary.term(term_id)
+                for sentence in encoded_document.sentences
+                for term_id in sentence
+            )
+            assert decoded == document.tokens
+
+    def test_term_ids_ordered_by_frequency(self, running_example):
+        encoded = running_example.encode()
+        vocabulary = encoded.vocabulary
+        # x occurs 7 times, b 5 times, a 3 times.
+        assert vocabulary.term_id("x") == 0
+        assert vocabulary.term_id("b") == 1
+        assert vocabulary.term_id("a") == 2
+
+    def test_encode_with_existing_vocabulary(self, running_example):
+        vocabulary = Vocabulary.from_collection(running_example)
+        encoded = running_example.encode(vocabulary)
+        assert encoded.vocabulary is vocabulary
+
+    def test_encoded_records_and_counts(self, running_example):
+        encoded = running_example.encode()
+        assert encoded.num_token_occurrences == 15
+        assert encoded.num_sentences == 3
+        records = list(encoded.records())
+        assert len(records) == 3
+        assert all(isinstance(term, int) for _, seq in records for term in seq)
+
+    def test_encoded_timestamps(self):
+        collection = DocumentCollection.from_token_lists([["a"], ["b"]], timestamps=[1990, None])
+        encoded = collection.encode()
+        assert encoded.timestamps() == {0: 1990, 1: None}
+
+    def test_decode_ngram(self, running_example):
+        encoded = running_example.encode()
+        ngram = (encoded.vocabulary.term_id("a"), encoded.vocabulary.term_id("x"))
+        assert encoded.decode_ngram(ngram) == ("a", "x")
+
+    def test_duplicate_encoded_doc_rejected(self):
+        vocabulary = Vocabulary.from_term_frequencies({"a": 1})
+        documents = [
+            EncodedDocument(doc_id=0, sentences=((0,),)),
+            EncodedDocument(doc_id=0, sentences=((0,),)),
+        ]
+        with pytest.raises(CorpusError):
+            EncodedCollection(documents, vocabulary)
+
+    def test_encoded_getitem(self, running_example):
+        encoded = running_example.encode()
+        assert encoded[1].doc_id == 1
+        with pytest.raises(KeyError):
+            _ = encoded[42]

@@ -1,0 +1,84 @@
+"""Tests for the configuration objects."""
+
+import pytest
+
+from repro.config import ClusterConfig, NGramJobConfig, UNBOUNDED
+from repro.exceptions import ConfigurationError
+
+
+class TestNGramJobConfig:
+    def test_defaults(self):
+        config = NGramJobConfig()
+        assert config.min_frequency == 1
+        assert config.max_length is UNBOUNDED
+        assert config.num_reducers >= 1
+
+    def test_paper_symbol_aliases(self):
+        config = NGramJobConfig(min_frequency=7, max_length=3)
+        assert config.tau == 7
+        assert config.sigma == 3
+
+    def test_rejects_non_positive_tau(self):
+        with pytest.raises(ConfigurationError):
+            NGramJobConfig(min_frequency=0)
+
+    def test_rejects_negative_tau(self):
+        with pytest.raises(ConfigurationError):
+            NGramJobConfig(min_frequency=-5)
+
+    def test_rejects_non_positive_sigma(self):
+        with pytest.raises(ConfigurationError):
+            NGramJobConfig(max_length=0)
+
+    def test_none_sigma_means_unbounded(self):
+        config = NGramJobConfig(max_length=None)
+        assert config.effective_max_length(42) == 42
+
+    def test_effective_max_length_clamps_to_document(self):
+        config = NGramJobConfig(max_length=5)
+        assert config.effective_max_length(3) == 3
+        assert config.effective_max_length(10) == 5
+
+    def test_rejects_invalid_num_reducers(self):
+        with pytest.raises(ConfigurationError):
+            NGramJobConfig(num_reducers=0)
+
+    def test_rejects_invalid_apriori_index_k(self):
+        with pytest.raises(ConfigurationError):
+            NGramJobConfig(apriori_index_k=0)
+
+    def test_with_updates_returns_new_instance(self):
+        config = NGramJobConfig(min_frequency=2)
+        updated = config.with_updates(min_frequency=9)
+        assert updated.min_frequency == 9
+        assert config.min_frequency == 2
+
+    def test_with_updates_validates(self):
+        config = NGramJobConfig()
+        with pytest.raises(ConfigurationError):
+            config.with_updates(min_frequency=0)
+
+    def test_frozen(self):
+        config = NGramJobConfig()
+        with pytest.raises(Exception):
+            config.min_frequency = 10  # type: ignore[misc]
+
+
+class TestClusterConfig:
+    def test_defaults_are_valid(self):
+        config = ClusterConfig()
+        assert config.map_slots >= 1
+        assert config.reduce_slots >= 1
+
+    def test_with_slots(self):
+        config = ClusterConfig.with_slots(32)
+        assert config.map_slots == 32
+        assert config.reduce_slots == 32
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(map_slots=0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(job_overhead=-1.0)

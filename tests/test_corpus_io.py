@@ -1,0 +1,63 @@
+"""Tests for the on-disk corpus format."""
+
+import os
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.io import read_encoded_collection, write_encoded_collection
+from repro.exceptions import CorpusError
+
+
+class TestCorpusIO:
+    def test_roundtrip(self, small_newswire, tmp_path):
+        encoded = small_newswire.encode()
+        directory = str(tmp_path / "corpus")
+        write_encoded_collection(encoded, directory, num_shards=4)
+
+        loaded = read_encoded_collection(directory)
+        assert len(loaded) == len(encoded)
+        assert len(loaded.vocabulary) == len(encoded.vocabulary)
+        for original, restored in zip(encoded.documents, loaded.documents):
+            assert original.doc_id == restored.doc_id
+            assert original.sentences == restored.sentences
+            assert original.timestamp == restored.timestamp
+
+    def test_roundtrip_preserves_vocabulary_mapping(self, running_example, tmp_path):
+        encoded = running_example.encode()
+        directory = str(tmp_path / "tiny")
+        write_encoded_collection(encoded, directory, num_shards=1)
+        loaded = read_encoded_collection(directory)
+        for term in ("a", "b", "x"):
+            assert loaded.vocabulary.term_id(term) == encoded.vocabulary.term_id(term)
+
+    def test_shard_files_created(self, running_example, tmp_path):
+        encoded = running_example.encode()
+        directory = str(tmp_path / "sharded")
+        write_encoded_collection(encoded, directory, num_shards=3)
+        files = sorted(os.listdir(directory))
+        assert "dictionary.txt" in files
+        assert sum(1 for name in files if name.startswith("part-")) == 3
+
+    def test_documents_without_timestamp(self, tmp_path):
+        collection = DocumentCollection.from_token_lists([["a", "b"], ["b"]])
+        encoded = collection.encode()
+        directory = str(tmp_path / "no-ts")
+        write_encoded_collection(encoded, directory)
+        loaded = read_encoded_collection(directory)
+        assert all(document.timestamp is None for document in loaded.documents)
+
+    def test_invalid_shard_count(self, running_example, tmp_path):
+        with pytest.raises(CorpusError):
+            write_encoded_collection(running_example.encode(), str(tmp_path / "x"), num_shards=0)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(CorpusError):
+            read_encoded_collection(str(tmp_path / "does-not-exist"))
+
+    def test_records_identical_after_roundtrip(self, small_web, tmp_path):
+        encoded = small_web.encode()
+        directory = str(tmp_path / "web")
+        write_encoded_collection(encoded, directory, num_shards=5)
+        loaded = read_encoded_collection(directory)
+        assert list(loaded.records()) == list(encoded.records())

@@ -1,0 +1,56 @@
+"""Tests for collection statistics (Table I quantities)."""
+
+import math
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.stats import compute_statistics
+
+
+class TestComputeStatistics:
+    def test_running_example(self, running_example):
+        statistics = compute_statistics(running_example)
+        assert statistics.num_documents == 3
+        assert statistics.num_term_occurrences == 15
+        assert statistics.num_distinct_terms == 3
+        assert statistics.num_sentences == 3
+        assert statistics.sentence_length_mean == 5.0
+        assert statistics.sentence_length_stddev == 0.0
+
+    def test_multi_sentence_documents(self):
+        collection = DocumentCollection(
+            [
+                Document.from_sentences(0, [["a", "b", "c"], ["d"]]),
+                Document.from_sentences(1, [["e", "f"]]),
+            ]
+        )
+        statistics = compute_statistics(collection)
+        assert statistics.num_documents == 2
+        assert statistics.num_sentences == 3
+        assert statistics.num_term_occurrences == 6
+        assert statistics.sentence_length_mean == 2.0
+        expected_std = math.sqrt(((3 - 2) ** 2 + (1 - 2) ** 2 + (2 - 2) ** 2) / 3)
+        assert abs(statistics.sentence_length_stddev - expected_std) < 1e-12
+
+    def test_empty_collection(self):
+        statistics = compute_statistics(DocumentCollection())
+        assert statistics.num_documents == 0
+        assert statistics.sentence_length_mean == 0.0
+        assert statistics.sentence_length_stddev == 0.0
+
+    def test_works_on_encoded_collections(self, running_example):
+        raw = compute_statistics(running_example)
+        encoded = compute_statistics(running_example.encode())
+        assert encoded == raw
+
+    def test_as_rows_order(self, running_example):
+        rows = compute_statistics(running_example).as_rows()
+        labels = [label for label, _ in rows]
+        assert labels == [
+            "# documents",
+            "# term occurrences",
+            "# distinct terms",
+            "# sentences",
+            "sentence length (mean)",
+            "sentence length (stddev)",
+        ]

@@ -1,0 +1,82 @@
+"""Tests for Hadoop-style counters."""
+
+from repro.mapreduce.counters import (
+    MAP_OUTPUT_BYTES,
+    MAP_OUTPUT_RECORDS,
+    CounterGroup,
+    Counters,
+)
+
+
+class TestCounterGroup:
+    def test_starts_at_zero(self):
+        group = CounterGroup("task")
+        assert group.get("anything") == 0
+
+    def test_increment_default_amount(self):
+        group = CounterGroup("task")
+        group.increment("records")
+        group.increment("records")
+        assert group.get("records") == 2
+
+    def test_increment_amount(self):
+        group = CounterGroup("task")
+        group.increment("bytes", 100)
+        group.increment("bytes", 23)
+        assert group.get("bytes") == 123
+
+    def test_items_sorted(self):
+        group = CounterGroup("task")
+        group.increment("b")
+        group.increment("a")
+        assert [name for name, _ in group.items()] == ["a", "b"]
+
+    def test_merge(self):
+        left = CounterGroup("task")
+        right = CounterGroup("task")
+        left.increment("records", 3)
+        right.increment("records", 4)
+        right.increment("bytes", 10)
+        left.merge(right)
+        assert left.get("records") == 7
+        assert left.get("bytes") == 10
+
+
+class TestCounters:
+    def test_group_creation_is_idempotent(self):
+        counters = Counters()
+        assert counters.group("task") is counters.group("task")
+
+    def test_increment_and_get(self):
+        counters = Counters()
+        counters.increment(MAP_OUTPUT_RECORDS, 5)
+        assert counters.get(MAP_OUTPUT_RECORDS) == 5
+        assert counters.map_output_records == 5
+
+    def test_custom_group(self):
+        counters = Counters()
+        counters.increment("hits", 2, group="cache")
+        assert counters.get("hits", group="cache") == 2
+        assert counters.get("hits") == 0
+
+    def test_merge_aggregates_all_groups(self):
+        left = Counters()
+        right = Counters()
+        left.increment(MAP_OUTPUT_BYTES, 10)
+        right.increment(MAP_OUTPUT_BYTES, 32)
+        right.increment("hits", 1, group="cache")
+        left.merge(right)
+        assert left.map_output_bytes == 42
+        assert left.get("hits", group="cache") == 1
+
+    def test_as_dict_roundtrip(self):
+        counters = Counters()
+        counters.increment(MAP_OUTPUT_RECORDS, 7)
+        counters.increment("hits", 3, group="cache")
+        rebuilt = Counters.from_dict(counters.as_dict())
+        assert rebuilt.as_dict() == counters.as_dict()
+
+    def test_properties_default_zero(self):
+        counters = Counters()
+        assert counters.map_output_records == 0
+        assert counters.map_output_bytes == 0

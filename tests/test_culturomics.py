@@ -1,0 +1,118 @@
+"""Tests for the culturomics (time-series analysis) application."""
+
+import pytest
+
+from repro.applications.culturomics import (
+    TrendReport,
+    normalise_series,
+    peak_bucket,
+    trend_report,
+    yearly_token_totals,
+)
+from repro.algorithms.extensions import SuffixSigmaTimeSeriesCounter
+from repro.config import NGramJobConfig
+from repro.corpus.collection import DocumentCollection
+from repro.exceptions import ConfigurationError
+from repro.ngrams.timeseries import NGramTimeSeriesCollection, TimeSeries
+
+
+class TestNormalisation:
+    def test_normalise_series(self):
+        series = TimeSeries.from_mapping({1990: 2, 1991: 4})
+        totals = {1990: 10, 1991: 10}
+        assert normalise_series(series, totals) == {1990: 0.2, 1991: 0.4}
+
+    def test_missing_totals_omitted(self):
+        series = TimeSeries.from_mapping({1990: 2, 1991: 4})
+        assert normalise_series(series, {1990: 10}) == {1990: 0.2}
+
+    def test_zero_total_omitted(self):
+        series = TimeSeries.from_mapping({1990: 2})
+        assert normalise_series(series, {1990: 0}) == {}
+
+
+class TestPeak:
+    def test_peak_bucket(self):
+        series = TimeSeries.from_mapping({1990: 2, 1995: 9, 2000: 3})
+        assert peak_bucket(series) == 1995
+
+    def test_peak_tie_earliest_wins(self):
+        series = TimeSeries.from_mapping({1990: 5, 2000: 5})
+        assert peak_bucket(series) == 1990
+
+    def test_peak_of_empty_series(self):
+        assert peak_bucket(TimeSeries()) is None
+
+
+class TestTrendReport:
+    def _collection(self):
+        collection = NGramTimeSeriesCollection()
+        collection.set(("rising",), TimeSeries.from_mapping({1990: 1, 1995: 5, 2000: 9}))
+        collection.set(("falling",), TimeSeries.from_mapping({1990: 9, 1995: 5, 2000: 1}))
+        collection.set(("flat",), TimeSeries.from_mapping({1990: 3, 1995: 3, 2000: 3}))
+        collection.set(("rare",), TimeSeries.from_mapping({1990: 1}))
+        return collection
+
+    def test_slope_signs(self):
+        reports = {report.ngram: report for report in trend_report(self._collection())}
+        assert reports[("rising",)].rising
+        assert reports[("falling",)].declining
+        assert not reports[("flat",)].rising and not reports[("flat",)].declining
+
+    def test_sorted_by_slope_descending(self):
+        reports = trend_report(self._collection())
+        slopes = [report.slope for report in reports]
+        assert slopes == sorted(slopes, reverse=True)
+
+    def test_min_total_filter(self):
+        reports = trend_report(self._collection(), min_total=5)
+        assert ("rare",) not in {report.ngram for report in reports}
+
+    def test_invalid_min_total(self):
+        with pytest.raises(ConfigurationError):
+            trend_report(self._collection(), min_total=0)
+
+    def test_report_fields(self):
+        reports = {report.ngram: report for report in trend_report(self._collection())}
+        rising = reports[("rising",)]
+        assert isinstance(rising, TrendReport)
+        assert rising.total == 15
+        assert rising.peak == 2000
+        assert rising.first_bucket == 1990
+        assert rising.last_bucket == 2000
+
+    def test_normalised_slopes_ignore_corpus_growth(self):
+        collection = NGramTimeSeriesCollection()
+        # The phrase doubles because the corpus doubles: relative use is flat.
+        collection.set(("phrase",), TimeSeries.from_mapping({1990: 10, 2000: 20}))
+        totals = {1990: 1000, 2000: 2000}
+        normalised = trend_report(collection, yearly_totals=totals)
+        raw = trend_report(collection)
+        assert raw[0].slope > 0
+        assert normalised[0].slope == pytest.approx(0.0)
+
+
+class TestEndToEnd:
+    def test_with_suffix_sigma_time_series(self):
+        collection = DocumentCollection.from_token_lists(
+            [
+                "hope and change".split(),
+                "hope and change".split(),
+                "fear and doubt".split(),
+                "hope and change".split(),
+            ],
+            timestamps=[2000, 2004, 2000, 2008],
+        )
+        counter = SuffixSigmaTimeSeriesCounter(NGramJobConfig(min_frequency=2, max_length=3))
+        counter.run(collection)
+        totals = yearly_token_totals(collection)
+        assert totals == {2000: 6, 2004: 3, 2008: 3}
+        reports = trend_report(counter.time_series, yearly_totals=totals, min_total=2)
+        by_ngram = {report.ngram: report for report in reports}
+        assert ("hope", "and", "change") in by_ngram
+
+    def test_yearly_totals_skip_missing_timestamps(self):
+        collection = DocumentCollection.from_token_lists(
+            [["a", "b"], ["c"]], timestamps=[1999, None]
+        )
+        assert yearly_token_totals(collection) == {1999: 2}

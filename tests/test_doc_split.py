@@ -1,0 +1,82 @@
+"""Tests for the document-splitting optimisation (Section V)."""
+
+from collections import Counter
+
+from hypothesis import given, strategies as st
+
+from repro.algorithms.doc_split import (
+    split_records,
+    split_sequence_at_infrequent_terms,
+    unigram_frequencies,
+)
+from repro.ngrams.reference import reference_ngram_statistics
+
+
+class TestSplitSequence:
+    def test_split_at_barrier(self):
+        fragments = split_sequence_at_infrequent_terms(
+            ("c", "b", "a", "z", "b", "a", "c"), {"a", "b", "c"}
+        )
+        assert fragments == [("c", "b", "a"), ("b", "a", "c")]
+
+    def test_no_barriers(self):
+        assert split_sequence_at_infrequent_terms(("a", "b"), {"a", "b"}) == [("a", "b")]
+
+    def test_all_barriers(self):
+        assert split_sequence_at_infrequent_terms(("z", "z"), {"a"}) == []
+
+    def test_leading_and_trailing_barriers(self):
+        assert split_sequence_at_infrequent_terms(("z", "a", "z"), {"a"}) == [("a",)]
+
+    def test_empty_sequence(self):
+        assert split_sequence_at_infrequent_terms((), {"a"}) == []
+
+
+class TestUnigramFrequencies:
+    def test_counts(self, running_example):
+        counts = unigram_frequencies(running_example.records())
+        assert counts == Counter({"x": 7, "b": 5, "a": 3})
+
+
+class TestSplitRecords:
+    def test_preserves_doc_ids(self):
+        # a and z occur twice (frequent at tau=2); b occurs once and is the barrier.
+        records = [(7, ("a", "z", "b", "z", "a"))]
+        result = split_records(records, min_frequency=2)
+        assert [doc_id for doc_id, _ in result] == [7, 7]
+        assert [fragment for _, fragment in result] == [("a", "z"), ("z", "a")]
+
+    def test_frequent_ngram_statistics_unchanged(self, running_example):
+        """Splitting is safe: frequent n-grams and their frequencies survive."""
+        tau = 3
+        original = reference_ngram_statistics(
+            running_example.records(), min_frequency=tau, max_length=3
+        )
+        split = reference_ngram_statistics(
+            split_records(list(running_example.records()), tau), min_frequency=tau, max_length=3
+        )
+        assert split == original
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=12),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_splitting_never_changes_frequent_ngrams(self, documents, tau, sigma):
+        """Property: for any collection and any τ/σ, document splitting at
+        infrequent unigrams preserves the frequent n-grams exactly."""
+        records = [(index, tuple(tokens)) for index, tokens in enumerate(documents)]
+        original = reference_ngram_statistics(records, min_frequency=tau, max_length=sigma)
+        split = reference_ngram_statistics(
+            split_records(records, tau), min_frequency=tau, max_length=sigma
+        )
+        assert split == original
+
+    def test_explicit_term_frequencies(self):
+        records = [(0, ("a", "b", "a"))]
+        result = split_records(records, min_frequency=2, term_frequencies=Counter({"a": 2, "b": 1}))
+        assert result == [(0, ("a",)), (0, ("a",))]

@@ -1,0 +1,48 @@
+"""Tests for documents."""
+
+import pytest
+
+from repro.corpus.document import Document
+from repro.exceptions import CorpusError
+
+
+class TestDocument:
+    def test_from_tokens_single_sentence(self):
+        document = Document.from_tokens(3, ["a", "b", "c"], timestamp=1999)
+        assert document.doc_id == 3
+        assert document.sentences == (("a", "b", "c"),)
+        assert document.timestamp == 1999
+        assert document.num_tokens == 3
+        assert document.num_sentences == 1
+
+    def test_from_sentences(self):
+        document = Document.from_sentences(0, [["a", "b"], ["c"]])
+        assert document.sentences == (("a", "b"), ("c",))
+        assert document.num_tokens == 3
+        assert document.num_sentences == 2
+
+    def test_tokens_flattens_sentences(self):
+        document = Document.from_sentences(0, [["a", "b"], ["c"]])
+        assert document.tokens == ("a", "b", "c")
+
+    def test_negative_doc_id_rejected(self):
+        with pytest.raises(CorpusError):
+            Document.from_tokens(-1, ["a"])
+
+    def test_metadata_kwargs(self):
+        document = Document.from_tokens(1, ["a"], source="nyt", title="hello")
+        assert document.metadata == {"source": "nyt", "title": "hello"}
+
+    def test_iter_sentences(self):
+        document = Document.from_sentences(0, [["a"], ["b"]])
+        assert list(document.iter_sentences()) == [("a",), ("b",)]
+
+    def test_empty_document(self):
+        document = Document(doc_id=0, sentences=())
+        assert document.num_tokens == 0
+        assert document.tokens == ()
+
+    def test_immutable(self):
+        document = Document.from_tokens(0, ["a"])
+        with pytest.raises(Exception):
+            document.doc_id = 5  # type: ignore[misc]

@@ -1,0 +1,87 @@
+"""Tests for CSV/JSON experiment exports."""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.harness.export import (
+    CSV_COLUMNS,
+    measurements_to_rows,
+    read_measurements_json,
+    sweep_to_rows,
+    write_measurements_csv,
+    write_measurements_json,
+    write_sweep_csv,
+)
+from repro.harness.measurement import RunMeasurement
+
+
+def _measurement(algorithm="SUFFIX-SIGMA", tau=5, records=100):
+    return RunMeasurement(
+        algorithm=algorithm,
+        dataset="NYT-like",
+        min_frequency=tau,
+        max_length=5,
+        wallclock_seconds=0.5,
+        simulated_wallclock_seconds=1.5,
+        map_output_records=records,
+        map_output_bytes=1000,
+        num_jobs=1,
+        num_ngrams=10,
+    )
+
+
+class TestRows:
+    def test_measurements_to_rows(self):
+        rows = measurements_to_rows([_measurement(), _measurement(algorithm="NAIVE")])
+        assert len(rows) == 2
+        assert rows[0]["algorithm"] == "SUFFIX-SIGMA"
+        assert set(CSV_COLUMNS) <= set(rows[0])
+
+    def test_sweep_to_rows(self):
+        sweep = {10: [_measurement(tau=10)], 100: [_measurement(tau=100)]}
+        rows = sweep_to_rows(sweep, parameter_name="tau_value")
+        assert {row["tau_value"] for row in rows} == {10, 100}
+
+
+class TestCSV:
+    def test_write_measurements_csv(self, tmp_path):
+        path = str(tmp_path / "out" / "measurements.csv")
+        write_measurements_csv([_measurement(), _measurement(algorithm="NAIVE")], path)
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["algorithm"] == "SUFFIX-SIGMA"
+        assert rows[0]["records"] == "100"
+
+    def test_write_sweep_csv(self, tmp_path):
+        path = str(tmp_path / "sweep.csv")
+        sweep = {10: [_measurement(tau=10)], 20: [_measurement(tau=20, algorithm="NAIVE")]}
+        write_sweep_csv(sweep, path, parameter_name="tau")
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert {row["tau"] for row in rows} == {"10", "20"}
+
+
+class TestJSON:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "measurements.json")
+        write_measurements_json([_measurement(records=123)], path)
+        rows = read_measurements_json(path)
+        assert rows[0]["records"] == 123
+        assert rows[0]["dataset"] == "NYT-like"
+
+    def test_read_rejects_non_array(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"not": "a list"}, handle)
+        with pytest.raises(ValueError):
+            read_measurements_json(path)
+
+    def test_json_file_ends_with_newline(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        write_measurements_json([_measurement()], path)
+        with open(path, "rb") as handle:
+            assert handle.read().endswith(b"\n")

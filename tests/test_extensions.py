@@ -1,0 +1,189 @@
+"""Tests for the SUFFIX-σ extensions (Section VI)."""
+
+import pytest
+
+from repro.algorithms.extensions import (
+    ClosedNGramCounter,
+    MaximalNGramCounter,
+    SuffixSigmaIndexCounter,
+    SuffixSigmaTimeSeriesCounter,
+    document_frequencies,
+)
+from repro.algorithms.suffix_sigma import PrefixEmissionFilter
+from repro.config import NGramJobConfig
+from repro.corpus.collection import DocumentCollection
+from repro.ngrams.reference import (
+    reference_closed,
+    reference_document_frequencies,
+    reference_maximal,
+    reference_ngram_statistics,
+    reference_time_series,
+)
+from repro.ngrams.sequence import count_occurrences
+
+
+class TestPrefixEmissionFilter:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            PrefixEmissionFilter("bogus")
+
+    def test_maximal_suppresses_prefixes(self):
+        emission_filter = PrefixEmissionFilter(PrefixEmissionFilter.MAXIMAL)
+        assert emission_filter.should_emit(("a", "x", "b"), 3)
+        assert not emission_filter.should_emit(("a", "x"), 3)
+        assert not emission_filter.should_emit(("a",), 5)
+
+    def test_closed_keeps_prefix_with_different_count(self):
+        emission_filter = PrefixEmissionFilter(PrefixEmissionFilter.CLOSED)
+        assert emission_filter.should_emit(("a", "x", "b"), 3)
+        assert not emission_filter.should_emit(("a", "x"), 3)  # same cf
+        # 'a' has a different cf and therefore stays.
+        assert emission_filter.should_emit(("a",), 5)
+
+    def test_non_prefix_always_emitted(self):
+        emission_filter = PrefixEmissionFilter(PrefixEmissionFilter.MAXIMAL)
+        assert emission_filter.should_emit(("x", "b"), 4)
+        assert emission_filter.should_emit(("x", "a"), 4)
+
+
+class TestMaximalClosed:
+    def test_running_example_maximal(self, running_example):
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        result = MaximalNGramCounter(config).run(running_example)
+        # The paper: for maximality only 〈a x b〉 remains.
+        assert result.statistics.as_dict() == {("a", "x", "b"): 3}
+        assert result.num_jobs == 2  # suffix-sigma job + post-filter job
+
+    def test_running_example_closed(self, running_example):
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        result = ClosedNGramCounter(config).run(running_example)
+        assert result.statistics.as_dict() == {
+            ("a", "x", "b"): 3,
+            ("x", "b"): 4,
+            ("b",): 5,
+            ("x",): 7,
+        }
+
+    def test_maximal_matches_reference_on_synthetic_corpus(self, small_newswire):
+        config = NGramJobConfig(min_frequency=3, max_length=4)
+        result = MaximalNGramCounter(config).run(small_newswire)
+        frequent = reference_ngram_statistics(
+            small_newswire.records(), min_frequency=3, max_length=4
+        )
+        assert result.statistics == reference_maximal(frequent)
+
+    def test_closed_matches_reference_on_synthetic_corpus(self, small_newswire):
+        config = NGramJobConfig(min_frequency=3, max_length=4)
+        result = ClosedNGramCounter(config).run(small_newswire)
+        frequent = reference_ngram_statistics(
+            small_newswire.records(), min_frequency=3, max_length=4
+        )
+        assert result.statistics == reference_closed(frequent)
+
+    def test_maximal_subset_of_closed_subset_of_all(self, small_web):
+        config = NGramJobConfig(min_frequency=4, max_length=4)
+        from repro.algorithms.suffix_sigma import SuffixSigmaCounter
+
+        all_ngrams = SuffixSigmaCounter(config).run(small_web).statistics
+        closed = ClosedNGramCounter(config).run(small_web).statistics
+        maximal = MaximalNGramCounter(config).run(small_web).statistics
+        assert set(maximal) <= set(closed) <= set(all_ngrams)
+
+    def test_closed_frequencies_are_exact(self, small_newswire):
+        """Closed n-grams keep their exact collection frequency."""
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        closed = ClosedNGramCounter(config).run(small_newswire).statistics
+        full = reference_ngram_statistics(
+            small_newswire.records(), min_frequency=3, max_length=3
+        )
+        for ngram, frequency in closed.items():
+            assert frequency == full.frequency(ngram)
+
+
+class TestTimeSeries:
+    def test_matches_reference(self):
+        collection = DocumentCollection.from_token_lists(
+            [
+                "a x b x x".split(),
+                "b a x b x".split(),
+                "x b a x b".split(),
+            ],
+            timestamps=[1990, 1990, 1995],
+        )
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        counter = SuffixSigmaTimeSeriesCounter(config)
+        result = counter.run(collection)
+
+        expected = reference_time_series(
+            collection.records(), collection.timestamps(), min_frequency=3, max_length=3
+        )
+        assert set(counter.time_series.as_dict()) == set(expected)
+        for ngram, series in expected.items():
+            assert counter.time_series.series(ngram).as_dict() == series
+
+        # Statistics carry the total collection frequencies.
+        assert result.statistics.frequency(("x",)) == 7
+
+    def test_documents_without_timestamps(self):
+        collection = DocumentCollection.from_token_lists(
+            [["a", "a"], ["a"]], timestamps=[2000, None]
+        )
+        config = NGramJobConfig(min_frequency=3, max_length=1)
+        counter = SuffixSigmaTimeSeriesCounter(config)
+        result = counter.run(collection)
+        assert result.statistics.frequency(("a",)) == 3
+        assert counter.time_series.series(("a",)).as_dict() == {2000: 2}
+
+    def test_synthetic_corpus_totals(self, small_newswire):
+        config = NGramJobConfig(min_frequency=5, max_length=2)
+        counter = SuffixSigmaTimeSeriesCounter(config)
+        result = counter.run(small_newswire)
+        expected = reference_ngram_statistics(
+            small_newswire.records(), min_frequency=5, max_length=2
+        )
+        assert result.statistics == expected
+        # Each series sums to at most the total (documents lacking timestamps
+        # would account for the difference; here all documents have one).
+        for ngram, frequency in result.statistics.items():
+            assert counter.time_series.series(ngram).total == frequency
+
+
+class TestInvertedIndex:
+    def test_per_document_counts(self, running_example):
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        counter = SuffixSigmaIndexCounter(config)
+        result = counter.run(running_example)
+        assert result.statistics.frequency(("x",)) == 7
+        assert counter.document_postings[("x",)] == {0: 3, 1: 2, 2: 2}
+        assert counter.document_postings[("a", "x", "b")] == {0: 1, 1: 1, 2: 1}
+
+    def test_postings_match_bruteforce(self, small_newswire):
+        config = NGramJobConfig(min_frequency=5, max_length=2)
+        counter = SuffixSigmaIndexCounter(config)
+        counter.run(small_newswire)
+        documents = {doc.doc_id: doc for doc in small_newswire}
+        for ngram, postings in list(counter.document_postings.items())[:50]:
+            for doc_id, count in postings.items():
+                expected = sum(
+                    count_occurrences(ngram, sentence)
+                    for sentence in documents[doc_id].sentences
+                )
+                assert count == expected
+
+
+class TestDocumentFrequencies:
+    def test_facade_matches_reference(self, running_example):
+        result = document_frequencies(running_example, min_frequency=2, max_length=3)
+        expected = reference_document_frequencies(
+            running_example.records(), min_frequency=2, max_length=3
+        )
+        assert result.statistics == expected
+
+    def test_facade_with_other_algorithm(self, running_example):
+        result = document_frequencies(
+            running_example, min_frequency=2, max_length=2, algorithm="NAIVE"
+        )
+        expected = reference_document_frequencies(
+            running_example.records(), min_frequency=2, max_length=2
+        )
+        assert result.statistics == expected

@@ -1,0 +1,67 @@
+"""Property-based agreement tests for the maximality/closedness extension.
+
+The two-phase construction of Section VI.A (prefix filtering inside the
+SUFFIX-σ reducer followed by a reversed post-filtering job) must produce
+exactly the maximal / closed subsets as defined declaratively.  Random
+collections with a tiny vocabulary exercise deep prefix/suffix overlaps.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms.extensions import ClosedNGramCounter, MaximalNGramCounter
+from repro.config import NGramJobConfig
+from repro.corpus.collection import DocumentCollection
+from repro.ngrams.reference import (
+    reference_closed,
+    reference_maximal,
+    reference_ngram_statistics,
+)
+
+documents_strategy = st.lists(
+    st.lists(st.sampled_from("abx"), min_size=1, max_size=9),
+    min_size=1,
+    max_size=6,
+)
+
+relaxed = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestMaximalClosedAgreement:
+    @relaxed
+    @given(documents_strategy, st.integers(min_value=1, max_value=4))
+    def test_maximal_matches_reference(self, documents, tau):
+        collection = DocumentCollection.from_token_lists(documents)
+        frequent = reference_ngram_statistics(
+            collection.records(), min_frequency=tau, max_length=4
+        )
+        config = NGramJobConfig(min_frequency=tau, max_length=4, num_reducers=2)
+        result = MaximalNGramCounter(config).run(collection)
+        assert result.statistics == reference_maximal(frequent)
+
+    @relaxed
+    @given(documents_strategy, st.integers(min_value=1, max_value=4))
+    def test_closed_matches_reference(self, documents, tau):
+        collection = DocumentCollection.from_token_lists(documents)
+        frequent = reference_ngram_statistics(
+            collection.records(), min_frequency=tau, max_length=4
+        )
+        config = NGramJobConfig(min_frequency=tau, max_length=4, num_reducers=2)
+        result = ClosedNGramCounter(config).run(collection)
+        assert result.statistics == reference_closed(frequent)
+
+    @relaxed
+    @given(documents_strategy, st.integers(min_value=1, max_value=3))
+    def test_unbounded_sigma(self, documents, tau):
+        collection = DocumentCollection.from_token_lists(documents)
+        frequent = reference_ngram_statistics(collection.records(), min_frequency=tau)
+        config = NGramJobConfig(min_frequency=tau, max_length=None, num_reducers=2)
+        maximal = MaximalNGramCounter(config).run(collection)
+        closed = ClosedNGramCounter(config).run(collection)
+        assert maximal.statistics == reference_maximal(frequent)
+        assert closed.statistics == reference_closed(frequent)

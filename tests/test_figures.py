@@ -1,0 +1,78 @@
+"""Smoke tests for the per-figure experiment drivers (tiny datasets)."""
+
+import pytest
+
+from repro.harness import figures
+from repro.harness.datasets import clueweb_like, nytimes_like
+from repro.harness.experiment import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def tiny_datasets():
+    return [nytimes_like(num_documents=15, seed=2), clueweb_like(num_documents=15, seed=3)]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(num_map_tasks=4, num_reducers=2)
+
+
+class TestFigureDrivers:
+    def test_table1(self, tiny_datasets):
+        statistics = figures.table1_dataset_characteristics(tiny_datasets)
+        assert set(statistics) == {"NYT-like", "CW-like"}
+        assert statistics["NYT-like"].num_documents == 15
+
+    def test_figure2(self, tiny_datasets):
+        histograms = figures.figure2_output_characteristics(tiny_datasets, min_frequency=3)
+        assert set(histograms) == {"NYT-like", "CW-like"}
+        assert all(histogram for histogram in histograms.values())
+
+    def test_figure3(self, tiny_datasets, runner):
+        result = figures.figure3_use_cases(tiny_datasets, runner)
+        assert set(result.language_model) == {"NYT-like", "CW-like"}
+        assert {m.algorithm for m in result.analytics["CW-like"]} == {
+            "APRIORI-SCAN",
+            "APRIORI-INDEX",
+            "SUFFIX-SIGMA",
+        }
+
+    def test_figure4(self, tiny_datasets, runner):
+        sweeps = figures.figure4_vary_tau(tiny_datasets, runner)
+        nyt_sweep = sweeps["NYT-like"]
+        assert set(nyt_sweep) == set(nytimes_like().sweep_tau)
+        for measurements in nyt_sweep.values():
+            assert len(measurements) == 4
+
+    def test_figure5(self, tiny_datasets, runner):
+        sweeps = figures.figure5_vary_sigma(tiny_datasets, runner)
+        cw_sweep = sweeps["CW-like"]
+        for sigma, measurements in cw_sweep.items():
+            algorithms = {m.algorithm for m in measurements}
+            if sigma is not None and sigma > 5:
+                assert "NAIVE" not in algorithms
+
+    def test_figure6(self, tiny_datasets, runner):
+        sweeps = figures.figure6_scale_datasets(tiny_datasets, runner, fractions=(0.5, 1.0))
+        assert set(sweeps["NYT-like"]) == {50, 100}
+
+    def test_figure7(self, tiny_datasets):
+        sweeps = figures.figure7_scale_slots(tiny_datasets, slot_counts=(4, 16))
+        sweep = sweeps["NYT-like"]
+        assert set(sweep) == {4, 16}
+        for slots, measurements in sweep.items():
+            assert len(measurements) == 4
+
+    def test_extensions_overview(self, tiny_datasets):
+        result = figures.extensions_overview(tiny_datasets, min_frequency=3, max_length=4)
+        for name in ("NYT-like", "CW-like"):
+            assert result.maximal_ngrams[name] <= result.closed_ngrams[name]
+            assert result.closed_ngrams[name] <= result.all_ngrams[name]
+
+    def test_ablations(self, tiny_datasets):
+        measurements = figures.ablation_implementation_choices(
+            tiny_datasets[0], min_frequency=3, max_length=3
+        )
+        labels = {m.algorithm for m in measurements}
+        assert "NAIVE+combiner" in labels
+        assert "SUFFIX-SIGMA+split" in labels

@@ -1,0 +1,214 @@
+"""Tests for the key-value store layer (Berkeley DB substitute)."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import KVStoreError
+from repro.kvstore import (
+    CachedKVStore,
+    DiskKVStore,
+    InMemoryKVStore,
+    SpillingKVStore,
+)
+
+
+class TestInMemoryKVStore:
+    def test_put_get(self):
+        store = InMemoryKVStore()
+        store.put(("a", "b"), 3)
+        assert store.get(("a", "b")) == 3
+        assert store.get("missing") is None
+        assert store.get("missing", 42) == 42
+
+    def test_contains_delete_len(self):
+        store = InMemoryKVStore({"x": 1})
+        assert "x" in store
+        assert len(store) == 1
+        store.delete("x")
+        assert "x" not in store
+        store.delete("x")  # idempotent
+
+    def test_mapping_protocol(self):
+        store = InMemoryKVStore()
+        store["k"] = "v"
+        assert store["k"] == "v"
+        with pytest.raises(KeyError):
+            _ = store["absent"]
+
+    def test_items(self):
+        store = InMemoryKVStore({"a": 1, "b": 2})
+        assert dict(store.items()) == {"a": 1, "b": 2}
+
+    def test_closed_store_rejects_operations(self):
+        store = InMemoryKVStore()
+        store.close()
+        with pytest.raises(KVStoreError):
+            store.put("a", 1)
+
+    def test_context_manager(self):
+        with InMemoryKVStore() as store:
+            store.put("a", 1)
+        with pytest.raises(KVStoreError):
+            store.get("a")
+
+    def test_clear(self):
+        store = InMemoryKVStore({"a": 1})
+        store.clear()
+        assert len(store) == 0
+
+
+class TestDiskKVStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        with DiskKVStore(path) as store:
+            store.put(("n", "gram"), [1, 2, 3])
+            store.put("other", {"a": 1})
+            assert store.get(("n", "gram")) == [1, 2, 3]
+            assert store.get("other") == {"a": 1}
+            assert len(store) == 2
+
+    def test_overwrite_and_compact(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        with DiskKVStore(path) as store:
+            for value in range(10):
+                store.put("key", value)
+            assert store.get("key") == 9
+            size_before = os.path.getsize(path)
+            store.compact()
+            assert store.get("key") == 9
+            assert os.path.getsize(path) < size_before
+
+    def test_reopen_recovers_index(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        store = DiskKVStore(path)
+        store.put("a", 1)
+        store.put("b", 2)
+        store._file.close()
+        store._closed = True
+
+        reopened = DiskKVStore(path)
+        try:
+            assert reopened.get("a") == 1
+            assert reopened.get("b") == 2
+        finally:
+            reopened.close()
+
+    def test_temporary_file_cleaned_up(self):
+        store = DiskKVStore()
+        path = store.path
+        store.put("a", 1)
+        assert os.path.exists(path)
+        store.close()
+        assert not os.path.exists(path)
+
+    def test_delete(self, tmp_path):
+        with DiskKVStore(str(tmp_path / "s.log")) as store:
+            store.put("a", 1)
+            store.delete("a")
+            assert store.get("a") is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(min_value=0, max_value=100)),
+            st.integers(),
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, mapping):
+        store = DiskKVStore()
+        try:
+            for key, value in mapping.items():
+                store.put(key, value)
+            assert dict(store.items()) == mapping
+        finally:
+            store.close()
+
+
+class TestCachedKVStore:
+    def test_hit_miss_accounting(self):
+        backing = InMemoryKVStore({"a": 1})
+        store = CachedKVStore(backing, capacity=2)
+        assert store.get("a") == 1  # miss (first access goes to backing)
+        assert store.get("a") == 1  # hit
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+        assert store.stats.hit_rate == pytest.approx(0.5)
+
+    def test_eviction(self):
+        backing = InMemoryKVStore()
+        store = CachedKVStore(backing, capacity=2)
+        for index in range(5):
+            store.put(index, index)
+        assert store.stats.evictions == 3
+        assert len(store) == 5  # backing store keeps everything
+
+    def test_write_through(self):
+        backing = InMemoryKVStore()
+        store = CachedKVStore(backing, capacity=4)
+        store.put("a", 1)
+        assert backing.get("a") == 1
+
+    def test_delete_invalidates_cache(self):
+        backing = InMemoryKVStore({"a": 1})
+        store = CachedKVStore(backing, capacity=4)
+        store.get("a")
+        store.delete("a")
+        assert store.get("a") is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(KVStoreError):
+            CachedKVStore(InMemoryKVStore(), capacity=0)
+
+    def test_contains_counts_stats(self):
+        store = CachedKVStore(InMemoryKVStore({"a": 1}), capacity=4)
+        assert store.contains("a")
+        assert store.contains("a")
+        assert store.stats.hits >= 1
+
+    def test_hit_rate_zero_when_unused(self):
+        store = CachedKVStore(InMemoryKVStore(), capacity=4)
+        assert store.stats.hit_rate == 0.0
+
+
+class TestSpillingKVStore:
+    def test_stays_in_memory_below_budget(self):
+        store = SpillingKVStore(memory_budget=10)
+        for index in range(5):
+            store.put(index, index)
+        assert not store.spilled
+        assert len(store) == 5
+        store.close()
+
+    def test_spills_above_budget(self):
+        store = SpillingKVStore(memory_budget=5)
+        for index in range(20):
+            store.put(index, str(index))
+        assert store.spilled
+        assert len(store) == 20
+        assert store.get(13) == "13"
+        assert store.get(3) == "3"
+        store.close()
+
+    def test_contains_after_spill(self):
+        store = SpillingKVStore(memory_budget=2)
+        for index in range(10):
+            store.put(("gram", index), True)
+        assert ("gram", 7) in store
+        assert ("gram", 99) not in store
+        store.close()
+
+    def test_invalid_budget(self):
+        with pytest.raises(KVStoreError):
+            SpillingKVStore(memory_budget=0)
+
+    def test_items_after_spill(self):
+        store = SpillingKVStore(memory_budget=3)
+        expected = {}
+        for index in range(8):
+            store.put(index, index * 2)
+            expected[index] = index * 2
+        assert dict(store.items()) == expected
+        store.close()

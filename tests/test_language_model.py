@@ -1,0 +1,144 @@
+"""Tests for the n-gram language model application."""
+
+import math
+
+import pytest
+
+from repro.applications.language_model import (
+    NGramLanguageModel,
+    ScoredSentence,
+    build_language_model,
+)
+from repro.corpus.collection import DocumentCollection
+from repro.exceptions import ConfigurationError
+from repro.ngrams.statistics import NGramStatistics
+
+
+@pytest.fixture()
+def tiny_statistics():
+    # Corpus intuition: "the cat sat", "the cat ran", "the dog sat".
+    return NGramStatistics(
+        {
+            ("the",): 3,
+            ("cat",): 2,
+            ("dog",): 1,
+            ("sat",): 2,
+            ("ran",): 1,
+            ("the", "cat"): 2,
+            ("the", "dog"): 1,
+            ("cat", "sat"): 1,
+            ("cat", "ran"): 1,
+            ("dog", "sat"): 1,
+            ("the", "cat", "sat"): 1,
+            ("the", "cat", "ran"): 1,
+            ("the", "dog", "sat"): 1,
+        }
+    )
+
+
+class TestValidation:
+    def test_invalid_order(self, tiny_statistics):
+        with pytest.raises(ConfigurationError):
+            NGramLanguageModel(tiny_statistics, order=0)
+
+    def test_invalid_backoff(self, tiny_statistics):
+        with pytest.raises(ConfigurationError):
+            NGramLanguageModel(tiny_statistics, backoff=0.0)
+        with pytest.raises(ConfigurationError):
+            NGramLanguageModel(tiny_statistics, backoff=1.5)
+
+    def test_invalid_smoothing(self, tiny_statistics):
+        with pytest.raises(ConfigurationError):
+            NGramLanguageModel(tiny_statistics, smoothing=-1)
+
+
+class TestProbabilities:
+    def test_unigram_probability(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=3)
+        # total tokens = 3+2+1+2+1 = 9.
+        assert model.unigram_probability("the") == pytest.approx(3 / 9)
+        assert model.unigram_probability("dog") == pytest.approx(1 / 9)
+
+    def test_unknown_term_has_small_nonzero_probability(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=2)
+        probability = model.unigram_probability("unknown")
+        assert 0 < probability < model.unigram_probability("dog")
+
+    def test_conditional_probability_observed_context(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=2)
+        assert model.conditional_probability(("the",), "cat") == pytest.approx(2 / 3)
+        assert model.conditional_probability(("the",), "dog") == pytest.approx(1 / 3)
+
+    def test_conditional_probability_unobserved_context(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=2)
+        assert model.conditional_probability(("sat",), "the") == 0.0
+
+    def test_additive_smoothing(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=2, smoothing=1.0)
+        smoothed = model.conditional_probability(("the",), "sat")
+        assert smoothed > 0.0
+        assert smoothed < model.conditional_probability(("the",), "cat")
+
+
+class TestStupidBackoff:
+    def test_observed_ngram_uses_full_context(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=3)
+        assert model.score(("the",), "cat") == pytest.approx(2 / 3)
+
+    def test_backoff_applies_penalty(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=3, backoff=0.4)
+        # ("sat", "the") never occurs, so we back off to the unigram with one
+        # penalty factor.
+        expected = 0.4 * model.unigram_probability("the")
+        assert model.score(("sat",), "the") == pytest.approx(expected)
+
+    def test_score_in_unit_interval(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=3)
+        for context in ((), ("the",), ("the", "cat"), ("unseen", "context")):
+            for term in ("the", "cat", "sat", "unknown"):
+                assert 0 < model.score(context, term) <= 1
+
+    def test_sentence_scoring_prefers_fluent_order(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=3)
+        fluent = model.score_sentence(("the", "cat", "sat"))
+        shuffled = model.score_sentence(("sat", "the", "cat"))
+        assert isinstance(fluent, ScoredSentence)
+        assert fluent.log10_score > shuffled.log10_score
+
+    def test_compare_orders_best_first(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=3)
+        ranked = model.compare([("sat", "the", "cat"), ("the", "cat", "sat")])
+        assert ranked[0].tokens == ("the", "cat", "sat")
+
+    def test_perplexity_proxy_lower_for_fluent_sentence(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=3)
+        fluent = model.score_sentence(("the", "cat", "sat"))
+        shuffled = model.score_sentence(("cat", "sat", "the"))
+        assert fluent.perplexity_proxy < shuffled.perplexity_proxy
+
+
+class TestContinuations:
+    def test_continuations_from_longest_context(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=3)
+        assert model.continuations(("the",), top_k=2) == ["cat", "dog"]
+
+    def test_continuations_back_off_to_unigrams(self, tiny_statistics):
+        model = NGramLanguageModel(tiny_statistics, order=3)
+        assert model.continuations(("never", "seen"), top_k=1) == ["the"]
+
+
+class TestEndToEnd:
+    def test_build_language_model(self, small_newswire):
+        model = build_language_model(small_newswire, order=3, min_frequency=2)
+        assert model.order == 3
+        assert model.total_tokens == small_newswire.num_token_occurrences
+        score = model.score_sentence(("t0", "t1", "t2"))
+        assert math.isfinite(score.log10_score)
+
+    def test_quotation_scores_higher_than_shuffle(self):
+        quotation = "the only thing we have to fear is fear itself".split()
+        collection = DocumentCollection.from_token_lists([quotation] * 5 + [["filler", "words"]])
+        model = build_language_model(collection, order=4, min_frequency=2)
+        fluent = model.score_sentence(tuple(quotation))
+        shuffled = model.score_sentence(tuple(reversed(quotation)))
+        assert fluent.log10_score > shuffled.log10_score

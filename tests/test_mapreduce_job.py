@@ -1,0 +1,140 @@
+"""Tests for the MapReduce job contract objects."""
+
+import pytest
+
+from repro.exceptions import MapReduceError
+from repro.mapreduce.context import TaskContext
+from repro.mapreduce.job import (
+    Combiner,
+    IdentityMapper,
+    IdentityReducer,
+    JobSpec,
+    Mapper,
+    Partitioner,
+    Reducer,
+    SortComparator,
+)
+
+
+class _EmitMapper(Mapper):
+    def map(self, key, value, context):
+        context.emit(key, value)
+
+
+class _SumReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit(key, sum(values))
+
+
+class TestJobSpec:
+    def test_valid_spec(self):
+        spec = JobSpec(
+            name="test",
+            mapper_factory=_EmitMapper,
+            reducer_factory=_SumReducer,
+            num_reducers=3,
+        )
+        assert isinstance(spec.make_mapper(), Mapper)
+        assert isinstance(spec.make_reducer(), Reducer)
+        assert spec.make_combiner() is None
+
+    def test_rejects_zero_reducers(self):
+        with pytest.raises(MapReduceError):
+            JobSpec(
+                name="bad",
+                mapper_factory=_EmitMapper,
+                reducer_factory=_SumReducer,
+                num_reducers=0,
+            )
+
+    def test_rejects_zero_map_tasks(self):
+        with pytest.raises(MapReduceError):
+            JobSpec(
+                name="bad",
+                mapper_factory=_EmitMapper,
+                reducer_factory=_SumReducer,
+                num_map_tasks=0,
+            )
+
+    def test_factory_type_checks(self):
+        spec = JobSpec(
+            name="bad-factories",
+            mapper_factory=lambda: object(),  # type: ignore[return-value]
+            reducer_factory=lambda: object(),  # type: ignore[return-value]
+            combiner_factory=lambda: object(),  # type: ignore[return-value]
+        )
+        with pytest.raises(MapReduceError):
+            spec.make_mapper()
+        with pytest.raises(MapReduceError):
+            spec.make_reducer()
+        with pytest.raises(MapReduceError):
+            spec.make_combiner()
+
+    def test_combiner_factory(self):
+        class _SumCombiner(Combiner):
+            def reduce(self, key, values, context):
+                context.emit(key, sum(values))
+
+        spec = JobSpec(
+            name="with-combiner",
+            mapper_factory=_EmitMapper,
+            reducer_factory=_SumReducer,
+            combiner_factory=_SumCombiner,
+        )
+        assert isinstance(spec.make_combiner(), Combiner)
+
+
+class TestDefaults:
+    def test_identity_mapper(self):
+        context = TaskContext()
+        IdentityMapper().map("k", "v", context)
+        assert context.output == [("k", "v")]
+
+    def test_identity_reducer(self):
+        context = TaskContext()
+        IdentityReducer().reduce("k", [1, 2, 3], context)
+        assert context.output == [("k", 1), ("k", 2), ("k", 3)]
+
+    def test_default_partitioner_in_range(self):
+        partitioner = Partitioner()
+        for key in (("a",), ("b", "c"), 5, "word"):
+            assert 0 <= partitioner.partition(key, 4) < 4
+
+    def test_default_comparator_natural_order(self):
+        comparator = SortComparator()
+        assert comparator.compare((1, 2), (1, 3)) < 0
+        assert comparator.compare((2,), (1, 9)) > 0
+        assert comparator.compare("a", "a") == 0
+
+    def test_default_comparator_exposes_identity_key(self):
+        key_function = SortComparator().sort_key_function()
+        assert key_function is not None
+        assert key_function((3, 1)) == (3, 1)
+
+    def test_subclass_without_key_function_falls_back(self):
+        class Reversed(SortComparator):
+            def compare(self, left, right):
+                return -super().compare(left, right)
+
+        assert Reversed().sort_key_function() is None
+
+    def test_mapper_reducer_base_raise(self):
+        with pytest.raises(NotImplementedError):
+            Mapper().map(1, 2, TaskContext())
+        with pytest.raises(NotImplementedError):
+            Reducer().reduce(1, [2], TaskContext())
+
+
+class TestTaskContext:
+    def test_emit_and_drain(self):
+        context = TaskContext()
+        context.emit("a", 1)
+        context.emit("b", 2)
+        drained = context.drain()
+        assert drained == [("a", 1), ("b", 2)]
+        assert context.output == []
+
+    def test_increment_counter(self):
+        context = TaskContext()
+        context.increment("custom", 3)
+        assert context.counters.get("custom") == 3

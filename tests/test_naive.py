@@ -1,0 +1,103 @@
+"""Tests for the NAIVE counting algorithm (Algorithm 1)."""
+
+import pytest
+
+from repro.algorithms.naive import NaiveCounter, NaiveMapper
+from repro.config import NGramJobConfig
+from repro.mapreduce.context import TaskContext
+from repro.ngrams.reference import (
+    reference_document_frequencies,
+    reference_ngram_statistics,
+)
+
+
+class TestNaiveMapper:
+    def test_emits_all_ngrams_up_to_sigma(self):
+        context = TaskContext()
+        NaiveMapper(max_length=2, emit_partial_counts=False).map(0, ("a", "b", "c"), context)
+        emitted = [key for key, _ in context.output]
+        assert sorted(emitted) == sorted([("a",), ("b",), ("c",), ("a", "b"), ("b", "c")])
+
+    def test_emits_document_id_values(self):
+        context = TaskContext()
+        NaiveMapper(max_length=1, emit_partial_counts=False).map((7, 0), ("a",), context)
+        assert context.output == [(("a",), 7)]
+
+    def test_emit_partial_counts(self):
+        context = TaskContext()
+        NaiveMapper(max_length=1, emit_partial_counts=True).map(3, ("a", "a"), context)
+        assert context.output == [(("a",), 1), (("a",), 1)]
+
+    def test_unbounded_sigma(self):
+        context = TaskContext()
+        NaiveMapper(max_length=None, emit_partial_counts=True).map(0, ("a", "b", "c"), context)
+        assert len(context.output) == 6  # 3 + 2 + 1
+
+
+class TestNaiveCounter:
+    def test_running_example(self, running_example, running_example_expected):
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        result = NaiveCounter(config).run(running_example)
+        assert result.statistics.as_dict() == running_example_expected
+        assert result.num_jobs == 1
+        assert result.algorithm == "NAIVE"
+
+    def test_without_combiner(self, running_example, running_example_expected):
+        config = NGramJobConfig(min_frequency=3, max_length=3, use_combiner=False)
+        result = NaiveCounter(config).run(running_example)
+        assert result.statistics.as_dict() == running_example_expected
+
+    def test_matches_reference_on_synthetic_corpus(self, small_newswire):
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        result = NaiveCounter(config).run(small_newswire)
+        expected = reference_ngram_statistics(
+            small_newswire.records(), min_frequency=3, max_length=3
+        )
+        assert result.statistics == expected
+
+    def test_document_frequency_mode(self, running_example):
+        config = NGramJobConfig(min_frequency=2, max_length=2, count_document_frequency=True)
+        result = NaiveCounter(config).run(running_example)
+        expected = reference_document_frequencies(
+            running_example.records(), min_frequency=2, max_length=2
+        )
+        assert result.statistics == expected
+
+    def test_unbounded_sigma(self, running_example):
+        config = NGramJobConfig(min_frequency=2, max_length=None)
+        result = NaiveCounter(config).run(running_example)
+        expected = reference_ngram_statistics(running_example.records(), min_frequency=2)
+        assert result.statistics == expected
+
+    def test_with_document_splitting(self, small_newswire):
+        config = NGramJobConfig(min_frequency=4, max_length=3, split_documents=True)
+        result = NaiveCounter(config).run(small_newswire)
+        expected = reference_ngram_statistics(
+            small_newswire.records(), min_frequency=4, max_length=3
+        )
+        assert result.statistics == expected
+
+    def test_record_count_formula(self, running_example):
+        """NAIVE emits sum over documents of the number of contained n-grams."""
+        config = NGramJobConfig(min_frequency=1, max_length=3)
+        result = NaiveCounter(config).run(running_example)
+        # Each document has 5 terms: 5 + 4 + 3 = 12 n-grams of length <= 3.
+        assert result.map_output_records == 3 * 12
+
+    def test_works_on_encoded_collection(self, running_example, running_example_expected):
+        encoded = running_example.encode()
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        result = NaiveCounter(config).run(encoded)
+        decoded = result.statistics.decoded(encoded.vocabulary)
+        assert decoded.as_dict() == running_example_expected
+
+    def test_tau_one_keeps_everything(self, running_example):
+        config = NGramJobConfig(min_frequency=1, max_length=2)
+        result = NaiveCounter(config).run(running_example)
+        expected = reference_ngram_statistics(running_example.records(), max_length=2)
+        assert result.statistics == expected
+
+    def test_high_tau_empty_result(self, running_example):
+        config = NGramJobConfig(min_frequency=100, max_length=3)
+        result = NaiveCounter(config).run(running_example)
+        assert len(result.statistics) == 0

@@ -1,0 +1,97 @@
+"""Tests for the reverse lexicographic order (Section IV)."""
+
+from functools import cmp_to_key
+
+from hypothesis import given, strategies as st
+
+from repro.ngrams.ordering import (
+    ReverseLexicographicOrder,
+    is_reverse_lexicographically_sorted,
+    reverse_lexicographic_compare,
+    reverse_lexicographic_sort_key,
+)
+from repro.ngrams.sequence import is_prefix
+
+terms = st.integers(min_value=0, max_value=6)
+sequences = st.lists(terms, min_size=0, max_size=8).map(tuple)
+
+
+def paper_definition_less_than(r, s) -> bool:
+    """Literal transcription of the paper's definition of r < s."""
+    if len(r) > len(s) and is_prefix(s, r):
+        return True
+    for i in range(min(len(r), len(s))):
+        if r[:i] == s[:i] and r[i] > s[i]:
+            return True
+    return False
+
+
+class TestCompare:
+    def test_paper_example_order(self):
+        # The reducer for term b receives suffixes in this order (Section IV).
+        expected = [("b", "x", "x"), ("b", "x"), ("b", "a", "x"), ("b",)]
+        # term order in the example: a < b < x lexicographically.
+        assert is_reverse_lexicographically_sorted(expected)
+
+    def test_longer_before_prefix(self):
+        assert reverse_lexicographic_compare((1, 2), (1,)) < 0
+        assert reverse_lexicographic_compare((1,), (1, 2)) > 0
+
+    def test_larger_terms_first(self):
+        assert reverse_lexicographic_compare((5,), (3,)) < 0
+        assert reverse_lexicographic_compare((3,), (5,)) > 0
+
+    def test_equal(self):
+        assert reverse_lexicographic_compare((1, 2, 3), (1, 2, 3)) == 0
+        assert reverse_lexicographic_compare((), ()) == 0
+
+    def test_empty_sorts_last(self):
+        assert reverse_lexicographic_compare((0,), ()) < 0
+
+    @given(sequences, sequences)
+    def test_matches_paper_definition(self, r, s):
+        comparison = reverse_lexicographic_compare(r, s)
+        if paper_definition_less_than(r, s):
+            assert comparison < 0
+        elif paper_definition_less_than(s, r):
+            assert comparison > 0
+        else:
+            assert comparison == 0
+            assert r == s
+
+    @given(sequences, sequences)
+    def test_antisymmetric(self, r, s):
+        assert reverse_lexicographic_compare(r, s) == -reverse_lexicographic_compare(s, r)
+
+    @given(sequences, sequences, sequences)
+    def test_transitive(self, a, b, c):
+        ordered = sorted([a, b, c], key=cmp_to_key(reverse_lexicographic_compare))
+        assert reverse_lexicographic_compare(ordered[0], ordered[1]) <= 0
+        assert reverse_lexicographic_compare(ordered[1], ordered[2]) <= 0
+        assert reverse_lexicographic_compare(ordered[0], ordered[2]) <= 0
+
+    @given(st.lists(sequences, max_size=30))
+    def test_sort_key_equivalent_to_comparator(self, items):
+        by_comparator = sorted(items, key=cmp_to_key(reverse_lexicographic_compare))
+        by_key = sorted(items, key=reverse_lexicographic_sort_key)
+        assert by_comparator == by_key
+
+    @given(st.lists(sequences, max_size=30))
+    def test_sorted_predicate(self, items):
+        ordered = sorted(items, key=cmp_to_key(reverse_lexicographic_compare))
+        assert is_reverse_lexicographically_sorted(ordered)
+
+
+class TestComparatorClass:
+    def test_compare_delegates(self):
+        comparator = ReverseLexicographicOrder()
+        assert comparator.compare((2,), (1,)) < 0
+
+    def test_sort_key_function_present(self):
+        assert ReverseLexicographicOrder().sort_key_function() is not None
+
+    def test_key_prefix_property(self):
+        # A longer sequence must sort before every proper prefix of it.
+        key = reverse_lexicographic_sort_key
+        assert key((3, 1, 2)) < key((3, 1))
+        assert key((3, 1)) < key((3,))

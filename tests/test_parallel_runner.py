@@ -1,0 +1,70 @@
+"""Tests for the thread-pool job runner (equivalence with the sequential runner)."""
+
+import pytest
+
+from repro.algorithms.suffix_sigma import SuffixSigmaCounter
+from repro.config import NGramJobConfig
+from repro.exceptions import MapReduceError
+from repro.mapreduce.counters import MAP_OUTPUT_BYTES, MAP_OUTPUT_RECORDS
+from repro.mapreduce.parallel import ThreadPoolJobRunner
+from repro.mapreduce.pipeline import JobPipeline
+from repro.mapreduce.runner import LocalJobRunner
+
+from tests.test_runner import EXPECTED_COUNTS, WORDS_INPUT, SumCombiner, word_count_job
+
+
+class TestThreadPoolJobRunner:
+    def test_invalid_worker_count(self):
+        with pytest.raises(MapReduceError):
+            ThreadPoolJobRunner(max_workers=0)
+
+    def test_word_count_matches_sequential(self):
+        sequential = LocalJobRunner().run(word_count_job(), WORDS_INPUT)
+        parallel = ThreadPoolJobRunner(max_workers=3).run(word_count_job(), WORDS_INPUT)
+        assert parallel.output_as_dict() == sequential.output_as_dict() == EXPECTED_COUNTS
+
+    def test_counters_match_sequential(self):
+        job = word_count_job(combiner_factory=SumCombiner, num_map_tasks=3)
+        sequential = LocalJobRunner().run(job, WORDS_INPUT)
+        parallel = ThreadPoolJobRunner(max_workers=4).run(job, WORDS_INPUT)
+        assert parallel.counters.as_dict() == sequential.counters.as_dict()
+
+    def test_partition_outputs_match_sequential(self):
+        job = word_count_job(num_reducers=4)
+        sequential = LocalJobRunner().run(job, WORDS_INPUT)
+        parallel = ThreadPoolJobRunner(max_workers=2).run(job, WORDS_INPUT)
+        assert [dict(p) for p in parallel.partition_output] == [
+            dict(p) for p in sequential.partition_output
+        ]
+
+    def test_metrics_cover_all_tasks(self):
+        job = word_count_job(num_map_tasks=3, num_reducers=2)
+        result = ThreadPoolJobRunner(max_workers=2).run(job, WORDS_INPUT)
+        assert result.metrics.num_map_tasks == 3
+        assert result.metrics.num_reduce_tasks == 2
+        assert result.counters.get(MAP_OUTPUT_RECORDS) == 13
+        assert result.counters.get(MAP_OUTPUT_BYTES) > 0
+
+    def test_empty_input(self):
+        result = ThreadPoolJobRunner().run(word_count_job(), [])
+        assert result.is_empty()
+
+    def test_single_worker_equivalent(self):
+        sequential = LocalJobRunner().run(word_count_job(), WORDS_INPUT)
+        parallel = ThreadPoolJobRunner(max_workers=1).run(word_count_job(), WORDS_INPUT)
+        assert parallel.output_as_dict() == sequential.output_as_dict()
+
+
+class TestSuffixSigmaOnParallelRunner:
+    def test_suffix_sigma_pipeline_with_parallel_runner(
+        self, running_example, running_example_expected
+    ):
+        """The full SUFFIX-σ job produces identical statistics on the
+        concurrent runner (order-insensitive reducer state is per partition)."""
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        counter = SuffixSigmaCounter(config)
+        records = counter.prepare_records(running_example)
+        runner = ThreadPoolJobRunner(max_workers=4)
+        pipeline = JobPipeline(runner=runner, cache=runner.cache)
+        statistics = counter._execute(records, pipeline, running_example)
+        assert statistics.as_dict() == running_example_expected

@@ -1,0 +1,121 @@
+"""Tests for positional posting lists (APRIORI-INDEX building block)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algorithms.postings import Posting, PostingList
+from repro.exceptions import ReproError
+
+
+class TestPosting:
+    def test_frequency(self):
+        posting = Posting(doc_id=1, seq_id=0, positions=(0, 4, 7))
+        assert posting.frequency == 3
+
+    def test_positions_must_increase(self):
+        with pytest.raises(ReproError):
+            Posting(doc_id=1, seq_id=0, positions=(3, 3))
+        with pytest.raises(ReproError):
+            Posting(doc_id=1, seq_id=0, positions=(5, 2))
+
+    def test_serialized_size_positive_and_gap_encoded(self):
+        small_gaps = Posting(doc_id=1, seq_id=0, positions=(1000, 1001, 1002))
+        large_values = Posting(doc_id=1, seq_id=0, positions=(1000, 2000, 3000))
+        assert small_gaps.serialized_size() < large_values.serialized_size()
+
+
+class TestPostingList:
+    def test_merges_same_sequence(self):
+        posting_list = PostingList(
+            [
+                Posting(doc_id=1, seq_id=0, positions=(4,)),
+                Posting(doc_id=1, seq_id=0, positions=(1,)),
+            ]
+        )
+        assert len(posting_list) == 1
+        assert posting_list.postings[0].positions == (1, 4)
+
+    def test_collection_and_document_frequency(self):
+        posting_list = PostingList(
+            [
+                Posting(doc_id=1, seq_id=0, positions=(0, 2)),
+                Posting(doc_id=1, seq_id=1, positions=(3,)),
+                Posting(doc_id=2, seq_id=2, positions=(5,)),
+            ]
+        )
+        assert posting_list.collection_frequency == 4
+        assert posting_list.document_frequency == 2
+        assert posting_list.documents() == [1, 2]
+
+    def test_equality(self):
+        left = PostingList([Posting(1, 0, (0,))])
+        right = PostingList([Posting(1, 0, (0,))])
+        assert left == right
+        assert left != PostingList([Posting(1, 0, (1,))])
+        assert left != "other"
+
+    def test_merge(self):
+        left = PostingList([Posting(1, 0, (0,))])
+        right = PostingList([Posting(2, 1, (3,))])
+        merged = left.merge(right)
+        assert merged.collection_frequency == 2
+        assert merged.document_frequency == 2
+
+    def test_join_adjacent_positions(self):
+        # "a b" at positions 0 and 3; "b c" at positions 1 and 6.
+        left = PostingList([Posting(1, 0, (0, 3))])
+        right = PostingList([Posting(1, 0, (1, 6))])
+        joined = left.join(right)
+        # only position 0 is followed by position 1.
+        assert joined.collection_frequency == 1
+        assert joined.postings[0].positions == (0,)
+
+    def test_join_requires_same_sequence(self):
+        left = PostingList([Posting(1, 0, (0,))])
+        right = PostingList([Posting(1, 1, (1,))])
+        assert left.join(right).collection_frequency == 0
+
+    def test_join_empty_result(self):
+        left = PostingList([Posting(1, 0, (0,))])
+        right = PostingList([Posting(2, 2, (1,))])
+        assert len(left.join(right)) == 0
+
+    def test_serialized_size(self):
+        posting_list = PostingList([Posting(1, 0, (0, 2)), Posting(2, 1, (1,))])
+        assert posting_list.serialized_size() > 0
+        assert posting_list.serialized_size() >= sum(
+            posting.serialized_size() for posting in posting_list
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+                st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=5),
+            ),
+            max_size=10,
+        )
+    )
+    def test_construction_invariants(self, raw):
+        postings = [
+            Posting(doc_id=doc, seq_id=seq, positions=tuple(sorted(set(positions))))
+            for doc, seq, positions in raw
+        ]
+        posting_list = PostingList(postings)
+        # Sequences unique and sorted.
+        keys = [(p.doc_id, p.seq_id) for p in posting_list]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+        # cf equals total distinct positions per sequence.
+        expected_cf = len({(doc, seq, pos) for doc, seq, positions in raw for pos in positions})
+        assert posting_list.collection_frequency == expected_cf
+
+    def test_join_matches_bruteforce_on_example_sequence(self):
+        # Sequence: a b a b a  -> "a b" at 0, 2; "b a" at 1, 3.
+        ab = PostingList([Posting(0, 0, (0, 2))])
+        ba = PostingList([Posting(0, 0, (1, 3))])
+        aba = ab.join(ba)
+        assert aba.postings[0].positions == (0, 2)
+        bab = ba.join(ab)
+        assert bab.postings[0].positions == (1,)  # "b a b" only at position 1

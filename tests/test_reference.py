@@ -1,0 +1,91 @@
+"""Tests for the brute-force reference implementations."""
+
+from repro.ngrams.reference import (
+    reference_closed,
+    reference_document_frequencies,
+    reference_maximal,
+    reference_ngram_statistics,
+    reference_time_series,
+)
+from repro.ngrams.statistics import NGramStatistics
+
+
+class TestReferenceCounting:
+    def test_running_example(self, running_example, running_example_expected):
+        statistics = reference_ngram_statistics(
+            running_example.records(), min_frequency=3, max_length=3
+        )
+        assert statistics.as_dict() == running_example_expected
+
+    def test_unfiltered_counts(self, running_example):
+        statistics = reference_ngram_statistics(running_example.records())
+        assert statistics.frequency(("x", "x")) == 1
+        assert statistics.frequency(("b", "a", "x", "b")) == 2
+
+    def test_document_frequencies(self, running_example):
+        df = reference_document_frequencies(running_example.records(), min_frequency=1)
+        assert df.frequency(("x",)) == 3      # x occurs in all three documents
+        assert df.frequency(("x", "x")) == 1  # only d1
+        assert df.frequency(("a", "x", "b")) == 3
+
+    def test_df_never_exceeds_cf(self, small_newswire):
+        records = list(small_newswire.records())
+        cf = reference_ngram_statistics(records, max_length=3)
+        df = reference_document_frequencies(records, max_length=3)
+        for ngram, frequency in df.items():
+            assert frequency <= cf.frequency(ngram)
+
+
+class TestMaximalClosed:
+    def test_running_example_maximal(self, running_example):
+        frequent = reference_ngram_statistics(
+            running_example.records(), min_frequency=3, max_length=3
+        )
+        maximal = reference_maximal(frequent)
+        assert maximal.as_dict() == {("a", "x", "b"): 3}
+
+    def test_running_example_closed(self, running_example):
+        frequent = reference_ngram_statistics(
+            running_example.records(), min_frequency=3, max_length=3
+        )
+        closed = reference_closed(frequent)
+        assert closed.as_dict() == {
+            ("a", "x", "b"): 3,
+            ("x", "b"): 4,
+            ("b",): 5,
+            ("x",): 7,
+        }
+
+    def test_maximal_subset_of_closed(self, small_newswire):
+        frequent = reference_ngram_statistics(
+            small_newswire.records(), min_frequency=3, max_length=4
+        )
+        maximal = set(reference_maximal(frequent))
+        closed = set(reference_closed(frequent))
+        assert maximal <= closed
+        assert closed <= set(frequent)
+
+    def test_single_ngram_is_maximal(self):
+        statistics = NGramStatistics({("a", "b"): 5})
+        assert reference_maximal(statistics).as_dict() == {("a", "b"): 5}
+        assert reference_closed(statistics).as_dict() == {("a", "b"): 5}
+
+
+class TestTimeSeries:
+    def test_counts_per_timestamp(self):
+        records = [(0, ("a", "b")), (1, ("a",)), (2, ("a", "a"))]
+        timestamps = {0: 1990, 1: 1991, 2: 1990}
+        series = reference_time_series(records, timestamps, min_frequency=2)
+        assert series[("a",)] == {1990: 3, 1991: 1}
+
+    def test_documents_without_timestamp_count_towards_total(self):
+        records = [(0, ("a",)), (1, ("a",))]
+        timestamps = {0: 2000, 1: None}
+        series = reference_time_series(records, timestamps, min_frequency=2)
+        # total cf is 2 (>= tau) but only the timestamped document contributes.
+        assert series[("a",)] == {2000: 1}
+
+    def test_infrequent_ngrams_dropped(self):
+        records = [(0, ("a", "b"))]
+        series = reference_time_series(records, {0: 2000}, min_frequency=2)
+        assert series == {}

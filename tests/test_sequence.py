@@ -1,0 +1,123 @@
+"""Tests for sequence predicates and n-gram enumeration (Section II)."""
+
+from hypothesis import given, strategies as st
+
+from repro.ngrams.sequence import (
+    concatenate,
+    count_occurrences,
+    enumerate_ngrams,
+    is_prefix,
+    is_subsequence,
+    is_suffix,
+    longest_common_prefix,
+    suffixes,
+)
+
+terms = st.integers(min_value=0, max_value=5)
+sequences = st.lists(terms, max_size=12).map(tuple)
+
+
+class TestPredicates:
+    def test_prefix(self):
+        assert is_prefix((1, 2), (1, 2, 3))
+        assert is_prefix((), (1, 2))
+        assert is_prefix((1, 2, 3), (1, 2, 3))
+        assert not is_prefix((2,), (1, 2))
+        assert not is_prefix((1, 2, 3, 4), (1, 2, 3))
+
+    def test_suffix(self):
+        assert is_suffix((2, 3), (1, 2, 3))
+        assert is_suffix((), (1,))
+        assert is_suffix((1, 2, 3), (1, 2, 3))
+        assert not is_suffix((1,), (1, 2))
+        assert not is_suffix((0, 1, 2, 3), (1, 2, 3))
+
+    def test_subsequence_is_contiguous(self):
+        assert is_subsequence((2, 3), (1, 2, 3, 4))
+        assert not is_subsequence((1, 3), (1, 2, 3))  # scattered does not count
+        assert is_subsequence((), (1, 2))
+        assert is_subsequence((1, 2), (1, 2))
+
+    def test_count_occurrences(self):
+        assert count_occurrences(("x",), ("a", "x", "b", "x", "x")) == 3
+        assert count_occurrences(("x", "x"), ("x", "x", "x")) == 2  # overlapping
+        assert count_occurrences(("a", "b"), ("a", "b", "a", "b")) == 2
+        assert count_occurrences((), (1, 2)) == 0
+        assert count_occurrences((1, 2, 3), (1, 2)) == 0
+
+    def test_longest_common_prefix(self):
+        assert longest_common_prefix((1, 2, 3), (1, 2, 4)) == 2
+        assert longest_common_prefix((1, 2), (1, 2, 3)) == 2
+        assert longest_common_prefix((5,), (1,)) == 0
+        assert longest_common_prefix((), (1, 2)) == 0
+
+    def test_concatenate(self):
+        assert concatenate((1, 2), (3,)) == (1, 2, 3)
+        assert concatenate((), ()) == ()
+
+    @given(sequences, sequences)
+    def test_prefix_implies_subsequence(self, r, s):
+        if is_prefix(r, s):
+            assert is_subsequence(r, s)
+
+    @given(sequences, sequences)
+    def test_suffix_implies_subsequence(self, r, s):
+        if is_suffix(r, s):
+            assert is_subsequence(r, s)
+
+    @given(sequences, sequences)
+    def test_subsequence_iff_positive_occurrences(self, r, s):
+        if len(r) > 0:
+            assert is_subsequence(r, s) == (count_occurrences(r, s) > 0)
+
+    @given(sequences, sequences)
+    def test_lcp_is_a_common_prefix(self, r, s):
+        length = longest_common_prefix(r, s)
+        assert r[:length] == s[:length]
+        if length < min(len(r), len(s)):
+            assert r[length] != s[length]
+
+
+class TestEnumeration:
+    def test_enumerate_all_ngrams(self):
+        assert set(enumerate_ngrams((1, 2, 3))) == {
+            (1,), (2,), (3,), (1, 2), (2, 3), (1, 2, 3),
+        }
+
+    def test_enumerate_with_max_length(self):
+        assert set(enumerate_ngrams((1, 2, 3), max_length=2)) == {
+            (1,), (2,), (3,), (1, 2), (2, 3),
+        }
+
+    def test_enumerate_empty(self):
+        assert list(enumerate_ngrams(())) == []
+
+    def test_enumerate_counts_duplicates(self):
+        ngrams = list(enumerate_ngrams(("x", "x")))
+        assert ngrams.count(("x",)) == 2
+
+    def test_suffixes_untruncated(self):
+        assert list(suffixes((1, 2, 3))) == [(1, 2, 3), (2, 3), (3,)]
+
+    def test_suffixes_truncated(self):
+        assert list(suffixes((1, 2, 3, 4), max_length=2)) == [(1, 2), (2, 3), (3, 4), (4,)]
+
+    @given(sequences, st.integers(min_value=1, max_value=5))
+    def test_ngram_count_formula(self, sequence, max_length):
+        ngrams = list(enumerate_ngrams(sequence, max_length))
+        n = len(sequence)
+        expected = sum(min(max_length, n - b) for b in range(n))
+        assert len(ngrams) == expected
+        assert all(1 <= len(ngram) <= max_length for ngram in ngrams)
+
+    @given(sequences, st.integers(min_value=1, max_value=5))
+    def test_every_suffix_is_emitted_once_per_position(self, sequence, max_length):
+        emitted = list(suffixes(sequence, max_length))
+        assert len(emitted) == len(sequence)
+        for begin, suffix in enumerate(emitted):
+            assert suffix == tuple(sequence[begin : begin + max_length])
+
+    @given(sequences)
+    def test_ngrams_are_subsequences(self, sequence):
+        for ngram in enumerate_ngrams(sequence, max_length=3):
+            assert is_subsequence(ngram, sequence)

@@ -1,0 +1,77 @@
+"""Tests for serialised-size accounting at the shuffle boundary."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algorithms.postings import Posting, PostingList
+from repro.exceptions import SerializationError
+from repro.mapreduce.serialization import record_size, serialized_size
+from repro.util.varint import encoded_length
+
+
+class TestSerializedSize:
+    def test_none_and_bool(self):
+        assert serialized_size(None) == 1
+        assert serialized_size(True) == 1
+        assert serialized_size(False) == 1
+
+    def test_small_int_is_one_byte(self):
+        assert serialized_size(0) == 1
+        assert serialized_size(127) == 1
+
+    def test_larger_int_grows(self):
+        assert serialized_size(128) == 2
+        assert serialized_size(2**21) == 4
+
+    def test_negative_int_charged_like_zigzag(self):
+        assert serialized_size(-1) == encoded_length(3)
+        assert serialized_size(-64) == encoded_length(129)
+
+    def test_float_is_fixed_width(self):
+        assert serialized_size(3.25) == 8
+
+    def test_string_utf8_plus_length(self):
+        assert serialized_size("abc") == 1 + 3
+        assert serialized_size("") == 1
+
+    def test_bytes(self):
+        assert serialized_size(b"abcd") == 1 + 4
+
+    def test_tuple_is_sum_plus_length_prefix(self):
+        assert serialized_size((1, 2, 3)) == 1 + 3
+        assert serialized_size(()) == 1
+
+    def test_nested_structures(self):
+        value = ((1, 2), "ab", [3, 4, 5])
+        expected = 1 + (1 + 2) + (1 + 2) + (1 + 3)
+        assert serialized_size(value) == expected
+
+    def test_dict(self):
+        assert serialized_size({1: 2, 3: 4}) == 1 + 4
+
+    def test_object_with_serialized_size_hook(self):
+        posting = Posting(doc_id=1, seq_id=0, positions=(0, 3))
+        assert serialized_size(posting) == posting.serialized_size()
+        posting_list = PostingList([posting])
+        assert serialized_size(posting_list) == posting_list.serialized_size()
+
+    def test_unsupported_object_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(SerializationError):
+            serialized_size(Opaque())
+
+    def test_record_size_is_key_plus_value(self):
+        assert record_size((1, 2), 3) == serialized_size((1, 2)) + serialized_size(3)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**30), max_size=20))
+    def test_integer_tuple_size_matches_varint_model(self, values):
+        expected = 1 + sum(encoded_length(value) for value in values)
+        # Length prefix of the tuple is itself a varint; for <= 20 elements it
+        # is a single byte.
+        assert serialized_size(tuple(values)) == expected
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_monotone_in_magnitude(self, value):
+        assert serialized_size(value * 2 + 1) >= serialized_size(value)

@@ -1,0 +1,103 @@
+"""Tests for the n-gram statistics container."""
+
+import pytest
+
+from repro.corpus.vocabulary import Vocabulary
+from repro.exceptions import ReproError
+from repro.ngrams.statistics import NGramStatistics
+
+
+class TestNGramStatistics:
+    def test_add_accumulates(self):
+        statistics = NGramStatistics()
+        statistics.add(("a",), 2)
+        statistics.add(("a",), 3)
+        assert statistics.frequency(("a",)) == 5
+
+    def test_set_overwrites(self):
+        statistics = NGramStatistics()
+        statistics.add(("a",), 2)
+        statistics.set(("a",), 7)
+        assert statistics[("a",)] == 7
+
+    def test_empty_ngram_rejected(self):
+        statistics = NGramStatistics()
+        with pytest.raises(ReproError):
+            statistics.add((), 1)
+        with pytest.raises(ReproError):
+            statistics.set([], 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ReproError):
+            NGramStatistics().add(("a",), -1)
+
+    def test_frequency_of_missing_is_zero(self):
+        assert NGramStatistics().frequency(("nope",)) == 0
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            _ = NGramStatistics()[("nope",)]
+
+    def test_contains_len_iter(self):
+        statistics = NGramStatistics({("a",): 1, ("a", "b"): 2})
+        assert ("a",) in statistics
+        assert ("z",) not in statistics
+        assert "not-a-tuple" not in statistics
+        assert len(statistics) == 2
+        assert set(statistics) == {("a",), ("a", "b")}
+
+    def test_equality(self):
+        left = NGramStatistics({("a",): 1})
+        right = NGramStatistics({("a",): 1})
+        assert left == right
+        right.add(("a",), 1)
+        assert left != right
+        assert left != "something else"
+
+    def test_from_pairs_accumulates(self):
+        statistics = NGramStatistics.from_pairs([(("a",), 1), (("a",), 2), (("b",), 1)])
+        assert statistics.as_dict() == {("a",): 3, ("b",): 1}
+
+    def test_filtered_by_tau_and_sigma(self):
+        statistics = NGramStatistics({("a",): 10, ("a", "b"): 5, ("a", "b", "c"): 10})
+        filtered = statistics.filtered(min_frequency=6, max_length=2)
+        assert filtered.as_dict() == {("a",): 10}
+
+    def test_total_and_max_length(self):
+        statistics = NGramStatistics({("a",): 3, ("a", "b", "c"): 2})
+        assert statistics.total_frequency() == 5
+        assert statistics.max_length() == 3
+        assert NGramStatistics().max_length() == 0
+
+    def test_by_length(self):
+        statistics = NGramStatistics({("a",): 3, ("b",): 1, ("a", "b"): 2})
+        assert statistics.by_length() == {1: 2, 2: 1}
+
+    def test_top(self):
+        statistics = NGramStatistics({("a",): 3, ("b",): 9, ("c", "d"): 9})
+        assert statistics.top(1) == [(("b",), 9)]
+        assert statistics.top(5, length=2) == [(("c", "d"), 9)]
+
+    def test_bucket_histogram(self):
+        statistics = NGramStatistics(
+            {
+                ("a",): 5,        # bucket (0, 0)
+                ("b",): 50,       # bucket (0, 1)
+                tuple("t" * 1 for _ in range(12)): 7,  # length 12 -> bucket (1, 0)
+            }
+        )
+        histogram = statistics.bucket_histogram()
+        assert histogram[(0, 0)] == 1
+        assert histogram[(0, 1)] == 1
+        assert histogram[(1, 0)] == 1
+
+    def test_bucket_histogram_skips_zero_counts(self):
+        statistics = NGramStatistics()
+        statistics.set(("a",), 0)
+        assert statistics.bucket_histogram() == {}
+
+    def test_decoded(self):
+        vocabulary = Vocabulary.from_term_frequencies({"x": 5, "b": 3})
+        statistics = NGramStatistics({(0, 1): 4})
+        decoded = statistics.decoded(vocabulary)
+        assert decoded.as_dict() == {("x", "b"): 4}

@@ -1,0 +1,207 @@
+"""Tests for SUFFIX-σ (Algorithm 4), the paper's contribution."""
+
+import pytest
+
+from repro.algorithms.aggregation import CountAggregation
+from repro.algorithms.naive import NaiveCounter
+from repro.algorithms.suffix_sigma import (
+    FirstTermPartitioner,
+    SuffixMapper,
+    SuffixSigmaCounter,
+    SuffixSigmaReducer,
+)
+from repro.config import NGramJobConfig
+from repro.mapreduce.context import TaskContext
+from repro.ngrams.reference import (
+    reference_document_frequencies,
+    reference_ngram_statistics,
+)
+
+
+class TestSuffixMapper:
+    def test_emits_one_suffix_per_position(self):
+        context = TaskContext()
+        SuffixMapper(max_length=None).map(0, ("a", "b", "c"), context)
+        assert [key for key, _ in context.output] == [("a", "b", "c"), ("b", "c"), ("c",)]
+
+    def test_truncates_to_sigma(self):
+        context = TaskContext()
+        SuffixMapper(max_length=2).map(0, ("a", "b", "c"), context)
+        assert [key for key, _ in context.output] == [("a", "b"), ("b", "c"), ("c",)]
+
+    def test_value_is_document_id(self):
+        context = TaskContext()
+        SuffixMapper(max_length=None).map((9, 4), ("a",), context)
+        assert context.output == [(("a",), 9)]
+
+    def test_custom_value_function(self):
+        context = TaskContext()
+        SuffixMapper(max_length=None, value_function=lambda doc_id: (doc_id, 2001)).map(
+            (9, 4), ("a",), context
+        )
+        assert context.output == [(("a",), (9, 2001))]
+
+
+class TestFirstTermPartitioner:
+    def test_same_first_term_same_partition(self):
+        partitioner = FirstTermPartitioner()
+        partitions = {
+            partitioner.partition(key, 7)
+            for key in [("x", "a"), ("x",), ("x", "b", "c"), ("x", "x", "x")]
+        }
+        assert len(partitions) == 1
+
+    def test_empty_key_goes_to_partition_zero(self):
+        assert FirstTermPartitioner().partition((), 5) == 0
+
+    def test_in_range(self):
+        partitioner = FirstTermPartitioner()
+        for term in range(50):
+            assert 0 <= partitioner.partition((term, 1, 2), 6) < 6
+
+
+class TestSuffixSigmaReducer:
+    """Replays the reducer trace of Section IV / Figure 1 of the paper."""
+
+    #: Input of the reducer responsible for suffixes starting with 'b',
+    #: already in reverse lexicographic order (term order: a < b < x).
+    REDUCER_INPUT = [
+        (("b", "x", "x"), [1]),
+        (("b", "x"), [2]),
+        (("b", "a", "x"), [2, 3]),
+        (("b",), [3]),
+    ]
+
+    def _run_reducer(self, min_frequency):
+        reducer = SuffixSigmaReducer(min_frequency, aggregation=CountAggregation())
+        context = TaskContext()
+        for key, values in self.REDUCER_INPUT:
+            reducer.reduce(key, values, context)
+        reducer.cleanup(context)
+        return dict(context.output)
+
+    def test_paper_example_tau3(self):
+        # Only 'b' (cf 5) reaches tau=3 among n-grams starting with b.
+        assert self._run_reducer(3) == {("b",): 5}
+
+    def test_paper_example_tau1(self):
+        output = self._run_reducer(1)
+        assert output == {
+            ("b", "x", "x"): 1,
+            ("b", "x"): 2,
+            ("b", "a", "x"): 2,
+            ("b", "a"): 2,
+            ("b",): 5,
+        }
+
+    def test_stack_state_after_third_suffix(self):
+        """Figure 1: after processing 〈b a x〉 the stacks hold b/a/x with 2/0/2."""
+        reducer = SuffixSigmaReducer(3, aggregation=CountAggregation())
+        context = TaskContext()
+        for key, values in self.REDUCER_INPUT[:3]:
+            reducer.reduce(key, values, context)
+        assert reducer._terms == ["b", "a", "x"]
+        assert reducer._elements == [2, 0, 2]
+
+    def test_emits_each_ngram_at_most_once(self):
+        reducer = SuffixSigmaReducer(1, aggregation=CountAggregation())
+        context = TaskContext()
+        for key, values in self.REDUCER_INPUT:
+            reducer.reduce(key, values, context)
+        reducer.cleanup(context)
+        keys = [key for key, _ in context.output]
+        assert len(keys) == len(set(keys))
+
+    def test_cleanup_flushes_everything(self):
+        reducer = SuffixSigmaReducer(1, aggregation=CountAggregation())
+        context = TaskContext()
+        reducer.reduce(("b", "a"), [1, 2], context)
+        assert context.output == []  # nothing emitted yet
+        reducer.cleanup(context)
+        assert dict(context.output) == {("b", "a"): 2, ("b",): 2}
+
+    def test_empty_reducer_cleanup_is_safe(self):
+        reducer = SuffixSigmaReducer(1, aggregation=CountAggregation())
+        context = TaskContext()
+        reducer.cleanup(context)
+        assert context.output == []
+
+
+class TestSuffixSigmaCounter:
+    def test_running_example(self, running_example, running_example_expected):
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        result = SuffixSigmaCounter(config).run(running_example)
+        assert result.statistics.as_dict() == running_example_expected
+        assert result.num_jobs == 1
+        assert result.algorithm == "SUFFIX-SIGMA"
+
+    def test_single_job_regardless_of_sigma(self, small_newswire):
+        for sigma in (2, 5, None):
+            config = NGramJobConfig(min_frequency=5, max_length=sigma)
+            result = SuffixSigmaCounter(config).run(small_newswire)
+            assert result.num_jobs == 1
+
+    def test_emits_one_record_per_term_occurrence(self, running_example):
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        result = SuffixSigmaCounter(config).run(running_example)
+        assert result.map_output_records == running_example.num_token_occurrences
+
+    def test_fewer_records_than_naive(self, small_newswire):
+        config = NGramJobConfig(min_frequency=5, max_length=5)
+        suffix_result = SuffixSigmaCounter(config).run(small_newswire)
+        naive_result = NaiveCounter(config).run(small_newswire)
+        assert suffix_result.statistics == naive_result.statistics
+        assert suffix_result.map_output_records < naive_result.map_output_records
+
+    def test_matches_reference_on_synthetic_corpus(self, small_newswire):
+        config = NGramJobConfig(min_frequency=3, max_length=4)
+        result = SuffixSigmaCounter(config).run(small_newswire)
+        expected = reference_ngram_statistics(
+            small_newswire.records(), min_frequency=3, max_length=4
+        )
+        assert result.statistics == expected
+
+    def test_matches_reference_with_unbounded_sigma(self, small_web):
+        config = NGramJobConfig(min_frequency=5, max_length=None)
+        result = SuffixSigmaCounter(config).run(small_web)
+        expected = reference_ngram_statistics(small_web.records(), min_frequency=5)
+        assert result.statistics == expected
+
+    def test_document_frequency_mode(self, running_example):
+        config = NGramJobConfig(min_frequency=2, max_length=3, count_document_frequency=True)
+        result = SuffixSigmaCounter(config).run(running_example)
+        expected = reference_document_frequencies(
+            running_example.records(), min_frequency=2, max_length=3
+        )
+        assert result.statistics == expected
+
+    def test_with_document_splitting(self, small_newswire):
+        config = NGramJobConfig(min_frequency=5, max_length=5, split_documents=True)
+        result = SuffixSigmaCounter(config).run(small_newswire)
+        expected = reference_ngram_statistics(
+            small_newswire.records(), min_frequency=5, max_length=5
+        )
+        assert result.statistics == expected
+
+    def test_works_with_single_reducer(self, running_example, running_example_expected):
+        config = NGramJobConfig(min_frequency=3, max_length=3, num_reducers=1)
+        result = SuffixSigmaCounter(config).run(running_example)
+        assert result.statistics.as_dict() == running_example_expected
+
+    def test_works_with_many_reducers(self, running_example, running_example_expected):
+        config = NGramJobConfig(min_frequency=3, max_length=3, num_reducers=13)
+        result = SuffixSigmaCounter(config).run(running_example)
+        assert result.statistics.as_dict() == running_example_expected
+
+    def test_encoded_collection(self, running_example, running_example_expected):
+        encoded = running_example.encode()
+        config = NGramJobConfig(min_frequency=3, max_length=3)
+        result = SuffixSigmaCounter(config).run(encoded)
+        assert result.statistics.decoded(encoded.vocabulary).as_dict() == running_example_expected
+
+    def test_empty_collection(self):
+        from repro.corpus.collection import DocumentCollection
+
+        config = NGramJobConfig(min_frequency=1, max_length=3)
+        result = SuffixSigmaCounter(config).run(DocumentCollection())
+        assert len(result.statistics) == 0

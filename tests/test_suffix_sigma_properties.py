@@ -1,0 +1,113 @@
+"""Property-based tests of the SUFFIX-σ reducer invariants.
+
+Section IV states two invariants maintained between invocations of the
+reduce function: (1) the terms stack and the counts stack always have the
+same size, and (2) the partial sums of the counts stack from any depth to the
+top equal the number of occurrences seen so far for the prefix ending at that
+depth.  These tests feed the reducer arbitrary (correctly sorted) suffix
+streams and check the invariants after every call, plus the end-to-end
+guarantee that the reducer's output equals a brute-force prefix count.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import cmp_to_key
+from typing import Dict, List, Tuple
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms.aggregation import CountAggregation
+from repro.algorithms.suffix_sigma import SuffixSigmaReducer
+from repro.mapreduce.context import TaskContext
+from repro.ngrams.ordering import reverse_lexicographic_compare
+from repro.ngrams.sequence import is_prefix
+
+# A reducer partition receives suffixes that all share the same first term;
+# generate such streams directly.
+suffix_strategy = st.lists(
+    st.integers(min_value=0, max_value=4), min_size=0, max_size=5
+).map(lambda tail: (7, *tail))
+
+stream_strategy = st.dictionaries(
+    suffix_strategy, st.integers(min_value=1, max_value=4), min_size=1, max_size=20
+)
+
+relaxed = settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def _sorted_groups(groups: Dict[Tuple, int]) -> List[Tuple[Tuple, List[int]]]:
+    ordered = sorted(groups, key=cmp_to_key(reverse_lexicographic_compare))
+    return [(suffix, [0] * count) for suffix, count in ((s, groups[s]) for s in ordered)]
+
+
+def _expected_prefix_counts(groups: Dict[Tuple, int]) -> Counter:
+    expected: Counter = Counter()
+    for suffix, count in groups.items():
+        for length in range(1, len(suffix) + 1):
+            expected[suffix[:length]] += count
+    return expected
+
+
+class TestReducerInvariants:
+    @relaxed
+    @given(stream_strategy)
+    def test_stacks_stay_synchronised(self, groups):
+        reducer = SuffixSigmaReducer(1, aggregation=CountAggregation())
+        context = TaskContext()
+        for suffix, values in _sorted_groups(groups):
+            reducer.reduce(suffix, values, context)
+            # Invariant 1: both stacks always have the same size.
+            assert len(reducer._terms) == len(reducer._elements)
+            # The stack content is always a prefix of the current suffix.
+            assert is_prefix(tuple(reducer._terms), suffix)
+        reducer.cleanup(context)
+        assert reducer._terms == []
+        assert reducer._elements == []
+
+    @relaxed
+    @given(stream_strategy)
+    def test_suffix_sums_equal_occurrences_seen_so_far(self, groups):
+        """Invariant 2: sum(counts[i:]) equals the occurrences of the prefix
+        terms[0..i] accumulated from the groups processed so far."""
+        reducer = SuffixSigmaReducer(1, aggregation=CountAggregation())
+        context = TaskContext()
+        seen: Counter = Counter()
+        for suffix, values in _sorted_groups(groups):
+            reducer.reduce(suffix, values, context)
+            for length in range(1, len(suffix) + 1):
+                seen[suffix[:length]] += len(values)
+            # Prefixes still on the stack have never been emitted (that is the
+            # point of the reverse lexicographic order), so the stacked partial
+            # sums must equal everything seen for them so far.
+            for depth in range(len(reducer._terms)):
+                prefix = tuple(reducer._terms[: depth + 1])
+                stacked = sum(reducer._elements[depth:])
+                assert stacked == seen[prefix]
+
+    @relaxed
+    @given(stream_strategy, st.integers(min_value=1, max_value=6))
+    def test_output_matches_bruteforce_prefix_counts(self, groups, tau):
+        reducer = SuffixSigmaReducer(tau, aggregation=CountAggregation())
+        context = TaskContext()
+        for suffix, values in _sorted_groups(groups):
+            reducer.reduce(suffix, values, context)
+        reducer.cleanup(context)
+        output = dict(context.output)
+        expected = {
+            ngram: count
+            for ngram, count in _expected_prefix_counts(groups).items()
+            if count >= tau
+        }
+        assert output == expected
+
+    @relaxed
+    @given(stream_strategy)
+    def test_each_ngram_emitted_at_most_once(self, groups):
+        reducer = SuffixSigmaReducer(1, aggregation=CountAggregation())
+        context = TaskContext()
+        for suffix, values in _sorted_groups(groups):
+            reducer.reduce(suffix, values, context)
+        reducer.cleanup(context)
+        keys = [key for key, _ in context.output]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,122 @@
+"""Tests for the synthetic corpus generators."""
+
+import pytest
+
+from repro.corpus.phrases import NEWSWIRE_PHRASES, WEB_PHRASES, all_phrases, pick_phrase
+from repro.corpus.stats import compute_statistics
+from repro.corpus.synthetic import (
+    NewswireCorpusGenerator,
+    SyntheticCorpusConfig,
+    WebCorpusGenerator,
+    ZipfVocabularyModel,
+    make_newswire_sample,
+    make_web_sample,
+)
+from repro.exceptions import CorpusError
+from repro.ngrams.sequence import is_subsequence
+
+
+class TestZipfModel:
+    def test_terms_named_by_rank(self):
+        model = ZipfVocabularyModel(size=10)
+        assert model.term(0) == "t0"
+        assert model.term(9) == "t9"
+
+    def test_cumulative_weights_monotone(self):
+        weights = ZipfVocabularyModel(size=100).cumulative_weights()
+        assert len(weights) == 100
+        assert all(b > a for a, b in zip(weights, weights[1:]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CorpusError):
+            ZipfVocabularyModel(size=0)
+        with pytest.raises(CorpusError):
+            ZipfVocabularyModel(size=10, exponent=0)
+
+
+class TestPhraseBanks:
+    def test_banks_non_empty(self):
+        assert NEWSWIRE_PHRASES
+        assert WEB_PHRASES
+        assert len(all_phrases()) == len(NEWSWIRE_PHRASES) + len(WEB_PHRASES)
+
+    def test_phrases_are_long(self):
+        # The paper's point is that these fragments exceed 5 terms.
+        assert all(len(phrase) > 5 for phrase in all_phrases())
+
+    def test_pick_phrase_deterministic(self):
+        import random
+
+        assert pick_phrase(random.Random(1)) == pick_phrase(random.Random(1))
+
+
+class TestGenerators:
+    def test_determinism(self):
+        first = NewswireCorpusGenerator(num_documents=20, seed=5).generate()
+        second = NewswireCorpusGenerator(num_documents=20, seed=5).generate()
+        assert [d.sentences for d in first] == [d.sentences for d in second]
+
+    def test_different_seeds_differ(self):
+        first = NewswireCorpusGenerator(num_documents=20, seed=5).generate()
+        second = NewswireCorpusGenerator(num_documents=20, seed=6).generate()
+        assert [d.sentences for d in first] != [d.sentences for d in second]
+
+    def test_document_count(self):
+        collection = NewswireCorpusGenerator(num_documents=35, seed=1).generate()
+        assert len(collection) == 35
+
+    def test_newswire_sentence_length_close_to_nyt(self):
+        collection = NewswireCorpusGenerator(num_documents=150, seed=11).generate()
+        statistics = compute_statistics(collection)
+        assert 15.0 < statistics.sentence_length_mean < 23.0
+        assert statistics.sentence_length_stddev > 8.0
+
+    def test_newswire_timestamps_in_range(self):
+        collection = NewswireCorpusGenerator(num_documents=30, seed=2).generate()
+        for document in collection:
+            assert 1987 <= document.timestamp <= 2007
+
+    def test_web_timestamps_are_2009(self):
+        collection = WebCorpusGenerator(num_documents=10, seed=2).generate()
+        assert all(document.timestamp == 2009 for document in collection)
+
+    def test_web_has_larger_vocabulary_than_newswire(self):
+        newswire = NewswireCorpusGenerator(num_documents=80, seed=3).generate()
+        web = WebCorpusGenerator(num_documents=80, seed=3).generate()
+        assert len(web.distinct_terms()) > len(newswire.distinct_terms())
+
+    def test_long_phrases_injected(self):
+        collection = NewswireCorpusGenerator(
+            num_documents=80, seed=9, phrase_probability=0.2
+        ).generate()
+        sentences = [sentence for document in collection for sentence in document.sentences]
+        assert any(
+            is_subsequence(phrase, sentence)
+            for phrase in NEWSWIRE_PHRASES
+            for sentence in sentences
+        )
+
+    def test_web_boilerplate_duplicated_across_documents(self):
+        collection = WebCorpusGenerator(num_documents=60, seed=4).generate()
+        first_sentences = [document.sentences[0] for document in collection]
+        from repro.corpus.phrases import BOILERPLATE_SNIPPETS
+
+        boilerplate_count = sum(
+            1 for sentence in first_sentences if sentence in BOILERPLATE_SNIPPETS
+        )
+        assert boilerplate_count > len(collection) // 4
+
+    def test_config_overrides_via_kwargs(self):
+        generator = NewswireCorpusGenerator(num_documents=5, vocabulary_size=50, seed=1)
+        assert generator.config.num_documents == 5
+        assert generator.config.vocabulary_size == 50
+
+    def test_invalid_config(self):
+        with pytest.raises(CorpusError):
+            SyntheticCorpusConfig(num_documents=0)
+        with pytest.raises(CorpusError):
+            SyntheticCorpusConfig(phrase_probability=1.5)
+
+    def test_convenience_constructors(self):
+        assert len(make_newswire_sample(num_documents=12)) == 12
+        assert len(make_web_sample(num_documents=9)) == 9

@@ -1,0 +1,129 @@
+"""Tests for tokenisation, sentence splitting, boilerplate removal and preprocessing."""
+
+from repro.corpus.boilerplate import TextBlock, classify_blocks, extract_main_content
+from repro.corpus.preprocess import collection_from_texts, document_from_text
+from repro.corpus.sentences import split_sentences
+from repro.corpus.tokenize import tokenize, tokenize_sentences
+
+
+class TestTokenize:
+    def test_basic_tokenisation(self):
+        assert tokenize("Hello, World!") == ("hello", "world")
+
+    def test_numbers_kept(self):
+        assert tokenize("add 2 cups of flour") == ("add", "2", "cups", "of", "flour")
+
+    def test_apostrophes(self):
+        assert tokenize("don't stop") == ("don't", "stop")
+
+    def test_case_preserved_when_requested(self):
+        assert tokenize("Hello World", lowercase=False) == ("Hello", "World")
+
+    def test_empty_string(self):
+        assert tokenize("") == ()
+        assert tokenize("   ...   ") == ()
+
+    def test_tokenize_sentences_drops_empty(self):
+        sentences = tokenize_sentences(["Hello!", "...", "Bye."])
+        assert sentences == [("hello",), ("bye",)]
+
+
+class TestSentenceSplitting:
+    def test_simple_sentences(self):
+        text = "This is one. This is two! Is this three?"
+        assert split_sentences(text) == ["This is one.", "This is two!", "Is this three?"]
+
+    def test_abbreviations_not_split(self):
+        text = "Mr. Smith went to Washington. He met Dr. Jones."
+        sentences = split_sentences(text)
+        assert len(sentences) == 2
+        assert sentences[0] == "Mr. Smith went to Washington."
+
+    def test_initials_not_split(self):
+        text = "J. Smith wrote the book. It sold well."
+        assert len(split_sentences(text)) == 2
+
+    def test_no_split_before_lowercase(self):
+        text = "The price rose 3.5 percent. analysts were surprised by www.example.com pages."
+        sentences = split_sentences(text)
+        # Conservative splitter: never splits before a lower-case continuation.
+        assert all(not sentence[0].islower() or sentence is sentences[0] for sentence in sentences)
+
+    def test_empty_text(self):
+        assert split_sentences("") == []
+        assert split_sentences("   ") == []
+
+    def test_text_without_terminal_punctuation(self):
+        assert split_sentences("no punctuation here") == ["no punctuation here"]
+
+    def test_decimal_numbers_not_split(self):
+        text = "Growth was 3.5 percent. Inflation stayed low."
+        assert len(split_sentences(text)) == 2
+
+
+class TestBoilerplate:
+    def test_classify_blocks_by_length_and_link_density(self):
+        blocks = [
+            TextBlock.from_text("Home About Contact", num_link_words=3),
+            TextBlock.from_text(
+                "This is the actual article content with plenty of words to be "
+                "considered a proper paragraph of text."
+            ),
+            TextBlock.from_text("Copyright 2009 all rights reserved", num_link_words=0),
+        ]
+        flags = classify_blocks(blocks)
+        assert flags[0] is False
+        assert flags[1] is True
+
+    def test_short_block_between_content_rescued(self):
+        blocks = [
+            TextBlock.from_text("word " * 20),
+            TextBlock.from_text("short interlude"),
+            TextBlock.from_text("word " * 20),
+        ]
+        flags = classify_blocks(blocks)
+        assert flags == [True, True, True]
+
+    def test_extract_main_content(self):
+        blocks = [
+            "Home | Products | Contact",
+            "The quick brown fox jumps over the lazy dog and keeps running through the field for a while.",
+            "Share on Facebook",
+        ]
+        kept = extract_main_content(blocks, link_word_counts=[5, 0, 3])
+        assert len(kept) == 1
+        assert kept[0].startswith("The quick brown fox")
+
+    def test_empty_block_list(self):
+        assert extract_main_content([]) == ()
+
+
+class TestPreprocess:
+    def test_document_from_text(self):
+        text = "The cat sat on the mat. The dog barked loudly."
+        document = document_from_text(7, text, timestamp=2001)
+        assert document.doc_id == 7
+        assert document.timestamp == 2001
+        assert document.num_sentences == 2
+        assert document.sentences[0] == ("the", "cat", "sat", "on", "the", "mat")
+
+    def test_document_from_text_with_boilerplate_removal(self):
+        text = (
+            "Home About Contact Login\n\n"
+            "This is the main article body which talks at length about something "
+            "interesting that happened yesterday in the city.\n\n"
+            "Copyright 2009"
+        )
+        document = document_from_text(0, text, remove_boilerplate=True)
+        tokens = document.tokens
+        assert "copyright" not in tokens
+        assert "article" in tokens
+
+    def test_collection_from_texts(self):
+        collection = collection_from_texts(
+            ["First document. Second sentence.", "Another document here."],
+            timestamps=[1999, 2000],
+        )
+        assert len(collection) == 2
+        assert collection.timestamps() == {0: 1999, 1: 2000}
+        assert collection[0].num_sentences == 2

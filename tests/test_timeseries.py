@@ -1,0 +1,59 @@
+"""Tests for n-gram time series containers."""
+
+from repro.ngrams.timeseries import NGramTimeSeriesCollection, TimeSeries
+
+
+class TestTimeSeries:
+    def test_record_and_total(self):
+        series = TimeSeries()
+        series.record(1990, 2)
+        series.record(1991)
+        assert series.total == 3
+        assert series.value(1990) == 2
+        assert series.value(1992) == 0
+
+    def test_record_none_bucket_ignored(self):
+        series = TimeSeries()
+        series.record(None, 5)
+        assert series.total == 0
+
+    def test_merge(self):
+        left = TimeSeries.from_mapping({1990: 1, 1991: 2})
+        right = TimeSeries.from_mapping({1991: 3, 1995: 1})
+        merged = left.merge(right)
+        assert merged.as_dict() == {1990: 1, 1991: 5, 1995: 1}
+        # merge does not mutate its operands
+        assert left.as_dict() == {1990: 1, 1991: 2}
+
+    def test_buckets_sorted(self):
+        series = TimeSeries.from_mapping({2001: 1, 1999: 2})
+        assert series.buckets() == [1999, 2001]
+
+    def test_dense_fills_zeros(self):
+        series = TimeSeries.from_mapping({1990: 2, 1992: 1})
+        assert series.dense(1989, 1993) == [0, 2, 0, 1, 0]
+
+    def test_equality(self):
+        assert TimeSeries.from_mapping({1: 2}) == TimeSeries.from_mapping({1: 2})
+        assert TimeSeries.from_mapping({1: 2}) != TimeSeries.from_mapping({1: 3})
+        assert TimeSeries() != "not a series"
+
+
+class TestNGramTimeSeriesCollection:
+    def test_set_and_get(self):
+        collection = NGramTimeSeriesCollection()
+        collection.set(("a", "b"), TimeSeries.from_mapping({2000: 3}))
+        assert ("a", "b") in collection
+        assert collection.series(("a", "b")).value(2000) == 3
+
+    def test_missing_ngram_returns_empty_series(self):
+        collection = NGramTimeSeriesCollection()
+        assert collection.series(("missing",)).total == 0
+
+    def test_len_items_asdict(self):
+        collection = NGramTimeSeriesCollection()
+        collection.set(("a",), TimeSeries.from_mapping({1: 1}))
+        collection.set(("b",), TimeSeries.from_mapping({2: 2}))
+        assert len(collection) == 2
+        assert dict(collection.items())[("a",)].as_dict() == {1: 1}
+        assert collection.as_dict() == {("a",): {1: 1}, ("b",): {2: 2}}

@@ -1,0 +1,101 @@
+"""Tests for variable-byte integer encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import SerializationError
+from repro.util.varint import (
+    decode_sequence,
+    decode_varint,
+    encode_sequence,
+    encode_varint,
+    encoded_length,
+    sequence_encoded_length,
+)
+
+
+class TestEncodeDecode:
+    def test_zero(self):
+        assert encode_varint(0) == b"\x00"
+        assert decode_varint(b"\x00") == (0, 1)
+
+    def test_small_values_use_one_byte(self):
+        for value in (1, 17, 127):
+            assert len(encode_varint(value)) == 1
+
+    def test_boundary_at_128(self):
+        assert len(encode_varint(127)) == 1
+        assert len(encode_varint(128)) == 2
+
+    def test_known_encoding(self):
+        # 300 = 0b100101100 -> groups 0101100 (0x2C) then 10 (0x02).
+        assert encode_varint(300) == bytes([0xAC, 0x02])
+
+    def test_negative_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_varint(-1)
+
+    def test_decode_with_offset(self):
+        data = encode_varint(5) + encode_varint(1000)
+        value, offset = decode_varint(data, 0)
+        assert value == 5
+        value, offset = decode_varint(data, offset)
+        assert value == 1000
+        assert offset == len(data)
+
+    def test_truncated_raises(self):
+        data = encode_varint(12345)[:-1]
+        with pytest.raises(SerializationError):
+            decode_varint(data)
+
+    def test_decode_empty_raises(self):
+        with pytest.raises(SerializationError):
+            decode_varint(b"")
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_roundtrip(self, value):
+        encoded = encode_varint(value)
+        decoded, offset = decode_varint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_encoded_length_matches_encoding(self, value):
+        assert encoded_length(value) == len(encode_varint(value))
+
+    def test_encoded_length_rejects_negative(self):
+        with pytest.raises(SerializationError):
+            encoded_length(-3)
+
+
+class TestSequences:
+    def test_empty_sequence(self):
+        encoded = encode_sequence([])
+        values, offset = decode_sequence(encoded)
+        assert values == []
+        assert offset == len(encoded)
+
+    def test_roundtrip_simple(self):
+        values = [0, 1, 127, 128, 300, 2**30]
+        encoded = encode_sequence(values)
+        decoded, offset = decode_sequence(encoded)
+        assert decoded == values
+        assert offset == len(encoded)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=50))
+    def test_roundtrip_property(self, values):
+        encoded = encode_sequence(values)
+        decoded, _ = decode_sequence(encoded)
+        assert decoded == values
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=50))
+    def test_sequence_encoded_length_matches(self, values):
+        assert sequence_encoded_length(values) == len(encode_sequence(values))
+
+    def test_two_sequences_back_to_back(self):
+        data = encode_sequence([1, 2]) + encode_sequence([3])
+        first, offset = decode_sequence(data)
+        second, offset = decode_sequence(data, offset)
+        assert first == [1, 2]
+        assert second == [3]
+        assert offset == len(data)

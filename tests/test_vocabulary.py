@@ -1,0 +1,92 @@
+"""Tests for the term vocabulary."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.corpus.vocabulary import Vocabulary
+from repro.exceptions import VocabularyError
+
+
+class TestVocabulary:
+    def test_ids_assigned_by_descending_frequency(self):
+        vocabulary = Vocabulary.from_term_frequencies({"rare": 1, "common": 100, "mid": 10})
+        assert vocabulary.term_id("common") == 0
+        assert vocabulary.term_id("mid") == 1
+        assert vocabulary.term_id("rare") == 2
+
+    def test_ties_broken_lexicographically(self):
+        vocabulary = Vocabulary.from_term_frequencies({"b": 5, "a": 5, "c": 5})
+        assert vocabulary.term_id("a") == 0
+        assert vocabulary.term_id("b") == 1
+        assert vocabulary.term_id("c") == 2
+
+    def test_term_lookup_roundtrip(self):
+        vocabulary = Vocabulary.from_term_frequencies({"x": 3, "y": 2})
+        for term in ("x", "y"):
+            assert vocabulary.term(vocabulary.term_id(term)) == term
+
+    def test_unknown_term_raises(self):
+        vocabulary = Vocabulary.from_term_frequencies({"a": 1})
+        with pytest.raises(VocabularyError):
+            vocabulary.term_id("unknown")
+
+    def test_unknown_id_raises(self):
+        vocabulary = Vocabulary.from_term_frequencies({"a": 1})
+        with pytest.raises(VocabularyError):
+            vocabulary.term(5)
+        with pytest.raises(VocabularyError):
+            vocabulary.frequency_of_id(-1)
+
+    def test_frequencies_preserved(self):
+        vocabulary = Vocabulary.from_term_frequencies({"a": 7, "b": 3})
+        assert vocabulary.frequency("a") == 7
+        assert vocabulary.frequency_of_id(vocabulary.term_id("b")) == 3
+
+    def test_contains_and_len(self):
+        vocabulary = Vocabulary.from_term_frequencies({"a": 1, "b": 2})
+        assert "a" in vocabulary
+        assert "z" not in vocabulary
+        assert len(vocabulary) == 2
+
+    def test_from_collection(self, running_example):
+        vocabulary = Vocabulary.from_collection(running_example)
+        assert len(vocabulary) == 3
+        assert vocabulary.frequency("x") == 7
+        assert vocabulary.frequency("b") == 5
+        assert vocabulary.frequency("a") == 3
+
+    def test_items_and_terms_in_id_order(self):
+        vocabulary = Vocabulary.from_term_frequencies({"low": 1, "high": 9})
+        assert list(vocabulary.terms()) == ["high", "low"]
+        assert list(vocabulary.items()) == [("high", 0), ("low", 1)]
+
+    def test_lines_roundtrip(self):
+        vocabulary = Vocabulary.from_term_frequencies({"alpha": 10, "beta": 4, "gamma": 4})
+        rebuilt = Vocabulary.from_lines(vocabulary.to_lines())
+        assert len(rebuilt) == len(vocabulary)
+        for term, term_id in vocabulary.items():
+            assert rebuilt.term_id(term) == term_id
+            assert rebuilt.frequency(term) == vocabulary.frequency(term)
+
+    def test_from_lines_skips_blank_lines(self):
+        vocabulary = Vocabulary.from_lines(["a\t3", "", "b\t1\n"])
+        assert len(vocabulary) == 2
+
+    def test_from_lines_malformed_frequency(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary.from_lines(["a\tnot-a-number"])
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=8),
+            st.integers(min_value=1, max_value=10**6),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_ids_dense_and_frequency_monotone(self, frequencies):
+        vocabulary = Vocabulary.from_term_frequencies(frequencies)
+        ids = sorted(vocabulary.term_id(term) for term in frequencies)
+        assert ids == list(range(len(frequencies)))
+        ordered_frequencies = [vocabulary.frequency_of_id(i) for i in range(len(frequencies))]
+        assert ordered_frequencies == sorted(ordered_frequencies, reverse=True)
