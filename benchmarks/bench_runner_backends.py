@@ -1,0 +1,73 @@
+"""Execution backends on a Figure-6 scaling point (local vs. processes).
+
+Runs all methods on one dataset sample with the sequential reference
+backend and with the multi-core process backend (plus a spill budget, so
+the out-of-core shuffle path is exercised), checks that the measured
+record/byte/n-gram numbers agree exactly, and reports the wallclock of
+both backends side by side.
+
+The comparison is exported as a JSON report (``BACKEND_SMOKE_REPORT``
+environment variable, default ``backend_smoke_report.json``) — the CI
+benchmark smoke job uploads that file as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.conftest import run_once
+from repro.config import ExecutionConfig
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.report import format_measurements
+
+#: Spill budget used for the processes backend: far below the shuffle
+#: volume of even the 25 % sample, so several runs spill and merge.
+SPILL_BUDGET_BYTES = 64 * 1024
+
+BACKENDS = {
+    "local": None,
+    "processes": ExecutionConfig(
+        runner="processes", spill_threshold_bytes=SPILL_BUDGET_BYTES
+    ),
+}
+
+
+def _compare_backends(spec, fraction=0.5, sigma=5):
+    collection = spec.build(fraction=fraction)
+    comparison = {}
+    for name, execution in BACKENDS.items():
+        runner = ExperimentRunner(execution=execution)
+        comparison[name] = runner.compare_methods(
+            collection, spec.name, spec.default_tau, sigma
+        )
+    return comparison
+
+
+def test_backends_on_figure6_point(benchmark, nyt_spec):
+    comparison = run_once(benchmark, _compare_backends, nyt_spec)
+
+    rows = []
+    for name, measurements in comparison.items():
+        print(f"\n=== Figure 6 point ({nyt_spec.name}, 50% sample) on {name!r} backend ===")
+        print(format_measurements(measurements))
+        for measurement in measurements:
+            row = measurement.as_row()
+            row["backend"] = name
+            rows.append(row)
+
+    report_path = os.environ.get("BACKEND_SMOKE_REPORT", "backend_smoke_report.json")
+    with open(report_path, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True)
+    print(f"\nwrote backend comparison to {report_path}")
+
+    local = {m.algorithm: m for m in comparison["local"]}
+    processes = {m.algorithm: m for m in comparison["processes"]}
+    assert set(local) == set(processes)
+    for algorithm, reference in local.items():
+        candidate = processes[algorithm]
+        # The backends must measure the exact same computation.
+        assert candidate.map_output_records == reference.map_output_records, algorithm
+        assert candidate.map_output_bytes == reference.map_output_bytes, algorithm
+        assert candidate.num_ngrams == reference.num_ngrams, algorithm
+        assert candidate.num_jobs == reference.num_jobs, algorithm

@@ -19,7 +19,7 @@ Run with::
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro import count_ngrams
 from repro.corpus.synthetic import NewswireCorpusGenerator

@@ -28,7 +28,7 @@ The package is organised in layers:
 The most common entry points are re-exported here for convenience.
 """
 
-from repro.config import NGramJobConfig
+from repro.config import ExecutionConfig, NGramJobConfig
 from repro.corpus.collection import DocumentCollection
 from repro.corpus.document import Document
 from repro.corpus.synthetic import NewswireCorpusGenerator, WebCorpusGenerator
@@ -48,6 +48,7 @@ __all__ = [
     "AprioriScanCounter",
     "Document",
     "DocumentCollection",
+    "ExecutionConfig",
     "NGramJobConfig",
     "NGramStatistics",
     "NaiveCounter",

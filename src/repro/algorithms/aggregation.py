@@ -15,7 +15,7 @@ what value is finally emitted.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 
 class SuffixAggregation:

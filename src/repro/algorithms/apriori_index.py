@@ -21,11 +21,12 @@ spilling key-value store for that buffer.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.algorithms.base import NGramCounter, Record, SupportsRecords
 from repro.algorithms.postings import Posting, PostingList
-from repro.config import NGramJobConfig
+from repro.config import ExecutionConfig, NGramJobConfig
 from repro.exceptions import ConfigurationError
 from repro.mapreduce.job import JobSpec, Mapper, Reducer, TaskContext
 from repro.mapreduce.pipeline import JobPipeline
@@ -131,8 +132,9 @@ class AprioriIndexCounter(NGramCounter):
         config: NGramJobConfig,
         num_map_tasks: int = 4,
         keep_index: bool = False,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
-        super().__init__(config, num_map_tasks=num_map_tasks)
+        super().__init__(config, num_map_tasks=num_map_tasks, execution=execution)
         if config.max_length is not None and config.apriori_index_k < 1:
             raise ConfigurationError("apriori_index_k must be >= 1")
         self.keep_index = keep_index
@@ -143,9 +145,9 @@ class AprioriIndexCounter(NGramCounter):
         config = self.config
         return JobSpec(
             name=f"apriori-index-scan-k{k}",
-            mapper_factory=lambda: IndexingMapper(k),
-            reducer_factory=lambda: IndexingReducer(
-                config.min_frequency, config.count_document_frequency
+            mapper_factory=partial(IndexingMapper, k),
+            reducer_factory=partial(
+                IndexingReducer, config.min_frequency, config.count_document_frequency
             ),
             num_reducers=config.num_reducers,
             num_map_tasks=self.num_map_tasks,
@@ -156,8 +158,8 @@ class AprioriIndexCounter(NGramCounter):
         return JobSpec(
             name=f"apriori-index-join-k{k}",
             mapper_factory=ExtensionMapper,
-            reducer_factory=lambda: JoiningReducer(
-                config.min_frequency, config.count_document_frequency
+            reducer_factory=partial(
+                JoiningReducer, config.min_frequency, config.count_document_frequency
             ),
             num_reducers=config.num_reducers,
             num_map_tasks=self.num_map_tasks,

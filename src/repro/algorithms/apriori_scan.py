@@ -16,11 +16,12 @@ paper's experiments expose for small τ / large σ.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, List, Optional, Tuple
+from functools import partial
+from typing import Any, List, Optional, Tuple
 
 from repro.algorithms.base import NGramCounter, Record, SupportsRecords
 from repro.algorithms.common import CountSumCombiner, FrequencyReducer
-from repro.config import NGramJobConfig
+from repro.config import ExecutionConfig, NGramJobConfig
 from repro.kvstore import SpillingKVStore
 from repro.mapreduce.job import JobSpec, Mapper, TaskContext
 from repro.mapreduce.pipeline import JobPipeline
@@ -71,12 +72,13 @@ class AprioriScanCounter(NGramCounter):
         config: NGramJobConfig,
         num_map_tasks: int = 4,
         dictionary_memory_budget: Optional[int] = None,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
         """``dictionary_memory_budget``: when set, the dictionary of frequent
         (k-1)-grams is kept in a :class:`~repro.kvstore.SpillingKVStore` with
         that in-memory entry budget instead of a plain frozen set, mirroring
         the Berkeley-DB-backed dictionary of the paper's implementation."""
-        super().__init__(config, num_map_tasks=num_map_tasks)
+        super().__init__(config, num_map_tasks=num_map_tasks, execution=execution)
         self.dictionary_memory_budget = dictionary_memory_budget
 
     # ------------------------------------------------------------ plumbing
@@ -85,8 +87,9 @@ class AprioriScanCounter(NGramCounter):
         emit_partial_counts = config.use_combiner and not config.count_document_frequency
         return JobSpec(
             name=f"apriori-scan-k{k}",
-            mapper_factory=lambda: AprioriScanMapper(k, emit_partial_counts),
-            reducer_factory=lambda: FrequencyReducer(
+            mapper_factory=partial(AprioriScanMapper, k, emit_partial_counts),
+            reducer_factory=partial(
+                FrequencyReducer,
                 config.min_frequency,
                 values_are_counts=emit_partial_counts,
                 document_frequency=config.count_document_frequency,

@@ -15,8 +15,9 @@ from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Tuple
 
 from repro.algorithms.doc_split import split_records
-from repro.config import ClusterConfig, NGramJobConfig
+from repro.config import ClusterConfig, ExecutionConfig, NGramJobConfig
 from repro.exceptions import ConfigurationError
+from repro.mapreduce.backends import make_runner
 from repro.mapreduce.cluster import ClusterCostModel
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.pipeline import JobPipeline, PipelineResult
@@ -85,16 +86,27 @@ class CountingResult:
 
 
 class NGramCounter:
-    """Abstract base class of the four counting algorithms."""
+    """Abstract base class of the four counting algorithms.
+
+    ``execution`` selects the MapReduce backend the counter's pipelines run
+    on (sequential, thread pool or process pool, plus the shuffle's spill
+    budget); ``None`` is the sequential in-memory default.
+    """
 
     #: Canonical name used in reports; subclasses override.
     name: str = "ABSTRACT"
 
-    def __init__(self, config: NGramJobConfig, num_map_tasks: int = 4) -> None:
+    def __init__(
+        self,
+        config: NGramJobConfig,
+        num_map_tasks: int = 4,
+        execution: Optional[ExecutionConfig] = None,
+    ) -> None:
         if num_map_tasks < 1:
             raise ConfigurationError("num_map_tasks must be >= 1")
         self.config = config
         self.num_map_tasks = num_map_tasks
+        self.execution = execution
 
     # ------------------------------------------------------------ plumbing
     def prepare_records(self, collection: SupportsRecords) -> List[Record]:
@@ -117,7 +129,10 @@ class NGramCounter:
         ]
 
     def _new_pipeline(self) -> JobPipeline:
-        return JobPipeline(default_map_tasks=self.num_map_tasks)
+        if self.execution is None:
+            return JobPipeline(default_map_tasks=self.num_map_tasks)
+        runner = make_runner(self.execution, default_map_tasks=self.num_map_tasks)
+        return JobPipeline(runner=runner)
 
     # ----------------------------------------------------------------- API
     def run(self, collection: SupportsRecords) -> CountingResult:

@@ -10,7 +10,7 @@ convenience façade.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional
 
 from repro.algorithms import make_counter
 from repro.algorithms.base import CountingResult

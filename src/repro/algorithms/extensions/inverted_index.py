@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Any, Dict, List, Tuple
 
 from repro.algorithms.aggregation import DocumentPostingAggregation
-from repro.algorithms.base import SupportsRecords
 from repro.algorithms.suffix_sigma import SuffixSigmaCounter
 from repro.config import NGramJobConfig
 from repro.mapreduce.pipeline import JobPipeline

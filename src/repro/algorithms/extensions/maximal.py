@@ -22,7 +22,8 @@ SUFFIX-σ computes them in two steps, both reusing its machinery:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from repro.algorithms.base import Record, SupportsRecords
 from repro.algorithms.suffix_sigma import (
@@ -30,7 +31,6 @@ from repro.algorithms.suffix_sigma import (
     PrefixEmissionFilter,
     SuffixSigmaCounter,
 )
-from repro.config import NGramJobConfig
 from repro.mapreduce.job import JobSpec, Mapper, Reducer, TaskContext
 from repro.mapreduce.pipeline import JobPipeline
 from repro.ngrams.ordering import ReverseLexicographicOrder
@@ -70,15 +70,14 @@ class MaximalNGramCounter(SuffixSigmaCounter):
     filter_mode = PrefixEmissionFilter.MAXIMAL
 
     def _emission_filter_factory(self) -> Optional[Callable[[], PrefixEmissionFilter]]:
-        mode = self.filter_mode
-        return lambda: PrefixEmissionFilter(mode)
+        return partial(PrefixEmissionFilter, self.filter_mode)
 
     def _post_filter_job(self) -> JobSpec:
         mode = self.filter_mode
         return JobSpec(
             name=f"suffix-sigma-postfilter-{mode}",
             mapper_factory=ReversingMapper,
-            reducer_factory=lambda: ReversedFilterReducer(mode),
+            reducer_factory=partial(ReversedFilterReducer, mode),
             partitioner=FirstTermPartitioner(),
             sort_comparator=ReverseLexicographicOrder(),
             num_reducers=self.config.num_reducers,

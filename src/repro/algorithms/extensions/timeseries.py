@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.algorithms.aggregation import SuffixAggregation, TimeSeriesAggregation
-from repro.algorithms.base import CountingResult, Record, SupportsRecords
+from repro.algorithms.aggregation import TimeSeriesAggregation
+from repro.algorithms.base import SupportsRecords
 from repro.algorithms.suffix_sigma import SuffixSigmaCounter
 from repro.config import NGramJobConfig
 from repro.mapreduce.pipeline import JobPipeline

@@ -19,11 +19,12 @@ Two practical refinements from Section V are supported:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, List, Optional, Tuple
 
 from repro.algorithms.base import NGramCounter, Record, SupportsRecords
 from repro.algorithms.common import CountSumCombiner, FrequencyReducer
-from repro.config import NGramJobConfig
+from repro.config import ExecutionConfig, NGramJobConfig
 from repro.mapreduce.job import JobSpec, Mapper, TaskContext
 from repro.mapreduce.pipeline import JobPipeline
 from repro.ngrams.statistics import NGramStatistics
@@ -55,16 +56,24 @@ class NaiveCounter(NGramCounter):
 
     name = "NAIVE"
 
-    def __init__(self, config: NGramJobConfig, num_map_tasks: int = 4) -> None:
-        super().__init__(config, num_map_tasks=num_map_tasks)
+    def __init__(
+        self,
+        config: NGramJobConfig,
+        num_map_tasks: int = 4,
+        execution: Optional[ExecutionConfig] = None,
+    ) -> None:
+        super().__init__(config, num_map_tasks=num_map_tasks, execution=execution)
 
     def _job_spec(self) -> JobSpec:
         config = self.config
         emit_partial_counts = config.use_combiner and not config.count_document_frequency
+        # functools.partial (not a lambda) keeps the factories picklable for
+        # the process-based runner.
         return JobSpec(
             name="naive",
-            mapper_factory=lambda: NaiveMapper(config.max_length, emit_partial_counts),
-            reducer_factory=lambda: FrequencyReducer(
+            mapper_factory=partial(NaiveMapper, config.max_length, emit_partial_counts),
+            reducer_factory=partial(
+                FrequencyReducer,
                 config.min_frequency,
                 values_are_counts=emit_partial_counts,
                 document_frequency=config.count_document_frequency,

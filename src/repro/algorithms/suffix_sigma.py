@@ -29,11 +29,12 @@ implemented in :mod:`repro.algorithms.extensions.maximal`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from functools import partial
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.algorithms.aggregation import CountAggregation, SuffixAggregation
 from repro.algorithms.base import NGramCounter, Record, SupportsRecords
-from repro.config import NGramJobConfig
+from repro.config import ExecutionConfig, NGramJobConfig
 from repro.mapreduce.job import JobSpec, Mapper, Partitioner, Reducer, TaskContext
 from repro.mapreduce.pipeline import JobPipeline
 from repro.ngrams.ordering import ReverseLexicographicOrder
@@ -172,6 +173,34 @@ class SuffixSigmaReducer(Reducer):
         self.reduce((), [], context)
 
 
+class SuffixSigmaReducerFactory:
+    """Picklable per-task factory of :class:`SuffixSigmaReducer` instances.
+
+    Each call builds a fresh reducer with a fresh aggregation (and emission
+    filter, when configured) so that no state is shared between reduce
+    tasks — also across process boundaries, where a plain lambda closure
+    could not be pickled.
+    """
+
+    def __init__(
+        self,
+        min_frequency: int,
+        aggregation_factory: Callable[[], SuffixAggregation],
+        filter_factory: Optional[Callable[[], PrefixEmissionFilter]] = None,
+    ) -> None:
+        self.min_frequency = min_frequency
+        self.aggregation_factory = aggregation_factory
+        self.filter_factory = filter_factory
+
+    def __call__(self) -> SuffixSigmaReducer:
+        emission_filter = self.filter_factory() if self.filter_factory is not None else None
+        return SuffixSigmaReducer(
+            self.min_frequency,
+            aggregation=self.aggregation_factory(),
+            emission_filter=emission_filter,
+        )
+
+
 class SuffixSigmaCounter(NGramCounter):
     """The SUFFIX-σ method (Algorithm 4)."""
 
@@ -182,19 +211,24 @@ class SuffixSigmaCounter(NGramCounter):
         config: NGramJobConfig,
         num_map_tasks: int = 4,
         aggregation_factory: Optional[Callable[[], SuffixAggregation]] = None,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
-        super().__init__(config, num_map_tasks=num_map_tasks)
+        super().__init__(config, num_map_tasks=num_map_tasks, execution=execution)
         self.aggregation_factory = aggregation_factory
 
     # ------------------------------------------------------------ plumbing
-    def _make_aggregation(self) -> SuffixAggregation:
+    def _make_aggregation_factory(self) -> Callable[[], SuffixAggregation]:
+        """Zero-arg factory of per-task aggregations (picklable by default)."""
         if self.aggregation_factory is not None:
-            return self.aggregation_factory()
+            return self.aggregation_factory
         if self.config.count_document_frequency:
             from repro.algorithms.aggregation import DistinctDocumentAggregation
 
-            return DistinctDocumentAggregation()
-        return CountAggregation()
+            return DistinctDocumentAggregation
+        return CountAggregation
+
+    def _make_aggregation(self) -> SuffixAggregation:
+        return self._make_aggregation_factory()()
 
     def _mapper_value_function(
         self, collection: SupportsRecords
@@ -213,11 +247,11 @@ class SuffixSigmaCounter(NGramCounter):
         filter_factory = self._emission_filter_factory()
         return JobSpec(
             name="suffix-sigma",
-            mapper_factory=lambda: SuffixMapper(config.max_length, value_function),
-            reducer_factory=lambda: SuffixSigmaReducer(
+            mapper_factory=partial(SuffixMapper, config.max_length, value_function),
+            reducer_factory=SuffixSigmaReducerFactory(
                 config.min_frequency,
-                aggregation=self._make_aggregation(),
-                emission_filter=filter_factory() if filter_factory is not None else None,
+                aggregation_factory=self._make_aggregation_factory(),
+                filter_factory=filter_factory,
             ),
             partitioner=FirstTermPartitioner(),
             sort_comparator=ReverseLexicographicOrder(),

@@ -11,7 +11,7 @@ rising/declining phrases.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.ngrams.timeseries import NGramTimeSeriesCollection, TimeSeries

@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence
 
 from repro.algorithms import make_counter
 from repro.algorithms.extensions import ClosedNGramCounter, MaximalNGramCounter
-from repro.config import NGramJobConfig
+from repro.config import RUNNER_NAMES, ExecutionConfig, NGramJobConfig
 from repro.corpus.io import read_encoded_collection, write_encoded_collection
 from repro.corpus.stats import compute_statistics
 from repro.harness import figures
@@ -38,6 +38,44 @@ from repro.harness.report import (
     format_sweep,
     format_table,
 )
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Runner-backend flags shared by the ``count`` and ``experiment`` commands."""
+    parser.add_argument(
+        "--runner",
+        choices=RUNNER_NAMES,
+        default="local",
+        help="MapReduce execution backend (default: local, sequential)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the threads/processes runners",
+    )
+    parser.add_argument(
+        "--spill-threshold",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="shuffle spill budget in bytes; past it, sorted runs spill to disk "
+        "(default: keep the whole shuffle in memory)",
+    )
+
+
+def _execution_from_args(args: argparse.Namespace) -> Optional[ExecutionConfig]:
+    """Build an ExecutionConfig from CLI flags (None for the plain default)."""
+    if args.workers is not None and args.runner == "local":
+        # Silently running sequentially would corrupt any speed-up comparison.
+        raise SystemExit("error: --workers requires --runner threads or processes")
+    if args.runner == "local" and args.workers is None and args.spill_threshold is None:
+        return None
+    return ExecutionConfig(
+        runner=args.runner,
+        max_workers=args.workers,
+        spill_threshold_bytes=args.spill_threshold,
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,6 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
     count.add_argument("--document-frequency", action="store_true")
     count.add_argument("--top", type=int, default=20, help="print only the top-k n-grams")
     count.add_argument("--output", default=None, help="write all n-grams to this TSV file")
+    _add_execution_arguments(count)
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument(
@@ -91,6 +130,19 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--export", default=None, help="also write measurements to this CSV file (fig3/fig4/fig5/fig6/fig7/ablations)"
     )
+    experiment.add_argument(
+        "--export-json",
+        default=None,
+        metavar="PATH",
+        help="also write measurements to this JSON file (fig3/fig4/fig5/fig6/fig7/ablations)",
+    )
+    experiment.add_argument(
+        "--fractions",
+        default=None,
+        metavar="CSV",
+        help="comma-separated dataset fractions for fig6 (e.g. 0.25,0.5)",
+    )
+    _add_execution_arguments(experiment)
 
     coderivatives = subparsers.add_parser(
         "coderivatives", help="find co-derivative document pairs via long shared n-grams"
@@ -141,12 +193,13 @@ def _cmd_count(args: argparse.Namespace) -> int:
         max_length=args.sigma,
         count_document_frequency=args.document_frequency,
     )
+    execution = _execution_from_args(args)
     if args.maximal:
-        counter = MaximalNGramCounter(config)
+        counter = MaximalNGramCounter(config, execution=execution)
     elif args.closed:
-        counter = ClosedNGramCounter(config)
+        counter = ClosedNGramCounter(config, execution=execution)
     else:
-        counter = make_counter(args.algorithm, config)
+        counter = make_counter(args.algorithm, config, execution=execution)
     result = counter.run(collection)
     decoded = result.statistics.decoded(collection.vocabulary)
 
@@ -174,10 +227,33 @@ def _export_measurements(measurements, path: Optional[str]) -> None:
     print(f"wrote {len(list(measurements))} measurements to {path}")
 
 
+def _parse_fractions(text: Optional[str]):
+    if not text:
+        return None
+    try:
+        fractions = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"error: invalid --fractions value {text!r}")
+    if not fractions or any(not 0 < fraction <= 1 for fraction in fractions):
+        raise SystemExit("error: --fractions must be in (0, 1]")
+    return fractions
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.harness.datasets import default_datasets
+    from repro.harness.experiment import ExperimentRunner
 
     datasets = default_datasets(scale=args.scale)
+    execution = _execution_from_args(args)
+    if execution is not None and args.name in ("table1", "extensions"):
+        # table1 launches no MapReduce jobs; the extensions overview includes
+        # the time-series counter, whose mapper closure cannot cross a
+        # process boundary.  Fail loudly instead of silently ignoring flags.
+        raise SystemExit(
+            f"error: --runner/--workers/--spill-threshold are not supported for {args.name}"
+        )
+    runner = ExperimentRunner(execution=execution)
+    fractions = _parse_fractions(args.fractions)
     exported: List = []
     if args.name == "table1":
         for name, statistics in figures.table1_dataset_characteristics(datasets).items():
@@ -185,11 +261,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             for label, value in statistics.as_rows():
                 print(f"{label:30s} {value}")
     elif args.name == "fig2":
-        for name, histogram in figures.figure2_output_characteristics(datasets).items():
+        for name, histogram in figures.figure2_output_characteristics(
+            datasets, execution=execution
+        ).items():
             print(f"== {name} ==")
             print(format_histogram(histogram))
     elif args.name == "fig3":
-        result = figures.figure3_use_cases(datasets)
+        result = figures.figure3_use_cases(datasets, runner=runner)
         print("== language model use case (sigma=5) ==")
         for name, measurements in result.language_model.items():
             print(format_measurements(measurements))
@@ -199,13 +277,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(format_measurements(measurements))
             exported.extend(measurements)
     elif args.name in ("fig4", "fig5", "fig6", "fig7"):
-        driver = {
-            "fig4": figures.figure4_vary_tau,
-            "fig5": figures.figure5_vary_sigma,
-            "fig6": figures.figure6_scale_datasets,
-            "fig7": figures.figure7_scale_slots,
-        }[args.name]
-        sweeps = driver(datasets)
+        if args.name == "fig4":
+            sweeps = figures.figure4_vary_tau(datasets, runner=runner)
+        elif args.name == "fig5":
+            sweeps = figures.figure5_vary_sigma(datasets, runner=runner)
+        elif args.name == "fig6":
+            sweeps = figures.figure6_scale_datasets(
+                datasets,
+                runner=runner,
+                fractions=fractions if fractions is not None else figures.DATASET_FRACTIONS,
+            )
+        else:
+            sweeps = figures.figure7_scale_slots(datasets, execution=execution)
         for name, sweep in sweeps.items():
             print(f"== {name} ==")
             print(format_sweep(sweep, metric="simulated_s", parameter_label="method"))
@@ -225,11 +308,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         ]
         print(format_table(rows))
     elif args.name == "ablations":
-        measurements = figures.ablation_implementation_choices(datasets[0])
+        measurements = figures.ablation_implementation_choices(datasets[0], execution=execution)
         print(format_measurements(measurements))
         exported.extend(measurements)
     if getattr(args, "export", None) and exported:
         _export_measurements(exported, args.export)
+    if getattr(args, "export_json", None) and exported:
+        from repro.harness.export import write_measurements_json
+
+        write_measurements_json(exported, args.export_json)
+        print(f"wrote {len(exported)} measurements to {args.export_json}")
     return 0
 
 

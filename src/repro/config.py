@@ -16,7 +16,7 @@ partition function of Algorithm 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.exceptions import ConfigurationError
@@ -104,6 +104,54 @@ class NGramJobConfig:
     def with_updates(self, **changes: object) -> "NGramJobConfig":
         """Return a copy of this configuration with ``changes`` applied."""
         return replace(self, **changes)  # type: ignore[arg-type]
+
+
+#: Names of the MapReduce execution backends (see ``repro.mapreduce.backends``).
+RUNNER_NAMES = ("local", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the MapReduce engine executes a job's tasks.
+
+    Attributes
+    ----------
+    runner:
+        Execution backend: ``"local"`` (sequential, the default),
+        ``"threads"`` (thread-pool tasks) or ``"processes"`` (multi-core
+        worker processes; job components must pickle).
+    max_workers:
+        Worker count for the concurrent backends; ``None`` uses each
+        backend's default (4 threads, or the CPU count for processes).
+    spill_threshold_bytes:
+        In-memory byte budget of the shuffle; past it, sorted runs of map
+        output spill to disk and reducers stream from a k-way merge.
+        ``None`` keeps the whole shuffle in memory.
+    spill_dir:
+        Directory for spilled runs (a private temp directory by default).
+    """
+
+    runner: str = "local"
+    max_workers: Optional[int] = None
+    spill_threshold_bytes: Optional[int] = None
+    spill_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.runner not in RUNNER_NAMES:
+            raise ConfigurationError(
+                f"runner must be one of {', '.join(RUNNER_NAMES)}, got {self.runner!r}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1 or None, got {self.max_workers}"
+            )
+        if self.spill_threshold_bytes is not None and self.spill_threshold_bytes < 1:
+            raise ConfigurationError(
+                f"spill_threshold_bytes must be >= 1 or None, got {self.spill_threshold_bytes}"
+            )
+
+
+DEFAULT_EXECUTION = ExecutionConfig()
 
 
 @dataclass(frozen=True)

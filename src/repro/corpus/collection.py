@@ -16,10 +16,10 @@ sentence boundaries act as n-gram barriers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.corpus.document import Document, TokenSequence
+from repro.corpus.document import Document
 from repro.corpus.vocabulary import Vocabulary
 from repro.exceptions import CorpusError
 

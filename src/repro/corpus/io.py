@@ -17,7 +17,7 @@ reproduces that layout at configurable shard count:
 from __future__ import annotations
 
 import os
-from typing import List, Optional
+from typing import List
 
 from repro.corpus.collection import EncodedCollection, EncodedDocument
 from repro.corpus.vocabulary import Vocabulary

@@ -12,7 +12,7 @@ Reproduces the paper's preparation pipeline (Section VII.B):
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.corpus.boilerplate import extract_main_content
 from repro.corpus.collection import DocumentCollection

@@ -14,9 +14,9 @@ always uses a 10× higher τ than NYT, the language-model use case uses a low
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.corpus.collection import DocumentCollection, EncodedCollection
 from repro.corpus.synthetic import (

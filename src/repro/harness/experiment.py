@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.algorithms import ALGORITHMS, make_counter
 from repro.algorithms.base import CountingResult
-from repro.config import ClusterConfig, NGramJobConfig
+from repro.config import ClusterConfig, ExecutionConfig, NGramJobConfig
 from repro.exceptions import ExperimentError
 from repro.harness.measurement import RunMeasurement
 
@@ -36,13 +36,18 @@ class ExperimentRunner:
         use_combiner: bool = True,
         split_documents: bool = False,
         apriori_index_k: int = 4,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
+        """``execution`` selects the MapReduce backend (runner, worker count,
+        shuffle spill budget) every measured run executes on; ``None`` is the
+        sequential in-memory default."""
         self.cluster = cluster if cluster is not None else ClusterConfig()
         self.num_reducers = num_reducers
         self.num_map_tasks = num_map_tasks
         self.use_combiner = use_combiner
         self.split_documents = split_documents
         self.apriori_index_k = apriori_index_k
+        self.execution = execution
 
     # ------------------------------------------------------------ plumbing
     def _make_config(self, min_frequency: int, max_length: Optional[int]) -> NGramJobConfig:
@@ -90,7 +95,7 @@ class ExperimentRunner:
         if algorithm not in ALGORITHMS:
             raise ExperimentError(f"unknown algorithm {algorithm!r}")
         config = self._make_config(min_frequency, max_length)
-        counter = make_counter(algorithm, config)
+        counter = make_counter(algorithm, config, execution=self.execution)
         counter.num_map_tasks = self.num_map_tasks
         result = counter.run(collection)
         return self._measure(algorithm, dataset_name, result, cluster), result

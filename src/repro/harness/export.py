@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import json
 import os
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 from repro.harness.measurement import RunMeasurement
 

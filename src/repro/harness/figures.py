@@ -23,7 +23,7 @@ values (see :mod:`repro.harness.datasets`):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms import make_counter
 from repro.algorithms.extensions import (
@@ -31,7 +31,7 @@ from repro.algorithms.extensions import (
     MaximalNGramCounter,
     SuffixSigmaTimeSeriesCounter,
 )
-from repro.config import ClusterConfig, NGramJobConfig
+from repro.config import ClusterConfig, ExecutionConfig, NGramJobConfig
 from repro.corpus.stats import CollectionStatistics, compute_statistics
 from repro.harness.datasets import DatasetSpec, default_datasets
 from repro.harness.experiment import DEFAULT_METHODS, ExperimentRunner
@@ -57,6 +57,7 @@ def table1_dataset_characteristics(
 def figure2_output_characteristics(
     datasets: Optional[Sequence[DatasetSpec]] = None,
     min_frequency: int = 5,
+    execution: Optional[ExecutionConfig] = None,
 ) -> Dict[str, Dict[Tuple[int, int], int]]:
     """Number of n-grams per (length, collection-frequency) bucket.
 
@@ -67,7 +68,7 @@ def figure2_output_characteristics(
     histograms: Dict[str, Dict[Tuple[int, int], int]] = {}
     for spec in datasets:
         config = NGramJobConfig(min_frequency=min_frequency, max_length=None)
-        counter = make_counter("SUFFIX-SIGMA", config)
+        counter = make_counter("SUFFIX-SIGMA", config, execution=execution)
         result = counter.run(spec.build())
         histograms[spec.name] = result.statistics.bucket_histogram()
     return histograms
@@ -182,6 +183,7 @@ def figure7_scale_slots(
     datasets: Optional[Sequence[DatasetSpec]] = None,
     slot_counts: Sequence[int] = SLOT_COUNTS,
     fraction: float = 0.5,
+    execution: Optional[ExecutionConfig] = None,
 ) -> Dict[str, Dict[object, List[RunMeasurement]]]:
     """Simulated wallclock versus the number of map/reduce slots (Figure 7).
 
@@ -189,9 +191,10 @@ def figure7_scale_slots(
     larger than the largest slot count; the simulated-cluster cost model then
     evaluates the same measured task metrics under every slot count, exactly
     how a scheduler with more slots would process the same tasks.
+    ``execution`` selects the backend the measured runs execute on.
     """
     datasets = list(datasets) if datasets is not None else default_datasets()
-    runner = ExperimentRunner(num_map_tasks=96, num_reducers=16)
+    runner = ExperimentRunner(num_map_tasks=96, num_reducers=16, execution=execution)
     sweeps: Dict[str, Dict[object, List[RunMeasurement]]] = {}
     for spec in datasets:
         collection = spec.build(fraction=fraction)
@@ -272,12 +275,14 @@ def ablation_implementation_choices(
     dataset: Optional[DatasetSpec] = None,
     min_frequency: Optional[int] = None,
     max_length: Optional[int] = 5,
+    execution: Optional[ExecutionConfig] = None,
 ) -> List[RunMeasurement]:
     """Effect of the Section V implementation techniques.
 
     Compares, on the NYT-like dataset: NAIVE with and without the combiner,
     NAIVE and SUFFIX-σ with and without document splitting, and APRIORI-SCAN
-    with the spilling key-value-store dictionary.
+    with the spilling key-value-store dictionary.  ``execution`` selects the
+    backend every variant runs on.
     """
     spec = dataset if dataset is not None else default_datasets()[0]
     tau = min_frequency if min_frequency is not None else spec.default_tau
@@ -294,7 +299,7 @@ def ablation_implementation_choices(
         ("APRIORI-SCAN", {"split_documents": True}, "APRIORI-SCAN+split"),
     ]
     for method, overrides, label in variants:
-        runner = ExperimentRunner(**{
+        runner = ExperimentRunner(execution=execution, **{
             key: value
             for key, value in overrides.items()
             if key in ("use_combiner", "split_documents")

@@ -11,6 +11,35 @@ on a single machine.  It reproduces the quantities the paper measures:
   paper attributes to the APRIORI methods);
 * per-task work, which feeds the simulated-cluster wallclock model used for
   the resource-scaling experiment (Figure 7).
+
+Execution backends
+------------------
+
+Three interchangeable runners execute jobs, selected by name through
+:func:`make_runner` / :class:`~repro.config.ExecutionConfig` (or the CLI's
+``--runner`` flag) and producing identical outputs and counter totals:
+
+* :class:`LocalJobRunner` (``"local"``) — sequential, the default;
+* :class:`ThreadPoolJobRunner` (``"threads"``) — concurrent tasks in a
+  thread pool (GIL-bound, demonstrates the task model is parallelisable);
+* :class:`ProcessPoolJobRunner` (``"processes"``) — tasks fanned out over
+  worker processes for real multi-core speed-up.  Jobs must be picklable:
+  use module-level mapper/reducer classes and ``functools.partial`` (not
+  lambdas) as factories.
+
+Spill semantics
+---------------
+
+Every runner shuffles through
+:class:`~repro.mapreduce.shuffle.ExternalShuffle`.  With a
+``spill_threshold_bytes`` budget configured, map output past the budget is
+sorted and spilled as varint-framed runs to temp files, and each reducer
+streams its partition from a k-way ``heapq.merge`` of those runs — the
+shuffle's memory ceiling then stays at the budget regardless of input size,
+and results are byte-identical to the in-memory path.  Runs that never hit
+the budget (or run with the default ``None``) stay entirely in memory and
+additionally report no spill counters, so existing measurements are
+unchanged.
 """
 
 from repro.mapreduce.counters import CounterGroup, Counters
@@ -24,6 +53,10 @@ from repro.mapreduce.job import (
     SortComparator,
 )
 from repro.mapreduce.runner import JobResult, LocalJobRunner
+from repro.mapreduce.parallel import ThreadPoolJobRunner
+from repro.mapreduce.process import ProcessPoolJobRunner
+from repro.mapreduce.backends import RUNNER_BACKENDS, make_runner
+from repro.mapreduce.shuffle import ExternalShuffle, PartitionInput
 from repro.mapreduce.pipeline import JobPipeline, PipelineResult
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.cluster import ClusterCostModel, SimulatedCluster
@@ -34,15 +67,21 @@ __all__ = [
     "CounterGroup",
     "Counters",
     "DistributedCache",
+    "ExternalShuffle",
     "IdentityMapper",
     "JobPipeline",
     "JobResult",
     "JobSpec",
     "LocalJobRunner",
     "Mapper",
+    "PartitionInput",
     "Partitioner",
     "PipelineResult",
+    "ProcessPoolJobRunner",
     "Reducer",
+    "RUNNER_BACKENDS",
     "SimulatedCluster",
     "SortComparator",
+    "ThreadPoolJobRunner",
+    "make_runner",
 ]

@@ -1,0 +1,77 @@
+"""Runner backend selection.
+
+Three execution backends implement the same :class:`JobResult` contract and
+produce identical outputs and counter totals:
+
+``local``
+    Sequential in-process execution (:class:`LocalJobRunner`) — the default
+    and the reference for correctness.
+``threads``
+    Concurrent tasks in a thread pool (:class:`ThreadPoolJobRunner`) —
+    exercises the task model's parallelisability; speed-up is GIL-bound.
+``processes``
+    Tasks fanned out over worker processes
+    (:class:`ProcessPoolJobRunner`) — true multi-core execution; job
+    components must pickle.
+
+:func:`make_runner` builds a runner from a
+:class:`~repro.config.ExecutionConfig`, which is how the CLI's ``--runner``
+/ ``--spill-threshold`` flags and the experiment harness reach the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.config import RUNNER_NAMES, ExecutionConfig
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.parallel import ThreadPoolJobRunner
+from repro.mapreduce.process import ProcessPoolJobRunner
+from repro.mapreduce.runner import LocalJobRunner
+
+#: Registry of runner classes by backend name (see ``ExecutionConfig.runner``).
+RUNNER_BACKENDS: Dict[str, Type[LocalJobRunner]] = {
+    "local": LocalJobRunner,
+    "threads": ThreadPoolJobRunner,
+    "processes": ProcessPoolJobRunner,
+}
+
+# ``ExecutionConfig`` validates against ``repro.config.RUNNER_NAMES`` (it
+# cannot import this module without a cycle); fail loudly at import time if
+# the two ever drift apart.
+if set(RUNNER_BACKENDS) != set(RUNNER_NAMES):
+    raise AssertionError(
+        f"runner registry {sorted(RUNNER_BACKENDS)} out of sync with "
+        f"repro.config.RUNNER_NAMES {sorted(RUNNER_NAMES)}"
+    )
+
+
+def make_runner(
+    execution: Optional[ExecutionConfig] = None,
+    cache: Optional[DistributedCache] = None,
+    default_map_tasks: int = 4,
+) -> LocalJobRunner:
+    """Instantiate the runner described by ``execution``.
+
+    ``None`` yields the default sequential runner.  ``max_workers`` is
+    forwarded to the concurrent backends (each has its own default) and
+    ignored by ``local``.
+    """
+    execution = execution if execution is not None else ExecutionConfig()
+    try:
+        runner_class = RUNNER_BACKENDS[execution.runner]
+    except KeyError:
+        known = ", ".join(sorted(RUNNER_BACKENDS))
+        raise ConfigurationError(
+            f"unknown runner backend {execution.runner!r} (known: {known})"
+        ) from None
+    kwargs = {
+        "cache": cache,
+        "default_map_tasks": default_map_tasks,
+        "spill_threshold_bytes": execution.spill_threshold_bytes,
+        "spill_dir": execution.spill_dir,
+    }
+    if runner_class is not LocalJobRunner and execution.max_workers is not None:
+        kwargs["max_workers"] = execution.max_workers
+    return runner_class(**kwargs)

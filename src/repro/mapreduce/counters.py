@@ -31,6 +31,12 @@ REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
 SHUFFLE_RECORDS = "SHUFFLE_RECORDS"
 SHUFFLE_BYTES = "SHUFFLE_BYTES"
 
+#: Spill activity of the external shuffle; only present on runs that
+#: actually spilled, so in-memory runs keep their counter set unchanged.
+SHUFFLE_SPILLS = "SHUFFLE_SPILLS"
+SPILLED_RECORDS = "SPILLED_RECORDS"
+SPILLED_BYTES = "SPILLED_BYTES"
+
 
 class CounterGroup:
     """A named group of integer counters."""

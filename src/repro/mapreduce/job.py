@@ -11,7 +11,7 @@ its two stacks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Type
+from typing import Any, Callable, Iterable, Optional
 
 from repro.exceptions import MapReduceError
 from repro.util.hashing import stable_hash

@@ -1,96 +1,170 @@
-"""A concurrent job runner executing map and reduce tasks in a thread pool.
+"""Concurrent job runners: the pooled execution template and the thread pool.
 
 The sequential :class:`~repro.mapreduce.runner.LocalJobRunner` executes one
-task at a time; :class:`ThreadPoolJobRunner` runs the independent tasks of
-each phase concurrently, which is how a real cluster (or a multi-core
-machine) would process them.  Results are identical to the sequential
-runner: tasks only touch task-local state, each task gets its own
-:class:`~repro.mapreduce.counters.Counters` instance (merged in task order
-afterwards, so totals are deterministic), and the shuffle runs only after
-*all* map tasks have completed — the same barrier Hadoop enforces.
+task at a time; :class:`PooledJobRunner` is the shared skeleton for backends
+that run the independent tasks of each phase concurrently, the way a real
+cluster (or a multi-core machine) would process them.  Results are identical
+to the sequential runner: tasks only touch task-local state, each task gets
+its own :class:`~repro.mapreduce.counters.Counters` instance (merged in task
+order, so totals are deterministic), and the shuffle runs only after *all*
+map tasks have completed — the same barrier Hadoop enforces.  Map results
+stream into the shuffle as tasks complete, so spilled map output never
+piles up in a phase-wide results list.
 
-CPython's GIL limits the speed-up for the pure-Python mappers and reducers in
-this package, so the sequential runner remains the default; this runner
-exists to demonstrate (and test) that the engine's task model is safely
-parallelisable.
+Task failures are wrapped in :class:`~repro.exceptions.MapReduceError`
+carrying the job name, phase and task index, so a crashing mapper surfaces
+as an engine error with task identity instead of a bare traceback from a
+worker thread; on the first failure the remaining tasks of the phase are
+cancelled.
+
+:class:`ThreadPoolJobRunner` is the thread-pool instantiation of the
+template.  CPython's GIL limits its speed-up for the pure-Python mappers
+and reducers in this package, so the sequential runner remains the default;
+the process-based :class:`~repro.mapreduce.process.ProcessPoolJobRunner`
+(the other instantiation) is the backend that actually uses multiple cores.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
 from repro.exceptions import MapReduceError
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import JobSpec
 from repro.mapreduce.metrics import JobMetrics, TaskMetrics
-from repro.mapreduce.runner import JobResult, LocalJobRunner, _split_input
-from repro.mapreduce.shuffle import partition_records
+from repro.mapreduce.runner import JobResult, LocalJobRunner, ReduceInput, _split_input
 
 Record = Tuple[Any, Any]
 
+#: What every pooled task resolves to: the task's records, metrics and the
+#: counters it incremented (merged by the parent in task order).
+TaskResult = Tuple[List[Record], TaskMetrics, Counters]
 
-class ThreadPoolJobRunner(LocalJobRunner):
-    """Drop-in replacement for :class:`LocalJobRunner` with concurrent tasks."""
 
-    def __init__(
+def _cancel_pending(futures: List[Optional[Future]], start: int) -> None:
+    for pending in futures[start:]:
+        if pending is not None:
+            pending.cancel()
+
+
+def iter_task_results(
+    futures: List[Optional[Future]],
+    job: JobSpec,
+    phase: str,
+) -> Iterator[Any]:
+    """Yield task results in submission order, wrapping failures.
+
+    Each future's slot is cleared as soon as its result is consumed, so the
+    caller can stream large task outputs (e.g. map records into the shuffle)
+    without the whole phase's results staying referenced from the list.
+
+    On the first failing task the remaining futures are cancelled (tasks
+    already running finish, as in Hadoop's job teardown) and the failure is
+    re-raised as a :class:`MapReduceError` identifying the job, phase and
+    task — the contract shared by the thread- and process-based runners.
+    """
+    for index in range(len(futures)):
+        future = futures[index]
+        assert future is not None
+        try:
+            result = future.result()
+        except MapReduceError:
+            _cancel_pending(futures, index + 1)
+            raise
+        except Exception as exc:
+            _cancel_pending(futures, index + 1)
+            raise MapReduceError(
+                f"job {job.name!r}: {phase} task {index} failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        futures[index] = None
+        yield result
+
+
+class PooledJobRunner(LocalJobRunner):
+    """Template for executor-pool backends; subclasses supply the pool.
+
+    A subclass implements :meth:`_make_phase_executor` and
+    :meth:`_submit_task` (and optionally :meth:`_prepare_job`, e.g. to
+    serialise the job for worker processes); the template contributes the
+    phase orchestration, deterministic counter merging, shuffle streaming
+    and the shared failure contract — so the backends cannot drift apart.
+    """
+
+    # ------------------------------------------------------ subclass hooks
+    def _prepare_job(self, job: JobSpec) -> None:
+        """Called once per run before any task is submitted."""
+
+    def _make_phase_executor(self, num_tasks: int) -> Executor:
+        raise NotImplementedError
+
+    def _submit_task(
         self,
-        cache: Optional[DistributedCache] = None,
-        default_map_tasks: int = 4,
-        max_workers: int = 4,
-    ) -> None:
-        super().__init__(cache=cache, default_map_tasks=default_map_tasks)
-        if max_workers < 1:
-            raise MapReduceError("max_workers must be >= 1")
-        self.max_workers = max_workers
-
-    def _run_phase(
-        self,
-        task_function,
+        executor: Executor,
         job: JobSpec,
-        task_inputs: Sequence,
-    ) -> Tuple[List[List[Record]], List[TaskMetrics], List[Counters]]:
-        """Run one phase's tasks concurrently with per-task counters."""
-        task_counters = [Counters() for _ in task_inputs]
-        with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
-            futures = [
-                executor.submit(task_function, job, index, task_input, task_counters[index])
-                for index, task_input in enumerate(task_inputs)
-            ]
-            results = [future.result() for future in futures]
-        records = [records for records, _ in results]
-        metrics = [metrics for _, metrics in results]
-        return records, metrics, task_counters
+        phase: str,
+        task_index: int,
+        task_input: Any,
+    ) -> Future[TaskResult]:
+        raise NotImplementedError
 
+    # ------------------------------------------------------------------ run
     def run(self, job: JobSpec, input_records: Iterable[Record]) -> JobResult:
         started = time.perf_counter()
         records = list(input_records)
         counters = Counters()
         metrics = JobMetrics(job_name=job.name)
+        self._prepare_job(job)
 
         num_map_tasks = job.num_map_tasks or self.default_map_tasks
         splits = _split_input(records, num_map_tasks)
 
-        map_records, map_metrics, map_counters = self._run_phase(
-            self._run_map_task, job, splits
-        )
-        metrics.map_tasks = map_metrics
-        for task_counters in map_counters:
-            counters.merge(task_counters)
-        shuffle_records: List[Record] = [
-            record for task_records in map_records for record in task_records
-        ]
+        shuffle = self._new_shuffle(job)
+        try:
+            num_tasks = max(len(splits), job.num_reducers)
+            with self._make_phase_executor(num_tasks) as executor:
+                futures: List[Optional[Future]] = [
+                    self._submit_task(executor, job, "map", index, split)
+                    for index, split in enumerate(splits)
+                ]
+                try:
+                    for task_records, task_metrics, task_counters in iter_task_results(
+                        futures, job, "map"
+                    ):
+                        shuffle.add_records(task_records)
+                        metrics.map_tasks.append(task_metrics)
+                        counters.merge(task_counters)
+                except MapReduceError:
+                    # Task failures arrive pre-wrapped (and pending tasks
+                    # cancelled); shuffle errors are wrapped below.
+                    _cancel_pending(futures, 0)
+                    raise
+                except Exception as exc:
+                    _cancel_pending(futures, 0)
+                    raise MapReduceError(
+                        f"job {job.name!r}: shuffle failed during the map phase: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                shuffle.finalize()
+                self._record_spill_counters(shuffle, counters)
 
-        partitions = partition_records(shuffle_records, job.partitioner, job.num_reducers)
-
-        reduce_records, reduce_metrics, reduce_counters = self._run_phase(
-            self._run_reduce_task, job, partitions
-        )
-        metrics.reduce_tasks = reduce_metrics
-        for task_counters in reduce_counters:
-            counters.merge(task_counters)
+                reduce_inputs: List[ReduceInput] = shuffle.partition_inputs()
+                futures = [
+                    self._submit_task(executor, job, "reduce", index, partition)
+                    for index, partition in enumerate(reduce_inputs)
+                ]
+                reduce_records: List[List[Record]] = []
+                for task_records, task_metrics, task_counters in iter_task_results(
+                    futures, job, "reduce"
+                ):
+                    reduce_records.append(task_records)
+                    metrics.reduce_tasks.append(task_metrics)
+                    counters.merge(task_counters)
+        finally:
+            shuffle.cleanup()
 
         output: List[Record] = [
             record for task_records in reduce_records for record in task_records
@@ -105,4 +179,49 @@ class ThreadPoolJobRunner(LocalJobRunner):
             counters=counters,
             metrics=metrics,
             elapsed_seconds=elapsed,
+        )
+
+
+class ThreadPoolJobRunner(PooledJobRunner):
+    """Drop-in replacement for :class:`LocalJobRunner` with concurrent tasks."""
+
+    def __init__(
+        self,
+        cache: Optional[DistributedCache] = None,
+        default_map_tasks: int = 4,
+        max_workers: int = 4,
+        spill_threshold_bytes: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            cache=cache,
+            default_map_tasks=default_map_tasks,
+            spill_threshold_bytes=spill_threshold_bytes,
+            spill_dir=spill_dir,
+        )
+        if max_workers < 1:
+            raise MapReduceError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def _make_phase_executor(self, num_tasks: int) -> Executor:
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
+    def _run_task_with_counters(
+        self, task_function, job: JobSpec, task_index: int, task_input: Any
+    ) -> TaskResult:
+        counters = Counters()
+        records, task_metrics = task_function(job, task_index, task_input, counters)
+        return records, task_metrics, counters
+
+    def _submit_task(
+        self,
+        executor: Executor,
+        job: JobSpec,
+        phase: str,
+        task_index: int,
+        task_input: Any,
+    ) -> Future[TaskResult]:
+        task_function = self._run_map_task if phase == "map" else self._run_reduce_task
+        return executor.submit(
+            self._run_task_with_counters, task_function, job, task_index, task_input
         )

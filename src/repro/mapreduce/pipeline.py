@@ -71,6 +71,10 @@ class JobPipeline:
         cache: Optional[DistributedCache] = None,
         default_map_tasks: int = 4,
     ) -> None:
+        if cache is None and runner is not None:
+            # Adopt the runner's cache so that objects the pipeline publishes
+            # (e.g. APRIORI-SCAN's dictionary) are the ones tasks read.
+            cache = runner.cache
         self.cache = cache if cache is not None else DistributedCache()
         self.runner = runner if runner is not None else LocalJobRunner(
             cache=self.cache, default_map_tasks=default_map_tasks

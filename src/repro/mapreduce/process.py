@@ -1,0 +1,188 @@
+"""A multi-core job runner executing map and reduce tasks in worker processes.
+
+:class:`ProcessPoolJobRunner` is the backend that actually escapes the GIL:
+it serialises the :class:`~repro.mapreduce.job.JobSpec` (and the distributed
+cache) with pickle once per job, fans the independent tasks of each phase
+out over a :class:`concurrent.futures.ProcessPoolExecutor` and merges the
+per-task :class:`~repro.mapreduce.counters.Counters` and
+:class:`~repro.mapreduce.metrics.TaskMetrics` back in task order, so totals
+are deterministic and byte-identical to the sequential runner.
+
+Execution semantics (phase orchestration, streaming map results into the
+shuffle, the failure contract) come from the shared
+:class:`~repro.mapreduce.parallel.PooledJobRunner` template; this module
+adds only the process-boundary concerns:
+
+* everything crossing the boundary must pickle.  Job components that do not
+  (lambda factories, closures) are rejected up front with a
+  :class:`~repro.exceptions.MapReduceError` naming the offending component
+  and the mapper/reducer class it produces;
+* the job and cache are pickled once per run and the same bytes shipped to
+  every task, keeping per-submit serialisation to a memcpy (tasks never
+  publish to the cache; pipelines publish between jobs, in the parent);
+* with a spill threshold set, reduce workers receive only run *file paths*
+  (see :class:`~repro.mapreduce.shuffle.PartitionInput`) and stream their
+  partition from a k-way merge, so neither the parent nor any worker ever
+  materialises a spilled partition.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
+from multiprocessing import get_context
+from typing import Any, List, Optional, Tuple
+
+from repro.exceptions import MapReduceError
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.metrics import TaskMetrics
+from repro.mapreduce.parallel import PooledJobRunner, TaskResult
+from repro.mapreduce.runner import LocalJobRunner
+
+Record = Tuple[Any, Any]
+
+#: Job attributes probed (in order) when the job fails to pickle, paired
+#: with whether the attribute is a factory (called to learn the task class).
+_JOB_COMPONENTS: Tuple[Tuple[str, bool], ...] = (
+    ("mapper_factory", True),
+    ("reducer_factory", True),
+    ("combiner_factory", True),
+    ("partitioner", False),
+    ("sort_comparator", False),
+)
+
+
+def _run_task_in_worker(
+    job_bytes: bytes,
+    cache_bytes: bytes,
+    phase: str,
+    task_index: int,
+    task_input: Any,
+) -> Tuple[List[Record], TaskMetrics, Counters]:
+    """Execute one map or reduce task inside a worker process.
+
+    Reuses the sequential runner's task implementations verbatim, so task
+    semantics cannot drift between backends.
+    """
+    job: JobSpec = pickle.loads(job_bytes)
+    cache: DistributedCache = pickle.loads(cache_bytes)
+    runner = LocalJobRunner(cache=cache)
+    counters = Counters()
+    if phase == "map":
+        records, metrics = runner._run_map_task(job, task_index, task_input, counters)
+    else:
+        records, metrics = runner._run_reduce_task(job, task_index, task_input, counters)
+    return records, metrics, counters
+
+
+class ProcessPoolJobRunner(PooledJobRunner):
+    """Drop-in replacement for :class:`LocalJobRunner` using worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker processes (defaults to the machine's CPU count).
+    mp_context:
+        Optional multiprocessing start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[DistributedCache] = None,
+        default_map_tasks: int = 4,
+        max_workers: Optional[int] = None,
+        spill_threshold_bytes: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            cache=cache,
+            default_map_tasks=default_map_tasks,
+            spill_threshold_bytes=spill_threshold_bytes,
+            spill_dir=spill_dir,
+        )
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise MapReduceError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.mp_context = mp_context
+        self._job_bytes: Optional[bytes] = None
+        self._cache_bytes: Optional[bytes] = None
+
+    # ---------------------------------------------------------- serialising
+    def _describe_component(self, job: JobSpec, attribute: str, is_factory: bool) -> str:
+        value = getattr(job, attribute)
+        if is_factory:
+            try:
+                produced = type(value()).__name__
+            except Exception:
+                produced = "<unknown>"
+            return f"{attribute} (producing {produced})"
+        return f"{attribute} ({type(value).__name__})"
+
+    def _pickle_job(self, job: JobSpec) -> bytes:
+        """Serialise the job once, naming the unpicklable component on failure."""
+        try:
+            return pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            for attribute, is_factory in _JOB_COMPONENTS:
+                value = getattr(job, attribute)
+                if value is None:
+                    continue
+                try:
+                    pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception as component_exc:
+                    component = self._describe_component(job, attribute, is_factory)
+                    raise MapReduceError(
+                        f"job {job.name!r} cannot run on the process backend: "
+                        f"{component} does not pickle: {component_exc}. Use a "
+                        "module-level class or functools.partial instead of a "
+                        "lambda or closure."
+                    ) from component_exc
+            raise MapReduceError(
+                f"job {job.name!r} cannot run on the process backend: "
+                f"the job does not pickle: {exc}"
+            ) from exc
+
+    def _pickle_cache(self, job: JobSpec) -> bytes:
+        """Serialise the distributed cache once per job run."""
+        try:
+            return pickle.dumps(self.cache, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise MapReduceError(
+                f"job {job.name!r} cannot run on the process backend: "
+                f"the distributed cache does not pickle: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------- template hooks
+    def _prepare_job(self, job: JobSpec) -> None:
+        self._job_bytes = self._pickle_job(job)
+        self._cache_bytes = self._pickle_cache(job)
+
+    def _make_phase_executor(self, num_tasks: int) -> Executor:
+        workers = max(1, min(self.max_workers, num_tasks))
+        context = get_context(self.mp_context) if self.mp_context else None
+        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+    def _submit_task(
+        self,
+        executor: Executor,
+        job: JobSpec,
+        phase: str,
+        task_index: int,
+        task_input: Any,
+    ) -> Future[TaskResult]:
+        assert self._job_bytes is not None and self._cache_bytes is not None
+        return executor.submit(
+            _run_task_in_worker,
+            self._job_bytes,
+            self._cache_bytes,
+            phase,
+            task_index,
+            task_input,
+        )

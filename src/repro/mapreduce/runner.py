@@ -5,13 +5,19 @@ in-process: it divides the input into map tasks, runs mappers (and the
 optional combiner), shuffles with the job's partitioner and sort comparator,
 and runs one reducer per partition.  It produces a :class:`JobResult` with
 the job output, Hadoop-style counters and per-task metrics.
+
+The shuffle runs through :class:`~repro.mapreduce.shuffle.ExternalShuffle`:
+by default everything stays in memory, but with ``spill_threshold_bytes``
+set the runner spills sorted runs of map output to temp files and streams
+each reducer from a k-way merge, bounding the shuffle's memory ceiling
+regardless of the input size.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import MapReduceError
 from repro.mapreduce import counters as counter_names
@@ -21,9 +27,18 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import JobSpec
 from repro.mapreduce.metrics import JobMetrics, TaskMetrics
 from repro.mapreduce.serialization import record_size
-from repro.mapreduce.shuffle import group_sorted_records, partition_records, sort_partition
+from repro.mapreduce.shuffle import (
+    ExternalShuffle,
+    PartitionInput,
+    group_sorted_records,
+    sort_partition,
+)
 
 Record = Tuple[Any, Any]
+
+#: Input accepted by a reduce task: a raw (unsorted) record list or the
+#: description of an externally shuffled partition.
+ReduceInput = Union[Sequence[Record], PartitionInput]
 
 
 @dataclass
@@ -51,12 +66,6 @@ class JobResult:
         return not self.output
 
 
-@dataclass
-class _MapPhaseResult:
-    shuffle_records: List[Record] = field(default_factory=list)
-    task_metrics: List[TaskMetrics] = field(default_factory=list)
-
-
 def _split_input(records: Sequence[Record], num_splits: int) -> List[List[Record]]:
     """Divide input records into at most ``num_splits`` contiguous splits."""
     if not records:
@@ -82,17 +91,29 @@ class LocalJobRunner:
         typically owns one cache and passes it to its runner.
     default_map_tasks:
         Number of map tasks used when a job does not specify its own.
+    spill_threshold_bytes:
+        When set, the shuffle buffers at most this many (serialised) bytes
+        in memory and spills sorted runs to disk past the budget; ``None``
+        keeps the whole shuffle in memory.
+    spill_dir:
+        Directory for spilled runs (a private temp directory by default).
     """
 
     def __init__(
         self,
         cache: Optional[DistributedCache] = None,
         default_map_tasks: int = 4,
+        spill_threshold_bytes: Optional[int] = None,
+        spill_dir: Optional[str] = None,
     ) -> None:
         if default_map_tasks < 1:
             raise MapReduceError("default_map_tasks must be >= 1")
+        if spill_threshold_bytes is not None and spill_threshold_bytes < 1:
+            raise MapReduceError("spill_threshold_bytes must be >= 1 or None")
         self.cache = cache if cache is not None else DistributedCache()
         self.default_map_tasks = default_map_tasks
+        self.spill_threshold_bytes = spill_threshold_bytes
+        self.spill_dir = spill_dir
 
     # ------------------------------------------------------------------ map
     def _run_map_task(
@@ -159,21 +180,29 @@ class LocalJobRunner:
         return combined
 
     # --------------------------------------------------------------- reduce
+    def _sorted_reduce_stream(self, job: JobSpec, partition: ReduceInput) -> Iterator[Record]:
+        """The partition's records in sort order, streamed when spilled."""
+        if isinstance(partition, PartitionInput):
+            return partition.sorted_records(job.sort_comparator)
+        return iter(sort_partition(list(partition), job.sort_comparator))
+
     def _run_reduce_task(
         self,
         job: JobSpec,
         task_index: int,
-        partition: List[Record],
+        partition: ReduceInput,
         counters: Counters,
     ) -> Tuple[List[Record], TaskMetrics]:
         started = time.perf_counter()
-        sorted_partition = sort_partition(partition, job.sort_comparator)
+        sorted_stream = self._sorted_reduce_stream(job, partition)
         reducer = job.make_reducer()
         context = TaskContext(counters=counters, cache=self.cache)
         reducer.setup(context)
         groups = 0
-        for key, values in group_sorted_records(sorted_partition, job.sort_comparator):
+        input_records = 0
+        for key, values in group_sorted_records(sorted_stream, job.sort_comparator):
             groups += 1
+            input_records += len(values)
             counters.increment(counter_names.REDUCE_INPUT_RECORDS, len(values))
             reducer.reduce(key, values, context)
         reducer.cleanup(context)
@@ -184,13 +213,33 @@ class LocalJobRunner:
         metrics = TaskMetrics(
             task_type="reduce",
             task_index=task_index,
-            input_records=len(sorted_partition),
+            input_records=input_records,
             output_records=len(output),
             output_bytes=output_bytes,
-            sorted_records=len(sorted_partition),
+            sorted_records=input_records,
             elapsed_seconds=time.perf_counter() - started,
         )
         return output, metrics
+
+    # -------------------------------------------------------------- shuffle
+    def _new_shuffle(self, job: JobSpec) -> ExternalShuffle:
+        """The shuffle for one job run (spilling iff a threshold is set)."""
+        return ExternalShuffle(
+            job.partitioner,
+            job.sort_comparator,
+            job.num_reducers,
+            spill_threshold_bytes=self.spill_threshold_bytes,
+            spill_dir=self.spill_dir,
+        )
+
+    @staticmethod
+    def _record_spill_counters(shuffle: ExternalShuffle, counters: Counters) -> None:
+        """Publish spill activity; no-spill runs keep their counter set unchanged."""
+        if not shuffle.spilled:
+            return
+        counters.increment(counter_names.SHUFFLE_SPILLS, shuffle.stats.num_spills)
+        counters.increment(counter_names.SPILLED_RECORDS, shuffle.stats.spilled_records)
+        counters.increment(counter_names.SPILLED_BYTES, shuffle.stats.spilled_bytes)
 
     # ------------------------------------------------------------------ run
     def run(self, job: JobSpec, input_records: Iterable[Record]) -> JobResult:
@@ -203,26 +252,28 @@ class LocalJobRunner:
         num_map_tasks = job.num_map_tasks or self.default_map_tasks
         splits = _split_input(records, num_map_tasks)
 
-        map_phase = _MapPhaseResult()
-        for task_index, split in enumerate(splits):
-            shuffle_records, task_metrics = self._run_map_task(job, task_index, split, counters)
-            map_phase.shuffle_records.extend(shuffle_records)
-            map_phase.task_metrics.append(task_metrics)
-        metrics.map_tasks = map_phase.task_metrics
+        shuffle = self._new_shuffle(job)
+        try:
+            for task_index, split in enumerate(splits):
+                shuffle_records, task_metrics = self._run_map_task(
+                    job, task_index, split, counters
+                )
+                shuffle.add_records(shuffle_records)
+                metrics.map_tasks.append(task_metrics)
+            shuffle.finalize()
+            self._record_spill_counters(shuffle, counters)
 
-        partitions = partition_records(
-            map_phase.shuffle_records, job.partitioner, job.num_reducers
-        )
-
-        output: List[Record] = []
-        partition_output: List[List[Record]] = []
-        for task_index, partition in enumerate(partitions):
-            reduce_output, task_metrics = self._run_reduce_task(
-                job, task_index, partition, counters
-            )
-            partition_output.append(reduce_output)
-            output.extend(reduce_output)
-            metrics.reduce_tasks.append(task_metrics)
+            output: List[Record] = []
+            partition_output: List[List[Record]] = []
+            for task_index, partition in enumerate(shuffle.partition_inputs()):
+                reduce_output, task_metrics = self._run_reduce_task(
+                    job, task_index, partition, counters
+                )
+                partition_output.append(reduce_output)
+                output.extend(reduce_output)
+                metrics.reduce_tasks.append(task_metrics)
+        finally:
+            shuffle.cleanup()
 
         elapsed = time.perf_counter() - started
         metrics.elapsed_seconds = elapsed

@@ -1,4 +1,4 @@
-"""Serialised-size accounting for map output records.
+"""Serialisation of map output records: size accounting and spill framing.
 
 The paper reports "bytes transferred" between the map- and reduce-phase via
 Hadoop's ``MAP_OUTPUT_BYTES`` counter.  In Hadoop that number is the size of
@@ -17,14 +17,20 @@ The measurement is intentionally independent of how the in-process engine
 actually passes objects around (plain Python references), because what
 matters for the reproduction is the number of bytes a real Hadoop cluster
 would have shuffled.
+
+The second half of the module is the on-disk record framing used by the
+external shuffle (:mod:`repro.mapreduce.shuffle`): spilled runs are streams
+of varint-length-prefixed pickled ``(key, value)`` frames, the same framing
+idiom :mod:`repro.util.varint` uses for encoded corpus shards.
 """
 
 from __future__ import annotations
 
-from typing import Any
+import pickle
+from typing import Any, BinaryIO, Iterator, Tuple
 
 from repro.exceptions import SerializationError
-from repro.util.varint import encoded_length
+from repro.util.varint import _CONTINUATION, _PAYLOAD_MASK, encode_varint, encoded_length
 
 
 def serialized_size(obj: Any) -> int:
@@ -64,3 +70,59 @@ def serialized_size(obj: Any) -> int:
 def record_size(key: Any, value: Any) -> int:
     """Serialised size of one key-value record at the shuffle boundary."""
     return serialized_size(key) + serialized_size(value)
+
+
+# --------------------------------------------------------- spill framing
+def write_framed_record(handle: BinaryIO, key: Any, value: Any) -> int:
+    """Append one varint-length-prefixed record frame to ``handle``.
+
+    Returns the number of bytes written.  The payload is a pickled
+    ``(key, value)`` tuple; pickling keeps the framing independent of the
+    key/value types jobs emit (tuples of term identifiers, posting lists,
+    counts, ...).
+    """
+    try:
+        payload = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise SerializationError(
+            f"cannot spill record with key of type {type(key).__name__} and "
+            f"value of type {type(value).__name__}: {exc}"
+        ) from exc
+    header = encode_varint(len(payload))
+    handle.write(header)
+    handle.write(payload)
+    return len(header) + len(payload)
+
+
+def _read_stream_varint(handle: BinaryIO) -> Tuple[int, bool]:
+    """Read one varint from a stream; ``(value, at_eof_before_first_byte)``."""
+    value = 0
+    shift = 0
+    first = True
+    while True:
+        byte = handle.read(1)
+        if not byte:
+            if first:
+                return 0, True
+            raise SerializationError("truncated varint in spill file")
+        first = False
+        value |= (byte[0] & _PAYLOAD_MASK) << shift
+        if not byte[0] & _CONTINUATION:
+            return value, False
+        shift += 7
+        if shift > 63:
+            raise SerializationError("varint too long in spill file")
+
+
+def read_framed_records(handle: BinaryIO) -> Iterator[Tuple[Any, Any]]:
+    """Iterate over the record frames of an open spill file."""
+    while True:
+        length, at_eof = _read_stream_varint(handle)
+        if at_eof:
+            return
+        payload = handle.read(length)
+        if len(payload) != length:
+            raise SerializationError(
+                f"truncated spill frame: expected {length} bytes, got {len(payload)}"
+            )
+        yield pickle.loads(payload)

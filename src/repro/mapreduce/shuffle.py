@@ -1,18 +1,36 @@
-"""The shuffle: partitioning, sorting and grouping of map output.
+"""The shuffle: partitioning, sorting, spilling and grouping of map output.
 
 This is the stage the paper's algorithms customise the most: SUFFIX-σ
 partitions suffixes by their *first term only* and sorts them in reverse
 lexicographic order so that its reducer can aggregate prefix counts with two
 stacks (Algorithm 4).  The functions here implement the generic machinery.
+
+Two shuffle implementations exist:
+
+* the in-memory functions (:func:`partition_records`, :func:`sort_partition`,
+  :func:`shuffle`) materialise every partition as a Python list — fine for
+  small inputs, but the memory ceiling is the full shuffle volume;
+* :class:`ExternalShuffle` buffers records per partition up to a configurable
+  byte budget, spills sorted runs to varint-framed temp files (the same
+  migrate-to-disk policy as :class:`repro.kvstore.spilling.SpillingKVStore`)
+  and streams each reduce partition from a k-way :func:`heapq.merge` of its
+  runs — Hadoop's sort-spill-merge shuffle in miniature.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
 from functools import cmp_to_key
-from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+from itertools import chain
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import MapReduceError
 from repro.mapreduce.job import Partitioner, SortComparator
+from repro.mapreduce.serialization import read_framed_records, record_size, write_framed_record
 
 Record = Tuple[Any, Any]
 KeyGroup = Tuple[Any, List[Any]]
@@ -88,3 +106,287 @@ def shuffle(
     """Partition and sort map output, returning per-partition sorted records."""
     partitions = partition_records(records, partitioner, num_partitions)
     return [sort_partition(partition, comparator) for partition in partitions]
+
+
+# ------------------------------------------------------- external shuffle
+#: Maximum number of runs merged in one pass (the analogue of Hadoop's
+#: ``io.sort.factor``).  More runs trigger intermediate merge passes, so the
+#: number of simultaneously open spill files stays bounded no matter how far
+#: the spill threshold sits below the shuffle volume.
+MERGE_FAN_IN = 64
+
+
+def iter_run_file(path: str) -> Iterator[Record]:
+    """Stream the records of one spilled run file."""
+    with open(path, "rb") as handle:
+        yield from read_framed_records(handle)
+
+
+def _resolve_merge_key(
+    runs: List[Iterable[Record]], comparator: SortComparator
+) -> Tuple[List[Iterable[Record]], Callable[[Record], Any]]:
+    """Pick the merge key function, preferring the comparator's fast path.
+
+    Mirrors :func:`sort_partition`'s fallback: the fast key is validated on
+    the first record of every run (re-attached to its stream afterwards);
+    if any first key is unsupported, the comparison-based key is used.
+    """
+    fast_key = comparator.sort_key_function()
+    if fast_key is None:
+        key_function = cmp_to_key(comparator.compare)
+        return runs, lambda record: key_function(record[0])
+    rebuilt: List[Iterable[Record]] = []
+    usable = True
+    for run in runs:
+        iterator = iter(run)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            rebuilt.append(iterator)
+            continue
+        try:
+            fast_key(first[0])
+        except TypeError:
+            usable = False
+        rebuilt.append(chain((first,), iterator))
+    if usable:
+        return rebuilt, lambda record: fast_key(record[0])
+    key_function = cmp_to_key(comparator.compare)
+    return rebuilt, lambda record: key_function(record[0])
+
+
+def merge_sorted_runs(
+    runs: Sequence[Iterable[Record]], comparator: SortComparator
+) -> Iterator[Record]:
+    """K-way merge of already-sorted record streams.
+
+    ``heapq.merge`` is stable across its inputs (ties go to the earlier
+    iterable), so merging runs in the order they were spilled reproduces the
+    exact sequence a stable sort of the concatenated records would yield —
+    the property that makes spilled and in-memory shuffles byte-identical.
+    """
+    if len(runs) == 1:
+        return iter(runs[0])
+    rebuilt, key = _resolve_merge_key(list(runs), comparator)
+    return heapq.merge(*rebuilt, key=key)
+
+
+def _merge_runs_to_file(
+    paths: Sequence[str], comparator: SortComparator, partition_index: int
+) -> str:
+    """Merge a batch of run files into one new run file (same directory)."""
+    directory = os.path.dirname(paths[0])
+    descriptor, merged_path = tempfile.mkstemp(
+        dir=directory, prefix=f"merge-p{partition_index:05d}-", suffix=".run"
+    )
+    with os.fdopen(descriptor, "wb") as handle:
+        for key, value in merge_sorted_runs(
+            [iter_run_file(path) for path in paths], comparator
+        ):
+            write_framed_record(handle, key, value)
+    return merged_path
+
+
+@dataclass(frozen=True)
+class PartitionInput:
+    """Input of one reduce task: spilled runs and/or buffered records.
+
+    The object is picklable (runs are file paths, records plain tuples), so
+    a process-based runner can ship it to a reduce worker, which then streams
+    the merged runs locally instead of receiving a materialised partition.
+    """
+
+    partition_index: int
+    run_paths: Tuple[str, ...] = ()
+    records: Tuple[Record, ...] = ()
+
+    @property
+    def is_spilled(self) -> bool:
+        """Whether any part of this partition lives on disk."""
+        return bool(self.run_paths)
+
+    def sorted_records(self, comparator: SortComparator) -> Iterator[Record]:
+        """Stream the partition's records in ``comparator`` order.
+
+        Spilled runs are merged with a k-way heap merge; the in-memory tail
+        (records buffered after the last spill) is sorted and merged last,
+        matching the stable order of a single in-memory sort.  When more
+        than :data:`MERGE_FAN_IN` runs exist, consecutive batches are first
+        merged into intermediate run files (preserving run order, hence
+        stability), so the final merge never opens an unbounded number of
+        files.  Intermediate files land in the shuffle's run directory and
+        are removed with it by :meth:`ExternalShuffle.cleanup`.
+        """
+        paths = list(self.run_paths)
+        tail = 1 if self.records else 0
+        while len(paths) + tail > MERGE_FAN_IN:
+            merged: List[str] = []
+            for begin in range(0, len(paths), MERGE_FAN_IN):
+                batch = paths[begin : begin + MERGE_FAN_IN]
+                if len(batch) == 1:
+                    merged.append(batch[0])
+                else:
+                    merged.append(
+                        _merge_runs_to_file(batch, comparator, self.partition_index)
+                    )
+            paths = merged
+        runs: List[Iterable[Record]] = [iter_run_file(path) for path in paths]
+        if self.records:
+            runs.append(sort_partition(list(self.records), comparator))
+        if not runs:
+            return iter(())
+        return merge_sorted_runs(runs, comparator)
+
+
+@dataclass
+class SpillStats:
+    """Bookkeeping of one shuffle's spill activity."""
+
+    num_spills: int = 0
+    spilled_runs: int = 0
+    spilled_records: int = 0
+    spilled_bytes: int = 0
+
+
+class ExternalShuffle:
+    """Sort-spill-merge shuffle with a bounded in-memory buffer.
+
+    Records are appended with :meth:`add`; once the serialised size of the
+    buffered records exceeds ``spill_threshold_bytes`` every non-empty
+    partition buffer is sorted and written out as one run file.  After
+    :meth:`finalize`, :meth:`partition_input` describes each reduce
+    partition; :class:`PartitionInput.sorted_records` streams it back in
+    sort order without ever materialising the partition.
+
+    ``spill_threshold_bytes=None`` disables spilling: the shuffle then
+    degenerates to the plain in-memory partitioning of
+    :func:`partition_records` (and :meth:`partition_input` carries the raw
+    buffered records).
+    """
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        comparator: SortComparator,
+        num_partitions: int,
+        spill_threshold_bytes: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+    ) -> None:
+        if num_partitions < 1:
+            raise MapReduceError("num_partitions must be >= 1")
+        if spill_threshold_bytes is not None and spill_threshold_bytes < 1:
+            raise MapReduceError("spill_threshold_bytes must be >= 1 or None")
+        self.partitioner = partitioner
+        self.comparator = comparator
+        self.num_partitions = num_partitions
+        self.spill_threshold_bytes = spill_threshold_bytes
+        self.spill_dir = spill_dir
+        self.stats = SpillStats()
+        self._buffers: List[List[Record]] = [[] for _ in range(num_partitions)]
+        self._buffered_bytes = 0
+        self._runs: List[List[str]] = [[] for _ in range(num_partitions)]
+        self._run_dir: Optional[str] = None
+        self._finalized = False
+
+    # ----------------------------------------------------------- internals
+    def _run_directory(self) -> str:
+        # Every shuffle spills into its own unique directory — also under an
+        # explicit ``spill_dir`` — so concurrent shuffles cannot clobber each
+        # other's identically numbered run files, and cleanup() can remove
+        # exactly the files this shuffle wrote.
+        if self._run_dir is None:
+            if self.spill_dir is not None:
+                os.makedirs(self.spill_dir, exist_ok=True)
+                self._run_dir = tempfile.mkdtemp(prefix="repro-shuffle-", dir=self.spill_dir)
+            else:
+                self._run_dir = tempfile.mkdtemp(prefix="repro-shuffle-")
+        return self._run_dir
+
+    def _spill(self) -> None:
+        """Sort and write every non-empty partition buffer as one run file."""
+        directory = self._run_directory()
+        for index, buffer in enumerate(self._buffers):
+            if not buffer:
+                continue
+            run = sort_partition(buffer, self.comparator)
+            path = os.path.join(
+                directory, f"spill-{self.stats.num_spills:06d}-p{index:05d}.run"
+            )
+            with open(path, "wb") as handle:
+                for key, value in run:
+                    write_framed_record(handle, key, value)
+            self._runs[index].append(path)
+            self.stats.spilled_runs += 1
+            self.stats.spilled_records += len(run)
+            self._buffers[index] = []
+        self.stats.spilled_bytes += self._buffered_bytes
+        self._buffered_bytes = 0
+        self.stats.num_spills += 1
+
+    # ------------------------------------------------------------ interface
+    @property
+    def spilled(self) -> bool:
+        """Whether any run has been written to disk."""
+        return self.stats.num_spills > 0
+
+    def add(self, key: Any, value: Any) -> None:
+        """Route one map output record to its partition buffer."""
+        if self._finalized:
+            raise MapReduceError("cannot add records to a finalized shuffle")
+        index = self.partitioner.partition(key, self.num_partitions)
+        if not 0 <= index < self.num_partitions:
+            raise MapReduceError(
+                f"partitioner returned index {index} outside [0, {self.num_partitions})"
+            )
+        self._buffers[index].append((key, value))
+        if self.spill_threshold_bytes is not None:
+            self._buffered_bytes += record_size(key, value)
+            if self._buffered_bytes > self.spill_threshold_bytes:
+                self._spill()
+
+    def add_records(self, records: Iterable[Record]) -> None:
+        """Route a batch of map output records."""
+        for key, value in records:
+            self.add(key, value)
+
+    def finalize(self) -> None:
+        """Seal the shuffle; once spilled, the in-memory remainder spills too.
+
+        Flushing the tail keeps the memory ceiling at the spill threshold for
+        the whole reduce phase and lets process-based runners hand reduce
+        workers nothing but run file paths.
+        """
+        if self._finalized:
+            return
+        if self.spilled and any(self._buffers):
+            self._spill()
+        self._finalized = True
+
+    def partition_input(self, index: int) -> PartitionInput:
+        """Describe the input of reduce partition ``index``."""
+        if not 0 <= index < self.num_partitions:
+            raise MapReduceError(
+                f"partition index {index} outside [0, {self.num_partitions})"
+            )
+        return PartitionInput(
+            partition_index=index,
+            run_paths=tuple(self._runs[index]),
+            records=tuple(self._buffers[index]),
+        )
+
+    def partition_inputs(self) -> List[PartitionInput]:
+        """Describe every reduce partition."""
+        return [self.partition_input(index) for index in range(self.num_partitions)]
+
+    def cleanup(self) -> None:
+        """Delete spilled run files (safe to call multiple times)."""
+        if self._run_dir is not None:
+            shutil.rmtree(self._run_dir, ignore_errors=True)
+            self._run_dir = None
+        self._runs = [[] for _ in range(self.num_partitions)]
+
+    def __enter__(self) -> "ExternalShuffle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.cleanup()

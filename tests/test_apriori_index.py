@@ -1,6 +1,5 @@
 """Tests for APRIORI-INDEX (Algorithm 3)."""
 
-import pytest
 
 from repro.algorithms.apriori_index import AprioriIndexCounter
 from repro.config import NGramJobConfig

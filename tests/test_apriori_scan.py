@@ -1,6 +1,5 @@
 """Tests for APRIORI-SCAN (Algorithm 2)."""
 
-import pytest
 
 from repro.algorithms.apriori_scan import AprioriScanCounter
 from repro.algorithms.naive import NaiveCounter

@@ -1,6 +1,5 @@
 """Tests for the NAIVE counting algorithm (Algorithm 1)."""
 
-import pytest
 
 from repro.algorithms.naive import NaiveCounter, NaiveMapper
 from repro.config import NGramJobConfig

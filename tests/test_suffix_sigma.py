@@ -1,6 +1,5 @@
 """Tests for SUFFIX-σ (Algorithm 4), the paper's contribution."""
 
-import pytest
 
 from repro.algorithms.aggregation import CountAggregation
 from repro.algorithms.naive import NaiveCounter
