@@ -24,7 +24,7 @@ from __future__ import annotations
 from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.algorithms.base import NGramCounter, Record, SupportsRecords
+from repro.algorithms.base import NGramCounter, SupportsRecords
 from repro.algorithms.postings import Posting, PostingList
 from repro.config import ExecutionConfig, NGramJobConfig
 from repro.exceptions import ConfigurationError
@@ -166,7 +166,7 @@ class AprioriIndexCounter(NGramCounter):
         )
 
     def _record_output(
-        self, statistics: NGramStatistics, output: List[Tuple[Tuple, PostingList]]
+        self, statistics: NGramStatistics, output: Iterable[Tuple[Tuple, PostingList]]
     ) -> None:
         for ngram, posting_list in output:
             frequency = (
@@ -181,7 +181,7 @@ class AprioriIndexCounter(NGramCounter):
     # ----------------------------------------------------------------- run
     def _execute(
         self,
-        records: List[Record],
+        records: Any,
         pipeline: JobPipeline,
         collection: SupportsRecords,
     ) -> NGramStatistics:
@@ -190,18 +190,21 @@ class AprioriIndexCounter(NGramCounter):
         max_length = self.config.max_length
         boundary = self.config.apriori_index_k
 
-        previous_output: List[Tuple[Tuple, PostingList]] = []
+        # Phase-2 jobs stream the previous job's output dataset; under the
+        # pipeline's default retention policy it is released (in-memory
+        # buffers freed, shards deleted) once the next job has consumed it.
+        previous_output = None
         k = 1
         while max_length is None or k <= max_length:
             if k <= boundary:
                 result = pipeline.run_job(self._phase1_job(k), records)
             else:
-                if not previous_output:
+                if previous_output is None or previous_output.num_records == 0:
                     break
                 result = pipeline.run_job(self._phase2_job(k), previous_output)
             if result.is_empty():
                 break
-            self._record_output(statistics, result.output)
-            previous_output = result.output
+            self._record_output(statistics, result.iter_output())
+            previous_output = result.output_dataset
             k += 1
         return statistics

@@ -19,7 +19,7 @@ from __future__ import annotations
 from functools import partial
 from typing import Any, List, Optional, Tuple
 
-from repro.algorithms.base import NGramCounter, Record, SupportsRecords
+from repro.algorithms.base import NGramCounter, SupportsRecords
 from repro.algorithms.common import CountSumCombiner, FrequencyReducer
 from repro.config import ExecutionConfig, NGramJobConfig
 from repro.kvstore import SpillingKVStore
@@ -49,13 +49,14 @@ class AprioriScanMapper(Mapper):
         doc_id = key[0] if isinstance(key, tuple) else key
         sequence = value
         k = self.k
+        # Input sequences are tuples, so slices already are — no copies.
         for begin in range(len(sequence) - k + 1):
             if k > 1:
-                left = tuple(sequence[begin : begin + k - 1])
-                right = tuple(sequence[begin + 1 : begin + k])
+                left = sequence[begin : begin + k - 1]
+                right = sequence[begin + 1 : begin + k]
                 if left not in self._dictionary or right not in self._dictionary:
                     continue
-            ngram = tuple(sequence[begin : begin + k])
+            ngram = sequence[begin : begin + k]
             if self.emit_partial_counts:
                 context.emit(ngram, 1)
             else:
@@ -111,7 +112,7 @@ class AprioriScanCounter(NGramCounter):
     # ----------------------------------------------------------------- run
     def _execute(
         self,
-        records: List[Record],
+        records: Any,
         pipeline: JobPipeline,
         collection: SupportsRecords,
     ) -> NGramStatistics:
@@ -120,14 +121,20 @@ class AprioriScanCounter(NGramCounter):
         k = 1
         while True:
             job = self._job_spec(k)
+            # The input dataset is reused by every scan; in disk mode it is
+            # written once and streamed per job.
             result = pipeline.run_job(job, records)
             if result.is_empty():
                 break
-            for ngram, frequency in result.output:
+            # Single streaming pass: record statistics and collect the
+            # frequent k-grams for the next scan's dictionary.
+            frequent: List[Tuple] = []
+            for ngram, frequency in result.iter_output():
                 statistics.set(ngram, frequency)
+                frequent.append(ngram)
             if max_length is not None and k >= max_length:
                 break
-            dictionary = self._build_dictionary([ngram for ngram, _ in result.output])
+            dictionary = self._build_dictionary(frequent)
             pipeline.cache.publish(DICTIONARY_CACHE_KEY, dictionary)
             k += 1
         return statistics

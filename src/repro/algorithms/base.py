@@ -1,9 +1,11 @@
 """Shared infrastructure of the four n-gram counting algorithms.
 
-Every algorithm is an :class:`NGramCounter`: it prepares input records from a
+Every algorithm is an :class:`NGramCounter`: it streams input records from a
 document collection (optionally applying the document-splitting optimisation
-of Section V), runs one or more MapReduce jobs through a
-:class:`~repro.mapreduce.pipeline.JobPipeline`, and returns a
+of Section V), materialises them once under the execution configuration's
+policy — an in-memory list or a sharded on-disk
+:class:`~repro.mapreduce.dataset.FileDataset` — runs one or more MapReduce
+jobs through a :class:`~repro.mapreduce.pipeline.JobPipeline`, and returns a
 :class:`CountingResult` bundling the computed statistics with the measured
 counters and per-job metrics — the exact quantities the paper's experiments
 report (wallclock, bytes transferred, number of records).
@@ -12,16 +14,18 @@ report (wallclock, bytes transferred, number of records).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
-from repro.algorithms.doc_split import split_records
+from repro.algorithms.doc_split import split_sequence_at_infrequent_terms, unigram_frequencies
 from repro.config import ClusterConfig, ExecutionConfig, NGramJobConfig
 from repro.exceptions import ConfigurationError
 from repro.mapreduce.backends import make_runner
 from repro.mapreduce.cluster import ClusterCostModel
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.dataset import Dataset
 from repro.mapreduce.pipeline import JobPipeline, PipelineResult
 from repro.ngrams.statistics import NGramStatistics
+from repro.util.memory import PeakMemoryTracker
 from repro.util.timer import Timer
 
 Record = Tuple[Any, Tuple]
@@ -51,6 +55,9 @@ class CountingResult:
         the method launched.
     elapsed_seconds:
         Measured in-process wallclock of the whole computation.
+    peak_memory_bytes:
+        High-water mark of Python-level allocations during the run
+        (``None`` unless the run was started with ``track_memory=True``).
     """
 
     algorithm: str
@@ -58,6 +65,7 @@ class CountingResult:
     statistics: NGramStatistics
     pipeline: PipelineResult
     elapsed_seconds: float
+    peak_memory_bytes: Optional[int] = None
 
     @property
     def counters(self) -> Counters:
@@ -90,7 +98,8 @@ class NGramCounter:
 
     ``execution`` selects the MapReduce backend the counter's pipelines run
     on (sequential, thread pool or process pool, plus the shuffle's spill
-    budget); ``None`` is the sequential in-memory default.
+    budget and the dataset materialisation mode); ``None`` is the
+    sequential in-memory default.
     """
 
     #: Canonical name used in reports; subclasses override.
@@ -109,52 +118,102 @@ class NGramCounter:
         self.execution = execution
 
     # ------------------------------------------------------------ plumbing
-    def prepare_records(self, collection: SupportsRecords) -> List[Record]:
-        """Materialise input records, applying document splitting if enabled.
+    def iter_input_records(self, collection: SupportsRecords) -> Iterator[Record]:
+        """Stream input records, applying document splitting if enabled.
 
         The collection yields ``(doc_id, term_sequence)`` pairs, one per
         sentence (sentence boundaries are n-gram barriers).  With
         ``config.split_documents`` the sequences are additionally split at
-        terms occurring fewer than τ times.  The returned records are keyed
-        by ``(doc_id, sequence_index)`` so that every input sequence has a
-        globally unique identifier — APRIORI-INDEX needs this to keep
-        positions from different sentences of the same document apart.
+        terms occurring fewer than τ times (this costs one extra streaming
+        pass over the collection for the unigram frequencies).  The yielded
+        records are keyed by ``(doc_id, sequence_index)`` so that every
+        input sequence has a globally unique identifier — APRIORI-INDEX
+        needs this to keep positions from different sentences of the same
+        document apart.
+
+        Nothing is materialised here: the pipeline decides whether the
+        stream ends up as an in-memory list or a sharded on-disk dataset.
         """
-        records = list(collection.records())
         if self.config.split_documents:
-            records = split_records(records, self.config.min_frequency)
-        return [
-            ((doc_id, sequence_index), tuple(sequence))
-            for sequence_index, (doc_id, sequence) in enumerate(records)
-        ]
+            frequencies = unigram_frequencies(collection.records())
+            frequent_terms = {
+                term
+                for term, count in frequencies.items()
+                if count >= self.config.min_frequency
+            }
+
+            def stream() -> Iterator[Tuple[Any, Tuple]]:
+                for doc_id, sequence in collection.records():
+                    for fragment in split_sequence_at_infrequent_terms(
+                        sequence, frequent_terms
+                    ):
+                        yield doc_id, fragment
+
+            source: Iterable[Tuple[Any, Tuple]] = stream()
+        else:
+            source = collection.records()
+        for sequence_index, (doc_id, sequence) in enumerate(source):
+            yield (doc_id, sequence_index), tuple(sequence)
+
+    def prepare_records(self, collection: SupportsRecords) -> List[Record]:
+        """Materialise the input records (compatibility helper for callers
+        that want a plain list; the engine itself streams through
+        :meth:`iter_input_records`)."""
+        return list(self.iter_input_records(collection))
 
     def _new_pipeline(self) -> JobPipeline:
         if self.execution is None:
             return JobPipeline(default_map_tasks=self.num_map_tasks)
         runner = make_runner(self.execution, default_map_tasks=self.num_map_tasks)
-        return JobPipeline(runner=runner)
+        return JobPipeline(runner=runner, retention=self.execution.retention)
 
     # ----------------------------------------------------------------- API
-    def run(self, collection: SupportsRecords) -> CountingResult:
-        """Run the algorithm over ``collection`` and return its result."""
+    def run(
+        self, collection: SupportsRecords, track_memory: bool = False
+    ) -> CountingResult:
+        """Run the algorithm over ``collection`` and return its result.
+
+        With ``track_memory`` the run is wrapped in a
+        :class:`~repro.util.memory.PeakMemoryTracker` and the traced peak
+        lands on :attr:`CountingResult.peak_memory_bytes`.
+        """
         pipeline = self._new_pipeline()
-        with Timer() as timer:
-            records = self.prepare_records(collection)
-            statistics = self._execute(records, pipeline, collection)
+        tracker = PeakMemoryTracker() if track_memory else None
+        if tracker is not None:
+            tracker.start()
+        try:
+            with Timer() as timer:
+                dataset = pipeline.materialize_input(
+                    self.iter_input_records(collection), name=f"{self.name.lower()}-input"
+                )
+                statistics = self._execute(dataset, pipeline, collection)
+                # The statistics are collected; drop the materialised input
+                # (in disk mode this deletes the on-disk corpus copy) rather
+                # than letting it live as long as the result objects.
+                dataset.release()
+        finally:
+            peak = tracker.stop() if tracker is not None else None
         return CountingResult(
             algorithm=self.name,
             config=self.config,
             statistics=statistics,
             pipeline=pipeline.result,
             elapsed_seconds=timer.elapsed,
+            peak_memory_bytes=peak,
         )
 
     # ------------------------------------------------------------ subclass
     def _execute(
         self,
-        records: List[Record],
+        records: Dataset,
         pipeline: JobPipeline,
         collection: SupportsRecords,
     ) -> NGramStatistics:
-        """Run the algorithm's MapReduce job(s); return the statistics."""
+        """Run the algorithm's MapReduce job(s); return the statistics.
+
+        ``records`` is the materialised input dataset; implementations pass
+        it (or a previous job's ``output_dataset``) to ``pipeline.run_job``,
+        which streams it split by split.  Plain record lists are accepted
+        too, for direct calls from tests.
+        """
         raise NotImplementedError

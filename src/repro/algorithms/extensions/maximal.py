@@ -23,9 +23,9 @@ SUFFIX-σ computes them in two steps, both reusing its machinery:
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
-from repro.algorithms.base import Record, SupportsRecords
+from repro.algorithms.base import SupportsRecords
 from repro.algorithms.suffix_sigma import (
     FirstTermPartitioner,
     PrefixEmissionFilter,
@@ -86,13 +86,15 @@ class MaximalNGramCounter(SuffixSigmaCounter):
 
     def _execute(
         self,
-        records: List[Record],
+        records: Any,
         pipeline: JobPipeline,
         collection: SupportsRecords,
     ) -> NGramStatistics:
         first = pipeline.run_job(self.job_spec(collection), records)
-        second = pipeline.run_job(self._post_filter_job(), first.output)
-        return NGramStatistics.from_pairs(second.output)
+        # The post-filter job streams the first job's output dataset; the
+        # pipeline releases it once the second job completes.
+        second = pipeline.run_job(self._post_filter_job(), first.output_dataset)
+        return NGramStatistics.from_pairs(second.iter_output())
 
 
 class ClosedNGramCounter(MaximalNGramCounter):

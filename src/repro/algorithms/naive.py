@@ -20,9 +20,9 @@ Two practical refinements from Section V are supported:
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, List, Optional, Tuple
+from typing import Any, Optional, Tuple
 
-from repro.algorithms.base import NGramCounter, Record, SupportsRecords
+from repro.algorithms.base import NGramCounter, SupportsRecords
 from repro.algorithms.common import CountSumCombiner, FrequencyReducer
 from repro.config import ExecutionConfig, NGramJobConfig
 from repro.mapreduce.job import JobSpec, Mapper, TaskContext
@@ -41,10 +41,11 @@ class NaiveMapper(Mapper):
         doc_id = key[0] if isinstance(key, tuple) else key
         sequence = value
         n = len(sequence)
+        # Input sequences are tuples, so a slice already is one — no copy.
         for begin in range(n):
             end_limit = n if self.max_length is None else min(begin + self.max_length, n)
             for end in range(begin + 1, end_limit + 1):
-                ngram = tuple(sequence[begin:end])
+                ngram = sequence[begin:end]
                 if self.emit_partial_counts:
                     context.emit(ngram, 1)
                 else:
@@ -85,9 +86,9 @@ class NaiveCounter(NGramCounter):
 
     def _execute(
         self,
-        records: List[Record],
+        records: Any,
         pipeline: JobPipeline,
         collection: SupportsRecords,
     ) -> NGramStatistics:
         result = pipeline.run_job(self._job_spec(), records)
-        return NGramStatistics.from_pairs(result.output)
+        return NGramStatistics.from_pairs(result.iter_output())

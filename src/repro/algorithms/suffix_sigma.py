@@ -33,7 +33,7 @@ from functools import partial
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.algorithms.aggregation import CountAggregation, SuffixAggregation
-from repro.algorithms.base import NGramCounter, Record, SupportsRecords
+from repro.algorithms.base import NGramCounter, SupportsRecords
 from repro.config import ExecutionConfig, NGramJobConfig
 from repro.mapreduce.job import JobSpec, Mapper, Partitioner, Reducer, TaskContext
 from repro.mapreduce.pipeline import JobPipeline
@@ -63,9 +63,10 @@ class SuffixMapper(Mapper):
         emitted_value = doc_id if self.value_function is None else self.value_function(doc_id)
         sequence = value
         n = len(sequence)
+        # Input sequences are tuples, so a slice already is one — no copy.
         for begin in range(n):
             end = n if self.max_length is None else min(begin + self.max_length, n)
-            context.emit(tuple(sequence[begin:end]), emitted_value)
+            context.emit(sequence[begin:end], emitted_value)
 
 
 class FirstTermPartitioner(Partitioner):
@@ -262,15 +263,15 @@ class SuffixSigmaCounter(NGramCounter):
     # ----------------------------------------------------------------- run
     def _execute(
         self,
-        records: List[Record],
+        records: Any,
         pipeline: JobPipeline,
         collection: SupportsRecords,
     ) -> NGramStatistics:
         result = pipeline.run_job(self.job_spec(collection), records)
-        return self._collect_statistics(result.output, pipeline)
+        return self._collect_statistics(result.iter_output(), pipeline)
 
     def _collect_statistics(
-        self, output: List[Tuple[Tuple, Any]], pipeline: JobPipeline
+        self, output: Iterable[Tuple[Tuple, Any]], pipeline: JobPipeline
     ) -> NGramStatistics:
         """Convert job output into statistics; extensions may post-process."""
         statistics = NGramStatistics()

@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence
 
 from repro.algorithms import make_counter
 from repro.algorithms.extensions import ClosedNGramCounter, MaximalNGramCounter
-from repro.config import RUNNER_NAMES, ExecutionConfig, NGramJobConfig
+from repro.config import MATERIALIZE_MODES, RUNNER_NAMES, ExecutionConfig, NGramJobConfig
 from repro.corpus.io import read_encoded_collection, write_encoded_collection
 from repro.corpus.stats import compute_statistics
 from repro.harness import figures
@@ -62,6 +62,19 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="shuffle spill budget in bytes; past it, sorted runs spill to disk "
         "(default: keep the whole shuffle in memory)",
     )
+    parser.add_argument(
+        "--materialize",
+        choices=MATERIALIZE_MODES,
+        default="memory",
+        help="where job inputs/outputs live: in-memory record lists (default) "
+        "or sharded varint-framed datasets on disk",
+    )
+    parser.add_argument(
+        "--track-memory",
+        action="store_true",
+        help="record the peak of Python-level allocations per run "
+        "(reported and included in exports)",
+    )
 
 
 def _execution_from_args(args: argparse.Namespace) -> Optional[ExecutionConfig]:
@@ -69,12 +82,18 @@ def _execution_from_args(args: argparse.Namespace) -> Optional[ExecutionConfig]:
     if args.workers is not None and args.runner == "local":
         # Silently running sequentially would corrupt any speed-up comparison.
         raise SystemExit("error: --workers requires --runner threads or processes")
-    if args.runner == "local" and args.workers is None and args.spill_threshold is None:
+    if (
+        args.runner == "local"
+        and args.workers is None
+        and args.spill_threshold is None
+        and args.materialize == "memory"
+    ):
         return None
     return ExecutionConfig(
         runner=args.runner,
         max_workers=args.workers,
         spill_threshold_bytes=args.spill_threshold,
+        materialize=args.materialize,
     )
 
 
@@ -200,13 +219,18 @@ def _cmd_count(args: argparse.Namespace) -> int:
         counter = ClosedNGramCounter(config, execution=execution)
     else:
         counter = make_counter(args.algorithm, config, execution=execution)
-    result = counter.run(collection)
+    result = counter.run(collection, track_memory=args.track_memory)
     decoded = result.statistics.decoded(collection.vocabulary)
 
+    peak = (
+        f", peak_mem={result.peak_memory_bytes}"
+        if result.peak_memory_bytes is not None
+        else ""
+    )
     print(
         f"{counter.name}: {len(decoded)} n-grams "
         f"(tau={args.tau}, sigma={args.sigma or 'inf'}, jobs={result.num_jobs}, "
-        f"records={result.map_output_records}, bytes={result.map_output_bytes})"
+        f"records={result.map_output_records}, bytes={result.map_output_bytes}{peak})"
     )
     for ngram, frequency in decoded.top(args.top):
         print(f"{frequency:10d}  {' '.join(ngram)}")
@@ -250,9 +274,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         # the time-series counter, whose mapper closure cannot cross a
         # process boundary.  Fail loudly instead of silently ignoring flags.
         raise SystemExit(
-            f"error: --runner/--workers/--spill-threshold are not supported for {args.name}"
+            "error: --runner/--workers/--spill-threshold/--materialize are "
+            f"not supported for {args.name}"
         )
-    runner = ExperimentRunner(execution=execution)
+    runner = ExperimentRunner(execution=execution, track_memory=args.track_memory)
     fractions = _parse_fractions(args.fractions)
     exported: List = []
     if args.name == "table1":

@@ -109,6 +109,16 @@ class NGramJobConfig:
 #: Names of the MapReduce execution backends (see ``repro.mapreduce.backends``).
 RUNNER_NAMES = ("local", "threads", "processes")
 
+#: Where job outputs (and streamed job inputs) are materialised: ``memory``
+#: keeps record lists in RAM, ``disk`` writes sharded on-disk datasets (see
+#: ``repro.mapreduce.dataset``).
+MATERIALIZE_MODES = ("memory", "disk")
+
+#: Pipeline output-retention policies: ``final`` drops each job's output
+#: once the next job of the pipeline has consumed it (counters and metrics
+#: are always kept), ``all`` retains every job's output.
+RETENTION_POLICIES = ("final", "all")
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
@@ -129,12 +139,26 @@ class ExecutionConfig:
         ``None`` keeps the whole shuffle in memory.
     spill_dir:
         Directory for spilled runs (a private temp directory by default).
+    materialize:
+        Where job I/O is materialised: ``"memory"`` (record lists, the
+        default) or ``"disk"`` (sharded varint-framed datasets; inputs are
+        split per shard and reduce partitions written as output shards).
+    dataset_dir:
+        Directory for disk-materialised datasets (a private temp directory
+        by default); ignored in memory mode.
+    retention:
+        How long a pipeline keeps job outputs: ``"final"`` (default) drops
+        every job's output once the next job has consumed it, ``"all"``
+        keeps them for post-hoc inspection.
     """
 
     runner: str = "local"
     max_workers: Optional[int] = None
     spill_threshold_bytes: Optional[int] = None
     spill_dir: Optional[str] = None
+    materialize: str = "memory"
+    dataset_dir: Optional[str] = None
+    retention: str = "final"
 
     def __post_init__(self) -> None:
         if self.runner not in RUNNER_NAMES:
@@ -148,6 +172,16 @@ class ExecutionConfig:
         if self.spill_threshold_bytes is not None and self.spill_threshold_bytes < 1:
             raise ConfigurationError(
                 f"spill_threshold_bytes must be >= 1 or None, got {self.spill_threshold_bytes}"
+            )
+        if self.materialize not in MATERIALIZE_MODES:
+            raise ConfigurationError(
+                f"materialize must be one of {', '.join(MATERIALIZE_MODES)}, "
+                f"got {self.materialize!r}"
+            )
+        if self.retention not in RETENTION_POLICIES:
+            raise ConfigurationError(
+                f"retention must be one of {', '.join(RETENTION_POLICIES)}, "
+                f"got {self.retention!r}"
             )
 
 

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.corpus.document import Document
 from repro.corpus.vocabulary import Vocabulary
 from repro.exceptions import CorpusError
+from repro.mapreduce.dataset import CollectionDataset
 
 TermSequence = Tuple[int, ...]
 Record = Tuple[int, Tuple]
@@ -104,6 +105,10 @@ class DocumentCollection:
         for document in self._documents:
             for sentence in document.sentences:
                 yield document.doc_id, sentence
+
+    def dataset(self) -> CollectionDataset:
+        """The collection's records as a splittable, streaming dataset."""
+        return CollectionDataset(self, self.num_sentences)
 
     def timestamps(self) -> Dict[int, Optional[int]]:
         """Mapping from document identifier to timestamp."""
@@ -201,6 +206,15 @@ class EncodedCollection:
         for document in self._documents:
             for sentence in document.sentences:
                 yield document.doc_id, sentence
+
+    def dataset(self) -> CollectionDataset:
+        """The encoded records as a splittable, streaming dataset.
+
+        This is the engine-facing view of the collection: map splits are
+        planned from the sentence count alone and each split re-iterates
+        only its contiguous slice of the record stream.
+        """
+        return CollectionDataset(self, self.num_sentences)
 
     def timestamps(self) -> Dict[int, Optional[int]]:
         """Mapping from document identifier to timestamp."""

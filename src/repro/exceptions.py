@@ -22,6 +22,10 @@ class SerializationError(ReproError):
     """Raised when key/value serialisation or deserialisation fails."""
 
 
+class DatasetError(ReproError):
+    """Raised by the dataset layer: invalid splits, released datasets, bad shards."""
+
+
 class VocabularyError(ReproError):
     """Raised when a term or term identifier cannot be resolved."""
 

@@ -37,10 +37,13 @@ class ExperimentRunner:
         split_documents: bool = False,
         apriori_index_k: int = 4,
         execution: Optional[ExecutionConfig] = None,
+        track_memory: bool = False,
     ) -> None:
         """``execution`` selects the MapReduce backend (runner, worker count,
-        shuffle spill budget) every measured run executes on; ``None`` is the
-        sequential in-memory default."""
+        shuffle spill budget, dataset materialisation) every measured run
+        executes on; ``None`` is the sequential in-memory default.  With
+        ``track_memory`` every run also records its peak of Python-level
+        allocations on the measurement."""
         self.cluster = cluster if cluster is not None else ClusterConfig()
         self.num_reducers = num_reducers
         self.num_map_tasks = num_map_tasks
@@ -48,6 +51,7 @@ class ExperimentRunner:
         self.split_documents = split_documents
         self.apriori_index_k = apriori_index_k
         self.execution = execution
+        self.track_memory = track_memory
 
     # ------------------------------------------------------------ plumbing
     def _make_config(self, min_frequency: int, max_length: Optional[int]) -> NGramJobConfig:
@@ -79,6 +83,7 @@ class ExperimentRunner:
             map_output_bytes=result.map_output_bytes,
             num_jobs=result.num_jobs,
             num_ngrams=len(result.statistics),
+            peak_memory_bytes=result.peak_memory_bytes,
         )
 
     # ----------------------------------------------------------------- API
@@ -97,7 +102,7 @@ class ExperimentRunner:
         config = self._make_config(min_frequency, max_length)
         counter = make_counter(algorithm, config, execution=self.execution)
         counter.num_map_tasks = self.num_map_tasks
-        result = counter.run(collection)
+        result = counter.run(collection, track_memory=self.track_memory)
         return self._measure(algorithm, dataset_name, result, cluster), result
 
     def compare_methods(

@@ -15,7 +15,8 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 
 from repro.harness.measurement import RunMeasurement
 
-#: Column order used for CSV exports (matches the report tables).
+#: Column order used for CSV exports (matches the report tables; the
+#: peak-memory column is empty unless the run tracked memory).
 CSV_COLUMNS: Sequence[str] = (
     "dataset",
     "algorithm",
@@ -27,6 +28,7 @@ CSV_COLUMNS: Sequence[str] = (
     "bytes",
     "jobs",
     "ngrams",
+    "peak_mem_bytes",
 )
 
 

@@ -7,12 +7,22 @@ and (c) the number of key-value records transferred and sorted
 all jobs launched.  :class:`RunMeasurement` captures these three plus the
 simulated-cluster wallclock used for the scaling experiments and some
 context (dataset, parameters, result size).
+
+Beyond the paper's measures, a run can carry the tracked peak of
+Python-level allocations (``peak_memory_bytes``, measured with
+:class:`~repro.util.memory.PeakMemoryTracker`) — the number the
+materialisation benchmarks compare between the in-memory and the sharded
+on-disk dataset modes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+
+from repro.util.memory import PeakMemoryTracker
+
+__all__ = ["PeakMemoryTracker", "RunMeasurement"]
 
 
 @dataclass(frozen=True)
@@ -29,6 +39,7 @@ class RunMeasurement:
     map_output_bytes: int
     num_jobs: int
     num_ngrams: int
+    peak_memory_bytes: Optional[int] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -49,5 +60,6 @@ class RunMeasurement:
             "bytes": self.map_output_bytes,
             "jobs": self.num_jobs,
             "ngrams": self.num_ngrams,
+            "peak_mem_bytes": self.peak_memory_bytes,
             **{key: round(value, 4) for key, value in self.extra.items()},
         }

@@ -50,6 +50,8 @@ def format_measurements(measurements: Iterable[RunMeasurement]) -> str:
         "jobs",
         "ngrams",
     ]
+    if any(row.get("peak_mem_bytes") is not None for row in rows):
+        columns.append("peak_mem_bytes")
     return format_table(rows, columns)
 
 

@@ -43,6 +43,15 @@ unchanged.
 """
 
 from repro.mapreduce.counters import CounterGroup, Counters
+from repro.mapreduce.dataset import (
+    CollectionDataset,
+    Dataset,
+    DatasetStorage,
+    FileDataset,
+    MemoryDataset,
+    Shard,
+    as_dataset,
+)
 from repro.mapreduce.job import (
     Combiner,
     IdentityMapper,
@@ -63,25 +72,32 @@ from repro.mapreduce.cluster import ClusterCostModel, SimulatedCluster
 
 __all__ = [
     "ClusterCostModel",
+    "CollectionDataset",
     "Combiner",
     "CounterGroup",
     "Counters",
+    "Dataset",
+    "DatasetStorage",
     "DistributedCache",
     "ExternalShuffle",
+    "FileDataset",
     "IdentityMapper",
     "JobPipeline",
     "JobResult",
     "JobSpec",
     "LocalJobRunner",
     "Mapper",
+    "MemoryDataset",
     "PartitionInput",
     "Partitioner",
     "PipelineResult",
     "ProcessPoolJobRunner",
     "Reducer",
     "RUNNER_BACKENDS",
+    "Shard",
     "SimulatedCluster",
     "SortComparator",
     "ThreadPoolJobRunner",
+    "as_dataset",
     "make_runner",
 ]

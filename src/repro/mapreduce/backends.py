@@ -71,6 +71,8 @@ def make_runner(
         "default_map_tasks": default_map_tasks,
         "spill_threshold_bytes": execution.spill_threshold_bytes,
         "spill_dir": execution.spill_dir,
+        "materialize": execution.materialize,
+        "dataset_dir": execution.dataset_dir,
     }
     if runner_class is not LocalJobRunner and execution.max_workers is not None:
         kwargs["max_workers"] = execution.max_workers

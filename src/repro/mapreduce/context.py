@@ -15,23 +15,30 @@ from repro.mapreduce.cache import DistributedCache
 class TaskContext:
     """Execution context handed to user map/reduce code.
 
-    The context buffers emitted records in :attr:`output`; the runner decides
-    what happens with them (shuffling for map output, collecting for reduce
-    output).
+    Without a sink, the context buffers emitted records in :attr:`output`
+    and the runner drains them (shuffling for map output, collecting for
+    reduce output).  With a ``sink`` — any object with an
+    ``append(key, value)`` method — every emission streams straight into it
+    (a shard file, the shuffle), so the task never materialises its output.
     """
 
     def __init__(
         self,
         counters: Optional[Counters] = None,
         cache: Optional[DistributedCache] = None,
+        sink: Optional[Any] = None,
     ) -> None:
         self.counters = counters if counters is not None else Counters()
         self.cache = cache if cache is not None else DistributedCache()
+        self.sink = sink
         self.output: List[Tuple[Any, Any]] = []
 
     def emit(self, key: Any, value: Any) -> None:
         """Emit one key-value pair."""
-        self.output.append((key, value))
+        if self.sink is not None:
+            self.sink.append(key, value)
+        else:
+            self.output.append((key, value))
 
     def increment(self, counter: str, amount: int = 1, group: str = "task") -> None:
         """Increment a user counter."""

@@ -1,0 +1,527 @@
+"""Streaming datasets: the engine's InputFormat/OutputFormat analogue.
+
+In the paper's deployment every job reads its input from and writes its
+output to HDFS; records never live in the launcher's memory.  This module
+gives the in-process engine the same property.  A :class:`Dataset` is an
+ordered, splittable collection of ``(key, value)`` records:
+
+* :class:`MemoryDataset` wraps a plain Python list — the fully-materialised
+  mode, byte-compatible with how the engine has always behaved;
+* :class:`FileDataset` is a sequence of on-disk *shards* framed with the
+  varint record codec of :mod:`repro.mapreduce.serialization` (the same
+  framing the external shuffle spills use).  Iteration streams records one
+  frame at a time, and :meth:`FileDataset.split` plans contiguous map
+  splits from the per-shard record counts alone — the input is never
+  materialised, and a split pickles as shard paths plus offsets, so the
+  process backend ships paths instead of record lists.
+
+Split planning is shared (:func:`plan_split_sizes`), so a job sees the
+exact same task boundaries whether its input lives in memory or on disk —
+the property that keeps counter totals byte-identical across
+materialisation modes, combiners included.
+
+Reduce output flows through *sinks* (:class:`ListSink` /
+:class:`ShardSink`): the task context appends emitted records to the sink,
+which either buffers them or frames them straight to a shard file, and the
+finished sinks are bundled back into the job's output dataset.
+
+:class:`DatasetStorage` owns the directory shard files live in; datasets
+keep a reference to their storage, so the directory survives exactly as
+long as some dataset (or the runner) still points into it and is removed
+by a ``weakref`` finalizer afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import weakref
+from dataclasses import dataclass
+from itertools import islice
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import DatasetError
+from repro.mapreduce.serialization import (
+    read_framed_records,
+    record_size,
+    write_framed_record,
+)
+
+Record = Tuple[Any, Any]
+
+#: Records per shard written by :meth:`FileDataset.write` unless overridden.
+#: Shard boundaries are independent of split boundaries, so the value only
+#: trades file count against sequential-skip cost inside boundary shards.
+DEFAULT_RECORDS_PER_SHARD = 4096
+
+
+def plan_split_sizes(num_records: int, num_splits: int) -> List[int]:
+    """Sizes of at most ``num_splits`` contiguous splits of ``num_records``.
+
+    This is the single source of truth for map-task boundaries: every
+    dataset flavour divides the same global record sequence into the same
+    contiguous ranges, so task-level quantities (combiner output, shuffle
+    records, per-task metrics) cannot drift between materialisation modes.
+    """
+    if num_splits < 1:
+        raise DatasetError(f"num_splits must be >= 1, got {num_splits}")
+    if num_records == 0:
+        return [0]
+    num_splits = min(num_splits, num_records)
+    size, remainder = divmod(num_records, num_splits)
+    return [size + (1 if index < remainder else 0) for index in range(num_splits)]
+
+
+class Dataset:
+    """An ordered, splittable collection of key-value records."""
+
+    def iter_records(self) -> Iterator[Record]:
+        """Stream the records in order."""
+        raise NotImplementedError
+
+    @property
+    def num_records(self) -> int:
+        """Total number of records (known without reading the data)."""
+        raise NotImplementedError
+
+    def split(self, num_splits: int) -> List[Any]:
+        """Plan at most ``num_splits`` contiguous map splits.
+
+        Each split is iterable, sized (``len()``) and picklable; an empty
+        dataset yields exactly one empty split, so a job's mapper lifecycle
+        hooks still run once.
+        """
+        raise NotImplementedError
+
+    def release(self) -> None:
+        """Drop the dataset's records (delete backing files, free buffers)."""
+        raise NotImplementedError
+
+    @property
+    def released(self) -> bool:
+        """Whether :meth:`release` has been called."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------- shared helpers
+    def __iter__(self) -> Iterator[Record]:
+        return self.iter_records()
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def to_list(self) -> List[Record]:
+        """Materialise every record (the non-streaming escape hatch)."""
+        return list(self.iter_records())
+
+    def _check_live(self) -> None:
+        if self.released:
+            raise DatasetError(
+                f"{type(self).__name__} has been released; its records were "
+                "dropped by the pipeline's retention policy"
+            )
+
+
+class MemoryDataset(Dataset):
+    """A dataset backed by an in-memory record list."""
+
+    def __init__(self, records: Iterable[Record]) -> None:
+        self._records: Optional[List[Record]] = (
+            records if isinstance(records, list) else list(records)
+        )
+
+    def iter_records(self) -> Iterator[Record]:
+        self._check_live()
+        return iter(self._records)
+
+    @property
+    def num_records(self) -> int:
+        self._check_live()
+        return len(self._records)
+
+    def split(self, num_splits: int) -> List[List[Record]]:
+        self._check_live()
+        sizes = plan_split_sizes(len(self._records), num_splits)
+        splits: List[List[Record]] = []
+        start = 0
+        for size in sizes:
+            splits.append(self._records[start : start + size])
+            start += size
+        return splits
+
+    def to_list(self) -> List[Record]:
+        self._check_live()
+        return self._records
+
+    def release(self) -> None:
+        self._records = None
+
+    @property
+    def released(self) -> bool:
+        return self._records is None
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One on-disk file of varint-framed records plus its bookkeeping."""
+
+    path: str
+    num_records: int
+    serialized_bytes: int
+
+    def iter_records(self) -> Iterator[Record]:
+        with open(self.path, "rb") as handle:
+            yield from read_framed_records(handle)
+
+
+class ShardWriter:
+    """Frames records into one shard file, tracking counts and sizes.
+
+    ``serialized_bytes`` uses the same :func:`record_size` accounting as the
+    shuffle counters (the paper's compact encoding), independent of the
+    pickled frame size actually written.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.num_records = 0
+        self.serialized_bytes = 0
+        self._handle = open(path, "wb")
+
+    def append(self, key: Any, value: Any) -> None:
+        write_framed_record(self._handle, key, value)
+        self.num_records += 1
+        self.serialized_bytes += record_size(key, value)
+
+    def close(self) -> Shard:
+        self._handle.close()
+        return Shard(
+            path=self.path,
+            num_records=self.num_records,
+            serialized_bytes=self.serialized_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class FileSplit:
+    """One map split of a :class:`FileDataset`: shard segments to stream.
+
+    ``segments`` are ``(path, skip, count)`` triples; iterating opens each
+    shard in turn, skips ``skip`` leading records and yields the next
+    ``count``.  The object holds paths only, so shipping it to a worker
+    process costs a few hundred bytes regardless of the split's size.
+    """
+
+    segments: Tuple[Tuple[str, int, int], ...]
+
+    def __len__(self) -> int:
+        return sum(count for _, _, count in self.segments)
+
+    def __iter__(self) -> Iterator[Record]:
+        for path, skip, count in self.segments:
+            with open(path, "rb") as handle:
+                yield from islice(read_framed_records(handle), skip, skip + count)
+
+
+class FileDataset(Dataset):
+    """A sharded on-disk dataset of varint-framed records."""
+
+    def __init__(self, shards: Sequence[Shard], storage: Optional["DatasetStorage"] = None) -> None:
+        self._shards: Optional[Tuple[Shard, ...]] = tuple(shards)
+        # Keeps the owning directory's finalizer from firing while any
+        # dataset still points at files inside it.
+        self._storage = storage
+
+    @classmethod
+    def write(
+        cls,
+        records: Iterable[Record],
+        *,
+        storage: Optional["DatasetStorage"] = None,
+        directory: Optional[str] = None,
+        name: str = "dataset",
+        records_per_shard: int = DEFAULT_RECORDS_PER_SHARD,
+    ) -> "FileDataset":
+        """Stream ``records`` into shard files, bounded by ``records_per_shard``.
+
+        Exactly one of ``storage`` / ``directory`` selects where shards
+        live; with ``directory`` the caller owns the files' lifetime.
+        """
+        if records_per_shard < 1:
+            raise DatasetError(f"records_per_shard must be >= 1, got {records_per_shard}")
+        if (storage is None) == (directory is None):
+            raise DatasetError("exactly one of storage/directory must be given")
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+        def shard_path(index: int) -> str:
+            basename = f"{name}-{index:05d}"
+            if storage is not None:
+                return storage.allocate(basename)
+            return os.path.join(directory, f"{basename}.shard")
+
+        shards: List[Shard] = []
+        writer: Optional[ShardWriter] = None
+        for key, value in records:
+            if writer is None:
+                writer = ShardWriter(shard_path(len(shards)))
+            writer.append(key, value)
+            if writer.num_records >= records_per_shard:
+                shards.append(writer.close())
+                writer = None
+        if writer is not None:
+            shards.append(writer.close())
+        return cls(shards, storage=storage)
+
+    @property
+    def shards(self) -> Tuple[Shard, ...]:
+        self._check_live()
+        return self._shards
+
+    def iter_records(self) -> Iterator[Record]:
+        self._check_live()
+        shards = self._shards
+
+        def generate() -> Iterator[Record]:
+            for shard in shards:
+                yield from shard.iter_records()
+
+        return generate()
+
+    @property
+    def num_records(self) -> int:
+        self._check_live()
+        return sum(shard.num_records for shard in self._shards)
+
+    def split(self, num_splits: int) -> List[FileSplit]:
+        """Plan contiguous splits from shard record counts, without reading.
+
+        Split boundaries follow :func:`plan_split_sizes` over the *global*
+        record sequence; a boundary falling inside a shard becomes a
+        ``skip`` offset, so shard size never influences task boundaries.
+        """
+        self._check_live()
+        sizes = plan_split_sizes(self.num_records, num_splits)
+        splits: List[FileSplit] = []
+        shard_index = 0
+        offset = 0  # records of the current shard already assigned
+        for size in sizes:
+            segments: List[Tuple[str, int, int]] = []
+            needed = size
+            while needed > 0:
+                shard = self._shards[shard_index]
+                available = shard.num_records - offset
+                take = min(needed, available)
+                segments.append((shard.path, offset, take))
+                needed -= take
+                offset += take
+                if offset == shard.num_records:
+                    shard_index += 1
+                    offset = 0
+            splits.append(FileSplit(segments=tuple(segments)))
+        return splits
+
+    def release(self) -> None:
+        if self._shards is None:
+            return
+        for shard in self._shards:
+            try:
+                os.remove(shard.path)
+            except OSError:
+                # Another dataset sharing the shard (the per-partition view
+                # of a job output) may have removed it already.
+                pass
+        self._shards = None
+
+    @property
+    def released(self) -> bool:
+        return self._shards is None
+
+
+class CollectionDataset(Dataset):
+    """A splittable, read-only view over a record source.
+
+    The source is any object exposing ``records()`` (a document collection,
+    encoded or raw); ``num_records`` must match what one pass over
+    ``records()`` yields.  Splits re-iterate the source and slice it
+    lazily, so nothing is materialised — but a split pickles the whole
+    source, so this view suits the in-process backends.
+    """
+
+    def __init__(self, source: Any, num_records: int) -> None:
+        self._source = source
+        self._num_records = num_records
+
+    def iter_records(self) -> Iterator[Record]:
+        return iter(self._source.records())
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    def split(self, num_splits: int) -> List["_SourceSlice"]:
+        sizes = plan_split_sizes(self._num_records, num_splits)
+        splits: List[_SourceSlice] = []
+        start = 0
+        for size in sizes:
+            splits.append(_SourceSlice(self._source, start, size))
+            start += size
+        return splits
+
+    def release(self) -> None:
+        raise DatasetError("a collection-backed dataset cannot be released")
+
+    @property
+    def released(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class _SourceSlice:
+    """A contiguous range of a record source's output."""
+
+    source: Any
+    start: int
+    count: int
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[Record]:
+        return islice(iter(self.source.records()), self.start, self.start + self.count)
+
+
+def as_dataset(records: Any) -> Dataset:
+    """Adapt job input to a dataset: datasets pass through, iterables wrap."""
+    if isinstance(records, Dataset):
+        if records.released:
+            raise DatasetError("cannot run a job over a released dataset")
+        return records
+    return MemoryDataset(records if isinstance(records, list) else list(records))
+
+
+# ------------------------------------------------------------ reduce sinks
+class ListSink:
+    """Reduce-output sink buffering records in memory (the default)."""
+
+    def __init__(self) -> None:
+        self._records: List[Record] = []
+        self.serialized_bytes = 0
+
+    def begin(self) -> None:
+        self._records = []
+        self.serialized_bytes = 0
+
+    def append(self, key: Any, value: Any) -> None:
+        self._records.append((key, value))
+        self.serialized_bytes += record_size(key, value)
+
+    @property
+    def num_records(self) -> int:
+        return len(self._records)
+
+    def finish(self) -> List[Record]:
+        return self._records
+
+    def abort(self) -> None:
+        """Discard buffered output after a task failure."""
+        self._records = []
+
+
+@dataclass
+class ShardSink:
+    """Reduce-output sink framing records straight to shard files.
+
+    Constructed with only a base path, so a process backend pickles it to
+    the worker unopened; the worker calls :meth:`begin`, streams the reduce
+    output to disk and sends back the resulting :class:`Shard` tuple —
+    record lists never cross the process boundary.  Output rolls over to a
+    new shard every ``records_per_shard`` records, so a later job splitting
+    this partition never has to skip-decode more than one shard's worth of
+    frames to reach a split boundary.
+    """
+
+    path: str
+    records_per_shard: int = DEFAULT_RECORDS_PER_SHARD
+
+    def begin(self) -> None:
+        self._shards: List[Shard] = []
+        self._closed_records = 0
+        self._closed_bytes = 0
+        self._writer = ShardWriter(self.path)
+
+    def _roll(self) -> None:
+        shard = self._writer.close()
+        self._shards.append(shard)
+        self._closed_records += shard.num_records
+        self._closed_bytes += shard.serialized_bytes
+        self._writer = ShardWriter(f"{self.path}.{len(self._shards)}")
+
+    def append(self, key: Any, value: Any) -> None:
+        if self._writer.num_records >= self.records_per_shard:
+            self._roll()
+        self._writer.append(key, value)
+
+    @property
+    def num_records(self) -> int:
+        return self._closed_records + self._writer.num_records
+
+    @property
+    def serialized_bytes(self) -> int:
+        return self._closed_bytes + self._writer.serialized_bytes
+
+    def finish(self) -> Tuple[Shard, ...]:
+        self._shards.append(self._writer.close())
+        return tuple(self._shards)
+
+    def abort(self) -> None:
+        """Close and remove the partial shards after a task failure."""
+        self._shards.append(self._writer.close())
+        for shard in self._shards:
+            try:
+                os.remove(shard.path)
+            except OSError:
+                pass
+
+
+class DatasetStorage:
+    """Owns the directory dataset shards are written into.
+
+    The directory is created lazily on first allocation (under ``base_dir``
+    when given, else the system temp dir) and removed by a ``weakref``
+    finalizer once nothing references the storage any more — job results
+    keep their storage alive through their datasets, so final outputs stay
+    readable for as long as they are held.
+    """
+
+    def __init__(self, base_dir: Optional[str] = None) -> None:
+        self._base_dir = base_dir
+        self._directory: Optional[str] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        self._sequence = 0
+
+    @property
+    def directory(self) -> str:
+        if self._directory is None:
+            if self._base_dir is not None:
+                os.makedirs(self._base_dir, exist_ok=True)
+                self._directory = tempfile.mkdtemp(prefix="repro-dataset-", dir=self._base_dir)
+            else:
+                self._directory = tempfile.mkdtemp(prefix="repro-dataset-")
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, self._directory, True
+            )
+        return self._directory
+
+    def allocate(self, name: str) -> str:
+        """Reserve a unique shard path (jobs may share one storage)."""
+        self._sequence += 1
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in name)
+        return os.path.join(self.directory, f"{self._sequence:06d}-{safe}.shard")
+
+    def cleanup(self) -> None:
+        """Remove the directory now instead of waiting for garbage collection."""
+        if self._finalizer is not None:
+            self._finalizer()
+        self._directory = None
+        self._finalizer = None

@@ -28,20 +28,22 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Executor, Future, ThreadPoolExecutor
-from typing import Any, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import MapReduceError
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.dataset import Dataset, as_dataset
 from repro.mapreduce.job import JobSpec
 from repro.mapreduce.metrics import JobMetrics, TaskMetrics
-from repro.mapreduce.runner import JobResult, LocalJobRunner, ReduceInput, _split_input
+from repro.mapreduce.runner import JobResult, LocalJobRunner, ReduceInput, ReduceOutcome
 
 Record = Tuple[Any, Any]
 
-#: What every pooled task resolves to: the task's records, metrics and the
-#: counters it incremented (merged by the parent in task order).
-TaskResult = Tuple[List[Record], TaskMetrics, Counters]
+#: What every pooled task resolves to: the task's records (map) or outcome
+#: (reduce), its metrics and the counters it incremented (merged by the
+#: parent in task order).
+TaskResult = Tuple[Any, TaskMetrics, Counters]
 
 
 def _cancel_pending(futures: List[Optional[Future]], start: int) -> None:
@@ -108,19 +110,20 @@ class PooledJobRunner(LocalJobRunner):
         phase: str,
         task_index: int,
         task_input: Any,
+        reduce_sink: Optional[Any] = None,
     ) -> Future[TaskResult]:
         raise NotImplementedError
 
     # ------------------------------------------------------------------ run
-    def run(self, job: JobSpec, input_records: Iterable[Record]) -> JobResult:
+    def run(self, job: JobSpec, input_records: Union[Dataset, Iterable[Record]]) -> JobResult:
         started = time.perf_counter()
-        records = list(input_records)
+        dataset = as_dataset(input_records)
         counters = Counters()
         metrics = JobMetrics(job_name=job.name)
         self._prepare_job(job)
 
         num_map_tasks = job.num_map_tasks or self.default_map_tasks
-        splits = _split_input(records, num_map_tasks)
+        splits = dataset.split(num_map_tasks)
 
         shuffle = self._new_shuffle(job)
         try:
@@ -153,29 +156,33 @@ class PooledJobRunner(LocalJobRunner):
 
                 reduce_inputs: List[ReduceInput] = shuffle.partition_inputs()
                 futures = [
-                    self._submit_task(executor, job, "reduce", index, partition)
+                    self._submit_task(
+                        executor,
+                        job,
+                        "reduce",
+                        index,
+                        partition,
+                        reduce_sink=self._make_reduce_sink(job, index),
+                    )
                     for index, partition in enumerate(reduce_inputs)
                 ]
-                reduce_records: List[List[Record]] = []
-                for task_records, task_metrics, task_counters in iter_task_results(
+                outcomes: List[ReduceOutcome] = []
+                for outcome, task_metrics, task_counters in iter_task_results(
                     futures, job, "reduce"
                 ):
-                    reduce_records.append(task_records)
+                    outcomes.append(outcome)
                     metrics.reduce_tasks.append(task_metrics)
                     counters.merge(task_counters)
         finally:
             shuffle.cleanup()
 
-        output: List[Record] = [
-            record for task_records in reduce_records for record in task_records
-        ]
-
+        output_dataset, partition_datasets = self._bundle_outputs(outcomes)
         elapsed = time.perf_counter() - started
         metrics.elapsed_seconds = elapsed
         return JobResult(
             job_name=job.name,
-            output=output,
-            partition_output=reduce_records,
+            output_dataset=output_dataset,
+            partition_datasets=partition_datasets,
             counters=counters,
             metrics=metrics,
             elapsed_seconds=elapsed,
@@ -192,12 +199,16 @@ class ThreadPoolJobRunner(PooledJobRunner):
         max_workers: int = 4,
         spill_threshold_bytes: Optional[int] = None,
         spill_dir: Optional[str] = None,
+        materialize: str = "memory",
+        dataset_dir: Optional[str] = None,
     ) -> None:
         super().__init__(
             cache=cache,
             default_map_tasks=default_map_tasks,
             spill_threshold_bytes=spill_threshold_bytes,
             spill_dir=spill_dir,
+            materialize=materialize,
+            dataset_dir=dataset_dir,
         )
         if max_workers < 1:
             raise MapReduceError("max_workers must be >= 1")
@@ -206,12 +217,21 @@ class ThreadPoolJobRunner(PooledJobRunner):
     def _make_phase_executor(self, num_tasks: int) -> Executor:
         return ThreadPoolExecutor(max_workers=self.max_workers)
 
-    def _run_task_with_counters(
-        self, task_function, job: JobSpec, task_index: int, task_input: Any
+    def _run_map_with_counters(
+        self, job: JobSpec, task_index: int, task_input: Any
     ) -> TaskResult:
         counters = Counters()
-        records, task_metrics = task_function(job, task_index, task_input, counters)
+        records, task_metrics = self._run_map_task(job, task_index, task_input, counters)
         return records, task_metrics, counters
+
+    def _run_reduce_with_counters(
+        self, job: JobSpec, task_index: int, task_input: Any, reduce_sink: Optional[Any]
+    ) -> TaskResult:
+        counters = Counters()
+        outcome, task_metrics = self._run_reduce_task(
+            job, task_index, task_input, counters, output_sink=reduce_sink
+        )
+        return outcome, task_metrics, counters
 
     def _submit_task(
         self,
@@ -220,8 +240,10 @@ class ThreadPoolJobRunner(PooledJobRunner):
         phase: str,
         task_index: int,
         task_input: Any,
+        reduce_sink: Optional[Any] = None,
     ) -> Future[TaskResult]:
-        task_function = self._run_map_task if phase == "map" else self._run_reduce_task
+        if phase == "map":
+            return executor.submit(self._run_map_with_counters, job, task_index, task_input)
         return executor.submit(
-            self._run_task_with_counters, task_function, job, task_index, task_input
+            self._run_reduce_with_counters, job, task_index, task_input, reduce_sink
         )

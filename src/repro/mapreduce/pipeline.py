@@ -6,20 +6,38 @@ post-filtering job (Section VI.A).  :class:`JobPipeline` tracks every job run
 of a method, aggregates counters across jobs (the paper reports bytes/records
 as "aggregates over all Hadoop jobs launched") and exposes the per-job
 metrics needed by the cluster cost model.
+
+Job outputs are datasets (see :mod:`repro.mapreduce.dataset`), and the
+pipeline applies a *retention policy* to them: with the default
+``"final"`` policy each job's output is released as soon as the next job
+of the pipeline has consumed it — in-memory outputs are freed, on-disk
+shards deleted — so a long APRIORI chain holds at most one intermediate
+result at a time.  Counters and metrics are always kept, because they are
+what the harness measures.  ``"all"`` retains every output (the setting
+the byte-identity agreement tests use to compare jobs pairwise).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Tuple, Union
 
+from repro.config import RETENTION_POLICIES
+from repro.exceptions import MapReduceError
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.dataset import Dataset
 from repro.mapreduce.job import JobSpec
 from repro.mapreduce.metrics import JobMetrics
 from repro.mapreduce.runner import JobResult, LocalJobRunner
 
 Record = Tuple[Any, Any]
+
+#: Retain only the final job's output (the default; intermediates are
+#: released once consumed) — see ``repro.config.RETENTION_POLICIES``.
+RETENTION_FINAL = "final"
+#: Retain every job's output.
+RETENTION_ALL = "all"
 
 
 @dataclass
@@ -50,11 +68,24 @@ class PipelineResult:
         return sum(result.elapsed_seconds for result in self.job_results)
 
     @property
+    def final_output_dataset(self) -> Optional[Dataset]:
+        """Output dataset of the last job (``None`` if no job ran)."""
+        if not self.job_results:
+            return None
+        return self.job_results[-1].output_dataset
+
+    @property
     def final_output(self) -> List[Record]:
         """Output records of the last job (empty if no job ran)."""
         if not self.job_results:
             return []
         return self.job_results[-1].output
+
+    def release_outputs(self) -> None:
+        """Release every retained job output (counters/metrics survive)."""
+        for result in self.job_results:
+            if not result.output_released:
+                result.release_output()
 
 
 class JobPipeline:
@@ -62,7 +93,8 @@ class JobPipeline:
 
     A pipeline is the unit of measurement for an algorithm run: all counters
     and metrics of the jobs it executed are retained so the harness can
-    report totals exactly the way the paper does.
+    report totals exactly the way the paper does.  ``retention`` governs how
+    long job *outputs* live (see the module docstring).
     """
 
     def __init__(
@@ -70,7 +102,13 @@ class JobPipeline:
         runner: Optional[LocalJobRunner] = None,
         cache: Optional[DistributedCache] = None,
         default_map_tasks: int = 4,
+        retention: str = RETENTION_FINAL,
     ) -> None:
+        if retention not in RETENTION_POLICIES:
+            raise MapReduceError(
+                f"retention must be one of {', '.join(RETENTION_POLICIES)}, "
+                f"got {retention!r}"
+            )
         if cache is None and runner is not None:
             # Adopt the runner's cache so that objects the pipeline publishes
             # (e.g. APRIORI-SCAN's dictionary) are the ones tasks read.
@@ -79,11 +117,33 @@ class JobPipeline:
         self.runner = runner if runner is not None else LocalJobRunner(
             cache=self.cache, default_map_tasks=default_map_tasks
         )
+        self.retention = retention
         self.result = PipelineResult()
 
-    def run_job(self, job: JobSpec, input_records: Iterable[Record]) -> JobResult:
-        """Run one job, recording its result in the pipeline history."""
+    def materialize_input(self, records: Iterable[Record], name: str = "input") -> Dataset:
+        """Materialise an input record stream under the runner's policy.
+
+        In disk mode the stream is written straight to a sharded on-disk
+        dataset; in memory mode it is buffered once.  Either way the result
+        can feed several jobs (APRIORI's per-length scans) without being
+        re-prepared.
+        """
+        return self.runner.materialize_dataset(records, name=name)
+
+    def run_job(
+        self, job: JobSpec, input_records: Union[Dataset, Iterable[Record]]
+    ) -> JobResult:
+        """Run one job, recording its result in the pipeline history.
+
+        Under the ``"final"`` retention policy, completing this job releases
+        the previous job's output — by then the only consumer (this job's
+        input stream) has read it.
+        """
         job_result = self.runner.run(job, input_records)
+        if self.retention == RETENTION_FINAL and self.result.job_results:
+            previous = self.result.job_results[-1]
+            if not previous.output_released:
+                previous.release_output()
         self.result.job_results.append(job_result)
         return job_result
 

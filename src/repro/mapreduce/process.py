@@ -32,7 +32,7 @@ import os
 import pickle
 from concurrent.futures import Executor, Future, ProcessPoolExecutor
 from multiprocessing import get_context
-from typing import Any, List, Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.exceptions import MapReduceError
 from repro.mapreduce.cache import DistributedCache
@@ -61,11 +61,15 @@ def _run_task_in_worker(
     phase: str,
     task_index: int,
     task_input: Any,
-) -> Tuple[List[Record], TaskMetrics, Counters]:
+    reduce_sink: Optional[Any] = None,
+) -> Tuple[Any, TaskMetrics, Counters]:
     """Execute one map or reduce task inside a worker process.
 
     Reuses the sequential runner's task implementations verbatim, so task
-    semantics cannot drift between backends.
+    semantics cannot drift between backends.  With a
+    :class:`~repro.mapreduce.dataset.ShardSink` the reduce output is framed
+    to its shard file *in the worker* and only the shard description is
+    pickled back — output record lists never cross the process boundary.
     """
     job: JobSpec = pickle.loads(job_bytes)
     cache: DistributedCache = pickle.loads(cache_bytes)
@@ -73,9 +77,11 @@ def _run_task_in_worker(
     counters = Counters()
     if phase == "map":
         records, metrics = runner._run_map_task(job, task_index, task_input, counters)
-    else:
-        records, metrics = runner._run_reduce_task(job, task_index, task_input, counters)
-    return records, metrics, counters
+        return records, metrics, counters
+    outcome, metrics = runner._run_reduce_task(
+        job, task_index, task_input, counters, output_sink=reduce_sink
+    )
+    return outcome, metrics, counters
 
 
 class ProcessPoolJobRunner(PooledJobRunner):
@@ -98,12 +104,16 @@ class ProcessPoolJobRunner(PooledJobRunner):
         spill_threshold_bytes: Optional[int] = None,
         spill_dir: Optional[str] = None,
         mp_context: Optional[str] = None,
+        materialize: str = "memory",
+        dataset_dir: Optional[str] = None,
     ) -> None:
         super().__init__(
             cache=cache,
             default_map_tasks=default_map_tasks,
             spill_threshold_bytes=spill_threshold_bytes,
             spill_dir=spill_dir,
+            materialize=materialize,
+            dataset_dir=dataset_dir,
         )
         if max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -176,6 +186,7 @@ class ProcessPoolJobRunner(PooledJobRunner):
         phase: str,
         task_index: int,
         task_input: Any,
+        reduce_sink: Optional[Any] = None,
     ) -> Future[TaskResult]:
         assert self._job_bytes is not None and self._cache_bytes is not None
         return executor.submit(
@@ -185,4 +196,5 @@ class ProcessPoolJobRunner(PooledJobRunner):
             phase,
             task_index,
             task_input,
+            reduce_sink,
         )

@@ -1,16 +1,28 @@
 """Local execution of MapReduce jobs.
 
 :class:`LocalJobRunner` executes a :class:`~repro.mapreduce.job.JobSpec`
-in-process: it divides the input into map tasks, runs mappers (and the
-optional combiner), shuffles with the job's partitioner and sort comparator,
-and runs one reducer per partition.  It produces a :class:`JobResult` with
-the job output, Hadoop-style counters and per-task metrics.
+in-process: it plans map splits over the input dataset, runs mappers (and
+the optional combiner), shuffles with the job's partitioner and sort
+comparator, and runs one reducer per partition.  It produces a
+:class:`JobResult` whose outputs are :class:`~repro.mapreduce.dataset.Dataset`
+objects, plus Hadoop-style counters and per-task metrics.
 
-The shuffle runs through :class:`~repro.mapreduce.shuffle.ExternalShuffle`:
-by default everything stays in memory, but with ``spill_threshold_bytes``
-set the runner spills sorted runs of map output to temp files and streams
-each reducer from a k-way merge, bounding the shuffle's memory ceiling
-regardless of the input size.
+Job I/O streams through the dataset layer end to end:
+
+* input is any iterable or :class:`~repro.mapreduce.dataset.Dataset`; a
+  sharded :class:`~repro.mapreduce.dataset.FileDataset` is split per shard
+  from its record counts alone, so the runner never materialises it;
+* with ``materialize="disk"`` every reduce partition is written as one
+  shard of the job's output :class:`FileDataset` while the reducer runs —
+  in memory mode outputs stay plain record lists, exactly as before;
+* the shuffle runs through :class:`~repro.mapreduce.shuffle.ExternalShuffle`:
+  with ``spill_threshold_bytes`` set the runner spills sorted runs of map
+  output to temp files and streams each reducer from a k-way merge,
+  bounding the shuffle's memory ceiling regardless of the input size.
+
+All materialisation choices are byte-transparent: task boundaries, record
+order and counter totals are identical whether data lives in memory or on
+disk.
 """
 
 from __future__ import annotations
@@ -19,11 +31,22 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.config import MATERIALIZE_MODES
 from repro.exceptions import MapReduceError
 from repro.mapreduce import counters as counter_names
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.context import TaskContext
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.dataset import (
+    Dataset,
+    DatasetStorage,
+    FileDataset,
+    ListSink,
+    MemoryDataset,
+    Shard,
+    ShardSink,
+    as_dataset,
+)
 from repro.mapreduce.job import JobSpec
 from repro.mapreduce.metrics import JobMetrics, TaskMetrics
 from repro.mapreduce.serialization import record_size
@@ -40,45 +63,90 @@ Record = Tuple[Any, Any]
 #: description of an externally shuffled partition.
 ReduceInput = Union[Sequence[Record], PartitionInput]
 
+#: What a finished reduce task hands back: its record list (memory mode) or
+#: the shards its output was written to (disk mode).
+ReduceOutcome = Union[List[Record], Tuple[Shard, ...]]
+
 
 @dataclass
 class JobResult:
-    """Outcome of a single job run."""
+    """Outcome of a single job run.
+
+    Outputs are datasets; the :attr:`output` / :attr:`partition_output`
+    properties materialise them for convenience (and backward
+    compatibility), while :meth:`iter_output` streams records without ever
+    holding the full result — the only access pattern that keeps a
+    disk-materialised result out of memory.
+    """
 
     job_name: str
-    output: List[Record]
-    partition_output: List[List[Record]]
+    output_dataset: Dataset
+    partition_datasets: List[Dataset]
     counters: Counters
     metrics: JobMetrics
     elapsed_seconds: float = 0.0
 
     @property
+    def output(self) -> List[Record]:
+        """The job output as one materialised record list."""
+        return self.output_dataset.to_list()
+
+    @property
+    def partition_output(self) -> List[List[Record]]:
+        """Per-reduce-partition output, materialised."""
+        return [dataset.to_list() for dataset in self.partition_datasets]
+
+    def iter_output(self) -> Iterator[Record]:
+        """Stream the job output in partition order."""
+        return self.output_dataset.iter_records()
+
+    @property
+    def num_output_records(self) -> int:
+        return self.output_dataset.num_records
+
+    @property
     def output_keys(self) -> List[Any]:
         """Keys of the job output, in emission order."""
-        return [key for key, _ in self.output]
+        return [key for key, _ in self.iter_output()]
 
     def output_as_dict(self) -> dict:
         """Job output as a dictionary (later emissions win on duplicate keys)."""
-        return dict(self.output)
+        return dict(self.iter_output())
 
     def is_empty(self) -> bool:
         """Whether the job produced no output records."""
-        return not self.output
+        return self.output_dataset.num_records == 0
+
+    # ------------------------------------------------------------ retention
+    def release_output(self) -> None:
+        """Drop the job's output records (counters and metrics are kept)."""
+        for dataset in self.partition_datasets:
+            dataset.release()
+        self.output_dataset.release()
+
+    @property
+    def output_released(self) -> bool:
+        return self.output_dataset.released
 
 
-def _split_input(records: Sequence[Record], num_splits: int) -> List[List[Record]]:
-    """Divide input records into at most ``num_splits`` contiguous splits."""
-    if not records:
-        return [[]]
-    num_splits = max(1, min(num_splits, len(records)))
-    split_size, remainder = divmod(len(records), num_splits)
-    splits: List[List[Record]] = []
-    start = 0
-    for index in range(num_splits):
-        length = split_size + (1 if index < remainder else 0)
-        splits.append(list(records[start : start + length]))
-        start += length
-    return splits
+class _ShuffleSink:
+    """Streams map emissions straight into the shuffle, with accounting.
+
+    Used by the sequential runner when no combiner is configured: the map
+    task's output then never exists as a list, which is what bounds the
+    memory of NAIVE's ``n·σ``-record map output to the shuffle's spill
+    budget.
+    """
+
+    def __init__(self, shuffle: ExternalShuffle) -> None:
+        self._shuffle = shuffle
+        self.num_records = 0
+        self.serialized_bytes = 0
+
+    def append(self, key: Any, value: Any) -> None:
+        self.serialized_bytes += record_size(key, value)
+        self.num_records += 1
+        self._shuffle.add(key, value)
 
 
 class LocalJobRunner:
@@ -97,6 +165,13 @@ class LocalJobRunner:
         keeps the whole shuffle in memory.
     spill_dir:
         Directory for spilled runs (a private temp directory by default).
+    materialize:
+        ``"memory"`` (default) keeps job outputs as record lists;
+        ``"disk"`` writes each reduce partition as one shard of an on-disk
+        output dataset and materialises streamed inputs as sharded files.
+    dataset_dir:
+        Directory for disk-materialised datasets (a private temp directory
+        by default).
     """
 
     def __init__(
@@ -105,34 +180,121 @@ class LocalJobRunner:
         default_map_tasks: int = 4,
         spill_threshold_bytes: Optional[int] = None,
         spill_dir: Optional[str] = None,
+        materialize: str = "memory",
+        dataset_dir: Optional[str] = None,
     ) -> None:
         if default_map_tasks < 1:
             raise MapReduceError("default_map_tasks must be >= 1")
         if spill_threshold_bytes is not None and spill_threshold_bytes < 1:
             raise MapReduceError("spill_threshold_bytes must be >= 1 or None")
+        if materialize not in MATERIALIZE_MODES:
+            raise MapReduceError(
+                f"materialize must be one of {', '.join(MATERIALIZE_MODES)}, "
+                f"got {materialize!r}"
+            )
         self.cache = cache if cache is not None else DistributedCache()
         self.default_map_tasks = default_map_tasks
         self.spill_threshold_bytes = spill_threshold_bytes
         self.spill_dir = spill_dir
+        self.materialize = materialize
+        self.dataset_dir = dataset_dir
+        self._storage: Optional[DatasetStorage] = None
+
+    # ------------------------------------------------------------- datasets
+    def _dataset_storage(self) -> DatasetStorage:
+        if self._storage is None:
+            self._storage = DatasetStorage(self.dataset_dir)
+        return self._storage
+
+    def materialize_dataset(self, records: Iterable[Record], name: str = "dataset") -> Dataset:
+        """Materialise a record stream under this runner's policy.
+
+        Memory mode buffers into a :class:`MemoryDataset`; disk mode
+        streams the records into shard files and returns the resulting
+        :class:`FileDataset`, so the stream is never held in memory.
+        """
+        if isinstance(records, Dataset) or self.materialize != "disk":
+            # Passthrough (with the released-dataset guard) or memory buffering.
+            return as_dataset(records)
+        return FileDataset.write(records, storage=self._dataset_storage(), name=name)
+
+    def _make_reduce_sink(self, job: JobSpec, task_index: int) -> Optional[ShardSink]:
+        """The output sink for one reduce task (``None`` selects buffering)."""
+        if self.materialize != "disk":
+            return None
+        path = self._dataset_storage().allocate(f"{job.name}-part-{task_index:05d}")
+        return ShardSink(path)
+
+    def _bundle_outputs(
+        self, outcomes: List[ReduceOutcome]
+    ) -> Tuple[Dataset, List[Dataset]]:
+        """Assemble reduce outcomes into the job's output datasets.
+
+        The job-wide output dataset and the per-partition views share the
+        same backing (lists or shard files), so no records are duplicated.
+        """
+        first = outcomes[0] if outcomes else None
+        if isinstance(first, tuple) and first and isinstance(first[0], Shard):
+            partition_datasets: List[Dataset] = [
+                FileDataset(shards, storage=self._storage) for shards in outcomes
+            ]
+            output_dataset: Dataset = FileDataset(
+                [shard for shards in outcomes for shard in shards],
+                storage=self._storage,
+            )
+        else:
+            partition_datasets = [MemoryDataset(records) for records in outcomes]
+            output_dataset = MemoryDataset(
+                [record for records in outcomes for record in records]
+            )
+        return output_dataset, partition_datasets
 
     # ------------------------------------------------------------------ map
     def _run_map_task(
         self,
         job: JobSpec,
         task_index: int,
-        split: Sequence[Record],
+        split: Iterable[Record],
         counters: Counters,
-    ) -> Tuple[List[Record], TaskMetrics]:
+        shuffle: Optional[ExternalShuffle] = None,
+    ) -> Tuple[Optional[List[Record]], TaskMetrics]:
+        """Run one map task over ``split``.
+
+        With ``shuffle`` given and no combiner configured, emissions stream
+        directly into the shuffle and the returned record list is ``None``;
+        otherwise the task's (possibly combined) output is returned for the
+        caller to route.  Counter totals are identical either way.
+        """
         started = time.perf_counter()
         mapper = job.make_mapper()
-        context = TaskContext(counters=counters, cache=self.cache)
+        combiner = job.make_combiner()
+        sink = _ShuffleSink(shuffle) if shuffle is not None and combiner is None else None
+        context = TaskContext(counters=counters, cache=self.cache, sink=sink)
         mapper.setup(context)
+        input_records = 0
         for key, value in split:
+            input_records += 1
             counters.increment(counter_names.MAP_INPUT_RECORDS)
             mapper.map(key, value, context)
         mapper.cleanup(context)
-        emitted = context.drain()
 
+        if sink is not None:
+            counters.increment(counter_names.MAP_OUTPUT_RECORDS, sink.num_records)
+            counters.increment(counter_names.MAP_OUTPUT_BYTES, sink.serialized_bytes)
+            counters.increment(counter_names.SHUFFLE_RECORDS, sink.num_records)
+            counters.increment(counter_names.SHUFFLE_BYTES, sink.serialized_bytes)
+            metrics = TaskMetrics(
+                task_type="map",
+                task_index=task_index,
+                input_records=input_records,
+                output_records=sink.num_records,
+                output_bytes=sink.serialized_bytes,
+                sorted_records=0,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+            return None, metrics
+
+        emitted = context.drain()
         output_bytes = 0
         for key, value in emitted:
             output_bytes += record_size(key, value)
@@ -141,7 +303,6 @@ class LocalJobRunner:
 
         shuffle_records = emitted
         sorted_records = 0
-        combiner = job.make_combiner()
         if combiner is not None and emitted:
             shuffle_records = self._run_combiner(job, combiner, emitted, counters)
             sorted_records = len(emitted)
@@ -153,7 +314,7 @@ class LocalJobRunner:
         metrics = TaskMetrics(
             task_type="map",
             task_index=task_index,
-            input_records=len(split),
+            input_records=input_records,
             output_records=len(emitted),
             output_bytes=output_bytes,
             sorted_records=sorted_records,
@@ -192,34 +353,49 @@ class LocalJobRunner:
         task_index: int,
         partition: ReduceInput,
         counters: Counters,
-    ) -> Tuple[List[Record], TaskMetrics]:
+        output_sink: Optional[Any] = None,
+    ) -> Tuple[ReduceOutcome, TaskMetrics]:
+        """Run one reduce task; its output flows through ``output_sink``.
+
+        The default :class:`ListSink` buffers the partition output in
+        memory and the outcome is the record list; a :class:`ShardSink`
+        frames each emission straight to a shard file and the outcome is
+        the finished :class:`Shard`.
+        """
         started = time.perf_counter()
         sorted_stream = self._sorted_reduce_stream(job, partition)
         reducer = job.make_reducer()
-        context = TaskContext(counters=counters, cache=self.cache)
-        reducer.setup(context)
-        groups = 0
-        input_records = 0
-        for key, values in group_sorted_records(sorted_stream, job.sort_comparator):
-            groups += 1
-            input_records += len(values)
-            counters.increment(counter_names.REDUCE_INPUT_RECORDS, len(values))
-            reducer.reduce(key, values, context)
-        reducer.cleanup(context)
+        sink = output_sink if output_sink is not None else ListSink()
+        sink.begin()
+        try:
+            context = TaskContext(counters=counters, cache=self.cache, sink=sink)
+            reducer.setup(context)
+            groups = 0
+            input_records = 0
+            for key, values in group_sorted_records(sorted_stream, job.sort_comparator):
+                groups += 1
+                input_records += len(values)
+                counters.increment(counter_names.REDUCE_INPUT_RECORDS, len(values))
+                reducer.reduce(key, values, context)
+            reducer.cleanup(context)
+        except BaseException:
+            # Close (and for shard sinks, remove) the partial output so a
+            # failing reducer leaks neither a file handle nor an orphan shard.
+            sink.abort()
+            raise
         counters.increment(counter_names.REDUCE_INPUT_GROUPS, groups)
-        output = context.drain()
-        counters.increment(counter_names.REDUCE_OUTPUT_RECORDS, len(output))
-        output_bytes = sum(record_size(key, value) for key, value in output)
+        outcome = sink.finish()
+        counters.increment(counter_names.REDUCE_OUTPUT_RECORDS, sink.num_records)
         metrics = TaskMetrics(
             task_type="reduce",
             task_index=task_index,
             input_records=input_records,
-            output_records=len(output),
-            output_bytes=output_bytes,
+            output_records=sink.num_records,
+            output_bytes=sink.serialized_bytes,
             sorted_records=input_records,
             elapsed_seconds=time.perf_counter() - started,
         )
-        return output, metrics
+        return outcome, metrics
 
     # -------------------------------------------------------------- shuffle
     def _new_shuffle(self, job: JobSpec) -> ExternalShuffle:
@@ -242,45 +418,49 @@ class LocalJobRunner:
         counters.increment(counter_names.SPILLED_BYTES, shuffle.stats.spilled_bytes)
 
     # ------------------------------------------------------------------ run
-    def run(self, job: JobSpec, input_records: Iterable[Record]) -> JobResult:
+    def run(self, job: JobSpec, input_records: Union[Dataset, Iterable[Record]]) -> JobResult:
         """Execute ``job`` over ``input_records`` and return its result."""
         started = time.perf_counter()
-        records = list(input_records)
+        dataset = as_dataset(input_records)
         counters = Counters()
         metrics = JobMetrics(job_name=job.name)
 
         num_map_tasks = job.num_map_tasks or self.default_map_tasks
-        splits = _split_input(records, num_map_tasks)
+        splits = dataset.split(num_map_tasks)
 
         shuffle = self._new_shuffle(job)
         try:
             for task_index, split in enumerate(splits):
                 shuffle_records, task_metrics = self._run_map_task(
-                    job, task_index, split, counters
+                    job, task_index, split, counters, shuffle=shuffle
                 )
-                shuffle.add_records(shuffle_records)
+                if shuffle_records is not None:
+                    shuffle.add_records(shuffle_records)
                 metrics.map_tasks.append(task_metrics)
             shuffle.finalize()
             self._record_spill_counters(shuffle, counters)
 
-            output: List[Record] = []
-            partition_output: List[List[Record]] = []
+            outcomes: List[ReduceOutcome] = []
             for task_index, partition in enumerate(shuffle.partition_inputs()):
-                reduce_output, task_metrics = self._run_reduce_task(
-                    job, task_index, partition, counters
+                outcome, task_metrics = self._run_reduce_task(
+                    job,
+                    task_index,
+                    partition,
+                    counters,
+                    output_sink=self._make_reduce_sink(job, task_index),
                 )
-                partition_output.append(reduce_output)
-                output.extend(reduce_output)
+                outcomes.append(outcome)
                 metrics.reduce_tasks.append(task_metrics)
         finally:
             shuffle.cleanup()
 
+        output_dataset, partition_datasets = self._bundle_outputs(outcomes)
         elapsed = time.perf_counter() - started
         metrics.elapsed_seconds = elapsed
         return JobResult(
             job_name=job.name,
-            output=output,
-            partition_output=partition_output,
+            output_dataset=output_dataset,
+            partition_datasets=partition_datasets,
             counters=counters,
             metrics=metrics,
             elapsed_seconds=elapsed,

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence, Tuple
 
-Sequence_ = Tuple
-
 
 def is_prefix(r: Sequence, s: Sequence) -> bool:
     """Whether ``r`` is a prefix of ``s`` (every sequence prefixes itself)."""
@@ -72,30 +70,32 @@ def longest_common_prefix(r: Sequence, s: Sequence) -> int:
 
 
 def enumerate_ngrams(
-    sequence: Sequence, max_length: Optional[int] = None
+    sequence: Tuple, max_length: Optional[int] = None
 ) -> Iterator[Tuple]:
     """Enumerate all n-grams of ``sequence`` up to ``max_length`` terms.
 
     This is exactly what the NAIVE mapper emits (Algorithm 1): for every
     begin offset ``b`` all end offsets ``e`` with ``e - b < max_length``.
+    ``sequence`` must be a tuple; each n-gram is then a plain slice.
     """
     n = len(sequence)
     for b in range(n):
         end_limit = n if max_length is None else min(b + max_length, n)
         for e in range(b + 1, end_limit + 1):
-            yield tuple(sequence[b:e])
+            yield sequence[b:e]
 
 
-def suffixes(sequence: Sequence, max_length: Optional[int] = None) -> Iterator[Tuple]:
+def suffixes(sequence: Tuple, max_length: Optional[int] = None) -> Iterator[Tuple]:
     """Enumerate the suffixes of ``sequence``, truncated to ``max_length``.
 
     This is what the SUFFIX-σ mapper emits (Algorithm 4): one suffix per
-    position, truncated to σ terms when σ is bounded.
+    position, truncated to σ terms when σ is bounded.  ``sequence`` must be
+    a tuple; each suffix is then a plain slice.
     """
     n = len(sequence)
     for b in range(n):
         end = n if max_length is None else min(b + max_length, n)
-        yield tuple(sequence[b:end])
+        yield sequence[b:end]
 
 
 def concatenate(r: Sequence, s: Sequence) -> Tuple:

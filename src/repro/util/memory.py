@@ -1,0 +1,82 @@
+"""Peak-memory measurement via :mod:`tracemalloc`.
+
+The dataset layer exists to bound memory, so the harness needs a way to
+*observe* memory: :class:`PeakMemoryTracker` wraps a code region and
+reports the high-water mark of Python-level allocations inside it.  The
+number is tracemalloc's traced peak — allocations by the interpreter on
+behalf of Python objects — which is exactly the quantity the streaming
+refactor is supposed to push down; it is not RSS.
+
+Trackers nest: measuring a region requires ``tracemalloc.reset_peak()``,
+which is process-global, so before an inner tracker resets, every
+enclosing tracker banks the peak observed so far and an inner region's
+absolute peak is propagated outward on :meth:`stop` — each tracker
+therefore reports the true high-water mark of its own region.  (Code
+outside this class that reads tracemalloc's global peak around a tracked
+region will still see it reset; trackers only cooperate with each other.)
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import List, Optional
+
+
+class PeakMemoryTracker:
+    """Records the peak traced allocation between :meth:`start` and :meth:`stop`.
+
+    Usable as a context manager::
+
+        with PeakMemoryTracker() as tracker:
+            run_something_big()
+        print(tracker.peak_bytes)
+    """
+
+    #: Trackers currently measuring, outermost first (single-threaded use).
+    _active: List["PeakMemoryTracker"] = []
+
+    def __init__(self) -> None:
+        self.peak_bytes: Optional[int] = None
+        self._started_tracing = False
+        self._peak_floor = 0
+
+    def start(self) -> None:
+        if self in PeakMemoryTracker._active:
+            return
+        if tracemalloc.is_tracing():
+            # Bank the peak every enclosing tracker has accumulated so far:
+            # reset_peak() is process-global and would otherwise erase it.
+            _, peak = tracemalloc.get_traced_memory()
+            for outer in PeakMemoryTracker._active:
+                outer._peak_floor = max(outer._peak_floor, peak)
+            tracemalloc.reset_peak()
+        else:
+            tracemalloc.start()
+            self._started_tracing = True
+        self._peak_floor = 0
+        PeakMemoryTracker._active.append(self)
+
+    def stop(self) -> int:
+        """End the region and return (and record) its peak in bytes."""
+        if self not in PeakMemoryTracker._active:
+            raise RuntimeError("PeakMemoryTracker.stop() called before start()")
+        _, peak = tracemalloc.get_traced_memory()
+        peak = max(peak, self._peak_floor)
+        PeakMemoryTracker._active.remove(self)
+        if PeakMemoryTracker._active:
+            # An inner region's absolute peak is also a peak of the (still
+            # running) enclosing regions.
+            enclosing = PeakMemoryTracker._active[-1]
+            enclosing._peak_floor = max(enclosing._peak_floor, peak)
+        if self._started_tracing:
+            tracemalloc.stop()
+            self._started_tracing = False
+        self.peak_bytes = peak
+        return peak
+
+    def __enter__(self) -> "PeakMemoryTracker":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

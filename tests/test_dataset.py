@@ -1,0 +1,243 @@
+"""Tests for the streaming dataset layer (memory + sharded on-disk)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.mapreduce.dataset import (
+    CollectionDataset,
+    DatasetStorage,
+    FileDataset,
+    MemoryDataset,
+    Shard,
+    ShardSink,
+    as_dataset,
+    plan_split_sizes,
+)
+from repro.mapreduce.serialization import record_size
+
+
+def _records(n):
+    """Deterministic records mixing the engine's key/value shapes."""
+    records = []
+    for i in range(n):
+        if i % 3 == 0:
+            records.append(((i, i + 1), (1, 2, i)))  # n-gram-style tuple keys
+        elif i % 3 == 1:
+            records.append((f"term-{i}", i))  # string keys, int values
+        else:
+            records.append((i, [i, i * 2]))  # list values
+    return records
+
+
+class TestPlanSplitSizes:
+    def test_empty_input_single_split(self):
+        assert plan_split_sizes(0, 4) == [0]
+
+    def test_split_count_capped_by_records(self):
+        assert plan_split_sizes(3, 10) == [1, 1, 1]
+
+    def test_balanced_sizes(self):
+        assert plan_split_sizes(10, 3) == [4, 3, 3]
+
+    def test_rejects_zero_splits(self):
+        with pytest.raises(DatasetError):
+            plan_split_sizes(5, 0)
+
+    @pytest.mark.parametrize("total", [1, 2, 7, 23, 100])
+    @pytest.mark.parametrize("splits", [1, 2, 3, 8])
+    def test_sizes_sum_to_total(self, total, splits):
+        sizes = plan_split_sizes(total, splits)
+        assert sum(sizes) == total
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestMemoryDataset:
+    def test_round_trip_and_len(self):
+        records = _records(7)
+        dataset = MemoryDataset(records)
+        assert len(dataset) == 7
+        assert list(dataset) == records
+        assert dataset.to_list() is records  # no copy for list inputs
+
+    def test_split_is_contiguous_and_ordered(self):
+        records = _records(17)
+        splits = MemoryDataset(records).split(4)
+        assert [len(split) for split in splits] == plan_split_sizes(17, 4)
+        assert [record for split in splits for record in split] == records
+
+    def test_empty_dataset_has_one_empty_split(self):
+        assert MemoryDataset([]).split(5) == [[]]
+
+    def test_release_then_access_raises(self):
+        dataset = MemoryDataset(_records(3))
+        dataset.release()
+        assert dataset.released
+        with pytest.raises(DatasetError):
+            dataset.to_list()
+        with pytest.raises(DatasetError):
+            list(dataset)
+
+    def test_as_dataset_passthrough_and_wrap(self):
+        dataset = MemoryDataset(_records(2))
+        assert as_dataset(dataset) is dataset
+        wrapped = as_dataset(iter(_records(2)))
+        assert wrapped.to_list() == _records(2)
+
+    def test_as_dataset_rejects_released(self):
+        dataset = MemoryDataset(_records(2))
+        dataset.release()
+        with pytest.raises(DatasetError):
+            as_dataset(dataset)
+
+
+class TestFileDataset:
+    @pytest.mark.parametrize("n", [0, 1, 7, 23])
+    @pytest.mark.parametrize("records_per_shard", [1, 3, 100])
+    def test_write_round_trip(self, tmp_path, n, records_per_shard):
+        records = _records(n)
+        dataset = FileDataset.write(
+            records,
+            directory=str(tmp_path),
+            name="rt",
+            records_per_shard=records_per_shard,
+        )
+        assert dataset.num_records == n
+        assert dataset.to_list() == records
+        expected_shards = -(-n // records_per_shard)  # ceil
+        assert len(dataset.shards) == expected_shards
+
+    def test_shard_accounting_matches_record_size(self, tmp_path):
+        records = _records(5)
+        dataset = FileDataset.write(records, directory=str(tmp_path), name="acct")
+        total = sum(shard.serialized_bytes for shard in dataset.shards)
+        assert total == sum(record_size(key, value) for key, value in records)
+
+    @pytest.mark.parametrize("n", [0, 1, 7, 23])
+    @pytest.mark.parametrize("records_per_shard", [1, 3, 5, 100])
+    @pytest.mark.parametrize("num_splits", [1, 2, 4, 6])
+    def test_split_covers_records_in_order(self, tmp_path, n, records_per_shard, num_splits):
+        """Property: splits are contiguous, ordered and shard-size independent."""
+        records = _records(n)
+        dataset = FileDataset.write(
+            records,
+            directory=str(tmp_path),
+            name="split",
+            records_per_shard=records_per_shard,
+        )
+        splits = dataset.split(num_splits)
+        assert [len(split) for split in splits] == plan_split_sizes(n, num_splits)
+        recovered = [record for split in splits for record in split]
+        assert recovered == records
+        # Splits match the memory-mode boundaries exactly.
+        assert [list(split) for split in splits] == MemoryDataset(records).split(num_splits)
+
+    def test_splits_are_cheap_to_pickle(self, tmp_path):
+        records = _records(1000)
+        dataset = FileDataset.write(records, directory=str(tmp_path), name="pkl")
+        split = dataset.split(2)[0]
+        payload = pickle.dumps(split)
+        # A split carries shard paths and offsets, not the records.
+        assert len(payload) < 2000
+        assert list(pickle.loads(payload)) == records[:500]
+
+    def test_release_deletes_shards(self, tmp_path):
+        dataset = FileDataset.write(_records(5), directory=str(tmp_path), name="rel")
+        paths = [shard.path for shard in dataset.shards]
+        assert all(os.path.exists(path) for path in paths)
+        dataset.release()
+        assert dataset.released
+        assert not any(os.path.exists(path) for path in paths)
+        with pytest.raises(DatasetError):
+            dataset.num_records
+
+    def test_shared_shards_release_is_idempotent(self, tmp_path):
+        dataset = FileDataset.write(_records(5), directory=str(tmp_path), name="dup")
+        view = FileDataset(dataset.shards)
+        dataset.release()
+        view.release()  # same files already gone; must not raise
+        assert view.released
+
+
+class TestShardSink:
+    def test_sink_writes_one_shard(self, tmp_path):
+        path = str(tmp_path / "part-0.shard")
+        sink = ShardSink(path)
+        sink.begin()
+        records = _records(4)
+        for key, value in records:
+            sink.append(key, value)
+        shards = sink.finish()
+        assert len(shards) == 1 and isinstance(shards[0], Shard)
+        assert sink.num_records == shards[0].num_records == 4
+        assert list(shards[0].iter_records()) == records
+
+    def test_sink_rolls_over_at_shard_bound(self, tmp_path):
+        path = str(tmp_path / "part-2.shard")
+        sink = ShardSink(path, records_per_shard=3)
+        sink.begin()
+        records = _records(8)
+        for key, value in records:
+            sink.append(key, value)
+        shards = sink.finish()
+        assert [shard.num_records for shard in shards] == [3, 3, 2]
+        assert sink.num_records == 8
+        dataset = FileDataset(shards)
+        assert dataset.to_list() == records
+
+    def test_sink_pickles_before_begin(self, tmp_path):
+        sink = ShardSink(str(tmp_path / "part-1.shard"))
+        clone = pickle.loads(pickle.dumps(sink))
+        clone.begin()
+        clone.append("k", 1)
+        (shard,) = clone.finish()
+        assert shard.num_records == 1
+
+    def test_abort_removes_partial_shards(self, tmp_path):
+        sink = ShardSink(str(tmp_path / "part-3.shard"), records_per_shard=2)
+        sink.begin()
+        for key, value in _records(5):
+            sink.append(key, value)
+        sink.abort()
+        assert not any(name.startswith("part-3") for name in os.listdir(tmp_path))
+
+
+class TestDatasetStorage:
+    def test_allocates_unique_paths(self, tmp_path):
+        storage = DatasetStorage(str(tmp_path))
+        first = storage.allocate("job/part-0")
+        second = storage.allocate("job/part-0")
+        assert first != second
+        assert os.path.isdir(storage.directory)
+        assert os.sep not in os.path.basename(first)
+
+    def test_cleanup_removes_directory(self, tmp_path):
+        storage = DatasetStorage(str(tmp_path))
+        directory = storage.directory
+        open(os.path.join(directory, "leftover"), "w").close()
+        storage.cleanup()
+        assert not os.path.exists(directory)
+
+
+class TestCollectionDataset:
+    def test_collection_exposes_splittable_dataset(self, small_newswire):
+        encoded = small_newswire.encode()
+        dataset = encoded.dataset()
+        assert isinstance(dataset, CollectionDataset)
+        records = list(encoded.records())
+        assert dataset.num_records == encoded.num_sentences == len(records)
+        assert list(dataset) == records
+        splits = dataset.split(4)
+        assert [record for split in splits for record in split] == records
+        assert [len(split) for split in splits] == plan_split_sizes(len(records), 4)
+
+    def test_raw_collection_dataset(self, running_example):
+        dataset = running_example.dataset()
+        assert dataset.num_records == running_example.num_sentences
+        assert list(dataset) == list(running_example.records())
+
+    def test_collection_dataset_cannot_be_released(self, running_example):
+        with pytest.raises(DatasetError):
+            running_example.dataset().release()

@@ -13,8 +13,9 @@ from repro.mapreduce.counters import (
     REDUCE_INPUT_GROUPS,
     REDUCE_OUTPUT_RECORDS,
 )
+from repro.mapreduce.dataset import MemoryDataset
 from repro.mapreduce.job import Combiner, JobSpec, Mapper, Partitioner, Reducer, TaskContext
-from repro.mapreduce.runner import LocalJobRunner, _split_input
+from repro.mapreduce.runner import LocalJobRunner
 from repro.exceptions import MapReduceError
 
 
@@ -63,21 +64,21 @@ EXPECTED_COUNTS = {
 
 class TestSplitInput:
     def test_empty_input_single_split(self):
-        assert _split_input([], 4) == [[]]
+        assert MemoryDataset([]).split(4) == [[]]
 
     def test_split_count_capped_by_records(self):
         records = [(i, i) for i in range(3)]
-        splits = _split_input(records, 10)
+        splits = MemoryDataset(records).split(10)
         assert len(splits) == 3
 
     def test_all_records_preserved(self):
         records = [(i, i) for i in range(17)]
-        splits = _split_input(records, 4)
+        splits = MemoryDataset(records).split(4)
         assert len(splits) == 4
         assert [record for split in splits for record in split] == records
 
     def test_balanced_sizes(self):
-        splits = _split_input([(i, i) for i in range(10)], 3)
+        splits = MemoryDataset([(i, i) for i in range(10)]).split(3)
         sizes = sorted(len(split) for split in splits)
         assert sizes == [3, 3, 4]
 

@@ -15,11 +15,13 @@ from repro.mapreduce.counters import SHUFFLE_SPILLS, SPILLED_RECORDS
 
 ALGORITHMS = ("NAIVE", "APRIORI-SCAN", "SUFFIX-SIGMA")
 
-#: Execution configs under test; ``None`` is the sequential reference.
+#: Execution configs under test; ``local`` is the sequential reference.
+#: All runs retain every job's output (the default policy releases
+#: intermediates) so multi-job pipelines can be compared job by job.
 BACKENDS = {
-    "local": None,
-    "threads": ExecutionConfig(runner="threads", max_workers=3),
-    "processes": ExecutionConfig(runner="processes", max_workers=2),
+    "local": ExecutionConfig(runner="local", retention="all"),
+    "threads": ExecutionConfig(runner="threads", max_workers=3, retention="all"),
+    "processes": ExecutionConfig(runner="processes", max_workers=2, retention="all"),
 }
 
 
@@ -56,7 +58,7 @@ def test_process_backend_with_spilling_matches_reference(algorithm, small_newswi
     """A spill budget far below the shuffle volume changes nothing but counters."""
     reference = _run(algorithm, BACKENDS["local"], small_newswire)
     execution = ExecutionConfig(
-        runner="processes", max_workers=2, spill_threshold_bytes=512
+        runner="processes", max_workers=2, spill_threshold_bytes=512, retention="all"
     )
     result = _run(algorithm, execution, small_newswire)
     assert result.statistics.as_dict() == reference.statistics.as_dict()
