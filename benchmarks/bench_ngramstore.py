@@ -1,0 +1,121 @@
+"""NGramStore build cost, query latency and size-vs-codec comparison.
+
+Counts n-grams on the NYT-like dataset once, then for every available
+codec builds the store (total-order-sort job + table writing), measures
+point-lookup and prefix-scan latency against the finished store, and
+records the on-disk footprint.  The comparison is exported as a JSON
+report (``NGRAMSTORE_REPORT`` environment variable, default
+``ngramstore_report.json``) — the CI benchmark smoke job uploads that
+file as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from benchmarks.conftest import run_once
+from repro.algorithms import count_ngrams
+from repro.config import StoreConfig
+from repro.harness.report import format_table
+from repro.ngramstore import NGramStore, build_store
+from repro.util.codecs import available_codecs
+
+#: Point lookups timed per codec (hot after the first pass over the keys).
+NUM_POINT_QUERIES = 2000
+
+#: Prefix scans timed per codec.
+NUM_PREFIX_QUERIES = 200
+
+RECORDS_PER_BLOCK = 256
+
+
+def _store_size_bytes(store_dir):
+    return sum(
+        os.path.getsize(os.path.join(store_dir, name))
+        for name in os.listdir(store_dir)
+        if name.endswith(".ngt")
+    )
+
+
+def _bench_codec(codec, statistics, vocabulary, root):
+    store_dir = os.path.join(root, f"store-{codec}")
+    build_started = time.perf_counter()
+    build_store(
+        statistics.items(),
+        store_dir,
+        store=StoreConfig(num_partitions=4, codec=codec, records_per_block=RECORDS_PER_BLOCK),
+        vocabulary=vocabulary,
+    )
+    build_seconds = time.perf_counter() - build_started
+
+    rng = random.Random(17)
+    keys = sorted(statistics.as_dict())
+    probes = [rng.choice(keys) for _ in range(NUM_POINT_QUERIES)]
+    prefixes = [rng.choice(keys)[:1] for _ in range(NUM_PREFIX_QUERIES)]
+
+    with NGramStore.open(store_dir) as store:
+        point_started = time.perf_counter()
+        for key in probes:
+            store.get(key)
+        point_seconds = time.perf_counter() - point_started
+
+        prefix_started = time.perf_counter()
+        matched = 0
+        for prefix in prefixes:
+            for _ in store.prefix(prefix):
+                matched += 1
+        prefix_seconds = time.perf_counter() - prefix_started
+
+        top = store.top_k(10)
+        stats = store.cache_stats()
+
+    return {
+        "codec": codec,
+        "num_ngrams": len(keys),
+        "build_s": round(build_seconds, 4),
+        "store_bytes": _store_size_bytes(store_dir),
+        "point_us": round(point_seconds / NUM_POINT_QUERIES * 1e6, 2),
+        "prefix_us": round(prefix_seconds / NUM_PREFIX_QUERIES * 1e6, 2),
+        "prefix_matches": matched,
+        "top1": " ".join(str(term) for term in top[0][0]) if top else "",
+        "cache_hit_rate": round(stats.hit_rate, 4),
+    }
+
+
+def _compare_codecs(spec, tau=3, sigma=4):
+    collection = spec.build()
+    result = count_ngrams(collection, min_frequency=tau, max_length=sigma)
+    root = os.path.join(
+        os.environ.get("NGRAMSTORE_WORKDIR", "reports"), "ngramstore-bench"
+    )
+    os.makedirs(root, exist_ok=True)
+    return [
+        _bench_codec(codec, result.statistics, collection.vocabulary, root)
+        for codec in available_codecs()
+    ]
+
+
+def test_ngramstore_build_and_query(benchmark, nyt_spec):
+    rows = run_once(benchmark, _compare_codecs, nyt_spec)
+
+    print(f"\n=== NGramStore build/query ({nyt_spec.name}) ===")
+    print(format_table(rows))
+
+    report_path = os.environ.get("NGRAMSTORE_REPORT", "ngramstore_report.json")
+    with open(report_path, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True)
+    print(f"\nwrote n-gram store comparison to {report_path}")
+
+    baseline = next(row for row in rows if row["codec"] == "none")
+    for row in rows:
+        # Every codec serves exactly the same statistics.
+        assert row["num_ngrams"] == baseline["num_ngrams"]
+        assert row["prefix_matches"] == baseline["prefix_matches"]
+        assert row["top1"] == baseline["top1"]
+    compressed = [row for row in rows if row["codec"] != "none"]
+    # The compression satellite's acceptance bar: compressed tables are
+    # strictly smaller than the uncompressed layout.
+    assert all(row["store_bytes"] < baseline["store_bytes"] for row in compressed)

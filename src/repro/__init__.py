@@ -21,6 +21,11 @@ The package is organised in layers:
     contributed SUFFIX-SIGMA method, plus its extensions (maximality,
     closedness, document frequency, time series, inverted indexes).
 
+``repro.ngramstore``
+    The serving half: sorted, block-compressed on-disk n-gram tables built
+    by a total-order-sort MapReduce job, and a query engine (point, prefix,
+    top-k) routing over their range partitions.
+
 ``repro.harness``
     The experiment harness reproducing every table and figure of the paper's
     evaluation section.
@@ -40,6 +45,7 @@ from repro.algorithms import (
     count_ngrams,
 )
 from repro.ngrams.statistics import NGramStatistics
+from repro.ngramstore import NGramStore, build_store
 
 __version__ = "1.0.0"
 
@@ -51,10 +57,12 @@ __all__ = [
     "ExecutionConfig",
     "NGramJobConfig",
     "NGramStatistics",
+    "NGramStore",
     "NaiveCounter",
     "NewswireCorpusGenerator",
     "SuffixSigmaCounter",
     "WebCorpusGenerator",
+    "build_store",
     "count_ngrams",
     "__version__",
 ]

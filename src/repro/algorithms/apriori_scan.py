@@ -17,7 +17,7 @@ paper's experiments expose for small τ / large σ.
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, List, Optional, Tuple
+from typing import Any, Iterable, Optional, Tuple
 
 from repro.algorithms.base import NGramCounter, SupportsRecords
 from repro.algorithms.common import CountSumCombiner, FrequencyReducer
@@ -100,8 +100,15 @@ class AprioriScanCounter(NGramCounter):
             num_map_tasks=self.num_map_tasks,
         )
 
-    def _build_dictionary(self, frequent_ngrams: List[Tuple]) -> Any:
-        """Package the frequent (k-1)-grams for lookup by the next scan."""
+    def _build_dictionary(self, frequent_ngrams: Iterable[Tuple]) -> Any:
+        """Package the frequent (k-1)-grams for lookup by the next scan.
+
+        ``frequent_ngrams`` is consumed as a stream: with a memory budget
+        the n-grams go straight into the :class:`SpillingKVStore` (which
+        migrates itself to disk past the budget), and the frozenset path
+        builds from the iterator — neither materialises an intermediate
+        list of the dictionary.
+        """
         if self.dictionary_memory_budget is None:
             return frozenset(frequent_ngrams)
         store = SpillingKVStore(memory_budget=self.dictionary_memory_budget)
@@ -126,15 +133,17 @@ class AprioriScanCounter(NGramCounter):
             result = pipeline.run_job(job, records)
             if result.is_empty():
                 break
-            # Single streaming pass: record statistics and collect the
-            # frequent k-grams for the next scan's dictionary.
-            frequent: List[Tuple] = []
+            # First streaming pass: record the scan's statistics.
             for ngram, frequency in result.iter_output():
                 statistics.set(ngram, frequency)
-                frequent.append(ngram)
             if max_length is not None and k >= max_length:
                 break
-            dictionary = self._build_dictionary(frequent)
+            # Second streaming pass (datasets re-iterate; in disk mode this
+            # re-reads the output shards): the frequent k-grams flow straight
+            # into the next scan's dictionary without an intermediate list.
+            dictionary = self._build_dictionary(
+                ngram for ngram, _ in result.iter_output()
+            )
             pipeline.cache.publish(DICTIONARY_CACHE_KEY, dictionary)
             k += 1
         return statistics

@@ -65,6 +65,11 @@ class NGramLanguageModel:
         Stupid-backoff multiplier applied per back-off step.
     smoothing:
         Additive smoothing constant for maximum-likelihood estimates.
+    vocabulary_size:
+        Number of distinct unigrams in the statistics; supplying it (along
+        with ``total_tokens``) skips the construction-time scan over the
+        statistics — for store-backed statistics that scan decodes the
+        whole store.
     """
 
     def __init__(
@@ -74,6 +79,7 @@ class NGramLanguageModel:
         total_tokens: Optional[int] = None,
         backoff: float = DEFAULT_BACKOFF,
         smoothing: float = 0.0,
+        vocabulary_size: Optional[int] = None,
     ) -> None:
         if order < 1:
             raise ConfigurationError("language model order must be >= 1")
@@ -85,12 +91,60 @@ class NGramLanguageModel:
         self.order = order
         self.backoff = backoff
         self.smoothing = smoothing
-        if total_tokens is None:
-            total_tokens = sum(
-                count for ngram, count in statistics.items() if len(ngram) == 1
-            )
+        # One streaming pass computes both unigram aggregates — skipped
+        # entirely when the caller supplies them (a store-backed model reads
+        # them from the store manifest; for store statistics every items()
+        # call re-reads the table).
+        if total_tokens is None or vocabulary_size is None:
+            scanned_vocabulary = 0
+            scanned_total = 0
+            for ngram, count in statistics.items():
+                if len(ngram) == 1:
+                    scanned_vocabulary += 1
+                    scanned_total += count
+            if total_tokens is None:
+                total_tokens = scanned_total
+            if vocabulary_size is None:
+                vocabulary_size = scanned_vocabulary
         self.total_tokens = max(1, total_tokens)
-        self._vocabulary_size = sum(1 for ngram in statistics if len(ngram) == 1)
+        self._vocabulary_size = vocabulary_size
+
+    # -------------------------------------------------------- construction
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        order: int = 5,
+        total_tokens: Optional[int] = None,
+        **model_kwargs,
+    ) -> "NGramLanguageModel":
+        """Build a model served straight from an on-disk n-gram store.
+
+        ``store`` is an opened :class:`~repro.ngramstore.NGramStore` (or a
+        store directory path); lookups stream through the store's block
+        cache instead of a fully-resident statistics dict, so the model's
+        memory footprint is the cache, not the table.  Stores persisted by
+        a counting run carry the unigram aggregates in their manifest, so
+        construction is O(1); stores without them are scanned once.
+        Scores are identical to a dict-backed model over the same
+        statistics given the same ``total_tokens``.
+        """
+        import os
+
+        from repro.ngramstore.reader import NGramStore, StoreStatistics
+
+        if isinstance(store, (str, os.PathLike)):
+            store = NGramStore.open(os.fspath(store))
+        metadata = store.metadata
+        if total_tokens is None:
+            total_tokens = metadata.get("unigram_total")
+        model_kwargs.setdefault("vocabulary_size", metadata.get("vocabulary_size"))
+        return cls(
+            StoreStatistics(store),
+            order=order,
+            total_tokens=total_tokens,
+            **model_kwargs,
+        )
 
     # ------------------------------------------------------------- scoring
     def unigram_probability(self, term) -> float:
@@ -159,10 +213,14 @@ class NGramLanguageModel:
         context; the unigram distribution is the fallback.
         """
         context = tuple(context)[-(self.order - 1) :] if self.order > 1 else ()
+        # Store-backed statistics answer "observed extensions of context"
+        # with one bounded prefix scan instead of a pass over every n-gram.
+        store = getattr(self.statistics, "store", None)
         while context:
+            source = store.prefix(context) if store is not None else self.statistics.items()
             extensions = [
                 (ngram[-1], count)
-                for ngram, count in self.statistics.items()
+                for ngram, count in source
                 if len(ngram) == len(context) + 1 and ngram[:-1] == context
             ]
             if extensions:

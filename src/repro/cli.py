@@ -17,6 +17,10 @@ Installed as ``repro-ngrams`` (or ``python -m repro``).  Sub-commands:
     Run one of the paper's experiments (table1, fig2 ... fig7, extensions,
     ablations) on the built-in synthetic datasets and print paper-style
     tables.
+
+``query``
+    Point/prefix/top-k lookups against an n-gram store directory written by
+    ``count --store-dir`` (see :mod:`repro.ngramstore`).
 """
 
 from __future__ import annotations
@@ -27,8 +31,17 @@ from typing import List, Optional, Sequence
 
 from repro.algorithms import make_counter
 from repro.algorithms.extensions import ClosedNGramCounter, MaximalNGramCounter
-from repro.config import MATERIALIZE_MODES, RUNNER_NAMES, ExecutionConfig, NGramJobConfig
+from repro.config import (
+    MATERIALIZE_MODES,
+    RUNNER_NAMES,
+    SHARD_CODECS,
+    ExecutionConfig,
+    NGramJobConfig,
+    StoreConfig,
+    parse_spill_threshold,
+)
 from repro.corpus.io import read_encoded_collection, write_encoded_collection
+from repro.exceptions import ReproError
 from repro.corpus.stats import compute_statistics
 from repro.harness import figures
 from repro.harness.datasets import clueweb_like, nytimes_like
@@ -56,11 +69,19 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--spill-threshold",
-        type=int,
+        type=str,
         default=None,
-        metavar="BYTES",
-        help="shuffle spill budget in bytes; past it, sorted runs spill to disk "
+        metavar="BUDGET",
+        help="shuffle spill budget: bytes (65536, 64kb, 8mb) or a record "
+        "count (100k, 2m, 5000r); past it, sorted runs spill to disk "
         "(default: keep the whole shuffle in memory)",
+    )
+    parser.add_argument(
+        "--shard-codec",
+        choices=SHARD_CODECS,
+        default="none",
+        help="stream compression for on-disk shard files and spill runs "
+        "(zstd needs the optional zstandard package)",
     )
     parser.add_argument(
         "--materialize",
@@ -86,13 +107,22 @@ def _execution_from_args(args: argparse.Namespace) -> Optional[ExecutionConfig]:
         args.runner == "local"
         and args.workers is None
         and args.spill_threshold is None
+        and args.shard_codec == "none"
         and args.materialize == "memory"
     ):
         return None
+    spill_bytes, spill_records = None, None
+    if args.spill_threshold is not None:
+        try:
+            spill_bytes, spill_records = parse_spill_threshold(args.spill_threshold)
+        except ReproError as error:
+            raise SystemExit(f"error: {error}")
     return ExecutionConfig(
         runner=args.runner,
         max_workers=args.workers,
-        spill_threshold_bytes=args.spill_threshold,
+        spill_threshold_bytes=spill_bytes,
+        spill_threshold_records=spill_records,
+        shard_codec=args.shard_codec,
         materialize=args.materialize,
     )
 
@@ -128,6 +158,25 @@ def _build_parser() -> argparse.ArgumentParser:
     count.add_argument("--document-frequency", action="store_true")
     count.add_argument("--top", type=int, default=20, help="print only the top-k n-grams")
     count.add_argument("--output", default=None, help="write all n-grams to this TSV file")
+    count.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the run's statistics as a queryable n-gram store "
+        "(sorted block-compressed tables; query with the 'query' command)",
+    )
+    count.add_argument(
+        "--store-partitions",
+        type=int,
+        default=4,
+        help="range partitions (= table files) of the persisted store",
+    )
+    count.add_argument(
+        "--store-codec",
+        choices=SHARD_CODECS,
+        default="none",
+        help="per-block compression codec of the persisted store tables",
+    )
     _add_execution_arguments(count)
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
@@ -162,6 +211,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated dataset fractions for fig6 (e.g. 0.25,0.5)",
     )
     _add_execution_arguments(experiment)
+
+    query = subparsers.add_parser(
+        "query", help="query an n-gram store written by 'count --store-dir'"
+    )
+    query.add_argument("store", help="store directory")
+    query_mode = query.add_mutually_exclusive_group(required=True)
+    query_mode.add_argument(
+        "--get", metavar="NGRAM", help="point lookup of one n-gram (space-separated terms)"
+    )
+    query_mode.add_argument(
+        "--prefix",
+        metavar="TOKENS",
+        help="every stored n-gram starting with these terms, in key order",
+    )
+    query_mode.add_argument(
+        "--top-k", type=int, metavar="K", help="the K top n-grams store-wide"
+    )
+    query_mode.add_argument(
+        "--stats", action="store_true", help="print store metadata and exit"
+    )
+    query.add_argument(
+        "--order",
+        choices=("frequency", "key"),
+        default="frequency",
+        help="ranking for --top-k (default: frequency)",
+    )
+    query.add_argument(
+        "--limit", type=int, default=None, help="cap on printed --prefix results"
+    )
+    query.add_argument(
+        "--ids",
+        action="store_true",
+        help="treat query terms as integer term identifiers and print identifiers "
+        "(default: use the store's vocabulary when present)",
+    )
+    query.add_argument(
+        "--cache-blocks",
+        type=int,
+        default=None,
+        help="LRU block-cache capacity per table (default: 32)",
+    )
 
     coderivatives = subparsers.add_parser(
         "coderivatives", help="find co-derivative document pairs via long shared n-grams"
@@ -219,7 +309,17 @@ def _cmd_count(args: argparse.Namespace) -> int:
         counter = ClosedNGramCounter(config, execution=execution)
     else:
         counter = make_counter(args.algorithm, config, execution=execution)
-    result = counter.run(collection, track_memory=args.track_memory)
+    store = (
+        StoreConfig(num_partitions=args.store_partitions, codec=args.store_codec)
+        if args.store_dir is not None
+        else None
+    )
+    result = counter.run(
+        collection,
+        track_memory=args.track_memory,
+        store_dir=args.store_dir,
+        store=store,
+    )
     decoded = result.statistics.decoded(collection.vocabulary)
 
     peak = (
@@ -239,6 +339,96 @@ def _cmd_count(args: argparse.Namespace) -> int:
             for ngram, frequency in sorted(decoded.items(), key=lambda item: -item[1]):
                 handle.write(f"{frequency}\t{' '.join(ngram)}\n")
         print(f"wrote {len(decoded)} n-grams to {args.output}")
+    if args.store_dir:
+        from repro.ngramstore import load_manifest
+
+        # Boundary sampling may dedup quantiles on skewed/small runs, so
+        # report the partition count the build actually produced.
+        manifest = load_manifest(args.store_dir)
+        print(
+            f"wrote n-gram store to {args.store_dir} "
+            f"({manifest['num_partitions']} partitions, codec={args.store_codec})"
+        )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.ngramstore import NGramStore
+    from repro.ngramstore.table import DEFAULT_CACHE_BLOCKS
+
+    cache_blocks = args.cache_blocks if args.cache_blocks is not None else DEFAULT_CACHE_BLOCKS
+    try:
+        store = NGramStore.open(args.store, cache_blocks=cache_blocks)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with store:
+        vocabulary = None if args.ids else store.vocabulary
+
+        def encode(tokens: List[str]) -> Optional[tuple]:
+            """Query key for ``tokens``; None when a term cannot exist.
+
+            A term absent from the store's vocabulary means no stored
+            n-gram can match — that is a not-found outcome, not an error.
+            """
+            if vocabulary is not None:
+                if any(token not in vocabulary for token in tokens):
+                    return None
+                return tuple(vocabulary.term_id(token) for token in tokens)
+            try:
+                return tuple(int(token) for token in tokens)
+            except ValueError:
+                # No vocabulary in the store: keys are whatever the counting
+                # run used (surface strings for raw collections).
+                return tuple(tokens)
+
+        def render(ngram: tuple) -> str:
+            if vocabulary is not None:
+                return " ".join(vocabulary.term(term_id) for term_id in ngram)
+            return " ".join(str(term) for term in ngram)
+
+        def render_value(value: object) -> str:
+            # Stores hold counts in the common case, but build_store accepts
+            # arbitrary values (e.g. time-series dicts) — print those as-is.
+            if isinstance(value, int):
+                return f"{value:10d}"
+            return str(value)
+
+        if args.stats:
+            manifest = store.manifest
+            print(f"store          {args.store}")
+            print(f"n-grams        {store.num_records}")
+            print(f"partitions     {store.num_partitions}")
+            print(f"codec          {store.codec_name}")
+            print(f"vocabulary     {'yes' if manifest.get('has_vocabulary') else 'no'}")
+            for key, value in sorted(manifest.get("metadata", {}).items()):
+                print(f"{key:14s} {value}")
+            return 0
+        try:
+            if args.get is not None:
+                ngram = encode(args.get.split())
+                frequency = store.get(ngram) if ngram is not None else None
+                if frequency is None:
+                    print(f"not found: {args.get}")
+                    return 1
+                print(f"{render_value(frequency)}  {render(ngram)}")
+            elif args.prefix is not None:
+                prefix_key = encode(args.prefix.split())
+                matches = 0
+                for ngram, frequency in (
+                    store.prefix(prefix_key) if prefix_key is not None else ()
+                ):
+                    print(f"{render_value(frequency)}  {render(ngram)}")
+                    matches += 1
+                    if args.limit is not None and matches >= args.limit:
+                        break
+                print(f"{matches} n-grams with prefix {args.prefix!r}")
+            else:
+                for ngram, frequency in store.top_k(args.top_k, order=args.order):
+                    print(f"{render_value(frequency)}  {render(ngram)}")
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     return 0
 
 
@@ -406,6 +596,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stats": _cmd_stats,
         "count": _cmd_count,
         "experiment": _cmd_experiment,
+        "query": _cmd_query,
         "coderivatives": _cmd_coderivatives,
         "trends": _cmd_trends,
     }

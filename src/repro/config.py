@@ -16,10 +16,12 @@ partition function of Algorithm 4).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.util.codecs import CODEC_NAMES
 
 #: Sentinel used to express "no maximum length" (σ = ∞) in user-facing APIs.
 UNBOUNDED: Optional[int] = None
@@ -119,6 +121,58 @@ MATERIALIZE_MODES = ("memory", "disk")
 #: are always kept), ``all`` retains every job's output.
 RETENTION_POLICIES = ("final", "all")
 
+#: Codec names accepted for shard files, spill runs and store blocks (see
+#: ``repro.util.codecs``; ``zstd`` additionally needs the optional package).
+SHARD_CODECS = CODEC_NAMES
+
+
+_SPILL_THRESHOLD_PATTERN = re.compile(
+    r"^\s*(?P<number>\d+)\s*(?P<unit>b|kb|mb|gb|k|m|r|rec|records?)?\s*$",
+    re.IGNORECASE,
+)
+
+#: Unit suffix -> (is_record_count, multiplier) for ``parse_spill_threshold``.
+_SPILL_THRESHOLD_UNITS = {
+    None: (False, 1),
+    "b": (False, 1),
+    "kb": (False, 1024),
+    "mb": (False, 1024 * 1024),
+    "gb": (False, 1024 * 1024 * 1024),
+    "k": (True, 1_000),
+    "m": (True, 1_000_000),
+    "r": (True, 1),
+    "rec": (True, 1),
+    "record": (True, 1),
+    "records": (True, 1),
+}
+
+
+def parse_spill_threshold(text: str) -> Tuple[Optional[int], Optional[int]]:
+    """Parse a ``--spill-threshold`` value into ``(bytes, records)``.
+
+    Byte-metering the compact serialised encoding underestimates Python
+    object overhead ~50x, so a record-count budget is often the more
+    intuitive knob.  Bare numbers and ``b``/``kb``/``mb``/``gb`` suffixes
+    are byte budgets (bare numbers for backward compatibility); ``k``/``m``
+    shorthands and ``r``/``rec``/``records`` suffixes are record counts
+    (``100k`` = 100,000 records).  Exactly one element of the returned pair
+    is set.
+    """
+    match = _SPILL_THRESHOLD_PATTERN.match(text)
+    if not match:
+        raise ConfigurationError(
+            f"invalid spill threshold {text!r}; use bytes (e.g. 65536, 64kb) "
+            "or a record count (e.g. 100k, 5000r)"
+        )
+    unit = match.group("unit")
+    is_records, multiplier = _SPILL_THRESHOLD_UNITS[unit.lower() if unit else None]
+    value = int(match.group("number")) * multiplier
+    if value < 1:
+        raise ConfigurationError(f"spill threshold must be >= 1, got {text!r}")
+    if is_records:
+        return None, value
+    return value, None
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
@@ -137,8 +191,16 @@ class ExecutionConfig:
         In-memory byte budget of the shuffle; past it, sorted runs of map
         output spill to disk and reducers stream from a k-way merge.
         ``None`` keeps the whole shuffle in memory.
+    spill_threshold_records:
+        Record-count alternative to the byte budget (bytes in the compact
+        encoding underestimate Python object overhead ~50x); the shuffle
+        spills when *either* configured budget is exceeded.
     spill_dir:
         Directory for spilled runs (a private temp directory by default).
+    shard_codec:
+        Compression codec for on-disk shard files and spill runs:
+        ``"none"`` (default), ``"gzip"``, or ``"zstd"`` (requires the
+        optional ``zstandard`` package).
     materialize:
         Where job I/O is materialised: ``"memory"`` (record lists, the
         default) or ``"disk"`` (sharded varint-framed datasets; inputs are
@@ -155,7 +217,9 @@ class ExecutionConfig:
     runner: str = "local"
     max_workers: Optional[int] = None
     spill_threshold_bytes: Optional[int] = None
+    spill_threshold_records: Optional[int] = None
     spill_dir: Optional[str] = None
+    shard_codec: str = "none"
     materialize: str = "memory"
     dataset_dir: Optional[str] = None
     retention: str = "final"
@@ -173,6 +237,15 @@ class ExecutionConfig:
             raise ConfigurationError(
                 f"spill_threshold_bytes must be >= 1 or None, got {self.spill_threshold_bytes}"
             )
+        if self.spill_threshold_records is not None and self.spill_threshold_records < 1:
+            raise ConfigurationError(
+                f"spill_threshold_records must be >= 1 or None, got {self.spill_threshold_records}"
+            )
+        if self.shard_codec not in SHARD_CODECS:
+            raise ConfigurationError(
+                f"shard_codec must be one of {', '.join(SHARD_CODECS)}, "
+                f"got {self.shard_codec!r}"
+            )
         if self.materialize not in MATERIALIZE_MODES:
             raise ConfigurationError(
                 f"materialize must be one of {', '.join(MATERIALIZE_MODES)}, "
@@ -186,6 +259,47 @@ class ExecutionConfig:
 
 
 DEFAULT_EXECUTION = ExecutionConfig()
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """How a counting run's statistics are persisted as an n-gram store.
+
+    Attributes
+    ----------
+    num_partitions:
+        Number of range partitions (= tables) the total-order-sort build
+        job produces; queries route by the sampled partition boundaries.
+    codec:
+        Per-block compression codec of the tables (``none``/``gzip``/
+        ``zstd``; ``zstd`` requires the optional ``zstandard`` package).
+    records_per_block:
+        Records per data block — the unit of compression and of random-read
+        I/O in the store tables.
+    sample_size:
+        Keys sampled from the input when planning partition boundaries.
+    """
+
+    num_partitions: int = 4
+    codec: str = "none"
+    records_per_block: int = 1024
+    sample_size: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 1:
+            raise ConfigurationError(
+                f"num_partitions must be >= 1, got {self.num_partitions}"
+            )
+        if self.codec not in SHARD_CODECS:
+            raise ConfigurationError(
+                f"store codec must be one of {', '.join(SHARD_CODECS)}, got {self.codec!r}"
+            )
+        if self.records_per_block < 1:
+            raise ConfigurationError(
+                f"records_per_block must be >= 1, got {self.records_per_block}"
+            )
+        if self.sample_size < 1:
+            raise ConfigurationError(f"sample_size must be >= 1, got {self.sample_size}")
 
 
 @dataclass(frozen=True)

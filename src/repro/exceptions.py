@@ -38,5 +38,9 @@ class KVStoreError(ReproError):
     """Raised by the key-value store layer on invalid operations."""
 
 
+class StoreError(ReproError):
+    """Raised by the n-gram store: unsorted writes, corrupt tables, bad queries."""
+
+
 class ExperimentError(ReproError):
     """Raised by the experiment harness when a run cannot be completed."""

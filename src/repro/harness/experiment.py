@@ -8,11 +8,12 @@ methods × parameter values the way the paper's figures do.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.algorithms import ALGORITHMS, make_counter
 from repro.algorithms.base import CountingResult
-from repro.config import ClusterConfig, ExecutionConfig, NGramJobConfig
+from repro.config import ClusterConfig, ExecutionConfig, NGramJobConfig, StoreConfig
 from repro.exceptions import ExperimentError
 from repro.harness.measurement import RunMeasurement
 
@@ -38,12 +39,17 @@ class ExperimentRunner:
         apriori_index_k: int = 4,
         execution: Optional[ExecutionConfig] = None,
         track_memory: bool = False,
+        store_dir: Optional[str] = None,
+        store: Optional[StoreConfig] = None,
     ) -> None:
         """``execution`` selects the MapReduce backend (runner, worker count,
         shuffle spill budget, dataset materialisation) every measured run
         executes on; ``None`` is the sequential in-memory default.  With
         ``track_memory`` every run also records its peak of Python-level
-        allocations on the measurement."""
+        allocations on the measurement.  With ``store_dir`` every run's
+        statistics are persisted as a queryable n-gram store under
+        ``store_dir/<dataset>-<algorithm>-tau<t>-sigma<s>`` (configured by
+        ``store``), so experiment sweeps leave servable artifacts behind."""
         self.cluster = cluster if cluster is not None else ClusterConfig()
         self.num_reducers = num_reducers
         self.num_map_tasks = num_map_tasks
@@ -52,6 +58,30 @@ class ExperimentRunner:
         self.apriori_index_k = apriori_index_k
         self.execution = execution
         self.track_memory = track_memory
+        self.store_dir = store_dir
+        self.store = store
+
+    def _run_store_dir(
+        self,
+        algorithm: str,
+        dataset_name: str,
+        min_frequency: int,
+        max_length: Optional[int],
+    ) -> Optional[str]:
+        if self.store_dir is None:
+            return None
+        sigma = "inf" if max_length is None else str(max_length)
+        slug = f"{dataset_name}-{algorithm}-tau{min_frequency}-sigma{sigma}"
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in slug)
+        # Sweeps (e.g. figure 6's dataset fractions) repeat the same
+        # (dataset, algorithm, tau, sigma) cell; suffix a run counter so a
+        # later run never overwrites an earlier run's store.
+        base = os.path.join(self.store_dir, safe.lower())
+        candidate, attempt = base, 1
+        while os.path.exists(candidate):
+            attempt += 1
+            candidate = f"{base}-{attempt}"
+        return candidate
 
     # ------------------------------------------------------------ plumbing
     def _make_config(self, min_frequency: int, max_length: Optional[int]) -> NGramJobConfig:
@@ -102,7 +132,12 @@ class ExperimentRunner:
         config = self._make_config(min_frequency, max_length)
         counter = make_counter(algorithm, config, execution=self.execution)
         counter.num_map_tasks = self.num_map_tasks
-        result = counter.run(collection, track_memory=self.track_memory)
+        result = counter.run(
+            collection,
+            track_memory=self.track_memory,
+            store_dir=self._run_store_dir(algorithm, dataset_name, min_frequency, max_length),
+            store=self.store,
+        )
         return self._measure(algorithm, dataset_name, result, cluster), result
 
     def compare_methods(

@@ -70,7 +70,9 @@ def make_runner(
         "cache": cache,
         "default_map_tasks": default_map_tasks,
         "spill_threshold_bytes": execution.spill_threshold_bytes,
+        "spill_threshold_records": execution.spill_threshold_records,
         "spill_dir": execution.spill_dir,
+        "shard_codec": execution.shard_codec,
         "materialize": execution.materialize,
         "dataset_dir": execution.dataset_dir,
     }

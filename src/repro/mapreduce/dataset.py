@@ -47,6 +47,7 @@ from repro.mapreduce.serialization import (
     record_size,
     write_framed_record,
 )
+from repro.util.codecs import get_codec
 
 Record = Tuple[Any, Any]
 
@@ -163,14 +164,20 @@ class MemoryDataset(Dataset):
 
 @dataclass(frozen=True)
 class Shard:
-    """One on-disk file of varint-framed records plus its bookkeeping."""
+    """One on-disk file of varint-framed records plus its bookkeeping.
+
+    ``codec`` names the stream compression the file was written with (see
+    :mod:`repro.util.codecs`); the varint framing is applied to the
+    *decompressed* stream, so readers are codec-agnostic past ``open``.
+    """
 
     path: str
     num_records: int
     serialized_bytes: int
+    codec: str = "none"
 
     def iter_records(self) -> Iterator[Record]:
-        with open(self.path, "rb") as handle:
+        with get_codec(self.codec).open_read(self.path) as handle:
             yield from read_framed_records(handle)
 
 
@@ -179,14 +186,16 @@ class ShardWriter:
 
     ``serialized_bytes`` uses the same :func:`record_size` accounting as the
     shuffle counters (the paper's compact encoding), independent of the
-    pickled frame size actually written.
+    pickled frame size actually written — and of any stream compression the
+    ``codec`` applies on the way to disk.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, codec: str = "none") -> None:
         self.path = path
+        self.codec = codec
         self.num_records = 0
         self.serialized_bytes = 0
-        self._handle = open(path, "wb")
+        self._handle = get_codec(codec).open_write(path)
 
     def append(self, key: Any, value: Any) -> None:
         write_framed_record(self._handle, key, value)
@@ -199,6 +208,7 @@ class ShardWriter:
             path=self.path,
             num_records=self.num_records,
             serialized_bytes=self.serialized_bytes,
+            codec=self.codec,
         )
 
 
@@ -207,19 +217,22 @@ class FileSplit:
     """One map split of a :class:`FileDataset`: shard segments to stream.
 
     ``segments`` are ``(path, skip, count)`` triples; iterating opens each
-    shard in turn, skips ``skip`` leading records and yields the next
-    ``count``.  The object holds paths only, so shipping it to a worker
-    process costs a few hundred bytes regardless of the split's size.
+    shard in turn (through the dataset's ``codec``), skips ``skip`` leading
+    records and yields the next ``count``.  The object holds paths only, so
+    shipping it to a worker process costs a few hundred bytes regardless of
+    the split's size.
     """
 
     segments: Tuple[Tuple[str, int, int], ...]
+    codec: str = "none"
 
     def __len__(self) -> int:
         return sum(count for _, _, count in self.segments)
 
     def __iter__(self) -> Iterator[Record]:
+        codec = get_codec(self.codec)
         for path, skip, count in self.segments:
-            with open(path, "rb") as handle:
+            with codec.open_read(path) as handle:
                 yield from islice(read_framed_records(handle), skip, skip + count)
 
 
@@ -241,11 +254,13 @@ class FileDataset(Dataset):
         directory: Optional[str] = None,
         name: str = "dataset",
         records_per_shard: int = DEFAULT_RECORDS_PER_SHARD,
+        codec: str = "none",
     ) -> "FileDataset":
         """Stream ``records`` into shard files, bounded by ``records_per_shard``.
 
         Exactly one of ``storage`` / ``directory`` selects where shards
         live; with ``directory`` the caller owns the files' lifetime.
+        ``codec`` selects the stream compression of the shard files.
         """
         if records_per_shard < 1:
             raise DatasetError(f"records_per_shard must be >= 1, got {records_per_shard}")
@@ -264,7 +279,7 @@ class FileDataset(Dataset):
         writer: Optional[ShardWriter] = None
         for key, value in records:
             if writer is None:
-                writer = ShardWriter(shard_path(len(shards)))
+                writer = ShardWriter(shard_path(len(shards)), codec=codec)
             writer.append(key, value)
             if writer.num_records >= records_per_shard:
                 shards.append(writer.close())
@@ -302,6 +317,7 @@ class FileDataset(Dataset):
         """
         self._check_live()
         sizes = plan_split_sizes(self.num_records, num_splits)
+        codec = self._shards[0].codec if self._shards else "none"
         splits: List[FileSplit] = []
         shard_index = 0
         offset = 0  # records of the current shard already assigned
@@ -318,7 +334,7 @@ class FileDataset(Dataset):
                 if offset == shard.num_records:
                     shard_index += 1
                     offset = 0
-            splits.append(FileSplit(segments=tuple(segments)))
+            splits.append(FileSplit(segments=tuple(segments), codec=codec))
         return splits
 
     def release(self) -> None:
@@ -443,19 +459,20 @@ class ShardSink:
 
     path: str
     records_per_shard: int = DEFAULT_RECORDS_PER_SHARD
+    codec: str = "none"
 
     def begin(self) -> None:
         self._shards: List[Shard] = []
         self._closed_records = 0
         self._closed_bytes = 0
-        self._writer = ShardWriter(self.path)
+        self._writer = ShardWriter(self.path, codec=self.codec)
 
     def _roll(self) -> None:
         shard = self._writer.close()
         self._shards.append(shard)
         self._closed_records += shard.num_records
         self._closed_bytes += shard.serialized_bytes
-        self._writer = ShardWriter(f"{self.path}.{len(self._shards)}")
+        self._writer = ShardWriter(f"{self.path}.{len(self._shards)}", codec=self.codec)
 
     def append(self, key: Any, value: Any) -> None:
         if self._writer.num_records >= self.records_per_shard:

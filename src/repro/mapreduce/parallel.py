@@ -198,7 +198,9 @@ class ThreadPoolJobRunner(PooledJobRunner):
         default_map_tasks: int = 4,
         max_workers: int = 4,
         spill_threshold_bytes: Optional[int] = None,
+        spill_threshold_records: Optional[int] = None,
         spill_dir: Optional[str] = None,
+        shard_codec: str = "none",
         materialize: str = "memory",
         dataset_dir: Optional[str] = None,
     ) -> None:
@@ -206,7 +208,9 @@ class ThreadPoolJobRunner(PooledJobRunner):
             cache=cache,
             default_map_tasks=default_map_tasks,
             spill_threshold_bytes=spill_threshold_bytes,
+            spill_threshold_records=spill_threshold_records,
             spill_dir=spill_dir,
+            shard_codec=shard_codec,
             materialize=materialize,
             dataset_dir=dataset_dir,
         )

@@ -102,7 +102,9 @@ class ProcessPoolJobRunner(PooledJobRunner):
         default_map_tasks: int = 4,
         max_workers: Optional[int] = None,
         spill_threshold_bytes: Optional[int] = None,
+        spill_threshold_records: Optional[int] = None,
         spill_dir: Optional[str] = None,
+        shard_codec: str = "none",
         mp_context: Optional[str] = None,
         materialize: str = "memory",
         dataset_dir: Optional[str] = None,
@@ -111,7 +113,9 @@ class ProcessPoolJobRunner(PooledJobRunner):
             cache=cache,
             default_map_tasks=default_map_tasks,
             spill_threshold_bytes=spill_threshold_bytes,
+            spill_threshold_records=spill_threshold_records,
             spill_dir=spill_dir,
+            shard_codec=shard_codec,
             materialize=materialize,
             dataset_dir=dataset_dir,
         )

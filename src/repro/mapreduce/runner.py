@@ -56,6 +56,7 @@ from repro.mapreduce.shuffle import (
     group_sorted_records,
     sort_partition,
 )
+from repro.util.codecs import get_codec
 
 Record = Tuple[Any, Any]
 
@@ -163,8 +164,14 @@ class LocalJobRunner:
         When set, the shuffle buffers at most this many (serialised) bytes
         in memory and spills sorted runs to disk past the budget; ``None``
         keeps the whole shuffle in memory.
+    spill_threshold_records:
+        Record-count spill budget; the shuffle spills when either
+        configured budget (bytes or records) is exceeded.
     spill_dir:
         Directory for spilled runs (a private temp directory by default).
+    shard_codec:
+        Stream-compression codec for shard files and spill runs
+        (``"none"``/``"gzip"``/``"zstd"``, see :mod:`repro.util.codecs`).
     materialize:
         ``"memory"`` (default) keeps job outputs as record lists;
         ``"disk"`` writes each reduce partition as one shard of an on-disk
@@ -179,7 +186,9 @@ class LocalJobRunner:
         cache: Optional[DistributedCache] = None,
         default_map_tasks: int = 4,
         spill_threshold_bytes: Optional[int] = None,
+        spill_threshold_records: Optional[int] = None,
         spill_dir: Optional[str] = None,
+        shard_codec: str = "none",
         materialize: str = "memory",
         dataset_dir: Optional[str] = None,
     ) -> None:
@@ -187,15 +196,22 @@ class LocalJobRunner:
             raise MapReduceError("default_map_tasks must be >= 1")
         if spill_threshold_bytes is not None and spill_threshold_bytes < 1:
             raise MapReduceError("spill_threshold_bytes must be >= 1 or None")
+        if spill_threshold_records is not None and spill_threshold_records < 1:
+            raise MapReduceError("spill_threshold_records must be >= 1 or None")
         if materialize not in MATERIALIZE_MODES:
             raise MapReduceError(
                 f"materialize must be one of {', '.join(MATERIALIZE_MODES)}, "
                 f"got {materialize!r}"
             )
+        # Resolve eagerly so an unknown/unavailable codec fails at runner
+        # construction, not in the middle of a job's first spill.
+        get_codec(shard_codec)
         self.cache = cache if cache is not None else DistributedCache()
         self.default_map_tasks = default_map_tasks
         self.spill_threshold_bytes = spill_threshold_bytes
+        self.spill_threshold_records = spill_threshold_records
         self.spill_dir = spill_dir
+        self.shard_codec = shard_codec
         self.materialize = materialize
         self.dataset_dir = dataset_dir
         self._storage: Optional[DatasetStorage] = None
@@ -216,14 +232,16 @@ class LocalJobRunner:
         if isinstance(records, Dataset) or self.materialize != "disk":
             # Passthrough (with the released-dataset guard) or memory buffering.
             return as_dataset(records)
-        return FileDataset.write(records, storage=self._dataset_storage(), name=name)
+        return FileDataset.write(
+            records, storage=self._dataset_storage(), name=name, codec=self.shard_codec
+        )
 
     def _make_reduce_sink(self, job: JobSpec, task_index: int) -> Optional[ShardSink]:
         """The output sink for one reduce task (``None`` selects buffering)."""
         if self.materialize != "disk":
             return None
         path = self._dataset_storage().allocate(f"{job.name}-part-{task_index:05d}")
-        return ShardSink(path)
+        return ShardSink(path, codec=self.shard_codec)
 
     def _bundle_outputs(
         self, outcomes: List[ReduceOutcome]
@@ -405,7 +423,9 @@ class LocalJobRunner:
             job.sort_comparator,
             job.num_reducers,
             spill_threshold_bytes=self.spill_threshold_bytes,
+            spill_threshold_records=self.spill_threshold_records,
             spill_dir=self.spill_dir,
+            codec=self.shard_codec,
         )
 
     @staticmethod

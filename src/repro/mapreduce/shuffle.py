@@ -31,6 +31,7 @@ from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, 
 from repro.exceptions import MapReduceError
 from repro.mapreduce.job import Partitioner, SortComparator
 from repro.mapreduce.serialization import read_framed_records, record_size, write_framed_record
+from repro.util.codecs import get_codec
 
 Record = Tuple[Any, Any]
 KeyGroup = Tuple[Any, List[Any]]
@@ -116,9 +117,9 @@ def shuffle(
 MERGE_FAN_IN = 64
 
 
-def iter_run_file(path: str) -> Iterator[Record]:
+def iter_run_file(path: str, codec: str = "none") -> Iterator[Record]:
     """Stream the records of one spilled run file."""
-    with open(path, "rb") as handle:
+    with get_codec(codec).open_read(path) as handle:
         yield from read_framed_records(handle)
 
 
@@ -172,16 +173,20 @@ def merge_sorted_runs(
 
 
 def _merge_runs_to_file(
-    paths: Sequence[str], comparator: SortComparator, partition_index: int
+    paths: Sequence[str],
+    comparator: SortComparator,
+    partition_index: int,
+    codec: str = "none",
 ) -> str:
     """Merge a batch of run files into one new run file (same directory)."""
     directory = os.path.dirname(paths[0])
     descriptor, merged_path = tempfile.mkstemp(
         dir=directory, prefix=f"merge-p{partition_index:05d}-", suffix=".run"
     )
-    with os.fdopen(descriptor, "wb") as handle:
+    os.close(descriptor)
+    with get_codec(codec).open_write(merged_path) as handle:
         for key, value in merge_sorted_runs(
-            [iter_run_file(path) for path in paths], comparator
+            [iter_run_file(path, codec) for path in paths], comparator
         ):
             write_framed_record(handle, key, value)
     return merged_path
@@ -199,6 +204,7 @@ class PartitionInput:
     partition_index: int
     run_paths: Tuple[str, ...] = ()
     records: Tuple[Record, ...] = ()
+    codec: str = "none"
 
     @property
     def is_spilled(self) -> bool:
@@ -227,10 +233,12 @@ class PartitionInput:
                     merged.append(batch[0])
                 else:
                     merged.append(
-                        _merge_runs_to_file(batch, comparator, self.partition_index)
+                        _merge_runs_to_file(
+                            batch, comparator, self.partition_index, self.codec
+                        )
                     )
             paths = merged
-        runs: List[Iterable[Record]] = [iter_run_file(path) for path in paths]
+        runs: List[Iterable[Record]] = [iter_run_file(path, self.codec) for path in paths]
         if self.records:
             runs.append(sort_partition(list(self.records), comparator))
         if not runs:
@@ -258,10 +266,14 @@ class ExternalShuffle:
     partition; :class:`PartitionInput.sorted_records` streams it back in
     sort order without ever materialising the partition.
 
-    ``spill_threshold_bytes=None`` disables spilling: the shuffle then
-    degenerates to the plain in-memory partitioning of
+    The in-memory budget is expressed in serialised bytes
+    (``spill_threshold_bytes``) and/or as a record count
+    (``spill_threshold_records``); a spill triggers as soon as *either*
+    configured budget is exceeded.  With neither set, spilling is disabled:
+    the shuffle then degenerates to the plain in-memory partitioning of
     :func:`partition_records` (and :meth:`partition_input` carries the raw
-    buffered records).
+    buffered records).  ``codec`` selects the stream compression of the run
+    files (see :mod:`repro.util.codecs`).
     """
 
     def __init__(
@@ -270,20 +282,27 @@ class ExternalShuffle:
         comparator: SortComparator,
         num_partitions: int,
         spill_threshold_bytes: Optional[int] = None,
+        spill_threshold_records: Optional[int] = None,
         spill_dir: Optional[str] = None,
+        codec: str = "none",
     ) -> None:
         if num_partitions < 1:
             raise MapReduceError("num_partitions must be >= 1")
         if spill_threshold_bytes is not None and spill_threshold_bytes < 1:
             raise MapReduceError("spill_threshold_bytes must be >= 1 or None")
+        if spill_threshold_records is not None and spill_threshold_records < 1:
+            raise MapReduceError("spill_threshold_records must be >= 1 or None")
         self.partitioner = partitioner
         self.comparator = comparator
         self.num_partitions = num_partitions
         self.spill_threshold_bytes = spill_threshold_bytes
+        self.spill_threshold_records = spill_threshold_records
         self.spill_dir = spill_dir
+        self.codec = codec
         self.stats = SpillStats()
         self._buffers: List[List[Record]] = [[] for _ in range(num_partitions)]
         self._buffered_bytes = 0
+        self._buffered_records = 0
         self._runs: List[List[str]] = [[] for _ in range(num_partitions)]
         self._run_dir: Optional[str] = None
         self._finalized = False
@@ -305,6 +324,7 @@ class ExternalShuffle:
     def _spill(self) -> None:
         """Sort and write every non-empty partition buffer as one run file."""
         directory = self._run_directory()
+        codec = get_codec(self.codec)
         for index, buffer in enumerate(self._buffers):
             if not buffer:
                 continue
@@ -312,7 +332,7 @@ class ExternalShuffle:
             path = os.path.join(
                 directory, f"spill-{self.stats.num_spills:06d}-p{index:05d}.run"
             )
-            with open(path, "wb") as handle:
+            with codec.open_write(path) as handle:
                 for key, value in run:
                     write_framed_record(handle, key, value)
             self._runs[index].append(path)
@@ -321,6 +341,7 @@ class ExternalShuffle:
             self._buffers[index] = []
         self.stats.spilled_bytes += self._buffered_bytes
         self._buffered_bytes = 0
+        self._buffered_records = 0
         self.stats.num_spills += 1
 
     # ------------------------------------------------------------ interface
@@ -339,10 +360,20 @@ class ExternalShuffle:
                 f"partitioner returned index {index} outside [0, {self.num_partitions})"
             )
         self._buffers[index].append((key, value))
-        if self.spill_threshold_bytes is not None:
-            self._buffered_bytes += record_size(key, value)
-            if self._buffered_bytes > self.spill_threshold_bytes:
-                self._spill()
+        if self.spill_threshold_bytes is None and self.spill_threshold_records is None:
+            return
+        # Bytes are metered under either budget so spilled-bytes counters
+        # stay meaningful when the trigger is the record count.
+        self._buffered_bytes += record_size(key, value)
+        self._buffered_records += 1
+        if (
+            self.spill_threshold_bytes is not None
+            and self._buffered_bytes > self.spill_threshold_bytes
+        ) or (
+            self.spill_threshold_records is not None
+            and self._buffered_records > self.spill_threshold_records
+        ):
+            self._spill()
 
     def add_records(self, records: Iterable[Record]) -> None:
         """Route a batch of map output records."""
@@ -372,6 +403,7 @@ class ExternalShuffle:
             partition_index=index,
             run_paths=tuple(self._runs[index]),
             records=tuple(self._buffers[index]),
+            codec=self.codec,
         )
 
     def partition_inputs(self) -> List[PartitionInput]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 
 @dataclass
@@ -87,3 +87,50 @@ class NGramTimeSeriesCollection:
     def as_dict(self) -> Dict[Tuple, Dict[int, int]]:
         """Nested plain-dict snapshot (n-gram → bucket → count)."""
         return {ngram: series.as_dict() for ngram, series in self._series.items()}
+
+    def to_records(self) -> Iterator[Tuple[Tuple, Dict[int, int]]]:
+        """``(ngram, bucket -> count)`` records, the store-build input format.
+
+        Feed the result to :func:`repro.ngramstore.build.build_store` to
+        persist the collection as a queryable on-disk store readable by
+        :class:`StoreBackedTimeSeriesCollection`.
+        """
+        return iter(
+            (ngram, series.as_dict()) for ngram, series in self._series.items()
+        )
+
+
+class StoreBackedTimeSeriesCollection:
+    """Time series served from an on-disk n-gram store.
+
+    ``store`` is an opened :class:`~repro.ngramstore.NGramStore` whose
+    values are ``bucket -> count`` mappings (the records of
+    :meth:`NGramTimeSeriesCollection.to_records`).  The object satisfies
+    the read interface of :class:`NGramTimeSeriesCollection` — ``series``,
+    ``items``, length, membership — so the culturomics analyses
+    (:func:`repro.applications.culturomics.trend_report`) run on top of a
+    store without materialising every series in memory: ``items`` streams
+    through the store's block cache, ``series`` is one point lookup.
+    """
+
+    def __init__(self, store: Any) -> None:
+        self.store = store
+
+    def series(self, ngram: Iterable) -> TimeSeries:
+        """The time series of ``ngram`` (empty series when absent)."""
+        observations = self.store.get(tuple(ngram))
+        if observations is None:
+            return TimeSeries()
+        return TimeSeries.from_mapping(observations)
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __contains__(self, ngram: object) -> bool:
+        return isinstance(ngram, tuple) and ngram in self.store
+
+    def items(self) -> Iterator[Tuple[Tuple, TimeSeries]]:
+        return iter(
+            (ngram, TimeSeries.from_mapping(observations))
+            for ngram, observations in self.store.items()
+        )

@@ -1,0 +1,38 @@
+"""NGramStore: sorted, block-compressed on-disk n-gram tables + query engine.
+
+The paper computes n-gram statistics as a batch MapReduce job; this
+subsystem is the *serving* half the ROADMAP's north star needs.  A counting
+run's output is range-partitioned and sorted by a total-order-sort
+MapReduce job (:mod:`repro.ngramstore.build`), each partition is written as
+an immutable, block-compressed table (:mod:`repro.ngramstore.table`, format
+in :mod:`repro.ngramstore.format`), and :class:`NGramStore`
+(:mod:`repro.ngramstore.reader`) serves point/prefix/top-k queries over the
+partitions with seek-based block reads and an LRU block cache — the
+SSTable pattern that lets statistics far larger than RAM be queried with a
+bounded memory footprint.
+"""
+
+from repro.ngramstore.build import (
+    RangePartitioner,
+    build_store,
+    load_manifest,
+    plan_boundaries,
+    sample_keys,
+    total_order_sort_job,
+)
+from repro.ngramstore.reader import NGramStore, StoreStatistics
+from repro.ngramstore.table import BlockCache, Table, TableWriter
+
+__all__ = [
+    "BlockCache",
+    "NGramStore",
+    "RangePartitioner",
+    "StoreStatistics",
+    "Table",
+    "TableWriter",
+    "build_store",
+    "load_manifest",
+    "plan_boundaries",
+    "sample_keys",
+    "total_order_sort_job",
+]

@@ -1,0 +1,284 @@
+"""Building a store with a total-order-sort MapReduce job.
+
+Hadoop's ``TotalOrderPartitioner`` pattern, reproduced on this engine: the
+input dataset's keys are *sampled* to estimate the key distribution, the
+sample yields ``R - 1`` range-partition boundaries, and an identity
+map/reduce job with a :class:`RangePartitioner` routes every record to the
+partition owning its key range.  The shuffle sorts within each partition
+(natural tuple order), so the job's reduce outputs are ``R`` sorted runs
+whose ranges are disjoint and ordered — partition ``i``'s largest key sorts
+before partition ``i + 1``'s smallest.  Each partition is then streamed
+into one immutable table file, and the boundaries are persisted in the
+store manifest so the reader can route queries the same way the build
+routed records.  At no point is the full record set sorted (or even held)
+in the launcher's memory: sampling streams, the job streams under the
+runner's materialisation policy, and table writing streams per partition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from bisect import bisect_right
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.config import ExecutionConfig, StoreConfig
+from repro.exceptions import StoreError
+from repro.mapreduce.backends import make_runner
+from repro.mapreduce.dataset import Dataset
+from repro.mapreduce.job import IdentityMapper, JobSpec, Partitioner, Reducer, TaskContext
+from repro.mapreduce.pipeline import JobPipeline
+from repro.ngramstore.table import TableWriter
+
+Record = Tuple[Any, Any]
+
+#: Manifest filename inside a store directory.
+MANIFEST_FILENAME = "store.json"
+
+#: Vocabulary filename inside a store directory (same layout as a corpus
+#: directory, so the file is readable by the existing corpus tooling).
+DICTIONARY_FILENAME = "dictionary.txt"
+
+#: Table filename pattern, one file per range partition.
+PARTITION_PATTERN = "part-{index:05d}.ngt"
+
+#: Manifest format version.
+MANIFEST_VERSION = 1
+
+#: Keys sampled from the input when planning partition boundaries.
+DEFAULT_SAMPLE_SIZE = 1024
+
+
+class RangePartitioner(Partitioner):
+    """Routes keys to range partitions via sorted boundary keys.
+
+    Partition ``i`` owns the keys ``k`` with ``boundaries[i-1] <= k <
+    boundaries[i]`` (open-ended at both extremes); ``len(boundaries) + 1``
+    partitions exist.  The object is picklable, so process backends ship it
+    to workers like any other job component.
+    """
+
+    def __init__(self, boundaries: Iterable[Tuple]) -> None:
+        self.boundaries = tuple(boundaries)
+        if any(
+            not self.boundaries[index] < self.boundaries[index + 1]
+            for index in range(len(self.boundaries) - 1)
+        ):
+            raise StoreError("range partition boundaries must be strictly increasing")
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.boundaries) + 1
+
+    def partition(self, key: Any, num_partitions: int) -> int:
+        if num_partitions != self.num_partitions:
+            raise StoreError(
+                f"range partitioner built for {self.num_partitions} partitions "
+                f"used with num_reducers={num_partitions}"
+            )
+        return bisect_right(self.boundaries, key)
+
+
+class SortedRunReducer(Reducer):
+    """Forwards each key's single value; duplicate keys are a build error.
+
+    The reducer sees keys in sorted order, so its emissions are exactly the
+    partition's sorted run.  Store records map one key to one value; a key
+    arriving with several values means the input was not aggregated
+    (e.g. raw map output instead of counted statistics), which would
+    silently drop data if forwarded — fail loudly instead.
+    """
+
+    def reduce(self, key: Any, values: Iterable[Any], context: TaskContext) -> None:
+        values = list(values)
+        if len(values) != 1:
+            raise StoreError(
+                f"duplicate key {key!r} in store build input ({len(values)} values); "
+                "store inputs must map each n-gram to exactly one value"
+            )
+        context.emit(key, values[0])
+
+
+def sample_keys(dataset: Dataset, sample_size: int = DEFAULT_SAMPLE_SIZE) -> List[Any]:
+    """Evenly strided key sample of a dataset (deterministic, streaming).
+
+    Every ``ceil(n / sample_size)``-th key is taken during one pass, so the
+    sample spans the whole dataset without materialising it and without
+    randomness — rebuilding a store from the same input yields the same
+    boundaries, hence byte-identical partitions.
+    """
+    if sample_size < 1:
+        raise StoreError(f"sample_size must be >= 1, got {sample_size}")
+    total = dataset.num_records
+    if total == 0:
+        return []
+    stride = max(1, -(-total // sample_size))  # ceil division
+    sample: List[Any] = []
+    for position, (key, _) in enumerate(dataset.iter_records()):
+        if position % stride == 0:
+            sample.append(key)
+    return sample
+
+
+def plan_boundaries(sample: List[Any], num_partitions: int) -> List[Any]:
+    """Quantile boundaries splitting a key sample into ``num_partitions`` ranges.
+
+    Duplicates are dropped, so a skewed sample yields fewer boundaries
+    (hence fewer non-empty partitions) rather than empty ranges.
+    """
+    if num_partitions < 1:
+        raise StoreError(f"num_partitions must be >= 1, got {num_partitions}")
+    if num_partitions == 1 or not sample:
+        return []
+    ordered = sorted(sample)
+    boundaries: List[Any] = []
+    for index in range(1, num_partitions):
+        candidate = ordered[(index * len(ordered)) // num_partitions]
+        if not boundaries or boundaries[-1] < candidate:
+            boundaries.append(candidate)
+    return boundaries
+
+
+def total_order_sort_job(
+    name: str, boundaries: List[Any], num_map_tasks: Optional[int] = None
+) -> JobSpec:
+    """The identity job whose shuffle produces ordered, sorted partitions."""
+    partitioner = RangePartitioner(boundaries)
+    return JobSpec(
+        name=name,
+        mapper_factory=IdentityMapper,
+        reducer_factory=SortedRunReducer,
+        partitioner=partitioner,
+        num_reducers=partitioner.num_partitions,
+        num_map_tasks=num_map_tasks,
+    )
+
+
+def _key_to_json(key: Any) -> List[Any]:
+    return list(key)
+
+
+def _json_to_key(data: Iterable[Any]) -> Tuple:
+    return tuple(data)
+
+
+def build_store(
+    records: Any,
+    store_dir: str,
+    store: Optional[StoreConfig] = None,
+    execution: Optional[ExecutionConfig] = None,
+    pipeline: Optional[JobPipeline] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+    vocabulary: Optional[Any] = None,
+    name: str = "ngramstore",
+) -> str:
+    """Build an on-disk n-gram store from ``(ngram, value)`` records.
+
+    ``records`` is a :class:`~repro.mapreduce.dataset.Dataset` (e.g. a
+    counting job's ``output_dataset``) or any iterable of records; iterables
+    are materialised under the runner's policy (sharded on-disk files in
+    disk mode), so the build is out-of-core end to end when the execution
+    configuration is.  ``pipeline`` lets a caller supply the job pipeline
+    (for tests that inspect the sort job); by default a private pipeline is
+    created from ``execution`` so the build does not pollute a counting
+    run's measured counters.  ``vocabulary`` (any object with ``to_lines``)
+    is persisted alongside the tables so queries can speak surface terms.
+
+    Returns ``store_dir``.
+    """
+    store = store if store is not None else StoreConfig()
+    os.makedirs(store_dir, exist_ok=True)
+    # Rebuilding into an existing store directory: drop the old manifest
+    # *first* and the old tables with it.  A crash mid-build then leaves a
+    # directory without a manifest — which refuses to open — instead of an
+    # old manifest routing queries into new partition files, and a rebuild
+    # with fewer partitions leaves no orphan tables behind.
+    for name in sorted(os.listdir(store_dir)):
+        if name == MANIFEST_FILENAME or name.endswith(".ngt"):
+            os.remove(os.path.join(store_dir, name))
+    if pipeline is None:
+        runner = make_runner(execution)
+        pipeline = JobPipeline(runner=runner)
+
+    if isinstance(records, Dataset):
+        dataset = records
+    else:
+        dataset = pipeline.materialize_input(iter(records), name=f"{name}-input")
+
+    boundaries = plan_boundaries(
+        sample_keys(dataset, store.sample_size), store.num_partitions
+    )
+    job = total_order_sort_job(f"{name}-total-order-sort", boundaries)
+    result = pipeline.run_job(job, dataset)
+
+    partitions: List[Dict[str, Any]] = []
+    total_records = 0
+    total_bytes = 0
+    for index, partition in enumerate(result.partition_datasets):
+        path = os.path.join(store_dir, PARTITION_PATTERN.format(index=index))
+        with TableWriter(
+            path,
+            codec=store.codec,
+            records_per_block=store.records_per_block,
+            metadata={"partition": index},
+        ) as writer:
+            writer.extend(partition.iter_records())
+        partitions.append(
+            {
+                "file": os.path.basename(path),
+                "num_records": writer.num_records,
+                "serialized_bytes": writer.serialized_bytes,
+                "file_bytes": os.path.getsize(path),
+            }
+        )
+        total_records += writer.num_records
+        total_bytes += writer.serialized_bytes
+    result.release_output()
+
+    has_vocabulary = vocabulary is not None
+    if has_vocabulary:
+        dictionary_path = os.path.join(store_dir, DICTIONARY_FILENAME)
+        with open(dictionary_path, "w", encoding="utf-8") as handle:
+            for line in vocabulary.to_lines():
+                handle.write(line + "\n")
+
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "codec": store.codec,
+        "records_per_block": store.records_per_block,
+        "num_partitions": len(partitions),
+        "boundaries": [_key_to_json(boundary) for boundary in boundaries],
+        "partitions": partitions,
+        "num_records": total_records,
+        "serialized_bytes": total_bytes,
+        "has_vocabulary": has_vocabulary,
+        "metadata": dict(metadata) if metadata else {},
+    }
+    with open(os.path.join(store_dir, MANIFEST_FILENAME), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return store_dir
+
+
+def load_manifest(store_dir: str) -> Dict[str, Any]:
+    """Read and validate a store directory's manifest."""
+    path = os.path.join(store_dir, MANIFEST_FILENAME)
+    if not os.path.exists(path):
+        raise StoreError(f"no store manifest ({MANIFEST_FILENAME}) in {store_dir!r}")
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("version")
+    if version != MANIFEST_VERSION:
+        raise StoreError(
+            f"unsupported store manifest version {version!r} (expected {MANIFEST_VERSION})"
+        )
+    return manifest
+
+
+def manifest_boundaries(manifest: Dict[str, Any]) -> List[Tuple]:
+    """The manifest's partition boundaries as key tuples."""
+    return [_json_to_key(boundary) for boundary in manifest["boundaries"]]
+
+
+def iter_statistics_records(statistics: Any) -> Iterator[Record]:
+    """Adapt an :class:`~repro.ngrams.statistics.NGramStatistics` to records."""
+    return iter(statistics.items())

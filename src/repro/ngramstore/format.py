@@ -1,0 +1,131 @@
+"""On-disk format of one n-gram table file.
+
+A table is an immutable, sorted run of ``(ngram, value)`` records — the
+SSTable idiom: batch jobs write tables once, the serving layer reads them
+with seeks instead of loading them.  The layout is::
+
+    +-----------------------------+ offset 0
+    | header magic  ``NGSTORE1``  |
+    +-----------------------------+
+    | data block 0                |  varint-framed records
+    | data block 1                |  (optionally codec-compressed)
+    | ...                         |
+    +-----------------------------+
+    | block index                 |  pickled list of BlockHandle tuples
+    +-----------------------------+
+    | footer                      |  pickled metadata dict
+    +-----------------------------+
+    | footer offset (8 bytes LE)  |
+    | trailer magic ``NGSTORE1``  |
+    +-----------------------------+ end of file
+
+Each data block is the concatenated varint-length-prefixed record frames of
+:mod:`repro.mapreduce.serialization` (the same framing shards and spill
+files use), compressed as one unit by the table's codec — per-block
+compression keeps random reads cheap (decompress one block, not the file)
+while still exploiting redundancy between neighbouring keys.  The block
+index records every block's first and last key, so a reader binary-searches
+the index and touches exactly one block per point lookup.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any, BinaryIO, Dict, List, NamedTuple, Tuple
+
+from repro.exceptions import StoreError
+from repro.mapreduce.serialization import read_framed_records, write_framed_record
+from repro.util.codecs import Codec
+
+#: Magic bytes opening and closing every table file.
+MAGIC = b"NGSTORE1"
+
+#: Format version recorded in the footer (bump on incompatible changes).
+FORMAT_VERSION = 1
+
+#: Length of the fixed-size trailer: footer offset + magic.
+TRAILER_LENGTH = 8 + len(MAGIC)
+
+Record = Tuple[Any, Any]
+
+
+class BlockHandle(NamedTuple):
+    """Index entry locating one data block inside the table file."""
+
+    first_key: Any
+    last_key: Any
+    offset: int
+    length: int
+    num_records: int
+
+
+def encode_block(records: List[Record], codec: Codec) -> bytes:
+    """Serialise one block of records (framed, then compressed as a unit)."""
+    buffer = io.BytesIO()
+    for key, value in records:
+        write_framed_record(buffer, key, value)
+    return codec.compress(buffer.getvalue())
+
+
+def decode_block(payload: bytes, codec: Codec) -> List[Record]:
+    """Invert :func:`encode_block`."""
+    return list(read_framed_records(io.BytesIO(codec.decompress(payload))))
+
+
+def write_index(handle: BinaryIO, index: List[BlockHandle]) -> Tuple[int, int]:
+    """Append the block index; returns its ``(offset, length)``."""
+    offset = handle.tell()
+    payload = pickle.dumps([tuple(entry) for entry in index], protocol=pickle.HIGHEST_PROTOCOL)
+    handle.write(payload)
+    return offset, len(payload)
+
+
+def write_footer(handle: BinaryIO, footer: Dict[str, Any]) -> None:
+    """Append the footer dict and the fixed-size trailer."""
+    offset = handle.tell()
+    handle.write(pickle.dumps(footer, protocol=pickle.HIGHEST_PROTOCOL))
+    handle.write(offset.to_bytes(8, "little"))
+    handle.write(MAGIC)
+
+
+def read_footer(handle: BinaryIO) -> Dict[str, Any]:
+    """Read and validate the footer of an open table file."""
+    handle.seek(0, io.SEEK_END)
+    file_length = handle.tell()
+    if file_length < len(MAGIC) + TRAILER_LENGTH:
+        raise StoreError(f"table file too short ({file_length} bytes) to be a store table")
+    handle.seek(0)
+    if handle.read(len(MAGIC)) != MAGIC:
+        raise StoreError("bad header magic: not an n-gram store table")
+    handle.seek(file_length - TRAILER_LENGTH)
+    trailer = handle.read(TRAILER_LENGTH)
+    if trailer[8:] != MAGIC:
+        raise StoreError("bad trailer magic: truncated or corrupt table file")
+    footer_offset = int.from_bytes(trailer[:8], "little")
+    if not len(MAGIC) <= footer_offset < file_length - TRAILER_LENGTH:
+        raise StoreError(f"footer offset {footer_offset} outside the table file")
+    handle.seek(footer_offset)
+    try:
+        footer = pickle.loads(handle.read(file_length - TRAILER_LENGTH - footer_offset))
+    except Exception as exc:
+        raise StoreError(f"cannot decode table footer: {exc}") from exc
+    if not isinstance(footer, dict):
+        raise StoreError(f"table footer is {type(footer).__name__}, expected dict")
+    version = footer.get("version")
+    if version != FORMAT_VERSION:
+        raise StoreError(
+            f"unsupported table format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    return footer
+
+
+def read_index(handle: BinaryIO, footer: Dict[str, Any]) -> List[BlockHandle]:
+    """Read the block index located by ``footer``."""
+    handle.seek(footer["index_offset"])
+    payload = handle.read(footer["index_length"])
+    try:
+        entries = pickle.loads(payload)
+    except Exception as exc:
+        raise StoreError(f"cannot decode table block index: {exc}") from exc
+    return [BlockHandle(*entry) for entry in entries]

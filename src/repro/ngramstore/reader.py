@@ -1,0 +1,237 @@
+"""Serving layer: routing queries over a store's range partitions.
+
+:class:`NGramStore` opens a store directory (manifest + one table per
+range partition, plus an optional vocabulary) and exposes the query
+surface downstream consumers need — point lookups, prefix/range scans,
+top-k — routing each query to the partitions that can answer it via the
+manifest's boundary keys, exactly the ranges the build job partitioned by.
+Tables open lazily and every table keeps only its LRU block cache in
+memory, so serving a store holds ``O(partitions x cache_blocks x block
+size)`` bytes regardless of how many n-grams are stored.
+
+:class:`StoreStatistics` adapts a store to the read interface of
+:class:`~repro.ngrams.statistics.NGramStatistics`, which is how the
+language model and the time-series analyses run on top of a store instead
+of a fully-resident dict.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_right
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import StoreError
+from repro.kvstore.cached import CacheStats
+from repro.ngramstore.build import (
+    DICTIONARY_FILENAME,
+    load_manifest,
+    manifest_boundaries,
+)
+from repro.ngramstore.table import (
+    DEFAULT_CACHE_BLOCKS,
+    Table,
+    prefix_records,
+    top_k_records,
+)
+
+Record = Tuple[Any, Any]
+
+_MISSING = object()
+
+
+class NGramStore:
+    """A multi-partition, on-disk n-gram store opened for querying."""
+
+    def __init__(self, store_dir: str, cache_blocks: int = DEFAULT_CACHE_BLOCKS) -> None:
+        self.store_dir = store_dir
+        self.manifest = load_manifest(store_dir)
+        self.boundaries = manifest_boundaries(self.manifest)
+        self.cache_blocks = cache_blocks
+        self._tables: List[Optional[Table]] = [None] * self.manifest["num_partitions"]
+        self._vocabulary: Any = None
+        self._closed = False
+
+    @classmethod
+    def open(cls, store_dir: str, cache_blocks: int = DEFAULT_CACHE_BLOCKS) -> "NGramStore":
+        """Open a store directory written by :func:`repro.ngramstore.build.build_store`."""
+        return cls(store_dir, cache_blocks=cache_blocks)
+
+    # ----------------------------------------------------------- properties
+    @property
+    def num_partitions(self) -> int:
+        return self.manifest["num_partitions"]
+
+    @property
+    def num_records(self) -> int:
+        return self.manifest["num_records"]
+
+    @property
+    def codec_name(self) -> str:
+        return self.manifest["codec"]
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        return self.manifest["metadata"]
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    @property
+    def vocabulary(self) -> Optional[Any]:
+        """The persisted vocabulary, if the build included one (lazy)."""
+        if self._vocabulary is None and self.manifest.get("has_vocabulary"):
+            from repro.corpus.vocabulary import Vocabulary
+
+            path = os.path.join(self.store_dir, DICTIONARY_FILENAME)
+            with open(path, "r", encoding="utf-8") as handle:
+                self._vocabulary = Vocabulary.from_lines(handle)
+        return self._vocabulary
+
+    def cache_stats(self) -> CacheStats:
+        """Block-cache hit/miss/eviction totals over every open partition."""
+        total = CacheStats()
+        for table in self._tables:
+            if table is not None:
+                total.hits += table.cache_stats.hits
+                total.misses += table.cache_stats.misses
+                total.evictions += table.cache_stats.evictions
+        return total
+
+    # ------------------------------------------------------------ internals
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError(f"store {self.store_dir!r} is closed")
+
+    def _table(self, index: int) -> Table:
+        table = self._tables[index]
+        if table is None:
+            filename = self.manifest["partitions"][index]["file"]
+            table = Table(
+                os.path.join(self.store_dir, filename), cache_blocks=self.cache_blocks
+            )
+            self._tables[index] = table
+        return table
+
+    def _partition_for(self, key: Tuple) -> int:
+        return bisect_right(self.boundaries, key)
+
+    # ------------------------------------------------------------- queries
+    def get(self, ngram: Any, default: Any = None) -> Any:
+        """Point lookup, routed to the one partition owning the key's range."""
+        self._check_open()
+        if self.num_partitions == 0:
+            return default
+        key = tuple(ngram)
+        return self._table(self._partition_for(key)).get(key, default)
+
+    def frequency(self, ngram: Any) -> int:
+        """Statistics-style lookup: the stored value, or 0 when absent."""
+        value = self.get(ngram, 0)
+        return value
+
+    def __contains__(self, ngram: object) -> bool:
+        if not isinstance(ngram, tuple):
+            return False
+        return self.get(ngram, _MISSING) is not _MISSING
+
+    def scan(self, start: Any = None, stop: Any = None) -> Iterator[Record]:
+        """Stream records with ``start <= key < stop`` across partitions.
+
+        Range partitioning makes the global key order the concatenation of
+        the partitions' orders, so this chains per-partition scans, opening
+        only the partitions the range touches.
+        """
+        self._check_open()
+        if self.num_partitions == 0:
+            return
+        start_key = None if start is None else tuple(start)
+        stop_key = None if stop is None else tuple(stop)
+        first = 0 if start_key is None else self._partition_for(start_key)
+        for index in range(first, self.num_partitions):
+            if stop_key is not None and index > 0 and index <= len(self.boundaries):
+                # Partition index owns keys >= boundaries[index - 1]; once the
+                # stop bound falls at or below that, no later partition matters.
+                if not self.boundaries[index - 1] < stop_key:
+                    return
+            yield from self._table(index).scan(start=start_key, stop=stop_key)
+
+    def prefix(self, tokens: Any) -> Iterator[Record]:
+        """Stream every stored n-gram starting with ``tokens``, in key order."""
+        self._check_open()
+        return prefix_records(self.scan, tuple(tokens))
+
+    def top_k(self, k: int, order: str = "frequency") -> List[Record]:
+        """The ``k`` top records store-wide, streamed with O(k) memory."""
+        self._check_open()
+        return top_k_records(self.scan(), k, order)
+
+    def items(self) -> Iterator[Record]:
+        """Stream every record in global key order."""
+        return self.scan()
+
+    def __iter__(self) -> Iterator[Any]:
+        """Stream every key in global key order."""
+        return (key for key, _ in self.scan())
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for table in self._tables:
+            if table is not None:
+                table.close()
+        self._tables = [None] * self.manifest["num_partitions"]
+
+    def __enter__(self) -> "NGramStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class StoreStatistics:
+    """Read-only :class:`~repro.ngrams.statistics.NGramStatistics` facade.
+
+    Implements the lookup/iteration surface consumers use (``frequency``,
+    ``items``, iteration, membership, ``top``) by delegating to the store's
+    query engine — every access streams or seeks, nothing is materialised.
+    Mutation and dict-returning conversions are deliberately absent: a
+    store is immutable, and materialising it would defeat the point.
+    """
+
+    def __init__(self, store: NGramStore) -> None:
+        self.store = store
+
+    def frequency(self, ngram: Any) -> int:
+        return self.store.frequency(tuple(ngram))
+
+    def __getitem__(self, ngram: Any) -> int:
+        key = tuple(ngram)
+        value = self.store.get(key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def __contains__(self, ngram: object) -> bool:
+        return ngram in self.store
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.store)
+
+    def items(self) -> Iterator[Record]:
+        return self.store.items()
+
+    def top(self, k: int, length: Optional[int] = None) -> List[Record]:
+        """The ``k`` most frequent n-grams, optionally of one exact length."""
+        records = self.store.items()
+        if length is not None:
+            records = (record for record in records if len(record[0]) == length)
+        return top_k_records(records, k, "frequency")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"StoreStatistics({len(self.store)} n-grams, {self.store.store_dir!r})"

@@ -1,0 +1,403 @@
+"""Writing and querying one sorted, block-compressed table file.
+
+:class:`TableWriter` streams already-sorted ``(ngram, value)`` records into
+the immutable format of :mod:`repro.ngramstore.format`, enforcing the
+sorted invariant (strictly increasing keys) as it writes — the property
+every read path relies on.  :class:`Table` opens a finished file and serves
+point lookups, range/prefix scans and top-k queries with seek-based block
+reads: a query decodes at most the blocks it touches, and an LRU block
+cache (:class:`BlockCache`, the :mod:`repro.kvstore.cached` policy applied
+to blocks instead of keys) keeps the working set bounded by
+``block size x cache capacity`` no matter how large the table is.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import StoreError
+from repro.kvstore.cached import CacheStats
+from repro.mapreduce.serialization import record_size
+from repro.ngramstore.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    BlockHandle,
+    decode_block,
+    encode_block,
+    read_footer,
+    read_index,
+    write_footer,
+    write_index,
+)
+from repro.util.codecs import get_codec
+
+Record = Tuple[Any, Any]
+
+#: Records per data block unless the writer is told otherwise.  Blocks are
+#: the unit of compression *and* of random-read I/O, so the value trades
+#: point-lookup cost (decode one block) against compression ratio.
+DEFAULT_RECORDS_PER_BLOCK = 1024
+
+#: Decoded blocks kept by a table's LRU cache unless overridden.
+DEFAULT_CACHE_BLOCKS = 32
+
+#: Orders accepted by :meth:`Table.top_k`.
+TOP_K_ORDERS = ("frequency", "key")
+
+
+def prefix_records(scan, prefix: Tuple) -> Iterator[Record]:
+    """Restrict a scan to keys starting with ``prefix`` (tuple keys).
+
+    ``scan`` is a ``scan(start=..., stop=...)`` callable.  Keys sharing a
+    prefix are contiguous under tuple ordering, so this is one bounded
+    range scan starting at ``prefix`` itself, stopped at the first
+    non-matching key.  Shared by the single-table and multi-partition
+    query paths so prefix semantics cannot diverge.
+    """
+    prefix = tuple(prefix)
+    if not prefix:
+        yield from scan()
+        return
+    length = len(prefix)
+    for key, value in scan(start=prefix):
+        if tuple(key[:length]) != prefix:
+            return
+        yield key, value
+
+
+def top_k_records(records: Iterator[Record], k: int, order: str) -> List[Record]:
+    """The ``k`` greatest records of a stream under ``order``, using O(k) memory.
+
+    ``"frequency"`` ranks by descending value with the key as tie-breaker
+    (the order of :meth:`repro.ngrams.statistics.NGramStatistics.top`);
+    ``"key"`` ranks by ascending key — for a sorted stream that is simply
+    the first ``k`` records, but the stream is not required to be sorted.
+    """
+    if order not in TOP_K_ORDERS:
+        raise StoreError(f"top_k order must be one of {', '.join(TOP_K_ORDERS)}, got {order!r}")
+    if k < 1:
+        raise StoreError(f"top_k k must be >= 1, got {k}")
+    if order == "frequency":
+        try:
+            return heapq.nsmallest(k, records, key=lambda record: (-record[1], record[0]))
+        except TypeError as exc:
+            # Stores may hold non-numeric values (e.g. time-series dicts),
+            # which have no frequency ranking — fail as a store error, not
+            # a bare TypeError from deep inside heapq.
+            raise StoreError(
+                f"top_k by frequency needs numeric values: {exc}; "
+                "use order='key' for stores with non-numeric values"
+            ) from exc
+    return heapq.nsmallest(k, records, key=lambda record: record[0])
+
+
+#: What the cache holds per block: the decoded keys (for bisection) and the
+#: full records, decoded once — point lookups on cache hits are then a pure
+#: O(log block) bisect with no per-lookup allocation.
+DecodedBlock = Tuple[List[Any], List[Record]]
+
+
+class BlockCache:
+    """LRU cache of decoded blocks (``block index -> (keys, records)``)."""
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_BLOCKS) -> None:
+        if capacity < 1:
+            raise StoreError(f"block cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._blocks: "OrderedDict[int, DecodedBlock]" = OrderedDict()
+
+    def get(self, block_index: int) -> Optional[DecodedBlock]:
+        if block_index in self._blocks:
+            self.stats.hits += 1
+            self._blocks.move_to_end(block_index)
+            return self._blocks[block_index]
+        self.stats.misses += 1
+        return None
+
+    def put(self, block_index: int, block: DecodedBlock) -> None:
+        if block_index in self._blocks:
+            self._blocks.move_to_end(block_index)
+        self._blocks[block_index] = block
+        while len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+
+class TableWriter:
+    """Streams sorted records into one immutable table file."""
+
+    def __init__(
+        self,
+        path: str,
+        codec: str = "none",
+        records_per_block: int = DEFAULT_RECORDS_PER_BLOCK,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if records_per_block < 1:
+            raise StoreError(f"records_per_block must be >= 1, got {records_per_block}")
+        self.path = path
+        self.codec_name = codec
+        self._codec = get_codec(codec)
+        self.records_per_block = records_per_block
+        self.metadata = dict(metadata) if metadata else {}
+        self.num_records = 0
+        self.serialized_bytes = 0
+        self._buffer: List[Record] = []
+        self._index: List[BlockHandle] = []
+        self._last_key: Any = None
+        self._handle = open(path, "wb")
+        self._handle.write(MAGIC)
+        self._closed = False
+
+    # ----------------------------------------------------------- internals
+    def _flush_block(self) -> None:
+        if not self._buffer:
+            return
+        offset = self._handle.tell()
+        payload = encode_block(self._buffer, self._codec)
+        self._handle.write(payload)
+        self._index.append(
+            BlockHandle(
+                first_key=self._buffer[0][0],
+                last_key=self._buffer[-1][0],
+                offset=offset,
+                length=len(payload),
+                num_records=len(self._buffer),
+            )
+        )
+        self._buffer = []
+
+    # ------------------------------------------------------------ interface
+    def append(self, key: Any, value: Any) -> None:
+        """Append one record; keys must arrive in strictly increasing order."""
+        if self._closed:
+            raise StoreError("cannot append to a closed table writer")
+        if self._last_key is not None and not self._last_key < key:
+            raise StoreError(
+                f"unsorted write: key {key!r} does not sort after {self._last_key!r} "
+                "(table keys must be strictly increasing)"
+            )
+        self._buffer.append((key, value))
+        self._last_key = key
+        self.num_records += 1
+        self.serialized_bytes += record_size(key, value)
+        if len(self._buffer) >= self.records_per_block:
+            self._flush_block()
+
+    def extend(self, records: Any) -> None:
+        """Append a stream of sorted records."""
+        for key, value in records:
+            self.append(key, value)
+
+    def close(self) -> str:
+        """Seal the table (index + footer) and return its path."""
+        if self._closed:
+            return self.path
+        self._flush_block()
+        index_offset, index_length = write_index(self._handle, self._index)
+        footer = {
+            "version": FORMAT_VERSION,
+            "codec": self.codec_name,
+            "num_records": self.num_records,
+            "num_blocks": len(self._index),
+            "serialized_bytes": self.serialized_bytes,
+            "index_offset": index_offset,
+            "index_length": index_length,
+            "min_key": self._index[0].first_key if self._index else None,
+            "max_key": self._index[-1].last_key if self._index else None,
+            "metadata": self.metadata,
+        }
+        write_footer(self._handle, footer)
+        self._handle.close()
+        self._closed = True
+        return self.path
+
+    def abort(self) -> None:
+        """Close and remove the partial file after a failure."""
+        if not self._closed:
+            self._handle.close()
+            self._closed = True
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TableWriter":
+        return self
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+
+class Table:
+    """Read-only view over one table file; queries decode blocks on demand."""
+
+    def __init__(self, path: str, cache_blocks: int = DEFAULT_CACHE_BLOCKS) -> None:
+        self.path = path
+        self._handle = open(path, "rb")
+        try:
+            self._footer = read_footer(self._handle)
+            self._index = read_index(self._handle, self._footer)
+        except Exception:
+            self._handle.close()
+            raise
+        self._codec = get_codec(self._footer["codec"])
+        self._cache = BlockCache(cache_blocks)
+        self._first_keys = [entry.first_key for entry in self._index]
+        self._closed = False
+
+    # ----------------------------------------------------------- properties
+    @property
+    def codec_name(self) -> str:
+        return self._footer["codec"]
+
+    @property
+    def num_records(self) -> int:
+        return self._footer["num_records"]
+
+    @property
+    def num_blocks(self) -> int:
+        return self._footer["num_blocks"]
+
+    @property
+    def min_key(self) -> Any:
+        return self._footer["min_key"]
+
+    @property
+    def max_key(self) -> Any:
+        return self._footer["max_key"]
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        return self._footer["metadata"]
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    # ------------------------------------------------------------ internals
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError(f"table {self.path!r} is closed")
+
+    def _load_block(self, block_index: int) -> "DecodedBlock":
+        block = self._cache.get(block_index)
+        if block is not None:
+            return block
+        entry = self._index[block_index]
+        self._handle.seek(entry.offset)
+        payload = self._handle.read(entry.length)
+        if len(payload) != entry.length:
+            raise StoreError(
+                f"truncated block {block_index} in {self.path!r}: "
+                f"expected {entry.length} bytes, got {len(payload)}"
+            )
+        records = decode_block(payload, self._codec)
+        if len(records) != entry.num_records:
+            raise StoreError(
+                f"block {block_index} in {self.path!r} decoded to {len(records)} "
+                f"records, index says {entry.num_records}"
+            )
+        block = ([key for key, _ in records], records)
+        self._cache.put(block_index, block)
+        return block
+
+    def _block_for_key(self, key: Any) -> Optional[int]:
+        """Index of the single block that may contain ``key`` (None if out of range)."""
+        if not self._index:
+            return None
+        position = bisect_right(self._first_keys, key) - 1
+        if position < 0:
+            return None
+        if self._index[position].last_key < key:
+            return None
+        return position
+
+    # ------------------------------------------------------------- queries
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Point lookup: binary search the index, decode one block, bisect it."""
+        self._check_open()
+        block_index = self._block_for_key(key)
+        if block_index is None:
+            return default
+        keys, records = self._load_block(block_index)
+        position = bisect_left(keys, key)
+        if position < len(records) and keys[position] == key:
+            return records[position][1]
+        return default
+
+    def __contains__(self, key: object) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def scan(self, start: Any = None, stop: Any = None) -> Iterator[Record]:
+        """Stream records with ``start <= key < stop`` in key order.
+
+        ``None`` bounds are open; the scan seeks straight to the first
+        candidate block and stops as soon as a key reaches ``stop``, so a
+        narrow range reads a handful of blocks regardless of table size.
+        """
+        self._check_open()
+        if not self._index:
+            return
+        if start is None:
+            first_block = 0
+        else:
+            first_block = max(0, bisect_right(self._first_keys, start) - 1)
+        for block_index in range(first_block, len(self._index)):
+            entry = self._index[block_index]
+            if start is not None and entry.last_key < start:
+                continue
+            if stop is not None and not entry.first_key < stop:
+                return
+            for key, value in self._load_block(block_index)[1]:
+                if start is not None and key < start:
+                    continue
+                if stop is not None and not key < stop:
+                    return
+                yield key, value
+
+    def prefix(self, prefix: Tuple) -> Iterator[Record]:
+        """Stream every record whose key starts with ``prefix`` (tuple keys)."""
+        self._check_open()
+        return prefix_records(self.scan, prefix)
+
+    def top_k(self, k: int, order: str = "frequency") -> List[Record]:
+        """The ``k`` top records (by value, or by key) without materialising."""
+        self._check_open()
+        return top_k_records(self.scan(), k, order)
+
+    def iter_records(self) -> Iterator[Record]:
+        """Stream the whole table in key order."""
+        return self.scan()
+
+    def __iter__(self) -> Iterator[Record]:
+        return self.iter_records()
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._cache.clear()
+        self._handle.close()
+
+    def __enter__(self) -> "Table":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,146 @@
+"""Compression codecs shared by shard files and n-gram store blocks.
+
+One registry serves two consumers: the block-compressed tables of
+:mod:`repro.ngramstore` compress each key/value block as a unit
+(:meth:`Codec.compress` / :meth:`Codec.decompress`), while the dataset and
+shuffle layers wrap whole shard/spill files in a compressed stream
+(:meth:`Codec.open_write` / :meth:`Codec.open_read`) so the varint record
+framing of :mod:`repro.mapreduce.serialization` keeps working unchanged on
+top of the compressed byte stream.
+
+``none`` and ``gzip`` (zlib-based) are always available; ``zstd`` is
+registered only when the optional :mod:`zstandard` package is importable,
+and selecting it without the package raises a
+:class:`~repro.exceptions.ConfigurationError` instead of an ImportError
+deep inside a job.
+"""
+
+from __future__ import annotations
+
+import gzip
+import zlib
+from typing import BinaryIO, Tuple
+
+from repro.exceptions import ConfigurationError
+
+try:  # optional dependency; never required at import time
+    import zstandard as _zstandard
+except ImportError:  # pragma: no cover - exercised where zstandard is absent
+    _zstandard = None
+
+#: Every codec name the configuration layer accepts (availability of the
+#: optional ones is checked when the codec is actually resolved).
+CODEC_NAMES: Tuple[str, ...] = ("none", "gzip", "zstd")
+
+
+class Codec:
+    """Compression strategy for record blocks and shard files."""
+
+    name: str = "abstract"
+
+    # ------------------------------------------------------------- blocks
+    def compress(self, data: bytes) -> bytes:
+        """Compress one block of bytes."""
+        raise NotImplementedError
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ streams
+    def open_write(self, path: str) -> BinaryIO:
+        """Open ``path`` for writing a compressed byte stream."""
+        raise NotImplementedError
+
+    def open_read(self, path: str) -> BinaryIO:
+        """Open ``path`` for streaming decompressed bytes."""
+        raise NotImplementedError
+
+
+class NullCodec(Codec):
+    """Identity codec: plain files, bytes stored as-is."""
+
+    name = "none"
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, data: bytes) -> bytes:
+        return data
+
+    def open_write(self, path: str) -> BinaryIO:
+        return open(path, "wb")
+
+    def open_read(self, path: str) -> BinaryIO:
+        return open(path, "rb")
+
+
+class GzipCodec(Codec):
+    """zlib/gzip codec (always available; the portable default)."""
+
+    name = "gzip"
+
+    def __init__(self, level: int = 6) -> None:
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        return zlib.decompress(data)
+
+    def open_write(self, path: str) -> BinaryIO:
+        return gzip.open(path, "wb", compresslevel=self.level)
+
+    def open_read(self, path: str) -> BinaryIO:
+        return gzip.open(path, "rb")
+
+
+class ZstdCodec(Codec):
+    """Zstandard codec; registered only when ``zstandard`` is installed."""
+
+    name = "zstd"
+
+    def __init__(self, level: int = 3) -> None:
+        if _zstandard is None:  # pragma: no cover - guarded by get_codec
+            raise ConfigurationError("zstd codec requires the 'zstandard' package")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return _zstandard.ZstdCompressor(level=self.level).compress(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return _zstandard.ZstdDecompressor().decompress(data)
+
+    def open_write(self, path: str) -> BinaryIO:
+        compressor = _zstandard.ZstdCompressor(level=self.level)
+        return compressor.stream_writer(open(path, "wb"), closefd=True)
+
+    def open_read(self, path: str) -> BinaryIO:
+        decompressor = _zstandard.ZstdDecompressor()
+        return decompressor.stream_reader(open(path, "rb"), closefd=True)
+
+
+def available_codecs() -> Tuple[str, ...]:
+    """Names of the codecs usable in this environment."""
+    if _zstandard is None:
+        return tuple(name for name in CODEC_NAMES if name != "zstd")
+    return CODEC_NAMES
+
+
+def get_codec(name: str) -> Codec:
+    """Resolve a codec by name, failing loudly for unknown/unavailable ones."""
+    if name == "none":
+        return NullCodec()
+    if name == "gzip":
+        return GzipCodec()
+    if name == "zstd":
+        if _zstandard is None:
+            raise ConfigurationError(
+                "codec 'zstd' requires the optional 'zstandard' package "
+                f"(available here: {', '.join(available_codecs())})"
+            )
+        return ZstdCodec()
+    raise ConfigurationError(
+        f"unknown codec {name!r}; choose one of {', '.join(CODEC_NAMES)}"
+    )

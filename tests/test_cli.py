@@ -140,3 +140,89 @@ class TestApplicationCommands:
         output = capsys.readouterr().out
         assert "rising n-grams" in output
         assert "declining n-grams" in output
+
+
+class TestStoreAndQueryCommands:
+    @pytest.fixture()
+    def store_dir(self, corpus_dir, tmp_path):
+        directory = str(tmp_path / "store")
+        exit_code = main(
+            [
+                "count",
+                "--input",
+                corpus_dir,
+                "--tau",
+                "3",
+                "--sigma",
+                "3",
+                "--algorithm",
+                "APRIORI-SCAN",
+                "--materialize",
+                "disk",
+                "--spill-threshold",
+                "500r",
+                "--shard-codec",
+                "gzip",
+                "--store-dir",
+                directory,
+                "--store-codec",
+                "gzip",
+                "--store-partitions",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        return directory
+
+    def test_count_writes_store_layout(self, store_dir, capsys):
+        files = os.listdir(store_dir)
+        assert "store.json" in files
+        assert "dictionary.txt" in files
+        assert sum(1 for name in files if name.endswith(".ngt")) == 3
+
+    def test_query_stats(self, store_dir, capsys):
+        assert main(["query", store_dir, "--stats"]) == 0
+        output = capsys.readouterr().out
+        assert "APRIORI-SCAN" in output
+        assert "partitions" in output
+
+    def test_query_top_k(self, store_dir, capsys):
+        assert main(["query", store_dir, "--top-k", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+        frequencies = [int(line.split()[0]) for line in lines]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_query_get_and_prefix(self, store_dir, capsys):
+        assert main(["query", store_dir, "--top-k", "1"]) == 0
+        top_term = capsys.readouterr().out.split(None, 1)[1].strip()
+        assert main(["query", store_dir, "--get", top_term]) == 0
+        assert top_term in capsys.readouterr().out
+        assert main(["query", store_dir, "--prefix", top_term, "--limit", "3"]) == 0
+        assert "n-grams with prefix" in capsys.readouterr().out
+
+    def test_query_missing_ngram_exit_code(self, store_dir, capsys):
+        assert main(["query", store_dir, "--get", "7777777", "--ids"]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_query_unknown_term_is_not_found(self, store_dir, capsys):
+        """An out-of-vocabulary word is a not-found result, not a store error."""
+        assert main(["query", store_dir, "--get", "zz-not-a-word"]) == 1
+        assert "not found" in capsys.readouterr().out
+        assert main(["query", store_dir, "--prefix", "zz-not-a-word"]) == 0
+        assert "0 n-grams with prefix" in capsys.readouterr().out
+
+    def test_query_bad_store(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "nowhere"), "--stats"]) == 2
+
+    def test_invalid_spill_threshold_rejected(self, corpus_dir):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "count",
+                    "--input",
+                    corpus_dir,
+                    "--spill-threshold",
+                    "10frogs",
+                ]
+            )

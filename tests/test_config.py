@@ -82,3 +82,72 @@ class TestClusterConfig:
     def test_rejects_negative_overhead(self):
         with pytest.raises(ConfigurationError):
             ClusterConfig(job_overhead=-1.0)
+
+
+class TestParseSpillThreshold:
+    def test_bare_number_is_bytes(self):
+        from repro.config import parse_spill_threshold
+
+        assert parse_spill_threshold("65536") == (65536, None)
+
+    def test_byte_suffixes(self):
+        from repro.config import parse_spill_threshold
+
+        assert parse_spill_threshold("64kb") == (64 * 1024, None)
+        assert parse_spill_threshold("8MB") == (8 * 1024 * 1024, None)
+        assert parse_spill_threshold("512b") == (512, None)
+        assert parse_spill_threshold("1gb") == (1024**3, None)
+
+    def test_record_counts(self):
+        from repro.config import parse_spill_threshold
+
+        assert parse_spill_threshold("100k") == (None, 100_000)
+        assert parse_spill_threshold("2m") == (None, 2_000_000)
+        assert parse_spill_threshold("5000r") == (None, 5000)
+        assert parse_spill_threshold("5000rec") == (None, 5000)
+        assert parse_spill_threshold("250records") == (None, 250)
+        assert parse_spill_threshold(" 42 k ") == (None, 42_000)
+
+    def test_invalid_values_rejected(self):
+        from repro.config import parse_spill_threshold
+
+        for bad in ("", "abc", "10x", "-5", "1.5k", "0"):
+            with pytest.raises(ConfigurationError):
+                parse_spill_threshold(bad)
+
+
+class TestExecutionConfigNewFields:
+    def test_spill_threshold_records_validation(self):
+        from repro.config import ExecutionConfig
+
+        assert ExecutionConfig(spill_threshold_records=100).spill_threshold_records == 100
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(spill_threshold_records=0)
+
+    def test_shard_codec_validation(self):
+        from repro.config import ExecutionConfig
+
+        assert ExecutionConfig(shard_codec="gzip").shard_codec == "gzip"
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(shard_codec="lz77")
+
+
+class TestStoreConfig:
+    def test_defaults_are_valid(self):
+        from repro.config import StoreConfig
+
+        config = StoreConfig()
+        assert config.num_partitions >= 1
+        assert config.codec == "none"
+
+    def test_validation(self):
+        from repro.config import StoreConfig
+
+        with pytest.raises(ConfigurationError):
+            StoreConfig(num_partitions=0)
+        with pytest.raises(ConfigurationError):
+            StoreConfig(codec="bogus")
+        with pytest.raises(ConfigurationError):
+            StoreConfig(records_per_block=0)
+        with pytest.raises(ConfigurationError):
+            StoreConfig(sample_size=0)

@@ -212,3 +212,86 @@ class TestSpillingRunner:
         )
         assert high_threshold.counters.as_dict() == baseline.counters.as_dict()
         assert baseline.counters.get(SHUFFLE_SPILLS) == 0
+
+
+class TestRecordCountSpillBudget:
+    def test_record_budget_triggers_spills(self):
+        shuffle = ExternalShuffle(
+            Partitioner(),
+            SortComparator(),
+            num_partitions=3,
+            spill_threshold_records=10,
+        )
+        with shuffle:
+            shuffle.add_records(RECORDS)
+            shuffle.finalize()
+            assert shuffle.spilled
+            assert shuffle.stats.num_spills >= len(RECORDS) // 11
+            assert shuffle.stats.spilled_records == len(RECORDS)
+            assert shuffle.stats.spilled_bytes > 0
+            merged = [
+                list(partition.sorted_records(SortComparator()))
+                for partition in shuffle.partition_inputs()
+            ]
+        expected = TestExternalShuffle()._expected_partitions(RECORDS)
+        assert merged == expected
+
+    def test_record_budget_output_identical_to_byte_budget(self):
+        results = []
+        for kwargs in (
+            {"spill_threshold_bytes": 64},
+            {"spill_threshold_records": 7},
+            {},
+        ):
+            shuffle = ExternalShuffle(
+                Partitioner(), SortComparator(), num_partitions=3, **kwargs
+            )
+            with shuffle:
+                shuffle.add_records(RECORDS)
+                shuffle.finalize()
+                results.append(
+                    [
+                        list(partition.sorted_records(SortComparator()))
+                        for partition in shuffle.partition_inputs()
+                    ]
+                )
+        assert results[0] == results[1] == results[2]
+
+    def test_invalid_record_budget(self):
+        with pytest.raises(MapReduceError):
+            ExternalShuffle(
+                Partitioner(), SortComparator(), 2, spill_threshold_records=0
+            )
+
+
+class TestSpillCodec:
+    def test_gzip_spills_merge_byte_identically(self):
+        plain_shuffle = ExternalShuffle(
+            Partitioner(), SortComparator(), 3, spill_threshold_bytes=64
+        )
+        gzip_shuffle = ExternalShuffle(
+            Partitioner(), SortComparator(), 3, spill_threshold_bytes=64, codec="gzip"
+        )
+        outputs = []
+        for shuffle in (plain_shuffle, gzip_shuffle):
+            with shuffle:
+                shuffle.add_records(RECORDS)
+                shuffle.finalize()
+                assert shuffle.spilled
+                outputs.append(
+                    [
+                        list(partition.sorted_records(SortComparator()))
+                        for partition in shuffle.partition_inputs()
+                    ]
+                )
+        assert outputs[0] == outputs[1]
+
+    def test_partition_input_carries_codec(self):
+        shuffle = ExternalShuffle(
+            Partitioner(), SortComparator(), 2, spill_threshold_bytes=64, codec="gzip"
+        )
+        with shuffle:
+            shuffle.add_records(RECORDS)
+            shuffle.finalize()
+            for partition in shuffle.partition_inputs():
+                assert partition.codec == "gzip"

@@ -239,3 +239,45 @@ class TestPeakMemoryTracking:
         assert measurement.peak_memory_bytes == result.peak_memory_bytes
         assert measurement.peak_memory_bytes > 0
         assert measurement.as_row()["peak_mem_bytes"] == measurement.peak_memory_bytes
+
+
+class TestShardCodecAgreement:
+    """Compressed shards/spills must be byte-transparent to the engine."""
+
+    @pytest.mark.parametrize("algorithm", ("APRIORI-SCAN", "SUFFIX-SIGMA"))
+    def test_gzip_shards_and_spills_byte_identical(self, algorithm, small_newswire):
+        settings = dict(
+            materialize="disk", spill_threshold_records=200, retention="all"
+        )
+        reference = _run(
+            algorithm, ExecutionConfig(shard_codec="none", **settings), small_newswire
+        )
+        compressed = _run(
+            algorithm, ExecutionConfig(shard_codec="gzip", **settings), small_newswire
+        )
+        assert len(reference.statistics) > 0
+        assert compressed.statistics.as_dict() == reference.statistics.as_dict()
+        assert (
+            compressed.pipeline.counters.as_dict()
+            == reference.pipeline.counters.as_dict()
+        )
+
+    def test_gzip_shards_on_process_backend(self, small_newswire):
+        settings = dict(
+            runner="processes",
+            max_workers=2,
+            materialize="disk",
+            spill_threshold_bytes=4096,
+            retention="all",
+        )
+        reference = _run(
+            "NAIVE", ExecutionConfig(shard_codec="none", **settings), small_newswire
+        )
+        compressed = _run(
+            "NAIVE", ExecutionConfig(shard_codec="gzip", **settings), small_newswire
+        )
+        assert compressed.statistics.as_dict() == reference.statistics.as_dict()
+        assert (
+            compressed.pipeline.counters.as_dict()
+            == reference.pipeline.counters.as_dict()
+        )
