@@ -26,6 +26,8 @@ Installed as ``repro-ngrams`` (or ``python -m repro``).  Sub-commands:
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -177,6 +179,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default="none",
         help="per-block compression codec of the persisted store tables",
     )
+    count.add_argument(
+        "--materialize-corpus",
+        action="store_true",
+        help="decode the whole corpus into memory up front instead of "
+        "streaming it from its on-disk shard layout (the default)",
+    )
+    count.add_argument(
+        "--export-json",
+        default=None,
+        metavar="PATH",
+        help="write the run's measurements (counters, wallclock, peak memory) "
+        "to this JSON file",
+    )
     _add_execution_arguments(count)
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
@@ -296,7 +311,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
     if args.maximal and args.closed:
         print("error: --maximal and --closed are mutually exclusive", file=sys.stderr)
         return 2
-    collection = read_encoded_collection(args.input)
+    collection = read_encoded_collection(args.input, materialize=args.materialize_corpus)
     config = NGramJobConfig(
         min_frequency=args.tau,
         max_length=args.sigma,
@@ -339,6 +354,25 @@ def _cmd_count(args: argparse.Namespace) -> int:
             for ngram, frequency in sorted(decoded.items(), key=lambda item: -item[1]):
                 handle.write(f"{frequency}\t{' '.join(ngram)}\n")
         print(f"wrote {len(decoded)} n-grams to {args.output}")
+    if args.export_json:
+        payload = {
+            "algorithm": counter.name,
+            "tau": args.tau,
+            "sigma": args.sigma,
+            "num_ngrams": len(decoded),
+            "num_jobs": result.num_jobs,
+            "map_output_records": result.map_output_records,
+            "map_output_bytes": result.map_output_bytes,
+            "elapsed_seconds": result.elapsed_seconds,
+            "peak_memory_bytes": result.peak_memory_bytes,
+            "counters": result.counters.as_dict(),
+        }
+        parent = os.path.dirname(args.export_json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.export_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote measurements to {args.export_json}")
     if args.store_dir:
         from repro.ngramstore import load_manifest
 
@@ -539,7 +573,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_coderivatives(args: argparse.Namespace) -> int:
     from repro.applications.coderivatives import find_coderivative_pairs
 
-    collection = read_encoded_collection(args.input)
+    # Co-derivative mining accesses documents repeatedly; decode the corpus
+    # once instead of re-reading shards per lookup.
+    collection = read_encoded_collection(args.input, materialize=True)
     pairs = find_coderivative_pairs(
         collection, min_shared_length=args.min_length, max_pairs=args.top
     )
@@ -564,7 +600,9 @@ def _cmd_trends(args: argparse.Namespace) -> int:
     from repro.algorithms.extensions import SuffixSigmaTimeSeriesCounter
     from repro.applications.culturomics import trend_report, yearly_token_totals
 
-    collection = read_encoded_collection(args.input)
+    # The trend report iterates the collection twice (counting run, then
+    # yearly totals); decode it once instead of re-reading shards per pass.
+    collection = read_encoded_collection(args.input, materialize=True)
     config = NGramJobConfig(min_frequency=args.tau, max_length=args.sigma)
     counter = SuffixSigmaTimeSeriesCounter(config)
     counter.run(collection)

@@ -1,4 +1,4 @@
-"""On-disk format for encoded collections.
+"""On-disk format for encoded collections, and a streaming reader over it.
 
 The paper's preprocessing stores "the term dictionary ... as a single text
 file; documents are spread as key-value pairs of 64-bit document identifier
@@ -12,17 +12,36 @@ reproduces that layout at configurable shard count:
     Binary shards.  Each record is: varint document identifier, varint
     timestamp-plus-one (0 means "no timestamp"), varint sentence count, then
     each sentence as a length-prefixed varint sequence of term identifiers.
+
+:func:`read_encoded_collection` returns a
+:class:`ShardedEncodedCollection` by default: the dictionary and a small
+per-document index (identifier, timestamp, sentence/token counts, shard and
+byte offset — built in one streaming scan that never decodes sentence
+data) live in memory, while the documents themselves stay on disk and are
+decoded on demand.  ``records()`` streams the collection one document at a
+time and :meth:`ShardedEncodedCollection.dataset` plans map splits from the
+index alone, so a corpus larger than RAM runs end to end.
+``materialize=True`` restores the historical fully-resident
+:class:`EncodedCollection`.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.corpus.collection import EncodedCollection, EncodedDocument
 from repro.corpus.vocabulary import Vocabulary
-from repro.exceptions import CorpusError
-from repro.util.varint import decode_sequence, decode_varint, encode_sequence, encode_varint
+from repro.exceptions import CorpusError, DatasetError, SerializationError
+from repro.mapreduce.dataset import Dataset, plan_split_sizes
+from repro.util.varint import (
+    _CONTINUATION,
+    decode_sequence,
+    decode_varint,
+    encode_sequence,
+    encode_varint,
+)
 
 DICTIONARY_FILENAME = "dictionary.txt"
 SHARD_PATTERN = "part-{index:05d}.bin"
@@ -77,27 +96,390 @@ def write_encoded_collection(
             handle.write(bytes(payload))
 
 
-def read_encoded_collection(directory: str) -> EncodedCollection:
-    """Read a collection previously written by :func:`write_encoded_collection`."""
+@dataclass(frozen=True)
+class DocumentEntry:
+    """Index entry of one document: its header plus where its bytes live.
+
+    Entries are what a :class:`ShardedEncodedCollection` keeps in memory —
+    a handful of integers per document, independent of how much text the
+    document holds.
+    """
+
+    doc_id: int
+    timestamp: Optional[int]
+    num_sentences: int
+    num_tokens: int
+    shard_index: int
+    offset: int
+    length: int
+
+
+#: Bytes read per chunk while scanning shard headers.
+_SCAN_CHUNK_BYTES = 256 * 1024
+
+
+class _ShardScanner:
+    """Chunk-buffered varint reader over one shard file.
+
+    Decoding runs on an in-memory buffer refilled in large reads — one
+    syscall per chunk, not one per byte — and sentence payloads are
+    skipped by scanning continuation bits, so indexing a shard costs a
+    fraction of decoding it while the resident window stays one chunk.
+    """
+
+    def __init__(self, handle, chunk_bytes: int = _SCAN_CHUNK_BYTES) -> None:
+        self._handle = handle
+        self._chunk_bytes = chunk_bytes
+        self._buffer = b""
+        self._pos = 0
+        self._base = 0  # file offset of the buffer's first byte
+
+    def tell(self) -> int:
+        return self._base + self._pos
+
+    def _refill(self) -> bool:
+        """Drop consumed bytes and append one more chunk; False at EOF."""
+        if self._pos:
+            self._base += self._pos
+            self._buffer = self._buffer[self._pos :]
+            self._pos = 0
+        chunk = self._handle.read(self._chunk_bytes)
+        if not chunk:
+            return False
+        self._buffer += chunk
+        return True
+
+    def read_varint(self) -> Tuple[int, bool]:
+        """Next varint as ``(value, at_eof)``; EOF only at a clean boundary."""
+        while True:
+            if self._pos < len(self._buffer):
+                try:
+                    value, self._pos = decode_varint(self._buffer, self._pos)
+                    return value, False
+                except SerializationError:
+                    # A varint can straddle the chunk boundary; with ten or
+                    # more bytes in hand the failure is genuine.
+                    if len(self._buffer) - self._pos >= 10 or not self._refill():
+                        raise
+            elif not self._refill():
+                return 0, True
+
+    def skip_varints(self, count: int) -> None:
+        """Skip ``count`` varints without decoding their values."""
+        buffer, pos = self._buffer, self._pos
+        while count:
+            if pos >= len(buffer):
+                self._pos = pos
+                if not self._refill():
+                    raise SerializationError("truncated varint in stream")
+                buffer, pos = self._buffer, self._pos
+                continue
+            if not buffer[pos] & _CONTINUATION:
+                count -= 1
+            pos += 1
+        self._pos = pos
+
+
+def _scan_shard(path: str, shard_index: int) -> List[DocumentEntry]:
+    """Stream one shard, indexing document headers without decoding content.
+
+    Sentence payloads are skipped (their length prefixes are summed into
+    the token count), so the scan's memory footprint is one read chunk
+    regardless of document size.
+    """
+    entries: List[DocumentEntry] = []
+    with open(path, "rb") as handle:
+        scanner = _ShardScanner(handle)
+        while True:
+            offset = scanner.tell()
+            doc_id, at_eof = scanner.read_varint()
+            if at_eof:
+                return entries
+            raw_timestamp, at_eof = scanner.read_varint()
+            if at_eof:
+                raise CorpusError(f"truncated document header in {path!r}")
+            num_sentences, at_eof = scanner.read_varint()
+            if at_eof:
+                raise CorpusError(f"truncated document header in {path!r}")
+            num_tokens = 0
+            for _ in range(num_sentences):
+                sentence_length, at_eof = scanner.read_varint()
+                if at_eof:
+                    raise CorpusError(f"truncated sentence in {path!r}")
+                num_tokens += sentence_length
+                scanner.skip_varints(sentence_length)
+            entries.append(
+                DocumentEntry(
+                    doc_id=doc_id,
+                    timestamp=None if raw_timestamp == 0 else raw_timestamp - 1,
+                    num_sentences=num_sentences,
+                    num_tokens=num_tokens,
+                    shard_index=shard_index,
+                    offset=offset,
+                    length=scanner.tell() - offset,
+                )
+            )
+
+
+class ShardedEncodedCollection(EncodedCollection):
+    """A shard-backed encoded collection whose documents stay on disk.
+
+    Only the vocabulary and the per-document :class:`DocumentEntry` index
+    are resident; every access decodes documents on demand, in document
+    identifier order (matching the eager reader).  Aggregate properties
+    (sentence, token and document counts, timestamps) come straight from
+    the index, and :meth:`dataset` plans map splits from it without
+    touching document bytes.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        vocabulary: Vocabulary,
+        shard_paths: List[str],
+        entries: List[DocumentEntry],
+    ) -> None:
+        # Deliberately not calling EncodedCollection.__init__: documents
+        # are never materialised, so every accessor touching the eager
+        # class's internals is overridden below.  The internals themselves
+        # are poisoned with None so a future EncodedCollection method that
+        # reaches for them fails fast here instead of reporting an empty
+        # collection.
+        self._documents = None  # type: ignore[assignment]
+        self._by_id = None  # type: ignore[assignment]
+        self.vocabulary = vocabulary
+        self._directory = directory
+        self._shard_paths = tuple(shard_paths)
+        self._entries = tuple(sorted(entries, key=lambda entry: entry.doc_id))
+        self._by_doc_id: Dict[int, DocumentEntry] = {}
+        for entry in self._entries:
+            if entry.doc_id in self._by_doc_id:
+                raise CorpusError(f"duplicate document identifier {entry.doc_id}")
+            self._by_doc_id[entry.doc_id] = entry
+        # The entries are frozen; aggregate once instead of per access.
+        self._num_sentences = sum(entry.num_sentences for entry in self._entries)
+        self._num_tokens = sum(entry.num_tokens for entry in self._entries)
+
+    @property
+    def directory(self) -> str:
+        """The corpus directory this collection streams from."""
+        return self._directory
+
+    # ------------------------------------------------------------- decoding
+    def _decode_entry(self, entry: DocumentEntry, handle=None) -> EncodedDocument:
+        if handle is not None:
+            handle.seek(entry.offset)
+            data = handle.read(entry.length)
+        else:
+            with open(self._shard_paths[entry.shard_index], "rb") as shard:
+                shard.seek(entry.offset)
+                data = shard.read(entry.length)
+        document, _ = _decode_document(data, 0)
+        return document
+
+    def _iter_documents(self) -> Iterator[EncodedDocument]:
+        """Decode documents in identifier order, one shard handle per shard."""
+        handles: Dict[int, object] = {}
+        try:
+            for entry in self._entries:
+                handle = handles.get(entry.shard_index)
+                if handle is None:
+                    handle = open(self._shard_paths[entry.shard_index], "rb")
+                    handles[entry.shard_index] = handle
+                yield self._decode_entry(entry, handle=handle)
+        finally:
+            for handle in handles.values():
+                handle.close()
+
+    # -------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[EncodedDocument]:
+        return self._iter_documents()
+
+    def __getitem__(self, doc_id: int) -> EncodedDocument:
+        if doc_id not in self._by_doc_id:
+            raise KeyError(doc_id)
+        return self._decode_entry(self._by_doc_id[doc_id])
+
+    @property
+    def documents(self) -> Tuple[EncodedDocument, ...]:
+        """Every document, decoded — the non-streaming escape hatch."""
+        return tuple(self._iter_documents())
+
+    def records(self) -> Iterator[Tuple[int, Tuple]]:
+        """Stream one ``(doc_id, term_id_sequence)`` record per sentence."""
+        for document in self._iter_documents():
+            for sentence in document.sentences:
+                yield document.doc_id, sentence
+
+    def dataset(self) -> "ShardedCorpusDataset":
+        """The records as a dataset whose splits are planned on the index.
+
+        Unlike the in-memory collections' view, a split here pickles as
+        shard paths plus byte offsets, so process-backend workers read
+        their slice of the corpus straight from the shard files.
+        """
+        return ShardedCorpusDataset(self)
+
+    def timestamps(self) -> Dict[int, Optional[int]]:
+        return {entry.doc_id: entry.timestamp for entry in self._entries}
+
+    @property
+    def num_token_occurrences(self) -> int:
+        return self._num_tokens
+
+    @property
+    def num_sentences(self) -> int:
+        return self._num_sentences
+
+
+@dataclass(frozen=True)
+class _DocumentSegment:
+    """A contiguous range of one document's sentences, addressed on disk."""
+
+    path: str
+    offset: int
+    length: int
+    skip: int
+    take: int
+
+
+@dataclass(frozen=True)
+class ShardedCorpusSplit:
+    """One map split of a sharded corpus: document segments to decode.
+
+    Picklable at a few dozen bytes per document touched; iterating decodes
+    each segment's document from its shard (handles are reused per shard
+    within the split) and yields its sentence records.
+    """
+
+    segments: Tuple[_DocumentSegment, ...]
+
+    def __len__(self) -> int:
+        return sum(segment.take for segment in self.segments)
+
+    def __iter__(self) -> Iterator[Tuple[int, Tuple]]:
+        handles: Dict[str, object] = {}
+        try:
+            for segment in self.segments:
+                handle = handles.get(segment.path)
+                if handle is None:
+                    handle = open(segment.path, "rb")
+                    handles[segment.path] = handle
+                handle.seek(segment.offset)
+                document, _ = _decode_document(handle.read(segment.length), 0)
+                sentences = document.sentences[segment.skip : segment.skip + segment.take]
+                for sentence in sentences:
+                    yield document.doc_id, sentence
+        finally:
+            for handle in handles.values():
+                handle.close()
+
+
+class ShardedCorpusDataset(Dataset):
+    """Streaming dataset view over a :class:`ShardedEncodedCollection`.
+
+    ``split`` walks the document index only: split boundaries follow
+    :func:`~repro.mapreduce.dataset.plan_split_sizes` over the global
+    sentence sequence (the same planner every dataset flavour uses, so
+    task boundaries cannot drift between corpus- and dataset-backed
+    inputs), and a boundary falling inside a document becomes a sentence
+    ``skip`` in that document's segment.
+    """
+
+    def __init__(self, collection: ShardedEncodedCollection) -> None:
+        self._collection = collection
+
+    def iter_records(self) -> Iterator[Tuple[int, Tuple]]:
+        return self._collection.records()
+
+    @property
+    def num_records(self) -> int:
+        return self._collection.num_sentences
+
+    def split(self, num_splits: int) -> List[ShardedCorpusSplit]:
+        collection = self._collection
+        sizes = plan_split_sizes(self.num_records, num_splits)
+        entries = collection._entries
+        paths = collection._shard_paths
+        splits: List[ShardedCorpusSplit] = []
+        entry_index = 0
+        assigned = 0  # sentences of the current document already assigned
+        for size in sizes:
+            segments: List[_DocumentSegment] = []
+            needed = size
+            while needed > 0:
+                entry = entries[entry_index]
+                available = entry.num_sentences - assigned
+                if available == 0:
+                    entry_index += 1
+                    assigned = 0
+                    continue
+                take = min(needed, available)
+                segments.append(
+                    _DocumentSegment(
+                        path=paths[entry.shard_index],
+                        offset=entry.offset,
+                        length=entry.length,
+                        skip=assigned,
+                        take=take,
+                    )
+                )
+                needed -= take
+                assigned += take
+            splits.append(ShardedCorpusSplit(segments=tuple(segments)))
+        return splits
+
+    def release(self) -> None:
+        raise DatasetError("a corpus-backed dataset cannot be released")
+
+    @property
+    def released(self) -> bool:
+        return False
+
+
+def _corpus_layout(directory: str) -> Tuple[str, List[str]]:
+    """Locate the dictionary and shard files of a corpus directory."""
     dictionary_path = os.path.join(directory, DICTIONARY_FILENAME)
     if not os.path.exists(dictionary_path):
         raise CorpusError(f"no dictionary file found in {directory!r}")
+    shard_paths: List[str] = []
+    while True:
+        path = _shard_path(directory, len(shard_paths))
+        if not os.path.exists(path):
+            break
+        shard_paths.append(path)
+    return dictionary_path, shard_paths
+
+
+def read_encoded_collection(directory: str, materialize: bool = False) -> EncodedCollection:
+    """Read a collection previously written by :func:`write_encoded_collection`.
+
+    By default the documents stay on disk: the returned
+    :class:`ShardedEncodedCollection` holds only the vocabulary and a
+    per-document index, streaming (and splitting) the corpus from its
+    shard layout.  ``materialize=True`` decodes everything up front into a
+    fully-resident :class:`EncodedCollection`.
+    """
+    dictionary_path, shard_paths = _corpus_layout(directory)
     with open(dictionary_path, "r", encoding="utf-8") as handle:
         vocabulary = Vocabulary.from_lines(handle)
 
-    documents: List[EncodedDocument] = []
-    shard_index = 0
-    while True:
-        path = _shard_path(directory, shard_index)
-        if not os.path.exists(path):
-            break
-        with open(path, "rb") as handle:
-            data = handle.read()
-        offset = 0
-        while offset < len(data):
-            document, offset = _decode_document(data, offset)
-            documents.append(document)
-        shard_index += 1
+    if materialize:
+        documents: List[EncodedDocument] = []
+        for path in shard_paths:
+            with open(path, "rb") as handle:
+                data = handle.read()
+            offset = 0
+            while offset < len(data):
+                document, offset = _decode_document(data, offset)
+                documents.append(document)
+        documents.sort(key=lambda document: document.doc_id)
+        return EncodedCollection(documents, vocabulary)
 
-    documents.sort(key=lambda document: document.doc_id)
-    return EncodedCollection(documents, vocabulary)
+    entries: List[DocumentEntry] = []
+    for shard_index, path in enumerate(shard_paths):
+        entries.extend(_scan_shard(path, shard_index))
+    return ShardedEncodedCollection(directory, vocabulary, shard_paths, entries)

@@ -2,14 +2,43 @@
 
 A context exposes ``emit`` and the task's :class:`~repro.mapreduce.counters.Counters`
 plus read-only access to the job-wide :class:`~repro.mapreduce.cache.DistributedCache`.
+
+Emissions either buffer in the context (drained by the runner) or stream
+through a *sink* — any object with ``append(key, value)``.  Sinks are how
+the engine keeps task output off the heap: reduce output streams into shard
+files, combiner-less map output straight into the shuffle, and map output
+with a combiner into the bounded
+:class:`~repro.mapreduce.shuffle.CombineBuffer`.  :class:`CountingSink` is
+the shared adapter that forwards emissions to a callable while keeping the
+record/byte accounting every runner reports.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.serialization import record_size
+
+
+class CountingSink:
+    """Forwards emissions to ``output`` while counting records and bytes.
+
+    ``serialized_bytes`` uses the compact-encoding :func:`record_size`
+    accounting, matching the shuffle counters; ``output`` is any
+    ``(key, value)`` callable (``shuffle.add``, a list collector, ...).
+    """
+
+    def __init__(self, output: Callable[[Any, Any], None]) -> None:
+        self._output = output
+        self.num_records = 0
+        self.serialized_bytes = 0
+
+    def append(self, key: Any, value: Any) -> None:
+        self.serialized_bytes += record_size(key, value)
+        self.num_records += 1
+        self._output(key, value)
 
 
 class TaskContext:

@@ -37,6 +37,7 @@ from repro.mapreduce.dataset import Dataset, as_dataset
 from repro.mapreduce.job import JobSpec
 from repro.mapreduce.metrics import JobMetrics, TaskMetrics
 from repro.mapreduce.runner import JobResult, LocalJobRunner, ReduceInput, ReduceOutcome
+from repro.mapreduce.shuffle import ExternalShuffle, MapTaskSpills
 
 Record = Tuple[Any, Any]
 
@@ -100,6 +101,30 @@ class PooledJobRunner(LocalJobRunner):
     def _prepare_job(self, job: JobSpec) -> None:
         """Called once per run before any task is submitted."""
 
+    def _prepare_shuffle(self, shuffle: ExternalShuffle) -> None:
+        """Called once per run with the job's shuffle, before map tasks.
+
+        The process backend uses it to materialise the shuffle's run
+        directory so worker-local partial shuffles can spill under it.
+        """
+
+    def _route_map_output(self, shuffle: ExternalShuffle, task_output: Any) -> None:
+        """Fold one completed map task's output into the shuffle.
+
+        Tasks hand back either their record list (added to the shuffle's
+        buffers) or a :class:`~repro.mapreduce.shuffle.MapTaskSpills`
+        describing runs they already partitioned and spilled worker-side
+        (adopted as run paths — the records never reach this process).
+        Called in task order, which is what keeps the merge stable and the
+        output byte-identical to sequential execution.
+        """
+        if task_output is None:
+            return
+        if isinstance(task_output, MapTaskSpills):
+            shuffle.adopt_runs(task_output.run_paths, task_output.stats)
+        else:
+            shuffle.add_records(task_output)
+
     def _make_phase_executor(self, num_tasks: int) -> Executor:
         raise NotImplementedError
 
@@ -127,6 +152,7 @@ class PooledJobRunner(LocalJobRunner):
 
         shuffle = self._new_shuffle(job)
         try:
+            self._prepare_shuffle(shuffle)
             num_tasks = max(len(splits), job.num_reducers)
             with self._make_phase_executor(num_tasks) as executor:
                 futures: List[Optional[Future]] = [
@@ -137,7 +163,7 @@ class PooledJobRunner(LocalJobRunner):
                     for task_records, task_metrics, task_counters in iter_task_results(
                         futures, job, "map"
                     ):
-                        shuffle.add_records(task_records)
+                        self._route_map_output(shuffle, task_records)
                         metrics.map_tasks.append(task_metrics)
                         counters.merge(task_counters)
                 except MapReduceError:

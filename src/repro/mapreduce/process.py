@@ -20,10 +20,20 @@ adds only the process-boundary concerns:
 * the job and cache are pickled once per run and the same bytes shipped to
   every task, keeping per-submit serialisation to a memcpy (tasks never
   publish to the cache; pipelines publish between jobs, in the parent);
-* with a spill threshold set, reduce workers receive only run *file paths*
-  (see :class:`~repro.mapreduce.shuffle.PartitionInput`) and stream their
-  partition from a k-way merge, so neither the parent nor any worker ever
-  materialises a spilled partition.
+* with a spill threshold set, *map* workers run a worker-local partial
+  shuffle: emissions are partitioned and spilled as sorted runs inside the
+  parent shuffle's run directory (same budget, varint spill codec and
+  ``shard_codec`` stream compression), and only the run paths travel back
+  as a :class:`~repro.mapreduce.shuffle.MapTaskSpills` — map output never
+  crosses the process boundary as pickled record lists;
+* likewise reduce workers receive only run *file paths* (see
+  :class:`~repro.mapreduce.shuffle.PartitionInput`) and stream their
+  partition from a fan-in-capped k-way merge, so neither the parent nor
+  any worker ever materialises a spilled partition.
+
+Without a spill budget the backend keeps its historical fully-in-memory
+contract: map records are pickled back to the parent and counter sets stay
+identical to the sequential runner's.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import Executor, Future, ProcessPoolExecutor
+from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Any, Optional, Tuple
 
@@ -41,8 +52,25 @@ from repro.mapreduce.job import JobSpec
 from repro.mapreduce.metrics import TaskMetrics
 from repro.mapreduce.parallel import PooledJobRunner, TaskResult
 from repro.mapreduce.runner import LocalJobRunner
+from repro.mapreduce.shuffle import ExternalShuffle, MapTaskSpills
 
 Record = Tuple[Any, Any]
+
+
+@dataclass(frozen=True)
+class MapSpillSpec:
+    """How a map worker runs its worker-local partial shuffle.
+
+    ``spill_dir`` is the parent shuffle's run directory: the worker's
+    shuffle creates its own unique subdirectory inside it, so the parent's
+    cleanup removes worker runs (including partial files left by a crashed
+    task) together with its own.
+    """
+
+    spill_dir: str
+    spill_threshold_bytes: Optional[int] = None
+    spill_threshold_records: Optional[int] = None
+    codec: str = "none"
 
 #: Job attributes probed (in order) when the job fails to pickle, paired
 #: with whether the attribute is a factory (called to learn the task class).
@@ -62,6 +90,7 @@ def _run_task_in_worker(
     task_index: int,
     task_input: Any,
     reduce_sink: Optional[Any] = None,
+    map_spill: Optional[MapSpillSpec] = None,
 ) -> Tuple[Any, TaskMetrics, Counters]:
     """Execute one map or reduce task inside a worker process.
 
@@ -70,14 +99,51 @@ def _run_task_in_worker(
     :class:`~repro.mapreduce.dataset.ShardSink` the reduce output is framed
     to its shard file *in the worker* and only the shard description is
     pickled back — output record lists never cross the process boundary.
+    With a :class:`MapSpillSpec` the same holds for map output: the task's
+    emissions flow (through the combine buffer, when the job has one) into
+    a worker-local :class:`~repro.mapreduce.shuffle.ExternalShuffle`, the
+    remainder is force-spilled when the task ends, and only the run paths
+    are pickled back.
     """
     job: JobSpec = pickle.loads(job_bytes)
     cache: DistributedCache = pickle.loads(cache_bytes)
-    runner = LocalJobRunner(cache=cache)
     counters = Counters()
     if phase == "map":
+        if map_spill is not None:
+            runner = LocalJobRunner(
+                cache=cache,
+                spill_threshold_bytes=map_spill.spill_threshold_bytes,
+                spill_threshold_records=map_spill.spill_threshold_records,
+            )
+            worker_shuffle = ExternalShuffle(
+                job.partitioner,
+                job.sort_comparator,
+                job.num_reducers,
+                spill_threshold_bytes=map_spill.spill_threshold_bytes,
+                spill_threshold_records=map_spill.spill_threshold_records,
+                spill_dir=map_spill.spill_dir,
+                codec=map_spill.codec,
+            )
+            try:
+                _, metrics = runner._run_map_task(
+                    job, task_index, task_input, counters, shuffle=worker_shuffle
+                )
+                worker_shuffle.finalize(spill_remainder=True)
+            except BaseException:
+                # Remove this task's partial runs right away; the parent's
+                # shuffle cleanup would catch them too, but a crashed task
+                # should not leave debris even transiently.
+                worker_shuffle.cleanup()
+                raise
+            spills = MapTaskSpills(
+                run_paths=tuple(worker_shuffle.run_paths()),
+                stats=worker_shuffle.stats,
+            )
+            return spills, metrics, counters
+        runner = LocalJobRunner(cache=cache)
         records, metrics = runner._run_map_task(job, task_index, task_input, counters)
         return records, metrics, counters
+    runner = LocalJobRunner(cache=cache)
     outcome, metrics = runner._run_reduce_task(
         job, task_index, task_input, counters, output_sink=reduce_sink
     )
@@ -127,6 +193,15 @@ class ProcessPoolJobRunner(PooledJobRunner):
         self.mp_context = mp_context
         self._job_bytes: Optional[bytes] = None
         self._cache_bytes: Optional[bytes] = None
+        self._map_spill: Optional[MapSpillSpec] = None
+
+    @property
+    def worker_side_shuffle(self) -> bool:
+        """Whether map workers partition-and-spill locally (budget configured)."""
+        return (
+            self.spill_threshold_bytes is not None
+            or self.spill_threshold_records is not None
+        )
 
     # ---------------------------------------------------------- serialising
     def _describe_component(self, job: JobSpec, attribute: str, is_factory: bool) -> str:
@@ -178,6 +253,18 @@ class ProcessPoolJobRunner(PooledJobRunner):
         self._job_bytes = self._pickle_job(job)
         self._cache_bytes = self._pickle_cache(job)
 
+    def _prepare_shuffle(self, shuffle: Any) -> None:
+        """Root the workers' partial shuffles under the parent's run dir."""
+        if self.worker_side_shuffle:
+            self._map_spill = MapSpillSpec(
+                spill_dir=shuffle.ensure_run_dir(),
+                spill_threshold_bytes=self.spill_threshold_bytes,
+                spill_threshold_records=self.spill_threshold_records,
+                codec=self.shard_codec,
+            )
+        else:
+            self._map_spill = None
+
     def _make_phase_executor(self, num_tasks: int) -> Executor:
         workers = max(1, min(self.max_workers, num_tasks))
         context = get_context(self.mp_context) if self.mp_context else None
@@ -201,4 +288,5 @@ class ProcessPoolJobRunner(PooledJobRunner):
             task_index,
             task_input,
             reduce_sink,
+            self._map_spill if phase == "map" else None,
         )

@@ -35,7 +35,7 @@ from repro.config import MATERIALIZE_MODES
 from repro.exceptions import MapReduceError
 from repro.mapreduce import counters as counter_names
 from repro.mapreduce.cache import DistributedCache
-from repro.mapreduce.context import TaskContext
+from repro.mapreduce.context import CountingSink, TaskContext
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.dataset import (
     Dataset,
@@ -51,6 +51,7 @@ from repro.mapreduce.job import JobSpec
 from repro.mapreduce.metrics import JobMetrics, TaskMetrics
 from repro.mapreduce.serialization import record_size
 from repro.mapreduce.shuffle import (
+    CombineBuffer,
     ExternalShuffle,
     PartitionInput,
     group_sorted_records,
@@ -128,26 +129,6 @@ class JobResult:
     @property
     def output_released(self) -> bool:
         return self.output_dataset.released
-
-
-class _ShuffleSink:
-    """Streams map emissions straight into the shuffle, with accounting.
-
-    Used by the sequential runner when no combiner is configured: the map
-    task's output then never exists as a list, which is what bounds the
-    memory of NAIVE's ``n·σ``-record map output to the shuffle's spill
-    budget.
-    """
-
-    def __init__(self, shuffle: ExternalShuffle) -> None:
-        self._shuffle = shuffle
-        self.num_records = 0
-        self.serialized_bytes = 0
-
-    def append(self, key: Any, value: Any) -> None:
-        self.serialized_bytes += record_size(key, value)
-        self.num_records += 1
-        self._shuffle.add(key, value)
 
 
 class LocalJobRunner:
@@ -278,15 +259,39 @@ class LocalJobRunner:
     ) -> Tuple[Optional[List[Record]], TaskMetrics]:
         """Run one map task over ``split``.
 
-        With ``shuffle`` given and no combiner configured, emissions stream
-        directly into the shuffle and the returned record list is ``None``;
-        otherwise the task's (possibly combined) output is returned for the
-        caller to route.  Counter totals are identical either way.
+        With ``shuffle`` given, emissions stream out of the task as they
+        are produced — straight into the shuffle when no combiner is
+        configured, or through a budget-bounded :class:`CombineBuffer`
+        otherwise — and the returned record list is ``None``.  Without a
+        shuffle (the pooled backends collecting task output to route in
+        task order) the task's (possibly combined) output is returned for
+        the caller to route.  Counter totals are identical either way.
         """
         started = time.perf_counter()
         mapper = job.make_mapper()
-        combiner = job.make_combiner()
-        sink = _ShuffleSink(shuffle) if shuffle is not None and combiner is None else None
+        has_combiner = job.combiner_factory is not None
+        collected: Optional[List[Record]] = None
+
+        combine_buffer: Optional[CombineBuffer] = None
+        sink: Optional[Any] = None
+        if has_combiner:
+            if shuffle is not None:
+                downstream = shuffle.add
+            else:
+                collected = []
+                downstream = lambda key, value: collected.append((key, value))  # noqa: E731
+            combine_buffer = CombineBuffer(
+                job,
+                counters=counters,
+                cache=self.cache,
+                output=downstream,
+                spill_threshold_bytes=self.spill_threshold_bytes,
+                spill_threshold_records=self.spill_threshold_records,
+            )
+            sink = combine_buffer
+        elif shuffle is not None:
+            sink = CountingSink(shuffle.add)
+
         context = TaskContext(counters=counters, cache=self.cache, sink=sink)
         mapper.setup(context)
         input_records = 0
@@ -295,6 +300,27 @@ class LocalJobRunner:
             counters.increment(counter_names.MAP_INPUT_RECORDS)
             mapper.map(key, value, context)
         mapper.cleanup(context)
+
+        if combine_buffer is not None:
+            combine_buffer.flush()
+            counters.increment(
+                counter_names.MAP_OUTPUT_RECORDS, combine_buffer.emitted_records
+            )
+            counters.increment(counter_names.MAP_OUTPUT_BYTES, combine_buffer.emitted_bytes)
+            counters.increment(
+                counter_names.SHUFFLE_RECORDS, combine_buffer.combined_records
+            )
+            counters.increment(counter_names.SHUFFLE_BYTES, combine_buffer.combined_bytes)
+            metrics = TaskMetrics(
+                task_type="map",
+                task_index=task_index,
+                input_records=input_records,
+                output_records=combine_buffer.emitted_records,
+                output_bytes=combine_buffer.emitted_bytes,
+                sorted_records=combine_buffer.sorted_records,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+            return collected, metrics
 
         if sink is not None:
             counters.increment(counter_names.MAP_OUTPUT_RECORDS, sink.num_records)
@@ -318,16 +344,8 @@ class LocalJobRunner:
             output_bytes += record_size(key, value)
         counters.increment(counter_names.MAP_OUTPUT_RECORDS, len(emitted))
         counters.increment(counter_names.MAP_OUTPUT_BYTES, output_bytes)
-
-        shuffle_records = emitted
-        sorted_records = 0
-        if combiner is not None and emitted:
-            shuffle_records = self._run_combiner(job, combiner, emitted, counters)
-            sorted_records = len(emitted)
-
-        shuffle_bytes = sum(record_size(key, value) for key, value in shuffle_records)
-        counters.increment(counter_names.SHUFFLE_RECORDS, len(shuffle_records))
-        counters.increment(counter_names.SHUFFLE_BYTES, shuffle_bytes)
+        counters.increment(counter_names.SHUFFLE_RECORDS, len(emitted))
+        counters.increment(counter_names.SHUFFLE_BYTES, output_bytes)
 
         metrics = TaskMetrics(
             task_type="map",
@@ -335,28 +353,10 @@ class LocalJobRunner:
             input_records=input_records,
             output_records=len(emitted),
             output_bytes=output_bytes,
-            sorted_records=sorted_records,
+            sorted_records=0,
             elapsed_seconds=time.perf_counter() - started,
         )
-        return shuffle_records, metrics
-
-    def _run_combiner(
-        self,
-        job: JobSpec,
-        combiner: Any,
-        emitted: List[Record],
-        counters: Counters,
-    ) -> List[Record]:
-        sorted_records = sort_partition(emitted, job.sort_comparator)
-        context = TaskContext(counters=counters, cache=self.cache)
-        combiner.setup(context)
-        for key, values in group_sorted_records(sorted_records, job.sort_comparator):
-            counters.increment(counter_names.COMBINE_INPUT_RECORDS, len(values))
-            combiner.reduce(key, values, context)
-        combiner.cleanup(context)
-        combined = context.drain()
-        counters.increment(counter_names.COMBINE_OUTPUT_RECORDS, len(combined))
-        return combined
+        return emitted, metrics
 
     # --------------------------------------------------------------- reduce
     def _sorted_reduce_stream(self, job: JobSpec, partition: ReduceInput) -> Iterator[Record]:

@@ -30,7 +30,7 @@ import pickle
 from typing import Any, BinaryIO, Iterator, Tuple
 
 from repro.exceptions import SerializationError
-from repro.util.varint import _CONTINUATION, _PAYLOAD_MASK, encode_varint, encoded_length
+from repro.util.varint import encode_varint, encoded_length, read_stream_varint
 
 
 def serialized_size(obj: Any) -> int:
@@ -94,30 +94,10 @@ def write_framed_record(handle: BinaryIO, key: Any, value: Any) -> int:
     return len(header) + len(payload)
 
 
-def _read_stream_varint(handle: BinaryIO) -> Tuple[int, bool]:
-    """Read one varint from a stream; ``(value, at_eof_before_first_byte)``."""
-    value = 0
-    shift = 0
-    first = True
-    while True:
-        byte = handle.read(1)
-        if not byte:
-            if first:
-                return 0, True
-            raise SerializationError("truncated varint in spill file")
-        first = False
-        value |= (byte[0] & _PAYLOAD_MASK) << shift
-        if not byte[0] & _CONTINUATION:
-            return value, False
-        shift += 7
-        if shift > 63:
-            raise SerializationError("varint too long in spill file")
-
-
 def read_framed_records(handle: BinaryIO) -> Iterator[Tuple[Any, Any]]:
     """Iterate over the record frames of an open spill file."""
     while True:
-        length, at_eof = _read_stream_varint(handle)
+        length, at_eof = read_stream_varint(handle)
         if at_eof:
             return
         payload = handle.read(length)

@@ -15,6 +15,20 @@ Two shuffle implementations exist:
   migrate-to-disk policy as :class:`repro.kvstore.spilling.SpillingKVStore`)
   and streams each reduce partition from a k-way :func:`heapq.merge` of its
   runs — Hadoop's sort-spill-merge shuffle in miniature.
+
+Two further pieces complete the map side of the out-of-core story:
+
+* :class:`CombineBuffer` is the bounded sort/combine buffer map emissions
+  flow through when a job configures a combiner: once the buffered records
+  exceed the spill budget they are sorted, grouped and combined, and only
+  the combined records move on — combine-per-*spill* instead of
+  combine-per-task, so a map task's peak is capped by the budget no matter
+  how much it emits;
+* :class:`MapTaskSpills` describes the output of a map task that partitioned
+  and spilled *locally* in a worker process (see
+  :mod:`repro.mapreduce.process`); the parent adopts the run paths into its
+  shuffle with :meth:`ExternalShuffle.adopt_runs` instead of receiving the
+  records themselves.
 """
 
 from __future__ import annotations
@@ -29,7 +43,11 @@ from itertools import chain
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import MapReduceError
-from repro.mapreduce.job import Partitioner, SortComparator
+from repro.mapreduce import counters as counter_names
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.context import CountingSink, TaskContext
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import JobSpec, Partitioner, SortComparator
 from repro.mapreduce.serialization import read_framed_records, record_size, write_framed_record
 from repro.util.codecs import get_codec
 
@@ -107,6 +125,120 @@ def shuffle(
     """Partition and sort map output, returning per-partition sorted records."""
     partitions = partition_records(records, partitioner, num_partitions)
     return [sort_partition(partition, comparator) for partition in partitions]
+
+
+# --------------------------------------------------- map-side combine buffer
+class CombineBuffer:
+    """Bounded map-side sort/combine buffer (Hadoop's combine-per-spill).
+
+    Used as the map task's emission sink when the job configures a
+    combiner.  Emissions buffer up to the configured budget (serialised
+    bytes and/or record count — the same knobs as the external shuffle);
+    past it the buffer is sorted with the job's sort comparator, grouped,
+    run through a fresh combiner instance, and the *combined* records are
+    forwarded to ``output``.  :meth:`flush` combines the remainder when the
+    task ends.
+
+    With no budget configured the buffer combines exactly once at flush
+    time, which is byte-identical (records, bytes, counters) to the
+    historical combine-per-task behaviour.  With a budget, a key spanning
+    several spills reaches the reducer as several partial aggregates — the
+    combiner contract (associative, commutative, same types in and out)
+    makes the reduce output identical either way, while the task's peak
+    memory is capped by the budget instead of its emission volume.
+
+    Counter totals (``COMBINE_*``, and the ``MAP_OUTPUT_*`` /
+    ``SHUFFLE_*`` totals published by the runner from the buffer's
+    aggregates) depend only on the task's emission stream and the budget,
+    never on the execution backend — the property the cross-backend
+    agreement tests pin down.
+    """
+
+    def __init__(
+        self,
+        job: JobSpec,
+        counters: Counters,
+        cache: DistributedCache,
+        output: Callable[[Any, Any], None],
+        spill_threshold_bytes: Optional[int] = None,
+        spill_threshold_records: Optional[int] = None,
+    ) -> None:
+        if job.combiner_factory is None:
+            raise MapReduceError(
+                f"job {job.name!r} has no combiner; the combine buffer requires one"
+            )
+        if spill_threshold_bytes is not None and spill_threshold_bytes < 1:
+            raise MapReduceError("spill_threshold_bytes must be >= 1 or None")
+        if spill_threshold_records is not None and spill_threshold_records < 1:
+            raise MapReduceError("spill_threshold_records must be >= 1 or None")
+        self._job = job
+        self._counters = counters
+        self._cache = cache
+        self._output = output
+        self.spill_threshold_bytes = spill_threshold_bytes
+        self.spill_threshold_records = spill_threshold_records
+        self._records: List[Record] = []
+        self._buffered_bytes = 0
+        #: Pre-combine totals (the job's ``MAP_OUTPUT_*`` quantities).
+        self.emitted_records = 0
+        self.emitted_bytes = 0
+        #: Post-combine totals (the job's ``SHUFFLE_*`` quantities).
+        self.combined_records = 0
+        self.combined_bytes = 0
+        #: Records sorted across all combine rounds (task metrics).
+        self.sorted_records = 0
+        #: Budget-triggered combine rounds (0 means combine-per-task).
+        self.num_spills = 0
+
+    # ------------------------------------------------------------ internals
+    def _over_budget(self) -> bool:
+        if (
+            self.spill_threshold_bytes is not None
+            and self._buffered_bytes > self.spill_threshold_bytes
+        ):
+            return True
+        return (
+            self.spill_threshold_records is not None
+            and len(self._records) > self.spill_threshold_records
+        )
+
+    def _combine(self) -> None:
+        """Sort, group and combine the buffered records; forward the output."""
+        records = self._records
+        if not records:
+            return
+        comparator = self._job.sort_comparator
+        sorted_records = sort_partition(records, comparator)
+        self.sorted_records += len(records)
+        self._records = []
+        self._buffered_bytes = 0
+        combiner = self._job.make_combiner()
+        sink = CountingSink(self._output)
+        context = TaskContext(counters=self._counters, cache=self._cache, sink=sink)
+        combiner.setup(context)
+        for key, values in group_sorted_records(sorted_records, comparator):
+            self._counters.increment(counter_names.COMBINE_INPUT_RECORDS, len(values))
+            combiner.reduce(key, values, context)
+        combiner.cleanup(context)
+        self._counters.increment(counter_names.COMBINE_OUTPUT_RECORDS, sink.num_records)
+        self.combined_records += sink.num_records
+        self.combined_bytes += sink.serialized_bytes
+
+    # ------------------------------------------------------------ interface
+    def append(self, key: Any, value: Any) -> None:
+        """Buffer one map emission, combining when the budget is exceeded."""
+        size = record_size(key, value)
+        self.emitted_records += 1
+        self.emitted_bytes += size
+        self._records.append((key, value))
+        self._buffered_bytes += size
+        if self._over_budget():
+            self.num_spills += 1
+            self._combine()
+
+    def flush(self) -> None:
+        """Combine whatever remains buffered (call once, when the task ends)."""
+        self._combine()
 
 
 # ------------------------------------------------------- external shuffle
@@ -255,6 +387,28 @@ class SpillStats:
     spilled_records: int = 0
     spilled_bytes: int = 0
 
+    def merge(self, other: "SpillStats") -> None:
+        """Accumulate another shuffle's spill activity (worker-side spills)."""
+        self.num_spills += other.num_spills
+        self.spilled_runs += other.spilled_runs
+        self.spilled_records += other.spilled_records
+        self.spilled_bytes += other.spilled_bytes
+
+
+@dataclass(frozen=True)
+class MapTaskSpills:
+    """Output of a map task that partitioned and spilled in a worker.
+
+    ``run_paths[p]`` are the sorted run files of reduce partition ``p``, in
+    spill order.  The object carries only paths and counts, so shipping it
+    across the process boundary costs a few hundred bytes regardless of how
+    much the task emitted; the parent folds it into its shuffle with
+    :meth:`ExternalShuffle.adopt_runs`.
+    """
+
+    run_paths: Tuple[Tuple[str, ...], ...]
+    stats: SpillStats
+
 
 class ExternalShuffle:
     """Sort-spill-merge shuffle with a bounded in-memory buffer.
@@ -380,18 +534,59 @@ class ExternalShuffle:
         for key, value in records:
             self.add(key, value)
 
-    def finalize(self) -> None:
+    def finalize(self, spill_remainder: bool = False) -> None:
         """Seal the shuffle; once spilled, the in-memory remainder spills too.
 
         Flushing the tail keeps the memory ceiling at the spill threshold for
         the whole reduce phase and lets process-based runners hand reduce
-        workers nothing but run file paths.
+        workers nothing but run file paths.  ``spill_remainder`` forces the
+        buffered remainder out even when no budget spill ever triggered —
+        the worker-side partial shuffle uses it so a map task's entire
+        output leaves the worker as run files.
         """
         if self._finalized:
             return
-        if self.spilled and any(self._buffers):
+        if (self.spilled or spill_remainder) and any(self._buffers):
             self._spill()
         self._finalized = True
+
+    def ensure_run_dir(self) -> str:
+        """Create (if needed) and return this shuffle's private run directory.
+
+        A parent runner hands the directory to its map workers as the root
+        their worker-local shuffles spill under, so :meth:`cleanup` removes
+        worker runs together with the parent's own.
+        """
+        return self._run_directory()
+
+    def run_paths(self) -> List[Tuple[str, ...]]:
+        """The spilled run paths of every partition, in spill order."""
+        return [tuple(runs) for runs in self._runs]
+
+    def adopt_runs(
+        self,
+        run_paths: Sequence[Sequence[str]],
+        stats: Optional[SpillStats] = None,
+    ) -> None:
+        """Fold externally spilled runs (one worker map task) into this shuffle.
+
+        ``run_paths`` must describe every partition.  Runs are appended in
+        call order, so a parent adopting task results in task order
+        reproduces exactly the record order :func:`merge_sorted_runs`'s
+        stability contract requires.  ``stats`` (the worker shuffle's spill
+        activity) is accumulated so spill counters cover worker-side spills.
+        """
+        if self._finalized:
+            raise MapReduceError("cannot adopt runs into a finalized shuffle")
+        if len(run_paths) != self.num_partitions:
+            raise MapReduceError(
+                f"adopted runs describe {len(run_paths)} partitions, "
+                f"expected {self.num_partitions}"
+            )
+        for index, paths in enumerate(run_paths):
+            self._runs[index].extend(paths)
+        if stats is not None:
+            self.stats.merge(stats)
 
     def partition_input(self, index: int) -> PartitionInput:
         """Describe the input of reduce partition ``index``."""

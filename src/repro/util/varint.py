@@ -57,6 +57,32 @@ def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
             raise SerializationError("varint too long (more than 64 bits)")
 
 
+def read_stream_varint(handle) -> Tuple[int, bool]:
+    """Read one varint from a binary stream (byte-at-a-time).
+
+    Returns ``(value, at_eof)``: ``at_eof`` is true iff the stream ended
+    *before* the first byte — the clean way to detect the end of a record
+    stream.  A stream ending in the middle of a varint raises, because that
+    can only mean a truncated file.
+    """
+    value = 0
+    shift = 0
+    first = True
+    while True:
+        byte = handle.read(1)
+        if not byte:
+            if first:
+                return 0, True
+            raise SerializationError("truncated varint in stream")
+        first = False
+        value |= (byte[0] & _PAYLOAD_MASK) << shift
+        if not byte[0] & _CONTINUATION:
+            return value, False
+        shift += 7
+        if shift > 63:
+            raise SerializationError("varint too long (more than 64 bits)")
+
+
 def encoded_length(value: int) -> int:
     """Number of bytes :func:`encode_varint` uses for ``value``."""
     if value < 0:

@@ -102,6 +102,67 @@ class TestCount:
             == 0
         )
 
+    def test_export_json_with_out_of_core_map_side(self, corpus_dir, tmp_path, capsys):
+        """The fully out-of-core configuration: corpus streamed from disk,
+        disk materialisation, combine buffer + worker-side spills."""
+        report = str(tmp_path / "reports" / "count.json")
+        assert (
+            main(
+                [
+                    "count",
+                    "--input",
+                    corpus_dir,
+                    "--tau",
+                    "2",
+                    "--sigma",
+                    "3",
+                    "--algorithm",
+                    "NAIVE",
+                    "--runner",
+                    "processes",
+                    "--workers",
+                    "2",
+                    "--materialize",
+                    "disk",
+                    "--spill-threshold",
+                    "64r",
+                    "--track-memory",
+                    "--export-json",
+                    report,
+                ]
+            )
+            == 0
+        )
+        import json
+
+        with open(report, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["algorithm"] == "NAIVE"
+        assert payload["num_ngrams"] > 0
+        assert payload["peak_memory_bytes"] > 0
+        assert payload["counters"]["task"]["SHUFFLE_SPILLS"] > 0
+        # The streamed and the materialised corpus compute the same thing.
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "count",
+                    "--input",
+                    corpus_dir,
+                    "--tau",
+                    "2",
+                    "--sigma",
+                    "3",
+                    "--algorithm",
+                    "NAIVE",
+                    "--materialize-corpus",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert f"{payload['num_ngrams']} n-grams" in output
+
 
 class TestExperimentCommand:
     def test_table1(self, capsys):

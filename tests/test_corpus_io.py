@@ -1,12 +1,17 @@
-"""Tests for the on-disk corpus format."""
+"""Tests for the on-disk corpus format and its streaming reader."""
 
 import os
+import pickle
 
 import pytest
 
-from repro.corpus.collection import DocumentCollection
-from repro.corpus.io import read_encoded_collection, write_encoded_collection
-from repro.exceptions import CorpusError
+from repro.corpus.collection import DocumentCollection, EncodedCollection
+from repro.corpus.io import (
+    ShardedEncodedCollection,
+    read_encoded_collection,
+    write_encoded_collection,
+)
+from repro.exceptions import CorpusError, DatasetError
 
 
 class TestCorpusIO:
@@ -61,3 +66,68 @@ class TestCorpusIO:
         write_encoded_collection(encoded, directory, num_shards=5)
         loaded = read_encoded_collection(directory)
         assert list(loaded.records()) == list(encoded.records())
+
+
+class TestShardedCollection:
+    """The default reader streams from the shard layout, documents on disk."""
+
+    @pytest.fixture
+    def corpus_dir(self, small_newswire, tmp_path):
+        directory = str(tmp_path / "sharded-corpus")
+        write_encoded_collection(small_newswire.encode(), directory, num_shards=4)
+        return directory
+
+    def test_default_read_is_lazy_and_matches_eager(self, corpus_dir):
+        lazy = read_encoded_collection(corpus_dir)
+        eager = read_encoded_collection(corpus_dir, materialize=True)
+        assert isinstance(lazy, ShardedEncodedCollection)
+        assert type(eager) is EncodedCollection
+        assert len(lazy) == len(eager)
+        assert list(lazy.records()) == list(eager.records())
+        assert lazy.num_sentences == eager.num_sentences
+        assert lazy.num_token_occurrences == eager.num_token_occurrences
+        assert lazy.timestamps() == eager.timestamps()
+        assert lazy.documents == eager.documents
+
+    def test_random_access_decodes_on_demand(self, corpus_dir):
+        lazy = read_encoded_collection(corpus_dir)
+        eager = read_encoded_collection(corpus_dir, materialize=True)
+        for document in eager.documents[:5]:
+            assert lazy[document.doc_id] == document
+        with pytest.raises(KeyError):
+            lazy[10**9]
+
+    def test_dataset_splits_reassemble_the_record_stream(self, corpus_dir):
+        lazy = read_encoded_collection(corpus_dir)
+        dataset = lazy.dataset()
+        expected = list(lazy.records())
+        assert dataset.num_records == len(expected)
+        for num_splits in (1, 3, 7, len(expected) + 5):
+            splits = dataset.split(num_splits)
+            assert [record for split in splits for record in split] == expected
+            assert [len(split) for split in splits] == [
+                sum(1 for _ in split) for split in splits
+            ]
+
+    def test_splits_pickle_as_offsets_not_documents(self, corpus_dir):
+        """A split ships shard paths plus integers — a worker process
+        reads its slice of the corpus straight from the shard files."""
+        lazy = read_encoded_collection(corpus_dir)
+        splits = lazy.dataset().split(4)
+        for split in splits:
+            clone = pickle.loads(pickle.dumps(split))
+            assert list(clone) == list(split)
+
+    def test_corpus_dataset_cannot_be_released(self, corpus_dir):
+        lazy = read_encoded_collection(corpus_dir)
+        with pytest.raises(DatasetError):
+            lazy.dataset().release()
+
+    def test_truncated_shard_is_detected(self, corpus_dir):
+        shard = os.path.join(corpus_dir, "part-00001.bin")
+        with open(shard, "rb") as handle:
+            data = handle.read()
+        with open(shard, "wb") as handle:
+            handle.write(data[:-1])
+        with pytest.raises(Exception):
+            read_encoded_collection(corpus_dir)

@@ -1,0 +1,137 @@
+"""Peak-memory acceptance: the map side is genuinely out-of-core.
+
+Two bounds close the loop on the combine buffer and the streaming corpus:
+
+* a NAIVE run with a combiner under a small combine-buffer budget must
+  peak strictly (and substantially) below the combine-per-task baseline —
+  the budget, not the task's emission volume, caps the buffer;
+* reading a corpus from its on-disk shard layout must not materialise the
+  documents: streaming a full pass over the lazy collection peaks far
+  below the eager decode of the same directory.
+
+Peaks are tracemalloc-traced Python allocations
+(:class:`~repro.util.memory.PeakMemoryTracker`), the same measure the
+benchmark harness reports.
+"""
+
+import random
+
+from repro.algorithms.naive import NaiveCounter
+from repro.config import ExecutionConfig, NGramJobConfig
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.io import (
+    ShardedEncodedCollection,
+    read_encoded_collection,
+    write_encoded_collection,
+)
+from repro.mapreduce.counters import SHUFFLE_SPILLS
+from repro.util.memory import PeakMemoryTracker
+
+
+def _fanout_collection(num_documents=120, tokens_per_document=25, vocabulary=30):
+    """A corpus whose NAIVE map output dwarfs its input (n·σ records)."""
+    rng = random.Random(1337)
+    token_lists = [
+        [f"w{rng.randrange(vocabulary)}" for _ in range(tokens_per_document)]
+        for _ in range(num_documents)
+    ]
+    return DocumentCollection.from_token_lists(token_lists)
+
+
+class TestCombineBufferBound:
+    def test_budgeted_combiner_peak_strictly_below_combine_per_task(self):
+        collection = _fanout_collection()
+        config = NGramJobConfig(min_frequency=2, max_length=4, use_combiner=True)
+
+        baseline = NaiveCounter(config, num_map_tasks=2).run(
+            collection, track_memory=True
+        )
+        budgeted_execution = ExecutionConfig(spill_threshold_records=512)
+        budgeted = NaiveCounter(
+            config, num_map_tasks=2, execution=budgeted_execution
+        ).run(collection, track_memory=True)
+
+        # Identical computation: the budget moves memory, not results.
+        assert budgeted.statistics.as_dict() == baseline.statistics.as_dict()
+        assert budgeted.map_output_records == baseline.map_output_records
+        # The budget engaged (both combine rounds and shuffle spills).
+        assert budgeted.counters.get(SHUFFLE_SPILLS) > 0
+        assert budgeted.counters.get("COMBINE_OUTPUT_RECORDS") > baseline.counters.get(
+            "COMBINE_OUTPUT_RECORDS"
+        )
+
+        assert budgeted.peak_memory_bytes is not None
+        assert baseline.peak_memory_bytes is not None
+        assert budgeted.peak_memory_bytes < baseline.peak_memory_bytes
+
+    def test_budgeted_peak_insensitive_to_task_size(self):
+        """Halving the task count (doubling per-task emissions) must not
+        move a budgeted run's peak the way it moves the unbudgeted one —
+        the budget caps the buffer, not the task boundary."""
+        collection = _fanout_collection()
+        config = NGramJobConfig(min_frequency=2, max_length=4, use_combiner=True)
+        execution = ExecutionConfig(spill_threshold_records=256)
+
+        peaks = {}
+        for num_map_tasks in (1, 8):
+            result = NaiveCounter(
+                config, num_map_tasks=num_map_tasks, execution=execution
+            ).run(collection, track_memory=True)
+            peaks[num_map_tasks] = result.peak_memory_bytes
+
+        unbudgeted_single_task = NaiveCounter(config, num_map_tasks=1).run(
+            collection, track_memory=True
+        )
+        # One giant budgeted task stays well under the one giant
+        # combine-per-task task...
+        assert peaks[1] < unbudgeted_single_task.peak_memory_bytes * 0.8
+        # ...and close to the eight-small-tasks budgeted run.
+        assert peaks[1] < peaks[8] * 1.5
+
+
+class TestStreamedCorpusBound:
+    def test_streamed_corpus_never_materialises_documents(self, tmp_path):
+        rng = random.Random(2026)
+        token_lists = [
+            [f"w{rng.randrange(40)}" for _ in range(600)] for _ in range(300)
+        ]
+        encoded = DocumentCollection.from_token_lists(token_lists).encode()
+        directory = str(tmp_path / "corpus")
+        write_encoded_collection(encoded, directory, num_shards=6)
+
+        with PeakMemoryTracker() as eager_tracker:
+            eager = read_encoded_collection(directory, materialize=True)
+            num_eager = sum(1 for _ in eager.records())
+
+        with PeakMemoryTracker() as open_tracker:
+            lazy = read_encoded_collection(directory)
+        with PeakMemoryTracker() as stream_tracker:
+            num_lazy = sum(1 for _ in lazy.records())
+
+        assert isinstance(lazy, ShardedEncodedCollection)
+        assert num_lazy == num_eager == 300
+        # Opening holds the index plus one scan chunk; a full streaming
+        # pass holds one document at a time.  Both must stay far below the
+        # fully decoded collection.
+        assert open_tracker.peak_bytes < eager_tracker.peak_bytes / 2
+        assert stream_tracker.peak_bytes < eager_tracker.peak_bytes / 4
+
+    def test_lazy_dataset_split_plans_without_decoding(self, tmp_path):
+        """Planning splits touches only the index: its footprint is tiny
+        relative to what decoding the documents would cost."""
+        rng = random.Random(99)
+        token_lists = [
+            [f"w{rng.randrange(40)}" for _ in range(150)] for _ in range(300)
+        ]
+        encoded = DocumentCollection.from_token_lists(token_lists).encode()
+        directory = str(tmp_path / "corpus")
+        write_encoded_collection(encoded, directory, num_shards=6)
+
+        lazy = read_encoded_collection(directory)
+        with PeakMemoryTracker() as plan_tracker:
+            splits = lazy.dataset().split(8)
+        with PeakMemoryTracker() as decode_tracker:
+            documents = lazy.documents
+        assert len(splits) == 8
+        assert len(documents) == 300
+        assert plan_tracker.peak_bytes < decode_tracker.peak_bytes / 2
