@@ -20,7 +20,8 @@ from benchmarks.conftest import run_once
 from repro.algorithms import count_ngrams
 from repro.config import StoreConfig
 from repro.harness.report import format_table
-from repro.ngramstore import NGramStore, build_store
+from repro.ngramstore import NGramStore, TopKAccumulator, build_store
+from repro.ngramstore.table import top_k_records
 from repro.util.codecs import available_codecs
 
 #: Point lookups timed per codec (hot after the first pass over the keys).
@@ -96,6 +97,83 @@ def _compare_codecs(spec, tau=3, sigma=4):
         _bench_codec(codec, result.statistics, collection.vocabulary, root)
         for codec in available_codecs()
     ]
+
+
+def _bench_top_k_skipping(num_records=40_000, records_per_block=256, ks=(1, 10, 100)):
+    """Top-k on a frequency-skewed store: blocks read with vs without summaries.
+
+    The store mimics a real n-gram store's shape — term identifiers are
+    assigned in descending collection frequency, so frequency decays along
+    the key order — which is exactly when per-block max summaries pay off:
+    once the heap floor rises past the tail blocks' maxima, they are
+    skipped unread.
+    """
+    rng = random.Random(23)
+    records = [
+        ((index // 13, index % 13, index), max(1, num_records - index + rng.randint(0, 9)))
+        for index in range(num_records)
+    ]
+    root = os.path.join(
+        os.environ.get("NGRAMSTORE_WORKDIR", "reports"), "ngramstore-topk"
+    )
+    store_dir = os.path.join(root, "skewed-store")
+    build_store(
+        records,
+        store_dir,
+        store=StoreConfig(num_partitions=4, records_per_block=records_per_block),
+    )
+    rows = []
+    with NGramStore.open(store_dir) as store:
+        total_blocks = sum(
+            store._table(index).num_blocks for index in range(store.num_partitions)
+        )
+        for k in ks:
+            reference = top_k_records(iter(records), k, "frequency")
+
+            skip_started = time.perf_counter()
+            accumulator = TopKAccumulator(k)
+            store.top_k_into(accumulator)
+            skip_seconds = time.perf_counter() - skip_started
+
+            scan_started = time.perf_counter()
+            full_scan = top_k_records(store.items(), k, "frequency")
+            scan_seconds = time.perf_counter() - scan_started
+
+            assert accumulator.results() == reference
+            assert full_scan == reference
+            rows.append(
+                {
+                    "k": k,
+                    "blocks_total": total_blocks,
+                    "blocks_scanned": accumulator.blocks_scanned,
+                    "blocks_skipped": accumulator.blocks_skipped,
+                    "skip_ms": round(skip_seconds * 1e3, 3),
+                    "full_scan_ms": round(scan_seconds * 1e3, 3),
+                    "speedup": round(scan_seconds / skip_seconds, 2) if skip_seconds else None,
+                }
+            )
+    return rows
+
+
+def test_ngramstore_top_k_block_skipping(benchmark):
+    rows = run_once(benchmark, _bench_top_k_skipping)
+
+    print("\n=== NGramStore top-k block skipping (skewed store) ===")
+    print(format_table(rows))
+
+    report_path = os.environ.get(
+        "NGRAMSTORE_TOPK_REPORT", "ngramstore_topk_report.json"
+    )
+    with open(report_path, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True)
+    print(f"\nwrote top-k block-skip comparison to {report_path}")
+
+    # The acceptance bar: on a skewed store the summary-guided pass reads
+    # strictly fewer blocks than the full scan for every k.
+    for row in rows:
+        assert row["blocks_scanned"] + row["blocks_skipped"] == row["blocks_total"]
+        assert row["blocks_scanned"] < row["blocks_total"]
+        assert row["blocks_skipped"] > 0
 
 
 def test_ngramstore_build_and_query(benchmark, nyt_spec):

@@ -1,0 +1,236 @@
+"""End-to-end smoke driver for the store query server (used by CI).
+
+Starts ``repro serve`` as a real subprocess over an existing store, fires
+concurrent :class:`~repro.ngramstore.server.StoreClient` workloads at it,
+and asserts every response is byte-identical to a direct
+:class:`~repro.ngramstore.NGramStore` read of the same store — plus that
+the rendered top-k matches the offline ``repro query --ids --top-k``
+output line for line.  Client-side latencies (and the server's own
+metrics snapshot) are written as a JSON report so CI can upload
+percentiles as an artifact.
+
+With ``--baseline DIR --scale N`` it additionally asserts every sampled
+value equals ``N x`` the baseline store's — the check CI runs after
+merging ``N`` identical per-shard stores.
+
+Exit status is non-zero on any mismatch, so the CI step fails loudly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py --store work/store \
+        --clients 8 --requests 50 --report reports/serve-latency.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.ngramstore import NGramStore, StoreClient
+from repro.ngramstore.server import percentile
+
+
+def start_server(store_dir: str, cache_blocks: int, max_clients: int, timeout: float = 60.0):
+    """Launch ``repro serve`` and wait for its ready-file; returns (proc, host, port)."""
+    ready_dir = tempfile.mkdtemp(prefix="serve-smoke-")
+    ready_path = os.path.join(ready_dir, "ready.txt")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            store_dir,
+            "--port",
+            "0",
+            "--cache-blocks",
+            str(cache_blocks),
+            "--max-clients",
+            str(max_clients),
+            "--ready-file",
+            ready_path,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.time() + timeout
+    while not os.path.exists(ready_path):
+        if process.poll() is not None:
+            raise SystemExit(
+                f"server exited early ({process.returncode}): {process.stderr.read()}"
+            )
+        if time.time() > deadline:
+            process.kill()
+            raise SystemExit("server did not become ready in time")
+        time.sleep(0.05)
+    with open(ready_path, encoding="utf-8") as handle:
+        host, port = handle.read().split()
+    return process, host, int(port)
+
+
+def render_top_k(records):
+    """Render records exactly like ``repro query --ids --top-k`` prints them."""
+    lines = []
+    for ngram, value in records:
+        rendered = f"{value:10d}" if isinstance(value, int) else str(value)
+        lines.append(f"{rendered}  {' '.join(str(term) for term in ngram)}")
+    return lines
+
+
+def client_workload(host, port, seed, keys, expected, reference_top, requests):
+    """One connection's worth of queries; returns per-op latency samples."""
+    rng = random.Random(seed)
+    latencies = {"get": [], "prefix": [], "top_k": []}
+    with StoreClient(host, port) as client:
+        for _ in range(requests):
+            key = rng.choice(keys)
+            started = time.perf_counter()
+            value = client.get(key)
+            latencies["get"].append(time.perf_counter() - started)
+            assert value == expected[key], f"get({key!r}) = {value!r} != {expected[key]!r}"
+        assert client.get((10**9,)) is None
+
+        term = rng.choice(keys)[0]
+        started = time.perf_counter()
+        prefix_result = client.prefix((term,))
+        latencies["prefix"].append(time.perf_counter() - started)
+        reference_prefix = [
+            record for record in sorted(expected.items()) if record[0][0] == term
+        ]
+        assert prefix_result == reference_prefix, f"prefix(({term},)) diverged"
+
+        started = time.perf_counter()
+        top = client.top_k(10)
+        latencies["top_k"].append(time.perf_counter() - started)
+        assert top == reference_top, "top_k diverged from direct store read"
+    return latencies
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--store", required=True, help="store directory to serve")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=50, help="point gets per client")
+    parser.add_argument("--cache-blocks", type=int, default=128)
+    parser.add_argument("--max-clients", type=int, default=4)
+    parser.add_argument("--report", default=None, help="latency-percentile JSON path")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline store directory for the merged-store scale check",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=2,
+        help="expected value multiple of --baseline (e.g. 2 after a self-merge)",
+    )
+    args = parser.parse_args(argv)
+
+    with NGramStore.open(args.store) as direct:
+        expected = dict(direct.items())
+        reference_top = direct.top_k(10)
+    keys = sorted(expected)
+    if not keys:
+        raise SystemExit(f"store {args.store} is empty; nothing to smoke")
+
+    if args.baseline is not None:
+        with NGramStore.open(args.baseline) as baseline:
+            sample = sorted(baseline.items())[:: max(1, len(baseline) // 200)]
+        for key, value in sample:
+            assert expected.get(key) == args.scale * value, (
+                f"merged store value for {key!r}: {expected.get(key)!r} "
+                f"!= {args.scale} x {value!r}"
+            )
+        print(f"merged-store scale check OK ({len(sample)} keys, x{args.scale})")
+
+    process, host, port = start_server(args.store, args.cache_blocks, args.max_clients)
+    try:
+        with ThreadPoolExecutor(max_workers=args.clients) as pool:
+            results = list(
+                pool.map(
+                    lambda seed: client_workload(
+                        host, port, seed, keys, expected, reference_top, args.requests
+                    ),
+                    range(args.clients),
+                )
+            )
+
+        # Byte-identity against the offline CLI rendering of the same query.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        offline = subprocess.run(
+            [sys.executable, "-m", "repro", "query", args.store, "--top-k", "10", "--ids"],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        with StoreClient(host, port) as client:
+            served_lines = render_top_k(client.top_k(10))
+            server_stats = client.server_stats()
+        # rstrip, not strip: the first line's value padding is leading
+        # whitespace and part of the byte-identity contract.
+        offline_lines = offline.stdout.rstrip("\n").splitlines()
+        assert served_lines == offline_lines, (
+            "served top-k rendering diverged from offline `repro query`:\n"
+            f"served : {served_lines}\noffline: {offline_lines}"
+        )
+        print("served responses byte-identical to offline query output")
+    finally:
+        process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=60)
+    if process.returncode != 0:
+        raise SystemExit(f"server exited {process.returncode}: {stderr}")
+
+    report = {
+        "store": args.store,
+        "clients": args.clients,
+        "requests_per_client": args.requests,
+        "operations": {},
+        "server": server_stats,
+    }
+    for operation in ("get", "prefix", "top_k"):
+        samples = sorted(
+            sample for result in results for sample in result[operation]
+        )
+        report["operations"][operation] = {
+            "count": len(samples),
+            "p50_us": round(percentile(samples, 0.50) * 1e6, 1),
+            "p90_us": round(percentile(samples, 0.90) * 1e6, 1),
+            "p99_us": round(percentile(samples, 0.99) * 1e6, 1),
+            "max_us": round(samples[-1] * 1e6, 1),
+        }
+    print(json.dumps(report["operations"], indent=2, sort_keys=True))
+    if args.report:
+        parent = os.path.dirname(args.report)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote serve-smoke latency report to {args.report}")
+    print(
+        f"serve smoke OK: {args.clients} clients x {args.requests} gets, "
+        f"cache hit rate {server_stats['cache']['hit_rate']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,15 @@ Installed as ``repro-ngrams`` (or ``python -m repro``).  Sub-commands:
 ``query``
     Point/prefix/top-k lookups against an n-gram store directory written by
     ``count --store-dir`` (see :mod:`repro.ngramstore`).
+
+``serve``
+    Long-lived multi-client query server over one store: newline-delimited
+    JSON over TCP, a process-wide shared block cache, per-request latency
+    metrics, graceful shutdown on SIGINT/SIGTERM.
+
+``merge-stores``
+    K-way merge of several stores into one (summing duplicate keys) —
+    compaction for incremental corpus growth from per-shard counting runs.
 """
 
 from __future__ import annotations
@@ -268,6 +277,67 @@ def _build_parser() -> argparse.ArgumentParser:
         help="LRU block-cache capacity per table (default: 32)",
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="serve an n-gram store to concurrent clients over TCP"
+    )
+    serve.add_argument("store", help="store directory")
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default: 0 = OS-assigned; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--cache-blocks",
+        type=int,
+        default=256,
+        help="capacity of the process-wide block cache shared by all partitions",
+    )
+    serve.add_argument(
+        "--max-clients",
+        type=int,
+        default=32,
+        help="concurrently served connections (excess connects queue in the backlog)",
+    )
+    serve.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help="write 'host port' to this file once listening (for scripts/CI)",
+    )
+    serve.add_argument(
+        "--metrics-file",
+        default=None,
+        metavar="PATH",
+        help="write the aggregated request/latency metrics JSON here on shutdown",
+    )
+
+    merge = subparsers.add_parser(
+        "merge-stores",
+        help="k-way merge several n-gram stores into one (sums duplicate keys)",
+    )
+    merge.add_argument("inputs", nargs="+", help="input store directories")
+    merge.add_argument("--output", required=True, help="merged store directory")
+    merge.add_argument(
+        "--partitions", type=int, default=4, help="range partitions of the merged store"
+    )
+    merge.add_argument(
+        "--codec",
+        choices=SHARD_CODECS,
+        default="none",
+        help="per-block compression codec of the merged tables",
+    )
+    merge.add_argument(
+        "--records-per-block", type=int, default=1024, help="records per data block"
+    )
+    merge.add_argument(
+        "--sample-size",
+        type=int,
+        default=1024,
+        help="keys sampled when re-deriving partition boundaries",
+    )
+
     coderivatives = subparsers.add_parser(
         "coderivatives", help="find co-derivative document pairs via long shared n-grams"
     )
@@ -466,6 +536,102 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.config import ServerConfig
+    from repro.ngramstore.server import NGramStoreServer
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            cache_blocks=args.cache_blocks,
+            max_clients=args.max_clients,
+        )
+        server = NGramStoreServer(args.store, config=config)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        host, port = server.start()
+    except OSError as error:
+        # Bind failures (port in use, privileged port) get the same clean
+        # exit as every other failure mode of the command.
+        print(f"error: cannot listen on {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"serving {args.store} on {host}:{port} "
+        f"({server.store.num_records} n-grams, {server.store.num_partitions} partitions, "
+        f"cache={args.cache_blocks} blocks, max-clients={args.max_clients})",
+        flush=True,
+    )
+    if args.ready_file:
+        # The contents, not the file's existence, signal readiness: write to
+        # a sibling then rename so pollers never read a half-written line.
+        parent = os.path.dirname(args.ready_file)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        staging = args.ready_file + ".tmp"
+        with open(staging, "w", encoding="utf-8") as handle:
+            handle.write(f"{host} {port}\n")
+        os.replace(staging, args.ready_file)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 - signal handler shape
+        stop.set()
+
+    # Signal handlers only install on the main thread — which is where a
+    # CLI entry point runs.  (In-process callers on other threads should
+    # drive NGramStoreServer directly; this command has no other stop
+    # hook.)  The KeyboardInterrupt catch covers a Ctrl-C landing in the
+    # window before the SIGINT handler is installed.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGINT, _request_stop)
+        signal.signal(signal.SIGTERM, _request_stop)
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    server.close()
+    metrics = server.metrics.snapshot()
+    metrics["cache"] = server.cache_summary()
+    if args.metrics_file:
+        parent = os.path.dirname(args.metrics_file)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.metrics_file, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_merge_stores(args: argparse.Namespace) -> int:
+    from repro.ngramstore import NGramStore
+    from repro.ngramstore.merge import merge_stores
+
+    try:
+        store = StoreConfig(
+            num_partitions=args.partitions,
+            codec=args.codec,
+            records_per_block=args.records_per_block,
+            sample_size=args.sample_size,
+        )
+        merge_stores(args.inputs, args.output, store=store)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with NGramStore.open(args.output) as merged:
+        print(
+            f"merged {len(args.inputs)} stores into {args.output} "
+            f"({merged.num_records} n-grams, {merged.num_partitions} partitions, "
+            f"codec={args.codec})"
+        )
+    return 0
+
+
 def _export_measurements(measurements, path: Optional[str]) -> None:
     if not path:
         return
@@ -635,6 +801,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "count": _cmd_count,
         "experiment": _cmd_experiment,
         "query": _cmd_query,
+        "serve": _cmd_serve,
+        "merge-stores": _cmd_merge_stores,
         "coderivatives": _cmd_coderivatives,
         "trends": _cmd_trends,
     }

@@ -303,6 +303,44 @@ class StoreConfig:
 
 
 @dataclass(frozen=True)
+class ServerConfig:
+    """How the n-gram store query server listens and caches.
+
+    Attributes
+    ----------
+    host:
+        Interface to bind; loopback by default (explicitly opt in to
+        exposing the store beyond the machine).
+    port:
+        TCP port to listen on; ``0`` asks the OS for an ephemeral port
+        (the server reports the bound port after start).
+    cache_blocks:
+        Capacity of the process-wide LRU block cache *shared by every
+        partition* — unlike per-table caches, one hot working set serves
+        all connections.  Resident memory is roughly ``cache_blocks x
+        records_per_block x bytes per decoded record``.
+    max_clients:
+        Concurrently served connections; further connects wait in the
+        listen backlog until a handler slot frees up.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    cache_blocks: int = 256
+    max_clients: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
+        if self.cache_blocks < 1:
+            raise ConfigurationError(
+                f"cache_blocks must be >= 1, got {self.cache_blocks}"
+            )
+        if self.max_clients < 1:
+            raise ConfigurationError(f"max_clients must be >= 1, got {self.max_clients}")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Configuration of the simulated cluster used for wallclock modelling.
 

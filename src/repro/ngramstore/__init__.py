@@ -10,6 +10,15 @@ in :mod:`repro.ngramstore.format`), and :class:`NGramStore`
 partitions with seek-based block reads and an LRU block cache — the
 SSTable pattern that lets statistics far larger than RAM be queried with a
 bounded memory footprint.
+
+On top of the store sit the serving layer's moving parts:
+:class:`NGramStoreServer`/:class:`StoreClient`
+(:mod:`repro.ngramstore.server`) expose one shared store (thread-safe, one
+process-wide block cache) to concurrent clients over a newline-delimited
+JSON socket protocol, and :func:`merge_stores`
+(:mod:`repro.ngramstore.merge`) compacts several stores into one with a
+k-way merge of their sorted tables — incremental corpus growth without
+recounting.
 """
 
 from repro.ngramstore.build import (
@@ -20,18 +29,24 @@ from repro.ngramstore.build import (
     sample_keys,
     total_order_sort_job,
 )
+from repro.ngramstore.merge import merge_stores
 from repro.ngramstore.reader import NGramStore, StoreStatistics
-from repro.ngramstore.table import BlockCache, Table, TableWriter
+from repro.ngramstore.server import NGramStoreServer, StoreClient
+from repro.ngramstore.table import BlockCache, Table, TableWriter, TopKAccumulator
 
 __all__ = [
     "BlockCache",
     "NGramStore",
+    "NGramStoreServer",
     "RangePartitioner",
+    "StoreClient",
     "StoreStatistics",
     "Table",
     "TableWriter",
+    "TopKAccumulator",
     "build_store",
     "load_manifest",
+    "merge_stores",
     "plan_boundaries",
     "sample_keys",
     "total_order_sort_job",

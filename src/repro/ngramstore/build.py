@@ -162,6 +162,60 @@ def _json_to_key(data: Iterable[Any]) -> Tuple:
     return tuple(data)
 
 
+def clear_store_dir(store_dir: str) -> None:
+    """Prepare ``store_dir`` for a (re)build: drop manifest and tables.
+
+    The manifest goes *first*, and the old tables with it: a crash mid-build
+    then leaves a directory without a manifest — which refuses to open —
+    instead of an old manifest routing queries into new partition files, and
+    a rebuild with fewer partitions leaves no orphan tables behind.
+    """
+    os.makedirs(store_dir, exist_ok=True)
+    manifest_path = os.path.join(store_dir, MANIFEST_FILENAME)
+    if os.path.exists(manifest_path):
+        os.remove(manifest_path)
+    for name in sorted(os.listdir(store_dir)):
+        if name.endswith(".ngt"):
+            os.remove(os.path.join(store_dir, name))
+
+
+def write_dictionary(store_dir: str, lines: Iterable[str]) -> str:
+    """Persist vocabulary ``lines`` next to the tables; returns the path."""
+    path = os.path.join(store_dir, DICTIONARY_FILENAME)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return path
+
+
+def write_store_manifest(
+    store_dir: str,
+    *,
+    codec: str,
+    records_per_block: int,
+    boundaries: List[Any],
+    partitions: List[Dict[str, Any]],
+    has_vocabulary: bool,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write the store manifest (shared by the build job and the store merge)."""
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "codec": codec,
+        "records_per_block": records_per_block,
+        "num_partitions": len(partitions),
+        "boundaries": [_key_to_json(boundary) for boundary in boundaries],
+        "partitions": partitions,
+        "num_records": sum(entry["num_records"] for entry in partitions),
+        "serialized_bytes": sum(entry["serialized_bytes"] for entry in partitions),
+        "has_vocabulary": has_vocabulary,
+        "metadata": dict(metadata) if metadata else {},
+    }
+    with open(os.path.join(store_dir, MANIFEST_FILENAME), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return manifest
+
+
 def build_store(
     records: Any,
     store_dir: str,
@@ -187,15 +241,7 @@ def build_store(
     Returns ``store_dir``.
     """
     store = store if store is not None else StoreConfig()
-    os.makedirs(store_dir, exist_ok=True)
-    # Rebuilding into an existing store directory: drop the old manifest
-    # *first* and the old tables with it.  A crash mid-build then leaves a
-    # directory without a manifest — which refuses to open — instead of an
-    # old manifest routing queries into new partition files, and a rebuild
-    # with fewer partitions leaves no orphan tables behind.
-    for name in sorted(os.listdir(store_dir)):
-        if name == MANIFEST_FILENAME or name.endswith(".ngt"):
-            os.remove(os.path.join(store_dir, name))
+    clear_store_dir(store_dir)
     if pipeline is None:
         runner = make_runner(execution)
         pipeline = JobPipeline(runner=runner)
@@ -212,8 +258,6 @@ def build_store(
     result = pipeline.run_job(job, dataset)
 
     partitions: List[Dict[str, Any]] = []
-    total_records = 0
-    total_bytes = 0
     for index, partition in enumerate(result.partition_datasets):
         path = os.path.join(store_dir, PARTITION_PATTERN.format(index=index))
         with TableWriter(
@@ -231,31 +275,21 @@ def build_store(
                 "file_bytes": os.path.getsize(path),
             }
         )
-        total_records += writer.num_records
-        total_bytes += writer.serialized_bytes
     result.release_output()
 
     has_vocabulary = vocabulary is not None
     if has_vocabulary:
-        dictionary_path = os.path.join(store_dir, DICTIONARY_FILENAME)
-        with open(dictionary_path, "w", encoding="utf-8") as handle:
-            for line in vocabulary.to_lines():
-                handle.write(line + "\n")
+        write_dictionary(store_dir, vocabulary.to_lines())
 
-    manifest = {
-        "version": MANIFEST_VERSION,
-        "codec": store.codec,
-        "records_per_block": store.records_per_block,
-        "num_partitions": len(partitions),
-        "boundaries": [_key_to_json(boundary) for boundary in boundaries],
-        "partitions": partitions,
-        "num_records": total_records,
-        "serialized_bytes": total_bytes,
-        "has_vocabulary": has_vocabulary,
-        "metadata": dict(metadata) if metadata else {},
-    }
-    with open(os.path.join(store_dir, MANIFEST_FILENAME), "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
+    write_store_manifest(
+        store_dir,
+        codec=store.codec,
+        records_per_block=store.records_per_block,
+        boundaries=boundaries,
+        partitions=partitions,
+        has_vocabulary=has_vocabulary,
+        metadata=metadata,
+    )
     return store_dir
 
 

@@ -51,13 +51,21 @@ Record = Tuple[Any, Any]
 
 
 class BlockHandle(NamedTuple):
-    """Index entry locating one data block inside the table file."""
+    """Index entry locating one data block inside the table file.
+
+    ``max_value`` is the block's largest *numeric* value (``None`` when the
+    block holds non-numeric values, or in tables written before the summary
+    existed — old indexes pickle as 5-tuples and load with the default).
+    Frequency-ordered top-k uses it to skip blocks whose best possible
+    record cannot beat the current heap floor.
+    """
 
     first_key: Any
     last_key: Any
     offset: int
     length: int
     num_records: int
+    max_value: Any = None
 
 
 def encode_block(records: List[Record], codec: Codec) -> bytes:

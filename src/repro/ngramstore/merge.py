@@ -1,0 +1,254 @@
+"""Compaction: k-way merge of several stores into one.
+
+Each input store streams its records in global key order (the reader
+chains its sorted, disjoint partitions), so merging stores is a single
+``heapq.merge`` over ``k`` sorted streams — the LSM/SSTable compaction
+idiom, and the MapReduce-free analogue of re-running the total-order-sort
+job over the union.  Duplicate keys (the same n-gram counted in several
+per-shard runs) are summed; partition boundaries are re-derived from the
+inputs' block-index first keys (a records-proportional sample that costs
+zero data-block reads, fed to the same quantile planning the build job
+uses) so the output's partitioning reflects the merged key distribution,
+not any single input's.
+
+Nothing is materialised: boundary planning reads only the block indexes,
+the merge itself is one streaming pass over the inputs, and each output
+partition is written by one :class:`~repro.ngramstore.table.TableWriter`
+as the merged stream crosses its boundaries.
+
+Per-shard counting runs merge *exactly* when they counted with τ = 1
+(raw counts are additive across a document partition); with τ > 1 each
+shard has already dropped its locally-infrequent n-grams, so the merged
+counts are a lower bound on a union recount.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from bisect import bisect_right
+from functools import reduce
+from itertools import groupby
+from operator import add, itemgetter
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.config import StoreConfig
+from repro.exceptions import StoreError
+from repro.ngramstore.build import (
+    DICTIONARY_FILENAME,
+    PARTITION_PATTERN,
+    clear_store_dir,
+    plan_boundaries,
+    write_dictionary,
+    write_store_manifest,
+)
+from repro.ngramstore.reader import NGramStore
+from repro.ngramstore.table import TableWriter
+
+Record = Tuple[Any, Any]
+
+_FIRST = itemgetter(0)
+
+_SENTINEL = object()
+
+
+def merge_records(stores: Iterable[NGramStore]) -> Iterator[Record]:
+    """K-way merge of the stores' sorted record streams, summing duplicates.
+
+    Values of a duplicated key are combined with ``+`` left-to-right in
+    input order, so integer frequencies sum; values that do not support
+    addition (e.g. time-series payloads) make a duplicate a
+    :class:`StoreError` instead of silently dropping data.
+    """
+    merged = heapq.merge(*(store.items() for store in stores), key=_FIRST)
+    for key, group in groupby(merged, key=_FIRST):
+        values = [value for _, value in group]
+        if len(values) == 1:
+            yield key, values[0]
+            continue
+        try:
+            yield key, reduce(add, values)
+        except TypeError as exc:
+            raise StoreError(
+                f"cannot merge duplicate key {key!r}: its {len(values)} values "
+                f"do not support addition ({exc})"
+            ) from exc
+
+
+def _merged_vocabulary_lines(
+    inputs: List[str], stores: List[NGramStore]
+) -> Optional[List[str]]:
+    """The common vocabulary of the inputs, or None when none persisted one.
+
+    Store keys are term-identifier tuples, and identifiers are only
+    comparable across stores encoded against the *same* vocabulary — so
+    inputs that persisted one must agree line-for-line.  (Per-shard runs
+    satisfy this by encoding every shard with the shared corpus
+    dictionary.)  Mismatching vocabularies would silently merge unrelated
+    n-grams; refuse instead.
+    """
+    reference: Optional[List[str]] = None
+    reference_dir: Optional[str] = None
+    for store_dir, store in zip(inputs, stores):
+        if not store.manifest.get("has_vocabulary"):
+            continue
+        path = os.path.join(store_dir, DICTIONARY_FILENAME)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line.rstrip("\n") for line in handle]
+        if reference is None:
+            reference, reference_dir = lines, store_dir
+        elif lines != reference:
+            raise StoreError(
+                f"cannot merge stores with different vocabularies: {store_dir!r} "
+                f"disagrees with {reference_dir!r}; re-count the shards against "
+                "one shared dictionary"
+            )
+    return reference
+
+
+def _merged_metadata(
+    inputs: List[str], stores: List[NGramStore], metadata: Optional[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Manifest metadata for the merged store.
+
+    Entries every input agrees on (same key, same value) are carried over —
+    e.g. the algorithm/τ/σ of identical per-shard counting runs — and the
+    merge records its own provenance.  Derived statistics get merge-aware
+    treatment instead of naive carry-over: ``unigram_total`` *sums* (every
+    unigram frequency sums, so the language model's O(1) initialisation
+    stays exact) and ``num_ngrams`` is dropped (duplicates collapse; the
+    manifest's own ``num_records`` is the authoritative count).  Explicit
+    ``metadata`` wins on conflicts.
+    """
+    merged: Dict[str, Any] = {}
+    first, rest = stores[0].metadata, [store.metadata for store in stores[1:]]
+    for key, value in first.items():
+        if key in ("unigram_total", "num_ngrams"):
+            continue
+        if all(other.get(key, _SENTINEL) == value for other in rest):
+            merged[key] = value
+    unigram_totals = [store.metadata.get("unigram_total") for store in stores]
+    if all(isinstance(total, (int, float)) for total in unigram_totals):
+        merged["unigram_total"] = sum(unigram_totals)
+    merged["merged_inputs"] = [os.path.basename(os.path.normpath(path)) for path in inputs]
+    merged["merged_num_inputs"] = len(inputs)
+    if metadata:
+        merged.update(metadata)
+    return merged
+
+
+def _boundary_sample(
+    stores: List[NGramStore], sample_size: int, num_partitions: int
+) -> List[Any]:
+    """Keys sampling the merged distribution, preferably from indexes alone.
+
+    Every table's index carries one first key per block, so the union of
+    the inputs' block first keys is a records-proportional sample of the
+    merged key space — no data block is decoded to plan boundaries, which
+    keeps the merge a single streaming pass over block payloads.  Small
+    stores (fewer blocks than ~8 keys per requested partition) are too
+    coarse for quantiles at that granularity; they fall back to a strided
+    record-level sample, whose extra pass is cheap precisely because the
+    stores are small.  Either way the result is strided down to
+    ``sample_size`` keys.
+    """
+    keys: List[Any] = []
+    for open_store in stores:
+        keys.extend(open_store.block_first_keys())
+    keys.sort()
+    if len(keys) < min(sample_size, 8 * num_partitions):
+        total = sum(len(open_store) for open_store in stores)
+        stride = max(1, -(-total // sample_size))  # ceil division
+        merged = heapq.merge(*(open_store.items() for open_store in stores), key=_FIRST)
+        return [key for position, (key, _) in enumerate(merged) if position % stride == 0]
+    if len(keys) > sample_size:
+        stride = max(1, -(-len(keys) // sample_size))
+        keys = keys[::stride]
+    return keys
+
+
+def merge_stores(
+    inputs: Iterable[str],
+    out_dir: str,
+    store: Optional[StoreConfig] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Merge the store directories ``inputs`` into a new store at ``out_dir``.
+
+    ``store`` controls the output layout (partitions, codec, block size,
+    boundary sample size) exactly as it does for
+    :func:`~repro.ngramstore.build.build_store`; inputs may use any mix of
+    codecs and partition counts.  Returns ``out_dir``.
+    """
+    input_dirs = [str(path) for path in inputs]
+    if not input_dirs:
+        raise StoreError("merge_stores needs at least one input store")
+    for path in input_dirs:
+        if os.path.abspath(path) == os.path.abspath(out_dir):
+            raise StoreError(f"merge output {out_dir!r} cannot be one of the inputs")
+    store = store if store is not None else StoreConfig()
+
+    opened = [NGramStore.open(path) for path in input_dirs]
+    try:
+        vocabulary_lines = _merged_vocabulary_lines(input_dirs, opened)
+        boundaries = plan_boundaries(
+            _boundary_sample(opened, store.sample_size, store.num_partitions),
+            store.num_partitions,
+        )
+
+        # The single streaming pass: write the merged stream straight into
+        # per-partition tables.  The stream is sorted, so the owning
+        # partition index is non-decreasing and each table is written
+        # exactly once, in order.
+        clear_store_dir(out_dir)
+        partitions: List[Dict[str, Any]] = []
+
+        def finish(writer: TableWriter) -> None:
+            path = writer.close()
+            partitions.append(
+                {
+                    "file": os.path.basename(path),
+                    "num_records": writer.num_records,
+                    "serialized_bytes": writer.serialized_bytes,
+                    "file_bytes": os.path.getsize(path),
+                }
+            )
+
+        def open_writer() -> TableWriter:
+            return TableWriter(
+                os.path.join(out_dir, PARTITION_PATTERN.format(index=len(partitions))),
+                codec=store.codec,
+                records_per_block=store.records_per_block,
+                metadata={"partition": len(partitions)},
+            )
+
+        writer = open_writer()
+        try:
+            for key, value in merge_records(opened):
+                while bisect_right(boundaries, key) > len(partitions):
+                    finish(writer)
+                    writer = open_writer()
+                writer.append(key, value)
+            finish(writer)
+            while len(partitions) < len(boundaries) + 1:
+                writer = open_writer()
+                finish(writer)
+        except Exception:
+            writer.abort()
+            raise
+
+        if vocabulary_lines is not None:
+            write_dictionary(out_dir, vocabulary_lines)
+        write_store_manifest(
+            out_dir,
+            codec=store.codec,
+            records_per_block=store.records_per_block,
+            boundaries=boundaries,
+            partitions=partitions,
+            has_vocabulary=vocabulary_lines is not None,
+            metadata=_merged_metadata(input_dirs, opened, metadata),
+        )
+    finally:
+        for open_store in opened:
+            open_store.close()
+    return out_dir

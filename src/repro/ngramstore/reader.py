@@ -18,7 +18,9 @@ of a fully-resident dict.
 from __future__ import annotations
 
 import os
+import threading
 from bisect import bisect_right
+from itertools import islice
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import StoreError
@@ -30,9 +32,13 @@ from repro.ngramstore.build import (
 )
 from repro.ngramstore.table import (
     DEFAULT_CACHE_BLOCKS,
+    BlockCache,
     Table,
+    TopKAccumulator,
+    _frequency_type_error,
     prefix_records,
     top_k_records,
+    validate_top_k,
 )
 
 Record = Tuple[Any, Any]
@@ -41,21 +47,41 @@ _MISSING = object()
 
 
 class NGramStore:
-    """A multi-partition, on-disk n-gram store opened for querying."""
+    """A multi-partition, on-disk n-gram store opened for querying.
 
-    def __init__(self, store_dir: str, cache_blocks: int = DEFAULT_CACHE_BLOCKS) -> None:
+    Safe for concurrent readers: lazy table opening and the lazy vocabulary
+    load are guarded by a lock, and the tables themselves serialise their
+    shared-handle I/O (see :class:`~repro.ngramstore.table.Table`).  Pass
+    ``cache`` to give every partition (or several stores — e.g. a serving
+    process) one process-wide LRU block cache instead of a private
+    ``cache_blocks``-entry cache per table.
+    """
+
+    def __init__(
+        self,
+        store_dir: str,
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        cache: Optional[BlockCache] = None,
+    ) -> None:
         self.store_dir = store_dir
         self.manifest = load_manifest(store_dir)
         self.boundaries = manifest_boundaries(self.manifest)
         self.cache_blocks = cache_blocks
+        self.cache = cache
         self._tables: List[Optional[Table]] = [None] * self.manifest["num_partitions"]
         self._vocabulary: Any = None
+        self._lock = threading.Lock()
         self._closed = False
 
     @classmethod
-    def open(cls, store_dir: str, cache_blocks: int = DEFAULT_CACHE_BLOCKS) -> "NGramStore":
+    def open(
+        cls,
+        store_dir: str,
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        cache: Optional[BlockCache] = None,
+    ) -> "NGramStore":
         """Open a store directory written by :func:`repro.ngramstore.build.build_store`."""
-        return cls(store_dir, cache_blocks=cache_blocks)
+        return cls(store_dir, cache_blocks=cache_blocks, cache=cache)
 
     # ----------------------------------------------------------- properties
     @property
@@ -81,15 +107,19 @@ class NGramStore:
     def vocabulary(self) -> Optional[Any]:
         """The persisted vocabulary, if the build included one (lazy)."""
         if self._vocabulary is None and self.manifest.get("has_vocabulary"):
-            from repro.corpus.vocabulary import Vocabulary
+            with self._lock:
+                if self._vocabulary is None:
+                    from repro.corpus.vocabulary import Vocabulary
 
-            path = os.path.join(self.store_dir, DICTIONARY_FILENAME)
-            with open(path, "r", encoding="utf-8") as handle:
-                self._vocabulary = Vocabulary.from_lines(handle)
+                    path = os.path.join(self.store_dir, DICTIONARY_FILENAME)
+                    with open(path, "r", encoding="utf-8") as handle:
+                        self._vocabulary = Vocabulary.from_lines(handle)
         return self._vocabulary
 
     def cache_stats(self) -> CacheStats:
         """Block-cache hit/miss/eviction totals over every open partition."""
+        if self.cache is not None:
+            return self.cache.stats_snapshot()
         total = CacheStats()
         for table in self._tables:
             if table is not None:
@@ -106,11 +136,19 @@ class NGramStore:
     def _table(self, index: int) -> Table:
         table = self._tables[index]
         if table is None:
-            filename = self.manifest["partitions"][index]["file"]
-            table = Table(
-                os.path.join(self.store_dir, filename), cache_blocks=self.cache_blocks
-            )
-            self._tables[index] = table
+            # Double-checked under the lock: concurrent first touches of a
+            # partition must yield one Table (one handle, one cache), not a
+            # racing pair where one leaks unclosed.
+            with self._lock:
+                table = self._tables[index]
+                if table is None:
+                    filename = self.manifest["partitions"][index]["file"]
+                    table = Table(
+                        os.path.join(self.store_dir, filename),
+                        cache_blocks=self.cache_blocks,
+                        cache=self.cache,
+                    )
+                    self._tables[index] = table
         return table
 
     def _partition_for(self, key: Tuple) -> int:
@@ -162,9 +200,45 @@ class NGramStore:
         return prefix_records(self.scan, tuple(tokens))
 
     def top_k(self, k: int, order: str = "frequency") -> List[Record]:
-        """The ``k`` top records store-wide, streamed with O(k) memory."""
+        """The ``k`` top records store-wide, streamed with O(k) memory.
+
+        Frequency order shares one heap across every partition, so blocks
+        whose persisted max-value summary cannot beat the current heap
+        floor are skipped unread (see :meth:`top_k_into` for the raw hook).
+        """
         self._check_open()
-        return top_k_records(self.scan(), k, order)
+        validate_top_k(k, order)
+        if order == "key":
+            return list(islice(self.scan(), k))
+        accumulator = TopKAccumulator(k)
+        try:
+            self.top_k_into(accumulator)
+            return accumulator.results()
+        except TypeError as exc:
+            raise _frequency_type_error(exc) from exc
+
+    def top_k_into(self, accumulator: TopKAccumulator) -> None:
+        """Offer every partition's candidates to a caller-owned top-k heap.
+
+        Exposed so callers (benchmarks, tests) can inspect the accumulator's
+        ``blocks_scanned``/``blocks_skipped`` counters after the pass.
+        """
+        self._check_open()
+        for index in range(self.num_partitions):
+            self._table(index).top_k_into(accumulator)
+
+    def block_first_keys(self) -> List[Tuple]:
+        """Every block's first key across all partitions, in global key order.
+
+        Read from the block indexes alone (no data blocks are decoded): one
+        key per block, i.e. a records-proportional sample of the store's
+        key distribution — what the store merge uses to plan boundaries.
+        """
+        self._check_open()
+        keys: List[Tuple] = []
+        for index in range(self.num_partitions):
+            keys.extend(self._table(index).block_first_keys())
+        return keys
 
     def items(self) -> Iterator[Record]:
         """Stream every record in global key order."""

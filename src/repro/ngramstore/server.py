@@ -1,0 +1,496 @@
+"""Long-lived query server over one shared :class:`NGramStore`.
+
+The north star is serving n-gram statistics to many consumers, and the
+``query`` CLI opens (and throws away) a store per invocation.
+:class:`NGramStoreServer` keeps one store open in one process, shares a
+single process-wide LRU :class:`~repro.ngramstore.table.BlockCache` across
+every partition, and serves concurrent clients from a thread per
+connection — the store layer's locks (added for exactly this) make the
+readers safe, and the cache turns a hot key set into pure in-memory
+bisects no matter which connection asked first.
+
+The wire protocol is newline-delimited JSON — one request object per
+line, one response object per line, over a plain TCP socket::
+
+    -> {"op": "get", "ngram": [3, 7]}
+    <- {"ok": true, "found": true, "value": 42}
+
+    -> {"op": "prefix", "tokens": [3], "limit": 100}
+    <- {"ok": true, "records": [[[3, 7], 42], ...], "truncated": false}
+
+    -> {"op": "top_k", "k": 10, "order": "frequency"}
+    <- {"ok": true, "records": [[[0], 981], ...]}
+
+    -> {"op": "stats"} | {"op": "server_stats"} | {"op": "ping"}
+
+Keys travel as JSON arrays of term identifiers (the store's native keys);
+failures come back as ``{"ok": false, "error": ...}`` on the same stream,
+so one bad request does not cost the connection.  :class:`StoreClient` is
+the in-repo client: it speaks the protocol and hands back tuples, exactly
+what :class:`NGramStore` itself returns — the serve-smoke CI step asserts
+that equivalence byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socket
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.config import ServerConfig
+from repro.exceptions import StoreError
+from repro.ngramstore.reader import NGramStore
+from repro.ngramstore.table import TOP_K_ORDERS, BlockCache
+
+Record = Tuple[Any, Any]
+
+#: Largest accepted request line; anything longer is a protocol error.
+MAX_REQUEST_BYTES = 1 << 20
+
+#: Latency samples retained per operation for percentile reporting; counts
+#: and totals keep accumulating after the reservoir is full.
+LATENCY_SAMPLE_CAP = 100_000
+
+#: Protocol operations (also the keys of the metrics snapshot).
+OPERATIONS = ("get", "prefix", "top_k", "stats", "server_stats", "ping")
+
+#: Server-side result caps: a single response is one JSON line held in
+#: memory, so unbounded prefix scans (or absurd k) must not let one
+#: request materialise a whole larger-than-RAM store.  Capped prefix
+#: responses set ``truncated``; clients page with an explicit start key
+#: or fall back to offline scans for bulk exports.
+MAX_PREFIX_RECORDS = 10_000
+MAX_TOP_K = 10_000
+
+
+def percentile(sorted_samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending sample list (must be non-empty)."""
+    rank = max(1, min(len(sorted_samples), math.ceil(len(sorted_samples) * fraction)))
+    return sorted_samples[rank - 1]
+
+
+class ServerMetrics:
+    """Thread-safe per-operation request counts and latency aggregates."""
+
+    def __init__(self, sample_cap: int = LATENCY_SAMPLE_CAP) -> None:
+        self._lock = threading.Lock()
+        self._sample_cap = sample_cap
+        self._operations: Dict[str, Dict[str, Any]] = {}
+        self.connections_accepted = 0
+        self.requests = 0
+        self.errors = 0
+        self.started_at = time.time()
+
+    def record_connection(self) -> None:
+        with self._lock:
+            self.connections_accepted += 1
+
+    def record(self, operation: str, seconds: float, ok: bool) -> None:
+        with self._lock:
+            entry = self._operations.setdefault(
+                operation, {"count": 0, "errors": 0, "total_s": 0.0, "samples": []}
+            )
+            entry["count"] += 1
+            entry["total_s"] += seconds
+            if not ok:
+                entry["errors"] += 1
+                self.errors += 1
+            if len(entry["samples"]) < self._sample_cap:
+                entry["samples"].append(seconds)
+            self.requests += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Aggregated counters plus latency percentiles, JSON-ready."""
+        # Copy under the lock, sort outside it: sorting up to sample_cap
+        # floats must not stall every request thread waiting on record().
+        with self._lock:
+            copied = {
+                operation: (entry["count"], entry["errors"], entry["total_s"], list(entry["samples"]))
+                for operation, entry in self._operations.items()
+            }
+            totals = {
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "connections_accepted": self.connections_accepted,
+                "requests": self.requests,
+                "errors": self.errors,
+            }
+        operations = {}
+        for operation, (count, errors, total_s, samples) in copied.items():
+            samples.sort()
+            summary = {
+                "count": count,
+                "errors": errors,
+                "total_ms": round(total_s * 1e3, 3),
+                "mean_us": round(total_s / count * 1e6, 1),
+            }
+            if samples:
+                summary.update(
+                    {
+                        "p50_us": round(percentile(samples, 0.50) * 1e6, 1),
+                        "p90_us": round(percentile(samples, 0.90) * 1e6, 1),
+                        "p99_us": round(percentile(samples, 0.99) * 1e6, 1),
+                        "max_us": round(samples[-1] * 1e6, 1),
+                    }
+                )
+            operations[operation] = summary
+        totals["operations"] = operations
+        return totals
+
+
+def _json_key(data: Any) -> Tuple:
+    if not isinstance(data, list):
+        raise StoreError(f"n-gram must be a JSON array of terms, got {type(data).__name__}")
+    return tuple(data)
+
+
+_MISSING = object()
+
+
+class NGramStoreServer:
+    """Serves one store to concurrent socket clients; see the module docstring.
+
+    ``max_clients`` bounds the handler threads: when every slot is busy the
+    accept loop simply stops accepting, so excess connections queue in the
+    listen backlog (backpressure) instead of failing or piling up threads.
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        if isinstance(store, NGramStore):
+            # Caller-managed store: its cache setup is its own business —
+            # self.cache is None when it uses private per-table caches, so
+            # stats reporting falls back to the store's aggregation instead
+            # of an orphan cache no table feeds.
+            self.store = store
+            self.cache = store.cache
+        else:
+            self.cache = BlockCache(self.config.cache_blocks)
+            self.store = NGramStore.open(str(store), cache=self.cache)
+        self.metrics = ServerMetrics()
+        self.host = self.config.host
+        self.port = self.config.port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._slots = threading.Semaphore(self.config.max_clients)
+        self._shutdown = threading.Event()
+        self._connections: "set[socket.socket]" = set()
+        self._connections_lock = threading.Lock()
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen and serve in background threads; returns (host, port)."""
+        if self._listener is not None:
+            raise StoreError("server already started")
+        self._listener = socket.create_server(
+            (self.host, self.port), backlog=self.config.max_clients
+        )
+        self.port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="ngramstore-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.host, self.port
+
+    def close(self) -> None:
+        """Stop accepting, drop open connections, close the store."""
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        if self._listener is not None:
+            # shutdown() before close(): on Linux, close() alone does not
+            # wake a thread blocked in accept() — it would sit there until
+            # the next (never-coming) connection.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._connections_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        self.store.close()
+
+    def __enter__(self) -> "NGramStoreServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def cache_summary(self) -> Dict[str, Any]:
+        """Block-cache counters, JSON-ready (the ``server_stats`` shape).
+
+        ``store.cache_stats()`` covers both layouts — the shared cache's
+        counters, or the per-table aggregate for caller-managed stores;
+        capacity/residency only exist when one shared cache is in play.
+        The shared cache object outlives a closed store, so the CLI can
+        still build its shutdown report from this.
+        """
+        stats = self.store.cache_stats()
+        summary: Dict[str, Any] = {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "hit_rate": round(stats.hit_rate, 6),
+        }
+        if self.cache is not None:
+            summary["capacity_blocks"] = self.cache.capacity
+            summary["resident_blocks"] = len(self.cache)
+        return summary
+
+    # ------------------------------------------------------------- serving
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            # A free handler slot is a precondition for accepting: the
+            # kernel backlog, not a thread pile-up, absorbs bursts beyond
+            # max_clients.
+            self._slots.acquire()
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                self._slots.release()
+                if self._shutdown.is_set():
+                    return
+                # Transient accept failures (ECONNABORTED from a client
+                # resetting in the backlog, EMFILE under fd pressure) must
+                # not permanently stop a live server; back off and retry.
+                time.sleep(0.05)
+                continue
+            if self._shutdown.is_set():
+                connection.close()
+                self._slots.release()
+                return
+            self.metrics.record_connection()
+            with self._connections_lock:
+                self._connections.add(connection)
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="ngramstore-client",
+                daemon=True,
+            )
+            try:
+                handler.start()
+            except RuntimeError:
+                # Thread exhaustion: drop this connection, keep serving.
+                with self._connections_lock:
+                    self._connections.discard(connection)
+                connection.close()
+                self._slots.release()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            reader = connection.makefile("rb")
+            with reader:
+                while not self._shutdown.is_set():
+                    line = reader.readline(MAX_REQUEST_BYTES + 1)
+                    if not line:
+                        return
+                    if len(line) > MAX_REQUEST_BYTES:
+                        self._respond(
+                            connection,
+                            {"ok": False, "error": "request exceeds 1 MiB"},
+                        )
+                        return
+                    started = time.perf_counter()
+                    operation = "invalid"
+                    try:
+                        request = json.loads(line)
+                        if not isinstance(request, dict):
+                            raise StoreError("request must be a JSON object")
+                        operation = str(request.get("op"))
+                        response = self._handle(operation, request)
+                        response["ok"] = True
+                    except (StoreError, KeyError, TypeError, ValueError) as error:
+                        response = {"ok": False, "error": f"{error}"}
+                    ok = response.get("ok", False)
+                    # Clamp to the known set: client-chosen strings must not
+                    # grow the metrics dict without bound on a long-lived server.
+                    bucket = operation if operation in OPERATIONS else "invalid"
+                    self.metrics.record(bucket, time.perf_counter() - started, ok)
+                    if not self._respond(connection, response):
+                        return
+        except OSError:
+            pass  # client went away (or shutdown closed the socket underneath)
+        finally:
+            with self._connections_lock:
+                self._connections.discard(connection)
+            try:
+                connection.close()
+            except OSError:
+                pass
+            self._slots.release()
+
+    def _respond(self, connection: socket.socket, response: Dict[str, Any]) -> bool:
+        try:
+            payload = json.dumps(response, separators=(",", ":"))
+        except (TypeError, ValueError) as error:
+            # Non-JSON-serialisable store values (arbitrary build_store
+            # payloads) are a per-request failure, not a dead connection.
+            payload = json.dumps(
+                {"ok": False, "error": f"value is not JSON-serialisable: {error}"}
+            )
+        try:
+            connection.sendall(payload.encode("utf-8") + b"\n")
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------ handlers
+    def _handle(self, operation: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        if operation == "get":
+            key = _json_key(request.get("ngram"))
+            value = self.store.get(key, _MISSING)
+            if value is _MISSING:
+                return {"found": False, "value": None}
+            return {"found": True, "value": value}
+        if operation == "prefix":
+            key = _json_key(request.get("tokens", []))
+            limit = request.get("limit")
+            if limit is not None and (not isinstance(limit, int) or limit < 0):
+                raise StoreError(f"prefix limit must be a non-negative integer, got {limit!r}")
+            effective_limit = MAX_PREFIX_RECORDS if limit is None else min(limit, MAX_PREFIX_RECORDS)
+            records: List[List[Any]] = []
+            truncated = False
+            for record_key, value in self.store.prefix(key):
+                if len(records) >= effective_limit:
+                    truncated = True
+                    break
+                records.append([list(record_key), value])
+            return {"records": records, "truncated": truncated}
+        if operation == "top_k":
+            k = request.get("k")
+            if not isinstance(k, int) or isinstance(k, bool):
+                raise StoreError(f"top_k k must be an integer, got {k!r}")
+            if k > MAX_TOP_K:
+                raise StoreError(f"top_k k must be <= {MAX_TOP_K}, got {k}")
+            order = request.get("order", "frequency")
+            if order not in TOP_K_ORDERS:
+                raise StoreError(
+                    f"top_k order must be one of {', '.join(TOP_K_ORDERS)}, got {order!r}"
+                )
+            records = [
+                [list(record_key), value] for record_key, value in self.store.top_k(k, order)
+            ]
+            return {"records": records}
+        if operation == "stats":
+            manifest = self.store.manifest
+            return {
+                "store_dir": self.store.store_dir,
+                "num_records": self.store.num_records,
+                "num_partitions": self.store.num_partitions,
+                "codec": self.store.codec_name,
+                "has_vocabulary": bool(manifest.get("has_vocabulary")),
+                "metadata": manifest.get("metadata", {}),
+            }
+        if operation == "server_stats":
+            snapshot = self.metrics.snapshot()
+            snapshot["cache"] = self.cache_summary()
+            with self._connections_lock:
+                snapshot["active_connections"] = len(self._connections)
+            return snapshot
+        if operation == "ping":
+            return {"pong": True}
+        raise StoreError(
+            f"unknown op {operation!r}; expected one of {', '.join(OPERATIONS)}"
+        )
+
+
+class StoreClient:
+    """Client for :class:`NGramStoreServer`'s newline-delimited JSON protocol.
+
+    Results mirror the :class:`NGramStore` API — keys come back as tuples —
+    so a client is a drop-in remote replacement for an opened store on the
+    get/prefix/top_k surface.  One instance owns one connection and is not
+    itself thread-safe; concurrent callers each open their own (the server
+    is built for many connections).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+
+    # ------------------------------------------------------------ plumbing
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        payload = json.dumps(request, separators=(",", ":")).encode("utf-8")
+        self._socket.sendall(payload + b"\n")
+        line = self._reader.readline()
+        if not line:
+            raise StoreError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise StoreError(f"server error: {response.get('error', 'unknown')}")
+        return response
+
+    # ------------------------------------------------------------- queries
+    def get(self, ngram: Iterable[Any], default: Any = None) -> Any:
+        response = self._call({"op": "get", "ngram": list(ngram)})
+        return response["value"] if response["found"] else default
+
+    def prefix(
+        self, tokens: Iterable[Any], limit: Optional[int] = None
+    ) -> List[Record]:
+        request: Dict[str, Any] = {"op": "prefix", "tokens": list(tokens)}
+        if limit is not None:
+            request["limit"] = limit
+        response = self._call(request)
+        records = response["records"]
+        if response.get("truncated") and (limit is None or len(records) < limit):
+            # Truncated short of what the caller asked for (everything, or
+            # a limit above the server cap): a silently partial result
+            # would be a wrong answer.
+            raise StoreError(
+                f"prefix result truncated at the server cap ({MAX_PREFIX_RECORDS} "
+                "records); pass a limit at or below the cap, or export offline"
+            )
+        return [(tuple(key), value) for key, value in records]
+
+    def top_k(self, k: int, order: str = "frequency") -> List[Record]:
+        response = self._call({"op": "top_k", "k": k, "order": order})
+        return [(tuple(key), value) for key, value in response["records"]]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call({"op": "stats"})
+
+    def server_stats(self) -> Dict[str, Any]:
+        return self._call({"op": "server_stats"})
+
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "StoreClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

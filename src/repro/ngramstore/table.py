@@ -15,8 +15,10 @@ from __future__ import annotations
 
 import heapq
 import os
+import threading
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
+from itertools import islice
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import StoreError
@@ -69,6 +71,24 @@ def prefix_records(scan, prefix: Tuple) -> Iterator[Record]:
         yield key, value
 
 
+def validate_top_k(k: int, order: str) -> None:
+    """Reject invalid top-k parameters (shared by every top-k entry point)."""
+    if order not in TOP_K_ORDERS:
+        raise StoreError(f"top_k order must be one of {', '.join(TOP_K_ORDERS)}, got {order!r}")
+    if k < 1:
+        raise StoreError(f"top_k k must be >= 1, got {k}")
+
+
+def _frequency_type_error(exc: TypeError) -> StoreError:
+    # Stores may hold non-numeric values (e.g. time-series dicts), which
+    # have no frequency ranking — fail as a store error, not a bare
+    # TypeError from deep inside a heap comparison.
+    return StoreError(
+        f"top_k by frequency needs numeric values: {exc}; "
+        "use order='key' for stores with non-numeric values"
+    )
+
+
 def top_k_records(records: Iterator[Record], k: int, order: str) -> List[Record]:
     """The ``k`` greatest records of a stream under ``order``, using O(k) memory.
 
@@ -77,22 +97,77 @@ def top_k_records(records: Iterator[Record], k: int, order: str) -> List[Record]
     ``"key"`` ranks by ascending key — for a sorted stream that is simply
     the first ``k`` records, but the stream is not required to be sorted.
     """
-    if order not in TOP_K_ORDERS:
-        raise StoreError(f"top_k order must be one of {', '.join(TOP_K_ORDERS)}, got {order!r}")
-    if k < 1:
-        raise StoreError(f"top_k k must be >= 1, got {k}")
+    validate_top_k(k, order)
     if order == "frequency":
         try:
             return heapq.nsmallest(k, records, key=lambda record: (-record[1], record[0]))
         except TypeError as exc:
-            # Stores may hold non-numeric values (e.g. time-series dicts),
-            # which have no frequency ranking — fail as a store error, not
-            # a bare TypeError from deep inside heapq.
-            raise StoreError(
-                f"top_k by frequency needs numeric values: {exc}; "
-                "use order='key' for stores with non-numeric values"
-            ) from exc
+            raise _frequency_type_error(exc) from exc
     return heapq.nsmallest(k, records, key=lambda record: record[0])
+
+
+class _ReverseKey:
+    """Wraps a key so heap ordering prefers the *smaller* key on value ties."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_ReverseKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReverseKey) and other.key == self.key
+
+
+class TopKAccumulator:
+    """O(k) heap of the best records by ``(-value, key)``, shared across tables.
+
+    The heap root is always the *worst* retained record, so its sort key is
+    the floor a candidate must beat.  :meth:`admissible` turns a block's
+    persisted max-value summary into a skip decision: every record of the
+    block has ``value <= max_value`` and ``key >= first_key``, hence a sort
+    key of at least ``(-max_value, first_key)`` — if even that bound cannot
+    beat the floor, the block need not be read at all.  ``blocks_scanned``
+    and ``blocks_skipped`` count those decisions for benchmarks and tests.
+
+    Results are identical to a full scan: table keys are unique, so the
+    composite sort order is total and the top-k set is unambiguous.
+    """
+
+    __slots__ = ("k", "_heap", "blocks_scanned", "blocks_skipped")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise StoreError(f"top_k k must be >= 1, got {k}")
+        self.k = k
+        self._heap: List[Tuple[Any, _ReverseKey]] = []
+        self.blocks_scanned = 0
+        self.blocks_skipped = 0
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    def admissible(self, max_value: Any, first_key: Any) -> bool:
+        """Can a block bounded by ``max_value``/``first_key`` still contribute?"""
+        if not self.full or max_value is None:
+            return True
+        worst_value, worst_key = self._heap[0][0], self._heap[0][1].key
+        return (-max_value, first_key) < (-worst_value, worst_key)
+
+    def offer(self, key: Any, value: Any) -> None:
+        entry = (value, _ReverseKey(key))
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif self._heap[0] < entry:
+            heapq.heapreplace(self._heap, entry)
+
+    def results(self) -> List[Record]:
+        """The retained records, best first (descending value, ascending key)."""
+        ordered = sorted(self._heap, key=lambda entry: (-entry[0], entry[1].key))
+        return [(entry[1].key, entry[0]) for entry in ordered]
 
 
 #: What the cache holds per block: the decoded keys (for bisection) and the
@@ -102,33 +177,74 @@ DecodedBlock = Tuple[List[Any], List[Record]]
 
 
 class BlockCache:
-    """LRU cache of decoded blocks (``block index -> (keys, records)``)."""
+    """Thread-safe LRU cache of decoded blocks.
+
+    Keys are arbitrary hashable block identities — a single table uses its
+    block ordinals, while a cache *shared* across tables (one process-wide
+    cache for a whole store, or a server's stores) namespaces them by table
+    path.  All bookkeeping, including the hit/miss/eviction counters,
+    happens under one lock so concurrent readers never corrupt the LRU
+    order or the stats.
+    """
 
     def __init__(self, capacity: int = DEFAULT_CACHE_BLOCKS) -> None:
         if capacity < 1:
             raise StoreError(f"block cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
-        self._blocks: "OrderedDict[int, DecodedBlock]" = OrderedDict()
+        self._blocks: "OrderedDict[Any, DecodedBlock]" = OrderedDict()
+        self._lock = threading.Lock()
 
-    def get(self, block_index: int) -> Optional[DecodedBlock]:
-        if block_index in self._blocks:
-            self.stats.hits += 1
-            self._blocks.move_to_end(block_index)
-            return self._blocks[block_index]
-        self.stats.misses += 1
-        return None
+    def get(self, block_key: Any) -> Optional[DecodedBlock]:
+        with self._lock:
+            if block_key in self._blocks:
+                self.stats.hits += 1
+                self._blocks.move_to_end(block_key)
+                return self._blocks[block_key]
+            self.stats.misses += 1
+            return None
 
-    def put(self, block_index: int, block: DecodedBlock) -> None:
-        if block_index in self._blocks:
-            self._blocks.move_to_end(block_index)
-        self._blocks[block_index] = block
-        while len(self._blocks) > self.capacity:
-            self._blocks.popitem(last=False)
-            self.stats.evictions += 1
+    def put(self, block_key: Any, block: DecodedBlock) -> None:
+        with self._lock:
+            if block_key in self._blocks:
+                self._blocks.move_to_end(block_key)
+            self._blocks[block_key] = block
+            while len(self._blocks) > self.capacity:
+                self._blocks.popitem(last=False)
+                self.stats.evictions += 1
+
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent copy of the counters (the live object keeps mutating)."""
+        with self._lock:
+            return CacheStats(
+                hits=self.stats.hits,
+                misses=self.stats.misses,
+                evictions=self.stats.evictions,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blocks)
 
     def clear(self) -> None:
-        self._blocks.clear()
+        with self._lock:
+            self._blocks.clear()
+
+
+def _block_max_value(records: List[Record]) -> Any:
+    """The block's largest value, or None when values are not plain numbers.
+
+    Only ``int``/``float`` summaries are persisted — anything else (dicts,
+    bools, mixed types) yields ``None``, which the top-k reader treats as
+    "unknown, never skip", exactly like a pre-summary table.
+    """
+    try:
+        largest = max(value for _, value in records)
+    except TypeError:
+        return None
+    if isinstance(largest, bool) or not isinstance(largest, (int, float)):
+        return None
+    return largest
 
 
 class TableWriter:
@@ -171,6 +287,7 @@ class TableWriter:
                 offset=offset,
                 length=len(payload),
                 num_records=len(self._buffer),
+                max_value=_block_max_value(self._buffer),
             )
         )
         self._buffer = []
@@ -241,9 +358,22 @@ class TableWriter:
 
 
 class Table:
-    """Read-only view over one table file; queries decode blocks on demand."""
+    """Read-only view over one table file; queries decode blocks on demand.
 
-    def __init__(self, path: str, cache_blocks: int = DEFAULT_CACHE_BLOCKS) -> None:
+    Safe for concurrent readers: block decodes go through the (locked)
+    :class:`BlockCache` and the shared file handle's seek+read pair is
+    serialised by an I/O lock.  Pass ``cache`` to share one block cache
+    across several tables (cache entries are then namespaced by the table's
+    absolute path); otherwise the table owns a private cache of
+    ``cache_blocks`` entries.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        cache: Optional[BlockCache] = None,
+    ) -> None:
         self.path = path
         self._handle = open(path, "rb")
         try:
@@ -253,8 +383,14 @@ class Table:
             self._handle.close()
             raise
         self._codec = get_codec(self._footer["codec"])
-        self._cache = BlockCache(cache_blocks)
+        self._shared_cache = cache is not None
+        self._cache = cache if cache is not None else BlockCache(cache_blocks)
+        # Private caches are keyed by block ordinal alone; a shared cache
+        # needs the table identity too, and the absolute path makes two
+        # openings of the same (immutable) file share entries.
+        self._cache_namespace = os.path.abspath(path) if self._shared_cache else None
         self._first_keys = [entry.first_key for entry in self._index]
+        self._io_lock = threading.Lock()
         self._closed = False
 
     # ----------------------------------------------------------- properties
@@ -284,7 +420,16 @@ class Table:
 
     @property
     def cache_stats(self) -> CacheStats:
+        """Counters of this table's cache (cache-wide totals when shared)."""
         return self._cache.stats
+
+    def block_first_keys(self) -> List[Any]:
+        """Every block's first key, from the index alone (no block reads).
+
+        One key per block, so the list is a records-proportional sample of
+        the table's key distribution — what boundary planning needs.
+        """
+        return list(self._first_keys)
 
     def __len__(self) -> int:
         return self.num_records
@@ -294,13 +439,22 @@ class Table:
         if self._closed:
             raise StoreError(f"table {self.path!r} is closed")
 
+    def _block_key(self, block_index: int) -> Any:
+        if self._cache_namespace is None:
+            return block_index
+        return (self._cache_namespace, block_index)
+
     def _load_block(self, block_index: int) -> "DecodedBlock":
-        block = self._cache.get(block_index)
+        block = self._cache.get(self._block_key(block_index))
         if block is not None:
             return block
         entry = self._index[block_index]
-        self._handle.seek(entry.offset)
-        payload = self._handle.read(entry.length)
+        # Concurrent misses on the same block both decode and both put —
+        # harmless duplicate work; what must be serialised is the shared
+        # handle's seek+read pair, or two readers interleave positions.
+        with self._io_lock:
+            self._handle.seek(entry.offset)
+            payload = self._handle.read(entry.length)
         if len(payload) != entry.length:
             raise StoreError(
                 f"truncated block {block_index} in {self.path!r}: "
@@ -313,7 +467,7 @@ class Table:
                 f"records, index says {entry.num_records}"
             )
         block = ([key for key, _ in records], records)
-        self._cache.put(block_index, block)
+        self._cache.put(self._block_key(block_index), block)
         return block
 
     def _block_for_key(self, key: Any) -> Optional[int]:
@@ -376,10 +530,37 @@ class Table:
         self._check_open()
         return prefix_records(self.scan, prefix)
 
+    def top_k_into(self, accumulator: TopKAccumulator) -> None:
+        """Offer this table's candidates to a (possibly shared) top-k heap.
+
+        Blocks whose persisted max-value summary cannot beat the heap floor
+        are skipped without being read or decoded; tables written before
+        the summary existed (``max_value is None``) are always scanned, so
+        results match a full scan on any store.
+        """
+        self._check_open()
+        for block_index, entry in enumerate(self._index):
+            if not accumulator.admissible(entry.max_value, entry.first_key):
+                accumulator.blocks_skipped += 1
+                continue
+            accumulator.blocks_scanned += 1
+            for key, value in self._load_block(block_index)[1]:
+                accumulator.offer(key, value)
+
     def top_k(self, k: int, order: str = "frequency") -> List[Record]:
         """The ``k`` top records (by value, or by key) without materialising."""
         self._check_open()
-        return top_k_records(self.scan(), k, order)
+        validate_top_k(k, order)
+        if order == "key":
+            # Scans stream in key order, so the k smallest keys are simply
+            # the first k records — no heap, no full pass.
+            return list(islice(self.scan(), k))
+        accumulator = TopKAccumulator(k)
+        try:
+            self.top_k_into(accumulator)
+            return accumulator.results()
+        except TypeError as exc:
+            raise _frequency_type_error(exc) from exc
 
     def iter_records(self) -> Iterator[Record]:
         """Stream the whole table in key order."""
@@ -393,7 +574,10 @@ class Table:
         if self._closed:
             return
         self._closed = True
-        self._cache.clear()
+        if not self._shared_cache:
+            # A shared cache outlives any one table; its entries are evicted
+            # by LRU pressure, not by a table closing.
+            self._cache.clear()
         self._handle.close()
 
     def __enter__(self) -> "Table":

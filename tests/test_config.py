@@ -151,3 +151,26 @@ class TestStoreConfig:
             StoreConfig(records_per_block=0)
         with pytest.raises(ConfigurationError):
             StoreConfig(sample_size=0)
+
+
+class TestServerConfig:
+    def test_defaults_are_valid(self):
+        from repro.config import ServerConfig
+
+        config = ServerConfig()
+        assert config.host == "127.0.0.1"
+        assert config.port == 0  # ephemeral by default
+        assert config.cache_blocks >= 1
+        assert config.max_clients >= 1
+
+    def test_validation(self):
+        from repro.config import ServerConfig
+
+        with pytest.raises(ConfigurationError):
+            ServerConfig(port=-1)
+        with pytest.raises(ConfigurationError):
+            ServerConfig(port=70_000)
+        with pytest.raises(ConfigurationError):
+            ServerConfig(cache_blocks=0)
+        with pytest.raises(ConfigurationError):
+            ServerConfig(max_clients=0)

@@ -293,6 +293,29 @@ class TestBuildStore:
         with NGramStore.open(store_dir) as store:
             assert list(store.items()) == replacement
 
+    def test_clear_store_dir_removes_manifest_first(self, tmp_path, records, monkeypatch):
+        """A crash mid-clear must leave no manifest routing to dead tables."""
+        import repro.ngramstore.build as build_module
+
+        store_dir = str(tmp_path / "store")
+        build_store(records, store_dir, store=StoreConfig(num_partitions=2))
+        removed = []
+        real_remove = os.remove
+
+        def failing_remove(path):
+            removed.append(path)
+            if path.endswith(".ngt"):
+                raise OSError("disk died mid-clear")
+            real_remove(path)
+
+        monkeypatch.setattr(build_module.os, "remove", failing_remove)
+        with pytest.raises(OSError, match="mid-clear"):
+            build_module.clear_store_dir(store_dir)
+        monkeypatch.undo()
+        assert removed[0].endswith("store.json")  # manifest goes first
+        with pytest.raises(StoreError, match="manifest"):
+            NGramStore.open(store_dir)
+
     def test_failed_rebuild_refuses_to_open(self, tmp_path, records):
         """A crash mid-build must not leave an old manifest over new tables."""
         store_dir = str(tmp_path / "store")
@@ -557,6 +580,154 @@ class TestEndToEndAcceptance:
         assert second.store_dir != result.store_dir
         with NGramStore.open(second.store_dir) as store:
             assert len(store) == measurement.num_ngrams
+
+
+# ------------------------------------------------------- top-k block skipping
+def skewed_records(count=4096, block=64):
+    """Sorted records whose frequency decays along the key order.
+
+    Realistic shape: term identifiers are assigned in descending collection
+    frequency, so low keys ~ frequent n-grams; the decay plus a little
+    deterministic jitter concentrates the global top-k in the first blocks.
+    """
+    rng = random.Random(99)
+    return [
+        ((index // 7, index % 7, index), max(1, count - index + rng.randint(0, 3)))
+        for index in range(count)
+    ]
+
+
+class TestTopKBlockSkipping:
+    BLOCK = 64
+
+    @pytest.fixture()
+    def skewed_store(self, tmp_path):
+        store_dir = str(tmp_path / "skewed")
+        build_store(
+            skewed_records(block=self.BLOCK),
+            store_dir,
+            store=StoreConfig(num_partitions=3, records_per_block=self.BLOCK),
+        )
+        return store_dir
+
+    def test_summaries_persisted_in_block_index(self, tmp_path):
+        records = skewed_records(count=512)
+        path = str(tmp_path / "t.ngt")
+        with TableWriter(path, records_per_block=64) as writer:
+            writer.extend(records)
+        with Table(path) as table:
+            for entry in table._index:
+                block_values = [
+                    value
+                    for key, value in records
+                    if entry.first_key <= key <= entry.last_key
+                ]
+                assert entry.max_value == max(block_values)
+
+    def test_non_numeric_blocks_have_no_summary(self, tmp_path):
+        path = str(tmp_path / "ts.ngt")
+        with TableWriter(path, records_per_block=4) as writer:
+            writer.extend([((index,), {"year": index}) for index in range(10)])
+        with Table(path) as table:
+            assert all(entry.max_value is None for entry in table._index)
+
+    def test_top_k_skips_blocks_and_matches_full_scan(self, skewed_store):
+        from repro.ngramstore import TopKAccumulator
+
+        records = skewed_records(block=self.BLOCK)
+        expected = sorted(records, key=lambda record: (-record[1], record[0]))[:10]
+        with NGramStore.open(skewed_store) as store:
+            assert store.top_k(10) == expected
+            accumulator = TopKAccumulator(10)
+            store.top_k_into(accumulator)
+            total_blocks = sum(
+                store._table(index).num_blocks for index in range(store.num_partitions)
+            )
+            assert accumulator.blocks_scanned + accumulator.blocks_skipped == total_blocks
+            assert accumulator.blocks_skipped > 0
+            assert accumulator.blocks_scanned < total_blocks
+            assert accumulator.results() == expected
+
+    def test_skipping_equals_streaming_reference_on_random_values(self, tmp_path, records):
+        """Random (unskewed) values: skipping must still be exact."""
+        store_dir = str(tmp_path / "random")
+        build_store(records, store_dir, store=StoreConfig(num_partitions=2, records_per_block=16))
+        with NGramStore.open(store_dir) as store:
+            for k in (1, 3, 25, len(records) + 10):
+                assert store.top_k(k) == top_k_records(iter(records), k, "frequency")
+
+    def test_key_order_early_exit(self, skewed_store):
+        records = skewed_records(block=self.BLOCK)
+        with NGramStore.open(skewed_store) as store:
+            assert store.top_k(5, order="key") == records[:5]
+            # Early exit: only the first block of the first partition is read.
+            stats = store.cache_stats()
+            assert stats.misses == 1
+
+    def test_old_format_index_without_summaries_still_served(self, tmp_path, monkeypatch):
+        """Tables written before max_value existed read fine, just unskipped."""
+        import repro.ngramstore.format as format_module
+        import repro.ngramstore.table as table_module
+
+        real_write_index = format_module.write_index
+
+        def legacy_write_index(handle, index):
+            # Plain 5-tuples, exactly what a pre-summary writer pickled —
+            # the read path must fill max_value from the NamedTuple default.
+            legacy = [tuple(entry)[:5] for entry in index]
+            return real_write_index(handle, legacy)
+
+        # TableWriter resolves write_index from its own module namespace.
+        monkeypatch.setattr(table_module, "write_index", legacy_write_index)
+        records = skewed_records(count=512)
+        path = str(tmp_path / "legacy.ngt")
+        with TableWriter(path, records_per_block=32) as writer:
+            writer.extend(records)
+        monkeypatch.undo()
+
+        with Table(path) as table:
+            assert all(entry.max_value is None for entry in table._index)
+            assert list(table) == records
+            for key, value in records[::41]:
+                assert table.get(key) == value
+            expected = sorted(records, key=lambda record: (-record[1], record[0]))[:7]
+            assert table.top_k(7) == expected
+            from repro.ngramstore import TopKAccumulator
+
+            accumulator = TopKAccumulator(7)
+            table.top_k_into(accumulator)
+            assert accumulator.blocks_skipped == 0  # no summaries -> no skipping
+
+    def test_accumulator_tie_break_matches_nsmallest(self):
+        from repro.ngramstore import TopKAccumulator
+
+        records = [((2,), 5), ((1,), 5), ((3,), 9), ((0,), 5)]
+        accumulator = TopKAccumulator(3)
+        for key, value in records:
+            accumulator.offer(key, value)
+        assert accumulator.results() == top_k_records(iter(records), 3, "frequency")
+
+
+class TestSharedBlockCache:
+    def test_two_tables_share_one_cache(self, tmp_path, records):
+        half = len(records) // 2
+        paths = []
+        for index, chunk in enumerate((records[:half], records[half:])):
+            path = str(tmp_path / f"t{index}.ngt")
+            with TableWriter(path, records_per_block=8) as writer:
+                writer.extend(chunk)
+            paths.append(path)
+        cache = BlockCache(4)
+        with Table(paths[0], cache=cache) as first, Table(paths[1], cache=cache) as second:
+            for key, value in records[::9]:
+                table = first if key <= first.max_key else second
+                assert table.get(key) == value
+            assert len(cache) <= 4
+            stats = cache.stats_snapshot()
+            assert stats.hits + stats.misses == len(records[::9])
+            # Closing one table does not wipe the other's shared entries.
+            first.close()
+            assert len(cache) > 0
 
 
 # ------------------------------------------------------------ helper checks

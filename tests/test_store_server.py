@@ -1,0 +1,427 @@
+"""Tests for the store query server, its client, and reader thread-safety."""
+
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cli import main
+from repro.config import ServerConfig, StoreConfig
+from repro.exceptions import StoreError
+from repro.ngramstore import (
+    BlockCache,
+    NGramStore,
+    NGramStoreServer,
+    StoreClient,
+    build_store,
+)
+from repro.ngramstore.server import ServerMetrics, percentile
+
+
+def make_records(count=600, seed=13, max_term=50, max_len=4):
+    rng = random.Random(seed)
+    keys = set()
+    while len(keys) < count:
+        keys.add(tuple(rng.randint(0, max_term) for _ in range(rng.randint(1, max_len))))
+    return [(key, rng.randint(1, 400)) for key in sorted(keys)]
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("server-store") / "store")
+    build_store(
+        make_records(),
+        directory,
+        store=StoreConfig(num_partitions=3, records_per_block=32),
+        metadata={"origin": "test_store_server"},
+    )
+    return directory
+
+
+@pytest.fixture()
+def server(store_dir):
+    with NGramStoreServer(
+        store_dir, config=ServerConfig(port=0, cache_blocks=16, max_clients=8)
+    ) as running:
+        yield running
+
+
+@pytest.fixture()
+def expected():
+    return dict(make_records())
+
+
+class TestProtocol:
+    def test_get_prefix_top_k_match_direct_store(self, server, store_dir, expected):
+        with NGramStore.open(store_dir) as direct, StoreClient(server.host, server.port) as client:
+            for key in list(expected)[::19]:
+                assert client.get(key) == direct.get(key)
+            assert client.get((9999,)) is None
+            assert client.get((9999,), default=-1) == -1
+            first_terms = sorted({key[0] for key in expected})
+            for term in first_terms[:5]:
+                assert client.prefix((term,)) == list(direct.prefix((term,)))
+            assert client.top_k(10) == direct.top_k(10)
+            assert client.top_k(10, order="key") == direct.top_k(10, order="key")
+
+    def test_prefix_limit_truncates(self, server, store_dir, expected):
+        term = sorted({key[0] for key in expected})[0]
+        with NGramStore.open(store_dir) as direct, StoreClient(server.host, server.port) as client:
+            full = list(direct.prefix((term,)))
+            assert len(full) > 2
+            limited = client.prefix((term,), limit=2)
+            assert limited == full[:2]
+
+    def test_stats_reports_manifest(self, server, expected):
+        with StoreClient(server.host, server.port) as client:
+            stats = client.stats()
+            assert stats["num_records"] == len(expected)
+            assert stats["num_partitions"] == 3
+            assert stats["metadata"]["origin"] == "test_store_server"
+
+    def test_ping_and_server_stats(self, server):
+        with StoreClient(server.host, server.port) as client:
+            assert client.ping()
+            client.top_k(3)
+            stats = client.server_stats()
+            assert stats["requests"] >= 2
+            assert stats["operations"]["ping"]["count"] >= 1
+            assert "p50_us" in stats["operations"]["ping"]
+            assert stats["cache"]["capacity_blocks"] == 16
+            assert stats["cache"]["misses"] > 0
+
+    def test_bad_requests_answered_not_fatal(self, server):
+        with StoreClient(server.host, server.port) as client:
+            with pytest.raises(StoreError, match="unknown op"):
+                client._call({"op": "frobnicate"})
+            with pytest.raises(StoreError, match="JSON array"):
+                client._call({"op": "get", "ngram": "not-a-list"})
+            with pytest.raises(StoreError, match="k must be"):
+                client.top_k(0)
+            with pytest.raises(StoreError, match="order"):
+                client.top_k(3, order="bogus")
+            with pytest.raises(StoreError, match="limit"):
+                client._call({"op": "prefix", "tokens": [1], "limit": -4})
+            # The connection survived every error above.
+            assert client.ping()
+
+    def test_malformed_json_is_an_error_response(self, server):
+        with socket.create_connection((server.host, server.port), timeout=10) as raw:
+            raw.sendall(b"this is not json\n")
+            response = json.loads(raw.makefile("rb").readline())
+            assert response["ok"] is False
+
+    def test_errors_counted_in_metrics(self, server):
+        with StoreClient(server.host, server.port) as client:
+            before = client.server_stats()["errors"]
+            with pytest.raises(StoreError):
+                client._call({"op": "nope"})
+            assert client.server_stats()["errors"] == before + 1
+
+    def test_unknown_ops_share_one_metrics_bucket(self, server):
+        """Client-chosen op strings must not grow the metrics dict unboundedly."""
+        with StoreClient(server.host, server.port) as client:
+            for index in range(5):
+                with pytest.raises(StoreError):
+                    client._call({"op": f"evil-{index}"})
+            operations = client.server_stats()["operations"]
+            assert operations["invalid"]["count"] >= 5
+            assert not any(name.startswith("evil-") for name in operations)
+
+    def test_prefix_server_cap(self, server, store_dir, expected, monkeypatch):
+        """Uncapped prefix responses are bounded server-side, loudly."""
+        import repro.ngramstore.server as server_module
+
+        term = sorted({key[0] for key in expected})[0]
+        full = [record for record in sorted(expected.items()) if record[0][0] == term]
+        assert len(full) > 2
+        monkeypatch.setattr(server_module, "MAX_PREFIX_RECORDS", 2)
+        with StoreClient(server.host, server.port) as client:
+            # Explicit limits within the cap still work...
+            assert client.prefix((term,), limit=2) == full[:2]
+            # ...but an uncapped request that got truncated raises rather
+            # than silently returning a partial answer...
+            with pytest.raises(StoreError, match="truncated"):
+                client.prefix((term,))
+            # ...and so does an explicit limit above the server cap.
+            with pytest.raises(StoreError, match="truncated"):
+                client.prefix((term,), limit=len(full) + 5)
+
+    def test_top_k_k_capped(self, server):
+        from repro.ngramstore.server import MAX_TOP_K
+
+        with StoreClient(server.host, server.port) as client:
+            with pytest.raises(StoreError, match="must be <="):
+                client.top_k(MAX_TOP_K + 1)
+
+
+class TestConcurrency:
+    def test_concurrent_clients_byte_identical(self, server, store_dir, expected):
+        """Many threads, own connections each: responses == direct reads."""
+        with NGramStore.open(store_dir) as direct:
+            reference_top = direct.top_k(10)
+            keys = sorted(expected)
+
+            def hammer(seed):
+                rng = random.Random(seed)
+                with StoreClient(server.host, server.port) as client:
+                    for _ in range(40):
+                        key = rng.choice(keys)
+                        assert client.get(key) == expected[key]
+                    missing = (10_000, seed)
+                    assert client.get(missing) is None
+                    term = rng.choice(keys)[0]
+                    assert client.prefix((term,)) == [
+                        record for record in sorted(expected.items()) if record[0][0] == term
+                    ]
+                    assert client.top_k(10) == reference_top
+                    return True
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                assert all(pool.map(hammer, range(12)))
+
+    def test_max_clients_backpressure(self, store_dir, expected):
+        """More concurrent clients than handler slots: all still served."""
+        with NGramStoreServer(
+            store_dir, config=ServerConfig(port=0, cache_blocks=8, max_clients=2)
+        ) as server:
+            sample = sorted(expected)[::37]
+
+            def query(seed):
+                with StoreClient(server.host, server.port) as client:
+                    time.sleep(0.01)
+                    return [client.get(key) for key in sample]
+
+            reference = [expected[key] for key in sample]
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                results = list(pool.map(query, range(6)))
+            assert all(result == reference for result in results)
+            assert server.metrics.snapshot()["connections_accepted"] == 6
+
+    def test_graceful_shutdown(self, store_dir):
+        server = NGramStoreServer(store_dir, config=ServerConfig(port=0))
+        host, port = server.start()
+        client = StoreClient(host, port)
+        assert client.ping()
+        server.close()
+        # The open connection is dropped; a fresh connect must not reach a
+        # live handler either (loopback self-connect may let the TCP dial
+        # itself succeed, so assert at the protocol level, not connect()).
+        with pytest.raises((StoreError, OSError, ValueError)):
+            client.ping()
+        client.close()
+        with pytest.raises((StoreError, OSError, ValueError)):
+            with StoreClient(host, port, timeout=2) as late:
+                late.ping()
+        # Idempotent close, and the underlying store is closed too.
+        server.close()
+        with pytest.raises(StoreError, match="closed"):
+            server.store.get((1,))
+
+    def test_double_start_rejected(self, store_dir):
+        with NGramStoreServer(store_dir, config=ServerConfig(port=0)) as server:
+            with pytest.raises(StoreError, match="already started"):
+                server.start()
+
+    def test_caller_managed_store_reports_real_cache_stats(self, store_dir, expected):
+        """A store with private per-table caches must not report zeros."""
+        store = NGramStore.open(store_dir, cache_blocks=8)
+        with NGramStoreServer(store, config=ServerConfig(port=0)) as server:
+            with StoreClient(server.host, server.port) as client:
+                for key in sorted(expected)[::31]:
+                    assert client.get(key) == expected[key]
+                stats = client.server_stats()
+            assert stats["cache"]["misses"] > 0  # per-table aggregate, not an orphan cache
+            assert "capacity_blocks" not in stats["cache"]  # no single shared cache exists
+
+
+class TestReaderThreadSafety:
+    """The satellite regression: lazy init + cache under a thread pool."""
+
+    def test_hammered_store_opens_each_table_once(self, store_dir, expected, monkeypatch):
+        import repro.ngramstore.reader as reader_module
+
+        opens = []
+        real_table = reader_module.Table
+
+        class CountingTable(real_table):
+            def __init__(self, path, **kwargs):
+                opens.append(path)
+                super().__init__(path, **kwargs)
+
+        monkeypatch.setattr(reader_module, "Table", CountingTable)
+        keys = sorted(expected)
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+        store = NGramStore.open(store_dir, cache=BlockCache(16))
+
+        def hammer(seed):
+            rng = random.Random(seed)
+            barrier.wait()  # maximise contention on first-touch lazy opens
+            for _ in range(150):
+                key = rng.choice(keys)
+                assert store.get(key) == expected[key]
+            return 150
+
+        with store:
+            with ThreadPoolExecutor(max_workers=num_threads) as pool:
+                total = sum(pool.map(hammer, range(num_threads)))
+            # Guarded lazy init: one Table per partition, ever.
+            assert len(opens) == store.num_partitions
+            assert len(set(opens)) == store.num_partitions
+            # Guarded cache counters: every get touches exactly one block,
+            # so lookups account for each of the 1200 gets exactly once.
+            stats = store.cache_stats()
+            assert stats.hits + stats.misses == total
+
+    def test_shared_cache_capacity_is_global(self, store_dir, expected):
+        cache = BlockCache(2)
+        with NGramStore.open(store_dir, cache=cache) as store:
+            for key in sorted(expected)[::11]:
+                assert store.get(key) == expected[key]
+            assert len(cache) <= 2
+            stats = store.cache_stats()
+            assert stats.evictions > 0
+
+    def test_concurrent_scans_and_top_k(self, store_dir, expected):
+        """Range scans share table handles with point lookups safely."""
+        with NGramStore.open(store_dir, cache=BlockCache(8)) as store:
+            reference_items = sorted(expected.items())
+            reference_top = store.top_k(5)
+
+            def scan_worker(_):
+                assert list(store.items()) == reference_items
+                return True
+
+            def point_worker(seed):
+                rng = random.Random(seed)
+                for _ in range(50):
+                    key = rng.choice(reference_items)[0]
+                    assert store.get(key) == expected[key]
+                assert store.top_k(5) == reference_top
+                return True
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                futures = [
+                    pool.submit(scan_worker if index % 2 else point_worker, index)
+                    for index in range(8)
+                ]
+                assert all(future.result() for future in futures)
+
+
+class TestServeCLI:
+    def test_serve_subprocess_end_to_end(self, store_dir, expected, tmp_path):
+        """The real CLI: ready-file handshake, queries, SIGTERM, metrics."""
+        ready = str(tmp_path / "ready.txt")
+        metrics_path = str(tmp_path / "metrics.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            "src" + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                store_dir,
+                "--port",
+                "0",
+                "--cache-blocks",
+                "32",
+                "--max-clients",
+                "4",
+                "--ready-file",
+                ready,
+                "--metrics-file",
+                metrics_path,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.time() + 30
+            while not os.path.exists(ready):
+                assert process.poll() is None, process.stderr.read()
+                assert time.time() < deadline, "server did not become ready"
+                time.sleep(0.05)
+            host, port = open(ready, encoding="utf-8").read().split()
+            with StoreClient(host, int(port)) as client:
+                top = client.top_k(5)
+                assert [tuple(k) for k, _ in top] == [k for k, _ in top]
+                assert client.stats()["num_records"] == len(expected)
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stderr
+        assert "serving" in stdout
+        metrics = json.load(open(metrics_path, encoding="utf-8"))
+        assert metrics["operations"]["top_k"]["count"] == 1
+        assert metrics["cache"]["misses"] > 0
+
+    def test_serve_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope")]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_serve_smoke_driver(self, store_dir, tmp_path):
+        """The CI serve-smoke script passes against a freshly built store."""
+        from benchmarks import serve_smoke
+
+        report_path = str(tmp_path / "latency.json")
+        assert (
+            serve_smoke.main(
+                [
+                    "--store",
+                    store_dir,
+                    "--clients",
+                    "3",
+                    "--requests",
+                    "10",
+                    "--report",
+                    report_path,
+                    "--baseline",
+                    store_dir,
+                    "--scale",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        report = json.load(open(report_path, encoding="utf-8"))
+        for operation in ("get", "prefix", "top_k"):
+            assert report["operations"][operation]["p50_us"] > 0
+        assert report["server"]["cache"]["hits"] > 0
+
+
+class TestMetricsHelpers:
+    def test_percentile_nearest_rank(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.50) == 2.0
+        assert percentile(samples, 0.90) == 4.0
+        assert percentile(samples, 0.99) == 4.0
+        assert percentile([7.0], 0.50) == 7.0
+
+    def test_metrics_aggregate_and_snapshot(self):
+        metrics = ServerMetrics()
+        for index in range(10):
+            metrics.record("get", 0.001 * (index + 1), ok=True)
+        metrics.record("get", 0.5, ok=False)
+        snapshot = metrics.snapshot()
+        entry = snapshot["operations"]["get"]
+        assert entry["count"] == 11
+        assert entry["errors"] == 1
+        assert snapshot["errors"] == 1
+        assert entry["p50_us"] <= entry["p99_us"] <= entry["max_us"]
