@@ -1,13 +1,25 @@
-"""End-to-end smoke driver for the store query server (used by CI).
+"""End-to-end smoke driver for the store serving tier (used by CI).
 
-Starts ``repro serve`` as a real subprocess over an existing store, fires
-concurrent :class:`~repro.ngramstore.server.StoreClient` workloads at it,
-and asserts every response is byte-identical to a direct
+Starts ``repro serve`` as real subprocesses over an existing store, fires
+concurrent :class:`~repro.ngramstore.api.StoreAPI` client workloads at
+the deployment, and asserts every response is byte-identical to a direct
 :class:`~repro.ngramstore.NGramStore` read of the same store — plus that
 the rendered top-k matches the offline ``repro query --ids --top-k``
-output line for line.  Client-side latencies (and the server's own
+output line for line.  Client-side latencies (and each server's own
 metrics snapshot) are written as a JSON report so CI can upload
 percentiles as an artifact.
+
+``--topology`` picks the deployment shape:
+
+* ``single`` (default) — one server, plain :class:`StoreClient`s;
+* ``replicas`` — ``--replicas`` identical servers behind a
+  :class:`~repro.ngramstore.router.ReplicaPool` per client thread, plus a
+  live failover check (one replica is killed mid-run and every read must
+  still be answered);
+* ``sharded`` — ``--shards`` range-sharded servers (each serving one
+  slice of the store's partitions) behind a
+  :class:`~repro.ngramstore.router.ShardRouter` per client thread, so
+  gets route to the owning shard and top-k is merged across shards.
 
 With ``--baseline DIR --scale N`` it additionally asserts every sampled
 value equals ``N x`` the baseline store's — the check CI runs after
@@ -18,7 +30,8 @@ Exit status is non-zero on any mismatch, so the CI step fails loudly.
 Usage::
 
     PYTHONPATH=src python benchmarks/serve_smoke.py --store work/store \
-        --clients 8 --requests 50 --report reports/serve-latency.json
+        --clients 8 --requests 50 --report reports/serve-latency.json \
+        --topology sharded --shards 3
 """
 
 from __future__ import annotations
@@ -34,11 +47,17 @@ import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.ngramstore import NGramStore, StoreClient
+from repro.ngramstore import NGramStore, ReplicaPool, ShardRouter, StoreClient
 from repro.ngramstore.server import percentile
 
 
-def start_server(store_dir: str, cache_blocks: int, max_clients: int, timeout: float = 60.0):
+def start_server(
+    store_dir: str,
+    cache_blocks: int,
+    max_clients: int,
+    timeout: float = 60.0,
+    extra_args=(),
+):
     """Launch ``repro serve`` and wait for its ready-file; returns (proc, host, port)."""
     ready_dir = tempfile.mkdtemp(prefix="serve-smoke-")
     ready_path = os.path.join(ready_dir, "ready.txt")
@@ -61,6 +80,7 @@ def start_server(store_dir: str, cache_blocks: int, max_clients: int, timeout: f
             str(max_clients),
             "--ready-file",
             ready_path,
+            *extra_args,
         ],
         env=env,
         stdout=subprocess.PIPE,
@@ -91,11 +111,15 @@ def render_top_k(records):
     return lines
 
 
-def client_workload(host, port, seed, keys, expected, reference_top, requests):
-    """One connection's worth of queries; returns per-op latency samples."""
+def client_workload(client_factory, seed, keys, expected, reference_top, requests):
+    """One client's worth of queries; returns per-op latency samples.
+
+    ``client_factory`` builds a fresh StoreAPI client per thread (socket
+    clients hold one connection each, so threads must not share them).
+    """
     rng = random.Random(seed)
     latencies = {"get": [], "prefix": [], "top_k": []}
-    with StoreClient(host, port) as client:
+    with client_factory() as client:
         for _ in range(requests):
             key = rng.choice(keys)
             started = time.perf_counter()
@@ -120,6 +144,62 @@ def client_workload(host, port, seed, keys, expected, reference_top, requests):
     return latencies
 
 
+def build_topology(args):
+    """Start the deployment; returns (processes, endpoints, client_factory).
+
+    ``client_factory`` builds a per-thread StoreAPI client over the
+    running servers: a plain StoreClient, a ReplicaPool of StoreClients,
+    or a ShardRouter of per-shard StoreClients.
+    """
+    if args.topology == "single":
+        process, host, port = start_server(args.store, args.cache_blocks, args.max_clients)
+        return [process], [(host, port)], lambda: StoreClient(host, port)
+
+    if args.topology == "replicas":
+        servers = [
+            start_server(args.store, args.cache_blocks, args.max_clients)
+            for _ in range(args.replicas)
+        ]
+        endpoints = [(host, port) for _, host, port in servers]
+        return (
+            [process for process, _, _ in servers],
+            endpoints,
+            lambda: ReplicaPool([StoreClient(host, port) for host, port in endpoints]),
+        )
+
+    servers = [
+        start_server(
+            args.store,
+            args.cache_blocks,
+            args.max_clients,
+            extra_args=["--num-shards", str(args.shards), "--shard-index", str(index)],
+        )
+        for index in range(args.shards)
+    ]
+    endpoints = [(host, port) for _, host, port in servers]
+    return (
+        [process for process, _, _ in servers],
+        endpoints,
+        lambda: ShardRouter([StoreClient(host, port) for host, port in endpoints]),
+    )
+
+
+def replica_failover_check(processes, client_factory, keys, expected):
+    """Kill one replica under a live pool; every read must still answer."""
+    with client_factory() as pool:
+        sample = keys[:: max(1, len(keys) // 50)]
+        assert pool.get(sample[0]) == expected[sample[0]]
+        victim = processes[0]
+        victim.send_signal(signal.SIGTERM)
+        victim.communicate(timeout=60)
+        for key in sample:
+            value = pool.get(key)
+            assert value == expected[key], (
+                f"get({key!r}) after replica loss: {value!r} != {expected[key]!r}"
+            )
+    print(f"replica failover OK: {len(sample)} reads answered after killing one replica")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--store", required=True, help="store directory to serve")
@@ -128,6 +208,14 @@ def main(argv=None):
     parser.add_argument("--cache-blocks", type=int, default=128)
     parser.add_argument("--max-clients", type=int, default=4)
     parser.add_argument("--report", default=None, help="latency-percentile JSON path")
+    parser.add_argument(
+        "--topology",
+        choices=("single", "replicas", "sharded"),
+        default="single",
+        help="deployment shape to smoke (default: one server)",
+    )
+    parser.add_argument("--replicas", type=int, default=2, help="servers for --topology replicas")
+    parser.add_argument("--shards", type=int, default=3, help="servers for --topology sharded")
     parser.add_argument(
         "--baseline",
         default=None,
@@ -158,13 +246,14 @@ def main(argv=None):
             )
         print(f"merged-store scale check OK ({len(sample)} keys, x{args.scale})")
 
-    process, host, port = start_server(args.store, args.cache_blocks, args.max_clients)
+    processes, endpoints, client_factory = build_topology(args)
+    exit_results = []
     try:
         with ThreadPoolExecutor(max_workers=args.clients) as pool:
             results = list(
                 pool.map(
                     lambda seed: client_workload(
-                        host, port, seed, keys, expected, reference_top, args.requests
+                        client_factory, seed, keys, expected, reference_top, args.requests
                     ),
                     range(args.clients),
                 )
@@ -182,9 +271,8 @@ def main(argv=None):
             text=True,
             check=True,
         )
-        with StoreClient(host, port) as client:
+        with client_factory() as client:
             served_lines = render_top_k(client.top_k(10))
-            server_stats = client.server_stats()
         # rstrip, not strip: the first line's value padding is leading
         # whitespace and part of the byte-identity contract.
         offline_lines = offline.stdout.rstrip("\n").splitlines()
@@ -193,18 +281,42 @@ def main(argv=None):
             f"served : {served_lines}\noffline: {offline_lines}"
         )
         print("served responses byte-identical to offline query output")
-    finally:
-        process.send_signal(signal.SIGTERM)
-        stdout, stderr = process.communicate(timeout=60)
-    if process.returncode != 0:
-        raise SystemExit(f"server exited {process.returncode}: {stderr}")
 
+        # Per-server metrics, probed while every server is still up (the
+        # replica failover check below deliberately kills one).
+        server_reports = []
+        for host, port in endpoints:
+            with StoreClient(host, port) as probe:
+                server_reports.append(
+                    {"host": host, "port": port, "stats": probe.server_stats()}
+                )
+
+        if args.topology == "replicas":
+            replica_failover_check(processes, client_factory, keys, expected)
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        for process in processes:
+            try:
+                _, stderr = process.communicate(timeout=60)
+            except ValueError:  # streams already drained (the failover victim)
+                process.wait(timeout=60)
+                stderr = ""
+            exit_results.append((process.returncode, stderr))
+    for returncode, stderr in exit_results:
+        if returncode != 0:
+            raise SystemExit(f"server exited {returncode}: {stderr}")
+
+    server_stats = server_reports[0]["stats"]
     report = {
         "store": args.store,
+        "topology": args.topology,
         "clients": args.clients,
         "requests_per_client": args.requests,
         "operations": {},
         "server": server_stats,
+        "servers": server_reports,
     }
     for operation in ("get", "prefix", "top_k"):
         samples = sorted(
@@ -226,7 +338,8 @@ def main(argv=None):
             json.dump(report, handle, indent=2, sort_keys=True)
         print(f"wrote serve-smoke latency report to {args.report}")
     print(
-        f"serve smoke OK: {args.clients} clients x {args.requests} gets, "
+        f"serve smoke OK ({args.topology}, {len(endpoints)} server(s)): "
+        f"{args.clients} clients x {args.requests} gets, "
         f"cache hit rate {server_stats['cache']['hit_rate']}"
     )
     return 0

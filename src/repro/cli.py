@@ -20,12 +20,16 @@ Installed as ``repro-ngrams`` (or ``python -m repro``).  Sub-commands:
 
 ``query``
     Point/prefix/top-k lookups against an n-gram store directory written by
-    ``count --store-dir`` (see :mod:`repro.ngramstore`).
+    ``count --store-dir`` (see :mod:`repro.ngramstore`) — or against a
+    running server via ``--server HOST:PORT`` (socket) or ``--url``
+    (HTTP), through the same unified ``StoreAPI``.
 
 ``serve``
     Long-lived multi-client query server over one store: newline-delimited
-    JSON over TCP, a process-wide shared block cache, per-request latency
-    metrics, graceful shutdown on SIGINT/SIGTERM.
+    JSON over TCP (or REST with ``--http``), a process-wide shared block
+    cache, per-request latency metrics, graceful shutdown on
+    SIGINT/SIGTERM.  ``--num-shards``/``--shard-index`` serve one shard of
+    a range-sharded deployment (see :mod:`repro.ngramstore.router`).
 
 ``merge-stores``
     K-way merge of several stores into one (summing duplicate keys) —
@@ -239,7 +243,24 @@ def _build_parser() -> argparse.ArgumentParser:
     query = subparsers.add_parser(
         "query", help="query an n-gram store written by 'count --store-dir'"
     )
-    query.add_argument("store", help="store directory")
+    query.add_argument(
+        "store",
+        nargs="?",
+        default=None,
+        help="store directory (omit when querying a remote via --server/--url)",
+    )
+    query.add_argument(
+        "--server",
+        metavar="HOST:PORT",
+        default=None,
+        help="query a running 'repro serve' socket server instead of a local store",
+    )
+    query.add_argument(
+        "--url",
+        metavar="URL",
+        default=None,
+        help="query a running 'repro serve --http' server instead of a local store",
+    )
     query_mode = query.add_mutually_exclusive_group(required=True)
     query_mode.add_argument(
         "--get", metavar="NGRAM", help="point lookup of one n-gram (space-separated terms)"
@@ -287,6 +308,27 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="TCP port (default: 0 = OS-assigned; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--http",
+        action="store_true",
+        help="serve the REST adapter (GET routes + POST /query) instead of the "
+        "newline-JSON socket protocol",
+    )
+    serve.add_argument(
+        "--num-shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="range sharding: serve only one shard of an N-way split of the "
+        "store's partitions (default: 1 = the whole store)",
+    )
+    serve.add_argument(
+        "--shard-index",
+        type=int,
+        default=0,
+        metavar="I",
+        help="which shard to serve, in [0, N) (with --num-shards)",
     )
     serve.add_argument(
         "--cache-blocks",
@@ -460,25 +502,51 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.ngramstore import NGramStore
     from repro.ngramstore.table import DEFAULT_CACHE_BLOCKS
 
-    cache_blocks = args.cache_blocks if args.cache_blocks is not None else DEFAULT_CACHE_BLOCKS
+    sources = sum(1 for source in (args.store, args.server, args.url) if source)
+    if sources != 1:
+        print(
+            "error: pass exactly one of a store directory, --server or --url",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        store = NGramStore.open(args.store, cache_blocks=cache_blocks)
+        if args.server is not None:
+            from repro.ngramstore.server import StoreClient
+
+            host, _, port = args.server.rpartition(":")
+            if not host or not port.isdigit():
+                print(
+                    f"error: --server expects HOST:PORT, got {args.server!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            api = StoreClient(host, int(port))
+        elif args.url is not None:
+            from repro.ngramstore.http import HttpStoreClient
+
+            api = HttpStoreClient(args.url)
+        else:
+            cache_blocks = (
+                args.cache_blocks if args.cache_blocks is not None else DEFAULT_CACHE_BLOCKS
+            )
+            api = NGramStore.open(args.store, cache_blocks=cache_blocks)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    with store:
-        vocabulary = None if args.ids else store.vocabulary
+    # One code path for local stores and both remote transports: everything
+    # below speaks StoreAPI.  With a persisted vocabulary the term-keyed
+    # operations run wherever the dictionary lives (server-side for
+    # remotes — clients never download it); --ids (or a vocabulary-less
+    # store) falls back to raw keys.
+    with api:
+        try:
+            stats = api.stats()
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        use_terms = (not args.ids) and bool(stats.get("has_vocabulary"))
 
-        def encode(tokens: List[str]) -> Optional[tuple]:
-            """Query key for ``tokens``; None when a term cannot exist.
-
-            A term absent from the store's vocabulary means no stored
-            n-gram can match — that is a not-found outcome, not an error.
-            """
-            if vocabulary is not None:
-                if any(token not in vocabulary for token in tokens):
-                    return None
-                return tuple(vocabulary.term_id(token) for token in tokens)
+        def encode(tokens: List[str]) -> tuple:
             try:
                 return tuple(int(token) for token in tokens)
             except ValueError:
@@ -487,8 +555,6 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 return tuple(tokens)
 
         def render(ngram: tuple) -> str:
-            if vocabulary is not None:
-                return " ".join(vocabulary.term(term_id) for term_id in ngram)
             return " ".join(str(term) for term in ngram)
 
         def render_value(value: object) -> str:
@@ -499,36 +565,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
             return str(value)
 
         if args.stats:
-            manifest = store.manifest
-            print(f"store          {args.store}")
-            print(f"n-grams        {store.num_records}")
-            print(f"partitions     {store.num_partitions}")
-            print(f"codec          {store.codec_name}")
-            print(f"vocabulary     {'yes' if manifest.get('has_vocabulary') else 'no'}")
-            for key, value in sorted(manifest.get("metadata", {}).items()):
+            print(f"store          {stats['store_dir']}")
+            print(f"n-grams        {stats['num_records']}")
+            print(f"partitions     {stats['num_partitions']}")
+            print(f"codec          {stats['codec']}")
+            print(f"vocabulary     {'yes' if stats.get('has_vocabulary') else 'no'}")
+            for key, value in sorted(stats.get("metadata", {}).items()):
                 print(f"{key:14s} {value}")
             return 0
         try:
             if args.get is not None:
-                ngram = encode(args.get.split())
-                frequency = store.get(ngram) if ngram is not None else None
+                tokens = args.get.split()
+                if use_terms:
+                    frequency = api.get_terms(tokens)
+                    rendered = " ".join(tokens)
+                else:
+                    ngram = encode(tokens)
+                    frequency = api.get(ngram)
+                    rendered = render(ngram)
                 if frequency is None:
                     print(f"not found: {args.get}")
                     return 1
-                print(f"{render_value(frequency)}  {render(ngram)}")
+                print(f"{render_value(frequency)}  {rendered}")
             elif args.prefix is not None:
-                prefix_key = encode(args.prefix.split())
+                tokens = args.prefix.split()
+                if use_terms:
+                    records = api.prefix_terms(tokens, limit=args.limit)
+                else:
+                    records = api.prefix(encode(tokens), limit=args.limit)
                 matches = 0
-                for ngram, frequency in (
-                    store.prefix(prefix_key) if prefix_key is not None else ()
-                ):
+                for ngram, frequency in records:
                     print(f"{render_value(frequency)}  {render(ngram)}")
                     matches += 1
-                    if args.limit is not None and matches >= args.limit:
-                        break
                 print(f"{matches} n-grams with prefix {args.prefix!r}")
             else:
-                for ngram, frequency in store.top_k(args.top_k, order=args.order):
+                if use_terms:
+                    records = api.top_k_terms(args.top_k, order=args.order)
+                else:
+                    records = api.top_k(args.top_k, order=args.order)
+                for ngram, frequency in records:
                     print(f"{render_value(frequency)}  {render(ngram)}")
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -541,7 +616,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from repro.config import ServerConfig
+    from repro.ngramstore.http import NGramStoreHTTPServer
+    from repro.ngramstore.reader import NGramStore
+    from repro.ngramstore.router import ShardView
     from repro.ngramstore.server import NGramStoreServer
+    from repro.ngramstore.table import BlockCache
 
     try:
         config = ServerConfig(
@@ -549,8 +628,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             cache_blocks=args.cache_blocks,
             max_clients=args.max_clients,
+            protocol="http" if args.http else "socket",
+            num_shards=args.num_shards,
+            shard_index=args.shard_index,
         )
-        server = NGramStoreServer(args.store, config=config)
+        if config.num_shards > 1:
+            # Sharded: open the store behind a shared cache and serve only
+            # the owned slice of its partitions.
+            cache = BlockCache(config.cache_blocks)
+            target: object = ShardView(
+                NGramStore.open(args.store, cache=cache),
+                config.shard_index,
+                config.num_shards,
+            )
+        else:
+            target = args.store
+        server_cls = NGramStoreHTTPServer if args.http else NGramStoreServer
+        server = server_cls(target, config=config)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -561,10 +655,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # exit as every other failure mode of the command.
         print(f"error: cannot listen on {args.host}:{args.port}: {error}", file=sys.stderr)
         return 2
+    shard_note = (
+        f", shard={config.shard_index}/{config.num_shards}"
+        if config.num_shards > 1
+        else ""
+    )
     print(
         f"serving {args.store} on {host}:{port} "
         f"({server.store.num_records} n-grams, {server.store.num_partitions} partitions, "
-        f"cache={args.cache_blocks} blocks, max-clients={args.max_clients})",
+        f"cache={args.cache_blocks} blocks, max-clients={args.max_clients}, "
+        f"protocol={config.protocol}{shard_note})",
         flush=True,
     )
     if args.ready_file:

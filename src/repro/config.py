@@ -322,12 +322,23 @@ class ServerConfig:
     max_clients:
         Concurrently served connections; further connects wait in the
         listen backlog until a handler slot frees up.
+    protocol:
+        Wire protocol to serve: ``"socket"`` (newline-delimited JSON over
+        TCP, the efficient in-repo path) or ``"http"`` (the REST adapter,
+        reachable by curl/browsers/load balancers).
+    num_shards / shard_index:
+        Range sharding: serve only shard ``shard_index`` of a
+        ``num_shards``-way split of the store's partitions.  The default
+        (one shard, index 0) serves the whole store.
     """
 
     host: str = "127.0.0.1"
     port: int = 0
     cache_blocks: int = 256
     max_clients: int = 32
+    protocol: str = "socket"
+    num_shards: int = 1
+    shard_index: int = 0
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -338,6 +349,16 @@ class ServerConfig:
             )
         if self.max_clients < 1:
             raise ConfigurationError(f"max_clients must be >= 1, got {self.max_clients}")
+        if self.protocol not in ("socket", "http"):
+            raise ConfigurationError(
+                f"protocol must be 'socket' or 'http', got {self.protocol!r}"
+            )
+        if self.num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {self.num_shards}")
+        if not 0 <= self.shard_index < self.num_shards:
+            raise ConfigurationError(
+                f"shard_index must be in [0, {self.num_shards}), got {self.shard_index}"
+            )
 
 
 @dataclass(frozen=True)

@@ -42,5 +42,14 @@ class StoreError(ReproError):
     """Raised by the n-gram store: unsorted writes, corrupt tables, bad queries."""
 
 
+class StoreConnectionError(StoreError):
+    """Raised when a store client cannot reach (or loses) its server.
+
+    Distinct from :class:`StoreError` so replica pools can tell a dead
+    endpoint (fail over to the next replica) from an application error the
+    server answered (which every replica would answer identically).
+    """
+
+
 class ExperimentError(ReproError):
     """Raised by the experiment harness when a run cannot be completed."""

@@ -11,16 +11,22 @@ partitions with seek-based block reads and an LRU block cache — the
 SSTable pattern that lets statistics far larger than RAM be queried with a
 bounded memory footprint.
 
-On top of the store sit the serving layer's moving parts:
+On top of the store sits the serving tier, unified behind one query
+contract — :class:`StoreAPI` (:mod:`repro.ngramstore.api`), implemented
+by the local store, both remote clients, and both distributed topologies:
 :class:`NGramStoreServer`/:class:`StoreClient`
-(:mod:`repro.ngramstore.server`) expose one shared store (thread-safe, one
-process-wide block cache) to concurrent clients over a newline-delimited
-JSON socket protocol, and :func:`merge_stores`
+(:mod:`repro.ngramstore.server`) speak a newline-delimited JSON socket
+protocol, :class:`NGramStoreHTTPServer`/:class:`HttpStoreClient`
+(:mod:`repro.ngramstore.http`) expose the same engine over REST,
+:class:`ReplicaPool`/:class:`ShardRouter`/:class:`ShardView`
+(:mod:`repro.ngramstore.router`) scale reads across replicated and
+range-sharded deployments, and :func:`merge_stores`
 (:mod:`repro.ngramstore.merge`) compacts several stores into one with a
 k-way merge of their sorted tables — incremental corpus growth without
 recounting.
 """
 
+from repro.ngramstore.api import NGramRecord, QueryEngine, StoreAPI
 from repro.ngramstore.build import (
     RangePartitioner,
     build_store,
@@ -29,16 +35,26 @@ from repro.ngramstore.build import (
     sample_keys,
     total_order_sort_job,
 )
+from repro.ngramstore.http import HttpStoreClient, NGramStoreHTTPServer
 from repro.ngramstore.merge import merge_stores
 from repro.ngramstore.reader import NGramStore, StoreStatistics
+from repro.ngramstore.router import ReplicaPool, ShardRouter, ShardView
 from repro.ngramstore.server import NGramStoreServer, StoreClient
 from repro.ngramstore.table import BlockCache, Table, TableWriter, TopKAccumulator
 
 __all__ = [
     "BlockCache",
+    "HttpStoreClient",
+    "NGramRecord",
     "NGramStore",
+    "NGramStoreHTTPServer",
     "NGramStoreServer",
+    "QueryEngine",
     "RangePartitioner",
+    "ReplicaPool",
+    "ShardRouter",
+    "ShardView",
+    "StoreAPI",
     "StoreClient",
     "StoreStatistics",
     "Table",

@@ -1,0 +1,469 @@
+"""The unified query surface every store front-end speaks: ``StoreAPI``.
+
+Before this module existed the query surface was fractured: ``NGramStore``
+returned rich iterators, ``StoreClient`` returned tuples over an ad-hoc
+newline-JSON protocol, and vocabulary translation only happened client-side
+(forcing every remote consumer to download the dictionary).  ``StoreAPI``
+is the one contract they all implement now:
+
+* ``get`` / ``multi_get`` — point lookups by n-gram key (term-id tuples);
+* ``prefix`` — bounded range scan of every n-gram starting with a key;
+* ``top_k`` — the k best records by frequency (or the first k by key);
+* ``stats`` — store metadata (record/partition counts, vocabulary flag);
+* ``close`` + context-manager lifecycle;
+* surface-term variants (``get_terms`` / ``multi_get_terms`` /
+  ``prefix_terms`` / ``top_k_terms``) backed by the store's *persisted*
+  dictionary — translation happens wherever the dictionary lives (the
+  server, for remote implementations), so clients never download it.
+
+The canonical result shape is :class:`NGramRecord` — a ``(ngram, value)``
+named tuple, where ``ngram`` is a tuple of term identifiers (or of surface
+term strings for the ``*_terms`` variants).  Being a tuple subclass it
+compares equal to the plain ``(key, value)`` tuples the pre-redesign
+``StoreClient`` returned, so downstream callers migrate without breaking;
+the conformance suite asserts byte-identical results across every
+implementation: the local :class:`~repro.ngramstore.reader.NGramStore`,
+the socket :class:`~repro.ngramstore.server.StoreClient`, the
+:class:`~repro.ngramstore.router.ReplicaPool`, the range-sharded
+:class:`~repro.ngramstore.router.ShardRouter`, and the
+:class:`~repro.ngramstore.http.HttpStoreClient`.
+
+:class:`QueryEngine` is the transport-independent server half: it maps one
+request object of the unified wire schema (shared verbatim by the TCP
+socket protocol and the HTTP adapter) to one response object, enforcing
+the server-side result caps.  Legacy request spellings (``ngram`` /
+``tokens`` instead of ``key``) are still served via
+:func:`normalize_request`, which flags them with a ``deprecated`` note in
+the response instead of breaking old clients.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.exceptions import StoreError, VocabularyError
+from repro.ngramstore.table import TOP_K_ORDERS, validate_top_k
+
+_MISSING = object()
+
+
+class NGramRecord(NamedTuple):
+    """Canonical ``(ngram, value)`` result record of every ``StoreAPI``.
+
+    ``ngram`` is a tuple of term identifiers — or of surface term strings
+    when produced by a ``*_terms`` operation.  As a tuple subclass it is
+    equal to (and unpacks like) the bare 2-tuples older call sites expect.
+    """
+
+    ngram: Tuple
+    value: Any
+
+
+Record = NGramRecord
+
+#: Server-side result caps: a single response is one JSON payload held in
+#: memory, so unbounded prefix scans (or absurd k / batch sizes) must not
+#: let one request materialise a whole larger-than-RAM store.  Capped
+#: prefix responses set ``truncated``; clients page with an explicit limit
+#: or fall back to offline scans for bulk exports.
+MAX_PREFIX_RECORDS = 10_000
+MAX_TOP_K = 10_000
+MAX_BATCH_KEYS = 10_000
+
+#: Operations of the unified wire protocol (also the metrics buckets).
+OPERATIONS = (
+    "get",
+    "multi_get",
+    "prefix",
+    "top_k",
+    "translate",
+    "render",
+    "stats",
+    "server_stats",
+    "ping",
+)
+
+#: Legacy request field spellings still accepted (deprecation shim): the
+#: pre-redesign socket protocol said ``{"op": "get", "ngram": [...]}`` and
+#: ``{"op": "prefix", "tokens": [...]}``; the unified schema uses ``key``
+#: everywhere.  Old spellings are served, but flagged in the response.
+LEGACY_REQUEST_FIELDS = {"ngram": "key", "tokens": "key"}
+
+
+def normalize_request(request: Dict[str, Any]) -> Tuple[Dict[str, Any], Optional[str]]:
+    """Map legacy request field spellings onto the unified schema.
+
+    Returns the (possibly rewritten) request and a deprecation note when a
+    legacy spelling was used — the server copies the note into the
+    response so old clients keep working but see the migration hint.
+    """
+    notes = []
+    for legacy, canonical in LEGACY_REQUEST_FIELDS.items():
+        if legacy in request:
+            request = dict(request)
+            value = request.pop(legacy)
+            request.setdefault(canonical, value)
+            notes.append(f"request field {legacy!r} is deprecated; use {canonical!r}")
+    return request, "; ".join(notes) if notes else None
+
+
+class StoreAPI:
+    """The unified query contract (see the module docstring).
+
+    Core operations (``get`` / ``prefix`` / ``top_k`` / ``stats`` /
+    ``translate_terms`` / ``render_ngrams`` / ``close``) are provided by
+    each implementation; the surface-term variants and ``multi_get`` have
+    default compositions here so semantics cannot diverge — remote
+    implementations override them only to fuse the same composition into a
+    single round trip.
+    """
+
+    # ------------------------------------------------------ core contract
+    def get(self, ngram: Iterable[Any], default: Any = None) -> Any:
+        """The value stored for ``ngram``, or ``default``."""
+        raise NotImplementedError
+
+    def prefix(self, tokens: Iterable[Any], limit: Optional[int] = None) -> Iterable[Record]:
+        """Records whose key starts with ``tokens``, in key order.
+
+        ``limit`` caps the result count; remote implementations raise
+        :class:`StoreError` when an uncapped request hits the server cap
+        (a silently partial answer would be a wrong answer).
+        """
+        raise NotImplementedError
+
+    def top_k(self, k: int, order: str = "frequency") -> List[Record]:
+        """The ``k`` best records store-wide under ``order``."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        """Store metadata: record/partition counts, codec, vocabulary flag."""
+        raise NotImplementedError
+
+    def translate_terms(self, items: Sequence[Sequence[str]]) -> List[Optional[Tuple]]:
+        """Surface-term tuples -> key tuples (``None`` for unknown terms)."""
+        raise NotImplementedError
+
+    def render_ngrams(self, ngrams: Sequence[Tuple]) -> List[Tuple[str, ...]]:
+        """Key tuples -> surface-term tuples via the persisted dictionary."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    # --------------------------------------------------- composed surface
+    def multi_get(self, ngrams: Sequence[Iterable[Any]], default: Any = None) -> List[Any]:
+        """Values for ``ngrams`` in order (``default`` where absent)."""
+        return [self.get(ngram, default) for ngram in ngrams]
+
+    def get_terms(self, terms: Sequence[str], default: Any = None) -> Any:
+        """Point lookup keyed by surface terms; unknown terms are absent."""
+        (key,) = self.translate_terms([tuple(terms)])
+        if key is None:
+            return default
+        return self.get(key, default)
+
+    def multi_get_terms(
+        self, items: Sequence[Sequence[str]], default: Any = None
+    ) -> List[Any]:
+        """Batched surface-term lookups, order-aligned with ``items``."""
+        keys = self.translate_terms([tuple(item) for item in items])
+        known = [key for key in keys if key is not None]
+        values = iter(self.multi_get(known, default))
+        return [default if key is None else next(values) for key in keys]
+
+    def prefix_terms(
+        self, terms: Sequence[str], limit: Optional[int] = None
+    ) -> List[Record]:
+        """Prefix scan keyed and rendered in surface terms."""
+        (key,) = self.translate_terms([tuple(terms)])
+        if key is None:
+            return []
+        records = list(self.prefix(key, limit=limit))
+        rendered = self.render_ngrams([record[0] for record in records])
+        return [
+            NGramRecord(surface, record[1]) for surface, record in zip(rendered, records)
+        ]
+
+    def top_k_terms(self, k: int, order: str = "frequency") -> List[Record]:
+        """Top-k with keys rendered as surface terms."""
+        records = self.top_k(k, order)
+        rendered = self.render_ngrams([record[0] for record in records])
+        return [
+            NGramRecord(surface, record[1]) for surface, record in zip(rendered, records)
+        ]
+
+    def ping(self) -> bool:
+        """Liveness probe; local implementations are trivially alive."""
+        return True
+
+    # ----------------------------------------------------------- lifecycle
+    def __enter__(self) -> "StoreAPI":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class RemoteStore(StoreAPI):
+    """``StoreAPI`` over a request/response wire: shared by every client.
+
+    Subclasses (the socket :class:`~repro.ngramstore.server.StoreClient`
+    and the :class:`~repro.ngramstore.http.HttpStoreClient`) provide only
+    ``_call`` (one unified-schema request dict -> the response dict) and
+    ``close``; everything else — including the surface-term variants,
+    which run server-side in a single round trip — lives here, so the two
+    transports cannot drift apart.
+    """
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- queries
+    def get(self, ngram: Iterable[Any], default: Any = None) -> Any:
+        response = self._call({"op": "get", "key": list(ngram)})
+        return response["value"] if response["found"] else default
+
+    def multi_get(self, ngrams: Sequence[Iterable[Any]], default: Any = None) -> List[Any]:
+        response = self._call(
+            {"op": "multi_get", "keys": [list(ngram) for ngram in ngrams]}
+        )
+        return [
+            value if found else default
+            for found, value in zip(response["found"], response["values"])
+        ]
+
+    def _prefix_records(
+        self, request: Dict[str, Any], limit: Optional[int], key_shape
+    ) -> List[Record]:
+        if limit is not None:
+            request["limit"] = limit
+        response = self._call(request)
+        records = response["records"]
+        if response.get("truncated") and (limit is None or len(records) < limit):
+            # Truncated short of what the caller asked for (everything, or
+            # a limit above the server cap): a silently partial result
+            # would be a wrong answer.
+            raise StoreError(
+                f"prefix result truncated at the server cap ({MAX_PREFIX_RECORDS} "
+                "records); pass a limit at or below the cap, or export offline"
+            )
+        return [NGramRecord(key_shape(key), value) for key, value in records]
+
+    def prefix(self, tokens: Iterable[Any], limit: Optional[int] = None) -> List[Record]:
+        return self._prefix_records(
+            {"op": "prefix", "key": list(tokens)}, limit, tuple
+        )
+
+    def top_k(self, k: int, order: str = "frequency") -> List[Record]:
+        response = self._call({"op": "top_k", "k": k, "order": order})
+        return [NGramRecord(tuple(key), value) for key, value in response["records"]]
+
+    @staticmethod
+    def _strip_envelope(response: Dict[str, Any]) -> Dict[str, Any]:
+        """Drop protocol fields so remote stats match local ones byte for byte."""
+        return {
+            key: value
+            for key, value in response.items()
+            if key not in ("ok", "deprecated")
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        return self._strip_envelope(self._call({"op": "stats"}))
+
+    def server_stats(self) -> Dict[str, Any]:
+        return self._strip_envelope(self._call({"op": "server_stats"}))
+
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    # ------------------------------------------- server-side vocabulary ops
+    def translate_terms(self, items: Sequence[Sequence[str]]) -> List[Optional[Tuple]]:
+        response = self._call({"op": "translate", "terms": [list(item) for item in items]})
+        return [None if key is None else tuple(key) for key in response["keys"]]
+
+    def render_ngrams(self, ngrams: Sequence[Tuple]) -> List[Tuple[str, ...]]:
+        response = self._call({"op": "render", "ngrams": [list(ngram) for ngram in ngrams]})
+        return [tuple(terms) for terms in response["terms"]]
+
+    def get_terms(self, terms: Sequence[str], default: Any = None) -> Any:
+        response = self._call({"op": "get", "terms": list(terms)})
+        return response["value"] if response["found"] else default
+
+    def multi_get_terms(
+        self, items: Sequence[Sequence[str]], default: Any = None
+    ) -> List[Any]:
+        response = self._call(
+            {"op": "multi_get", "terms": [list(item) for item in items]}
+        )
+        return [
+            value if found else default
+            for found, value in zip(response["found"], response["values"])
+        ]
+
+    def prefix_terms(
+        self, terms: Sequence[str], limit: Optional[int] = None
+    ) -> List[Record]:
+        return self._prefix_records(
+            {"op": "prefix", "terms": list(terms)},
+            limit,
+            lambda key: tuple(key),
+        )
+
+    def top_k_terms(self, k: int, order: str = "frequency") -> List[Record]:
+        response = self._call({"op": "top_k", "k": k, "order": order, "surface": True})
+        return [NGramRecord(tuple(key), value) for key, value in response["records"]]
+
+
+def _validated_terms_batch(data: Any, field: str) -> List[Tuple[str, ...]]:
+    if not isinstance(data, list):
+        raise StoreError(f"{field} must be a JSON array of term arrays")
+    batch = []
+    for item in data:
+        if not isinstance(item, list) or not all(isinstance(term, str) for term in item):
+            raise StoreError(f"each {field} entry must be a JSON array of strings")
+        batch.append(tuple(item))
+    return batch
+
+
+def _json_key(data: Any, field: str = "key") -> Tuple:
+    if not isinstance(data, list):
+        raise StoreError(
+            f"{field} must be a JSON array of terms, got {type(data).__name__}"
+        )
+    return tuple(data)
+
+
+class QueryEngine:
+    """Maps unified-schema request dicts to response dicts over one store.
+
+    The store is anything with the local ``StoreAPI`` surface (an
+    :class:`~repro.ngramstore.reader.NGramStore` or a
+    :class:`~repro.ngramstore.router.ShardView`); both the TCP socket
+    server and the HTTP adapter own one engine each, so the two transports
+    serve byte-identical payloads by construction.  ``server_stats`` is
+    *not* handled here — it belongs to the transport (metrics, cache,
+    connection counts), not to the store.
+    """
+
+    def __init__(self, store: Any) -> None:
+        self.store = store
+
+    # ------------------------------------------------------------ helpers
+    def _request_key(self, request: Dict[str, Any], surface: bool) -> Optional[Tuple]:
+        """The query key of a get/prefix request; None for unknown terms."""
+        if surface:
+            terms = request.get("terms")
+            if not isinstance(terms, list) or not all(
+                isinstance(term, str) for term in terms
+            ):
+                raise StoreError("terms must be a JSON array of strings")
+            (key,) = self.store.translate_terms([tuple(terms)])
+            return key
+        return _json_key(request.get("key"))
+
+    def _record_payload(self, records: List[Record], surface: bool) -> List[List[Any]]:
+        if surface:
+            rendered = self.store.render_ngrams([record[0] for record in records])
+            return [
+                [list(terms), record[1]] for terms, record in zip(rendered, records)
+            ]
+        return [[list(record[0]), record[1]] for record in records]
+
+    # ------------------------------------------------------------- handle
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        operation = str(request.get("op"))
+        surface = "terms" in request or bool(request.get("surface"))
+        if operation == "get":
+            key = self._request_key(request, surface)
+            value = _MISSING if key is None else self.store.get(key, _MISSING)
+            if value is _MISSING:
+                return {"found": False, "value": None}
+            return {"found": True, "value": value}
+        if operation == "multi_get":
+            if surface:
+                keys = self.store.translate_terms(
+                    _validated_terms_batch(request.get("terms"), "terms")
+                )
+            else:
+                data = request.get("keys")
+                if not isinstance(data, list):
+                    raise StoreError("keys must be a JSON array of key arrays")
+                keys = [_json_key(item, "each key") for item in data]
+            if len(keys) > MAX_BATCH_KEYS:
+                raise StoreError(
+                    f"multi_get batch must be <= {MAX_BATCH_KEYS} keys, got {len(keys)}"
+                )
+            found: List[bool] = []
+            values: List[Any] = []
+            for key in keys:
+                value = _MISSING if key is None else self.store.get(key, _MISSING)
+                found.append(value is not _MISSING)
+                values.append(None if value is _MISSING else value)
+            return {"found": found, "values": values}
+        if operation == "prefix":
+            key = self._request_key(request, surface)
+            limit = request.get("limit")
+            if limit is not None and (not isinstance(limit, int) or limit < 0):
+                raise StoreError(
+                    f"prefix limit must be a non-negative integer, got {limit!r}"
+                )
+            if key is None:  # unknown surface term: nothing can match
+                return {"records": [], "truncated": False}
+            effective_limit = (
+                MAX_PREFIX_RECORDS if limit is None else min(limit, MAX_PREFIX_RECORDS)
+            )
+            records: List[Record] = []
+            truncated = False
+            for record_key, value in self.store.prefix(key):
+                if len(records) >= effective_limit:
+                    truncated = True
+                    break
+                records.append(NGramRecord(record_key, value))
+            return {
+                "records": self._record_payload(records, surface),
+                "truncated": truncated,
+            }
+        if operation == "top_k":
+            k = request.get("k")
+            if not isinstance(k, int) or isinstance(k, bool):
+                raise StoreError(f"top_k k must be an integer, got {k!r}")
+            if k > MAX_TOP_K:
+                raise StoreError(f"top_k k must be <= {MAX_TOP_K}, got {k}")
+            order = request.get("order", "frequency")
+            if order not in TOP_K_ORDERS:
+                raise StoreError(
+                    f"top_k order must be one of {', '.join(TOP_K_ORDERS)}, got {order!r}"
+                )
+            validate_top_k(k, order)
+            records = self.store.top_k(k, order)
+            return {"records": self._record_payload(records, surface)}
+        if operation == "translate":
+            batch = _validated_terms_batch(request.get("terms"), "terms")
+            if len(batch) > MAX_BATCH_KEYS:
+                raise StoreError(
+                    f"translate batch must be <= {MAX_BATCH_KEYS} items, got {len(batch)}"
+                )
+            keys = self.store.translate_terms(batch)
+            return {"keys": [None if key is None else list(key) for key in keys]}
+        if operation == "render":
+            data = request.get("ngrams")
+            if not isinstance(data, list):
+                raise StoreError("ngrams must be a JSON array of key arrays")
+            if len(data) > MAX_BATCH_KEYS:
+                raise StoreError(
+                    f"render batch must be <= {MAX_BATCH_KEYS} items, got {len(data)}"
+                )
+            ngrams = [_json_key(item, "each ngram") for item in data]
+            try:
+                rendered = self.store.render_ngrams(ngrams)
+            except VocabularyError as error:
+                raise StoreError(f"{error}") from error
+            return {"terms": [list(terms) for terms in rendered]}
+        if operation == "stats":
+            return dict(self.store.stats())
+        if operation == "ping":
+            return {"pong": True}
+        raise StoreError(
+            f"unknown op {operation!r}; expected one of {', '.join(OPERATIONS)}"
+        )

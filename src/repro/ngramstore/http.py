@@ -1,0 +1,341 @@
+"""HTTP front-end for the unified :class:`StoreAPI` — stdlib only.
+
+The socket protocol (:mod:`repro.ngramstore.server`) is the efficient
+path for in-repo clients; this adapter makes the same store reachable by
+anything that speaks HTTP — ``curl``, a browser, a load balancer's
+health check — without adding a dependency.  One
+:class:`~http.server.ThreadingHTTPServer` serves two surfaces over the
+same :class:`~repro.ngramstore.api.QueryEngine` the socket server uses
+(so both transports answer byte-identically by construction):
+
+* ``POST /query`` — the full unified request schema as a JSON body,
+  answered exactly like one socket protocol line::
+
+      $ curl -d '{"op": "get", "key": [3, 7]}' http://host:port/query
+      {"ok": true, "found": true, "value": 42}
+
+* ``GET`` convenience routes for the common reads, query-string keyed::
+
+      GET /ping
+      GET /stats            | GET /server_stats
+      GET /get?key=3,7      | GET /get?terms=the,quick
+      GET /prefix?key=3&limit=100
+      GET /top_k?k=10&order=frequency&surface=1
+
+``key`` is comma-separated term identifiers; ``terms`` is comma-separated
+surface terms (translated server-side); ``surface=1`` renders ``top_k``
+results as terms.  Errors come back as ``{"ok": false, "error": ...}``
+with status 400 (bad request) or 404 (unknown route).
+
+:class:`HttpStoreClient` is the in-repo client: a
+:class:`~repro.ngramstore.api.RemoteStore` over ``POST /query`` via
+:mod:`urllib.request`, interchangeable with the socket
+:class:`~repro.ngramstore.server.StoreClient` anywhere a ``StoreAPI`` is
+expected (including inside replica pools and shard routers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib import error as urllib_error
+from urllib import parse as urllib_parse
+from urllib import request as urllib_request
+
+from repro.config import ServerConfig
+from repro.exceptions import StoreConnectionError, StoreError
+from repro.ngramstore.api import OPERATIONS, QueryEngine, RemoteStore, normalize_request
+from repro.ngramstore.reader import NGramStore
+from repro.ngramstore.server import MAX_REQUEST_BYTES, ServerMetrics, build_cache_summary
+from repro.ngramstore.table import BlockCache
+
+#: GET routes that map straight to unified-schema operations.
+_GET_OPERATIONS = ("ping", "stats", "server_stats", "get", "prefix", "top_k")
+
+
+def _parse_key_param(raw: str) -> Tuple[int, ...]:
+    """``"3,7"`` -> ``(3, 7)``; store keys are term identifiers."""
+    if raw == "":
+        return ()
+    try:
+        return tuple(int(part) for part in raw.split(","))
+    except ValueError:
+        raise StoreError(
+            f"key must be comma-separated term identifiers, got {raw!r} "
+            "(use terms= for surface terms)"
+        )
+
+
+def _request_from_query(operation: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Build a unified-schema request dict from GET query parameters."""
+    request: Dict[str, Any] = {"op": operation}
+    if "terms" in params:
+        request["terms"] = params["terms"][-1].split(",")
+    elif "key" in params:
+        request["key"] = list(_parse_key_param(params["key"][-1]))
+    if "limit" in params:
+        try:
+            request["limit"] = int(params["limit"][-1])
+        except ValueError:
+            raise StoreError(f"limit must be an integer, got {params['limit'][-1]!r}")
+    if "k" in params:
+        try:
+            request["k"] = int(params["k"][-1])
+        except ValueError:
+            raise StoreError(f"k must be an integer, got {params['k'][-1]!r}")
+    if "order" in params:
+        request["order"] = params["order"][-1]
+    if "surface" in params:
+        request["surface"] = params["surface"][-1] not in ("", "0", "false", "no")
+    return request
+
+
+class _StoreRequestHandler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto the owning server's :class:`QueryEngine`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_HTTPServer"
+
+    # ----------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # metrics replace the default stderr access log
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        try:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as error:
+            status = 500
+            body = json.dumps(
+                {"ok": False, "error": f"value is not JSON-serialisable: {error}"}
+            ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _answer(self, operation: str, request: Dict[str, Any]) -> None:
+        """Run one unified-schema request and write the HTTP response."""
+        owner = self.server.owner
+        started = time.perf_counter()
+        status = 200
+        try:
+            if operation == "server_stats":
+                response: Dict[str, Any] = owner.server_stats()
+            else:
+                request, deprecated = normalize_request(request)
+                response = owner.engine.handle(request)
+                if deprecated:
+                    response["deprecated"] = deprecated
+            response["ok"] = True
+        except (StoreError, KeyError, TypeError, ValueError) as error:
+            status = 400
+            response = {"ok": False, "error": f"{error}"}
+        bucket = operation if operation in OPERATIONS else "invalid"
+        owner.metrics.record(bucket, time.perf_counter() - started, status == 200)
+        self._send_json(status, response)
+
+    # ------------------------------------------------------------- verbs
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        owner = self.server.owner
+        owner.metrics.record_connection()
+        parsed = urllib_parse.urlsplit(self.path)
+        operation = parsed.path.strip("/")
+        if operation not in _GET_OPERATIONS:
+            self._send_json(
+                404,
+                {
+                    "ok": False,
+                    "error": f"unknown route {parsed.path!r}; GET routes: "
+                    + ", ".join(f"/{name}" for name in _GET_OPERATIONS)
+                    + "; or POST /query",
+                },
+            )
+            return
+        try:
+            request = _request_from_query(operation, urllib_parse.parse_qs(parsed.query))
+        except StoreError as error:
+            owner.metrics.record(operation, 0.0, False)
+            self._send_json(400, {"ok": False, "error": f"{error}"})
+            return
+        self._answer(operation, request)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        owner = self.server.owner
+        owner.metrics.record_connection()
+        parsed = urllib_parse.urlsplit(self.path)
+        if parsed.path.rstrip("/") != "/query":
+            self._send_json(
+                404, {"ok": False, "error": f"unknown route {parsed.path!r}; POST /query"}
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_REQUEST_BYTES:
+            self._send_json(400, {"ok": False, "error": "request exceeds 1 MiB"})
+            return
+        body = self.rfile.read(length)
+        try:
+            request = json.loads(body)
+            if not isinstance(request, dict):
+                raise StoreError("request must be a JSON object")
+        except (ValueError, StoreError) as error:
+            owner.metrics.record("invalid", 0.0, False)
+            self._send_json(400, {"ok": False, "error": f"invalid request: {error}"})
+            return
+        self._answer(str(request.get("op")), request)
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its owning :class:`NGramStoreHTTPServer`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], owner: "NGramStoreHTTPServer") -> None:
+        self.owner = owner
+        super().__init__(address, _StoreRequestHandler)
+
+
+class NGramStoreHTTPServer:
+    """Serves one store (or shard view) over HTTP; see the module docstring.
+
+    The lifecycle mirrors :class:`~repro.ngramstore.server.NGramStoreServer`:
+    construct with a store directory (the server opens it behind a shared
+    block cache) or a caller-managed store object, ``start()`` to bind and
+    serve from background threads, ``close()`` to stop and release the
+    store.  ``config.max_clients`` is advisory here — the stdlib threading
+    server spawns a thread per request — so the knob that matters is the
+    shared ``cache_blocks``.
+    """
+
+    def __init__(self, store: Any, config: Optional[ServerConfig] = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        if isinstance(store, (str, os.PathLike)):
+            self.cache: Optional[BlockCache] = BlockCache(self.config.cache_blocks)
+            self.store = NGramStore.open(str(store), cache=self.cache)
+        else:
+            self.store = store
+            self.cache = getattr(store, "cache", None)
+        self.engine = QueryEngine(self.store)
+        self.metrics = ServerMetrics()
+        self.host = self.config.host
+        self.port = self.config.port
+        self._httpd: Optional[_HTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------- serving
+    def server_stats(self) -> Dict[str, Any]:
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache_summary()
+        return snapshot
+
+    def cache_summary(self) -> Dict[str, Any]:
+        return build_cache_summary(self.store, self.cache)
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen and serve in background threads; returns (host, port)."""
+        if self._httpd is not None:
+            raise StoreError("server already started")
+        self._httpd = _HTTPServer((self.host, self.port), self)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="ngramstore-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.host, self.port
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.store.close()
+
+    def __enter__(self) -> "NGramStoreHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class HttpStoreClient(RemoteStore):
+    """``StoreAPI`` client over ``POST /query`` — the HTTP twin of
+    :class:`~repro.ngramstore.server.StoreClient`.
+
+    Stateless between calls (one HTTP request per operation), so unlike
+    the socket client one instance is safe to share across threads, and
+    ``close()`` has nothing to release.  Connection-level failures
+    (refused, reset, timeout) raise :class:`StoreConnectionError` after a
+    bounded retry loop, so an :class:`~repro.ngramstore.router.ReplicaPool`
+    of HTTP clients fails over exactly like one of socket clients.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 30.0,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+    ) -> None:
+        if max_retries < 0:
+            raise StoreError(f"max_retries must be >= 0, got {max_retries}")
+        self.base_url = url.rstrip("/")
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        payload = json.dumps(request, separators=(",", ":")).encode("utf-8")
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            http_request = urllib_request.Request(
+                self.base_url + "/query",
+                data=payload,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            try:
+                with urllib_request.urlopen(http_request, timeout=self.timeout) as reply:
+                    body = reply.read()
+                break
+            except urllib_error.HTTPError as error:
+                # The server answered: an application error, not a dead
+                # endpoint — surface it without burning retries.
+                body = error.read()
+                try:
+                    detail = json.loads(body).get("error", "unknown")
+                except (ValueError, AttributeError):
+                    detail = f"HTTP {error.code}"
+                raise StoreError(f"server error: {detail}") from error
+            except (urllib_error.URLError, OSError) as error:
+                if attempt + 1 >= attempts:
+                    raise StoreConnectionError(
+                        f"cannot reach store server {self.base_url}: {error}"
+                    ) from error
+                time.sleep(self.backoff * (2 ** attempt))
+        response = json.loads(body)
+        if not response.get("ok"):
+            raise StoreError(f"server error: {response.get('error', 'unknown')}")
+        return response
+
+    def close(self) -> None:
+        pass  # no connection state to release
+
+    def __enter__(self) -> "HttpStoreClient":
+        return self

@@ -1,10 +1,12 @@
 """Serving layer: routing queries over a store's range partitions.
 
 :class:`NGramStore` opens a store directory (manifest + one table per
-range partition, plus an optional vocabulary) and exposes the query
-surface downstream consumers need — point lookups, prefix/range scans,
-top-k — routing each query to the partitions that can answer it via the
-manifest's boundary keys, exactly the ranges the build job partitioned by.
+range partition, plus an optional vocabulary) and is the local, in-process
+implementation of :class:`~repro.ngramstore.api.StoreAPI` — point lookups,
+prefix/range scans, top-k, stats, and (when the build persisted a
+dictionary) surface-term translation — routing each query to the
+partitions that can answer it via the manifest's boundary keys, exactly
+the ranges the build job partitioned by.
 Tables open lazily and every table keeps only its LRU block cache in
 memory, so serving a store holds ``O(partitions x cache_blocks x block
 size)`` bytes regardless of how many n-grams are stored.
@@ -23,8 +25,9 @@ from bisect import bisect_right
 from itertools import islice
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.exceptions import StoreError
+from repro.exceptions import StoreError, VocabularyError
 from repro.kvstore.cached import CacheStats
+from repro.ngramstore.api import NGramRecord, StoreAPI
 from repro.ngramstore.build import (
     DICTIONARY_FILENAME,
     load_manifest,
@@ -46,7 +49,7 @@ Record = Tuple[Any, Any]
 _MISSING = object()
 
 
-class NGramStore:
+class NGramStore(StoreAPI):
     """A multi-partition, on-disk n-gram store opened for querying.
 
     Safe for concurrent readers: lazy table opening and the lazy vocabulary
@@ -194,10 +197,21 @@ class NGramStore:
                     return
             yield from self._table(index).scan(start=start_key, stop=stop_key)
 
-    def prefix(self, tokens: Any) -> Iterator[Record]:
-        """Stream every stored n-gram starting with ``tokens``, in key order."""
+    def prefix(self, tokens: Any, limit: Optional[int] = None) -> Iterator[Record]:
+        """Stream every stored n-gram starting with ``tokens``, in key order.
+
+        Lazy — downstream consumers (the language model's continuation
+        scan) pull records as needed; ``limit`` caps how many are yielded.
+        """
         self._check_open()
-        return prefix_records(self.scan, tuple(tokens))
+        records = prefix_records(self.scan, tuple(tokens))
+        if limit is not None:
+            if not isinstance(limit, int) or limit < 0:
+                raise StoreError(
+                    f"prefix limit must be a non-negative integer, got {limit!r}"
+                )
+            records = islice(records, limit)
+        return (NGramRecord(key, value) for key, value in records)
 
     def top_k(self, k: int, order: str = "frequency") -> List[Record]:
         """The ``k`` top records store-wide, streamed with O(k) memory.
@@ -209,22 +223,31 @@ class NGramStore:
         self._check_open()
         validate_top_k(k, order)
         if order == "key":
-            return list(islice(self.scan(), k))
+            return [NGramRecord(key, value) for key, value in islice(self.scan(), k)]
         accumulator = TopKAccumulator(k)
         try:
             self.top_k_into(accumulator)
-            return accumulator.results()
+            return [NGramRecord(key, value) for key, value in accumulator.results()]
         except TypeError as exc:
             raise _frequency_type_error(exc) from exc
 
-    def top_k_into(self, accumulator: TopKAccumulator) -> None:
-        """Offer every partition's candidates to a caller-owned top-k heap.
+    def top_k_into(
+        self,
+        accumulator: TopKAccumulator,
+        first_partition: int = 0,
+        last_partition: Optional[int] = None,
+    ) -> None:
+        """Offer a partition range's candidates to a caller-owned top-k heap.
 
         Exposed so callers (benchmarks, tests) can inspect the accumulator's
-        ``blocks_scanned``/``blocks_skipped`` counters after the pass.
+        ``blocks_scanned``/``blocks_skipped`` counters after the pass, and so
+        a :class:`~repro.ngramstore.router.ShardView` can restrict the pass
+        to the partitions its shard owns (``[first_partition,
+        last_partition)``; the default covers the whole store).
         """
         self._check_open()
-        for index in range(self.num_partitions):
+        stop = self.num_partitions if last_partition is None else last_partition
+        for index in range(first_partition, stop):
             self._table(index).top_k_into(accumulator)
 
     def block_first_keys(self) -> List[Tuple]:
@@ -243,6 +266,58 @@ class NGramStore:
     def items(self) -> Iterator[Record]:
         """Stream every record in global key order."""
         return self.scan()
+
+    def stats(self) -> Dict[str, Any]:
+        """Store metadata in the canonical ``StoreAPI`` shape.
+
+        The same dict every remote implementation returns for ``stats``,
+        which is what makes the conformance suite's byte-identity check
+        possible: servers forward this verbatim.
+        """
+        self._check_open()
+        return {
+            "store_dir": self.store_dir,
+            "num_records": self.num_records,
+            "num_partitions": self.num_partitions,
+            "codec": self.codec_name,
+            "has_vocabulary": bool(self.manifest.get("has_vocabulary")),
+            "metadata": self.manifest.get("metadata", {}),
+        }
+
+    # ------------------------------------------------------ vocabulary ops
+    def _require_vocabulary(self) -> Any:
+        vocabulary = self.vocabulary
+        if vocabulary is None:
+            raise StoreError(
+                f"store {self.store_dir!r} has no persisted vocabulary; "
+                "term-keyed operations need a build with vocabulary="
+            )
+        return vocabulary
+
+    def translate_terms(self, items: Any) -> List[Optional[Tuple]]:
+        """Surface-term tuples -> term-id keys; ``None`` where any term is unknown.
+
+        Unknown terms are a normal query outcome (the corpus simply never
+        produced them), not an error — the caller sees ``None`` and treats
+        the n-gram as absent.
+        """
+        self._check_open()
+        vocabulary = self._require_vocabulary()
+        keys: List[Optional[Tuple]] = []
+        for terms in items:
+            try:
+                keys.append(tuple(vocabulary.term_id(term) for term in terms))
+            except VocabularyError:
+                keys.append(None)
+        return keys
+
+    def render_ngrams(self, ngrams: Any) -> List[Tuple[str, ...]]:
+        """Term-id keys -> surface-term tuples via the persisted dictionary."""
+        self._check_open()
+        vocabulary = self._require_vocabulary()
+        return [
+            tuple(vocabulary.term(term_id) for term_id in ngram) for ngram in ngrams
+        ]
 
     def __iter__(self) -> Iterator[Any]:
         """Stream every key in global key order."""

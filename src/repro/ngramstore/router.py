@@ -1,0 +1,521 @@
+"""Distributed serving topologies over the unified :class:`StoreAPI`.
+
+The batch job's output is immutable and globally range-partitioned —
+exactly the artifact distributed read-only serving wants.  Because every
+replica of a store directory is byte-identical, replicas are trivially
+consistent; because the manifest records the partition boundary keys,
+those boundaries are natural shard keys.  This module turns both facts
+into topologies, each one itself a :class:`StoreAPI`:
+
+* :class:`ShardView` — the *server-side* half of range sharding: wraps an
+  open :class:`~repro.ngramstore.reader.NGramStore` and serves only the
+  slice of its partitions one shard owns, so N servers over the same
+  store directory cover it disjointly.
+* :class:`ReplicaPool` — the *client-side* half of replication: fans
+  requests round-robin over N identical servers and fails over on
+  connection errors, so read throughput scales with the replica count.
+* :class:`ShardRouter` — the *client-side* half of sharding: discovers
+  each shard's key range from its ``stats()``, routes ``get``/``prefix``
+  to the owning shard, and merges ``top_k`` across shards with the same
+  :class:`~repro.ngramstore.table.TopKAccumulator` the local store uses.
+
+Because every topology implements the same contract, they compose: a
+``ShardRouter`` over ``ReplicaPool`` entries is a replicated, sharded
+deployment with no new code.
+"""
+
+from __future__ import annotations
+
+import threading
+from itertools import islice
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import StoreConnectionError, StoreError
+from repro.ngramstore.api import NGramRecord, Record, StoreAPI
+from repro.ngramstore.reader import NGramStore
+from repro.ngramstore.table import (
+    TopKAccumulator,
+    _frequency_type_error,
+    prefix_records,
+    validate_top_k,
+)
+
+
+def shard_partition_range(num_partitions: int, shard_index: int, num_shards: int) -> Tuple[int, int]:
+    """The contiguous partition slice ``[first, last)`` a shard owns.
+
+    The classic balanced split: shard ``i`` of ``N`` owns partitions
+    ``[i*P//N, (i+1)*P//N)``.  Every partition is owned by exactly one
+    shard; when ``N > P`` the surplus shards own an empty slice (and serve
+    nothing, which the router handles).
+    """
+    if num_shards < 1:
+        raise StoreError(f"num_shards must be >= 1, got {num_shards}")
+    if not 0 <= shard_index < num_shards:
+        raise StoreError(
+            f"shard_index must be in [0, {num_shards}), got {shard_index}"
+        )
+    first = shard_index * num_partitions // num_shards
+    last = (shard_index + 1) * num_partitions // num_shards
+    return first, last
+
+
+class ShardView(StoreAPI):
+    """One shard's slice of a store: a ``StoreAPI`` over owned partitions.
+
+    Wraps an open :class:`NGramStore` and restricts every query to the
+    partitions ``[first, last)`` of :func:`shard_partition_range`.  The
+    owned key range follows from the manifest boundaries: partition ``a``
+    starts at ``boundaries[a-1]`` (unbounded below for ``a == 0``) and
+    partition ``b-1`` ends before ``boundaries[b-1]`` (unbounded above
+    when the slice reaches the last partition).  Point lookups outside
+    the range miss without touching disk; scans are clamped to the range;
+    frequency top-k runs the block-skipping accumulator over the owned
+    partitions only.  Vocabulary operations delegate to the full store —
+    the dictionary is store-global, not per-shard.
+    """
+
+    def __init__(self, store: NGramStore, shard_index: int, num_shards: int) -> None:
+        self.store = store
+        self.shard_index = shard_index
+        self.num_shards = num_shards
+        self.first_partition, self.last_partition = shard_partition_range(
+            store.num_partitions, shard_index, num_shards
+        )
+        boundaries = store.boundaries
+        # Lower bound (inclusive): the boundary that starts our first
+        # partition; upper bound (exclusive): the boundary that starts the
+        # partition after our last.  None means unbounded on that side.
+        self.lower: Optional[Tuple] = (
+            boundaries[self.first_partition - 1] if self.first_partition > 0 else None
+        )
+        self.upper: Optional[Tuple] = (
+            boundaries[self.last_partition - 1]
+            if self.last_partition < store.num_partitions
+            else None
+        )
+
+    # ----------------------------------------------------------- properties
+    @property
+    def is_empty(self) -> bool:
+        """True when this shard owns no partitions (more shards than partitions)."""
+        return self.first_partition >= self.last_partition
+
+    @property
+    def num_partitions(self) -> int:
+        """Owned partitions only (what this shard actually serves)."""
+        return self.last_partition - self.first_partition
+
+    @property
+    def num_records(self) -> int:
+        """Records in the owned partitions only."""
+        partitions = self.store.manifest["partitions"]
+        return sum(
+            partitions[index]["num_records"]
+            for index in range(self.first_partition, self.last_partition)
+        )
+
+    @property
+    def cache(self) -> Any:
+        return self.store.cache
+
+    @property
+    def manifest(self) -> Dict[str, Any]:
+        return self.store.manifest
+
+    @property
+    def vocabulary(self) -> Any:
+        return self.store.vocabulary
+
+    def cache_stats(self) -> Any:
+        return self.store.cache_stats()
+
+    def _in_range(self, key: Tuple) -> bool:
+        if self.is_empty:
+            return False
+        if self.lower is not None and key < self.lower:
+            return False
+        if self.upper is not None and not key < self.upper:
+            return False
+        return True
+
+    # ------------------------------------------------------------- queries
+    def get(self, ngram: Any, default: Any = None) -> Any:
+        key = tuple(ngram)
+        if not self._in_range(key):
+            return default
+        return self.store.get(key, default)
+
+    def scan(self, start: Any = None, stop: Any = None) -> Iterator[Record]:
+        """The store's scan clamped to the shard's key range."""
+        if self.is_empty:
+            return iter(())
+        start_key = None if start is None else tuple(start)
+        stop_key = None if stop is None else tuple(stop)
+        if self.lower is not None and (start_key is None or start_key < self.lower):
+            start_key = self.lower
+        if self.upper is not None and (stop_key is None or self.upper < stop_key):
+            stop_key = self.upper
+        return self.store.scan(start=start_key, stop=stop_key)
+
+    def prefix(self, tokens: Any, limit: Optional[int] = None) -> Iterator[Record]:
+        """Owned records starting with ``tokens``, in key order (lazy)."""
+        records = prefix_records(self.scan, tuple(tokens))
+        if limit is not None:
+            if not isinstance(limit, int) or limit < 0:
+                raise StoreError(
+                    f"prefix limit must be a non-negative integer, got {limit!r}"
+                )
+            records = islice(records, limit)
+        return (NGramRecord(key, value) for key, value in records)
+
+    def top_k(self, k: int, order: str = "frequency") -> List[Record]:
+        """The ``k`` best records among the shard's own partitions."""
+        validate_top_k(k, order)
+        if order == "key":
+            return [NGramRecord(key, value) for key, value in islice(self.scan(), k)]
+        accumulator = TopKAccumulator(k)
+        try:
+            self.store.top_k_into(
+                accumulator, self.first_partition, self.last_partition
+            )
+            return [NGramRecord(key, value) for key, value in accumulator.results()]
+        except TypeError as exc:
+            raise _frequency_type_error(exc) from exc
+
+    def stats(self) -> Dict[str, Any]:
+        """The store's stats plus this shard's range descriptor.
+
+        ``num_records`` counts the *owned* partitions only, so a routed
+        deployment's per-shard stats sum to the store total.  The
+        ``shard`` descriptor is what :class:`ShardRouter` uses to build
+        its routing table, so it carries the key bounds explicitly.
+        """
+        stats = self.store.stats()
+        stats["num_partitions"] = self.num_partitions
+        stats["num_records"] = self.num_records
+        stats["shard"] = {
+            "index": self.shard_index,
+            "num_shards": self.num_shards,
+            "first_partition": self.first_partition,
+            "last_partition": self.last_partition,
+            "lower": None if self.lower is None else list(self.lower),
+            "upper": None if self.upper is None else list(self.upper),
+            "empty": self.is_empty,
+        }
+        return stats
+
+    # ------------------------------------------------------ vocabulary ops
+    def translate_terms(self, items: Sequence[Sequence[str]]) -> List[Optional[Tuple]]:
+        return self.store.translate_terms(items)
+
+    def render_ngrams(self, ngrams: Sequence[Tuple]) -> List[Tuple[str, ...]]:
+        return self.store.render_ngrams(ngrams)
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self.store.close()
+
+
+class ReplicaPool(StoreAPI):
+    """Round-robin over N clients serving *identical* stores, with failover.
+
+    Any :class:`StoreAPI` clients work (socket, HTTP, even nested
+    routers).  Each call goes to the next replica in rotation; when a
+    replica answers with a connection-level failure
+    (:class:`StoreConnectionError` or a raw ``OSError``), the pool moves
+    on to the next one — safe because every operation is an idempotent
+    read and every replica serves the same immutable store.  Application
+    errors (a :class:`StoreError` the server answered) propagate
+    immediately: every replica would answer them identically, so retrying
+    elsewhere only hides the caller's bug.
+
+    The rotation cursor is lock-guarded, but true thread-safety also
+    requires thread-safe member clients (socket clients are not); the
+    intended concurrent pattern is one pool of per-thread clients per
+    thread, mirroring plain ``StoreClient`` usage.
+    """
+
+    def __init__(self, clients: Sequence[StoreAPI]) -> None:
+        if not clients:
+            raise StoreError("ReplicaPool needs at least one client")
+        self.clients = list(clients)
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    def _rotation(self) -> List[StoreAPI]:
+        """The replicas in call order for one request (full cycle)."""
+        with self._lock:
+            start = self._cursor
+            self._cursor = (self._cursor + 1) % len(self.clients)
+        return [
+            self.clients[(start + offset) % len(self.clients)]
+            for offset in range(len(self.clients))
+        ]
+
+    def _invoke(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        errors: List[str] = []
+        for client in self._rotation():
+            try:
+                return getattr(client, method)(*args, **kwargs)
+            except (StoreConnectionError, ConnectionError, OSError) as error:
+                errors.append(f"{error}")
+        raise StoreConnectionError(
+            f"all {len(self.clients)} replicas failed for {method}: "
+            + "; ".join(errors)
+        )
+
+    # ------------------------------------------------------------- queries
+    def get(self, ngram: Any, default: Any = None) -> Any:
+        return self._invoke("get", ngram, default)
+
+    def multi_get(self, ngrams: Sequence[Any], default: Any = None) -> List[Any]:
+        return self._invoke("multi_get", ngrams, default)
+
+    def prefix(self, tokens: Any, limit: Optional[int] = None) -> List[Record]:
+        return list(self._invoke("prefix", tokens, limit=limit))
+
+    def top_k(self, k: int, order: str = "frequency") -> List[Record]:
+        return self._invoke("top_k", k, order)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._invoke("stats")
+
+    def ping(self) -> bool:
+        return bool(self._invoke("ping"))
+
+    def translate_terms(self, items: Sequence[Sequence[str]]) -> List[Optional[Tuple]]:
+        return self._invoke("translate_terms", items)
+
+    def render_ngrams(self, ngrams: Sequence[Tuple]) -> List[Tuple[str, ...]]:
+        return self._invoke("render_ngrams", ngrams)
+
+    def get_terms(self, terms: Sequence[str], default: Any = None) -> Any:
+        return self._invoke("get_terms", terms, default)
+
+    def multi_get_terms(
+        self, items: Sequence[Sequence[str]], default: Any = None
+    ) -> List[Any]:
+        return self._invoke("multi_get_terms", items, default)
+
+    def prefix_terms(
+        self, terms: Sequence[str], limit: Optional[int] = None
+    ) -> List[Record]:
+        return list(self._invoke("prefix_terms", terms, limit=limit))
+
+    def top_k_terms(self, k: int, order: str = "frequency") -> List[Record]:
+        return self._invoke("top_k_terms", k, order)
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        for client in self.clients:
+            try:
+                client.close()
+            except (StoreError, OSError):
+                pass
+
+
+class _ShardEntry:
+    """One routed shard: its client and the key range it owns."""
+
+    __slots__ = ("client", "index", "lower", "upper", "empty")
+
+    def __init__(self, client: StoreAPI, descriptor: Dict[str, Any]) -> None:
+        self.client = client
+        self.index = descriptor["index"]
+        self.lower = None if descriptor["lower"] is None else tuple(descriptor["lower"])
+        self.upper = None if descriptor["upper"] is None else tuple(descriptor["upper"])
+        self.empty = bool(descriptor.get("empty"))
+
+    def owns(self, key: Tuple) -> bool:
+        if self.empty:
+            return False
+        if self.lower is not None and key < self.lower:
+            return False
+        if self.upper is not None and not key < self.upper:
+            return False
+        return True
+
+    def may_contain_prefix(self, prefix: Tuple) -> bool:
+        """Whether any key starting with ``prefix`` can live in this range.
+
+        Keys with prefix ``p`` form the interval ``[p, p+inf)`` in tuple
+        order, so a shard is irrelevant when its whole range ends at or
+        before ``p`` (``upper <= p``) or starts above every ``p``-prefixed
+        key (``lower[:len(p)] > p``).
+        """
+        if self.empty:
+            return False
+        if self.upper is not None and not prefix < self.upper:
+            return False
+        if self.lower is not None and self.lower[: len(prefix)] > prefix:
+            return False
+        return True
+
+
+class ShardRouter(StoreAPI):
+    """Routes queries across range-sharded servers; itself a ``StoreAPI``.
+
+    Built from one client per shard server (each serving a
+    :class:`ShardView`); the constructor reads every client's ``stats()``
+    shard descriptor, orders the shards by index, and validates that
+    together they cover the whole key space with no gaps — a mis-deployed
+    topology fails at construction, not at the first unlucky query.
+
+    Routing: ``get`` goes to the one owning shard; ``multi_get`` groups
+    keys per shard into one batched call each; ``prefix`` fans out to the
+    shards whose ranges can intersect the prefix interval, in shard
+    order, so concatenation preserves global key order; frequency
+    ``top_k`` asks every shard for its local top-k and merges through the
+    same :class:`TopKAccumulator` the local store uses — each shard's k
+    candidates are a superset of its contribution to the global k, so the
+    merge is exact.
+    """
+
+    def __init__(self, clients: Sequence[StoreAPI]) -> None:
+        if not clients:
+            raise StoreError("ShardRouter needs at least one shard client")
+        entries = []
+        shard_counts = set()
+        for client in clients:
+            stats = client.stats()
+            descriptor = stats.get("shard")
+            if not isinstance(descriptor, dict):
+                raise StoreError(
+                    "shard server did not report a shard descriptor; serve the "
+                    "store with --num-shards/--shard-index (a plain server is "
+                    "not a shard)"
+                )
+            entries.append(_ShardEntry(client, descriptor))
+            shard_counts.add(descriptor["num_shards"])
+        entries.sort(key=lambda entry: entry.index)
+        declared = {entry.index for entry in entries}
+        num_shards = shard_counts
+        if len(num_shards) != 1:
+            raise StoreError(
+                f"shard servers disagree on num_shards: {sorted(num_shards)}"
+            )
+        expected = num_shards.pop()
+        if declared != set(range(expected)):
+            missing = sorted(set(range(expected)) - declared)
+            raise StoreError(
+                f"incomplete shard topology: {len(entries)} clients for "
+                f"{expected} shards (missing indexes {missing})"
+            )
+        # Non-empty shards must tile the key space: each one's upper bound
+        # is the next one's lower bound.
+        active = [entry for entry in entries if not entry.empty]
+        for left, right in zip(active, active[1:]):
+            if left.upper != right.lower:
+                raise StoreError(
+                    f"shard ranges do not tile: shard {left.index} ends at "
+                    f"{left.upper} but shard {right.index} starts at {right.lower}"
+                )
+        if active:
+            if active[0].lower is not None or active[-1].upper is not None:
+                raise StoreError(
+                    "shard ranges do not cover the key space: first shard must "
+                    "be unbounded below and last unbounded above"
+                )
+        self.shards = entries
+        self._active = active
+
+    # ------------------------------------------------------------ routing
+    def _owner(self, key: Tuple) -> Optional[_ShardEntry]:
+        for entry in self._active:
+            if entry.owns(key):
+                return entry
+        return None
+
+    def _any_client(self) -> StoreAPI:
+        """A client for store-global operations (vocabulary, metadata)."""
+        return self.shards[0].client
+
+    # ------------------------------------------------------------- queries
+    def get(self, ngram: Any, default: Any = None) -> Any:
+        key = tuple(ngram)
+        owner = self._owner(key)
+        if owner is None:
+            return default
+        return owner.client.get(key, default)
+
+    def multi_get(self, ngrams: Sequence[Any], default: Any = None) -> List[Any]:
+        keys = [tuple(ngram) for ngram in ngrams]
+        grouped: Dict[int, List[int]] = {}
+        for position, key in enumerate(keys):
+            owner = self._owner(key)
+            if owner is not None:
+                grouped.setdefault(owner.index, []).append(position)
+        by_index = {entry.index: entry for entry in self.shards}
+        results: List[Any] = [default] * len(keys)
+        for shard_index, positions in grouped.items():
+            values = by_index[shard_index].client.multi_get(
+                [keys[position] for position in positions], default
+            )
+            for position, value in zip(positions, values):
+                results[position] = value
+        return results
+
+    def prefix(self, tokens: Any, limit: Optional[int] = None) -> List[Record]:
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            raise StoreError(
+                f"prefix limit must be a non-negative integer, got {limit!r}"
+            )
+        prefix = tuple(tokens)
+        records: List[Record] = []
+        for entry in self._active:
+            if limit is not None and len(records) >= limit:
+                break
+            if not entry.may_contain_prefix(prefix):
+                continue
+            remaining = None if limit is None else limit - len(records)
+            records.extend(entry.client.prefix(prefix, limit=remaining))
+        return records
+
+    def top_k(self, k: int, order: str = "frequency") -> List[Record]:
+        validate_top_k(k, order)
+        if order == "key":
+            # Shards are in global key order; take from each until k.
+            records: List[Record] = []
+            for entry in self._active:
+                if len(records) >= k:
+                    break
+                records.extend(entry.client.top_k(k - len(records), order))
+            return records
+        accumulator = TopKAccumulator(k)
+        for entry in self._active:
+            for key, value in entry.client.top_k(k, order):
+                accumulator.offer(key, value)
+        return [NGramRecord(key, value) for key, value in accumulator.results()]
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregated topology stats: store totals plus per-shard summary."""
+        per_shard = [entry.client.stats() for entry in self.shards]
+        first = per_shard[0]
+        return {
+            "store_dir": first["store_dir"],
+            "num_records": sum(stats["num_records"] for stats in per_shard),
+            "num_partitions": sum(stats["num_partitions"] for stats in per_shard),
+            "codec": first["codec"],
+            "has_vocabulary": first["has_vocabulary"],
+            "metadata": first["metadata"],
+            "shards": [stats["shard"] for stats in per_shard],
+        }
+
+    def ping(self) -> bool:
+        return all(entry.client.ping() for entry in self.shards)
+
+    # ------------------------------------------------------ vocabulary ops
+    def translate_terms(self, items: Sequence[Sequence[str]]) -> List[Optional[Tuple]]:
+        return self._any_client().translate_terms(items)
+
+    def render_ngrams(self, ngrams: Sequence[Tuple]) -> List[Tuple[str, ...]]:
+        return self._any_client().render_ngrams(ngrams)
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        for entry in self.shards:
+            try:
+                entry.client.close()
+            except (StoreError, OSError):
+                pass

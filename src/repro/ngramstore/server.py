@@ -10,40 +10,80 @@ readers safe, and the cache turns a hot key set into pure in-memory
 bisects no matter which connection asked first.
 
 The wire protocol is newline-delimited JSON — one request object per
-line, one response object per line, over a plain TCP socket::
+line, one response object per line, over a plain TCP socket.  The request
+schema is the unified one served by
+:class:`~repro.ngramstore.api.QueryEngine` (shared verbatim with the HTTP
+adapter in :mod:`repro.ngramstore.http`)::
 
-    -> {"op": "get", "ngram": [3, 7]}
+    -> {"op": "get", "key": [3, 7]}
     <- {"ok": true, "found": true, "value": 42}
 
-    -> {"op": "prefix", "tokens": [3], "limit": 100}
+    -> {"op": "multi_get", "keys": [[3, 7], [9]]}
+    <- {"ok": true, "found": [true, false], "values": [42, null]}
+
+    -> {"op": "prefix", "key": [3], "limit": 100}
     <- {"ok": true, "records": [[[3, 7], 42], ...], "truncated": false}
 
     -> {"op": "top_k", "k": 10, "order": "frequency"}
     <- {"ok": true, "records": [[[0], 981], ...]}
 
+    -> {"op": "translate", "terms": [["the", "quick"]]}
+    <- {"ok": true, "keys": [[0, 17]]}          # null for unknown terms
+
+    -> {"op": "render", "ngrams": [[0, 17]]}
+    <- {"ok": true, "terms": [["the", "quick"]]}
+
     -> {"op": "stats"} | {"op": "server_stats"} | {"op": "ping"}
 
 Keys travel as JSON arrays of term identifiers (the store's native keys);
-failures come back as ``{"ok": false, "error": ...}`` on the same stream,
-so one bad request does not cost the connection.  :class:`StoreClient` is
-the in-repo client: it speaks the protocol and hands back tuples, exactly
-what :class:`NGramStore` itself returns — the serve-smoke CI step asserts
-that equivalence byte for byte.
+term-keyed variants (``"terms"`` instead of ``"key"``/``"keys"``, or
+``"surface": true`` on ``top_k``) run the vocabulary translation
+server-side, where the dictionary lives.  The pre-redesign spellings
+``"ngram"`` (get) and ``"tokens"`` (prefix) are still served, flagged
+with a ``"deprecated"`` note in the response.  Failures come back as
+``{"ok": false, "error": ...}`` on the same stream, so one bad request
+does not cost the connection.  :class:`StoreClient` is the in-repo
+client: a :class:`~repro.ngramstore.api.RemoteStore` that speaks the
+protocol and hands back the canonical records, exactly what
+:class:`NGramStore` itself returns — the serve-smoke CI step asserts that
+equivalence byte for byte.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import socket
 import threading
 import time
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+import warnings
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import ServerConfig
-from repro.exceptions import StoreError
+from repro.exceptions import StoreConnectionError, StoreError
+from repro.ngramstore.api import (
+    MAX_PREFIX_RECORDS,
+    MAX_TOP_K,
+    OPERATIONS,
+    QueryEngine,
+    RemoteStore,
+    normalize_request,
+)
 from repro.ngramstore.reader import NGramStore
-from repro.ngramstore.table import TOP_K_ORDERS, BlockCache
+from repro.ngramstore.table import BlockCache
+
+__all__ = [
+    "MAX_PREFIX_RECORDS",
+    "MAX_REQUEST_BYTES",
+    "MAX_TOP_K",
+    "NGramStoreServer",
+    "OPERATIONS",
+    "ServerMetrics",
+    "StoreClient",
+    "build_cache_summary",
+    "percentile",
+]
 
 Record = Tuple[Any, Any]
 
@@ -53,17 +93,6 @@ MAX_REQUEST_BYTES = 1 << 20
 #: Latency samples retained per operation for percentile reporting; counts
 #: and totals keep accumulating after the reservoir is full.
 LATENCY_SAMPLE_CAP = 100_000
-
-#: Protocol operations (also the keys of the metrics snapshot).
-OPERATIONS = ("get", "prefix", "top_k", "stats", "server_stats", "ping")
-
-#: Server-side result caps: a single response is one JSON line held in
-#: memory, so unbounded prefix scans (or absurd k) must not let one
-#: request materialise a whole larger-than-RAM store.  Capped prefix
-#: responses set ``truncated``; clients page with an explicit start key
-#: or fall back to offline scans for bulk exports.
-MAX_PREFIX_RECORDS = 10_000
-MAX_TOP_K = 10_000
 
 
 def percentile(sorted_samples: List[float], fraction: float) -> float:
@@ -140,13 +169,26 @@ class ServerMetrics:
         return totals
 
 
-def _json_key(data: Any) -> Tuple:
-    if not isinstance(data, list):
-        raise StoreError(f"n-gram must be a JSON array of terms, got {type(data).__name__}")
-    return tuple(data)
+def build_cache_summary(store: Any, cache: Optional[BlockCache]) -> Dict[str, Any]:
+    """Block-cache counters, JSON-ready (the ``server_stats`` cache shape).
 
-
-_MISSING = object()
+    ``store.cache_stats()`` covers both layouts — the shared cache's
+    counters, or the per-table aggregate for caller-managed stores;
+    capacity/residency only exist when one shared cache is in play.
+    Shared between the socket server and the HTTP adapter so both report
+    the same shape.
+    """
+    stats = store.cache_stats()
+    summary: Dict[str, Any] = {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "hit_rate": round(stats.hit_rate, 6),
+    }
+    if cache is not None:
+        summary["capacity_blocks"] = cache.capacity
+        summary["resident_blocks"] = len(cache)
+    return summary
 
 
 class NGramStoreServer:
@@ -163,16 +205,18 @@ class NGramStoreServer:
         config: Optional[ServerConfig] = None,
     ) -> None:
         self.config = config if config is not None else ServerConfig()
-        if isinstance(store, NGramStore):
-            # Caller-managed store: its cache setup is its own business —
-            # self.cache is None when it uses private per-table caches, so
-            # stats reporting falls back to the store's aggregation instead
-            # of an orphan cache no table feeds.
-            self.store = store
-            self.cache = store.cache
-        else:
+        if isinstance(store, (str, os.PathLike)):
             self.cache = BlockCache(self.config.cache_blocks)
             self.store = NGramStore.open(str(store), cache=self.cache)
+        else:
+            # Caller-managed store (an NGramStore, or a ShardView over
+            # one): its cache setup is its own business — self.cache is
+            # None when it uses private per-table caches, so stats
+            # reporting falls back to the store's aggregation instead of
+            # an orphan cache no table feeds.
+            self.store = store
+            self.cache = getattr(store, "cache", None)
+        self.engine = QueryEngine(self.store)
         self.metrics = ServerMetrics()
         self.host = self.config.host
         self.port = self.config.port
@@ -240,23 +284,10 @@ class NGramStoreServer:
     def cache_summary(self) -> Dict[str, Any]:
         """Block-cache counters, JSON-ready (the ``server_stats`` shape).
 
-        ``store.cache_stats()`` covers both layouts — the shared cache's
-        counters, or the per-table aggregate for caller-managed stores;
-        capacity/residency only exist when one shared cache is in play.
         The shared cache object outlives a closed store, so the CLI can
         still build its shutdown report from this.
         """
-        stats = self.store.cache_stats()
-        summary: Dict[str, Any] = {
-            "hits": stats.hits,
-            "misses": stats.misses,
-            "evictions": stats.evictions,
-            "hit_rate": round(stats.hit_rate, 6),
-        }
-        if self.cache is not None:
-            summary["capacity_blocks"] = self.cache.capacity
-            summary["resident_blocks"] = len(self.cache)
-        return summary
+        return build_cache_summary(self.store, self.cache)
 
     # ------------------------------------------------------------- serving
     def _accept_loop(self) -> None:
@@ -358,139 +389,161 @@ class NGramStoreServer:
 
     # ------------------------------------------------------------ handlers
     def _handle(self, operation: str, request: Dict[str, Any]) -> Dict[str, Any]:
-        if operation == "get":
-            key = _json_key(request.get("ngram"))
-            value = self.store.get(key, _MISSING)
-            if value is _MISSING:
-                return {"found": False, "value": None}
-            return {"found": True, "value": value}
-        if operation == "prefix":
-            key = _json_key(request.get("tokens", []))
-            limit = request.get("limit")
-            if limit is not None and (not isinstance(limit, int) or limit < 0):
-                raise StoreError(f"prefix limit must be a non-negative integer, got {limit!r}")
-            effective_limit = MAX_PREFIX_RECORDS if limit is None else min(limit, MAX_PREFIX_RECORDS)
-            records: List[List[Any]] = []
-            truncated = False
-            for record_key, value in self.store.prefix(key):
-                if len(records) >= effective_limit:
-                    truncated = True
-                    break
-                records.append([list(record_key), value])
-            return {"records": records, "truncated": truncated}
-        if operation == "top_k":
-            k = request.get("k")
-            if not isinstance(k, int) or isinstance(k, bool):
-                raise StoreError(f"top_k k must be an integer, got {k!r}")
-            if k > MAX_TOP_K:
-                raise StoreError(f"top_k k must be <= {MAX_TOP_K}, got {k}")
-            order = request.get("order", "frequency")
-            if order not in TOP_K_ORDERS:
-                raise StoreError(
-                    f"top_k order must be one of {', '.join(TOP_K_ORDERS)}, got {order!r}"
-                )
-            records = [
-                [list(record_key), value] for record_key, value in self.store.top_k(k, order)
-            ]
-            return {"records": records}
-        if operation == "stats":
-            manifest = self.store.manifest
-            return {
-                "store_dir": self.store.store_dir,
-                "num_records": self.store.num_records,
-                "num_partitions": self.store.num_partitions,
-                "codec": self.store.codec_name,
-                "has_vocabulary": bool(manifest.get("has_vocabulary")),
-                "metadata": manifest.get("metadata", {}),
-            }
+        """One request dict -> one response dict (without the ``ok`` field).
+
+        ``server_stats`` is transport state (metrics, cache, connections)
+        and is answered here; every store query goes through the shared
+        :class:`QueryEngine`, after :func:`normalize_request` maps legacy
+        field spellings onto the unified schema.
+        """
         if operation == "server_stats":
             snapshot = self.metrics.snapshot()
             snapshot["cache"] = self.cache_summary()
             with self._connections_lock:
                 snapshot["active_connections"] = len(self._connections)
             return snapshot
-        if operation == "ping":
-            return {"pong": True}
-        raise StoreError(
-            f"unknown op {operation!r}; expected one of {', '.join(OPERATIONS)}"
-        )
+        request, deprecated = normalize_request(request)
+        response = self.engine.handle(request)
+        if deprecated:
+            response["deprecated"] = deprecated
+        return response
 
 
-class StoreClient:
-    """Client for :class:`NGramStoreServer`'s newline-delimited JSON protocol.
+class StoreClient(RemoteStore):
+    """Socket client for :class:`NGramStoreServer`'s newline-JSON protocol.
 
-    Results mirror the :class:`NGramStore` API — keys come back as tuples —
-    so a client is a drop-in remote replacement for an opened store on the
-    get/prefix/top_k surface.  One instance owns one connection and is not
-    itself thread-safe; concurrent callers each open their own (the server
-    is built for many connections).
+    A :class:`~repro.ngramstore.api.RemoteStore`: the full ``StoreAPI``
+    surface over one TCP connection, returning the canonical records
+    (tuple-compatible with the pre-redesign plain tuples).  One instance
+    owns one connection and is not itself thread-safe; concurrent callers
+    each open their own (the server is built for many connections).
+
+    Connection handling is resilient by default because every operation
+    is an idempotent read: the initial connect retries ``max_retries``
+    times with exponential ``backoff`` (a server still binding its socket
+    answers ``ECONNREFUSED`` for a moment), and a dropped connection
+    mid-stream (server restart, idle reset) triggers a bounded
+    reconnect-and-resend instead of failing the first caller.  A dead
+    endpoint surfaces as :class:`StoreConnectionError`, which replica
+    pools treat as "fail over", unlike an application
+    :class:`StoreError` the server answered.
+
+    ``timeout=`` is the deprecated pre-redesign knob: it set one budget
+    for both connecting and reading.  Pass ``connect_timeout`` /
+    ``read_timeout`` instead.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._socket.makefile("rb")
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        *,
+        connect_timeout: float = 5.0,
+        read_timeout: float = 30.0,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+    ) -> None:
+        if timeout is not None:
+            warnings.warn(
+                "StoreClient(timeout=...) is deprecated; use connect_timeout= "
+                "and read_timeout=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            connect_timeout = timeout
+            read_timeout = timeout
+        if max_retries < 0:
+            raise StoreError(f"max_retries must be >= 0, got {max_retries}")
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self._socket: Optional[socket.socket] = None
+        self._reader: Optional[Any] = None
+        self._closed = False
+        self._connect()
 
     # ------------------------------------------------------------ plumbing
+    def _drop(self) -> None:
+        """Forget the current connection (it is broken or being replaced)."""
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+            self._socket = None
+
+    def _connect(self) -> None:
+        """Establish the connection, retrying refused/reset attempts.
+
+        ``ECONNREFUSED`` right after a server (re)start is a timing
+        artifact, not a verdict — a bounded backoff loop absorbs it; a
+        server that is truly gone becomes :class:`StoreConnectionError`
+        after the last attempt.
+        """
+        self._drop()
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                self._socket = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+                self._socket.settimeout(self.read_timeout)
+                self._reader = self._socket.makefile("rb")
+                return
+            except OSError as error:
+                self._drop()
+                if attempt + 1 >= attempts:
+                    raise StoreConnectionError(
+                        f"cannot connect to store server {self.host}:{self.port} "
+                        f"after {attempts} attempts: {error}"
+                    ) from error
+                time.sleep(self.backoff * (2 ** attempt))
+
     def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        payload = json.dumps(request, separators=(",", ":")).encode("utf-8")
-        self._socket.sendall(payload + b"\n")
-        line = self._reader.readline()
-        if not line:
-            raise StoreError("server closed the connection")
+        if self._closed:
+            raise StoreError("client is closed")
+        payload = json.dumps(request, separators=(",", ":")).encode("utf-8") + b"\n"
+        attempts = self.max_retries + 1
+        line = b""
+        for attempt in range(attempts):
+            try:
+                if self._socket is None:
+                    self._connect()
+                self._socket.sendall(payload)
+                line = self._reader.readline()
+                if line:
+                    break
+                raise ConnectionResetError("server closed the connection")
+            except OSError as error:
+                # Reads are idempotent, so resending after a reconnect is
+                # safe; a connection that stays dead through the retry
+                # budget is a dead endpoint.
+                self._drop()
+                if attempt + 1 >= attempts:
+                    raise StoreConnectionError(
+                        f"lost connection to store server {self.host}:{self.port}: "
+                        f"{error}"
+                    ) from error
+                time.sleep(self.backoff * (2 ** attempt))
         response = json.loads(line)
         if not response.get("ok"):
             raise StoreError(f"server error: {response.get('error', 'unknown')}")
         return response
 
-    # ------------------------------------------------------------- queries
-    def get(self, ngram: Iterable[Any], default: Any = None) -> Any:
-        response = self._call({"op": "get", "ngram": list(ngram)})
-        return response["value"] if response["found"] else default
-
-    def prefix(
-        self, tokens: Iterable[Any], limit: Optional[int] = None
-    ) -> List[Record]:
-        request: Dict[str, Any] = {"op": "prefix", "tokens": list(tokens)}
-        if limit is not None:
-            request["limit"] = limit
-        response = self._call(request)
-        records = response["records"]
-        if response.get("truncated") and (limit is None or len(records) < limit):
-            # Truncated short of what the caller asked for (everything, or
-            # a limit above the server cap): a silently partial result
-            # would be a wrong answer.
-            raise StoreError(
-                f"prefix result truncated at the server cap ({MAX_PREFIX_RECORDS} "
-                "records); pass a limit at or below the cap, or export offline"
-            )
-        return [(tuple(key), value) for key, value in records]
-
-    def top_k(self, k: int, order: str = "frequency") -> List[Record]:
-        response = self._call({"op": "top_k", "k": k, "order": order})
-        return [(tuple(key), value) for key, value in response["records"]]
-
-    def stats(self) -> Dict[str, Any]:
-        return self._call({"op": "stats"})
-
-    def server_stats(self) -> Dict[str, Any]:
-        return self._call({"op": "server_stats"})
-
-    def ping(self) -> bool:
-        return bool(self._call({"op": "ping"}).get("pong"))
-
     # ----------------------------------------------------------- lifecycle
     def close(self) -> None:
-        try:
-            self._reader.close()
-        except OSError:
-            pass
-        try:
-            self._socket.close()
-        except OSError:
-            pass
+        self._closed = True
+        self._drop()
 
     def __enter__(self) -> "StoreClient":
         return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()

@@ -174,3 +174,18 @@ class TestServerConfig:
             ServerConfig(cache_blocks=0)
         with pytest.raises(ConfigurationError):
             ServerConfig(max_clients=0)
+
+    def test_serving_topology_fields(self):
+        from repro.config import ServerConfig
+
+        config = ServerConfig(protocol="http", num_shards=3, shard_index=2)
+        assert (config.protocol, config.num_shards, config.shard_index) == ("http", 3, 2)
+        assert ServerConfig().protocol == "socket"  # the pre-redesign default
+        with pytest.raises(ConfigurationError):
+            ServerConfig(protocol="gopher")
+        with pytest.raises(ConfigurationError):
+            ServerConfig(num_shards=0)
+        with pytest.raises(ConfigurationError):
+            ServerConfig(num_shards=2, shard_index=2)
+        with pytest.raises(ConfigurationError):
+            ServerConfig(shard_index=-1)

@@ -138,12 +138,13 @@ class TestProtocol:
 
     def test_prefix_server_cap(self, server, store_dir, expected, monkeypatch):
         """Uncapped prefix responses are bounded server-side, loudly."""
-        import repro.ngramstore.server as server_module
+        import repro.ngramstore.api as api_module
 
         term = sorted({key[0] for key in expected})[0]
         full = [record for record in sorted(expected.items()) if record[0][0] == term]
         assert len(full) > 2
-        monkeypatch.setattr(server_module, "MAX_PREFIX_RECORDS", 2)
+        # The cap is enforced by the shared QueryEngine (repro.ngramstore.api).
+        monkeypatch.setattr(api_module, "MAX_PREFIX_RECORDS", 2)
         with StoreClient(server.host, server.port) as client:
             # Explicit limits within the cap still work...
             assert client.prefix((term,), limit=2) == full[:2]
@@ -219,7 +220,9 @@ class TestConcurrency:
             client.ping()
         client.close()
         with pytest.raises((StoreError, OSError, ValueError)):
-            with StoreClient(host, port, timeout=2) as late:
+            with StoreClient(
+                host, port, connect_timeout=2, read_timeout=2, max_retries=0
+            ) as late:
                 late.ping()
         # Idempotent close, and the underlying store is closed too.
         server.close()
@@ -404,6 +407,103 @@ class TestServeCLI:
         for operation in ("get", "prefix", "top_k"):
             assert report["operations"][operation]["p50_us"] > 0
         assert report["server"]["cache"]["hits"] > 0
+
+
+class TestCompatShims:
+    """The pre-redesign surfaces still work — with a warning, not a break."""
+
+    def test_legacy_request_fields_served_with_note(self, server, expected):
+        key = sorted(expected)[0]
+        with StoreClient(server.host, server.port) as client:
+            response = client._call({"op": "get", "ngram": list(key)})
+            assert response["value"] == expected[key]
+            assert "'ngram' is deprecated" in response["deprecated"]
+            response = client._call({"op": "prefix", "tokens": list(key[:1]), "limit": 1})
+            assert len(response["records"]) == 1
+            assert "'tokens' is deprecated" in response["deprecated"]
+            # Canonical spellings carry no note.
+            assert "deprecated" not in client._call({"op": "get", "key": list(key)})
+
+    def test_timeout_kwarg_deprecated_but_honoured(self, server):
+        with pytest.warns(DeprecationWarning, match="connect_timeout"):
+            client = StoreClient(server.host, server.port, timeout=7.5)
+        with client:
+            assert client.connect_timeout == 7.5
+            assert client.read_timeout == 7.5
+            assert client.ping()
+
+    def test_records_unpack_like_plain_tuples(self, server, store_dir):
+        """Old callers that unpack (key, value) tuples keep working."""
+        with NGramStore.open(store_dir) as direct, StoreClient(server.host, server.port) as client:
+            for source in (direct, client):
+                (record,) = source.top_k(1)
+                key, value = record
+                assert record == (key, value)
+
+    def test_term_ops_without_vocabulary_are_clean_errors(self, server):
+        """This module's store has no dictionary: term ops must say so."""
+        with StoreClient(server.host, server.port) as client:
+            with pytest.raises(StoreError, match="vocabulary"):
+                client.get_terms(["anything"])
+            # ...and the connection survives the error.
+            assert client.ping()
+
+
+class TestClientResilience:
+    def test_reconnects_after_server_drops_connection(self, server, expected):
+        """A dropped socket triggers a transparent reconnect, not a failure."""
+        key = sorted(expected)[0]
+        with StoreClient(server.host, server.port) as client:
+            assert client.get(key) == expected[key]
+            # Kill every server-side connection out from under the client.
+            with server._connections_lock:
+                connections = list(server._connections)
+            assert connections
+            for connection in connections:
+                connection.shutdown(socket.SHUT_RDWR)
+            # The idempotent read is retried on a fresh connection.
+            assert client.get(key) == expected[key]
+
+    def test_refused_connection_is_bounded_and_typed(self):
+        from repro.exceptions import StoreConnectionError
+
+        # A port nothing listens on: bind-then-close to find one.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        started = time.perf_counter()
+        with pytest.raises(StoreConnectionError, match="cannot connect"):
+            StoreClient("127.0.0.1", port, max_retries=2, backoff=0.01)
+        # Bounded: 3 attempts with tiny backoff, not an unbounded loop.
+        assert time.perf_counter() - started < 5.0
+
+    def test_failed_replica_falls_over_to_survivor(self, store_dir, expected):
+        """Live failover: kill one of two replicas mid-stream."""
+        from repro.ngramstore import ReplicaPool
+
+        victim = NGramStoreServer(store_dir, config=ServerConfig(port=0))
+        victim.start()
+        survivor = NGramStoreServer(store_dir, config=ServerConfig(port=0))
+        survivor.start()
+        try:
+            pool = ReplicaPool(
+                [
+                    StoreClient(victim.host, victim.port, max_retries=0),
+                    StoreClient(survivor.host, survivor.port, max_retries=0),
+                ]
+            )
+            keys = sorted(expected)[::101]
+            for key in keys:
+                assert pool.get(key) == expected[key]
+            victim.close()
+            # Every key still answered, regardless of rotation position.
+            for key in keys:
+                assert pool.get(key) == expected[key]
+            pool.close()
+        finally:
+            victim.close()
+            survivor.close()
 
 
 class TestMetricsHelpers:
