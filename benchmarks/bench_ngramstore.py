@@ -18,9 +18,15 @@ import time
 
 from benchmarks.conftest import run_once
 from repro.algorithms import count_ngrams
-from repro.config import StoreConfig
+from repro.config import ServerConfig, StoreConfig
 from repro.harness.report import format_table
-from repro.ngramstore import NGramStore, TopKAccumulator, build_store
+from repro.ngramstore import (
+    NGramStore,
+    NGramStoreServer,
+    StoreClient,
+    TopKAccumulator,
+    build_store,
+)
 from repro.ngramstore.table import top_k_records
 from repro.util.codecs import available_codecs
 
@@ -174,6 +180,243 @@ def test_ngramstore_top_k_block_skipping(benchmark):
         assert row["blocks_scanned"] + row["blocks_skipped"] == row["blocks_total"]
         assert row["blocks_scanned"] < row["blocks_total"]
         assert row["blocks_skipped"] > 0
+
+
+def _time_us(call, repeats):
+    """Mean wall-clock microseconds per invocation of ``call``."""
+    started = time.perf_counter()
+    for _ in range(repeats):
+        call()
+    return round((time.perf_counter() - started) / repeats * 1e6, 2)
+
+
+def _serving_records(count=6000, seed=41):
+    rng = random.Random(seed)
+    keys = set()
+    while len(keys) < count:
+        keys.add(tuple(rng.randint(0, 120) for _ in range(rng.randint(1, 4))))
+    return [(key, rng.randint(1, 10_000)) for key in sorted(keys)]
+
+
+def _build_legacy_store(records, store_dir, config):
+    """Build a store whose block indexes predate max_value and blooms."""
+    import repro.ngramstore.format as format_module
+    import repro.ngramstore.table as table_module
+
+    real_write_index = format_module.write_index
+
+    def legacy_write_index(handle, index):
+        return real_write_index(handle, [tuple(entry)[:5] for entry in index])
+
+    table_module.write_index = legacy_write_index
+    try:
+        build_store(records, store_dir, store=config)
+    finally:
+        table_module.write_index = real_write_index
+
+
+def _bench_local_read_paths(records, store_dir, miss_probes=400):
+    """mmap vs file I/O latency, and the Bloom point-miss fast path."""
+    expected = dict(records)
+    hit_keys = [key for key, _ in records[:: max(1, len(records) // 500)]]
+    rng = random.Random(97)
+    miss_keys = []
+    while len(miss_keys) < miss_probes:
+        key = tuple(rng.randint(0, 120) for _ in range(3))
+        if key not in expected:
+            miss_keys.append(key)
+
+    rows = {}
+    for label, use_mmap in (("mmap", True), ("file_io", False)):
+        with NGramStore.open(store_dir, use_mmap=use_mmap) as store:
+            for key in hit_keys:  # warm the block cache identically
+                assert store.get(key) == expected[key]
+            point_hit_us = _time_us(
+                lambda store=store: [store.get(key) for key in hit_keys], 5
+            ) / len(hit_keys)
+            point_miss_us = _time_us(
+                lambda store=store: [store.get(key) for key in miss_keys], 5
+            ) / len(miss_keys)
+            first_terms = sorted({key[0] for key in expected})[:40]
+            prefix_us = _time_us(
+                lambda store=store: [store.prefix((term,)) for term in first_terms], 3
+            ) / len(first_terms)
+            io_stats = store.io_stats()
+            rows[label] = {
+                "point_hit_us": round(point_hit_us, 2),
+                "point_miss_us": round(point_miss_us, 2),
+                "prefix_us": round(prefix_us, 2),
+                "mmap_partitions": io_stats["mmap_partitions"],
+            }
+
+    # The Bloom fast path, counter-asserted per miss: a filtered miss must
+    # decode zero data blocks.
+    with NGramStore.open(store_dir) as store:
+        filtered = decoded_during_filtered = unfiltered = 0
+        for key in miss_keys:
+            before = store.io_stats()
+            assert store.get(key) is None
+            after = store.io_stats()
+            if after["bloom_rejections"] > before["bloom_rejections"]:
+                filtered += 1
+                decoded_during_filtered += (
+                    after["blocks_decoded"] - before["blocks_decoded"]
+                )
+            else:
+                unfiltered += 1
+        rows["bloom"] = {
+            "misses_probed": len(miss_keys),
+            "misses_filtered": filtered,
+            "misses_unfiltered": unfiltered,
+            "blocks_decoded_on_filtered_misses": decoded_during_filtered,
+        }
+    return rows
+
+
+def _bench_wire_protocols(records, store_dir, batch=64, repeats=30):
+    """Point/batch latency and throughput, binary vs JSON, one live server."""
+    expected = dict(records)
+    rng = random.Random(71)
+    batch_keys = [rng.choice(records)[0] for _ in range(batch)]
+    reference = [expected[key] for key in batch_keys]
+    prefix_batch = [(term,) for term in sorted({key[0] for key in expected})[:8]]
+
+    rows = {}
+    with NGramStoreServer(
+        store_dir, config=ServerConfig(port=0, cache_blocks=512)
+    ) as server:
+        clients = {
+            "binary": StoreClient(server.host, server.port, protocol="binary"),
+            "json": StoreClient(server.host, server.port, protocol="json"),
+        }
+        try:
+            # Identity first: the two protocols must answer byte-identically.
+            answers = {
+                name: (
+                    client.multi_get(batch_keys),
+                    client.multi_prefix(prefix_batch),
+                    client.top_k(20),
+                    client.stats(),
+                )
+                for name, client in clients.items()
+            }
+            assert answers["binary"] == answers["json"]
+            assert answers["binary"][0] == reference
+
+            for name, client in clients.items():
+                point_us = _time_us(
+                    lambda client=client: [client.get(key) for key in batch_keys],
+                    repeats,
+                ) / len(batch_keys)
+                batch_us = _time_us(
+                    lambda client=client: client.multi_get(batch_keys), repeats
+                )
+                multi_prefix_us = _time_us(
+                    lambda client=client: client.multi_prefix(prefix_batch), repeats
+                )
+                sequential_prefix_us = _time_us(
+                    lambda client=client: [
+                        client.prefix(prefix) for prefix in prefix_batch
+                    ],
+                    repeats,
+                )
+                rows[name] = {
+                    "point_us": round(point_us, 2),
+                    "point_requests_per_s": round(1e6 / point_us),
+                    "multi_get_batch_us": batch_us,
+                    "multi_get_us_per_key": round(batch_us / len(batch_keys), 2),
+                    "multi_prefix_batch_us": multi_prefix_us,
+                    "sequential_prefix_us": sequential_prefix_us,
+                }
+        finally:
+            for client in clients.values():
+                client.close()
+    rows["batch_size"] = batch
+    # The headline number: one batched binary round-trip for N keys versus
+    # N single-key JSON round-trips.
+    rows["speedup_binary_batch_vs_json_points"] = round(
+        rows["json"]["point_us"] * batch / rows["binary"]["multi_get_batch_us"], 2
+    )
+    rows["speedup_binary_batch_vs_binary_points"] = round(
+        rows["binary"]["point_us"] * batch / rows["binary"]["multi_get_batch_us"], 2
+    )
+    return rows
+
+
+def _bench_serving_fast_path():
+    records = _serving_records()
+    config = StoreConfig(num_partitions=3, records_per_block=64)
+    root = os.path.join(
+        os.environ.get("NGRAMSTORE_WORKDIR", "reports"), "ngramstore-serve"
+    )
+    store_dir = os.path.join(root, "store")
+    legacy_dir = os.path.join(root, "legacy-store")
+    build_store(records, store_dir, store=config)
+    _build_legacy_store(records, legacy_dir, config)
+
+    # Old-format identity: a pre-bloom/pre-summary store answers the same.
+    probes = [key for key, _ in records[::37]] + [(12_000,)]
+    with NGramStore.open(store_dir) as modern, NGramStore.open(legacy_dir) as legacy:
+        assert list(modern.items()) == list(legacy.items())
+        assert [modern.get(key) for key in probes] == [
+            legacy.get(key) for key in probes
+        ]
+        assert modern.top_k(25) == legacy.top_k(25)
+        assert legacy.io_stats()["bloom_rejections"] == 0
+
+    return {
+        "schema_version": 1,
+        "store": {
+            "num_records": len(records),
+            "num_partitions": config.num_partitions,
+            "records_per_block": config.records_per_block,
+            "bloom_bits_per_key": config.bloom_bits_per_key,
+        },
+        "local": _bench_local_read_paths(records, store_dir),
+        "protocol": _bench_wire_protocols(records, store_dir),
+        "identity": {
+            "legacy_store_identical": True,  # asserted above
+            "protocols_identical": True,  # asserted in _bench_wire_protocols
+        },
+    }
+
+
+def test_ngramstore_serving_fast_path(benchmark):
+    report = run_once(benchmark, _bench_serving_fast_path)
+
+    print("\n=== NGramStore serving fast path (local read paths) ===")
+    print(format_table([{"path": name, **row} for name, row in report["local"].items() if name != "bloom"]))
+    print("\n=== Wire protocols (binary vs JSON, live server) ===")
+    print(format_table([{"protocol": name, **report["protocol"][name]} for name in ("binary", "json")]))
+    bloom = report["local"]["bloom"]
+    speedup = report["protocol"]["speedup_binary_batch_vs_json_points"]
+    print(
+        f"\nbloom: {bloom['misses_filtered']}/{bloom['misses_probed']} misses filtered, "
+        f"{bloom['blocks_decoded_on_filtered_misses']} blocks decoded for them; "
+        f"batched binary vs per-key JSON speedup: {speedup}x"
+    )
+
+    report_path = os.environ.get("NGRAMSTORE_BENCH_REPORT", "BENCH_ngramstore.json")
+    parent = os.path.dirname(report_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(report_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"wrote serving fast-path baseline to {report_path}")
+
+    # Acceptance bars for the raw-speed serving path:
+    # 1. One batched binary multi_get of N keys beats N single-key JSON
+    #    round-trips by >= 3x.
+    assert report["protocol"]["batch_size"] == 64
+    assert speedup >= 3.0, f"batched binary speedup {speedup}x < 3x"
+    # 2. Bloom-filtered point misses decode zero data blocks, by counter.
+    assert bloom["misses_filtered"] > 0
+    assert bloom["blocks_decoded_on_filtered_misses"] == 0
+    # 3. The zero-copy path was actually active (and its twin was not).
+    assert report["local"]["mmap"]["mmap_partitions"] == 3
+    assert report["local"]["file_io"]["mmap_partitions"] == 0
+    # 4. Cross-protocol and old/new-format identity held.
+    assert all(report["identity"].values())
 
 
 def test_ngramstore_build_and_query(benchmark, nyt_spec):

@@ -118,7 +118,7 @@ def client_workload(client_factory, seed, keys, expected, reference_top, request
     clients hold one connection each, so threads must not share them).
     """
     rng = random.Random(seed)
-    latencies = {"get": [], "prefix": [], "top_k": []}
+    latencies = {"get": [], "multi_get": [], "prefix": [], "top_k": []}
     with client_factory() as client:
         for _ in range(requests):
             key = rng.choice(keys)
@@ -128,6 +128,14 @@ def client_workload(client_factory, seed, keys, expected, reference_top, request
             assert value == expected[key], f"get({key!r}) = {value!r} != {expected[key]!r}"
         assert client.get((10**9,)) is None
 
+        # The batched ops: one round-trip each, answers identical to the
+        # equivalent single-key calls.
+        batch = [rng.choice(keys) for _ in range(32)] + [(10**9,)]
+        started = time.perf_counter()
+        values = client.multi_get(batch)
+        latencies["multi_get"].append(time.perf_counter() - started)
+        assert values == [expected.get(key) for key in batch], "multi_get diverged"
+
         term = rng.choice(keys)[0]
         started = time.perf_counter()
         prefix_result = client.prefix((term,))
@@ -136,6 +144,10 @@ def client_workload(client_factory, seed, keys, expected, reference_top, request
             record for record in sorted(expected.items()) if record[0][0] == term
         ]
         assert prefix_result == reference_prefix, f"prefix(({term},)) diverged"
+        assert client.multi_prefix([(term,), (10**9,)]) == [
+            reference_prefix,
+            [],
+        ], "multi_prefix diverged"
 
         started = time.perf_counter()
         top = client.top_k(10)
@@ -151,9 +163,15 @@ def build_topology(args):
     running servers: a plain StoreClient, a ReplicaPool of StoreClients,
     or a ShardRouter of per-shard StoreClients.
     """
+    protocol = args.protocol
+
     if args.topology == "single":
         process, host, port = start_server(args.store, args.cache_blocks, args.max_clients)
-        return [process], [(host, port)], lambda: StoreClient(host, port)
+        return (
+            [process],
+            [(host, port)],
+            lambda: StoreClient(host, port, protocol=protocol),
+        )
 
     if args.topology == "replicas":
         servers = [
@@ -164,7 +182,9 @@ def build_topology(args):
         return (
             [process for process, _, _ in servers],
             endpoints,
-            lambda: ReplicaPool([StoreClient(host, port) for host, port in endpoints]),
+            lambda: ReplicaPool(
+                [StoreClient(host, port, protocol=protocol) for host, port in endpoints]
+            ),
         )
 
     servers = [
@@ -180,7 +200,43 @@ def build_topology(args):
     return (
         [process for process, _, _ in servers],
         endpoints,
-        lambda: ShardRouter([StoreClient(host, port) for host, port in endpoints]),
+        lambda: ShardRouter(
+            [StoreClient(host, port, protocol=protocol) for host, port in endpoints]
+        ),
+    )
+
+
+def cross_protocol_identity_check(endpoint, keys, expected, reference_top, complete):
+    """Binary and JSON clients of one server answer byte-identically.
+
+    ``complete`` says the endpoint serves the whole store (not one shard),
+    so answers are additionally checked against the direct reads.
+    """
+    host, port = endpoint
+    sample = keys[:: max(1, len(keys) // 40)]
+    prefixes = sorted({key[:1] for key in sample})[:5]
+    answers = {}
+    for protocol in ("binary", "json"):
+        with StoreClient(host, port, protocol=protocol) as client:
+            assert client.negotiated_protocol == protocol
+            answers[protocol] = (
+                [client.get(key) for key in sample],
+                client.multi_get(sample + [(10**9,)]),
+                client.multi_prefix(prefixes),
+                client.top_k(10),
+                client.stats(),
+            )
+    assert answers["binary"] == answers["json"], (
+        "binary and JSON protocol answers diverged"
+    )
+    if complete:
+        gets, multi, _, top, _ = answers["binary"]
+        assert gets == [expected[key] for key in sample]
+        assert multi == [expected[key] for key in sample] + [None]
+        assert top == reference_top
+    print(
+        f"cross-protocol identity OK: {len(sample)} gets + batched ops "
+        "byte-identical over binary and JSON"
     )
 
 
@@ -213,6 +269,12 @@ def main(argv=None):
         choices=("single", "replicas", "sharded"),
         default="single",
         help="deployment shape to smoke (default: one server)",
+    )
+    parser.add_argument(
+        "--protocol",
+        choices=("auto", "binary", "json"),
+        default="auto",
+        help="wire protocol the workload clients use (default: negotiate)",
     )
     parser.add_argument("--replicas", type=int, default=2, help="servers for --topology replicas")
     parser.add_argument("--shards", type=int, default=3, help="servers for --topology sharded")
@@ -282,6 +344,16 @@ def main(argv=None):
         )
         print("served responses byte-identical to offline query output")
 
+        # Every deployment shape is fronted by socket servers, so the
+        # binary/JSON identity check runs against the first endpoint.
+        cross_protocol_identity_check(
+            endpoints[0],
+            keys,
+            expected,
+            reference_top,
+            complete=args.topology != "sharded",
+        )
+
         # Per-server metrics, probed while every server is still up (the
         # replica failover check below deliberately kills one).
         server_reports = []
@@ -312,13 +384,14 @@ def main(argv=None):
     report = {
         "store": args.store,
         "topology": args.topology,
+        "protocol": args.protocol,
         "clients": args.clients,
         "requests_per_client": args.requests,
         "operations": {},
         "server": server_stats,
         "servers": server_reports,
     }
-    for operation in ("get", "prefix", "top_k"):
+    for operation in ("get", "multi_get", "prefix", "top_k"):
         samples = sorted(
             sample for result in results for sample in result[operation]
         )

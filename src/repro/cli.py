@@ -193,6 +193,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-block compression codec of the persisted store tables",
     )
     count.add_argument(
+        "--store-bloom-bits",
+        type=int,
+        default=10,
+        metavar="BITS",
+        help="Bloom-filter bits per key in the persisted store's block "
+        "indexes (0 disables the filters)",
+    )
+    count.add_argument(
         "--materialize-corpus",
         action="store_true",
         help="decode the whole corpus into memory up front instead of "
@@ -254,6 +262,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT",
         default=None,
         help="query a running 'repro serve' socket server instead of a local store",
+    )
+    query.add_argument(
+        "--protocol",
+        choices=("auto", "binary", "json"),
+        default="auto",
+        help="wire protocol for --server: negotiate binary with JSON "
+        "fallback (auto, default), require binary, or force newline-JSON",
     )
     query.add_argument(
         "--url",
@@ -374,6 +389,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--records-per-block", type=int, default=1024, help="records per data block"
     )
     merge.add_argument(
+        "--bloom-bits",
+        type=int,
+        default=10,
+        metavar="BITS",
+        help="Bloom-filter bits per key in the merged tables' block "
+        "indexes (0 disables the filters)",
+    )
+    merge.add_argument(
         "--sample-size",
         type=int,
         default=1024,
@@ -437,7 +460,11 @@ def _cmd_count(args: argparse.Namespace) -> int:
     else:
         counter = make_counter(args.algorithm, config, execution=execution)
     store = (
-        StoreConfig(num_partitions=args.store_partitions, codec=args.store_codec)
+        StoreConfig(
+            num_partitions=args.store_partitions,
+            codec=args.store_codec,
+            bloom_bits_per_key=args.store_bloom_bits,
+        )
         if args.store_dir is not None
         else None
     )
@@ -520,7 +547,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-            api = StoreClient(host, int(port))
+            api = StoreClient(host, int(port), protocol=args.protocol)
         elif args.url is not None:
             from repro.ngramstore.http import HttpStoreClient
 
@@ -718,6 +745,7 @@ def _cmd_merge_stores(args: argparse.Namespace) -> int:
             codec=args.codec,
             records_per_block=args.records_per_block,
             sample_size=args.sample_size,
+            bloom_bits_per_key=args.bloom_bits,
         )
         merge_stores(args.inputs, args.output, store=store)
     except ReproError as error:

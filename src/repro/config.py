@@ -278,12 +278,17 @@ class StoreConfig:
         I/O in the store tables.
     sample_size:
         Keys sampled from the input when planning partition boundaries.
+    bloom_bits_per_key:
+        Bloom-filter budget per key for the per-block filters persisted in
+        each table's block index (``0`` disables the filters).  The default
+        10 bits/key gives roughly a 1% false-positive rate on point misses.
     """
 
     num_partitions: int = 4
     codec: str = "none"
     records_per_block: int = 1024
     sample_size: int = 1024
+    bloom_bits_per_key: int = 10
 
     def __post_init__(self) -> None:
         if self.num_partitions < 1:
@@ -300,6 +305,11 @@ class StoreConfig:
             )
         if self.sample_size < 1:
             raise ConfigurationError(f"sample_size must be >= 1, got {self.sample_size}")
+        if self.bloom_bits_per_key < 0:
+            raise ConfigurationError(
+                f"bloom_bits_per_key must be >= 0 (0 disables), "
+                f"got {self.bloom_bits_per_key}"
+            )
 
 
 @dataclass(frozen=True)
@@ -326,6 +336,11 @@ class ServerConfig:
         Wire protocol to serve: ``"socket"`` (newline-delimited JSON over
         TCP, the efficient in-repo path) or ``"http"`` (the REST adapter,
         reachable by curl/browsers/load balancers).
+    binary:
+        Whether a socket server negotiates the binary framing of
+        :mod:`repro.ngramstore.wire` with capable clients (on by
+        default); with ``False`` the server is JSON-only, exactly the
+        pre-binary behaviour old deployments pin.
     num_shards / shard_index:
         Range sharding: serve only shard ``shard_index`` of a
         ``num_shards``-way split of the store's partitions.  The default
@@ -337,6 +352,7 @@ class ServerConfig:
     cache_blocks: int = 256
     max_clients: int = 32
     protocol: str = "socket"
+    binary: bool = True
     num_shards: int = 1
     shard_index: int = 0
 

@@ -27,7 +27,7 @@ idiom :mod:`repro.util.varint` uses for encoded corpus shards.
 from __future__ import annotations
 
 import pickle
-from typing import Any, BinaryIO, Iterator, Tuple
+from typing import Any, BinaryIO, Iterator, Optional, Tuple
 
 from repro.exceptions import SerializationError
 from repro.util.varint import encode_varint, encoded_length, read_stream_varint
@@ -73,6 +73,40 @@ def record_size(key: Any, value: Any) -> int:
 
 
 # --------------------------------------------------------- spill framing
+def write_frame(handle: BinaryIO, payload: bytes) -> int:
+    """Append one varint-length-prefixed byte frame; returns bytes written.
+
+    The frame is ``varint(len(payload)) + payload`` — the length prefix of
+    the spill files, the store's data blocks, and the binary wire protocol
+    (:mod:`repro.ngramstore.wire`), so every layer shares one framing idiom.
+    """
+    header = encode_varint(len(payload))
+    handle.write(header)
+    handle.write(payload)
+    return len(header) + len(payload)
+
+
+def read_frame(handle: BinaryIO, max_bytes: Optional[int] = None) -> Optional[bytes]:
+    """Read one byte frame; ``None`` at a clean end-of-stream.
+
+    A stream ending mid-frame (or a frame longer than ``max_bytes``) raises
+    — both can only mean truncation or a corrupt/hostile peer.
+    """
+    length, at_eof = read_stream_varint(handle)
+    if at_eof:
+        return None
+    if max_bytes is not None and length > max_bytes:
+        raise SerializationError(
+            f"frame of {length} bytes exceeds the {max_bytes}-byte limit"
+        )
+    payload = handle.read(length)
+    if len(payload) != length:
+        raise SerializationError(
+            f"truncated frame: expected {length} bytes, got {len(payload)}"
+        )
+    return payload
+
+
 def write_framed_record(handle: BinaryIO, key: Any, value: Any) -> int:
     """Append one varint-length-prefixed record frame to ``handle``.
 
@@ -88,21 +122,13 @@ def write_framed_record(handle: BinaryIO, key: Any, value: Any) -> int:
             f"cannot spill record with key of type {type(key).__name__} and "
             f"value of type {type(value).__name__}: {exc}"
         ) from exc
-    header = encode_varint(len(payload))
-    handle.write(header)
-    handle.write(payload)
-    return len(header) + len(payload)
+    return write_frame(handle, payload)
 
 
 def read_framed_records(handle: BinaryIO) -> Iterator[Tuple[Any, Any]]:
     """Iterate over the record frames of an open spill file."""
     while True:
-        length, at_eof = read_stream_varint(handle)
-        if at_eof:
+        payload = read_frame(handle)
+        if payload is None:
             return
-        payload = handle.read(length)
-        if len(payload) != length:
-            raise SerializationError(
-                f"truncated spill frame: expected {length} bytes, got {len(payload)}"
-            )
         yield pickle.loads(payload)

@@ -75,6 +75,7 @@ OPERATIONS = (
     "get",
     "multi_get",
     "prefix",
+    "multi_prefix",
     "top_k",
     "translate",
     "render",
@@ -155,6 +156,16 @@ class StoreAPI:
     def multi_get(self, ngrams: Sequence[Iterable[Any]], default: Any = None) -> List[Any]:
         """Values for ``ngrams`` in order (``default`` where absent)."""
         return [self.get(ngram, default) for ngram in ngrams]
+
+    def multi_prefix(
+        self, prefixes: Sequence[Iterable[Any]], limit: Optional[int] = None
+    ) -> List[List[Record]]:
+        """One prefix scan per entry of ``prefixes``, order-aligned.
+
+        Each result list is exactly ``list(self.prefix(p, limit=limit))``;
+        remote implementations fuse the batch into a single round trip.
+        """
+        return [list(self.prefix(prefix, limit=limit)) for prefix in prefixes]
 
     def get_terms(self, terms: Sequence[str], default: Any = None) -> Any:
         """Point lookup keyed by surface terms; unknown terms are absent."""
@@ -254,6 +265,27 @@ class RemoteStore(StoreAPI):
         return self._prefix_records(
             {"op": "prefix", "key": list(tokens)}, limit, tuple
         )
+
+    def multi_prefix(
+        self, prefixes: Sequence[Iterable[Any]], limit: Optional[int] = None
+    ) -> List[List[Record]]:
+        request: Dict[str, Any] = {
+            "op": "multi_prefix",
+            "keys": [list(prefix) for prefix in prefixes],
+        }
+        if limit is not None:
+            request["limit"] = limit
+        response = self._call(request)
+        results: List[List[Record]] = []
+        for result in response["results"]:
+            records = result["records"]
+            if result.get("truncated") and (limit is None or len(records) < limit):
+                raise StoreError(
+                    f"prefix result truncated at the server cap ({MAX_PREFIX_RECORDS} "
+                    "records); pass a limit at or below the cap, or export offline"
+                )
+            results.append([NGramRecord(tuple(key), value) for key, value in records])
+        return results
 
     def top_k(self, k: int, order: str = "frequency") -> List[Record]:
         response = self._call({"op": "top_k", "k": k, "order": order})
@@ -370,6 +402,35 @@ class QueryEngine:
             ]
         return [[list(record[0]), record[1]] for record in records]
 
+    @staticmethod
+    def _validated_limit(request: Dict[str, Any]) -> Optional[int]:
+        limit = request.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            raise StoreError(
+                f"prefix limit must be a non-negative integer, got {limit!r}"
+            )
+        return limit
+
+    def _prefix_response(
+        self, key: Optional[Tuple], limit: Optional[int], surface: bool
+    ) -> Dict[str, Any]:
+        if key is None:  # unknown surface term: nothing can match
+            return {"records": [], "truncated": False}
+        effective_limit = (
+            MAX_PREFIX_RECORDS if limit is None else min(limit, MAX_PREFIX_RECORDS)
+        )
+        records: List[Record] = []
+        truncated = False
+        for record_key, value in self.store.prefix(key):
+            if len(records) >= effective_limit:
+                truncated = True
+                break
+            records.append(NGramRecord(record_key, value))
+        return {
+            "records": self._record_payload(records, surface),
+            "truncated": truncated,
+        }
+
     # ------------------------------------------------------------- handle
     def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
         operation = str(request.get("op"))
@@ -403,26 +464,22 @@ class QueryEngine:
             return {"found": found, "values": values}
         if operation == "prefix":
             key = self._request_key(request, surface)
-            limit = request.get("limit")
-            if limit is not None and (not isinstance(limit, int) or limit < 0):
+            return self._prefix_response(key, self._validated_limit(request), surface)
+        if operation == "multi_prefix":
+            data = request.get("keys")
+            if not isinstance(data, list):
+                raise StoreError("keys must be a JSON array of key arrays")
+            keys = [_json_key(item, "each key") for item in data]
+            if len(keys) > MAX_BATCH_KEYS:
                 raise StoreError(
-                    f"prefix limit must be a non-negative integer, got {limit!r}"
+                    f"multi_prefix batch must be <= {MAX_BATCH_KEYS} keys, "
+                    f"got {len(keys)}"
                 )
-            if key is None:  # unknown surface term: nothing can match
-                return {"records": [], "truncated": False}
-            effective_limit = (
-                MAX_PREFIX_RECORDS if limit is None else min(limit, MAX_PREFIX_RECORDS)
-            )
-            records: List[Record] = []
-            truncated = False
-            for record_key, value in self.store.prefix(key):
-                if len(records) >= effective_limit:
-                    truncated = True
-                    break
-                records.append(NGramRecord(record_key, value))
+            limit = self._validated_limit(request)
             return {
-                "records": self._record_payload(records, surface),
-                "truncated": truncated,
+                "results": [
+                    self._prefix_response(key, limit, surface=False) for key in keys
+                ]
             }
         if operation == "top_k":
             k = request.get("k")

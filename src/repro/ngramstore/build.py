@@ -265,6 +265,7 @@ def build_store(
             codec=store.codec,
             records_per_block=store.records_per_block,
             metadata={"partition": index},
+            bloom_bits_per_key=store.bloom_bits_per_key,
         ) as writer:
             writer.extend(partition.iter_records())
         partitions.append(

@@ -37,6 +37,7 @@ from typing import Any, BinaryIO, Dict, List, NamedTuple, Tuple
 from repro.exceptions import StoreError
 from repro.mapreduce.serialization import read_framed_records, write_framed_record
 from repro.util.codecs import Codec
+from repro.util.varint import decode_varint
 
 #: Magic bytes opening and closing every table file.
 MAGIC = b"NGSTORE1"
@@ -58,6 +59,14 @@ class BlockHandle(NamedTuple):
     existed — old indexes pickle as 5-tuples and load with the default).
     Frequency-ordered top-k uses it to skip blocks whose best possible
     record cannot beat the current heap floor.
+
+    ``bloom`` is the block's Bloom filter over its keys, as the plain
+    ``(num_bits, num_hashes, bits)`` spec of
+    :class:`repro.util.bloom.BloomFilter` — ``None`` when filters were
+    disabled at write time or the table predates them (old indexes pickle
+    as 5- or 6-tuples and load with the default).  Point lookups consult it
+    before touching the data block, so a guaranteed miss costs no block
+    read at all.
     """
 
     first_key: Any
@@ -66,6 +75,7 @@ class BlockHandle(NamedTuple):
     length: int
     num_records: int
     max_value: Any = None
+    bloom: Any = None
 
 
 def encode_block(records: List[Record], codec: Codec) -> bytes:
@@ -79,6 +89,31 @@ def encode_block(records: List[Record], codec: Codec) -> bytes:
 def decode_block(payload: bytes, codec: Codec) -> List[Record]:
     """Invert :func:`encode_block`."""
     return list(read_framed_records(io.BytesIO(codec.decompress(payload))))
+
+
+def decode_block_view(view: "memoryview") -> List[Record]:
+    """Decode an *uncompressed* block straight from a byte buffer.
+
+    The zero-copy twin of :func:`decode_block` for mmap-backed tables: the
+    varint frame walk indexes the buffer in place and each record is
+    unpickled from a ``memoryview`` slice, so no intermediate ``bytes``
+    copy of the block payload is ever made.  Only valid for the ``none``
+    codec — compressed blocks must be decompressed (a copy) first, which
+    is why the table falls back to the file-I/O path for them.
+    """
+    records: List[Record] = []
+    offset = 0
+    end = len(view)
+    while offset < end:
+        length, offset = decode_varint(view, offset)
+        if offset + length > end:
+            raise StoreError(
+                f"truncated record frame in block: frame of {length} bytes "
+                f"at offset {offset} overruns the {end}-byte block"
+            )
+        records.append(pickle.loads(view[offset : offset + length]))
+        offset += length
+    return records
 
 
 def write_index(handle: BinaryIO, index: List[BlockHandle]) -> Tuple[int, int]:

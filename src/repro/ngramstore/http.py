@@ -40,11 +40,10 @@ import json
 import os
 import threading
 import time
+from http import client as http_client
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
-from urllib import error as urllib_error
+from typing import Any, Dict, List, Optional, Tuple
 from urllib import parse as urllib_parse
-from urllib import request as urllib_request
 
 from repro.config import ServerConfig
 from repro.exceptions import StoreConnectionError, StoreError
@@ -277,12 +276,21 @@ class HttpStoreClient(RemoteStore):
     """``StoreAPI`` client over ``POST /query`` — the HTTP twin of
     :class:`~repro.ngramstore.server.StoreClient`.
 
-    Stateless between calls (one HTTP request per operation), so unlike
-    the socket client one instance is safe to share across threads, and
-    ``close()`` has nothing to release.  Connection-level failures
-    (refused, reset, timeout) raise :class:`StoreConnectionError` after a
-    bounded retry loop, so an :class:`~repro.ngramstore.router.ReplicaPool`
-    of HTTP clients fails over exactly like one of socket clients.
+    Connections are pooled and kept alive: the server speaks HTTP/1.1
+    with explicit ``Content-Length``, so one TCP connection carries many
+    requests instead of paying a handshake per call.  The pool is a
+    lock-guarded idle stack — a thread borrows a connection for the
+    duration of one call, so one instance is safe to share across threads
+    (concurrent callers simply grow the pool to the concurrency level;
+    ``connections_opened`` counts how many were ever dialled).
+
+    A *reused* connection that fails mid-call is most likely a keep-alive
+    connection the server idled out — it is discarded and the call
+    retried on a fresh one without burning the retry budget.  Failures on
+    fresh connections (refused, reset, timeout) raise
+    :class:`StoreConnectionError` after a bounded retry loop, so an
+    :class:`~repro.ngramstore.router.ReplicaPool` of HTTP clients fails
+    over exactly like one of socket clients.
     """
 
     def __init__(
@@ -299,43 +307,93 @@ class HttpStoreClient(RemoteStore):
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff = backoff
-
-    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        payload = json.dumps(request, separators=(",", ":")).encode("utf-8")
-        attempts = self.max_retries + 1
-        for attempt in range(attempts):
-            http_request = urllib_request.Request(
-                self.base_url + "/query",
-                data=payload,
-                headers={"Content-Type": "application/json"},
-                method="POST",
+        parsed = urllib_parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", "https") or not parsed.netloc:
+            raise StoreError(
+                f"store server URL must be http(s)://host[:port][/path], got {url!r}"
             )
+        self._netloc = parsed.netloc
+        self._scheme = parsed.scheme
+        self._path = (parsed.path or "") + "/query"
+        self.connections_opened = 0
+        self._idle: List[http_client.HTTPConnection] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------ connection pool
+    def _acquire(self) -> Tuple[http_client.HTTPConnection, bool]:
+        """A connection to run one request on; ``(connection, reused)``."""
+        with self._pool_lock:
+            if self._idle:
+                return self._idle.pop(), True
+            self.connections_opened += 1
+        connection_class = (
+            http_client.HTTPSConnection
+            if self._scheme == "https"
+            else http_client.HTTPConnection
+        )
+        return connection_class(self._netloc, timeout=self.timeout), False
+
+    def _release(self, connection: http_client.HTTPConnection) -> None:
+        with self._pool_lock:
+            if not self._closed:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    # ------------------------------------------------------------- transport
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self._closed:
+            raise StoreError("client is closed")
+        payload = json.dumps(request, separators=(",", ":")).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        attempts = self.max_retries + 1
+        failures = 0
+        while True:
+            connection, reused = self._acquire()
             try:
-                with urllib_request.urlopen(http_request, timeout=self.timeout) as reply:
-                    body = reply.read()
-                break
-            except urllib_error.HTTPError as error:
-                # The server answered: an application error, not a dead
-                # endpoint — surface it without burning retries.
-                body = error.read()
-                try:
-                    detail = json.loads(body).get("error", "unknown")
-                except (ValueError, AttributeError):
-                    detail = f"HTTP {error.code}"
-                raise StoreError(f"server error: {detail}") from error
-            except (urllib_error.URLError, OSError) as error:
-                if attempt + 1 >= attempts:
+                connection.request("POST", self._path, body=payload, headers=headers)
+                reply = connection.getresponse()
+                body = reply.read()
+                status = reply.status
+                keep = not reply.will_close
+            except (http_client.HTTPException, OSError) as error:
+                connection.close()
+                if reused:
+                    # A pooled connection the server idled out between
+                    # calls — not a dead endpoint.  Retry on a fresh
+                    # connection without burning the retry budget.
+                    continue
+                failures += 1
+                if failures >= attempts:
                     raise StoreConnectionError(
                         f"cannot reach store server {self.base_url}: {error}"
                     ) from error
-                time.sleep(self.backoff * (2 ** attempt))
-        response = json.loads(body)
-        if not response.get("ok"):
-            raise StoreError(f"server error: {response.get('error', 'unknown')}")
-        return response
+                time.sleep(self.backoff * (2 ** (failures - 1)))
+                continue
+            if keep:
+                self._release(connection)
+            else:
+                connection.close()
+            if status >= 400:
+                # The server answered: an application error, not a dead
+                # endpoint — surface it without burning retries.
+                try:
+                    detail = json.loads(body).get("error", "unknown")
+                except (ValueError, AttributeError):
+                    detail = f"HTTP {status}"
+                raise StoreError(f"server error: {detail}")
+            response = json.loads(body)
+            if not response.get("ok"):
+                raise StoreError(f"server error: {response.get('error', 'unknown')}")
+            return response
 
     def close(self) -> None:
-        pass  # no connection state to release
+        with self._pool_lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
 
     def __enter__(self) -> "HttpStoreClient":
         return self

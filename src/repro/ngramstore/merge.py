@@ -220,6 +220,7 @@ def merge_stores(
                 codec=store.codec,
                 records_per_block=store.records_per_block,
                 metadata={"partition": len(partitions)},
+                bloom_bits_per_key=store.bloom_bits_per_key,
             )
 
         writer = open_writer()

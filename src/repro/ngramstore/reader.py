@@ -65,12 +65,14 @@ class NGramStore(StoreAPI):
         store_dir: str,
         cache_blocks: int = DEFAULT_CACHE_BLOCKS,
         cache: Optional[BlockCache] = None,
+        use_mmap: bool = True,
     ) -> None:
         self.store_dir = store_dir
         self.manifest = load_manifest(store_dir)
         self.boundaries = manifest_boundaries(self.manifest)
         self.cache_blocks = cache_blocks
         self.cache = cache
+        self.use_mmap = use_mmap
         self._tables: List[Optional[Table]] = [None] * self.manifest["num_partitions"]
         self._vocabulary: Any = None
         self._lock = threading.Lock()
@@ -82,9 +84,10 @@ class NGramStore(StoreAPI):
         store_dir: str,
         cache_blocks: int = DEFAULT_CACHE_BLOCKS,
         cache: Optional[BlockCache] = None,
+        use_mmap: bool = True,
     ) -> "NGramStore":
         """Open a store directory written by :func:`repro.ngramstore.build.build_store`."""
-        return cls(store_dir, cache_blocks=cache_blocks, cache=cache)
+        return cls(store_dir, cache_blocks=cache_blocks, cache=cache, use_mmap=use_mmap)
 
     # ----------------------------------------------------------- properties
     @property
@@ -131,6 +134,24 @@ class NGramStore(StoreAPI):
                 total.evictions += table.cache_stats.evictions
         return total
 
+    def io_stats(self) -> Dict[str, Any]:
+        """Read-path counters over every open partition.
+
+        ``blocks_decoded`` counts data blocks actually read and decoded
+        (cache hits don't decode); ``bloom_rejections`` counts point misses
+        answered by a block's Bloom filter without touching the block;
+        ``mmap_partitions`` counts partitions served by zero-copy mmap
+        slices.  Benchmarks assert against these — e.g. a Bloom-filtered
+        miss workload must leave ``blocks_decoded`` untouched.
+        """
+        totals = {"blocks_decoded": 0, "bloom_rejections": 0, "mmap_partitions": 0}
+        for table in self._tables:
+            if table is not None:
+                totals["blocks_decoded"] += table.blocks_decoded
+                totals["bloom_rejections"] += table.bloom_rejections
+                totals["mmap_partitions"] += 1 if table.mmap_active else 0
+        return totals
+
     # ------------------------------------------------------------ internals
     def _check_open(self) -> None:
         if self._closed:
@@ -150,6 +171,7 @@ class NGramStore(StoreAPI):
                         os.path.join(self.store_dir, filename),
                         cache_blocks=self.cache_blocks,
                         cache=self.cache,
+                        use_mmap=self.use_mmap,
                     )
                     self._tables[index] = table
         return table

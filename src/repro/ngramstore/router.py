@@ -27,8 +27,10 @@ deployment with no new code.
 from __future__ import annotations
 
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 from itertools import islice
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import StoreConnectionError, StoreError
 from repro.ngramstore.api import NGramRecord, Record, StoreAPI
@@ -230,36 +232,93 @@ class ReplicaPool(StoreAPI):
     immediately: every replica would answer them identically, so retrying
     elsewhere only hides the caller's bug.
 
-    The rotation cursor is lock-guarded, but true thread-safety also
-    requires thread-safe member clients (socket clients are not); the
-    intended concurrent pattern is one pool of per-thread clients per
-    thread, mirroring plain ``StoreClient`` usage.
+    A replica that fails is *quarantined*: benched for
+    ``quarantine_base * 2**(consecutive_failures - 1)`` seconds (capped
+    at ``quarantine_cap``), so a down server stops costing every rotation
+    a connect attempt and is re-probed at exponentially growing
+    intervals.  When every replica is benched the pool falls back to the
+    full rotation — serving through a possibly-recovered replica beats
+    failing fast while any hope remains.  A success clears the replica's
+    failure count.  ``clock`` is injectable for tests.
+
+    The rotation cursor and quarantine state are lock-guarded, but true
+    thread-safety also requires thread-safe member clients (socket
+    clients are not); the intended concurrent pattern is one pool of
+    per-thread clients per thread, mirroring plain ``StoreClient`` usage.
     """
 
-    def __init__(self, clients: Sequence[StoreAPI]) -> None:
+    def __init__(
+        self,
+        clients: Sequence[StoreAPI],
+        quarantine_base: float = 0.25,
+        quarantine_cap: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if not clients:
             raise StoreError("ReplicaPool needs at least one client")
+        if quarantine_base < 0 or quarantine_cap < 0:
+            raise StoreError("quarantine_base and quarantine_cap must be >= 0")
         self.clients = list(clients)
+        self.quarantine_base = quarantine_base
+        self.quarantine_cap = quarantine_cap
+        self._clock = clock
+        self._failures = [0] * len(self.clients)
+        self._benched_until = [0.0] * len(self.clients)
         self._cursor = 0
         self._lock = threading.Lock()
 
-    def _rotation(self) -> List[StoreAPI]:
-        """The replicas in call order for one request (full cycle)."""
+    def _rotation(self) -> List[int]:
+        """Replica indexes in call order for one request.
+
+        Benched replicas are skipped — unless *every* replica is benched,
+        in which case the full rotation is the only option left.
+        """
         with self._lock:
             start = self._cursor
             self._cursor = (self._cursor + 1) % len(self.clients)
-        return [
-            self.clients[(start + offset) % len(self.clients)]
-            for offset in range(len(self.clients))
-        ]
+            now = self._clock()
+            order = [
+                (start + offset) % len(self.clients)
+                for offset in range(len(self.clients))
+            ]
+            healthy = [index for index in order if self._benched_until[index] <= now]
+        return healthy if healthy else order
+
+    def _bench(self, index: int) -> None:
+        with self._lock:
+            self._failures[index] += 1
+            delay = min(
+                self.quarantine_cap,
+                self.quarantine_base * (2 ** (self._failures[index] - 1)),
+            )
+            self._benched_until[index] = self._clock() + delay
+
+    def _mark_healthy(self, index: int) -> None:
+        with self._lock:
+            self._failures[index] = 0
+            self._benched_until[index] = 0.0
+
+    def benched_replicas(self) -> List[int]:
+        """Indexes currently quarantined (for monitoring and tests)."""
+        with self._lock:
+            now = self._clock()
+            return [
+                index
+                for index in range(len(self.clients))
+                if self._benched_until[index] > now
+            ]
 
     def _invoke(self, method: str, *args: Any, **kwargs: Any) -> Any:
         errors: List[str] = []
-        for client in self._rotation():
+        for index in self._rotation():
             try:
-                return getattr(client, method)(*args, **kwargs)
+                result = getattr(self.clients[index], method)(*args, **kwargs)
             except (StoreConnectionError, ConnectionError, OSError) as error:
+                self._bench(index)
                 errors.append(f"{error}")
+            else:
+                self._mark_healthy(index)
+                return result
         raise StoreConnectionError(
             f"all {len(self.clients)} replicas failed for {method}: "
             + "; ".join(errors)
@@ -274,6 +333,14 @@ class ReplicaPool(StoreAPI):
 
     def prefix(self, tokens: Any, limit: Optional[int] = None) -> List[Record]:
         return list(self._invoke("prefix", tokens, limit=limit))
+
+    def multi_prefix(
+        self, prefixes: Sequence[Any], limit: Optional[int] = None
+    ) -> List[List[Record]]:
+        return [
+            list(records)
+            for records in self._invoke("multi_prefix", prefixes, limit=limit)
+        ]
 
     def top_k(self, k: int, order: str = "frequency") -> List[Record]:
         return self._invoke("top_k", k, order)
@@ -370,6 +437,14 @@ class ShardRouter(StoreAPI):
     same :class:`TopKAccumulator` the local store uses — each shard's k
     candidates are a superset of its contribution to the global k, so the
     merge is exact.
+
+    Multi-shard operations (``prefix``, ``top_k``, ``multi_get``) query
+    the relevant shards *in parallel* from a lazily-created thread pool,
+    so wall-clock latency is the slowest shard's, not the sum.  This is
+    safe with non-thread-safe member clients because each shard's client
+    is only ever driven by one worker at a time; the results are merged
+    in deterministic shard order, so answers are identical to the
+    sequential ones.
     """
 
     def __init__(self, clients: Sequence[StoreAPI]) -> None:
@@ -419,6 +494,8 @@ class ShardRouter(StoreAPI):
                 )
         self.shards = entries
         self._active = active
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
 
     # ------------------------------------------------------------ routing
     def _owner(self, key: Tuple) -> Optional[_ShardEntry]:
@@ -430,6 +507,25 @@ class ShardRouter(StoreAPI):
     def _any_client(self) -> StoreAPI:
         """A client for store-global operations (vocabulary, metadata)."""
         return self.shards[0].client
+
+    def _fan_out(self, items: List[Any], call: Callable[[Any], Any]) -> List[Any]:
+        """``[call(item) for item in items]``, but concurrently.
+
+        Results come back in ``items`` order, so merges downstream see the
+        same deterministic sequence a sequential loop would produce.  The
+        pool is created on first multi-shard query (sized to the shard
+        count — each worker drives a different shard's client) and lives
+        until :meth:`close`.
+        """
+        if len(items) <= 1:
+            return [call(item) for item in items]
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=len(self.shards), thread_name_prefix="shard-fanout"
+                )
+            executor = self._executor
+        return list(executor.map(call, items))
 
     # ------------------------------------------------------------- queries
     def get(self, ngram: Any, default: Any = None) -> Any:
@@ -448,10 +544,14 @@ class ShardRouter(StoreAPI):
                 grouped.setdefault(owner.index, []).append(position)
         by_index = {entry.index: entry for entry in self.shards}
         results: List[Any] = [default] * len(keys)
-        for shard_index, positions in grouped.items():
-            values = by_index[shard_index].client.multi_get(
-                [keys[position] for position in positions], default
-            )
+        shard_batches = sorted(grouped.items())
+        values_per_shard = self._fan_out(
+            shard_batches,
+            lambda batch: by_index[batch[0]].client.multi_get(
+                [keys[position] for position in batch[1]], default
+            ),
+        )
+        for (_, positions), values in zip(shard_batches, values_per_shard):
             for position, value in zip(positions, values):
                 results[position] = value
         return results
@@ -462,29 +562,44 @@ class ShardRouter(StoreAPI):
                 f"prefix limit must be a non-negative integer, got {limit!r}"
             )
         prefix = tuple(tokens)
+        # Every relevant shard is asked with the caller's full limit in
+        # parallel: each shard's capped result is a superset of its
+        # contribution to the first `limit` records of the in-order
+        # concatenation, so truncating after the merge yields exactly what
+        # the sequential remaining-limit loop produced.
+        relevant = [
+            entry for entry in self._active if entry.may_contain_prefix(prefix)
+        ]
+        per_shard = self._fan_out(
+            relevant, lambda entry: list(entry.client.prefix(prefix, limit=limit))
+        )
         records: List[Record] = []
-        for entry in self._active:
+        for shard_records in per_shard:
+            records.extend(shard_records)
             if limit is not None and len(records) >= limit:
                 break
-            if not entry.may_contain_prefix(prefix):
-                continue
-            remaining = None if limit is None else limit - len(records)
-            records.extend(entry.client.prefix(prefix, limit=remaining))
-        return records
+        return records if limit is None else records[:limit]
 
     def top_k(self, k: int, order: str = "frequency") -> List[Record]:
         validate_top_k(k, order)
+        per_shard = self._fan_out(
+            list(self._active), lambda entry: entry.client.top_k(k, order)
+        )
         if order == "key":
-            # Shards are in global key order; take from each until k.
+            # Shards are in global key order; the first k of the in-order
+            # concatenation are the global first k.
             records: List[Record] = []
-            for entry in self._active:
+            for shard_records in per_shard:
+                records.extend(shard_records)
                 if len(records) >= k:
                     break
-                records.extend(entry.client.top_k(k - len(records), order))
-            return records
+            return records[:k]
+        # Exact merge: each shard's local top-k is a superset of its
+        # contribution to the global top-k, and the accumulator's total
+        # order makes the result independent of offer order.
         accumulator = TopKAccumulator(k)
-        for entry in self._active:
-            for key, value in entry.client.top_k(k, order):
+        for shard_records in per_shard:
+            for key, value in shard_records:
                 accumulator.offer(key, value)
         return [NGramRecord(key, value) for key, value in accumulator.results()]
 
@@ -514,6 +629,10 @@ class ShardRouter(StoreAPI):
 
     # ----------------------------------------------------------- lifecycle
     def close(self) -> None:
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
         for entry in self.shards:
             try:
                 entry.client.close()

@@ -24,6 +24,9 @@ adapter in :mod:`repro.ngramstore.http`)::
     -> {"op": "prefix", "key": [3], "limit": 100}
     <- {"ok": true, "records": [[[3, 7], 42], ...], "truncated": false}
 
+    -> {"op": "multi_prefix", "keys": [[3], [9]], "limit": 100}
+    <- {"ok": true, "results": [{"records": [...], "truncated": false}, ...]}
+
     -> {"op": "top_k", "k": 10, "order": "frequency"}
     <- {"ok": true, "records": [[[0], 981], ...]}
 
@@ -47,6 +50,17 @@ client: a :class:`~repro.ngramstore.api.RemoteStore` that speaks the
 protocol and hands back the canonical records, exactly what
 :class:`NGramStore` itself returns — the serve-smoke CI step asserts that
 equivalence byte for byte.
+
+Newline-JSON is the *fallback*; the preferred framing is the binary
+protocol of :mod:`repro.ngramstore.wire`, negotiated on connect: a
+binary-capable client opens with the ``NGWIRE1\\n`` magic line, a
+binary-capable server answers with a framed hello and both sides switch
+to varint-framed binary messages carrying the same request/response
+objects.  A legacy JSON server parses the magic as a malformed request
+and answers an error line — the client sees the ``{`` byte, consumes the
+line and falls back to JSON.  A legacy JSON client never sends the magic
+and is served exactly as before.  Both framings feed the same
+:class:`QueryEngine`, so answers are value-identical by construction.
 """
 
 from __future__ import annotations
@@ -61,7 +75,7 @@ import warnings
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import ServerConfig
-from repro.exceptions import StoreConnectionError, StoreError
+from repro.exceptions import SerializationError, StoreConnectionError, StoreError
 from repro.ngramstore.api import (
     MAX_PREFIX_RECORDS,
     MAX_TOP_K,
@@ -72,6 +86,12 @@ from repro.ngramstore.api import (
 )
 from repro.ngramstore.reader import NGramStore
 from repro.ngramstore.table import BlockCache
+from repro.ngramstore.wire import (
+    WIRE_MAGIC,
+    encode_hello,
+    encode_message,
+    read_message,
+)
 
 __all__ = [
     "MAX_PREFIX_RECORDS",
@@ -333,33 +353,32 @@ class NGramStoreServer:
         try:
             reader = connection.makefile("rb")
             with reader:
+                first_line = True
                 while not self._shutdown.is_set():
                     line = reader.readline(MAX_REQUEST_BYTES + 1)
                     if not line:
                         return
+                    if (
+                        first_line
+                        and self.config.binary
+                        and line.rstrip(b"\r\n") == WIRE_MAGIC
+                    ):
+                        # Binary-capable client: answer the hello frame and
+                        # switch the whole connection to binary framing.
+                        self._serve_binary(connection, reader)
+                        return
+                    first_line = False
                     if len(line) > MAX_REQUEST_BYTES:
                         self._respond(
                             connection,
                             {"ok": False, "error": "request exceeds 1 MiB"},
                         )
                         return
-                    started = time.perf_counter()
-                    operation = "invalid"
                     try:
-                        request = json.loads(line)
-                        if not isinstance(request, dict):
-                            raise StoreError("request must be a JSON object")
-                        operation = str(request.get("op"))
-                        response = self._handle(operation, request)
-                        response["ok"] = True
-                    except (StoreError, KeyError, TypeError, ValueError) as error:
-                        response = {"ok": False, "error": f"{error}"}
-                    ok = response.get("ok", False)
-                    # Clamp to the known set: client-chosen strings must not
-                    # grow the metrics dict without bound on a long-lived server.
-                    bucket = operation if operation in OPERATIONS else "invalid"
-                    self.metrics.record(bucket, time.perf_counter() - started, ok)
-                    if not self._respond(connection, response):
+                        request: Any = json.loads(line)
+                    except ValueError as error:
+                        request = StoreError(f"request is not valid JSON: {error}")
+                    if not self._respond(connection, self._execute(request)):
                         return
         except OSError:
             pass  # client went away (or shutdown closed the socket underneath)
@@ -372,6 +391,54 @@ class NGramStoreServer:
                 pass
             self._slots.release()
 
+    def _serve_binary(self, connection: socket.socket, reader: Any) -> None:
+        """Serve one negotiated binary connection until it closes.
+
+        Framing errors (truncated, oversized or undecodable frames) end
+        the connection after one in-stream error message — past the frame
+        boundary nothing can be trusted, exactly like an unterminated JSON
+        line.  Requests that *decode* but are invalid are answered
+        in-stream and the connection lives on.
+        """
+        connection.sendall(encode_hello())
+        while not self._shutdown.is_set():
+            try:
+                request = read_message(reader, MAX_REQUEST_BYTES)
+            except SerializationError as error:
+                self._respond_binary(connection, {"ok": False, "error": f"{error}"})
+                return
+            if request is None:
+                return
+            if not self._respond_binary(connection, self._execute(request)):
+                return
+
+    def _execute(self, request: Any) -> Dict[str, Any]:
+        """One decoded request -> one response dict, with metrics recorded.
+
+        Shared by both framings — the protocols differ only in how bytes
+        become the request object and how the response object becomes
+        bytes.  Pass an exception as ``request`` to report a decode
+        failure through the same error/metrics path.
+        """
+        started = time.perf_counter()
+        operation = "invalid"
+        try:
+            if isinstance(request, Exception):
+                raise request
+            if not isinstance(request, dict):
+                raise StoreError("request must be a JSON object")
+            operation = str(request.get("op"))
+            response = self._handle(operation, request)
+            response["ok"] = True
+        except (StoreError, KeyError, TypeError, ValueError) as error:
+            response = {"ok": False, "error": f"{error}"}
+        ok = response.get("ok", False)
+        # Clamp to the known set: client-chosen strings must not
+        # grow the metrics dict without bound on a long-lived server.
+        bucket = operation if operation in OPERATIONS else "invalid"
+        self.metrics.record(bucket, time.perf_counter() - started, ok)
+        return response
+
     def _respond(self, connection: socket.socket, response: Dict[str, Any]) -> bool:
         try:
             payload = json.dumps(response, separators=(",", ":"))
@@ -383,6 +450,20 @@ class NGramStoreServer:
             )
         try:
             connection.sendall(payload.encode("utf-8") + b"\n")
+            return True
+        except OSError:
+            return False
+
+    def _respond_binary(self, connection: socket.socket, response: Dict[str, Any]) -> bool:
+        try:
+            message = encode_message(response)
+        except SerializationError as error:
+            # Mirror of the JSON path's non-serialisable-value fallback.
+            message = encode_message(
+                {"ok": False, "error": f"value is not wire-serialisable: {error}"}
+            )
+        try:
+            connection.sendall(message)
             return True
         except OSError:
             return False
@@ -431,6 +512,13 @@ class StoreClient(RemoteStore):
     ``timeout=`` is the deprecated pre-redesign knob: it set one budget
     for both connecting and reading.  Pass ``connect_timeout`` /
     ``read_timeout`` instead.
+
+    ``protocol`` selects the wire framing: ``"auto"`` (the default) opens
+    with the binary magic and falls back to newline-JSON when the server
+    turns out not to speak it; ``"binary"`` requires the binary protocol
+    (a JSON-only server is an error); ``"json"`` skips negotiation and
+    speaks newline-JSON, byte-compatible with pre-binary clients.  The
+    negotiated mode is visible as ``negotiated_protocol``.
     """
 
     def __init__(
@@ -443,6 +531,7 @@ class StoreClient(RemoteStore):
         read_timeout: float = 30.0,
         max_retries: int = 2,
         backoff: float = 0.05,
+        protocol: str = "auto",
     ) -> None:
         if timeout is not None:
             warnings.warn(
@@ -455,12 +544,18 @@ class StoreClient(RemoteStore):
             read_timeout = timeout
         if max_retries < 0:
             raise StoreError(f"max_retries must be >= 0, got {max_retries}")
+        if protocol not in ("auto", "binary", "json"):
+            raise StoreError(
+                f"protocol must be 'auto', 'binary' or 'json', got {protocol!r}"
+            )
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
         self.read_timeout = read_timeout
         self.max_retries = max_retries
         self.backoff = backoff
+        self.protocol = protocol
+        self.negotiated_protocol: Optional[str] = None
         self._socket: Optional[socket.socket] = None
         self._reader: Optional[Any] = None
         self._closed = False
@@ -499,6 +594,10 @@ class StoreClient(RemoteStore):
                 )
                 self._socket.settimeout(self.read_timeout)
                 self._reader = self._socket.makefile("rb")
+                if self.protocol == "json":
+                    self.negotiated_protocol = "json"
+                else:
+                    self._negotiate()
                 return
             except OSError as error:
                 self._drop()
@@ -509,25 +608,57 @@ class StoreClient(RemoteStore):
                     ) from error
                 time.sleep(self.backoff * (2 ** attempt))
 
+    def _negotiate(self) -> None:
+        """Offer the binary protocol; settle on what the server speaks.
+
+        The magic line is newline-terminated, so a legacy JSON server
+        parses it as one malformed request and answers an error line —
+        which necessarily starts with ``{``, a byte no binary hello frame
+        starts with (see :func:`repro.ngramstore.wire.encode_hello`).
+        Peeking that one byte tells the two servers apart without ever
+        desynchronising either stream.
+        """
+        self._socket.sendall(WIRE_MAGIC + b"\n")
+        peeked = self._reader.peek(1)
+        if not peeked:
+            raise ConnectionResetError("server closed during protocol negotiation")
+        if peeked[:1] == b"{":
+            # Legacy JSON server: it answered the magic with an error
+            # line.  Consume it and fall back (or fail, if binary was
+            # explicitly required).
+            self._reader.readline()
+            if self.protocol == "binary":
+                raise StoreConnectionError(
+                    f"store server {self.host}:{self.port} does not speak the "
+                    "binary protocol (protocol='binary' was required)"
+                )
+            self.negotiated_protocol = "json"
+            return
+        hello = read_message(self._reader, MAX_REQUEST_BYTES)
+        if not isinstance(hello, dict) or hello.get("protocol") != "binary":
+            raise StoreConnectionError(
+                f"store server {self.host}:{self.port} sent a malformed "
+                f"binary hello: {hello!r}"
+            )
+        self.negotiated_protocol = "binary"
+
     def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
         if self._closed:
             raise StoreError("client is closed")
-        payload = json.dumps(request, separators=(",", ":")).encode("utf-8") + b"\n"
         attempts = self.max_retries + 1
-        line = b""
+        response: Any = None
         for attempt in range(attempts):
             try:
                 if self._socket is None:
                     self._connect()
-                self._socket.sendall(payload)
-                line = self._reader.readline()
-                if line:
-                    break
-                raise ConnectionResetError("server closed the connection")
-            except OSError as error:
+                response = self._exchange(request)
+                break
+            except (OSError, SerializationError) as error:
                 # Reads are idempotent, so resending after a reconnect is
                 # safe; a connection that stays dead through the retry
-                # budget is a dead endpoint.
+                # budget is a dead endpoint.  A framing error
+                # (SerializationError) means the stream cannot be trusted
+                # past this point — same remedy, reconnect.
                 self._drop()
                 if attempt + 1 >= attempts:
                     raise StoreConnectionError(
@@ -535,10 +666,28 @@ class StoreClient(RemoteStore):
                         f"{error}"
                     ) from error
                 time.sleep(self.backoff * (2 ** attempt))
-        response = json.loads(line)
         if not response.get("ok"):
             raise StoreError(f"server error: {response.get('error', 'unknown')}")
         return response
+
+    def _exchange(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request and read its response on the live connection."""
+        if self.negotiated_protocol == "binary":
+            self._socket.sendall(encode_message(request))
+            response = read_message(self._reader)
+            if response is None:
+                raise ConnectionResetError("server closed the connection")
+            if not isinstance(response, dict):
+                raise SerializationError(
+                    f"binary response is {type(response).__name__}, expected dict"
+                )
+            return response
+        payload = json.dumps(request, separators=(",", ":")).encode("utf-8") + b"\n"
+        self._socket.sendall(payload)
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        return json.loads(line)
 
     # ----------------------------------------------------------- lifecycle
     def close(self) -> None:

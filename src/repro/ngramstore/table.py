@@ -14,6 +14,7 @@ to blocks instead of keys) keeps the working set bounded by
 from __future__ import annotations
 
 import heapq
+import mmap
 import os
 import threading
 from bisect import bisect_left, bisect_right
@@ -29,12 +30,14 @@ from repro.ngramstore.format import (
     MAGIC,
     BlockHandle,
     decode_block,
+    decode_block_view,
     encode_block,
     read_footer,
     read_index,
     write_footer,
     write_index,
 )
+from repro.util.bloom import DEFAULT_BITS_PER_KEY, BloomFilter
 from repro.util.codecs import get_codec
 
 Record = Tuple[Any, Any]
@@ -256,13 +259,19 @@ class TableWriter:
         codec: str = "none",
         records_per_block: int = DEFAULT_RECORDS_PER_BLOCK,
         metadata: Optional[Dict[str, Any]] = None,
+        bloom_bits_per_key: int = DEFAULT_BITS_PER_KEY,
     ) -> None:
         if records_per_block < 1:
             raise StoreError(f"records_per_block must be >= 1, got {records_per_block}")
+        if bloom_bits_per_key < 0:
+            raise StoreError(
+                f"bloom_bits_per_key must be >= 0 (0 disables), got {bloom_bits_per_key}"
+            )
         self.path = path
         self.codec_name = codec
         self._codec = get_codec(codec)
         self.records_per_block = records_per_block
+        self.bloom_bits_per_key = bloom_bits_per_key
         self.metadata = dict(metadata) if metadata else {}
         self.num_records = 0
         self.serialized_bytes = 0
@@ -280,6 +289,11 @@ class TableWriter:
         offset = self._handle.tell()
         payload = encode_block(self._buffer, self._codec)
         self._handle.write(payload)
+        bloom = None
+        if self.bloom_bits_per_key:
+            bloom = BloomFilter.build(
+                [key for key, _ in self._buffer], self.bloom_bits_per_key
+            ).to_spec()
         self._index.append(
             BlockHandle(
                 first_key=self._buffer[0][0],
@@ -288,6 +302,7 @@ class TableWriter:
                 length=len(payload),
                 num_records=len(self._buffer),
                 max_value=_block_max_value(self._buffer),
+                bloom=bloom,
             )
         )
         self._buffer = []
@@ -366,6 +381,15 @@ class Table:
     across several tables (cache entries are then namespaced by the table's
     absolute path); otherwise the table owns a private cache of
     ``cache_blocks`` entries.
+
+    With ``use_mmap`` (the default) an uncompressed table is mapped into
+    memory and block reads become lock-free ``memoryview`` slices decoded
+    in place — no seek, no read-copy.  Compressed tables, and platforms
+    where :func:`mmap.mmap` fails (empty files, exotic filesystems), fall
+    back to the locked seek+read path transparently; results are identical
+    either way.  ``blocks_decoded`` and ``bloom_rejections`` count the I/O
+    decisions for benchmarks and tests: a point miss answered by a block's
+    Bloom filter bumps ``bloom_rejections`` and decodes nothing.
     """
 
     def __init__(
@@ -373,6 +397,7 @@ class Table:
         path: str,
         cache_blocks: int = DEFAULT_CACHE_BLOCKS,
         cache: Optional[BlockCache] = None,
+        use_mmap: bool = True,
     ) -> None:
         self.path = path
         self._handle = open(path, "rb")
@@ -390,7 +415,19 @@ class Table:
         # openings of the same (immutable) file share entries.
         self._cache_namespace = os.path.abspath(path) if self._shared_cache else None
         self._first_keys = [entry.first_key for entry in self._index]
+        self._blooms = [BloomFilter.from_spec(entry.bloom) for entry in self._index]
         self._io_lock = threading.Lock()
+        self._mmap: Optional[mmap.mmap] = None
+        if use_mmap and self._footer["codec"] == "none":
+            # Zero-copy only pays off when block bytes are the record frames
+            # themselves; a compressed block must be copied to decompress
+            # anyway, so those tables keep the plain-file path.
+            try:
+                self._mmap = mmap.mmap(self._handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except (OSError, ValueError):
+                self._mmap = None
+        self.blocks_decoded = 0
+        self.bloom_rejections = 0
         self._closed = False
 
     # ----------------------------------------------------------- properties
@@ -423,6 +460,11 @@ class Table:
         """Counters of this table's cache (cache-wide totals when shared)."""
         return self._cache.stats
 
+    @property
+    def mmap_active(self) -> bool:
+        """True when block reads are zero-copy mmap slices."""
+        return self._mmap is not None
+
     def block_first_keys(self) -> List[Any]:
         """Every block's first key, from the index alone (no block reads).
 
@@ -452,15 +494,26 @@ class Table:
         # Concurrent misses on the same block both decode and both put —
         # harmless duplicate work; what must be serialised is the shared
         # handle's seek+read pair, or two readers interleave positions.
-        with self._io_lock:
-            self._handle.seek(entry.offset)
-            payload = self._handle.read(entry.length)
-        if len(payload) != entry.length:
-            raise StoreError(
-                f"truncated block {block_index} in {self.path!r}: "
-                f"expected {entry.length} bytes, got {len(payload)}"
-            )
-        records = decode_block(payload, self._codec)
+        # The mmap path has no shared cursor, so it takes no lock at all.
+        if self._mmap is not None:
+            if entry.offset + entry.length > len(self._mmap):
+                raise StoreError(
+                    f"truncated block {block_index} in {self.path!r}: "
+                    f"block at offset {entry.offset} overruns the mapped file"
+                )
+            view = memoryview(self._mmap)[entry.offset : entry.offset + entry.length]
+            records = decode_block_view(view)
+        else:
+            with self._io_lock:
+                self._handle.seek(entry.offset)
+                payload = self._handle.read(entry.length)
+            if len(payload) != entry.length:
+                raise StoreError(
+                    f"truncated block {block_index} in {self.path!r}: "
+                    f"expected {entry.length} bytes, got {len(payload)}"
+                )
+            records = decode_block(payload, self._codec)
+        self.blocks_decoded += 1
         if len(records) != entry.num_records:
             raise StoreError(
                 f"block {block_index} in {self.path!r} decoded to {len(records)} "
@@ -483,10 +536,19 @@ class Table:
 
     # ------------------------------------------------------------- queries
     def get(self, key: Any, default: Any = None) -> Any:
-        """Point lookup: binary search the index, decode one block, bisect it."""
+        """Point lookup: binary search the index, decode one block, bisect it.
+
+        When the candidate block carries a Bloom filter, a filter miss
+        answers the lookup from the index alone — no block is read or
+        decoded (``bloom_rejections`` counts these short-circuits).
+        """
         self._check_open()
         block_index = self._block_for_key(key)
         if block_index is None:
+            return default
+        bloom = self._blooms[block_index]
+        if bloom is not None and not bloom.might_contain(key):
+            self.bloom_rejections += 1
             return default
         keys, records = self._load_block(block_index)
         position = bisect_left(keys, key)
@@ -578,6 +640,11 @@ class Table:
             # A shared cache outlives any one table; its entries are evicted
             # by LRU pressure, not by a table closing.
             self._cache.clear()
+        if self._mmap is not None:
+            # decode_block_view copies records out via pickle.loads, so no
+            # cached block holds a live view into the map — safe to close.
+            self._mmap.close()
+            self._mmap = None
         self._handle.close()
 
     def __enter__(self) -> "Table":

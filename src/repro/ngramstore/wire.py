@@ -1,0 +1,212 @@
+"""Binary wire protocol of the n-gram store query server.
+
+The server's original wire format is newline-delimited JSON: one request
+object per line, one response object per line.  That is robust and
+debuggable but pays JSON's text overhead on every record and one full
+round-trip per request.  This module is the binary alternative the server
+and :class:`~repro.ngramstore.server.StoreClient` negotiate on connect:
+
+* **Framing** — every message is one varint-length-prefixed byte frame,
+  the exact framing of :func:`repro.mapreduce.serialization.write_frame`
+  that spill files and store data blocks already use.  ``MAX_*_BYTES``
+  caps reject hostile lengths before any allocation.
+* **Payload** — a tagged binary encoding of the *same* JSON-able
+  request/response dicts the JSON protocol carries (see
+  :class:`~repro.ngramstore.api.QueryEngine`), so both protocols are thin
+  shells around one transport-independent engine and answers are
+  value-identical by construction.
+
+Value encoding, one tag byte per value::
+
+    0x00 null            0x03 non-negative int: varint(value)
+    0x01 true            0x04 negative int:     varint(-1 - value)
+    0x02 false           0x05 float:            8 bytes little-endian IEEE 754
+    0x06 str:   varint(len) + UTF-8 bytes
+    0x07 list:  varint(count) + items          (tuples encode as lists,
+    0x08 dict:  varint(count) + key/value      matching JSON semantics)
+                pairs, keys always str
+
+Integers are arbitrary precision (decoded with ``max_bits=None``) because
+JSON's are — an n-gram count cannot overflow the protocol.
+
+**Negotiation** (see :mod:`repro.ngramstore.server`): a binary-capable
+client opens with the ``NGWIRE1`` magic line, terminated by ``\\n`` so a
+legacy JSON server parses it as one (malformed) JSON request and answers
+with an error line instead of hanging.  A binary-capable server answers
+the magic with a framed hello dict; the client peeks the first response
+byte — ``{`` (0x7b) can only be a legacy server's JSON error line, any
+other byte is the hello frame's varint length prefix (the hello is kept
+far shorter than 0x7b bytes, which :func:`encode_hello` asserts).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, BinaryIO, Optional, Tuple
+
+from repro.exceptions import SerializationError
+from repro.mapreduce.serialization import read_frame
+from repro.util.varint import decode_varint, encode_varint
+
+#: Magic line a binary-capable client sends on connect (newline-terminated
+#: on the wire so legacy JSON servers answer in-stream instead of hanging).
+WIRE_MAGIC = b"NGWIRE1"
+
+#: Version negotiated in the server's hello frame (bump on incompatible
+#: changes to the value encoding or the framing).
+WIRE_VERSION = 1
+
+#: The byte a legacy JSON server's in-stream error line starts with; the
+#: hello frame's first byte must always differ (see :func:`encode_hello`).
+_JSON_OBJECT_OPEN = 0x7B  # ord("{")
+
+_TAG_NULL = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT_POS = 0x03
+_TAG_INT_NEG = 0x04
+_TAG_FLOAT = 0x05
+_TAG_STR = 0x06
+_TAG_LIST = 0x07
+_TAG_DICT = 0x08
+
+_FLOAT_STRUCT = struct.Struct("<d")
+
+
+def _encode_value(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out.append(_TAG_NULL)
+    elif obj is True:
+        out.append(_TAG_TRUE)
+    elif obj is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(obj, int):
+        if obj >= 0:
+            out.append(_TAG_INT_POS)
+            out.extend(encode_varint(obj))
+        else:
+            out.append(_TAG_INT_NEG)
+            out.extend(encode_varint(-1 - obj))
+    elif isinstance(obj, float):
+        out.append(_TAG_FLOAT)
+        out.extend(_FLOAT_STRUCT.pack(obj))
+    elif isinstance(obj, str):
+        encoded = obj.encode("utf-8")
+        out.append(_TAG_STR)
+        out.extend(encode_varint(len(encoded)))
+        out.extend(encoded)
+    elif isinstance(obj, (list, tuple)):
+        out.append(_TAG_LIST)
+        out.extend(encode_varint(len(obj)))
+        for item in obj:
+            _encode_value(item, out)
+    elif isinstance(obj, dict):
+        out.append(_TAG_DICT)
+        out.extend(encode_varint(len(obj)))
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"wire dict keys must be str, got {type(key).__name__}"
+                )
+            encoded = key.encode("utf-8")
+            out.extend(encode_varint(len(encoded)))
+            out.extend(encoded)
+            _encode_value(value, out)
+    else:
+        raise SerializationError(
+            f"cannot wire-encode object of type {type(obj).__name__}"
+        )
+
+
+def _decode_value(data: Any, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise SerializationError("truncated wire value: missing tag byte")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NULL:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT_POS:
+        return decode_varint(data, offset, max_bits=None)
+    if tag == _TAG_INT_NEG:
+        magnitude, offset = decode_varint(data, offset, max_bits=None)
+        return -1 - magnitude, offset
+    if tag == _TAG_FLOAT:
+        if offset + 8 > len(data):
+            raise SerializationError("truncated wire value: short float")
+        return _FLOAT_STRUCT.unpack_from(data, offset)[0], offset + 8
+    if tag == _TAG_STR:
+        length, offset = decode_varint(data, offset)
+        if offset + length > len(data):
+            raise SerializationError("truncated wire value: short string")
+        return str(bytes(data[offset : offset + length]), "utf-8"), offset + length
+    if tag == _TAG_LIST:
+        count, offset = decode_varint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _TAG_DICT:
+        count, offset = decode_varint(data, offset)
+        result = {}
+        for _ in range(count):
+            length, offset = decode_varint(data, offset)
+            if offset + length > len(data):
+                raise SerializationError("truncated wire value: short dict key")
+            key = str(bytes(data[offset : offset + length]), "utf-8")
+            offset += length
+            result[key], offset = _decode_value(data, offset)
+        return result, offset
+    raise SerializationError(f"unknown wire tag byte 0x{tag:02x}")
+
+
+def encode_value(obj: Any) -> bytes:
+    """Encode one JSON-able value (without framing)."""
+    out = bytearray()
+    _encode_value(obj, out)
+    return bytes(out)
+
+
+def decode_value(data: Any) -> Any:
+    """Invert :func:`encode_value`; rejects trailing garbage."""
+    value, offset = _decode_value(data, 0)
+    if offset != len(data):
+        raise SerializationError(
+            f"wire value decoded at {offset} bytes but frame holds {len(data)}"
+        )
+    return value
+
+
+def encode_message(obj: Any) -> bytes:
+    """One ready-to-send frame: varint length prefix + encoded value."""
+    payload = encode_value(obj)
+    return encode_varint(len(payload)) + payload
+
+
+def read_message(reader: BinaryIO, max_bytes: Optional[int] = None) -> Optional[Any]:
+    """Read and decode one frame; ``None`` at a clean end-of-stream.
+
+    Truncated frames, oversized frames and undecodable payloads all raise
+    :class:`~repro.exceptions.SerializationError` — the caller (server or
+    client) treats any of them as a broken peer and closes the connection,
+    exactly as the JSON protocol treats an oversized or unterminated line.
+    """
+    payload = read_frame(reader, max_bytes)
+    if payload is None:
+        return None
+    return decode_value(payload)
+
+
+def encode_hello() -> bytes:
+    """The framed hello a binary server answers the magic line with."""
+    message = encode_message({"protocol": "binary", "version": WIRE_VERSION})
+    # Auto-negotiating clients tell a binary server from a legacy JSON one
+    # by this frame's first byte: anything but ``{`` means binary.  The
+    # hello is tiny, so its one-byte varint length can never be 0x7b.
+    if message[0] == _JSON_OBJECT_OPEN:
+        raise SerializationError("hello frame collides with JSON negotiation byte")
+    return message

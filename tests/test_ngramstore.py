@@ -739,3 +739,144 @@ class TestTopKRecords:
     def test_key_order(self):
         records = [((2,), 5), ((1,), 5), ((3,), 9)]
         assert top_k_records(iter(records), 2, "key") == [((1,), 5), ((2,), 5)]
+
+
+# ----------------------------------------------------- bloom + mmap fast path
+class TestBloomFilteredReads:
+    def test_blooms_persisted_per_block(self, tmp_path, records):
+        path = str(tmp_path / "bloomed.ngt")
+        with TableWriter(path, records_per_block=32) as writer:
+            writer.extend(records)
+        with Table(path) as table:
+            assert all(entry.bloom is not None for entry in table._index)
+
+    def test_point_miss_decodes_zero_blocks(self, tmp_path, records):
+        """The fast path the filters exist for: a filtered miss is free."""
+        path = str(tmp_path / "bloomed.ngt")
+        with TableWriter(path, records_per_block=32) as writer:
+            writer.extend(records)
+        present = {key for key, _ in records}
+        with Table(path) as table:
+            # In-range misses (so the index alone cannot reject them) that
+            # the filter screens out: each must touch zero data blocks.
+            rng = random.Random(7)
+            filtered_misses = 0
+            while filtered_misses < 20:
+                key = tuple(rng.randint(0, 40) for _ in range(3))
+                if key in present or not table.min_key <= key <= table.max_key:
+                    continue
+                before = table.blocks_decoded
+                if table.get(key) is None and table.blocks_decoded == before:
+                    filtered_misses += 1
+            assert table.bloom_rejections >= filtered_misses
+            # Hits are never filtered out (no false negatives end to end).
+            for key, value in records[::17]:
+                assert table.get(key) == value
+
+    def test_bloom_disabled_reads_identically(self, tmp_path, records):
+        plain = str(tmp_path / "plain.ngt")
+        with TableWriter(plain, records_per_block=32, bloom_bits_per_key=0) as writer:
+            writer.extend(records)
+        with Table(plain) as table:
+            assert all(entry.bloom is None for entry in table._index)
+            assert list(table) == records
+            assert table.get((999, 999)) is None
+            assert table.bloom_rejections == 0
+
+    def test_writer_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(StoreError, match="bloom_bits_per_key"):
+            TableWriter(str(tmp_path / "t.ngt"), bloom_bits_per_key=-1)
+
+    def test_legacy_index_without_blooms_still_served(self, tmp_path, monkeypatch, records):
+        """Tables written before blooms existed read byte-identically."""
+        import repro.ngramstore.format as format_module
+        import repro.ngramstore.table as table_module
+
+        real_write_index = format_module.write_index
+
+        def legacy_write_index(handle, index):
+            # Plain 6-tuples, exactly what a pre-bloom writer pickled — the
+            # read path must fill bloom from the NamedTuple default.
+            legacy = [tuple(entry)[:6] for entry in index]
+            return real_write_index(handle, legacy)
+
+        monkeypatch.setattr(table_module, "write_index", legacy_write_index)
+        legacy_path = str(tmp_path / "legacy.ngt")
+        with TableWriter(legacy_path, records_per_block=32) as writer:
+            writer.extend(records)
+        monkeypatch.undo()
+        modern_path = str(tmp_path / "modern.ngt")
+        with TableWriter(modern_path, records_per_block=32) as writer:
+            writer.extend(records)
+
+        with Table(legacy_path) as legacy, Table(modern_path) as modern:
+            assert all(entry.bloom is None for entry in legacy._index)
+            # max_value summaries (the older index addition) still present.
+            assert [e.max_value for e in legacy._index] == [
+                e.max_value for e in modern._index
+            ]
+            assert list(legacy) == list(modern) == records
+            probes = [key for key, _ in records[::13]] + [(999, 999), (0,)]
+            assert [legacy.get(key) for key in probes] == [
+                modern.get(key) for key in probes
+            ]
+            assert legacy.top_k(9) == modern.top_k(9)
+            assert legacy.bloom_rejections == 0  # nothing to filter with
+
+
+class TestMmapReads:
+    def test_mmap_active_and_identical_to_file_io(self, tmp_path, records):
+        path = str(tmp_path / "table.ngt")
+        with TableWriter(path, records_per_block=32) as writer:
+            writer.extend(records)
+        with Table(path, use_mmap=True) as mapped, Table(path, use_mmap=False) as plain:
+            assert mapped.mmap_active
+            assert not plain.mmap_active
+            assert list(mapped) == list(plain) == records
+            probes = [key for key, _ in records[::11]] + [(999, 999)]
+            assert [mapped.get(key) for key in probes] == [
+                plain.get(key) for key in probes
+            ]
+            assert mapped.top_k(8) == plain.top_k(8)
+
+    def test_compressed_tables_fall_back_to_file_io(self, tmp_path, records):
+        path = str(tmp_path / "compressed.ngt")
+        with TableWriter(path, records_per_block=32, codec="gzip") as writer:
+            writer.extend(records)
+        with Table(path, use_mmap=True) as table:
+            assert not table.mmap_active  # zero-copy needs uncompressed blocks
+            assert list(table) == records
+
+    def test_store_threads_mmap_flag_and_reports_io_stats(self, tmp_path, records):
+        store_dir = str(tmp_path / "store")
+        build_store(
+            records, store_dir, store=StoreConfig(num_partitions=3, records_per_block=16)
+        )
+        with NGramStore.open(store_dir) as mapped, NGramStore.open(
+            store_dir, use_mmap=False
+        ) as plain:
+            assert [mapped.get(key) for key, _ in records[::7]] == [
+                plain.get(key) for key, _ in records[::7]
+            ]
+            assert list(mapped.items()) == list(plain.items())
+            mapped_stats = mapped.io_stats()
+            assert mapped_stats["mmap_partitions"] == 3
+            assert mapped_stats["blocks_decoded"] > 0
+            assert plain.io_stats()["mmap_partitions"] == 0
+
+    def test_store_point_misses_skip_decoding(self, tmp_path, records):
+        store_dir = str(tmp_path / "store")
+        build_store(
+            records, store_dir, store=StoreConfig(num_partitions=2, records_per_block=16)
+        )
+        present = {key for key, _ in records}
+        with NGramStore.open(store_dir) as store:
+            rng = random.Random(31)
+            misses = 0
+            while misses < 50:
+                key = tuple(rng.randint(0, 40) for _ in range(3))
+                if key in present:
+                    continue
+                assert store.get(key) is None
+                misses += 1
+            assert store.io_stats()["bloom_rejections"] > 0

@@ -165,6 +165,16 @@ class TestConformance:
             assert list(api.prefix((term,), limit=3)) == records[:3]
         assert list(api.prefix((MAX_TERM + 1000,))) == []
 
+    def test_multi_prefix(self, api, reference):
+        prefixes = [(term,) for term in reference["prefixes"]]
+        expected = [records for records in reference["prefixes"].values()]
+        assert api.multi_prefix(prefixes) == expected
+        assert api.multi_prefix(prefixes, limit=2) == [
+            records[:2] for records in expected
+        ]
+        assert api.multi_prefix([]) == []
+        assert api.multi_prefix([(MAX_TERM + 1000,)]) == [[]]
+
     def test_top_k_frequency_and_key_order(self, api, reference):
         assert api.top_k(12) == reference["top_frequency"]
         assert api.top_k(12, order="key") == reference["top_key"]

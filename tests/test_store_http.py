@@ -217,6 +217,60 @@ class TestHttpStoreClient:
 
         with ThreadPoolExecutor(max_workers=6) as pool:
             assert all(pool.map(hammer, range(10)))
+        # The pool never grows past the caller concurrency level.
+        assert 1 <= client.connections_opened <= 6
+        client.close()
+
+    def test_keep_alive_reuses_one_connection(self, base_url, expected):
+        """Sequential calls ride one persistent connection, not one each."""
+        with HttpStoreClient(base_url) as client:
+            keys = sorted(expected)[::19]
+            for key in keys:
+                assert client.get(key) == expected[key]
+            assert client.top_k(5)
+            assert client.ping()
+            assert client.connections_opened == 1
+
+    def test_stale_pooled_connection_retried_without_burning_budget(
+        self, base_url, expected
+    ):
+        """A keep-alive socket the server idled out is a free retry."""
+        client = HttpStoreClient(base_url, max_retries=0)  # zero retry budget
+        try:
+            assert client.ping()
+            assert client.connections_opened == 1
+            (pooled,) = client._idle
+            pooled.sock.close()  # sever it under the client: stale keep-alive
+            key = sorted(expected)[0]
+            assert client.get(key) == expected[key]  # fresh dial, no error
+            assert client.connections_opened == 2
+        finally:
+            client.close()
+
+    def test_application_errors_keep_the_connection(self, base_url):
+        """4xx answers are data, not transport failures: no re-dial."""
+        with HttpStoreClient(base_url) as client:
+            assert client.ping()
+            for _ in range(3):
+                with pytest.raises(StoreError, match="unknown op"):
+                    client._call({"op": "frobnicate"})
+            assert client.ping()
+            assert client.connections_opened == 1
+
+    def test_close_drains_the_pool(self, base_url):
+        client = HttpStoreClient(base_url)
+        assert client.ping()
+        client.close()
+        assert client._idle == []
+        with pytest.raises(StoreError, match="closed"):
+            client.ping()
+        client.close()  # idempotent
+
+    def test_invalid_url_rejected(self):
+        with pytest.raises(StoreError, match="http"):
+            HttpStoreClient("not-a-url")
+        with pytest.raises(StoreError, match="http"):
+            HttpStoreClient("ftp://example.com/store")
 
 
 class TestServeHTTPCLI:

@@ -204,6 +204,107 @@ class TestReplicaPool:
         with pytest.raises(StoreError, match="at least one"):
             ReplicaPool([])
 
+    def test_negative_quarantine_rejected(self):
+        with pytest.raises(StoreError, match="quarantine"):
+            ReplicaPool([_ScriptedReplica("a")], quarantine_base=-1)
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestReplicaQuarantine:
+    """Failed replicas sit out with exponential backoff, then re-earn trust."""
+
+    def make_pool(self, replicas, clock):
+        return ReplicaPool(replicas, quarantine_base=0.25, quarantine_cap=30.0, clock=clock)
+
+    def test_failed_replica_not_retried_until_backoff_expires(self):
+        clock = _FakeClock()
+        dead = _ScriptedReplica("a", dead=True)
+        live = _ScriptedReplica("b")
+        pool = self.make_pool([dead, live], clock)
+        assert pool.get((1,)) == "b"  # first cycle tries and benches "a"
+        assert pool.benched_replicas() == [0]
+        tried = dead.calls
+        for _ in range(10):
+            assert pool.get((1,)) == "b"
+        assert dead.calls == tried  # benched: not even probed
+        clock.now += 0.26  # past the base delay
+        # One full rotation pair: whichever call starts at "a" probes it.
+        assert {pool.get((1,)), pool.get((1,))} == {"b"}
+        assert dead.calls == tried + 1  # probed again exactly once
+
+    def test_backoff_doubles_per_consecutive_failure(self):
+        clock = _FakeClock()
+        dead = _ScriptedReplica("a", dead=True)
+        pool = self.make_pool([dead, _ScriptedReplica("b")], clock)
+        pool.get((1,))  # failure #1 -> benched 0.25s
+        for expected_delay in (0.25, 0.5, 1.0, 2.0):
+            tried = dead.calls
+            clock.now += expected_delay - 0.01  # just short of the bench
+            pool.get((1,))
+            assert dead.calls == tried
+            clock.now += 0.02  # cross it: the probe fails again, doubling
+            pool.get((1,))
+            assert dead.calls == tried + 1
+
+    def test_backoff_is_capped(self):
+        clock = _FakeClock()
+        dead = _ScriptedReplica("a", dead=True)
+        pool = ReplicaPool(
+            [dead, _ScriptedReplica("b")], quarantine_base=0.25, quarantine_cap=1.0, clock=clock
+        )
+        for _ in range(12):  # uncapped this would bench for ~8 minutes
+            pool.get((1,))
+            clock.now += 1.01
+        tried = dead.calls
+        clock.now += 1.01
+        pool.get((1,))
+        assert dead.calls == tried + 1  # still probed every ~cap seconds
+
+    def test_success_resets_the_backoff(self):
+        clock = _FakeClock()
+        flaky = _ScriptedReplica("a", dead=True)
+        pool = self.make_pool([flaky, _ScriptedReplica("b")], clock)
+        for _ in range(4):  # every probe of "a" fails, escalating its bench
+            pool.get((1,))
+            clock.now += 40
+        assert flaky.calls >= 2
+        flaky.dead = False
+        # One full rotation pair lands one call on the recovered replica.
+        assert "a" in {pool.get((1,)), pool.get((1,))}
+        assert pool.benched_replicas() == []
+        flaky.dead = True
+        pool.get((1,))
+        pool.get((1,))  # the pair contains exactly one fresh failure
+        tried = flaky.calls
+        clock.now += 0.26  # base delay again, not the escalated one
+        pool.get((1,))
+        pool.get((1,))
+        assert flaky.calls == tried + 1
+
+    def test_all_benched_still_tries_everyone(self):
+        """Total outage: quarantine must not make the pool unservable."""
+        clock = _FakeClock()
+        replicas = [_ScriptedReplica(tag, dead=True) for tag in ("a", "b")]
+        pool = self.make_pool(replicas, clock)
+        with pytest.raises(StoreConnectionError, match="all 2 replicas failed"):
+            pool.get((1,))
+        assert pool.benched_replicas() == [0, 1]
+        # No clock advance: every replica is benched, yet all are retried.
+        calls = [replica.calls for replica in replicas]
+        with pytest.raises(StoreConnectionError):
+            pool.get((1,))
+        assert [replica.calls for replica in replicas] == [count + 1 for count in calls]
+        # One recovers: the pool notices on the next full-rotation attempt.
+        replicas[1].dead = False
+        assert pool.get((1,)) == "b"
+
 
 class TestShardRouterLocal:
     """Router over in-process ShardViews (no sockets): pure routing logic."""
@@ -268,3 +369,53 @@ class TestShardRouterLocal:
         with NGramStore.open(store_dir) as plain:
             with pytest.raises(StoreError, match="shard descriptor"):
                 ShardRouter([plain])
+
+    def test_parallel_fan_out_identical_to_local(self, store_dir, store):
+        """The thread-pool fan-out changes wall-clock, never answers."""
+        expected = dict(store.items())
+        router = self.make_router(store_dir, 3)
+        try:
+            terms = sorted({key[0] for key in expected})
+            for term in terms[::5]:
+                reference = list(store.prefix((term,)))
+                assert list(router.prefix((term,))) == reference
+                assert list(router.prefix((term,), limit=3)) == reference[:3]
+            prefixes = [(term,) for term in terms[:6]]
+            assert router.multi_prefix(prefixes) == [
+                list(store.prefix(prefix)) for prefix in prefixes
+            ]
+            assert router.multi_prefix(prefixes, limit=2) == [
+                list(store.prefix(prefix, limit=2)) for prefix in prefixes
+            ]
+            for k in (1, 9, 50):
+                assert router.top_k(k) == store.top_k(k)
+                assert router.top_k(k, order="key") == store.top_k(k, order="key")
+            # The queries above genuinely crossed shards in parallel.
+            assert router._executor is not None
+        finally:
+            router.close()
+            router.close()  # idempotent, including the executor shutdown
+
+    def test_fan_out_from_many_caller_threads(self, store_dir, store):
+        """Caller concurrency on top of shard fan-out stays correct."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        expected = dict(store.items())
+        terms = sorted({key[0] for key in expected})
+        reference = {term: list(store.prefix((term,))) for term in terms}
+        reference_top = store.top_k(7)
+        router = self.make_router(store_dir, 3)
+
+        def hammer(seed):
+            rng = random.Random(seed)
+            for _ in range(15):
+                term = rng.choice(terms)
+                assert list(router.prefix((term,))) == reference[term]
+            assert router.top_k(7) == reference_top
+            return True
+
+        try:
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                assert all(pool.map(hammer, range(8)))
+        finally:
+            router.close()

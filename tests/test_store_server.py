@@ -15,7 +15,7 @@ import pytest
 
 from repro.cli import main
 from repro.config import ServerConfig, StoreConfig
-from repro.exceptions import StoreError
+from repro.exceptions import StoreConnectionError, StoreError
 from repro.ngramstore import (
     BlockCache,
     NGramStore,
@@ -504,6 +504,113 @@ class TestClientResilience:
         finally:
             victim.close()
             survivor.close()
+
+
+class TestBinaryProtocol:
+    """Negotiation, the protocol matrix, and hostile binary frames."""
+
+    @pytest.mark.parametrize("protocol", ["auto", "binary", "json"])
+    def test_protocol_matrix_answers_identically(self, server, store_dir, expected, protocol):
+        """The acceptance bar: results byte-identical across protocols."""
+        with NGramStore.open(store_dir) as direct:
+            with StoreClient(server.host, server.port, protocol=protocol) as client:
+                assert client.negotiated_protocol == (
+                    "json" if protocol == "json" else "binary"
+                )
+                keys = sorted(expected)[::23] + [(9999,)]
+                assert [client.get(key) for key in keys] == [
+                    direct.get(key) for key in keys
+                ]
+                assert client.multi_get(keys) == [direct.get(key) for key in keys]
+                terms = sorted({key[0] for key in expected})[:3]
+                prefixes = [(term,) for term in terms]
+                assert client.multi_prefix(prefixes) == [
+                    list(direct.prefix(prefix)) for prefix in prefixes
+                ]
+                assert client.prefix(prefixes[0]) == list(direct.prefix(prefixes[0]))
+                assert client.top_k(10) == direct.top_k(10)
+                assert client.top_k(10, order="key") == direct.top_k(10, order="key")
+                assert client.stats() == direct.stats()
+                assert client.ping()
+
+    def test_auto_client_falls_back_on_json_only_server(self, store_dir, expected):
+        """Old deployments pin binary=False; new clients must still work."""
+        with NGramStoreServer(
+            store_dir, config=ServerConfig(port=0, binary=False)
+        ) as legacy:
+            key = sorted(expected)[0]
+            with StoreClient(legacy.host, legacy.port) as client:
+                assert client.negotiated_protocol == "json"
+                assert client.get(key) == expected[key]
+                assert client.ping()
+            with pytest.raises(StoreConnectionError, match="binary protocol"):
+                StoreClient(legacy.host, legacy.port, protocol="binary")
+
+    def test_binary_errors_answered_in_stream(self, server):
+        """Decodable-but-invalid requests keep the connection alive."""
+        with StoreClient(server.host, server.port, protocol="binary") as client:
+            with pytest.raises(StoreError, match="unknown op"):
+                client._call({"op": "frobnicate"})
+            with pytest.raises(StoreError, match="k must be"):
+                client.top_k(0)
+            assert client.ping()  # the connection survived both errors
+
+    def test_truncated_frame_closes_connection_not_server(self, server, expected):
+        """A chopped frame is answered with an error, then the stream dies."""
+        from repro.ngramstore.wire import WIRE_MAGIC, encode_message, read_message
+
+        with socket.create_connection((server.host, server.port), timeout=10) as raw:
+            reader = raw.makefile("rb")
+            raw.sendall(WIRE_MAGIC + b"\n")
+            assert read_message(reader)["protocol"] == "binary"
+            # A frame that claims more bytes than will ever arrive.
+            raw.sendall(encode_message({"op": "ping"})[:-2])
+            raw.shutdown(socket.SHUT_WR)
+            error = read_message(reader)
+            assert error["ok"] is False
+            assert reader.read() == b""  # server closed the stream after it
+        # The server itself survived and serves fresh connections.
+        with StoreClient(server.host, server.port) as client:
+            key = sorted(expected)[0]
+            assert client.get(key) == expected[key]
+
+    def test_oversized_frame_rejected(self, server):
+        from repro.ngramstore.server import MAX_REQUEST_BYTES
+        from repro.ngramstore.wire import WIRE_MAGIC, read_message
+        from repro.util.varint import encode_varint
+
+        with socket.create_connection((server.host, server.port), timeout=10) as raw:
+            reader = raw.makefile("rb")
+            raw.sendall(WIRE_MAGIC + b"\n")
+            assert read_message(reader)["protocol"] == "binary"
+            raw.sendall(encode_varint(MAX_REQUEST_BYTES + 1))
+            error = read_message(reader)
+            assert error["ok"] is False
+            assert "exceeds" in error["error"]
+
+    def test_binary_client_reconnects_after_drop(self, server, expected):
+        """The resilience path re-negotiates the protocol on reconnect."""
+        key = sorted(expected)[0]
+        with StoreClient(server.host, server.port, protocol="binary") as client:
+            assert client.get(key) == expected[key]
+            with server._connections_lock:
+                connections = list(server._connections)
+            for connection in connections:
+                connection.shutdown(socket.SHUT_RDWR)
+            assert client.get(key) == expected[key]
+            assert client.negotiated_protocol == "binary"
+
+    def test_multi_prefix_validation(self, server):
+        with StoreClient(server.host, server.port) as client:
+            assert client.multi_prefix([]) == []
+            with pytest.raises(StoreError, match="JSON array"):
+                client._call({"op": "multi_prefix", "keys": "nope"})
+            with pytest.raises(StoreError, match="limit"):
+                client._call({"op": "multi_prefix", "keys": [[1]], "limit": -2})
+
+    def test_invalid_protocol_argument(self, server):
+        with pytest.raises(StoreError, match="protocol"):
+            StoreClient(server.host, server.port, protocol="carrier-pigeon")
 
 
 class TestMetricsHelpers:

@@ -1,0 +1,182 @@
+"""Tests for the binary wire codec: round-trips, fuzz, hostile frames."""
+
+import io
+import random
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.ngramstore.wire import (
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    decode_value,
+    encode_hello,
+    encode_message,
+    encode_value,
+    read_message,
+)
+
+
+def round_trip(value, max_bytes=None):
+    """Encode through the full framed path and decode it back."""
+    stream = io.BytesIO(encode_message(value))
+    decoded = read_message(stream, max_bytes)
+    assert read_message(stream) is None  # exactly one frame, clean EOF after
+    return decoded
+
+
+SCALARS = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    127,
+    128,
+    -128,
+    2**31,
+    -(2**31) - 1,
+    10**30,  # arbitrary precision: larger than any varint cap
+    -(10**30),
+    0.0,
+    -0.0,
+    1.5,
+    -273.15,
+    1e300,
+    "",
+    "plain ascii",
+    "naïve — déjà vu",
+    "日本語のテキスト",
+    "emoji \U0001f600 and ☃",
+    "embedded\nnewline\tand\x00nul",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", SCALARS)
+    def test_scalars(self, value):
+        decoded = round_trip(value)
+        assert decoded == value
+        # bool/int fidelity: True must not come back as 1 or vice versa.
+        assert type(decoded) is type(value)
+
+    def test_containers(self):
+        for value in (
+            [],
+            {},
+            [[], {}, [[]]],
+            list(range(50)),
+            {"op": "multi_get", "keys": [[1, 2], [3]], "default": None},
+            {"records": [[[1, 2], 10], [[3], -4]], "truncated": False},
+            {"nested": {"deep": {"deeper": [1, "two", 3.0, None, True]}}},
+        ):
+            assert round_trip(value) == value
+
+    def test_tuples_encode_as_lists(self):
+        """JSON semantics: a tuple key arrives as a list, like json.dumps."""
+        assert round_trip((1, (2, 3))) == [1, [2, 3]]
+
+    def test_empty_batch_requests(self):
+        """The degenerate batches a client may legally send."""
+        for value in (
+            {"op": "multi_get", "keys": []},
+            {"op": "multi_prefix", "keys": []},
+            {"results": []},
+        ):
+            assert round_trip(value) == value
+
+    def test_huge_keys_and_values(self):
+        value = {
+            "key": ["x" * 100_000],
+            "values": [10**100, -(10**100)],
+            "blob": "é" * 50_000,
+        }
+        assert round_trip(value) == value
+
+    def test_fuzz_random_structures(self):
+        rng = random.Random(0xB13)
+
+        def build(depth):
+            choice = rng.randrange(8 if depth < 4 else 6)
+            if choice == 0:
+                return None
+            if choice == 1:
+                return rng.random() < 0.5
+            if choice == 2:
+                return rng.randint(-(10**12), 10**12)
+            if choice == 3:
+                return rng.uniform(-1e6, 1e6)
+            if choice == 4:
+                alphabet = "abz09 é中\U0001f600"
+                return "".join(rng.choice(alphabet) for _ in range(rng.randrange(12)))
+            if choice == 5:
+                return rng.randint(0, 2**70)  # beyond 64-bit
+            if choice == 6:
+                return [build(depth + 1) for _ in range(rng.randrange(6))]
+            return {
+                "".join(rng.choice("klmn") for _ in range(4)) + str(index): build(depth + 1)
+                for index in range(rng.randrange(5))
+            }
+
+        for _ in range(300):
+            value = build(0)
+            assert round_trip(value) == value
+
+
+class TestHostileInput:
+    def test_every_truncation_point_rejected(self):
+        """Chopping the frame anywhere must raise, never mis-decode."""
+        message = encode_message(
+            {"op": "multi_get", "keys": [[1, 2**40], ["naïve"]], "limit": -3, "x": 1.5}
+        )
+        for cut in range(1, len(message)):
+            with pytest.raises(SerializationError):
+                read_message(io.BytesIO(message[:cut]))
+
+    def test_oversized_frame_rejected_before_allocation(self):
+        message = encode_message({"blob": "x" * 10_000})
+        with pytest.raises(SerializationError, match="exceeds"):
+            read_message(io.BytesIO(message), max_bytes=64)
+
+    def test_trailing_garbage_rejected(self):
+        payload = encode_value({"ok": True}) + b"\x00"
+        with pytest.raises(SerializationError, match="frame holds"):
+            decode_value(payload)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError, match="tag byte 0x7f"):
+            decode_value(b"\x7f")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(SerializationError, match="missing tag"):
+            decode_value(b"")
+
+    def test_clean_eof_is_none_not_error(self):
+        assert read_message(io.BytesIO(b"")) is None
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(SerializationError, match="keys must be str"):
+            encode_value({1: "one"})
+
+    def test_unencodable_types_rejected(self):
+        for value in (b"bytes", {1, 2}, object()):
+            with pytest.raises(SerializationError, match="cannot wire-encode"):
+                encode_value(value)
+
+
+class TestNegotiation:
+    def test_hello_first_byte_is_not_json(self):
+        """The auto-detect hinge: a hello frame can never start with '{'."""
+        hello = encode_hello()
+        assert hello[0] != ord("{")
+        decoded = read_message(io.BytesIO(hello))
+        assert decoded == {"protocol": "binary", "version": WIRE_VERSION}
+
+    def test_magic_line_parses_as_invalid_json(self):
+        """A legacy JSON server must see the magic as one bad request."""
+        import json
+
+        with pytest.raises(ValueError):
+            json.loads(WIRE_MAGIC)
+        assert b"\n" not in WIRE_MAGIC  # sent as exactly one line
