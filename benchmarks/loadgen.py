@@ -1,0 +1,31 @@
+"""Workload replay harness entry point (used by CI).
+
+A thin wrapper over ``repro loadgen`` so the harness sits next to the
+other benchmark drivers: it replays seeded workload mixes (hot-key zipf,
+prefix-heavy scans, batched multi_get, a mixed blend) against a store
+directory or a running deployment, writes the schema-stable
+``BENCH_loadgen.json`` report with histogram-derived per-mix
+p50/p95/p99, and exits non-zero when an SLO target is violated — the CI
+gate for serving-tier latency regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/loadgen.py work/store \
+        --requests 200 --concurrency 4 \
+        --report reports/BENCH_loadgen.json --slo-p99-ms 250
+
+    PYTHONPATH=src python benchmarks/loadgen.py \
+        --connect 127.0.0.1:9201 --connect 127.0.0.1:9202 \
+        --topology sharded --slo-min-throughput 50
+
+All options are ``repro loadgen``'s — see ``repro loadgen --help``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["loadgen", *sys.argv[1:]]))

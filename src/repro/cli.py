@@ -31,6 +31,12 @@ Installed as ``repro-ngrams`` (or ``python -m repro``).  Sub-commands:
     SIGINT/SIGTERM.  ``--num-shards``/``--shard-index`` serve one shard of
     a range-sharded deployment (see :mod:`repro.ngramstore.router`).
 
+``loadgen``
+    Seeded workload replay (hot-key zipf, prefix-heavy, batched, mixed)
+    against a store directory or any serving deployment, reporting
+    histogram-derived per-mix latency percentiles and failing on SLO
+    violations (see :mod:`repro.ngramstore.loadgen`).
+
 ``merge-stores``
     K-way merge of several stores into one (summing duplicate keys) —
     compaction for incremental corpus growth from per-shard counting runs.
@@ -369,6 +375,110 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the aggregated request/latency metrics JSON here on shutdown",
     )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also rewrite --metrics-file every SECONDS while serving "
+        "(atomic replace, so pollers never see a torn snapshot)",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log requests slower than MS milliseconds (0 logs everything)",
+    )
+    serve.add_argument(
+        "--slow-query-log",
+        default=None,
+        metavar="PATH",
+        help="append slow-query JSON lines here (with --slow-query-ms; "
+        "default: entries are kept in memory only)",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="replay a seeded workload against a store or serving deployment, "
+        "asserting SLO targets",
+    )
+    loadgen.add_argument(
+        "store",
+        nargs="?",
+        default=None,
+        help="store directory to replay against in-process "
+        "(omit when targeting servers via --connect/--url)",
+    )
+    loadgen.add_argument(
+        "--connect",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="socket server endpoint (repeat for replicas/sharded topologies)",
+    )
+    loadgen.add_argument(
+        "--url",
+        action="append",
+        default=None,
+        metavar="URL",
+        help="HTTP server URL (repeat for replicas/sharded topologies)",
+    )
+    loadgen.add_argument(
+        "--topology",
+        choices=("single", "replicas", "sharded"),
+        default="single",
+        help="how multiple endpoints compose: identical replicas behind a "
+        "ReplicaPool, or range shards behind a ShardRouter",
+    )
+    loadgen.add_argument(
+        "--mixes",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated workload mixes to replay "
+        "(default: hot_key,prefix_heavy,batch,mixed)",
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=200, help="requests per mix (default: 200)"
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=4, help="closed-loop workers (default: 4)"
+    )
+    loadgen.add_argument("--seed", type=int, default=1, help="workload PRNG seed")
+    loadgen.add_argument(
+        "--batch-size", type=int, default=8, help="keys per multi_get batch"
+    )
+    loadgen.add_argument(
+        "--universe",
+        type=int,
+        default=256,
+        help="distinct keys sampled from the store (hottest first)",
+    )
+    loadgen.add_argument(
+        "--zipf-s", type=float, default=1.2, help="hot-key skew exponent"
+    )
+    loadgen.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report here (e.g. reports/BENCH_loadgen.json)",
+    )
+    loadgen.add_argument(
+        "--slo-p50-ms", type=float, default=None, help="fail if any mix's p50 exceeds MS"
+    )
+    loadgen.add_argument(
+        "--slo-p95-ms", type=float, default=None, help="fail if any mix's p95 exceeds MS"
+    )
+    loadgen.add_argument(
+        "--slo-p99-ms", type=float, default=None, help="fail if any mix's p99 exceeds MS"
+    )
+    loadgen.add_argument(
+        "--slo-min-throughput",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="fail if any mix's closed-loop throughput falls below RPS",
+    )
 
     merge = subparsers.add_parser(
         "merge-stores",
@@ -658,7 +768,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             protocol="http" if args.http else "socket",
             num_shards=args.num_shards,
             shard_index=args.shard_index,
+            slow_query_ms=args.slow_query_ms,
+            slow_query_log=args.slow_query_log,
         )
+        if args.metrics_interval is not None:
+            if args.metrics_interval <= 0:
+                raise ReproError(
+                    f"--metrics-interval must be positive, got {args.metrics_interval}"
+                )
+            if not args.metrics_file:
+                raise ReproError("--metrics-interval requires --metrics-file")
         if config.num_shards > 1:
             # Sharded: open the store behind a shared cache and serve only
             # the owned slice of its partitions.
@@ -710,6 +829,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def _request_stop(signum, frame):  # noqa: ARG001 - signal handler shape
         stop.set()
 
+    def _snapshot():
+        metrics = server.metrics.snapshot()
+        metrics["cache"] = server.cache_summary()
+        return metrics
+
+    def _write_metrics(metrics):
+        # Atomic replace: a SIGTERM mid-write or a concurrent poller must
+        # never leave/see a torn snapshot file.
+        parent = os.path.dirname(args.metrics_file)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        staging = args.metrics_file + ".tmp"
+        with open(staging, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+        os.replace(staging, args.metrics_file)
+
+    if args.metrics_file and args.metrics_interval is not None:
+
+        def _periodic_snapshots():
+            while not stop.wait(args.metrics_interval):
+                _write_metrics(_snapshot())
+
+        threading.Thread(
+            target=_periodic_snapshots, name="metrics-snapshots", daemon=True
+        ).start()
+
     # Signal handlers only install on the main thread — which is where a
     # CLI entry point runs.  (In-process callers on other threads should
     # drive NGramStoreServer directly; this command has no other stop
@@ -719,19 +864,134 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         signal.signal(signal.SIGINT, _request_stop)
         signal.signal(signal.SIGTERM, _request_stop)
     try:
-        stop.wait()
-    except KeyboardInterrupt:
-        pass
-    server.close()
-    metrics = server.metrics.snapshot()
-    metrics["cache"] = server.cache_summary()
-    if args.metrics_file:
-        parent = os.path.dirname(args.metrics_file)
+        try:
+            stop.wait()
+        except KeyboardInterrupt:
+            pass
+    finally:
+        # The final snapshot must land even when shutdown is messy (a
+        # second signal mid-close, a store that fails to close): snapshot
+        # before close, write before re-raising anything.
+        stop.set()
+        metrics = _snapshot()
+        if args.metrics_file:
+            _write_metrics(metrics)
+        server.close()
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.ngramstore.loadgen import (
+        MIXES,
+        LoadgenConfig,
+        SLOTargets,
+        check_slos,
+        run_loadgen,
+    )
+
+    targets = [args.store is not None, bool(args.connect), bool(args.url)]
+    if sum(targets) != 1:
+        print(
+            "error: pick exactly one target: a store directory, --connect, or --url",
+            file=sys.stderr,
+        )
+        return 2
+
+    def parse_endpoint(endpoint: str) -> tuple:
+        host, _, port = endpoint.rpartition(":")
+        if not host or not port.isdigit():
+            raise ReproError(f"--connect expects HOST:PORT, got {endpoint!r}")
+        return host, int(port)
+
+    try:
+        config = LoadgenConfig(
+            mixes=tuple(args.mixes.split(",")) if args.mixes else MIXES,
+            requests_per_mix=args.requests,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            universe=args.universe,
+            zipf_s=args.zipf_s,
+        )
+        if args.store is not None:
+            from repro.ngramstore.reader import NGramStore
+
+            # A direct store is safe to share across the worker threads.
+            factory = None
+            generator = NGramStore.open(args.store)
+            label = args.store
+        else:
+            if args.connect:
+                from repro.ngramstore.server import StoreClient
+
+                endpoints = [parse_endpoint(endpoint) for endpoint in args.connect]
+                builders = [
+                    (lambda host=host, port=port: StoreClient(host, port))
+                    for host, port in endpoints
+                ]
+                label = ",".join(f"{host}:{port}" for host, port in endpoints)
+            else:
+                from repro.ngramstore.http import HttpStoreClient
+
+                builders = [(lambda url=url: HttpStoreClient(url)) for url in args.url]
+                label = ",".join(args.url)
+            if len(builders) == 1:
+                factory = builders[0]
+            elif args.topology == "replicas":
+                from repro.ngramstore.router import ReplicaPool
+
+                def factory():
+                    return ReplicaPool([build() for build in builders])
+
+            elif args.topology == "sharded":
+                from repro.ngramstore.router import ShardRouter
+
+                def factory():
+                    return ShardRouter([build() for build in builders])
+
+            else:
+                print(
+                    "error: multiple endpoints need --topology replicas or sharded",
+                    file=sys.stderr,
+                )
+                return 2
+            label = f"{args.topology}({label})" if len(builders) > 1 else label
+            generator = factory()
+        try:
+            report = run_loadgen(generator, config, factory=factory, target=label)
+        finally:
+            generator.close()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    slo = SLOTargets(
+        p50_ms=args.slo_p50_ms,
+        p95_ms=args.slo_p95_ms,
+        p99_ms=args.slo_p99_ms,
+        min_throughput=args.slo_min_throughput,
+    )
+    violations = check_slos(report, slo)
+    report["slo"] = {
+        "p50_ms": slo.p50_ms,
+        "p95_ms": slo.p95_ms,
+        "p99_ms": slo.p99_ms,
+        "min_throughput": slo.min_throughput,
+    }
+    report["slo_violations"] = violations
+    report["ok"] = not violations
+    if args.report:
+        parent = os.path.dirname(args.report)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        with open(args.metrics_file, "w", encoding="utf-8") as handle:
-            json.dump(metrics, handle, indent=2, sort_keys=True)
-    print(json.dumps(metrics, indent=2, sort_keys=True))
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if violations:
+        for violation in violations:
+            print(f"SLO violation: {violation}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -930,6 +1190,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "query": _cmd_query,
         "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "merge-stores": _cmd_merge_stores,
         "coderivatives": _cmd_coderivatives,
         "trends": _cmd_trends,

@@ -345,6 +345,14 @@ class ServerConfig:
         Range sharding: serve only shard ``shard_index`` of a
         ``num_shards``-way split of the store's partitions.  The default
         (one shard, index 0) serves the whole store.
+    slow_query_ms:
+        Requests at or above this many milliseconds are appended to the
+        structured slow-query log (trace ID, per-stage timings, I/O
+        deltas).  ``None`` (the default) disables slow-query logging.
+    slow_query_log:
+        JSON-lines file the slow-query log appends to (parent directories
+        are created).  ``None`` keeps slow queries in memory only —
+        visible to in-process owners of the server object.
     """
 
     host: str = "127.0.0.1"
@@ -355,6 +363,8 @@ class ServerConfig:
     binary: bool = True
     num_shards: int = 1
     shard_index: int = 0
+    slow_query_ms: Optional[float] = None
+    slow_query_log: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -374,6 +384,15 @@ class ServerConfig:
         if not 0 <= self.shard_index < self.num_shards:
             raise ConfigurationError(
                 f"shard_index must be in [0, {self.num_shards}), got {self.shard_index}"
+            )
+        if self.slow_query_ms is not None and self.slow_query_ms < 0:
+            raise ConfigurationError(
+                f"slow_query_ms must be >= 0, got {self.slow_query_ms}"
+            )
+        if self.slow_query_log is not None and self.slow_query_ms is None:
+            raise ConfigurationError(
+                "slow_query_log requires slow_query_ms (a log with no "
+                "threshold would never be written)"
             )
 
 

@@ -28,7 +28,7 @@ from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.dataset import Dataset
 from repro.mapreduce.job import JobSpec
-from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.metrics import JobMetrics, publish_job_metrics
 from repro.mapreduce.runner import JobResult, LocalJobRunner
 
 Record = Tuple[Any, Any]
@@ -140,6 +140,7 @@ class JobPipeline:
         input stream) has read it.
         """
         job_result = self.runner.run(job, input_records)
+        publish_job_metrics(job_result)
         if self.retention == RETENTION_FINAL and self.result.job_results:
             previous = self.result.job_results[-1]
             if not previous.output_released:

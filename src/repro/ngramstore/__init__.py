@@ -36,6 +36,7 @@ from repro.ngramstore.build import (
     total_order_sort_job,
 )
 from repro.ngramstore.http import HttpStoreClient, NGramStoreHTTPServer
+from repro.ngramstore.loadgen import LoadgenConfig, SLOTargets, check_slos, run_loadgen
 from repro.ngramstore.merge import merge_stores
 from repro.ngramstore.reader import NGramStore, StoreStatistics
 from repro.ngramstore.router import ReplicaPool, ShardRouter, ShardView
@@ -45,6 +46,7 @@ from repro.ngramstore.table import BlockCache, Table, TableWriter, TopKAccumulat
 __all__ = [
     "BlockCache",
     "HttpStoreClient",
+    "LoadgenConfig",
     "NGramRecord",
     "NGramStore",
     "NGramStoreHTTPServer",
@@ -53,6 +55,7 @@ __all__ = [
     "RangePartitioner",
     "ReplicaPool",
     "ShardRouter",
+    "SLOTargets",
     "ShardView",
     "StoreAPI",
     "StoreClient",
@@ -61,8 +64,10 @@ __all__ = [
     "TableWriter",
     "TopKAccumulator",
     "build_store",
+    "check_slos",
     "load_manifest",
     "merge_stores",
+    "run_loadgen",
     "plan_boundaries",
     "sample_keys",
     "total_order_sort_job",

@@ -39,10 +39,12 @@ the response instead of breaking old clients.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.exceptions import StoreError, VocabularyError
 from repro.ngramstore.table import TOP_K_ORDERS, validate_top_k
+from repro.util.tracing import TRACE_FIELD, trace_id_of
 
 _MISSING = object()
 
@@ -81,6 +83,7 @@ OPERATIONS = (
     "render",
     "stats",
     "server_stats",
+    "metrics",
     "ping",
 )
 
@@ -97,6 +100,13 @@ def normalize_request(request: Dict[str, Any]) -> Tuple[Dict[str, Any], Optional
     Returns the (possibly rewritten) request and a deprecation note when a
     legacy spelling was used — the server copies the note into the
     response so old clients keep working but see the migration hint.
+
+    The optional ``trace`` field (``{"id": "<hex>"}``, see
+    :mod:`repro.util.tracing`) is part of the canonical schema: a
+    well-formed trace passes through untouched so the server can adopt
+    the client's request ID, while a malformed one is dropped here —
+    tracing is telemetry and must never fail a query.  Servers predating
+    the field simply never read it.
     """
     notes = []
     for legacy, canonical in LEGACY_REQUEST_FIELDS.items():
@@ -105,6 +115,9 @@ def normalize_request(request: Dict[str, Any]) -> Tuple[Dict[str, Any], Optional
             value = request.pop(legacy)
             request.setdefault(canonical, value)
             notes.append(f"request field {legacy!r} is deprecated; use {canonical!r}")
+    if TRACE_FIELD in request and trace_id_of(request) is None:
+        request = dict(request)
+        del request[TRACE_FIELD]
     return request, "; ".join(notes) if notes else None
 
 
@@ -306,6 +319,10 @@ class RemoteStore(StoreAPI):
     def server_stats(self) -> Dict[str, Any]:
         return self._strip_envelope(self._call({"op": "server_stats"}))
 
+    def metrics_text(self) -> str:
+        """The server's metrics in the Prometheus text exposition format."""
+        return str(self._call({"op": "metrics"}).get("text", ""))
+
     def ping(self) -> bool:
         return bool(self._call({"op": "ping"}).get("pong"))
 
@@ -364,6 +381,17 @@ def _json_key(data: Any, field: str = "key") -> Tuple:
             f"{field} must be a JSON array of terms, got {type(data).__name__}"
         )
     return tuple(data)
+
+
+class _NullTrace:
+    """Stage-timing no-op used when a request arrives without tracing."""
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        yield
+
+
+_NULL_TRACE = _NullTrace()
 
 
 class QueryEngine:
@@ -432,93 +460,123 @@ class QueryEngine:
         }
 
     # ------------------------------------------------------------- handle
-    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def handle(self, request: Dict[str, Any], trace: Any = None) -> Dict[str, Any]:
+        """Answer one unified-schema request.
+
+        ``trace`` is an optional :class:`~repro.util.tracing.TraceContext`;
+        when given, time spent routing the request (validation, surface-term
+        translation) and reading the store is credited to its ``route`` and
+        ``read`` stages, which is what lets a slow-query log line say *where*
+        a request's latency went.
+        """
+        if trace is None:
+            trace = _NULL_TRACE
         operation = str(request.get("op"))
         surface = "terms" in request or bool(request.get("surface"))
         if operation == "get":
-            key = self._request_key(request, surface)
-            value = _MISSING if key is None else self.store.get(key, _MISSING)
+            with trace.stage("route"):
+                key = self._request_key(request, surface)
+            with trace.stage("read"):
+                value = _MISSING if key is None else self.store.get(key, _MISSING)
             if value is _MISSING:
                 return {"found": False, "value": None}
             return {"found": True, "value": value}
         if operation == "multi_get":
-            if surface:
-                keys = self.store.translate_terms(
-                    _validated_terms_batch(request.get("terms"), "terms")
-                )
-            else:
+            with trace.stage("route"):
+                if surface:
+                    keys = self.store.translate_terms(
+                        _validated_terms_batch(request.get("terms"), "terms")
+                    )
+                else:
+                    data = request.get("keys")
+                    if not isinstance(data, list):
+                        raise StoreError("keys must be a JSON array of key arrays")
+                    keys = [_json_key(item, "each key") for item in data]
+                if len(keys) > MAX_BATCH_KEYS:
+                    raise StoreError(
+                        f"multi_get batch must be <= {MAX_BATCH_KEYS} keys, "
+                        f"got {len(keys)}"
+                    )
+            found: List[bool] = []
+            values: List[Any] = []
+            with trace.stage("read"):
+                for key in keys:
+                    value = _MISSING if key is None else self.store.get(key, _MISSING)
+                    found.append(value is not _MISSING)
+                    values.append(None if value is _MISSING else value)
+            return {"found": found, "values": values}
+        if operation == "prefix":
+            with trace.stage("route"):
+                key = self._request_key(request, surface)
+                limit = self._validated_limit(request)
+            with trace.stage("read"):
+                return self._prefix_response(key, limit, surface)
+        if operation == "multi_prefix":
+            with trace.stage("route"):
                 data = request.get("keys")
                 if not isinstance(data, list):
                     raise StoreError("keys must be a JSON array of key arrays")
                 keys = [_json_key(item, "each key") for item in data]
-            if len(keys) > MAX_BATCH_KEYS:
-                raise StoreError(
-                    f"multi_get batch must be <= {MAX_BATCH_KEYS} keys, got {len(keys)}"
-                )
-            found: List[bool] = []
-            values: List[Any] = []
-            for key in keys:
-                value = _MISSING if key is None else self.store.get(key, _MISSING)
-                found.append(value is not _MISSING)
-                values.append(None if value is _MISSING else value)
-            return {"found": found, "values": values}
-        if operation == "prefix":
-            key = self._request_key(request, surface)
-            return self._prefix_response(key, self._validated_limit(request), surface)
-        if operation == "multi_prefix":
-            data = request.get("keys")
-            if not isinstance(data, list):
-                raise StoreError("keys must be a JSON array of key arrays")
-            keys = [_json_key(item, "each key") for item in data]
-            if len(keys) > MAX_BATCH_KEYS:
-                raise StoreError(
-                    f"multi_prefix batch must be <= {MAX_BATCH_KEYS} keys, "
-                    f"got {len(keys)}"
-                )
-            limit = self._validated_limit(request)
-            return {
-                "results": [
-                    self._prefix_response(key, limit, surface=False) for key in keys
-                ]
-            }
+                if len(keys) > MAX_BATCH_KEYS:
+                    raise StoreError(
+                        f"multi_prefix batch must be <= {MAX_BATCH_KEYS} keys, "
+                        f"got {len(keys)}"
+                    )
+                limit = self._validated_limit(request)
+            with trace.stage("read"):
+                return {
+                    "results": [
+                        self._prefix_response(key, limit, surface=False) for key in keys
+                    ]
+                }
         if operation == "top_k":
-            k = request.get("k")
-            if not isinstance(k, int) or isinstance(k, bool):
-                raise StoreError(f"top_k k must be an integer, got {k!r}")
-            if k > MAX_TOP_K:
-                raise StoreError(f"top_k k must be <= {MAX_TOP_K}, got {k}")
-            order = request.get("order", "frequency")
-            if order not in TOP_K_ORDERS:
-                raise StoreError(
-                    f"top_k order must be one of {', '.join(TOP_K_ORDERS)}, got {order!r}"
-                )
-            validate_top_k(k, order)
-            records = self.store.top_k(k, order)
-            return {"records": self._record_payload(records, surface)}
+            with trace.stage("route"):
+                k = request.get("k")
+                if not isinstance(k, int) or isinstance(k, bool):
+                    raise StoreError(f"top_k k must be an integer, got {k!r}")
+                if k > MAX_TOP_K:
+                    raise StoreError(f"top_k k must be <= {MAX_TOP_K}, got {k}")
+                order = request.get("order", "frequency")
+                if order not in TOP_K_ORDERS:
+                    raise StoreError(
+                        f"top_k order must be one of {', '.join(TOP_K_ORDERS)}, "
+                        f"got {order!r}"
+                    )
+                validate_top_k(k, order)
+            with trace.stage("read"):
+                records = self.store.top_k(k, order)
+                return {"records": self._record_payload(records, surface)}
         if operation == "translate":
-            batch = _validated_terms_batch(request.get("terms"), "terms")
-            if len(batch) > MAX_BATCH_KEYS:
-                raise StoreError(
-                    f"translate batch must be <= {MAX_BATCH_KEYS} items, got {len(batch)}"
-                )
-            keys = self.store.translate_terms(batch)
+            with trace.stage("route"):
+                batch = _validated_terms_batch(request.get("terms"), "terms")
+                if len(batch) > MAX_BATCH_KEYS:
+                    raise StoreError(
+                        f"translate batch must be <= {MAX_BATCH_KEYS} items, "
+                        f"got {len(batch)}"
+                    )
+            with trace.stage("read"):
+                keys = self.store.translate_terms(batch)
             return {"keys": [None if key is None else list(key) for key in keys]}
         if operation == "render":
-            data = request.get("ngrams")
-            if not isinstance(data, list):
-                raise StoreError("ngrams must be a JSON array of key arrays")
-            if len(data) > MAX_BATCH_KEYS:
-                raise StoreError(
-                    f"render batch must be <= {MAX_BATCH_KEYS} items, got {len(data)}"
-                )
-            ngrams = [_json_key(item, "each ngram") for item in data]
-            try:
-                rendered = self.store.render_ngrams(ngrams)
-            except VocabularyError as error:
-                raise StoreError(f"{error}") from error
+            with trace.stage("route"):
+                data = request.get("ngrams")
+                if not isinstance(data, list):
+                    raise StoreError("ngrams must be a JSON array of key arrays")
+                if len(data) > MAX_BATCH_KEYS:
+                    raise StoreError(
+                        f"render batch must be <= {MAX_BATCH_KEYS} items, "
+                        f"got {len(data)}"
+                    )
+                ngrams = [_json_key(item, "each ngram") for item in data]
+            with trace.stage("read"):
+                try:
+                    rendered = self.store.render_ngrams(ngrams)
+                except VocabularyError as error:
+                    raise StoreError(f"{error}") from error
             return {"terms": [list(terms) for terms in rendered]}
         if operation == "stats":
-            return dict(self.store.stats())
+            with trace.stage("read"):
+                return dict(self.store.stats())
         if operation == "ping":
             return {"pong": True}
         raise StoreError(

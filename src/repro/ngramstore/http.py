@@ -49,11 +49,25 @@ from repro.config import ServerConfig
 from repro.exceptions import StoreConnectionError, StoreError
 from repro.ngramstore.api import OPERATIONS, QueryEngine, RemoteStore, normalize_request
 from repro.ngramstore.reader import NGramStore
-from repro.ngramstore.server import MAX_REQUEST_BYTES, ServerMetrics, build_cache_summary
+from repro.ngramstore.server import (
+    MAX_REQUEST_BYTES,
+    ServerMetrics,
+    build_cache_summary,
+    collect_io_counters,
+    finish_request_observation,
+    register_store_observables,
+    render_server_metrics,
+)
 from repro.ngramstore.table import BlockCache
+from repro.util.metrics import default_registry
+from repro.util.timer import Stopwatch
+from repro.util.tracing import SlowQueryLog, TraceContext, attach_trace
 
 #: GET routes that map straight to unified-schema operations.
 _GET_OPERATIONS = ("ping", "stats", "server_stats", "get", "prefix", "top_k")
+
+#: Content type of the ``GET /metrics`` exposition (Prometheus text 0.0.4).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _parse_key_param(raw: str) -> Tuple[int, ...]:
@@ -117,17 +131,34 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _answer(self, operation: str, request: Dict[str, Any]) -> None:
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _answer(
+        self, operation: str, request: Dict[str, Any], parse_seconds: float = 0.0
+    ) -> None:
         """Run one unified-schema request and write the HTTP response."""
         owner = self.server.owner
-        started = time.perf_counter()
+        watch = Stopwatch()
+        trace = TraceContext.from_request(request)
+        if parse_seconds:
+            trace.add_stage("parse", parse_seconds)
         status = 200
+        io_before: Optional[Dict[str, float]] = None
         try:
             if operation == "server_stats":
                 response: Dict[str, Any] = owner.server_stats()
+            elif operation == "metrics":
+                response = {"text": render_server_metrics(owner.metrics, owner.store)}
             else:
                 request, deprecated = normalize_request(request)
-                response = owner.engine.handle(request)
+                io_before = collect_io_counters(owner.store, operation)
+                response = owner.engine.handle(request, trace=trace)
                 if deprecated:
                     response["deprecated"] = deprecated
             response["ok"] = True
@@ -135,7 +166,20 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             status = 400
             response = {"ok": False, "error": f"{error}"}
         bucket = operation if operation in OPERATIONS else "invalid"
-        owner.metrics.record(bucket, time.perf_counter() - started, status == 200)
+        io_after = (
+            collect_io_counters(owner.store, operation) if io_before is not None else None
+        )
+        finish_request_observation(
+            owner.metrics,
+            owner.slow_log,
+            trace,
+            bucket,
+            request,
+            watch.elapsed() + parse_seconds,
+            status == 200,
+            io_before,
+            io_after,
+        )
         self._send_json(status, response)
 
     # ------------------------------------------------------------- verbs
@@ -144,6 +188,14 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         owner.metrics.record_connection()
         parsed = urllib_parse.urlsplit(self.path)
         operation = parsed.path.strip("/")
+        if operation == "metrics":
+            # The Prometheus scrape surface: raw exposition text, not the
+            # JSON envelope (scrapers do not speak the unified schema).
+            watch = Stopwatch()
+            text = render_server_metrics(owner.metrics, owner.store)
+            owner.metrics.record("metrics", watch.elapsed(), True)
+            self._send_text(200, text, METRICS_CONTENT_TYPE)
+            return
         if operation not in _GET_OPERATIONS:
             self._send_json(
                 404,
@@ -151,7 +203,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
                     "ok": False,
                     "error": f"unknown route {parsed.path!r}; GET routes: "
                     + ", ".join(f"/{name}" for name in _GET_OPERATIONS)
-                    + "; or POST /query",
+                    + ", /metrics; or POST /query",
                 },
             )
             return
@@ -180,6 +232,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"ok": False, "error": "request exceeds 1 MiB"})
             return
         body = self.rfile.read(length)
+        parse_watch = Stopwatch()
         try:
             request = json.loads(body)
             if not isinstance(request, dict):
@@ -188,7 +241,8 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             owner.metrics.record("invalid", 0.0, False)
             self._send_json(400, {"ok": False, "error": f"invalid request: {error}"})
             return
-        self._answer(str(request.get("op")), request)
+        parse_seconds = parse_watch.elapsed()
+        self._answer(str(request.get("op")), request, parse_seconds=parse_seconds)
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -223,6 +277,12 @@ class NGramStoreHTTPServer:
             self.cache = getattr(store, "cache", None)
         self.engine = QueryEngine(self.store)
         self.metrics = ServerMetrics()
+        self.slow_log = (
+            SlowQueryLog(self.config.slow_query_ms, self.config.slow_query_log)
+            if self.config.slow_query_ms is not None
+            else None
+        )
+        register_store_observables(self.metrics.registry, self.store, self.cache)
         self.host = self.config.host
         self.port = self.config.port
         self._httpd: Optional[_HTTPServer] = None
@@ -262,6 +322,8 @@ class NGramStoreHTTPServer:
             self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+        if self.slow_log is not None:
+            self.slow_log.close()
         self.store.close()
 
     def __enter__(self) -> "NGramStoreHTTPServer":
@@ -316,6 +378,12 @@ class HttpStoreClient(RemoteStore):
         self._scheme = parsed.scheme
         self._path = (parsed.path or "") + "/query"
         self.connections_opened = 0
+        self.last_trace_id: Optional[str] = None
+        self._dial_counter = default_registry().counter(
+            "ngramstore_client_connections_opened_total",
+            "TCP connections dialled by in-process store clients",
+            labels=("transport",),
+        )
         self._idle: List[http_client.HTTPConnection] = []
         self._pool_lock = threading.Lock()
         self._closed = False
@@ -327,6 +395,7 @@ class HttpStoreClient(RemoteStore):
             if self._idle:
                 return self._idle.pop(), True
             self.connections_opened += 1
+        self._dial_counter.inc(transport="http")
         connection_class = (
             http_client.HTTPSConnection
             if self._scheme == "https"
@@ -345,6 +414,7 @@ class HttpStoreClient(RemoteStore):
     def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
         if self._closed:
             raise StoreError("client is closed")
+        self.last_trace_id = attach_trace(request)
         payload = json.dumps(request, separators=(",", ":")).encode("utf-8")
         headers = {"Content-Type": "application/json"}
         attempts = self.max_retries + 1

@@ -141,15 +141,24 @@ class NGramStore(StoreAPI):
         (cache hits don't decode); ``bloom_rejections`` counts point misses
         answered by a block's Bloom filter without touching the block;
         ``mmap_partitions`` counts partitions served by zero-copy mmap
-        slices.  Benchmarks assert against these — e.g. a Bloom-filtered
-        miss workload must leave ``blocks_decoded`` untouched.
+        slices; ``decode_seconds`` is cumulative wallclock spent decoding
+        blocks, which request tracing uses to split read latency into
+        block-read vs decode stages.  Benchmarks assert against these —
+        e.g. a Bloom-filtered miss workload must leave ``blocks_decoded``
+        untouched.
         """
-        totals = {"blocks_decoded": 0, "bloom_rejections": 0, "mmap_partitions": 0}
+        totals = {
+            "blocks_decoded": 0,
+            "bloom_rejections": 0,
+            "mmap_partitions": 0,
+            "decode_seconds": 0.0,
+        }
         for table in self._tables:
             if table is not None:
                 totals["blocks_decoded"] += table.blocks_decoded
                 totals["bloom_rejections"] += table.bloom_rejections
                 totals["mmap_partitions"] += 1 if table.mmap_active else 0
+                totals["decode_seconds"] += table.decode_seconds
         return totals
 
     # ------------------------------------------------------------ internals

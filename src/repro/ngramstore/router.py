@@ -41,6 +41,8 @@ from repro.ngramstore.table import (
     prefix_records,
     validate_top_k,
 )
+from repro.util.metrics import MetricsRegistry
+from repro.util.timer import Stopwatch
 
 
 def shard_partition_range(num_partitions: int, shard_index: int, num_shards: int) -> Tuple[int, int]:
@@ -131,6 +133,10 @@ class ShardView(StoreAPI):
 
     def cache_stats(self) -> Any:
         return self.store.cache_stats()
+
+    def io_stats(self) -> Dict[str, Any]:
+        """The wrapped store's I/O counters (reads are store-wide, not per-shard)."""
+        return self.store.io_stats()
 
     def _in_range(self, key: Tuple) -> bool:
         if self.is_empty:
@@ -253,6 +259,7 @@ class ReplicaPool(StoreAPI):
         quarantine_base: float = 0.25,
         quarantine_cap: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not clients:
             raise StoreError("ReplicaPool needs at least one client")
@@ -266,6 +273,28 @@ class ReplicaPool(StoreAPI):
         self._benched_until = [0.0] * len(self.clients)
         self._cursor = 0
         self._lock = threading.Lock()
+        # Quarantine events are operational signal (a replica flapping in
+        # and out of the bench is a deployment problem no single request
+        # surfaces), so they land on a metrics registry — a private one
+        # unless the deployment wires a shared one in.
+        self.metrics_registry = registry if registry is not None else MetricsRegistry()
+        self._quarantines = self.metrics_registry.counter(
+            "ngramstore_replica_quarantines_total",
+            "Times a replica was benched after a connection failure",
+            labels=("replica",),
+        )
+        self._recoveries = self.metrics_registry.counter(
+            "ngramstore_replica_recoveries_total",
+            "Times a benched replica answered again and was unbenched",
+            labels=("replica",),
+        )
+        self._exhausted = self.metrics_registry.counter(
+            "ngramstore_replica_pool_exhausted_total",
+            "Requests that failed on every replica",
+        )
+        self.metrics_registry.gauge(
+            "ngramstore_replica_benched", "Replicas currently quarantined"
+        ).set_callback(lambda: float(len(self.benched_replicas())))
 
     def _rotation(self) -> List[int]:
         """Replica indexes in call order for one request.
@@ -292,11 +321,15 @@ class ReplicaPool(StoreAPI):
                 self.quarantine_base * (2 ** (self._failures[index] - 1)),
             )
             self._benched_until[index] = self._clock() + delay
+        self._quarantines.inc(replica=index)
 
     def _mark_healthy(self, index: int) -> None:
         with self._lock:
+            recovered = self._failures[index] > 0
             self._failures[index] = 0
             self._benched_until[index] = 0.0
+        if recovered:
+            self._recoveries.inc(replica=index)
 
     def benched_replicas(self) -> List[int]:
         """Indexes currently quarantined (for monitoring and tests)."""
@@ -319,6 +352,7 @@ class ReplicaPool(StoreAPI):
             else:
                 self._mark_healthy(index)
                 return result
+        self._exhausted.inc()
         raise StoreConnectionError(
             f"all {len(self.clients)} replicas failed for {method}: "
             + "; ".join(errors)
@@ -447,7 +481,11 @@ class ShardRouter(StoreAPI):
     sequential ones.
     """
 
-    def __init__(self, clients: Sequence[StoreAPI]) -> None:
+    def __init__(
+        self,
+        clients: Sequence[StoreAPI],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if not clients:
             raise StoreError("ShardRouter needs at least one shard client")
         entries = []
@@ -496,6 +534,26 @@ class ShardRouter(StoreAPI):
         self._active = active
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
+        self.metrics_registry = registry if registry is not None else MetricsRegistry()
+        self._router_requests = self.metrics_registry.counter(
+            "ngramstore_router_requests_total",
+            "Requests routed across shards, by operation",
+            labels=("op",),
+        )
+        self._fanout_seconds = self.metrics_registry.histogram(
+            "ngramstore_router_fanout_seconds",
+            "Wallclock of one routed operation's shard fan-out, by operation",
+            labels=("op",),
+        )
+        self._fanout_shards = self.metrics_registry.histogram(
+            "ngramstore_router_fanout_shards",
+            "Shards queried per routed operation, by operation",
+            labels=("op",),
+            buckets=tuple(float(2 ** power) for power in range(11)),
+        )
+        self.metrics_registry.gauge(
+            "ngramstore_router_shards", "Shards in the routing table"
+        ).set(float(len(entries)))
 
     # ------------------------------------------------------------ routing
     def _owner(self, key: Tuple) -> Optional[_ShardEntry]:
@@ -508,32 +566,47 @@ class ShardRouter(StoreAPI):
         """A client for store-global operations (vocabulary, metadata)."""
         return self.shards[0].client
 
-    def _fan_out(self, items: List[Any], call: Callable[[Any], Any]) -> List[Any]:
+    def _fan_out(
+        self, items: List[Any], call: Callable[[Any], Any], op: str = "fan_out"
+    ) -> List[Any]:
         """``[call(item) for item in items]``, but concurrently.
 
         Results come back in ``items`` order, so merges downstream see the
         same deterministic sequence a sequential loop would produce.  The
         pool is created on first multi-shard query (sized to the shard
         count — each worker drives a different shard's client) and lives
-        until :meth:`close`.
+        until :meth:`close`.  Each fan-out's wallclock and width land on
+        the router's metrics registry under ``op``.
         """
-        if len(items) <= 1:
-            return [call(item) for item in items]
-        with self._executor_lock:
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=len(self.shards), thread_name_prefix="shard-fanout"
-                )
-            executor = self._executor
-        return list(executor.map(call, items))
+        watch = Stopwatch()
+        try:
+            if len(items) <= 1:
+                return [call(item) for item in items]
+            with self._executor_lock:
+                if self._executor is None:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=len(self.shards), thread_name_prefix="shard-fanout"
+                    )
+                executor = self._executor
+            return list(executor.map(call, items))
+        finally:
+            self._router_requests.inc(op=op)
+            self._fanout_seconds.observe(watch.elapsed(), op=op)
+            self._fanout_shards.observe(float(len(items)), op=op)
 
     # ------------------------------------------------------------- queries
     def get(self, ngram: Any, default: Any = None) -> Any:
         key = tuple(ngram)
         owner = self._owner(key)
-        if owner is None:
-            return default
-        return owner.client.get(key, default)
+        watch = Stopwatch()
+        try:
+            if owner is None:
+                return default
+            return owner.client.get(key, default)
+        finally:
+            self._router_requests.inc(op="get")
+            self._fanout_seconds.observe(watch.elapsed(), op="get")
+            self._fanout_shards.observe(0.0 if owner is None else 1.0, op="get")
 
     def multi_get(self, ngrams: Sequence[Any], default: Any = None) -> List[Any]:
         keys = [tuple(ngram) for ngram in ngrams]
@@ -550,6 +623,7 @@ class ShardRouter(StoreAPI):
             lambda batch: by_index[batch[0]].client.multi_get(
                 [keys[position] for position in batch[1]], default
             ),
+            op="multi_get",
         )
         for (_, positions), values in zip(shard_batches, values_per_shard):
             for position, value in zip(positions, values):
@@ -571,7 +645,9 @@ class ShardRouter(StoreAPI):
             entry for entry in self._active if entry.may_contain_prefix(prefix)
         ]
         per_shard = self._fan_out(
-            relevant, lambda entry: list(entry.client.prefix(prefix, limit=limit))
+            relevant,
+            lambda entry: list(entry.client.prefix(prefix, limit=limit)),
+            op="prefix",
         )
         records: List[Record] = []
         for shard_records in per_shard:
@@ -583,7 +659,7 @@ class ShardRouter(StoreAPI):
     def top_k(self, k: int, order: str = "frequency") -> List[Record]:
         validate_top_k(k, order)
         per_shard = self._fan_out(
-            list(self._active), lambda entry: entry.client.top_k(k, order)
+            list(self._active), lambda entry: entry.client.top_k(k, order), op="top_k"
         )
         if order == "key":
             # Shards are in global key order; the first k of the in-order

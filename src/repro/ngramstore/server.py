@@ -92,6 +92,9 @@ from repro.ngramstore.wire import (
     encode_message,
     read_message,
 )
+from repro.util.metrics import MetricsRegistry, snapshot_quantile
+from repro.util.timer import Stopwatch
+from repro.util.tracing import SlowQueryLog, TraceContext, attach_trace
 
 __all__ = [
     "MAX_PREFIX_RECORDS",
@@ -103,6 +106,9 @@ __all__ = [
     "StoreClient",
     "build_cache_summary",
     "percentile",
+    "register_store_observables",
+    "render_server_metrics",
+    "request_key_count",
 ]
 
 Record = Tuple[Any, Any]
@@ -110,9 +116,8 @@ Record = Tuple[Any, Any]
 #: Largest accepted request line; anything longer is a protocol error.
 MAX_REQUEST_BYTES = 1 << 20
 
-#: Latency samples retained per operation for percentile reporting; counts
-#: and totals keep accumulating after the reservoir is full.
-LATENCY_SAMPLE_CAP = 100_000
+#: Operations that read blocks — the ones worth per-request I/O deltas.
+_READ_OPERATIONS = frozenset(("get", "multi_get", "prefix", "multi_prefix", "top_k"))
 
 
 def percentile(sorted_samples: List[float], fraction: float) -> float:
@@ -121,72 +126,139 @@ def percentile(sorted_samples: List[float], fraction: float) -> float:
     return sorted_samples[rank - 1]
 
 
-class ServerMetrics:
-    """Thread-safe per-operation request counts and latency aggregates."""
+def request_key_count(request: Any) -> int:
+    """How many keys a request asks about (for slow-query log lines)."""
+    if not isinstance(request, dict):
+        return 0
+    for field in ("keys", "ngrams"):
+        value = request.get(field)
+        if isinstance(value, list):
+            return len(value)
+    terms = request.get("terms")
+    if isinstance(terms, list):
+        # "terms" is either one surface key (list of strings) or a batch
+        # of them (list of lists, for multi_get / translate).
+        if terms and isinstance(terms[0], list):
+            return len(terms)
+        return 1
+    if isinstance(request.get("key"), list):
+        return 1
+    return 0
 
-    def __init__(self, sample_cap: int = LATENCY_SAMPLE_CAP) -> None:
-        self._lock = threading.Lock()
-        self._sample_cap = sample_cap
-        self._operations: Dict[str, Dict[str, Any]] = {}
-        self.connections_accepted = 0
-        self.requests = 0
-        self.errors = 0
+
+class ServerMetrics:
+    """Thread-safe per-operation request counts and latency aggregates.
+
+    Backed by a :class:`~repro.util.metrics.MetricsRegistry` (a private
+    one unless the caller shares one in): per-operation counters, error
+    counters, and fixed-bucket latency histograms, plus per-stage
+    histograms fed by request tracing.  The :meth:`snapshot` shape is the
+    pre-registry one (``server_stats`` consumers keep working), but the
+    percentiles now derive from the histograms — every observation ever
+    made weighs in, unlike the old capped sample list that kept only the
+    *first* N observations and therefore reported warm-up latency
+    forever.  The registry itself is exposed as ``.registry`` so the
+    owning server can hang scrape-time gauges (cache, I/O, connections)
+    off the same exposition surface.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.started_at = time.time()
+        self._requests = self.registry.counter(
+            "ngramstore_requests_total", "Requests served, by operation", labels=("op",)
+        )
+        self._request_errors = self.registry.counter(
+            "ngramstore_request_errors_total",
+            "Requests answered with an error, by operation",
+            labels=("op",),
+        )
+        self._latency = self.registry.histogram(
+            "ngramstore_request_seconds",
+            "Request latency in seconds, by operation",
+            labels=("op",),
+        )
+        self._stages = self.registry.histogram(
+            "ngramstore_stage_seconds",
+            "Per-request stage latency in seconds (parse/route/block_read/decode)",
+            labels=("stage",),
+        )
+        self._connections = self.registry.counter(
+            "ngramstore_connections_total", "Client connections accepted"
+        )
+
+    # Pre-registry attribute surface, preserved for existing consumers.
+    @property
+    def connections_accepted(self) -> int:
+        return int(self._connections.value())
+
+    @property
+    def requests(self) -> int:
+        return int(self._requests.total())
+
+    @property
+    def errors(self) -> int:
+        return int(self._request_errors.total())
 
     def record_connection(self) -> None:
-        with self._lock:
-            self.connections_accepted += 1
+        self._connections.inc()
 
     def record(self, operation: str, seconds: float, ok: bool) -> None:
-        with self._lock:
-            entry = self._operations.setdefault(
-                operation, {"count": 0, "errors": 0, "total_s": 0.0, "samples": []}
-            )
-            entry["count"] += 1
-            entry["total_s"] += seconds
-            if not ok:
-                entry["errors"] += 1
-                self.errors += 1
-            if len(entry["samples"]) < self._sample_cap:
-                entry["samples"].append(seconds)
-            self.requests += 1
+        self._requests.inc(op=operation)
+        if not ok:
+            self._request_errors.inc(op=operation)
+        self._latency.observe(seconds, op=operation)
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        self._stages.observe(seconds, stage=stage)
 
     def snapshot(self) -> Dict[str, Any]:
-        """Aggregated counters plus latency percentiles, JSON-ready."""
-        # Copy under the lock, sort outside it: sorting up to sample_cap
-        # floats must not stall every request thread waiting on record().
-        with self._lock:
-            copied = {
-                operation: (entry["count"], entry["errors"], entry["total_s"], list(entry["samples"]))
-                for operation, entry in self._operations.items()
-            }
-            totals = {
-                "uptime_s": round(time.time() - self.started_at, 3),
-                "connections_accepted": self.connections_accepted,
-                "requests": self.requests,
-                "errors": self.errors,
-            }
-        operations = {}
-        for operation, (count, errors, total_s, samples) in copied.items():
-            samples.sort()
-            summary = {
-                "count": count,
-                "errors": errors,
+        """Aggregated counters plus histogram-derived percentiles, JSON-ready."""
+        counts = {
+            series["labels"]["op"]: int(series["value"])
+            for series in self._requests.snapshot()
+        }
+        errors = {
+            series["labels"]["op"]: int(series["value"])
+            for series in self._request_errors.snapshot()
+        }
+        operations: Dict[str, Any] = {}
+        for series in self._latency.snapshot():
+            operation = series["labels"]["op"]
+            count = series["count"]
+            if count == 0:
+                continue
+            total_s = series["sum"]
+            operations[operation] = {
+                "count": counts.get(operation, count),
+                "errors": errors.get(operation, 0),
                 "total_ms": round(total_s * 1e3, 3),
                 "mean_us": round(total_s / count * 1e6, 1),
+                "p50_us": round(snapshot_quantile(series, 0.50) * 1e6, 1),
+                "p90_us": round(snapshot_quantile(series, 0.90) * 1e6, 1),
+                "p99_us": round(snapshot_quantile(series, 0.99) * 1e6, 1),
+                "max_us": round(series["max"] * 1e6, 1),
             }
-            if samples:
-                summary.update(
-                    {
-                        "p50_us": round(percentile(samples, 0.50) * 1e6, 1),
-                        "p90_us": round(percentile(samples, 0.90) * 1e6, 1),
-                        "p99_us": round(percentile(samples, 0.99) * 1e6, 1),
-                        "max_us": round(samples[-1] * 1e6, 1),
-                    }
-                )
-            operations[operation] = summary
-        totals["operations"] = operations
-        return totals
+        stages: Dict[str, Any] = {}
+        for series in self._stages.snapshot():
+            count = series["count"]
+            if count == 0:
+                continue
+            stages[series["labels"]["stage"]] = {
+                "count": count,
+                "total_ms": round(series["sum"] * 1e3, 3),
+                "mean_us": round(series["sum"] / count * 1e6, 1),
+                "p50_us": round(snapshot_quantile(series, 0.50) * 1e6, 1),
+                "p99_us": round(snapshot_quantile(series, 0.99) * 1e6, 1),
+            }
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "connections_accepted": self.connections_accepted,
+            "requests": self.requests,
+            "errors": self.errors,
+            "operations": operations,
+            "stages": stages,
+        }
 
 
 def build_cache_summary(store: Any, cache: Optional[BlockCache]) -> Dict[str, Any]:
@@ -209,6 +281,164 @@ def build_cache_summary(store: Any, cache: Optional[BlockCache]) -> Dict[str, An
         summary["capacity_blocks"] = cache.capacity
         summary["resident_blocks"] = len(cache)
     return summary
+
+
+def register_store_observables(
+    registry: MetricsRegistry,
+    store: Any,
+    cache: Optional[BlockCache],
+    active_connections: Any = None,
+) -> None:
+    """Hang scrape-time gauges for a served store off ``registry``.
+
+    The block cache, the reader's I/O counters and the connection set all
+    keep live state of their own; callback gauges read them at scrape
+    time instead of mirroring every mutation, so the hot path pays
+    nothing for exposition.  Shared by the socket server and the HTTP
+    adapter so both expose the same catalog.
+    """
+    if hasattr(store, "cache_stats"):
+        cache_events = registry.gauge(
+            "ngramstore_block_cache_events",
+            "Block cache counters since startup (monotonic)",
+            labels=("event",),
+        )
+
+        def _cache_stat(field: str) -> Any:
+            return lambda: float(getattr(store.cache_stats(), field))
+
+        for event in ("hits", "misses", "evictions"):
+            cache_events.set_callback(_cache_stat(event), event=event)
+    if cache is not None:
+        registry.gauge(
+            "ngramstore_block_cache_capacity_blocks", "Shared block cache capacity"
+        ).set_callback(lambda: float(cache.capacity))
+        registry.gauge(
+            "ngramstore_block_cache_resident_blocks", "Blocks currently cached"
+        ).set_callback(lambda: float(len(cache)))
+    if hasattr(store, "io_stats"):
+        io_events = registry.gauge(
+            "ngramstore_io_events",
+            "Store I/O counters since startup: blocks decoded, bloom-filter "
+            "rejections, mmap-served partitions, cumulative decode seconds",
+            labels=("event",),
+        )
+
+        def _io_stat(field: str) -> Any:
+            return lambda: float(store.io_stats().get(field, 0))
+
+        for event in (
+            "blocks_decoded",
+            "bloom_rejections",
+            "mmap_partitions",
+            "decode_seconds",
+        ):
+            io_events.set_callback(_io_stat(event), event=event)
+    if hasattr(store, "manifest"):
+        registry.gauge(
+            "ngramstore_store_records", "Records served by this store"
+        ).set_callback(lambda: float(store.stats()["num_records"]))
+        registry.gauge(
+            "ngramstore_store_partitions", "Partitions served by this store"
+        ).set_callback(lambda: float(store.stats()["num_partitions"]))
+    if hasattr(store, "shard_index"):
+        shard = registry.gauge(
+            "ngramstore_shard", "Shard identity of this server", labels=("field",)
+        )
+        shard.set_callback(lambda: float(store.shard_index), field="index")
+        shard.set_callback(lambda: float(store.num_shards), field="num_shards")
+    if active_connections is not None:
+        registry.gauge(
+            "ngramstore_active_connections", "Open client connections"
+        ).set_callback(lambda: float(active_connections()))
+
+
+def collect_io_counters(store: Any, operation: str) -> Optional[Dict[str, float]]:
+    """Live I/O + cache counters, for per-request deltas on read operations.
+
+    ``None`` for operations that never touch blocks (ping, stats, ...) or
+    stores that expose neither surface — callers skip the delta entirely.
+    """
+    if operation not in _READ_OPERATIONS:
+        return None
+    counters: Dict[str, float] = {}
+    if hasattr(store, "io_stats"):
+        counters.update(store.io_stats())
+    if hasattr(store, "cache_stats"):
+        stats = store.cache_stats()
+        counters["cache_hits"] = stats.hits
+        counters["cache_misses"] = stats.misses
+    return counters or None
+
+
+def finish_request_observation(
+    metrics: ServerMetrics,
+    slow_log: Optional[SlowQueryLog],
+    trace: TraceContext,
+    bucket: str,
+    request: Any,
+    elapsed: float,
+    ok: bool,
+    io_before: Optional[Dict[str, float]],
+    io_after: Optional[Dict[str, float]],
+) -> None:
+    """One request's tail: metrics, stage histograms, maybe a slow-log line.
+
+    Shared by the socket server and the HTTP adapter so stage attribution
+    and the slow-query record shape cannot drift between transports.  When
+    I/O counters were captured around the request, the engine's ``read``
+    stage is split into ``block_read`` vs ``decode`` using the decode-time
+    the store accumulated — the counters are process-wide, so under
+    concurrent load the attribution is approximate; over a slow request's
+    many blocks it is still the signal that matters.
+    """
+    io_delta: Optional[Dict[str, float]] = None
+    if io_before is not None:
+        io_delta = {
+            field: (io_after or {}).get(field, 0) - before
+            for field, before in io_before.items()
+        }
+        read_seconds = trace.stages.pop("read", None)
+        decode_delta = io_delta.pop("decode_seconds", 0.0)
+        if read_seconds is not None:
+            decode = max(0.0, min(read_seconds, decode_delta))
+            trace.add_stage("decode", decode)
+            trace.add_stage("block_read", read_seconds - decode)
+    metrics.record(bucket, elapsed, ok)
+    for stage, seconds in trace.stages.items():
+        metrics.record_stage(stage, seconds)
+    if slow_log is not None and slow_log.should_log(elapsed):
+        entry: Dict[str, Any] = {
+            "trace_id": trace.trace_id,
+            "op": bucket,
+            "ok": ok,
+            "duration_ms": round(elapsed * 1e3, 3),
+            "key_count": request_key_count(request),
+            "stages_ms": trace.stages_ms(),
+        }
+        if io_delta is not None:
+            entry["io"] = {
+                field: round(value, 6) if isinstance(value, float) else value
+                for field, value in io_delta.items()
+            }
+        slow_log.record(entry)
+
+
+def render_server_metrics(metrics: ServerMetrics, store: Any) -> str:
+    """The full Prometheus exposition for one server.
+
+    A store that is itself an observable component (a
+    :class:`~repro.ngramstore.router.ShardRouter` or
+    :class:`~repro.ngramstore.router.ReplicaPool` fronted by this server)
+    carries its own ``metrics_registry``; its series are appended so a
+    gateway deployment exposes router fan-out and quarantine series from
+    the same ``/metrics`` scrape.
+    """
+    text = metrics.registry.render_prometheus()
+    store_registry = getattr(store, "metrics_registry", None)
+    if store_registry is not None and store_registry is not metrics.registry:
+        text += store_registry.render_prometheus()
+    return text
 
 
 class NGramStoreServer:
@@ -238,6 +468,11 @@ class NGramStoreServer:
             self.cache = getattr(store, "cache", None)
         self.engine = QueryEngine(self.store)
         self.metrics = ServerMetrics()
+        self.slow_log: Optional[SlowQueryLog] = None
+        if self.config.slow_query_ms is not None:
+            self.slow_log = SlowQueryLog(
+                self.config.slow_query_ms, self.config.slow_query_log
+            )
         self.host = self.config.host
         self.port = self.config.port
         self._listener: Optional[socket.socket] = None
@@ -246,6 +481,13 @@ class NGramStoreServer:
         self._shutdown = threading.Event()
         self._connections: "set[socket.socket]" = set()
         self._connections_lock = threading.Lock()
+        register_store_observables(
+            self.metrics.registry, self.store, self.cache, self._active_connections
+        )
+
+    def _active_connections(self) -> int:
+        with self._connections_lock:
+            return len(self._connections)
 
     # ----------------------------------------------------------- lifecycle
     def start(self) -> Tuple[str, int]:
@@ -292,6 +534,8 @@ class NGramStoreServer:
                 pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
+        if self.slow_log is not None:
+            self.slow_log.close()
         self.store.close()
 
     def __enter__(self) -> "NGramStoreServer":
@@ -374,11 +618,16 @@ class NGramStoreServer:
                             {"ok": False, "error": "request exceeds 1 MiB"},
                         )
                         return
+                    parse_watch = Stopwatch()
                     try:
                         request: Any = json.loads(line)
                     except ValueError as error:
                         request = StoreError(f"request is not valid JSON: {error}")
-                    if not self._respond(connection, self._execute(request)):
+                    parse_seconds = parse_watch.elapsed()
+                    if not self._respond(
+                        connection,
+                        self._execute(request, parse_seconds=parse_seconds),
+                    ):
                         return
         except OSError:
             pass  # client went away (or shutdown closed the socket underneath)
@@ -412,31 +661,54 @@ class NGramStoreServer:
             if not self._respond_binary(connection, self._execute(request)):
                 return
 
-    def _execute(self, request: Any) -> Dict[str, Any]:
+    def _execute(self, request: Any, parse_seconds: float = 0.0) -> Dict[str, Any]:
         """One decoded request -> one response dict, with metrics recorded.
 
         Shared by both framings — the protocols differ only in how bytes
         become the request object and how the response object becomes
         bytes.  Pass an exception as ``request`` to report a decode
         failure through the same error/metrics path.
+
+        ``parse_seconds`` is time the transport already spent decoding the
+        request bytes; it counts toward the request's latency and shows up
+        as the ``parse`` stage.
         """
-        started = time.perf_counter()
+        watch = Stopwatch()
         operation = "invalid"
+        trace = TraceContext.from_request(request)
+        if parse_seconds:
+            trace.add_stage("parse", parse_seconds)
+        io_before: Optional[Dict[str, float]] = None
         try:
             if isinstance(request, Exception):
                 raise request
             if not isinstance(request, dict):
                 raise StoreError("request must be a JSON object")
             operation = str(request.get("op"))
-            response = self._handle(operation, request)
+            io_before = collect_io_counters(self.store, operation)
+            response = self._handle(operation, request, trace)
             response["ok"] = True
         except (StoreError, KeyError, TypeError, ValueError) as error:
             response = {"ok": False, "error": f"{error}"}
         ok = response.get("ok", False)
+        elapsed = watch.elapsed() + parse_seconds
         # Clamp to the known set: client-chosen strings must not
         # grow the metrics dict without bound on a long-lived server.
         bucket = operation if operation in OPERATIONS else "invalid"
-        self.metrics.record(bucket, time.perf_counter() - started, ok)
+        io_after = (
+            collect_io_counters(self.store, operation) if io_before is not None else None
+        )
+        finish_request_observation(
+            self.metrics,
+            self.slow_log,
+            trace,
+            bucket,
+            request,
+            elapsed,
+            ok,
+            io_before,
+            io_after,
+        )
         return response
 
     def _respond(self, connection: socket.socket, response: Dict[str, Any]) -> bool:
@@ -469,13 +741,19 @@ class NGramStoreServer:
             return False
 
     # ------------------------------------------------------------ handlers
-    def _handle(self, operation: str, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle(
+        self,
+        operation: str,
+        request: Dict[str, Any],
+        trace: Optional[TraceContext] = None,
+    ) -> Dict[str, Any]:
         """One request dict -> one response dict (without the ``ok`` field).
 
-        ``server_stats`` is transport state (metrics, cache, connections)
-        and is answered here; every store query goes through the shared
-        :class:`QueryEngine`, after :func:`normalize_request` maps legacy
-        field spellings onto the unified schema.
+        ``server_stats`` and ``metrics`` are transport state (metrics,
+        cache, connections) and are answered here; every store query goes
+        through the shared :class:`QueryEngine`, after
+        :func:`normalize_request` maps legacy field spellings onto the
+        unified schema.
         """
         if operation == "server_stats":
             snapshot = self.metrics.snapshot()
@@ -483,8 +761,10 @@ class NGramStoreServer:
             with self._connections_lock:
                 snapshot["active_connections"] = len(self._connections)
             return snapshot
+        if operation == "metrics":
+            return {"text": render_server_metrics(self.metrics, self.store)}
         request, deprecated = normalize_request(request)
-        response = self.engine.handle(request)
+        response = self.engine.handle(request, trace=trace)
         if deprecated:
             response["deprecated"] = deprecated
         return response
@@ -556,6 +836,7 @@ class StoreClient(RemoteStore):
         self.backoff = backoff
         self.protocol = protocol
         self.negotiated_protocol: Optional[str] = None
+        self.last_trace_id: Optional[str] = None
         self._socket: Optional[socket.socket] = None
         self._reader: Optional[Any] = None
         self._closed = False
@@ -645,6 +926,11 @@ class StoreClient(RemoteStore):
     def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
         if self._closed:
             raise StoreError("client is closed")
+        # Every request leaves this client with a trace ID (an existing one
+        # is respected — a router propagating a caller's ID wins), and the
+        # ID is kept so the caller can join client-side latency to the
+        # server's slow-query log line for the same request.
+        self.last_trace_id = attach_trace(request)
         attempts = self.max_retries + 1
         response: Any = None
         for attempt in range(attempts):

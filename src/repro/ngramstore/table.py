@@ -17,6 +17,7 @@ import heapq
 import mmap
 import os
 import threading
+import time
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from itertools import islice
@@ -428,6 +429,7 @@ class Table:
                 self._mmap = None
         self.blocks_decoded = 0
         self.bloom_rejections = 0
+        self.decode_seconds = 0.0
         self._closed = False
 
     # ----------------------------------------------------------- properties
@@ -502,6 +504,7 @@ class Table:
                     f"block at offset {entry.offset} overruns the mapped file"
                 )
             view = memoryview(self._mmap)[entry.offset : entry.offset + entry.length]
+            decode_started = time.perf_counter()
             records = decode_block_view(view)
         else:
             with self._io_lock:
@@ -512,8 +515,10 @@ class Table:
                     f"truncated block {block_index} in {self.path!r}: "
                     f"expected {entry.length} bytes, got {len(payload)}"
                 )
+            decode_started = time.perf_counter()
             records = decode_block(payload, self._codec)
         self.blocks_decoded += 1
+        self.decode_seconds += time.perf_counter() - decode_started
         if len(records) != entry.num_records:
             raise StoreError(
                 f"block {block_index} in {self.path!r} decoded to {len(records)} "

@@ -1,0 +1,249 @@
+"""Tests for the workload replay harness and its SLO gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import StoreConfig
+from repro.exceptions import StoreError
+from repro.ngramstore import NGramStore, build_store
+from repro.ngramstore.loadgen import (
+    MIXES,
+    REPORT_SCHEMA,
+    LoadgenConfig,
+    SLOTargets,
+    build_operations,
+    check_slos,
+    run_loadgen,
+)
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("loadgen-store") / "store")
+    records = [((i, j), (i * 31 + j) % 211 + 1) for i in range(30) for j in range(12)]
+    build_store(
+        records, directory, store=StoreConfig(num_partitions=2, records_per_block=16)
+    )
+    return directory
+
+
+class TestConfig:
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(StoreError, match="unknown mix"):
+            LoadgenConfig(mixes=("hot_key", "bogus"))
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("requests_per_mix", 0),
+            ("concurrency", 0),
+            ("batch_size", -1),
+            ("universe", 0),
+        ],
+    )
+    def test_non_positive_knobs_rejected(self, field, value):
+        with pytest.raises(StoreError):
+            LoadgenConfig(**{field: value})
+
+
+class TestGeneration:
+    def test_same_seed_same_workload(self, store_dir):
+        config = LoadgenConfig(requests_per_mix=40, seed=7)
+        with NGramStore.open(store_dir) as store:
+            first = build_operations(store, config)
+            second = build_operations(store, config)
+        assert first == second
+
+    def test_different_seed_different_workload(self, store_dir):
+        with NGramStore.open(store_dir) as store:
+            first = build_operations(store, LoadgenConfig(requests_per_mix=40, seed=1))
+            second = build_operations(store, LoadgenConfig(requests_per_mix=40, seed=2))
+        assert first != second
+
+    def test_mix_shapes(self, store_dir):
+        config = LoadgenConfig(requests_per_mix=30, batch_size=5)
+        with NGramStore.open(store_dir) as store:
+            workload = build_operations(store, config)
+        assert set(workload) == set(MIXES)
+        assert all(kind == "get" for kind, _ in workload["hot_key"])
+        assert all(kind == "prefix" for kind, _ in workload["prefix_heavy"])
+        for kind, payload in workload["batch"]:
+            assert kind == "multi_get"
+            assert len(payload) == 5
+        assert {kind for kind, _ in workload["mixed"]} <= {"get", "prefix", "multi_get"}
+
+    def test_hot_key_skew_favours_frequent_keys(self, store_dir):
+        config = LoadgenConfig(requests_per_mix=400, zipf_s=1.5, seed=3)
+        with NGramStore.open(store_dir) as store:
+            top = tuple(store.top_k(1, order="frequency")[0][0])
+            workload = build_operations(store, config)
+        hottest_hits = sum(1 for _, key in workload["hot_key"] if tuple(key) == top)
+        # Rank 1 of a zipf(1.5) draw over 256 keys carries ~37% of the mass;
+        # 400 draws put the hit count far above a uniform draw's ~1.5.
+        assert hottest_hits > 40
+
+    def test_empty_store_rejected(self, tmp_path):
+        directory = str(tmp_path / "empty")
+        build_store([], directory)
+        with NGramStore.open(directory) as store:
+            with pytest.raises(StoreError, match="empty"):
+                build_operations(store, LoadgenConfig())
+
+
+class TestReplay:
+    def test_report_shape_and_counts(self, store_dir):
+        config = LoadgenConfig(requests_per_mix=25, concurrency=3, seed=5)
+        with NGramStore.open(store_dir) as store:
+            report = run_loadgen(store, config, target="unit-test")
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["target"] == "unit-test"
+        assert set(report["mixes"]) == set(MIXES)
+        for stats in report["mixes"].values():
+            assert stats["requests"] == 25
+            assert stats["errors"] == 0
+            assert stats["throughput_rps"] > 0
+            assert 0 <= stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+            assert stats["p99_ms"] <= stats["max_ms"]
+
+    def test_per_worker_factory_builds_and_closes(self, store_dir):
+        built = []
+
+        class TrackingStore:
+            def __init__(self):
+                self.inner = NGramStore.open(store_dir)
+                self.closed = False
+                built.append(self)
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+            def close(self):
+                self.closed = True
+                self.inner.close()
+
+        config = LoadgenConfig(
+            mixes=("hot_key",), requests_per_mix=10, concurrency=3
+        )
+        with NGramStore.open(store_dir) as generator:
+            run_loadgen(generator, config, factory=TrackingStore)
+        assert len(built) == 3
+        assert all(worker.closed for worker in built)
+
+    def test_json_serialisable(self, store_dir):
+        with NGramStore.open(store_dir) as store:
+            report = run_loadgen(
+                store, LoadgenConfig(mixes=("hot_key",), requests_per_mix=5)
+            )
+        json.dumps(report)
+
+
+class TestSLOs:
+    def _report(self, p99=10.0, throughput=100.0, errors=0):
+        return {
+            "mixes": {
+                "hot_key": {
+                    "p50_ms": 1.0,
+                    "p95_ms": 5.0,
+                    "p99_ms": p99,
+                    "throughput_rps": throughput,
+                    "errors": errors,
+                }
+            }
+        }
+
+    def test_all_met(self):
+        slo = SLOTargets(p99_ms=50.0, min_throughput=10.0)
+        assert check_slos(self._report(), slo) == []
+
+    def test_latency_violation(self):
+        violations = check_slos(self._report(p99=100.0), SLOTargets(p99_ms=50.0))
+        assert len(violations) == 1
+        assert "p99" in violations[0]
+
+    def test_throughput_violation(self):
+        violations = check_slos(
+            self._report(throughput=5.0), SLOTargets(min_throughput=10.0)
+        )
+        assert any("throughput" in violation for violation in violations)
+
+    def test_errors_always_flagged(self):
+        violations = check_slos(self._report(errors=2), SLOTargets())
+        assert any("failed" in violation for violation in violations)
+
+    def test_unset_targets_unchecked(self):
+        assert check_slos(self._report(p99=10_000.0), SLOTargets()) == []
+        assert not SLOTargets().any_set()
+        assert SLOTargets(p50_ms=1.0).any_set()
+
+
+class TestLoadgenCLI:
+    def test_end_to_end_report_and_exit_zero(self, store_dir, tmp_path, capsys):
+        report_path = tmp_path / "reports" / "BENCH_loadgen.json"
+        code = main(
+            [
+                "loadgen",
+                store_dir,
+                "--requests",
+                "10",
+                "--concurrency",
+                "2",
+                "--report",
+                str(report_path),
+                "--slo-p99-ms",
+                "60000",
+            ]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["ok"] is True
+        assert report["slo"]["p99_ms"] == 60000
+        assert report["slo_violations"] == []
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["mixes"].keys() == report["mixes"].keys()
+
+    def test_slo_violation_exits_one(self, store_dir, tmp_path, capsys):
+        report_path = tmp_path / "BENCH_loadgen.json"
+        code = main(
+            [
+                "loadgen",
+                store_dir,
+                "--mixes",
+                "hot_key",
+                "--requests",
+                "5",
+                "--report",
+                str(report_path),
+                "--slo-p50-ms",
+                "0.000001",
+            ]
+        )
+        assert code == 1
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is False
+        assert report["slo_violations"]
+        assert "SLO violation" in capsys.readouterr().err
+
+    def test_requires_exactly_one_target(self, store_dir, capsys):
+        assert main(["loadgen"]) == 2
+        assert (
+            main(["loadgen", store_dir, "--connect", "127.0.0.1:1"]) == 2
+        )
+        assert "exactly one target" in capsys.readouterr().err
+
+    def test_bad_endpoint_exits_two(self, capsys):
+        assert main(["loadgen", "--connect", "not-an-endpoint"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_multiple_endpoints_need_topology(self, capsys):
+        code = main(
+            ["loadgen", "--connect", "127.0.0.1:1", "--connect", "127.0.0.1:2"]
+        )
+        assert code == 2
+        assert "--topology" in capsys.readouterr().err
+
+    def test_unknown_mix_exits_two(self, store_dir, capsys):
+        assert main(["loadgen", store_dir, "--mixes", "bogus"]) == 2
+        assert "unknown mix" in capsys.readouterr().err

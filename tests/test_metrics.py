@@ -1,0 +1,243 @@
+"""Tests for the process-wide metrics registry and Prometheus exposition."""
+
+import json
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.util.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    merge_histogram_snapshots,
+    quantile_from_buckets,
+)
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        counter = Counter("requests_total", "requests", ("op",))
+        counter.inc(op="get")
+        counter.inc(2, op="get")
+        counter.inc(op="prefix")
+        assert counter.value(op="get") == 3
+        assert counter.value(op="prefix") == 1
+        assert counter.value(op="absent") == 0
+        assert counter.total() == 4
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c_total", "c", ())
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_unknown_label_rejected(self):
+        counter = Counter("c_total", "c", ("op",))
+        with pytest.raises(ValueError):
+            counter.inc(shard="3")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("resident", "resident", ())
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.value() == 3
+
+    def test_callback_evaluated_at_read_time(self):
+        state = {"value": 1}
+        gauge = Gauge("depth", "depth", ())
+        gauge.set_callback(lambda: state["value"])
+        assert gauge.value() == 1
+        state["value"] = 7
+        assert gauge.value() == 7
+
+    def test_dead_callback_is_dropped_from_scrapes(self):
+        gauge = Gauge("depth", "depth", ("source",))
+        gauge.set_callback(lambda: 1 / 0, source="dead")
+        gauge.set(4, source="live")
+        # The scrape surfaces (snapshot/render) must survive a callback
+        # whose backing object has gone away — the series is omitted.
+        assert gauge.snapshot() == [{"labels": {"source": "live"}, "value": 4.0}]
+        lines = []
+        gauge.render(lines)
+        assert lines == ['depth{source="live"} 4']
+
+
+class TestHistogram:
+    def test_buckets_cumulative_and_inf_total(self):
+        histogram = Histogram("lat_seconds", "latency", (), buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        lines = []
+        histogram.render(lines)
+        rendered = "\n".join(lines)
+        assert 'lat_seconds_bucket{le="0.1"} 1' in rendered
+        assert 'lat_seconds_bucket{le="1"} 2' in rendered
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in rendered
+        assert "lat_seconds_count 3" in rendered
+
+    def test_non_ascending_buckets_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", "h", (), buckets=(1.0, 0.5))
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = Histogram("h_seconds", "h", ())
+        for _ in range(100):
+            histogram.observe(0.0005)
+        # Interpolation inside the containing bucket must never report an
+        # estimate outside what was actually observed.
+        assert histogram.quantile(0.50) == pytest.approx(0.0005)
+        assert histogram.quantile(0.99) == pytest.approx(0.0005)
+        assert histogram.quantile(0.50) <= histogram.quantile(0.99) <= histogram.max()
+
+    def test_quantile_orders_across_spread_observations(self):
+        histogram = Histogram("h_seconds", "h", ())
+        for value in (0.0001, 0.001, 0.01, 0.1, 0.5):
+            for _ in range(20):
+                histogram.observe(value)
+        p50 = histogram.quantile(0.50)
+        p99 = histogram.quantile(0.99)
+        assert p50 <= p99 <= histogram.max()
+        assert p99 > 0.05  # the slow tail dominates the upper quantile
+
+    def test_overflow_observations_reported_at_observed_max(self):
+        top = DEFAULT_LATENCY_BUCKETS[-1]
+        histogram = Histogram("h_seconds", "h", ())
+        histogram.observe(top * 4)
+        assert histogram.quantile(0.99) == pytest.approx(top * 4)
+
+    def test_merge_snapshots_doubles_counts(self):
+        histogram = Histogram("h_seconds", "h", ())
+        for value in (0.001, 0.01, 0.2):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()[0]
+        merged = merge_histogram_snapshots([snapshot, snapshot])
+        assert merged["count"] == 2 * snapshot["count"]
+        assert merged["sum"] == pytest.approx(2 * snapshot["sum"])
+        # Merging identical shards must not move the quantile estimates.
+        assert quantile_from_buckets(
+            merged["bounds"], merged["buckets"], 0.5
+        ) == pytest.approx(
+            quantile_from_buckets(snapshot["bounds"], snapshot["buckets"], 0.5)
+        )
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "x", labels=("op",))
+        second = registry.counter("x_total", "x", labels=("op",))
+        assert first is second
+
+    def test_type_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "x")
+
+    def test_label_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "x", labels=("op",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "x", labels=("shard",))
+
+    def test_render_is_valid_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "requests", labels=("op",)).inc(op='we"ird\n')
+        registry.gauge("depth", "queue depth").set(3)
+        registry.histogram("lat_seconds", "latency").observe(0.01)
+        text = registry.render_prometheus()
+        assert text.endswith("\n")
+        assert "# TYPE req_total counter" in text
+        # Label values escape backslash, quote and newline per the format.
+        assert 'op="we\\"ird\\n"' in text
+        for line in text.splitlines():
+            assert "\n" not in line
+
+    def test_default_registry_is_singleton(self):
+        assert default_registry() is default_registry()
+
+
+class TestConcurrency:
+    """The registry is hammered from a pool; totals must be exact."""
+
+    def test_concurrent_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "hits", labels=("worker",))
+        increments, workers = 2000, 8
+
+        def hammer(worker):
+            for _ in range(increments):
+                counter.inc(worker=str(worker % 4))
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(hammer, range(workers)))
+        assert counter.total() == increments * workers
+
+    def test_concurrent_histogram_observations_are_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", "latency", labels=("op",))
+        observations, workers = 2000, 8
+
+        def hammer(worker):
+            for index in range(observations):
+                histogram.observe(1e-5 * (1 + index % 50), op="get")
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(hammer, range(workers)))
+        series = histogram.snapshot()[0]
+        assert series["count"] == observations * workers
+        assert sum(series["buckets"]) + 0 == observations * workers
+
+    def test_snapshot_during_writes_is_consistent(self):
+        """A snapshot taken mid-write is internally consistent.
+
+        bucket counts must sum to the series count and the sum must be
+        bounded by count * max — i.e. never a torn read.
+        """
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", "latency")
+        stop = threading.Event()
+
+        def writer():
+            value = 0
+            while not stop.is_set():
+                histogram.observe(1e-5 * (1 + value % 100))
+                value += 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                for series in histogram.snapshot():
+                    assert sum(series["buckets"]) == series["count"]
+                    if series["count"]:
+                        assert series["sum"] <= series["count"] * series["max"] * 1.001
+                        assert series["min"] <= series["max"]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+    def test_concurrent_get_or_create_yields_one_metric(self):
+        registry = MetricsRegistry()
+        results = []
+
+        def create():
+            results.append(registry.counter("shared_total", "shared"))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: create(), range(32)))
+        assert all(metric is results[0] for metric in results)
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", "latency").observe(0.02)
+        registry.gauge("g", "g").set(math.pi)
+        json.dumps(registry.snapshot())

@@ -94,3 +94,33 @@ class TestJobPipeline:
         assert result.num_jobs == 0
         assert result.final_output == []
         assert result.counters.map_output_records == 0
+
+
+class TestJobMetricsPublication:
+    def test_completed_jobs_land_in_metrics_registry(self):
+        from repro.mapreduce.metrics import publish_job_metrics
+        from repro.util.metrics import MetricsRegistry
+
+        pipeline = JobPipeline()
+        result = pipeline.run_job(_count_job("observed"), INPUT)
+
+        registry = MetricsRegistry()
+        publish_job_metrics(result, registry)
+        jobs = registry.get("mapreduce_jobs_total")
+        assert jobs.value(job="observed") == 1
+        counters = registry.get("mapreduce_counters_total")
+        assert counters.value(
+            group="task", counter=MAP_OUTPUT_RECORDS
+        ) == result.counters.get(MAP_OUTPUT_RECORDS)
+        assert registry.get("mapreduce_job_seconds").count() == 1
+
+    def test_pipeline_publishes_to_default_registry(self):
+        from repro.util.metrics import default_registry
+
+        jobs = default_registry().counter(
+            "mapreduce_jobs_total", "MapReduce jobs completed, by job name",
+            labels=("job",),
+        )
+        before = jobs.value(job="auto-published")
+        JobPipeline().run_job(_count_job("auto-published"), INPUT)
+        assert jobs.value(job="auto-published") == before + 1

@@ -323,3 +323,93 @@ class TestServeHTTPCLI:
         assert "protocol=http" in stdout
         metrics = json.loads(metrics_file.read_text())
         assert metrics["operations"]["get"]["count"] >= 1
+
+
+class TestHttpObservability:
+    """GET /metrics exposition, tracing, and the gateway router series."""
+
+    def test_metrics_endpoint_returns_prometheus_text(self, base_url):
+        with urllib.request.urlopen(f"{base_url}/metrics") as reply:
+            assert reply.status == 200
+            assert reply.headers["Content-Type"].startswith("text/plain")
+            text = reply.read().decode("utf-8")
+        assert text.endswith("\n")
+        assert "# TYPE ngramstore_requests_total counter" in text
+        assert "ngramstore_request_seconds_bucket" in text
+        assert 'ngramstore_block_cache_events{event="hits"}' in text
+        assert 'ngramstore_io_events{event="blocks_decoded"}' in text
+        # Exposition lines are "name{labels} value" or comments — no blanks.
+        for line in text.rstrip("\n").splitlines():
+            assert line.startswith("#") or " " in line
+
+    def test_metrics_scrape_is_counted(self, base_url):
+        with urllib.request.urlopen(f"{base_url}/metrics") as reply:
+            reply.read()
+        with urllib.request.urlopen(f"{base_url}/metrics") as reply:
+            text = reply.read().decode("utf-8")
+        scrapes = [
+            line
+            for line in text.splitlines()
+            if line.startswith('ngramstore_requests_total{op="metrics"}')
+        ]
+        assert scrapes and float(scrapes[0].rsplit(" ", 1)[1]) >= 1
+
+    def test_metrics_op_over_post_query(self, base_url):
+        request = urllib.request.Request(
+            f"{base_url}/query",
+            data=json.dumps({"op": "metrics"}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as reply:
+            body = json.loads(reply.read())
+        assert body["ok"] is True
+        assert "ngramstore_requests_total" in body["text"]
+
+    def test_client_metrics_text_and_trace_id(self, base_url):
+        with HttpStoreClient(base_url) as client:
+            client.get((1, 2))
+            assert client.last_trace_id
+            assert len(client.last_trace_id) == 16
+            text = client.metrics_text()
+        assert "ngramstore_requests_total" in text
+
+    def test_slow_log_trace_id_matches_http_client(self, store_dir, tmp_path):
+        log_path = tmp_path / "slow-http.jsonl"
+        config = ServerConfig(
+            port=0,
+            protocol="http",
+            slow_query_ms=0.0,
+            slow_query_log=str(log_path),
+        )
+        with NGramStoreHTTPServer(store_dir, config=config) as running:
+            with HttpStoreClient(f"http://{running.host}:{running.port}") as client:
+                client.get((1, 2))
+                trace_id = client.last_trace_id
+        entries = [
+            json.loads(line)
+            for line in log_path.read_text(encoding="utf-8").splitlines()
+        ]
+        gets = [entry for entry in entries if entry["op"] == "get"]
+        assert gets and gets[-1]["trace_id"] == trace_id
+        assert "parse" in gets[-1]["stages_ms"]
+        assert "blocks_decoded" in gets[-1]["io"]
+
+    def test_gateway_exposes_router_series(self, store_dir):
+        """A server fronting a ShardRouter merges the router's registry
+        into its /metrics — fan-out series are scrapeable at the edge."""
+        from repro.ngramstore.router import ShardRouter, ShardView
+
+        stores = [NGramStore.open(store_dir) for _ in range(2)]
+        router = ShardRouter(
+            [ShardView(store, index, 2) for index, store in enumerate(stores)]
+        )
+        config = ServerConfig(port=0, protocol="http")
+        with NGramStoreHTTPServer(router, config=config) as gateway:
+            base = f"http://{gateway.host}:{gateway.port}"
+            status, body = http_get(f"{base}/top_k?k=5")
+            assert status == 200 and len(body["records"]) == 5
+            with urllib.request.urlopen(f"{base}/metrics") as reply:
+                text = reply.read().decode("utf-8")
+        assert 'ngramstore_router_requests_total{op="top_k"}' in text
+        assert "ngramstore_router_fanout_seconds_bucket" in text
+        assert "ngramstore_router_shards 2" in text

@@ -379,6 +379,92 @@ class TestServeCLI:
         assert main(["serve", str(tmp_path / "nope")]) == 2
         assert "manifest" in capsys.readouterr().err
 
+    def test_serve_metrics_interval_requires_file(self, store_dir, capsys):
+        assert main(["serve", store_dir, "--metrics-interval", "1"]) == 2
+        assert "--metrics-file" in capsys.readouterr().err
+
+    def test_serve_periodic_metrics_and_sigterm_during_load(self, store_dir, tmp_path):
+        """Periodic snapshots land while serving, the slow-query log fills,
+        and a SIGTERM arriving mid-load still produces the final snapshot
+        — with both files in directories that did not exist beforehand."""
+        ready = str(tmp_path / "ready.txt")
+        metrics_path = tmp_path / "obs" / "nested" / "metrics.json"
+        slow_path = tmp_path / "obs" / "logs" / "slow.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            "src" + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                store_dir,
+                "--port",
+                "0",
+                "--ready-file",
+                ready,
+                "--metrics-file",
+                str(metrics_path),
+                "--metrics-interval",
+                "0.1",
+                "--slow-query-ms",
+                "0",
+                "--slow-query-log",
+                str(slow_path),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        stop_load = threading.Event()
+
+        def load(host, port):
+            try:
+                with StoreClient(host, int(port)) as client:
+                    while not stop_load.is_set():
+                        client.get((1, 2))
+            except (StoreError, StoreConnectionError, OSError):
+                pass  # the server going away mid-load is the point
+
+        loader = None
+        try:
+            deadline = time.time() + 30
+            while not os.path.exists(ready):
+                assert process.poll() is None, process.stderr.read()
+                assert time.time() < deadline, "server did not become ready"
+                time.sleep(0.05)
+            host, port = open(ready, encoding="utf-8").read().split()
+            loader = threading.Thread(target=load, args=(host, port))
+            loader.start()
+            # A periodic snapshot must appear while requests are in flight.
+            while not metrics_path.exists():
+                assert process.poll() is None
+                assert time.time() < deadline, "no periodic metrics snapshot"
+                time.sleep(0.05)
+            periodic = json.loads(metrics_path.read_text(encoding="utf-8"))
+            assert "operations" in periodic
+            # SIGTERM lands while the loader is still hammering the server.
+            process.send_signal(signal.SIGTERM)
+            _, stderr = process.communicate(timeout=30)
+        finally:
+            stop_load.set()
+            if loader is not None:
+                loader.join(timeout=10)
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stderr
+        final = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert final["operations"]["get"]["count"] >= 1
+        entries = [
+            json.loads(line)
+            for line in slow_path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert any(entry["op"] == "get" and entry["trace_id"] for entry in entries)
+
     def test_serve_smoke_driver(self, store_dir, tmp_path):
         """The CI serve-smoke script passes against a freshly built store."""
         from benchmarks import serve_smoke
@@ -632,3 +718,112 @@ class TestMetricsHelpers:
         assert entry["errors"] == 1
         assert snapshot["errors"] == 1
         assert entry["p50_us"] <= entry["p99_us"] <= entry["max_us"]
+
+    def test_percentiles_weigh_every_observation(self):
+        """Regression: the old implementation kept only the *first* N
+        latency samples per operation, so a server that warmed up fast and
+        degraded later reported its warm-up percentiles forever.  The
+        histogram-backed metrics must see the degradation."""
+        metrics = ServerMetrics()
+        for _ in range(1500):
+            metrics.record("get", 0.001, ok=True)
+        for _ in range(1500):
+            metrics.record("get", 0.2, ok=True)
+        entry = metrics.snapshot()["operations"]["get"]
+        assert entry["count"] == 3000
+        # Half the observations sit at 200 ms: p90 and p99 must be up
+        # there, not at the 1 ms the first arrivals showed.
+        assert entry["p90_us"] > 50_000
+        assert entry["p99_us"] > 50_000
+        assert entry["p50_us"] <= entry["p99_us"] <= entry["max_us"]
+
+    def test_stage_histograms_in_snapshot(self):
+        metrics = ServerMetrics()
+        metrics.record_stage("route", 0.0001)
+        metrics.record_stage("block_read", 0.002)
+        metrics.record_stage("block_read", 0.004)
+        stages = metrics.snapshot()["stages"]
+        assert stages["block_read"]["count"] == 2
+        assert stages["route"]["count"] == 1
+        assert stages["block_read"]["p50_us"] <= stages["block_read"]["p99_us"]
+
+
+class TestObservability:
+    """/metrics exposition and the trace-carrying slow-query log."""
+
+    @pytest.mark.parametrize("protocol", ["binary", "json"])
+    def test_metrics_op_returns_prometheus_text(self, server, protocol):
+        with StoreClient(server.host, server.port, protocol=protocol) as client:
+            client.top_k(3)
+            client.get((1, 2))
+            text = client.metrics_text()
+        assert "# TYPE ngramstore_requests_total counter" in text
+        assert 'ngramstore_requests_total{op="top_k"}' in text
+        assert "ngramstore_request_seconds_bucket" in text
+        assert 'ngramstore_io_events{event="blocks_decoded"}' in text
+        assert 'ngramstore_block_cache_events{event="hits"}' in text
+        assert "ngramstore_active_connections" in text
+
+    @pytest.mark.parametrize("protocol", ["binary", "json"])
+    def test_slow_log_trace_id_matches_client(self, store_dir, tmp_path, protocol):
+        """The acceptance path: a slow query's log line carries the same
+        trace ID the client minted, over both wire protocols."""
+        log_path = tmp_path / "logs" / f"slow-{protocol}.jsonl"
+        config = ServerConfig(
+            port=0,
+            cache_blocks=8,
+            slow_query_ms=0.0,  # log everything
+            slow_query_log=str(log_path),
+        )
+        with NGramStoreServer(store_dir, config=config) as running:
+            with StoreClient(
+                running.host, running.port, protocol=protocol
+            ) as client:
+                assert client.negotiated_protocol == protocol
+                client.get((1, 2))
+                trace_id = client.last_trace_id
+        assert trace_id
+        entries = [
+            json.loads(line)
+            for line in log_path.read_text(encoding="utf-8").splitlines()
+        ]
+        gets = [entry for entry in entries if entry["op"] == "get"]
+        assert gets, f"no get entries in slow log: {entries}"
+        entry = gets[-1]
+        assert entry["trace_id"] == trace_id
+        assert entry["ok"] is True
+        assert entry["key_count"] == 1
+        assert entry["duration_ms"] >= 0
+        assert "route" in entry["stages_ms"]
+        assert "blocks_decoded" in entry["io"]
+        assert "cache_hits" in entry["io"]
+
+    def test_forwarded_trace_id_is_preserved(self, server):
+        """A request that already carries a trace keeps it end to end —
+        what makes a gateway's log line joinable with the shard's."""
+        with StoreClient(server.host, server.port) as client:
+            response = client._call(
+                {"op": "ping", "trace": {"id": "feedfacefeedface"}}
+            )
+            assert response["ok"]
+            assert client.last_trace_id == "feedfacefeedface"
+
+    def test_server_stats_includes_stage_timings(self, server):
+        with StoreClient(server.host, server.port) as client:
+            client.get((1, 2))
+            stats = client.server_stats()
+        assert "route" in stats["stages"]
+        assert stats["stages"]["route"]["count"] >= 1
+
+    def test_slow_log_threshold_filters(self, store_dir, tmp_path):
+        log_path = tmp_path / "slow.jsonl"
+        config = ServerConfig(
+            port=0,
+            slow_query_ms=60_000.0,  # nothing in this test is that slow
+            slow_query_log=str(log_path),
+        )
+        with NGramStoreServer(store_dir, config=config) as running:
+            with StoreClient(running.host, running.port) as client:
+                client.get((1, 2))
+                client.top_k(3)
+        assert not log_path.exists() or log_path.read_text() == ""

@@ -1,0 +1,112 @@
+"""Tests for request tracing: IDs, stage timing, and the slow-query log."""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.util.tracing import (
+    TRACE_FIELD,
+    SlowQueryLog,
+    TraceContext,
+    attach_trace,
+    new_trace_id,
+    trace_id_of,
+)
+
+
+class TestTraceIds:
+    def test_new_ids_are_hex_and_distinct(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)
+
+    def test_attach_trace_mints_and_stamps(self):
+        request = {"op": "get", "key": [1]}
+        trace_id = attach_trace(request)
+        assert request[TRACE_FIELD] == {"id": trace_id}
+        assert trace_id_of(request) == trace_id
+
+    def test_attach_trace_respects_existing_id(self):
+        """A router forwarding a traced request must not re-mint the ID —
+        that is what makes one request traceable across tiers."""
+        request = {"op": "get", TRACE_FIELD: {"id": "deadbeefdeadbeef"}}
+        assert attach_trace(request) == "deadbeefdeadbeef"
+        assert request[TRACE_FIELD] == {"id": "deadbeefdeadbeef"}
+
+    @pytest.mark.parametrize(
+        "malformed", [None, "bare-string", {"id": ""}, {"id": 7}, ["id"], {}]
+    )
+    def test_malformed_trace_yields_none(self, malformed):
+        assert trace_id_of({"op": "get", TRACE_FIELD: malformed}) is None
+
+    def test_trace_id_of_untraced_request(self):
+        assert trace_id_of({"op": "get"}) is None
+        assert trace_id_of("not a dict") is None
+
+
+class TestTraceContext:
+    def test_from_request_adopts_wire_id(self):
+        trace = TraceContext.from_request({"op": "get", TRACE_FIELD: {"id": "ab" * 8}})
+        assert trace.trace_id == "ab" * 8
+
+    def test_from_request_mints_for_untraced(self):
+        trace = TraceContext.from_request({"op": "get"})
+        assert len(trace.trace_id) == 16
+
+    def test_stage_accumulates_and_sums_repeats(self):
+        trace = TraceContext.from_request({})
+        with trace.stage("read"):
+            time.sleep(0.002)
+        with trace.stage("read"):
+            time.sleep(0.002)
+        with trace.stage("route"):
+            pass
+        assert set(trace.stages) == {"read", "route"}
+        assert trace.stages["read"] >= 0.003
+        stages_ms = trace.stages_ms()
+        assert stages_ms["read"] == pytest.approx(trace.stages["read"] * 1e3, rel=0.01)
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters_entries(self):
+        log = SlowQueryLog(5.0)
+        assert log.should_log(0.006)
+        assert not log.should_log(0.004)
+
+    def test_zero_threshold_logs_everything(self):
+        assert SlowQueryLog(0.0).should_log(0.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(-1.0)
+
+    def test_records_json_lines_to_stream(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(0.0, stream=stream)
+        log.record({"trace_id": "x" * 16, "op": "get", "duration_ms": 12.5})
+        log.record({"trace_id": "y" * 16, "op": "prefix", "duration_ms": 80.0})
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [entry["op"] for entry in lines] == ["get", "prefix"]
+        assert all("ts" in entry for entry in lines)
+        assert log.entries[0]["trace_id"] == "x" * 16
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "slow.jsonl"
+        with SlowQueryLog(0.0, str(path)) as log:
+            log.record({"op": "get", "duration_ms": 1.0})
+        entries = [
+            json.loads(line) for line in path.read_text().splitlines() if line
+        ]
+        assert entries[0]["op"] == "get"
+
+    def test_appends_across_reopen(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        with SlowQueryLog(0.0, str(path)) as log:
+            log.record({"op": "get"})
+        with SlowQueryLog(0.0, str(path)) as log:
+            log.record({"op": "prefix"})
+        assert len(path.read_text().splitlines()) == 2
