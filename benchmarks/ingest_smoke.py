@@ -1,0 +1,165 @@
+"""End-to-end ingest smoke: incremental LSM growth equals a batch recount.
+
+The check CI runs for the incremental-ingestion tier:
+
+1. Slice one synthetic corpus into a base batch plus ``--deltas`` delta
+   batches, all encoded against the *shared* dictionary (the contract
+   ``repro ingest`` enforces).
+2. Drive the real CLI: ``repro ingest --init`` for the base batch, one
+   ``repro ingest`` per delta, then ``repro compact --all`` (writing the
+   compaction-stats JSON that CI uploads as an artifact).
+3. Build the reference store from scratch: one counting run over the whole
+   corpus, persisted at the same τ.
+4. Assert query identity — records, spot gets, top-k in both orders — for
+   the LSM directory read directly *and* served over the socket protocol.
+
+Exit status is non-zero on any mismatch, so the CI step fails loudly.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.algorithms import make_counter
+from repro.cli import main as repro_main
+from repro.config import NGramJobConfig, ServerConfig, StoreConfig
+from repro.corpus.collection import EncodedCollection
+from repro.corpus.io import write_encoded_collection
+from repro.harness.datasets import nytimes_like
+from repro.ngramstore import NGramStore, StoreClient, open_store_auto
+from repro.ngramstore.server import NGramStoreServer
+
+
+def run_cli(argv: List[str]) -> None:
+    print(f"$ repro {' '.join(argv)}", flush=True)
+    status = repro_main(argv)
+    if status != 0:
+        raise SystemExit(f"repro {argv[0]} exited with status {status}")
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"ok: {message}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--documents", type=int, default=60, help="corpus size")
+    parser.add_argument("--deltas", type=int, default=2, help="delta batches after the base")
+    parser.add_argument("--tau", type=int, default=2, help="LSM store threshold")
+    parser.add_argument("--sigma", type=int, default=4, help="maximum n-gram length")
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--workdir", default="work/ingest-smoke")
+    parser.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="compaction stats artifact (default: WORKDIR/compaction-stats.json)",
+    )
+    args = parser.parse_args(argv)
+
+    stats_path = args.stats_json or os.path.join(args.workdir, "compaction-stats.json")
+    os.makedirs(args.workdir, exist_ok=True)
+
+    # One corpus, sliced into batches that share the dictionary — exactly
+    # how a rolling corpus reaches an LSM store in production.
+    collection = nytimes_like(num_documents=args.documents, seed=args.seed).build()
+    documents = list(collection.documents)
+    num_batches = args.deltas + 1
+    size = -(-len(documents) // num_batches)  # ceil division
+    batch_dirs = []
+    for index in range(num_batches):
+        batch = EncodedCollection(
+            documents[index * size : (index + 1) * size], collection.vocabulary
+        )
+        directory = os.path.join(args.workdir, f"batch-{index}")
+        write_encoded_collection(batch, directory, num_shards=2)
+        batch_dirs.append(directory)
+
+    # Incremental path, through the real CLI.
+    lsm_dir = os.path.join(args.workdir, "lsm")
+    run_cli(
+        [
+            "ingest",
+            lsm_dir,
+            "--input",
+            batch_dirs[0],
+            "--init",
+            "--tau",
+            str(args.tau),
+            "--sigma",
+            str(args.sigma),
+        ]
+    )
+    for directory in batch_dirs[1:]:
+        run_cli(["ingest", lsm_dir, "--input", directory])
+    started = time.perf_counter()
+    run_cli(["compact", lsm_dir, "--all", "--stats-json", stats_path])
+    compact_seconds = time.perf_counter() - started
+    with open(stats_path, "r", encoding="utf-8") as handle:
+        stats = json.load(handle)
+    check(stats["generations_after"] == 1, "compaction collapsed to one generation")
+    check(stats["min_frequency"] == args.tau, "compaction applied the store τ")
+    print(f"compaction: {stats['records_in']} -> {stats['records_out']} records "
+          f"in {compact_seconds:.2f}s")
+
+    # Batch path: one from-scratch counting run over the union corpus.
+    union_dir = os.path.join(args.workdir, "union")
+    counter = make_counter(
+        "SUFFIX-SIGMA", NGramJobConfig(min_frequency=1, max_length=args.sigma)
+    )
+    counter.run(
+        collection,
+        store_dir=union_dir,
+        store=StoreConfig(num_partitions=4, min_frequency=args.tau),
+    )
+
+    with open_store_auto(lsm_dir) as view, NGramStore.open(union_dir) as scratch:
+        expected = list(scratch.items())
+        check(bool(expected), "union store is non-empty")
+        check(
+            list(view.scan()) == expected,
+            f"LSM view streams the union store's {len(expected)} records",
+        )
+        check(
+            [tuple(r) for r in view.top_k(10)] == [tuple(r) for r in scratch.top_k(10)],
+            "top-k by frequency identical",
+        )
+        check(
+            [tuple(r) for r in view.top_k(10, order="key")]
+            == [tuple(r) for r in scratch.top_k(10, order="key")],
+            "top-k by key identical",
+        )
+        spot_keys = [key for key, _ in expected[:: max(1, len(expected) // 100)]]
+
+        # Served path: the socket server opens the LSM directory itself.
+        server = NGramStoreServer(lsm_dir, config=ServerConfig(port=0))
+        server.start()
+        try:
+            with StoreClient(server.host, server.port) as client:
+                check(
+                    client.multi_get(spot_keys) == scratch.multi_get(spot_keys),
+                    f"{len(spot_keys)} served spot lookups match the union store",
+                )
+                check(
+                    [tuple(r) for r in client.top_k(10)]
+                    == [tuple(r) for r in scratch.top_k(10)],
+                    "served top-k identical",
+                )
+                check(
+                    client.stats()["num_records"] == len(expected),
+                    "served stats report the union record count",
+                )
+        finally:
+            server.close()
+
+    print("ingest smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

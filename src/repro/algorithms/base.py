@@ -235,6 +235,18 @@ class NGramCounter:
         """
         from repro.ngramstore.build import build_store
 
+        if store is not None and store.min_frequency > 1 and self.config.min_frequency != 1:
+            # The algorithms prune below τ at emit time, so a counting run
+            # with min_frequency > 1 never produces the [1, τ) counts the
+            # residual sidecar must hold — the split belongs to the store
+            # build (count at τ=1, threshold at persist).
+            raise ConfigurationError(
+                f"store min_frequency={store.min_frequency} needs the raw τ=1 "
+                f"count table, but the counting run filters at "
+                f"min_frequency={self.config.min_frequency}; count with "
+                "min_frequency=1 and let the store build apply the threshold"
+            )
+
         vocabulary = getattr(collection, "vocabulary", None)
         # Unigram aggregates are recorded in the manifest so store-backed
         # language models construct without scanning the store.

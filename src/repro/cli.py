@@ -40,6 +40,20 @@ Installed as ``repro-ngrams`` (or ``python -m repro``).  Sub-commands:
 ``merge-stores``
     K-way merge of several stores into one (summing duplicate keys) —
     compaction for incremental corpus growth from per-shard counting runs.
+    Exact at any τ when the inputs carry residual sidecar tables (built
+    with ``count --store-tau``); ``--allow-lower-bound`` keeps the old
+    lossy behaviour for legacy residual-less stores.
+
+``ingest``
+    Count one corpus batch into a new τ=1 delta generation of an LSM
+    store directory (``--init`` creates the store first).  The store
+    stays queryable throughout — ``query``/``serve``/``loadgen`` sum
+    all live generations transparently.
+
+``compact``
+    Fold LSM store generations together with the exact residual merge:
+    size-tiered by default, ``--all`` collapses everything into one
+    generation at the store's τ.
 """
 
 from __future__ import annotations
@@ -205,6 +219,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="BITS",
         help="Bloom-filter bits per key in the persisted store's block "
         "indexes (0 disables the filters)",
+    )
+    count.add_argument(
+        "--store-tau",
+        type=int,
+        default=1,
+        metavar="TAU",
+        help="store-side frequency threshold: keys with counts below TAU "
+        "go to a residual sidecar table so later merges stay exact "
+        "(requires --tau 1 so the raw counts exist; default: 1, no residual)",
     )
     count.add_argument(
         "--materialize-corpus",
@@ -512,6 +535,96 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="keys sampled when re-deriving partition boundaries",
     )
+    merge.add_argument(
+        "--tau",
+        type=int,
+        default=None,
+        metavar="TAU",
+        help="frequency threshold of the merged store (requires "
+        "residual-exact inputs; default: the max of the inputs' thresholds)",
+    )
+    merge.add_argument(
+        "--allow-lower-bound",
+        action="store_true",
+        help="permit merging residual-less stores built with a threshold "
+        "> 1: merged counts are then only lower bounds near the threshold, "
+        "and the output is stamped counts=lower_bound",
+    )
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="count a corpus batch into a new delta generation of an LSM store",
+    )
+    ingest.add_argument("store", help="LSM store directory")
+    ingest.add_argument("--input", required=True, help="corpus directory to ingest")
+    ingest.add_argument(
+        "--init",
+        action="store_true",
+        help="create the LSM store first (fails if it already exists)",
+    )
+    ingest.add_argument(
+        "--tau", type=int, default=5, help="store frequency threshold (with --init)"
+    )
+    ingest.add_argument(
+        "--sigma", type=int, default=None, help="maximum n-gram length (with --init)"
+    )
+    ingest.add_argument(
+        "--algorithm",
+        default="SUFFIX-SIGMA",
+        help="counting algorithm for delta batches (with --init)",
+    )
+    ingest.add_argument(
+        "--store-partitions",
+        type=int,
+        default=4,
+        help="range partitions per generation (with --init)",
+    )
+    ingest.add_argument(
+        "--store-codec",
+        choices=SHARD_CODECS,
+        default="none",
+        help="per-block compression codec of generation tables (with --init)",
+    )
+    ingest.add_argument(
+        "--store-bloom-bits",
+        type=int,
+        default=10,
+        metavar="BITS",
+        help="Bloom-filter bits per key in generation block indexes (with --init)",
+    )
+    _add_execution_arguments(ingest)
+
+    compact = subparsers.add_parser(
+        "compact",
+        help="fold LSM store generations together with the exact residual merge",
+    )
+    compact.add_argument("store", help="LSM store directory")
+    compact.add_argument(
+        "--all",
+        dest="all_generations",
+        action="store_true",
+        help="collapse every generation into one (default: size-tiered pick)",
+    )
+    compact.add_argument(
+        "--tier-ratio",
+        type=int,
+        default=None,
+        metavar="RATIO",
+        help="size-tiered bucketing ratio (default: 4)",
+    )
+    compact.add_argument(
+        "--min-tier",
+        type=int,
+        default=None,
+        metavar="N",
+        help="minimum generations per compaction (default: 2)",
+    )
+    compact.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write the compaction stats JSON here as well as stdout",
+    )
 
     coderivatives = subparsers.add_parser(
         "coderivatives", help="find co-derivative document pairs via long shared n-grams"
@@ -556,6 +669,16 @@ def _cmd_count(args: argparse.Namespace) -> int:
     if args.maximal and args.closed:
         print("error: --maximal and --closed are mutually exclusive", file=sys.stderr)
         return 2
+    if args.store_tau > 1 and args.tau != 1:
+        # Residual capture needs the raw τ=1 counts: the algorithms prune
+        # below --tau at emit time, so the sub-threshold keys the residual
+        # table must hold would never reach the store build.
+        print(
+            "error: --store-tau > 1 requires --tau 1 (count everything, "
+            "let the store build apply the threshold)",
+            file=sys.stderr,
+        )
+        return 2
     collection = read_encoded_collection(args.input, materialize=args.materialize_corpus)
     config = NGramJobConfig(
         min_frequency=args.tau,
@@ -574,6 +697,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
             num_partitions=args.store_partitions,
             codec=args.store_codec,
             bloom_bits_per_key=args.store_bloom_bits,
+            min_frequency=args.store_tau,
         )
         if args.store_dir is not None
         else None
@@ -636,7 +760,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.ngramstore import NGramStore
+    from repro.ngramstore.lsm import open_store_auto
     from repro.ngramstore.table import DEFAULT_CACHE_BLOCKS
 
     sources = sum(1 for source in (args.store, args.server, args.url) if source)
@@ -666,7 +790,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             cache_blocks = (
                 args.cache_blocks if args.cache_blocks is not None else DEFAULT_CACHE_BLOCKS
             )
-            api = NGramStore.open(args.store, cache_blocks=cache_blocks)
+            api = open_store_auto(args.store, cache_blocks=cache_blocks)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -779,6 +903,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if not args.metrics_file:
                 raise ReproError("--metrics-interval requires --metrics-file")
         if config.num_shards > 1:
+            from repro.ngramstore.lsm import is_lsm_dir
+
+            if is_lsm_dir(args.store):
+                # Range sharding slices one store's partition list; an LSM
+                # directory has one list per generation, so there is no
+                # single slice to own.  Compact --all first, then shard.
+                raise ReproError(
+                    f"{args.store!r} is an LSM store directory; range-sharded "
+                    "serving needs a single-generation store — run "
+                    "`repro compact --all` first"
+                )
             # Sharded: open the store behind a shared cache and serve only
             # the owned slice of its partitions.
             cache = BlockCache(config.cache_blocks)
@@ -915,11 +1050,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             zipf_s=args.zipf_s,
         )
         if args.store is not None:
-            from repro.ngramstore.reader import NGramStore
+            from repro.ngramstore.lsm import open_store_auto
 
             # A direct store is safe to share across the worker threads.
             factory = None
-            generator = NGramStore.open(args.store)
+            generator = open_store_auto(args.store)
             label = args.store
         else:
             if args.connect:
@@ -1007,16 +1142,92 @@ def _cmd_merge_stores(args: argparse.Namespace) -> int:
             sample_size=args.sample_size,
             bloom_bits_per_key=args.bloom_bits,
         )
-        merge_stores(args.inputs, args.output, store=store)
+        merge_stores(
+            args.inputs,
+            args.output,
+            store=store,
+            min_frequency=args.tau,
+            allow_lower_bound=args.allow_lower_bound,
+        )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     with NGramStore.open(args.output) as merged:
+        residual = merged.manifest.get("residual")
+        residual_note = (
+            f", residual={residual['num_records']} sub-τ records"
+            if residual
+            else ""
+        )
         print(
             f"merged {len(args.inputs)} stores into {args.output} "
             f"({merged.num_records} n-grams, {merged.num_partitions} partitions, "
-            f"codec={args.codec})"
+            f"codec={args.codec}{residual_note})"
         )
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.ngramstore.lsm import LSMStore
+
+    try:
+        execution = _execution_from_args(args)
+        if args.init:
+            store = LSMStore.init(
+                args.store,
+                min_frequency=args.tau,
+                max_length=args.sigma,
+                algorithm=args.algorithm,
+                store=StoreConfig(
+                    num_partitions=args.store_partitions,
+                    codec=args.store_codec,
+                    bloom_bits_per_key=args.store_bloom_bits,
+                ),
+            )
+            print(f"initialised LSM store at {args.store} (tau={store.min_frequency})")
+        else:
+            store = LSMStore.open(args.store)
+        collection = read_encoded_collection(args.input)
+        entry = store.ingest(collection, source=args.input, execution=execution)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"ingested {args.input} as generation {entry['name']} "
+        f"({entry['num_records']} records, "
+        f"{len(store.generations)} live generations)"
+    )
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.ngramstore.lsm import DEFAULT_MIN_TIER, DEFAULT_TIER_RATIO, LSMStore
+
+    tier_ratio = args.tier_ratio if args.tier_ratio is not None else DEFAULT_TIER_RATIO
+    min_tier = args.min_tier if args.min_tier is not None else DEFAULT_MIN_TIER
+    try:
+        store = LSMStore.open(args.store)
+        stats = store.compact(
+            all_generations=args.all_generations,
+            tier_ratio=tier_ratio,
+            min_tier=min_tier,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if stats is None:
+        print(
+            f"nothing to compact in {args.store} "
+            f"({len(store.generations)} generations)"
+        )
+        return 0
+    if args.stats_json:
+        parent = os.path.dirname(args.stats_json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+    print(json.dumps(stats, indent=2, sort_keys=True))
     return 0
 
 
@@ -1192,6 +1403,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
         "merge-stores": _cmd_merge_stores,
+        "ingest": _cmd_ingest,
+        "compact": _cmd_compact,
         "coderivatives": _cmd_coderivatives,
         "trends": _cmd_trends,
     }

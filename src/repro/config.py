@@ -282,6 +282,13 @@ class StoreConfig:
         Bloom-filter budget per key for the per-block filters persisted in
         each table's block index (``0`` disables the filters).  The default
         10 bits/key gives roughly a 1% false-positive rate on point misses.
+    min_frequency:
+        The store's serving threshold τ.  With ``min_frequency > 1`` the
+        build splits an *unfiltered* (τ=1) count table: counts ``>= τ``
+        form the main store, counts in ``[1, τ)`` go to the residual
+        sidecar table — which is what makes later store merges exact at
+        any τ (see :mod:`repro.ngramstore.merge`).  The default 1 keeps
+        the classic single-table build.
     """
 
     num_partitions: int = 4
@@ -289,6 +296,7 @@ class StoreConfig:
     records_per_block: int = 1024
     sample_size: int = 1024
     bloom_bits_per_key: int = 10
+    min_frequency: int = 1
 
     def __post_init__(self) -> None:
         if self.num_partitions < 1:
@@ -309,6 +317,10 @@ class StoreConfig:
             raise ConfigurationError(
                 f"bloom_bits_per_key must be >= 0 (0 disables), "
                 f"got {self.bloom_bits_per_key}"
+            )
+        if self.min_frequency < 1:
+            raise ConfigurationError(
+                f"store min_frequency must be >= 1, got {self.min_frequency}"
             )
 
 

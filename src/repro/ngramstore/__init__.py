@@ -22,8 +22,12 @@ protocol, :class:`NGramStoreHTTPServer`/:class:`HttpStoreClient`
 (:mod:`repro.ngramstore.router`) scale reads across replicated and
 range-sharded deployments, and :func:`merge_stores`
 (:mod:`repro.ngramstore.merge`) compacts several stores into one with a
-k-way merge of their sorted tables — incremental corpus growth without
-recounting.
+k-way merge of their sorted tables — exact at any τ thanks to per-store
+residual sidecar tables.  :mod:`repro.ngramstore.lsm` builds the
+incremental-ingestion tier on top: :class:`LSMStore` manages ordered store
+generations (``repro ingest`` / ``repro compact``) and
+:class:`GenerationView` serves the live generations as one ``StoreAPI``,
+so a store can absorb a rolling corpus while it is being queried.
 """
 
 from repro.ngramstore.api import NGramRecord, QueryEngine, StoreAPI
@@ -37,6 +41,7 @@ from repro.ngramstore.build import (
 )
 from repro.ngramstore.http import HttpStoreClient, NGramStoreHTTPServer
 from repro.ngramstore.loadgen import LoadgenConfig, SLOTargets, check_slos, run_loadgen
+from repro.ngramstore.lsm import GenerationView, LSMStore, is_lsm_dir, open_store_auto
 from repro.ngramstore.merge import merge_stores
 from repro.ngramstore.reader import NGramStore, StoreStatistics
 from repro.ngramstore.router import ReplicaPool, ShardRouter, ShardView
@@ -45,7 +50,9 @@ from repro.ngramstore.table import BlockCache, Table, TableWriter, TopKAccumulat
 
 __all__ = [
     "BlockCache",
+    "GenerationView",
     "HttpStoreClient",
+    "LSMStore",
     "LoadgenConfig",
     "NGramRecord",
     "NGramStore",
@@ -65,8 +72,10 @@ __all__ = [
     "TopKAccumulator",
     "build_store",
     "check_slos",
+    "is_lsm_dir",
     "load_manifest",
     "merge_stores",
+    "open_store_auto",
     "run_loadgen",
     "plan_boundaries",
     "sample_keys",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 from bisect import bisect_right
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -41,6 +42,14 @@ DICTIONARY_FILENAME = "dictionary.txt"
 
 #: Table filename pattern, one file per range partition.
 PARTITION_PATTERN = "part-{index:05d}.ngt"
+
+#: Subdirectory holding a store's residual sidecar table — itself a full
+#: store (manifest + partition tables, same boundaries as the main store)
+#: whose records are the keys counted *below* the main store's τ, i.e.
+#: counts in ``[1, τ)``.  Main + residual together are the exact full count
+#: table, which is what makes k-way merge exact at any τ (a key under τ in
+#: every shard can still cross τ in the union).
+RESIDUAL_DIRNAME = "residual"
 
 #: Manifest format version.
 MANIFEST_VERSION = 1
@@ -174,6 +183,9 @@ def clear_store_dir(store_dir: str) -> None:
     manifest_path = os.path.join(store_dir, MANIFEST_FILENAME)
     if os.path.exists(manifest_path):
         os.remove(manifest_path)
+    residual_path = os.path.join(store_dir, RESIDUAL_DIRNAME)
+    if os.path.isdir(residual_path):
+        shutil.rmtree(residual_path)
     for name in sorted(os.listdir(store_dir)):
         if name.endswith(".ngt"):
             os.remove(os.path.join(store_dir, name))
@@ -197,8 +209,15 @@ def write_store_manifest(
     partitions: List[Dict[str, Any]],
     has_vocabulary: bool,
     metadata: Optional[Dict[str, Any]] = None,
+    residual: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Write the store manifest (shared by the build job and the store merge)."""
+    """Write the store manifest (shared by the build job and the store merge).
+
+    ``residual`` describes the store's residual sidecar table (see
+    :data:`RESIDUAL_DIRNAME`) when one was written — e.g. ``{"directory":
+    "residual", "below": 3, "num_records": 17}``.  Old readers ignore the
+    extra manifest entry, so the manifest version is unchanged.
+    """
     manifest = {
         "version": MANIFEST_VERSION,
         "codec": codec,
@@ -211,9 +230,33 @@ def write_store_manifest(
         "has_vocabulary": has_vocabulary,
         "metadata": dict(metadata) if metadata else {},
     }
+    if residual is not None:
+        manifest["residual"] = dict(residual)
     with open(os.path.join(store_dir, MANIFEST_FILENAME), "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
     return manifest
+
+
+def _check_splittable_count(key: Any, value: Any, threshold: int) -> None:
+    """A record routed to main-vs-residual must carry a real count ``>= 1``.
+
+    Splitting compares the value against τ, so a non-integer (or a ``bool``,
+    which would compare as 0/1) would silently land records in the wrong
+    table — refuse instead.  Counts below 1 mean the input was already
+    τ-filtered, so the residual would be incomplete and every later merge
+    silently wrong.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise StoreError(
+            f"residual split needs integer counts: key {key!r} has "
+            f"{type(value).__name__} value {value!r} (building with "
+            f"min_frequency={threshold} requires a raw count table)"
+        )
+    if value < 1:
+        raise StoreError(
+            f"residual split saw count {value} for key {key!r}; counts must be "
+            ">= 1 — was the input already frequency-filtered?"
+        )
 
 
 def build_store(
@@ -238,6 +281,14 @@ def build_store(
     run's measured counters.  ``vocabulary`` (any object with ``to_lines``)
     is persisted alongside the tables so queries can speak surface terms.
 
+    When ``store.min_frequency`` (τ) is above 1, the input must be the
+    *unfiltered* (τ=1) count table: records with counts ``>= τ`` become the
+    main store and the rest — counts in ``[1, τ)`` — are written to the
+    residual sidecar store under ``store_dir/residual/``, with the same
+    partition boundaries.  Main + residual together remain the exact full
+    count table, so :func:`~repro.ngramstore.merge.merge_stores` can merge
+    such stores exactly at any τ without recounting the corpus.
+
     Returns ``store_dir``.
     """
     store = store if store is not None else StoreConfig()
@@ -257,7 +308,21 @@ def build_store(
     job = total_order_sort_job(f"{name}-total-order-sort", boundaries)
     result = pipeline.run_job(job, dataset)
 
+    threshold = store.min_frequency
+    residual_dir = os.path.join(store_dir, RESIDUAL_DIRNAME)
+    if threshold > 1:
+        os.makedirs(residual_dir, exist_ok=True)
+
+    def _partition_entry(path: str, writer: TableWriter) -> Dict[str, Any]:
+        return {
+            "file": os.path.basename(path),
+            "num_records": writer.num_records,
+            "serialized_bytes": writer.serialized_bytes,
+            "file_bytes": os.path.getsize(path),
+        }
+
     partitions: List[Dict[str, Any]] = []
+    residual_partitions: List[Dict[str, Any]] = []
     for index, partition in enumerate(result.partition_datasets):
         path = os.path.join(store_dir, PARTITION_PATTERN.format(index=index))
         with TableWriter(
@@ -267,20 +332,51 @@ def build_store(
             metadata={"partition": index},
             bloom_bits_per_key=store.bloom_bits_per_key,
         ) as writer:
-            writer.extend(partition.iter_records())
-        partitions.append(
-            {
-                "file": os.path.basename(path),
-                "num_records": writer.num_records,
-                "serialized_bytes": writer.serialized_bytes,
-                "file_bytes": os.path.getsize(path),
-            }
-        )
+            if threshold <= 1:
+                writer.extend(partition.iter_records())
+            else:
+                residual_path = os.path.join(
+                    residual_dir, PARTITION_PATTERN.format(index=index)
+                )
+                with TableWriter(
+                    residual_path,
+                    codec=store.codec,
+                    records_per_block=store.records_per_block,
+                    metadata={"partition": index, "residual": True},
+                    bloom_bits_per_key=store.bloom_bits_per_key,
+                ) as residual_writer:
+                    for key, value in partition.iter_records():
+                        _check_splittable_count(key, value, threshold)
+                        if value >= threshold:
+                            writer.append(key, value)
+                        else:
+                            residual_writer.append(key, value)
+                residual_partitions.append(_partition_entry(residual_path, residual_writer))
+        partitions.append(_partition_entry(path, writer))
     result.release_output()
 
     has_vocabulary = vocabulary is not None
     if has_vocabulary:
         write_dictionary(store_dir, vocabulary.to_lines())
+
+    residual_entry: Optional[Dict[str, Any]] = None
+    if threshold > 1:
+        metadata = dict(metadata) if metadata else {}
+        metadata["min_frequency"] = threshold
+        write_store_manifest(
+            residual_dir,
+            codec=store.codec,
+            records_per_block=store.records_per_block,
+            boundaries=boundaries,
+            partitions=residual_partitions,
+            has_vocabulary=False,
+            metadata={"residual": True, "residual_below": threshold, "min_frequency": 1},
+        )
+        residual_entry = {
+            "directory": RESIDUAL_DIRNAME,
+            "below": threshold,
+            "num_records": sum(entry["num_records"] for entry in residual_partitions),
+        }
 
     write_store_manifest(
         store_dir,
@@ -290,6 +386,7 @@ def build_store(
         partitions=partitions,
         has_vocabulary=has_vocabulary,
         metadata=metadata,
+        residual=residual_entry,
     )
     return store_dir
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import io
 import pickle
+import zlib
 from typing import Any, BinaryIO, Dict, List, NamedTuple, Tuple
 
 from repro.exceptions import StoreError
@@ -67,6 +68,14 @@ class BlockHandle(NamedTuple):
     as 5- or 6-tuples and load with the default).  Point lookups consult it
     before touching the data block, so a guaranteed miss costs no block
     read at all.
+
+    ``checksum`` is the CRC32 of the block's stored payload (the bytes on
+    disk, after any codec compression) — ``None`` in tables written before
+    checksums existed (old indexes pickle as 5-, 6-, or 7-tuples and load
+    with the default).  Readers verify it before decoding a block, so a
+    flipped bit surfaces as a :class:`~repro.exceptions.StoreError` naming
+    the partition and block instead of silently wrong counts or an opaque
+    unpickling crash.
     """
 
     first_key: Any
@@ -76,6 +85,12 @@ class BlockHandle(NamedTuple):
     num_records: int
     max_value: Any = None
     bloom: Any = None
+    checksum: Any = None
+
+
+def block_checksum(payload: "bytes | memoryview") -> int:
+    """CRC32 of a block's stored payload, normalised to an unsigned int."""
+    return zlib.crc32(payload) & 0xFFFFFFFF
 
 
 def encode_block(records: List[Record], codec: Codec) -> bytes:

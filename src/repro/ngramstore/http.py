@@ -270,8 +270,10 @@ class NGramStoreHTTPServer:
     def __init__(self, store: Any, config: Optional[ServerConfig] = None) -> None:
         self.config = config if config is not None else ServerConfig()
         if isinstance(store, (str, os.PathLike)):
+            from repro.ngramstore.lsm import open_store_auto
+
             self.cache: Optional[BlockCache] = BlockCache(self.config.cache_blocks)
-            self.store = NGramStore.open(str(store), cache=self.cache)
+            self.store = open_store_auto(str(store), cache=self.cache)
         else:
             self.store = store
             self.cache = getattr(store, "cache", None)

@@ -16,16 +16,25 @@ the merge itself is one streaming pass over the inputs, and each output
 partition is written by one :class:`~repro.ngramstore.table.TableWriter`
 as the merged stream crosses its boundaries.
 
-Per-shard counting runs merge *exactly* when they counted with τ = 1
-(raw counts are additive across a document partition); with τ > 1 each
-shard has already dropped its locally-infrequent n-grams, so the merged
-counts are a lower bound on a union recount.
+**Exactness at any τ.**  Raw (τ=1) counts are additive across a document
+partition, so τ=1 stores always merge exactly.  A τ>1 store merges exactly
+when it carries its *residual* sidecar table (counts in ``[1, τ)``, written
+by builds with ``StoreConfig(min_frequency=τ)``): the merge streams main
+and residual together per input — recovering each shard's full count
+table — sums duplicates, routes summed counts ``>= τ`` to the merged main
+store and the rest to a merged residual, so a key locally under τ in every
+shard still surfaces when its union count crosses τ.  Legacy τ>1 stores
+*without* residuals dropped those counts at count time; merging k ≥ 2 of
+them can only produce a lower bound on a union recount, so the merge
+refuses unless ``allow_lower_bound`` is passed, which stamps the output's
+metadata with ``counts: lower_bound`` so the claim travels with the store.
 """
 
 from __future__ import annotations
 
 import heapq
 import os
+import warnings
 from bisect import bisect_right
 from functools import reduce
 from itertools import groupby
@@ -37,6 +46,8 @@ from repro.exceptions import StoreError
 from repro.ngramstore.build import (
     DICTIONARY_FILENAME,
     PARTITION_PATTERN,
+    RESIDUAL_DIRNAME,
+    _check_splittable_count,
     clear_store_dir,
     plan_boundaries,
     write_dictionary,
@@ -52,15 +63,15 @@ _FIRST = itemgetter(0)
 _SENTINEL = object()
 
 
-def merge_records(stores: Iterable[NGramStore]) -> Iterator[Record]:
-    """K-way merge of the stores' sorted record streams, summing duplicates.
+def _merge_streams(streams: Iterable[Iterator[Record]]) -> Iterator[Record]:
+    """K-way merge of sorted record streams, summing duplicate keys.
 
     Values of a duplicated key are combined with ``+`` left-to-right in
     input order, so integer frequencies sum; values that do not support
     addition (e.g. time-series payloads) make a duplicate a
     :class:`StoreError` instead of silently dropping data.
     """
-    merged = heapq.merge(*(store.items() for store in stores), key=_FIRST)
+    merged = heapq.merge(*streams, key=_FIRST)
     for key, group in groupby(merged, key=_FIRST):
         values = [value for _, value in group]
         if len(values) == 1:
@@ -73,6 +84,30 @@ def merge_records(stores: Iterable[NGramStore]) -> Iterator[Record]:
                 f"cannot merge duplicate key {key!r}: its {len(values)} values "
                 f"do not support addition ({exc})"
             ) from exc
+
+
+def merge_records(stores: Iterable[NGramStore]) -> Iterator[Record]:
+    """K-way merge of the stores' *main* record streams, summing duplicates.
+
+    Streams each store's :meth:`~repro.ngramstore.reader.NGramStore.items`
+    — residual sidecars are not consulted; :func:`merge_stores` streams
+    :meth:`~repro.ngramstore.reader.NGramStore.exact_items` instead when it
+    performs an exact τ-aware merge.
+    """
+    return _merge_streams(store.items() for store in stores)
+
+
+def _residual_exact(store: NGramStore) -> bool:
+    """Can this input contribute *exact* union counts to a merge?
+
+    True for τ=1 stores (raw counts are additive) and for τ>1 stores that
+    carry their residual sidecar — unless the store is itself the product
+    of an ``allow_lower_bound`` merge, whose ``counts: lower_bound`` stamp
+    poisons every downstream merge.
+    """
+    if store.metadata.get("counts") == "lower_bound":
+        return False
+    return store.min_frequency <= 1 or store.has_residual
 
 
 def _merged_vocabulary_lines(
@@ -107,7 +142,10 @@ def _merged_vocabulary_lines(
 
 
 def _merged_metadata(
-    inputs: List[str], stores: List[NGramStore], metadata: Optional[Dict[str, Any]]
+    inputs: List[str],
+    stores: List[NGramStore],
+    metadata: Optional[Dict[str, Any]],
+    overrides: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Manifest metadata for the merged store.
 
@@ -117,8 +155,12 @@ def _merged_metadata(
     treatment instead of naive carry-over: ``unigram_total`` *sums* (every
     unigram frequency sums, so the language model's O(1) initialisation
     stays exact) and ``num_ngrams`` is dropped (duplicates collapse; the
-    manifest's own ``num_records`` is the authoritative count).  Explicit
-    ``metadata`` wins on conflicts.
+    manifest's own ``num_records`` is the authoritative count).  A ``bool``
+    is not a total (it would sum as 0/1), and when only *some* inputs carry
+    a usable total the field is dropped with a warning — a silently absent
+    total sends ``NGramLanguageModel.from_store`` into a full store scan.
+    ``overrides`` are values the merge itself computed exactly (e.g. a
+    streamed unigram recount); explicit ``metadata`` wins over everything.
     """
     merged: Dict[str, Any] = {}
     first, rest = stores[0].metadata, [store.metadata for store in stores[1:]]
@@ -127,11 +169,32 @@ def _merged_metadata(
             continue
         if all(other.get(key, _SENTINEL) == value for other in rest):
             merged[key] = value
-    unigram_totals = [store.metadata.get("unigram_total") for store in stores]
-    if all(isinstance(total, (int, float)) for total in unigram_totals):
-        merged["unigram_total"] = sum(unigram_totals)
+    if not overrides or "unigram_total" not in overrides:
+        unigram_totals = [store.metadata.get("unigram_total") for store in stores]
+        usable = [
+            total
+            for total in unigram_totals
+            if isinstance(total, (int, float)) and not isinstance(total, bool)
+        ]
+        if usable and len(usable) == len(stores):
+            merged["unigram_total"] = sum(usable)
+        elif any(total is not None for total in unigram_totals):
+            missing = [
+                os.path.basename(os.path.normpath(path))
+                for path, total in zip(inputs, unigram_totals)
+                if not isinstance(total, (int, float)) or isinstance(total, bool)
+            ]
+            warnings.warn(
+                f"dropping unigram_total from merged store metadata: inputs "
+                f"{missing} carry no usable total (missing, boolean, or "
+                "non-numeric), so the sum would be wrong; language models over "
+                "the merged store will fall back to a unigram scan",
+                stacklevel=2,
+            )
     merged["merged_inputs"] = [os.path.basename(os.path.normpath(path)) for path in inputs]
     merged["merged_num_inputs"] = len(inputs)
+    if overrides:
+        merged.update(overrides)
     if metadata:
         merged.update(metadata)
     return merged
@@ -167,18 +230,100 @@ def _boundary_sample(
     return keys
 
 
+class _PartitionSink:
+    """Writes one sorted record stream into boundary-aligned partition tables.
+
+    The stream's keys are non-decreasing, so each partition table is
+    written exactly once, in order; trailing partitions the stream never
+    reached are created empty so the manifest's partition count always
+    matches the boundary count.
+    """
+
+    def __init__(
+        self,
+        out_dir: str,
+        store: StoreConfig,
+        boundaries: List[Any],
+        residual: bool = False,
+    ) -> None:
+        self.out_dir = out_dir
+        self.store = store
+        self.boundaries = boundaries
+        self.residual = residual
+        self.partitions: List[Dict[str, Any]] = []
+        self.num_records = 0
+        self._writer = self._open_writer()
+
+    def _open_writer(self) -> TableWriter:
+        index = len(self.partitions)
+        metadata: Dict[str, Any] = {"partition": index}
+        if self.residual:
+            metadata["residual"] = True
+        return TableWriter(
+            os.path.join(self.out_dir, PARTITION_PATTERN.format(index=index)),
+            codec=self.store.codec,
+            records_per_block=self.store.records_per_block,
+            metadata=metadata,
+            bloom_bits_per_key=self.store.bloom_bits_per_key,
+        )
+
+    def _finish_writer(self) -> None:
+        path = self._writer.close()
+        self.partitions.append(
+            {
+                "file": os.path.basename(path),
+                "num_records": self._writer.num_records,
+                "serialized_bytes": self._writer.serialized_bytes,
+                "file_bytes": os.path.getsize(path),
+            }
+        )
+
+    def append(self, key: Any, value: Any) -> None:
+        while bisect_right(self.boundaries, key) > len(self.partitions):
+            self._finish_writer()
+            self._writer = self._open_writer()
+        self._writer.append(key, value)
+        self.num_records += 1
+
+    def close(self) -> None:
+        self._finish_writer()
+        while len(self.partitions) < len(self.boundaries) + 1:
+            self._writer = self._open_writer()
+            self._finish_writer()
+
+    def abort(self) -> None:
+        self._writer.abort()
+
+
 def merge_stores(
     inputs: Iterable[str],
     out_dir: str,
     store: Optional[StoreConfig] = None,
     metadata: Optional[Dict[str, Any]] = None,
+    min_frequency: Optional[int] = None,
+    allow_lower_bound: bool = False,
 ) -> str:
     """Merge the store directories ``inputs`` into a new store at ``out_dir``.
 
     ``store`` controls the output layout (partitions, codec, block size,
     boundary sample size) exactly as it does for
     :func:`~repro.ngramstore.build.build_store`; inputs may use any mix of
-    codecs and partition counts.  Returns ``out_dir``.
+    codecs and partition counts.
+
+    When every input is *residual-exact* (τ=1, or τ>1 with a residual
+    sidecar), the merge streams main+residual per input and re-applies the
+    output threshold ``min_frequency`` (default: the largest input τ) to
+    the summed counts, writing a merged residual sidecar of its own — the
+    result is byte-for-byte what a from-scratch recount of the union corpus
+    would produce, at any τ.  Inputs that declare ``min_frequency`` > 1 but
+    carry no residual cannot merge exactly (their sub-τ counts are gone);
+    merging two or more of them raises :class:`StoreError` unless
+    ``allow_lower_bound=True``, which keeps the legacy sum-the-survivors
+    behaviour and stamps ``counts: lower_bound`` into the merged metadata.
+    A single such input is a pure repartition (no summing), which is always
+    allowed and carries its metadata unchanged.
+
+    Returns ``out_dir``.
     """
     input_dirs = [str(path) for path in inputs]
     if not input_dirs:
@@ -187,67 +332,149 @@ def merge_stores(
         if os.path.abspath(path) == os.path.abspath(out_dir):
             raise StoreError(f"merge output {out_dir!r} cannot be one of the inputs")
     store = store if store is not None else StoreConfig()
+    if min_frequency is not None and min_frequency < 1:
+        raise StoreError(f"merge min_frequency must be >= 1, got {min_frequency}")
 
     opened = [NGramStore.open(path) for path in input_dirs]
     try:
+        inexact = [
+            path
+            for path, open_store in zip(input_dirs, opened)
+            if not _residual_exact(open_store)
+        ]
+        exact = not inexact
+        lower_bound = False
+        if not exact and len(opened) > 1:
+            if not allow_lower_bound:
+                raise StoreError(
+                    f"cannot merge exactly: {inexact[0]!r} declares "
+                    f"min_frequency > 1 but carries no residual table, so its "
+                    "counts in [1, τ) were dropped at count time and the merged "
+                    "counts would silently undercount the union; rebuild the "
+                    "shards with a residual sidecar (count at τ=1 with "
+                    "StoreConfig(min_frequency=τ)), or pass "
+                    "allow_lower_bound=True to keep the old behaviour and stamp "
+                    "the output metadata with counts=lower_bound"
+                )
+            lower_bound = True
+        if not exact and min_frequency is not None:
+            raise StoreError(
+                "cannot apply a merge min_frequency without residual tables: "
+                f"{inexact[0]!r} carries no sub-τ counts to threshold against"
+            )
+
+        out_tau = 1
+        if exact:
+            out_tau = (
+                min_frequency
+                if min_frequency is not None
+                else max(open_store.min_frequency for open_store in opened)
+            )
+
         vocabulary_lines = _merged_vocabulary_lines(input_dirs, opened)
+        sampled = list(opened)
+        if exact:
+            sampled.extend(
+                open_store.residual
+                for open_store in opened
+                if open_store.residual is not None
+            )
         boundaries = plan_boundaries(
-            _boundary_sample(opened, store.sample_size, store.num_partitions),
+            _boundary_sample(sampled, store.sample_size, store.num_partitions),
             store.num_partitions,
         )
 
         # The single streaming pass: write the merged stream straight into
-        # per-partition tables.  The stream is sorted, so the owning
-        # partition index is non-decreasing and each table is written
-        # exactly once, in order.
+        # per-partition tables (main, and — for exact τ>1 output — the
+        # residual sidecar alongside).
         clear_store_dir(out_dir)
-        partitions: List[Dict[str, Any]] = []
-
-        def finish(writer: TableWriter) -> None:
-            path = writer.close()
-            partitions.append(
-                {
-                    "file": os.path.basename(path),
-                    "num_records": writer.num_records,
-                    "serialized_bytes": writer.serialized_bytes,
-                    "file_bytes": os.path.getsize(path),
-                }
-            )
-
-        def open_writer() -> TableWriter:
-            return TableWriter(
-                os.path.join(out_dir, PARTITION_PATTERN.format(index=len(partitions))),
-                codec=store.codec,
-                records_per_block=store.records_per_block,
-                metadata={"partition": len(partitions)},
-                bloom_bits_per_key=store.bloom_bits_per_key,
-            )
-
-        writer = open_writer()
+        main_sink = _PartitionSink(out_dir, store, boundaries)
+        residual_sink: Optional[_PartitionSink] = None
+        overrides: Optional[Dict[str, Any]] = None
+        if exact and out_tau > 1:
+            residual_dir = os.path.join(out_dir, RESIDUAL_DIRNAME)
+            os.makedirs(residual_dir, exist_ok=True)
+            residual_sink = _PartitionSink(residual_dir, store, boundaries, residual=True)
         try:
-            for key, value in merge_records(opened):
-                while bisect_right(boundaries, key) > len(partitions):
-                    finish(writer)
-                    writer = open_writer()
-                writer.append(key, value)
-            finish(writer)
-            while len(partitions) < len(boundaries) + 1:
-                writer = open_writer()
-                finish(writer)
+            if residual_sink is not None:
+                # Exact τ>1 merge: recover each input's full count table
+                # (main + residual), sum, and re-split at the output τ.
+                # The full stream passes through, so the unigram aggregates
+                # the language model needs are recomputed exactly for free.
+                stream = _merge_streams(
+                    open_store.exact_items() for open_store in opened
+                )
+                unigram_total = 0
+                vocabulary_size = 0
+                for key, value in stream:
+                    _check_splittable_count(key, value, out_tau)
+                    if len(key) == 1:
+                        unigram_total += value
+                        vocabulary_size += 1
+                    if value >= out_tau:
+                        main_sink.append(key, value)
+                    else:
+                        residual_sink.append(key, value)
+                residual_sink.close()
+                overrides = {
+                    "min_frequency": out_tau,
+                    "num_ngrams": main_sink.num_records + residual_sink.num_records,
+                    "unigram_total": unigram_total,
+                    "vocabulary_size": vocabulary_size,
+                }
+            else:
+                if exact:
+                    stream = _merge_streams(
+                        open_store.exact_items() for open_store in opened
+                    )
+                    if any(
+                        "min_frequency" in open_store.metadata for open_store in opened
+                    ):
+                        overrides = {"min_frequency": out_tau}
+                else:
+                    stream = merge_records(opened)
+                    if lower_bound:
+                        overrides = {"counts": "lower_bound"}
+                for key, value in stream:
+                    main_sink.append(key, value)
+            main_sink.close()
         except Exception:
-            writer.abort()
+            main_sink.abort()
+            if residual_sink is not None:
+                residual_sink.abort()
             raise
 
         if vocabulary_lines is not None:
             write_dictionary(out_dir, vocabulary_lines)
+        residual_entry: Optional[Dict[str, Any]] = None
+        if residual_sink is not None:
+            write_store_manifest(
+                residual_sink.out_dir,
+                codec=store.codec,
+                records_per_block=store.records_per_block,
+                boundaries=boundaries,
+                partitions=residual_sink.partitions,
+                has_vocabulary=False,
+                metadata={
+                    "residual": True,
+                    "residual_below": out_tau,
+                    "min_frequency": 1,
+                },
+            )
+            residual_entry = {
+                "directory": RESIDUAL_DIRNAME,
+                "below": out_tau,
+                "num_records": residual_sink.num_records,
+            }
         write_store_manifest(
             out_dir,
             codec=store.codec,
             records_per_block=store.records_per_block,
             boundaries=boundaries,
-            partitions=partitions,
+            partitions=main_sink.partitions,
             has_vocabulary=vocabulary_lines is not None,
-            metadata=_merged_metadata(input_dirs, opened, metadata),
+            metadata=_merged_metadata(input_dirs, opened, metadata, overrides),
+            residual=residual_entry,
         )
     finally:
         for open_store in opened:

@@ -19,6 +19,7 @@ of a fully-resident dict.
 
 from __future__ import annotations
 
+import heapq
 import os
 import threading
 from bisect import bisect_right
@@ -30,6 +31,7 @@ from repro.kvstore.cached import CacheStats
 from repro.ngramstore.api import NGramRecord, StoreAPI
 from repro.ngramstore.build import (
     DICTIONARY_FILENAME,
+    RESIDUAL_DIRNAME,
     load_manifest,
     manifest_boundaries,
 )
@@ -75,6 +77,7 @@ class NGramStore(StoreAPI):
         self.use_mmap = use_mmap
         self._tables: List[Optional[Table]] = [None] * self.manifest["num_partitions"]
         self._vocabulary: Any = None
+        self._residual: Optional["NGramStore"] = None
         self._lock = threading.Lock()
         self._closed = False
 
@@ -105,6 +108,44 @@ class NGramStore(StoreAPI):
     @property
     def metadata(self) -> Dict[str, Any]:
         return self.manifest["metadata"]
+
+    @property
+    def min_frequency(self) -> int:
+        """The store's serving threshold τ (1 when never stamped)."""
+        value = self.metadata.get("min_frequency", 1)
+        if isinstance(value, bool) or not isinstance(value, int):
+            return 1
+        return value
+
+    @property
+    def has_residual(self) -> bool:
+        """True when the manifest records a residual sidecar table."""
+        return "residual" in self.manifest
+
+    @property
+    def residual(self) -> Optional["NGramStore"]:
+        """The residual sidecar store (counts in ``[1, τ)``), opened lazily.
+
+        ``None`` for stores without one (τ=1 builds, or legacy τ>1 stores
+        that predate residuals).  The sidecar shares this store's block
+        cache when one was passed, and is closed with the parent.
+        """
+        if not self.has_residual:
+            return None
+        if self._residual is None:
+            with self._lock:
+                if self._residual is None:
+                    entry = self.manifest["residual"]
+                    path = os.path.join(
+                        self.store_dir, entry.get("directory", RESIDUAL_DIRNAME)
+                    )
+                    self._residual = NGramStore(
+                        path,
+                        cache_blocks=self.cache_blocks,
+                        cache=self.cache,
+                        use_mmap=self.use_mmap,
+                    )
+        return self._residual
 
     def __len__(self) -> int:
         return self.num_records
@@ -140,6 +181,8 @@ class NGramStore(StoreAPI):
         ``blocks_decoded`` counts data blocks actually read and decoded
         (cache hits don't decode); ``bloom_rejections`` counts point misses
         answered by a block's Bloom filter without touching the block;
+        ``blocks_checksum_failed`` counts blocks whose stored CRC32 did not
+        match their bytes (each such read also raised ``StoreError``);
         ``mmap_partitions`` counts partitions served by zero-copy mmap
         slices; ``decode_seconds`` is cumulative wallclock spent decoding
         blocks, which request tracing uses to split read latency into
@@ -150,6 +193,7 @@ class NGramStore(StoreAPI):
         totals = {
             "blocks_decoded": 0,
             "bloom_rejections": 0,
+            "blocks_checksum_failed": 0,
             "mmap_partitions": 0,
             "decode_seconds": 0.0,
         }
@@ -157,6 +201,7 @@ class NGramStore(StoreAPI):
             if table is not None:
                 totals["blocks_decoded"] += table.blocks_decoded
                 totals["bloom_rejections"] += table.bloom_rejections
+                totals["blocks_checksum_failed"] += table.blocks_checksum_failed
                 totals["mmap_partitions"] += 1 if table.mmap_active else 0
                 totals["decode_seconds"] += table.decode_seconds
         return totals
@@ -298,6 +343,19 @@ class NGramStore(StoreAPI):
         """Stream every record in global key order."""
         return self.scan()
 
+    def exact_items(self) -> Iterator[Record]:
+        """Stream the exact full count table: main + residual, in key order.
+
+        A τ>1 store's main table alone is a *filtered* view; merged with
+        its residual sidecar (key sets are disjoint by construction) the
+        stream is exactly the τ=1 count table — the input an exact store
+        merge needs.  Degenerates to :meth:`items` when no residual exists.
+        """
+        residual = self.residual
+        if residual is None:
+            return self.items()
+        return heapq.merge(self.items(), residual.items(), key=lambda record: record[0])
+
     def stats(self) -> Dict[str, Any]:
         """Store metadata in the canonical ``StoreAPI`` shape.
 
@@ -306,7 +364,7 @@ class NGramStore(StoreAPI):
         possible: servers forward this verbatim.
         """
         self._check_open()
-        return {
+        stats = {
             "store_dir": self.store_dir,
             "num_records": self.num_records,
             "num_partitions": self.num_partitions,
@@ -314,6 +372,9 @@ class NGramStore(StoreAPI):
             "has_vocabulary": bool(self.manifest.get("has_vocabulary")),
             "metadata": self.manifest.get("metadata", {}),
         }
+        if self.has_residual:
+            stats["residual"] = dict(self.manifest["residual"])
+        return stats
 
     # ------------------------------------------------------ vocabulary ops
     def _require_vocabulary(self) -> Any:
@@ -363,6 +424,9 @@ class NGramStore(StoreAPI):
             if table is not None:
                 table.close()
         self._tables = [None] * self.manifest["num_partitions"]
+        if self._residual is not None:
+            self._residual.close()
+            self._residual = None
 
     def __enter__(self) -> "NGramStore":
         return self

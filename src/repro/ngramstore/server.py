@@ -330,6 +330,7 @@ def register_store_observables(
         for event in (
             "blocks_decoded",
             "bloom_rejections",
+            "blocks_checksum_failed",
             "mmap_partitions",
             "decode_seconds",
         ):
@@ -456,8 +457,13 @@ class NGramStoreServer:
     ) -> None:
         self.config = config if config is not None else ServerConfig()
         if isinstance(store, (str, os.PathLike)):
+            from repro.ngramstore.lsm import open_store_auto
+
             self.cache = BlockCache(self.config.cache_blocks)
-            self.store = NGramStore.open(str(store), cache=self.cache)
+            # Auto-detects the directory kind: a plain store opens as an
+            # NGramStore, an LSM directory as a GenerationView over its
+            # live generations — the serving tier is ingestion-agnostic.
+            self.store = open_store_auto(str(store), cache=self.cache)
         else:
             # Caller-managed store (an NGramStore, or a ShardView over
             # one): its cache setup is its own business — self.cache is

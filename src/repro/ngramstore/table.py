@@ -30,6 +30,7 @@ from repro.ngramstore.format import (
     FORMAT_VERSION,
     MAGIC,
     BlockHandle,
+    block_checksum,
     decode_block,
     decode_block_view,
     encode_block,
@@ -304,6 +305,7 @@ class TableWriter:
                 num_records=len(self._buffer),
                 max_value=_block_max_value(self._buffer),
                 bloom=bloom,
+                checksum=block_checksum(payload),
             )
         )
         self._buffer = []
@@ -429,6 +431,7 @@ class Table:
                 self._mmap = None
         self.blocks_decoded = 0
         self.bloom_rejections = 0
+        self.blocks_checksum_failed = 0
         self.decode_seconds = 0.0
         self._closed = False
 
@@ -488,6 +491,28 @@ class Table:
             return block_index
         return (self._cache_namespace, block_index)
 
+    def _verify_checksum(self, entry: BlockHandle, block_index: int, payload: Any) -> None:
+        """Check a block's stored bytes against its index CRC before decoding.
+
+        Legacy indexes carry ``checksum=None`` and are accepted as-is; a
+        mismatch on a checksummed block is unambiguous on-disk corruption,
+        reported with the partition/block identity the operator needs to
+        locate the damaged file.
+        """
+        if entry.checksum is None:
+            return
+        actual = block_checksum(payload)
+        if actual == entry.checksum:
+            return
+        self.blocks_checksum_failed += 1
+        partition = self.metadata.get("partition")
+        where = f"partition {partition}, " if partition is not None else ""
+        raise StoreError(
+            f"checksum mismatch in block {block_index} ({where}{self.path!r}): "
+            f"stored {entry.checksum:#010x}, computed {actual:#010x} — "
+            "the table file is corrupt"
+        )
+
     def _load_block(self, block_index: int) -> "DecodedBlock":
         block = self._cache.get(self._block_key(block_index))
         if block is not None:
@@ -504,6 +529,7 @@ class Table:
                     f"block at offset {entry.offset} overruns the mapped file"
                 )
             view = memoryview(self._mmap)[entry.offset : entry.offset + entry.length]
+            self._verify_checksum(entry, block_index, view)
             decode_started = time.perf_counter()
             records = decode_block_view(view)
         else:
@@ -515,6 +541,7 @@ class Table:
                     f"truncated block {block_index} in {self.path!r}: "
                     f"expected {entry.length} bytes, got {len(payload)}"
                 )
+            self._verify_checksum(entry, block_index, payload)
             decode_started = time.perf_counter()
             records = decode_block(payload, self._codec)
         self.blocks_decoded += 1

@@ -880,3 +880,99 @@ class TestMmapReads:
                 assert store.get(key) is None
                 misses += 1
             assert store.io_stats()["bloom_rejections"] > 0
+
+
+# ------------------------------------------------------- per-block checksums
+class TestBlockChecksums:
+    def write_table(self, tmp_path, records, **kwargs):
+        path = str(tmp_path / "table.ngt")
+        with TableWriter(path, records_per_block=32, **kwargs) as writer:
+            writer.extend(records)
+        return path
+
+    def corrupt_block(self, path, offset, length):
+        """Flip one byte in the middle of the block at ``offset``."""
+        position = offset + length // 2
+        with open(path, "r+b") as handle:
+            handle.seek(position)
+            byte = handle.read(1)
+            handle.seek(position)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+    def test_checksums_persisted_per_block(self, tmp_path, records):
+        path = self.write_table(tmp_path, records)
+        with Table(path) as table:
+            assert all(isinstance(entry.checksum, int) for entry in table._index)
+            # Clean reads never trip the counter.
+            assert list(table) == records
+            assert table.blocks_checksum_failed == 0
+
+    @pytest.mark.parametrize("use_mmap", [True, False])
+    def test_corruption_detected_on_both_read_paths(self, tmp_path, records, use_mmap):
+        """The CRC check runs before decode on mmap views and seek+read alike."""
+        path = self.write_table(tmp_path, records)
+        with Table(path) as table:
+            entry = table._index[0]
+        self.corrupt_block(path, entry.offset, entry.length)
+        with Table(path, use_mmap=use_mmap) as table:
+            with pytest.raises(StoreError, match="checksum mismatch"):
+                table.get(records[0][0])
+            assert table.blocks_checksum_failed == 1
+            # Undamaged blocks in the same table still serve.
+            last_block_key = table._index[-1].first_key
+            assert table.get(last_block_key) is not None
+
+    def test_corruption_detected_under_compression(self, tmp_path, records):
+        """The CRC covers the *stored* payload, compressed or not."""
+        path = self.write_table(tmp_path, records, codec="gzip")
+        with Table(path) as table:
+            entry = table._index[0]
+        self.corrupt_block(path, entry.offset, entry.length)
+        with Table(path) as table:
+            with pytest.raises(StoreError, match="checksum mismatch"):
+                table.get(records[0][0])
+
+    def test_store_error_names_partition(self, tmp_path, records):
+        """Corruption in a store partition is reported with its identity."""
+        store_dir = str(tmp_path / "store")
+        build_store(
+            records, store_dir, store=StoreConfig(num_partitions=2, records_per_block=32)
+        )
+        with NGramStore.open(store_dir) as store:
+            table = store._table(1)
+            entry = table._index[0]
+            victim_path, first_key = table.path, entry.first_key
+            offset, length = entry.offset, entry.length
+        self.corrupt_block(victim_path, offset, length)
+        with NGramStore.open(store_dir) as store:
+            with pytest.raises(StoreError, match="partition 1"):
+                store.get(first_key)
+            assert store.io_stats()["blocks_checksum_failed"] == 1
+            # The undamaged partition still serves.
+            for key, value in records[:20]:
+                if store._partition_for(key) == 0:
+                    assert store.get(key) == value
+                    break
+
+    def test_legacy_index_without_checksums_still_served(
+        self, tmp_path, monkeypatch, records
+    ):
+        """Pre-checksum tables (7-tuple index entries) load and read fine."""
+        import repro.ngramstore.format as format_module
+        import repro.ngramstore.table as table_module
+
+        real_write_index = format_module.write_index
+
+        def legacy_write_index(handle, index):
+            legacy = [tuple(entry)[:7] for entry in index]
+            return real_write_index(handle, legacy)
+
+        monkeypatch.setattr(table_module, "write_index", legacy_write_index)
+        path = self.write_table(tmp_path, records)
+        monkeypatch.undo()
+        with Table(path) as table:
+            assert all(entry.checksum is None for entry in table._index)
+            assert list(table) == records
+            for key, value in records[::43]:
+                assert table.get(key) == value
+            assert table.blocks_checksum_failed == 0

@@ -1,0 +1,326 @@
+"""Residual sidecar tables: exact store merges at any τ.
+
+The core claim under test: a store built with ``StoreConfig(min_frequency=τ)``
+keeps its sub-τ counts in a residual sidecar, so k-way merging such stores
+(summing main+residual per input and re-splitting at τ) produces *exactly*
+what a from-scratch recount of the union corpus would — records, metadata,
+vocabulary and top-k alike — without recounting anything.  Fuzzed over
+random document-shard splits, τ ∈ {2, 3, 5} and 2/3/5-way merges.
+
+Also home to the merge guard rails: legacy residual-less τ>1 stores refuse
+to merge exactly (``allow_lower_bound`` keeps the old behaviour and stamps
+``counts: lower_bound``, which poisons downstream exact merges), and
+``_merged_metadata`` rejects boolean ``unigram_total`` values and warns
+when inputs disagree on carrying one.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.algorithms import make_counter
+from repro.config import ConfigurationError, NGramJobConfig, StoreConfig
+from repro.corpus.collection import EncodedCollection
+from repro.exceptions import StoreError
+from repro.harness.datasets import nytimes_like
+from repro.ngramstore import NGramStore, build_store, merge_stores
+from repro.ngramstore.build import RESIDUAL_DIRNAME
+
+
+def counted_store(collection, store_dir, tau, num_partitions=2):
+    """Count ``collection`` at τ=1 and persist with the store-side threshold.
+
+    This is the exact path ``repro count --tau 1 --store-tau τ`` takes, so
+    the resulting manifest metadata (algorithm, num_ngrams, unigram_total,
+    vocabulary_size) is what a real counting run records.
+    """
+    counter = make_counter(
+        "SUFFIX-SIGMA", NGramJobConfig(min_frequency=1, max_length=3)
+    )
+    counter.run(
+        collection,
+        store_dir=store_dir,
+        store=StoreConfig(
+            num_partitions=num_partitions,
+            records_per_block=32,
+            min_frequency=tau,
+        ),
+    )
+    return store_dir
+
+
+def random_shards(collection, num_shards, rng):
+    """Split the collection's documents into ``num_shards`` random slices."""
+    documents = list(collection.documents)
+    assert len(documents) >= num_shards
+    cuts = sorted(rng.sample(range(1, len(documents)), num_shards - 1))
+    bounds = [0] + cuts + [len(documents)]
+    return [
+        EncodedCollection(documents[low:high], collection.vocabulary)
+        for low, high in zip(bounds, bounds[1:])
+    ]
+
+
+class TestResidualBuild:
+    def test_build_splits_at_threshold(self, tmp_path):
+        records = [((index,), count) for index, count in enumerate([1, 2, 3, 4, 5, 9])]
+        store_dir = str(tmp_path / "store")
+        build_store(records, store_dir, store=StoreConfig(min_frequency=3))
+        with NGramStore.open(store_dir) as store:
+            assert store.min_frequency == 3
+            assert store.has_residual
+            assert list(store.items()) == [(key, count) for key, count in records if count >= 3]
+            residual = store.residual
+            assert list(residual.items()) == [
+                (key, count) for key, count in records if count < 3
+            ]
+            assert residual.metadata["residual"] is True
+            assert residual.metadata["residual_below"] == 3
+            # Main + residual recover the full τ=1 count table, in key order.
+            assert list(store.exact_items()) == records
+            entry = store.manifest["residual"]
+            assert entry["directory"] == RESIDUAL_DIRNAME
+            assert entry["below"] == 3
+            assert entry["num_records"] == 2
+            assert store.stats()["residual"]["num_records"] == 2
+
+    def test_tau_one_build_has_no_residual(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store([((1,), 1), ((2,), 7)], store_dir)
+        with NGramStore.open(store_dir) as store:
+            assert not store.has_residual
+            assert store.residual is None
+            assert store.min_frequency == 1
+            assert "residual" not in store.stats()
+            assert list(store.exact_items()) == list(store.items())
+
+    def test_residual_build_rejects_non_integer_counts(self, tmp_path):
+        for bad in [True, 2.5, "3"]:
+            with pytest.raises(StoreError, match="integer counts"):
+                build_store(
+                    [((1,), bad)],
+                    str(tmp_path / "bad"),
+                    store=StoreConfig(min_frequency=2),
+                )
+
+    def test_residual_build_rejects_prefiltered_counts(self, tmp_path):
+        with pytest.raises(StoreError, match="already frequency-filtered"):
+            build_store(
+                [((1,), 0)], str(tmp_path / "bad"), store=StoreConfig(min_frequency=2)
+            )
+
+    def test_store_config_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError, match="min_frequency"):
+            StoreConfig(min_frequency=0)
+
+    def test_counting_run_must_be_unfiltered(self):
+        """τ>1 counting prunes at emit — the residual would be incomplete."""
+        collection = nytimes_like(num_documents=6, seed=3).build()
+        counter = make_counter(
+            "SUFFIX-SIGMA", NGramJobConfig(min_frequency=2, max_length=2)
+        )
+        with pytest.raises(ConfigurationError, match="raw τ=1"):
+            counter.run(
+                collection, store_dir="unused", store=StoreConfig(min_frequency=2)
+            )
+
+    def test_rebuild_clears_stale_residual(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store([((1,), 1), ((2,), 9)], store_dir, store=StoreConfig(min_frequency=5))
+        build_store([((3,), 4)], store_dir)  # τ=1 rebuild over the same dir
+        with NGramStore.open(store_dir) as store:
+            assert not store.has_residual
+            assert list(store.items()) == [((3,), 4)]
+
+
+class TestExactMergeFuzz:
+    """Merged residual stores are indistinguishable from a union recount."""
+
+    @pytest.mark.parametrize(
+        ("tau", "num_shards", "seed"),
+        [(2, 2, 11), (3, 3, 22), (5, 5, 33), (3, 5, 44), (5, 2, 55)],
+    )
+    def test_merge_equals_union_recount(self, tmp_path, tau, num_shards, seed):
+        rng = random.Random(seed)
+        collection = nytimes_like(
+            num_documents=rng.randint(18, 30), seed=seed
+        ).build()
+
+        shard_dirs = [
+            counted_store(shard, str(tmp_path / f"shard-{index}"), tau)
+            for index, shard in enumerate(
+                random_shards(collection, num_shards, rng)
+            )
+        ]
+        merged_dir = str(tmp_path / "merged")
+        merge_stores(
+            shard_dirs,
+            merged_dir,
+            store=StoreConfig(num_partitions=3, records_per_block=32),
+        )
+        union_dir = counted_store(
+            collection, str(tmp_path / "union"), tau, num_partitions=3
+        )
+
+        with NGramStore.open(merged_dir) as merged, NGramStore.open(union_dir) as scratch:
+            # Records: main and residual streams both identical.
+            assert list(merged.items()) == list(scratch.items())
+            assert list(merged.residual.items()) == list(scratch.residual.items())
+            assert list(merged.exact_items()) == list(scratch.exact_items())
+            # Metadata: identical once the merge's provenance keys are set
+            # aside — τ, num_ngrams, unigram_total, vocabulary_size are all
+            # recomputed exactly from the merged stream.
+            metadata = dict(merged.metadata)
+            assert metadata.pop("merged_num_inputs") == num_shards
+            metadata.pop("merged_inputs")
+            assert metadata == scratch.metadata
+            assert merged.manifest["residual"]["below"] == tau
+            assert (
+                merged.manifest["residual"]["num_records"]
+                == scratch.manifest["residual"]["num_records"]
+            )
+            # Vocabulary and queries.
+            assert list(merged.vocabulary.terms()) == list(scratch.vocabulary.terms())
+            assert merged.top_k(15) == scratch.top_k(15)
+            assert merged.top_k(15, order="key") == scratch.top_k(15, order="key")
+            for key, _ in list(scratch.items())[::17]:
+                assert merged.get(key) == scratch.get(key)
+
+    def test_promotion_across_shards(self, tmp_path):
+        """A key under τ in *every* shard surfaces once its union count crosses τ."""
+        left_dir, right_dir = str(tmp_path / "left"), str(tmp_path / "right")
+        build_store([((7,), 2)], left_dir, store=StoreConfig(min_frequency=3))
+        build_store([((7,), 2)], right_dir, store=StoreConfig(min_frequency=3))
+        merged_dir = str(tmp_path / "merged")
+        merge_stores([left_dir, right_dir], merged_dir)
+        with NGramStore.open(merged_dir) as merged:
+            assert merged.get((7,)) == 4  # promoted: 2 + 2 >= 3
+            assert list(merged.residual.items()) == []
+
+    def test_rethreshold_single_store(self, tmp_path):
+        """Re-applying a higher τ to one residual store demotes exactly."""
+        records = [((index,), count) for index, count in enumerate([1, 2, 3, 4, 5, 9])]
+        store_dir = str(tmp_path / "store")
+        build_store(records, store_dir, store=StoreConfig(min_frequency=2))
+        out_dir = str(tmp_path / "rethresholded")
+        merge_stores([store_dir], out_dir, min_frequency=5)
+        with NGramStore.open(out_dir) as store:
+            assert store.min_frequency == 5
+            assert list(store.items()) == [(key, count) for key, count in records if count >= 5]
+            assert list(store.exact_items()) == records
+
+
+class TestMergeGuards:
+    def legacy_store(self, tmp_path, name, records=None):
+        """A τ>1 store without a residual — what pre-residual builds produced."""
+        store_dir = str(tmp_path / name)
+        build_store(
+            records if records is not None else [((1,), 5), ((2,), 9)],
+            store_dir,
+            metadata={"min_frequency": 3},
+        )
+        return store_dir
+
+    def test_legacy_pair_refuses_without_flag(self, tmp_path):
+        first = self.legacy_store(tmp_path, "a")
+        second = self.legacy_store(tmp_path, "b")
+        with pytest.raises(StoreError, match="no residual table"):
+            merge_stores([first, second], str(tmp_path / "out"))
+
+    def test_allow_lower_bound_stamps_output(self, tmp_path):
+        first = self.legacy_store(tmp_path, "a", [((1,), 5)])
+        second = self.legacy_store(tmp_path, "b", [((1,), 4)])
+        out_dir = str(tmp_path / "out")
+        merge_stores([first, second], out_dir, allow_lower_bound=True)
+        with NGramStore.open(out_dir) as merged:
+            assert merged.metadata["counts"] == "lower_bound"
+            assert merged.get((1,)) == 9
+
+    def test_lower_bound_stamp_poisons_downstream_merges(self, tmp_path):
+        first = self.legacy_store(tmp_path, "a")
+        second = self.legacy_store(tmp_path, "b")
+        stamped = str(tmp_path / "stamped")
+        merge_stores([first, second], stamped, allow_lower_bound=True)
+        clean = str(tmp_path / "clean")
+        build_store([((5,), 2)], clean)  # τ=1, residual-exact on its own
+        with pytest.raises(StoreError, match="no residual table"):
+            merge_stores([stamped, clean], str(tmp_path / "out2"))
+
+    def test_single_legacy_input_repartitions_without_flag(self, tmp_path):
+        """k=1 is a pure repartition — nothing is summed, nothing undercounts."""
+        records = [((index,), 5 + index) for index in range(40)]
+        legacy = self.legacy_store(tmp_path, "solo", records)
+        out_dir = str(tmp_path / "out")
+        merge_stores([legacy], out_dir, store=StoreConfig(num_partitions=3))
+        with NGramStore.open(out_dir) as merged:
+            assert list(merged.items()) == records
+            assert "counts" not in merged.metadata
+            assert not merged.has_residual
+            assert merged.metadata["min_frequency"] == 3  # carried, not stamped
+
+    def test_min_frequency_needs_residuals(self, tmp_path):
+        legacy = self.legacy_store(tmp_path, "solo")
+        with pytest.raises(StoreError, match="without residual tables"):
+            merge_stores([legacy], str(tmp_path / "out"), min_frequency=5)
+
+    def test_merge_rejects_invalid_min_frequency(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store([((1,), 2)], store_dir)
+        with pytest.raises(StoreError, match="min_frequency must be >= 1"):
+            merge_stores([store_dir], str(tmp_path / "out"), min_frequency=0)
+
+    def test_exact_merge_rejects_filtered_counts(self, tmp_path):
+        """A zero count smuggled into a residual-exact merge fails loudly."""
+        store_dir = str(tmp_path / "store")
+        build_store([((1,), 0), ((2,), 8)], store_dir)  # τ=1 build accepts any value
+        with pytest.raises(StoreError, match="frequency-filtered"):
+            merge_stores([store_dir], str(tmp_path / "out"), min_frequency=2)
+
+
+class TestMergedMetadataUnigramTotal:
+    def build_pair(self, tmp_path, first_metadata, second_metadata):
+        dirs = []
+        for name, metadata in (("a", first_metadata), ("b", second_metadata)):
+            store_dir = str(tmp_path / name)
+            build_store([((1,), 4), ((2,), 6)], store_dir, metadata=metadata)
+            dirs.append(store_dir)
+        return dirs
+
+    def test_boolean_total_rejected_with_warning(self, tmp_path):
+        dirs = self.build_pair(
+            tmp_path, {"unigram_total": True}, {"unigram_total": 10}
+        )
+        out_dir = str(tmp_path / "out")
+        with pytest.warns(UserWarning, match="unigram_total"):
+            merge_stores(dirs, out_dir)
+        with NGramStore.open(out_dir) as merged:
+            assert "unigram_total" not in merged.metadata
+
+    def test_missing_total_warns_and_drops(self, tmp_path):
+        dirs = self.build_pair(tmp_path, {"unigram_total": 10}, {})
+        out_dir = str(tmp_path / "out")
+        with pytest.warns(UserWarning, match="carry no usable total"):
+            merge_stores(dirs, out_dir)
+        with NGramStore.open(out_dir) as merged:
+            assert "unigram_total" not in merged.metadata
+
+    def test_absent_everywhere_is_silent(self, tmp_path):
+        dirs = self.build_pair(tmp_path, {}, {})
+        out_dir = str(tmp_path / "out")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            merge_stores(dirs, out_dir)
+        with NGramStore.open(out_dir) as merged:
+            assert "unigram_total" not in merged.metadata
+
+    def test_usable_totals_sum(self, tmp_path):
+        dirs = self.build_pair(
+            tmp_path, {"unigram_total": 10}, {"unigram_total": 7}
+        )
+        out_dir = str(tmp_path / "out")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            merge_stores(dirs, out_dir)
+        with NGramStore.open(out_dir) as merged:
+            assert merged.metadata["unigram_total"] == 17
