@@ -206,6 +206,35 @@ class NGramLanguageModel:
         return sorted(scored, key=lambda item: -item.log10_score)
 
     # ---------------------------------------------------------- generation
+    def complete(self, prefix_terms: Sequence, k: Optional[int] = None) -> List[Tuple]:
+        """The ``k`` best exact continuations of ``prefix_terms``.
+
+        Unlike :meth:`continuations` this never backs off to shorter
+        contexts and ranks with the deterministic ``(-count, token)``
+        tie-break of :func:`repro.ngramstore.api.complete_scan` — the exact
+        semantics of the server's ``complete`` operation, so a model, a
+        local store, and every wire transport return byte-identical
+        completions over the same statistics.  Store-backed statistics
+        answer with one bounded prefix scan; dict-backed statistics feed
+        the same canonical scan a key-sorted slice.  Results are
+        :class:`~repro.ngramstore.api.Completion` ``(token, value)`` pairs.
+        """
+        from repro.ngramstore.api import DEFAULT_COMPLETE_K, complete_scan, validate_complete_k
+
+        k = validate_complete_k(DEFAULT_COMPLETE_K if k is None else k)
+        context = tuple(prefix_terms)
+        store = getattr(self.statistics, "store", None)
+        if store is not None:
+            records = store.prefix(context)
+        else:
+            records = sorted(
+                (tuple(ngram), count)
+                for ngram, count in self.statistics.items()
+                if tuple(ngram)[: len(context)] == context
+            )
+        completions, _ = complete_scan(records, len(context), k)
+        return completions
+
     def continuations(self, context: Sequence, top_k: int = 5) -> List[Tuple]:
         """The most likely next terms after ``context`` (by stupid backoff).
 

@@ -54,6 +54,20 @@ Installed as ``repro-ngrams`` (or ``python -m repro``).  Sub-commands:
     Fold LSM store generations together with the exact residual merge:
     size-tiered by default, ``--all`` collapses everything into one
     generation at the store's τ.
+
+``rethreshold``
+    Re-apply a different frequency threshold τ to one store, exactly:
+    a single-input merge that re-splits the main/residual tables at the
+    new τ — byte-identical to recounting the corpus at that τ (requires a
+    residual-exact input, see ``merge-stores``).
+
+``diff-stores`` / ``intersect-stores``
+    Cross-store analytics (see :mod:`repro.ngramstore.analytics`): one
+    streaming co-scan over two stores' exact tables.  ``diff`` keeps the
+    n-grams of A absent from B (with A's counts); ``intersect`` keeps the
+    shared n-grams with per-store counts.  Results print as records
+    (``--mode ratio`` for corpus-size-normalised comparisons) or land in
+    a new queryable store directory via ``--output``.
 """
 
 from __future__ import annotations
@@ -130,6 +144,46 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="record the peak of Python-level allocations per run "
         "(reported and included in exports)",
+    )
+
+
+def _add_store_layout_arguments(parser: argparse.ArgumentParser) -> None:
+    """Output-store layout flags shared by the store-writing commands."""
+    parser.add_argument(
+        "--partitions", type=int, default=4, help="range partitions of the output store"
+    )
+    parser.add_argument(
+        "--codec",
+        choices=SHARD_CODECS,
+        default="none",
+        help="per-block compression codec of the output tables",
+    )
+    parser.add_argument(
+        "--records-per-block", type=int, default=1024, help="records per data block"
+    )
+    parser.add_argument(
+        "--bloom-bits",
+        type=int,
+        default=10,
+        metavar="BITS",
+        help="Bloom-filter bits per key in the output tables' block "
+        "indexes (0 disables the filters)",
+    )
+    parser.add_argument(
+        "--sample-size",
+        type=int,
+        default=1024,
+        help="keys sampled when deriving partition boundaries",
+    )
+
+
+def _store_config_from_args(args: argparse.Namespace) -> StoreConfig:
+    return StoreConfig(
+        num_partitions=args.partitions,
+        codec=args.codec,
+        records_per_block=args.records_per_block,
+        sample_size=args.sample_size,
+        bloom_bits_per_key=args.bloom_bits,
     )
 
 
@@ -375,6 +429,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which shard to serve, in [0, N) (with --num-shards)",
     )
     serve.add_argument(
+        "--extra-store",
+        default=None,
+        metavar="DIR",
+        help="mount a second store (same vocabulary) as the comparison side "
+        "of the 'compare' operation — point diff/intersect lookups answer "
+        "from both stores in one request",
+    )
+    serve.add_argument(
         "--cache-blocks",
         type=int,
         default=256,
@@ -509,32 +571,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     merge.add_argument("inputs", nargs="+", help="input store directories")
     merge.add_argument("--output", required=True, help="merged store directory")
-    merge.add_argument(
-        "--partitions", type=int, default=4, help="range partitions of the merged store"
-    )
-    merge.add_argument(
-        "--codec",
-        choices=SHARD_CODECS,
-        default="none",
-        help="per-block compression codec of the merged tables",
-    )
-    merge.add_argument(
-        "--records-per-block", type=int, default=1024, help="records per data block"
-    )
-    merge.add_argument(
-        "--bloom-bits",
-        type=int,
-        default=10,
-        metavar="BITS",
-        help="Bloom-filter bits per key in the merged tables' block "
-        "indexes (0 disables the filters)",
-    )
-    merge.add_argument(
-        "--sample-size",
-        type=int,
-        default=1024,
-        help="keys sampled when re-deriving partition boundaries",
-    )
+    _add_store_layout_arguments(merge)
     merge.add_argument(
         "--tau",
         type=int,
@@ -550,6 +587,77 @@ def _build_parser() -> argparse.ArgumentParser:
         "> 1: merged counts are then only lower bounds near the threshold, "
         "and the output is stamped counts=lower_bound",
     )
+
+    rethreshold = subparsers.add_parser(
+        "rethreshold",
+        help="re-apply a different frequency threshold tau to one store, "
+        "exactly (single-input merge over main+residual)",
+    )
+    rethreshold.add_argument("store", help="input store directory (residual-exact)")
+    rethreshold.add_argument("--output", required=True, help="rethresholded store directory")
+    rethreshold.add_argument(
+        "--tau",
+        type=int,
+        required=True,
+        metavar="TAU",
+        help="new frequency threshold; counts below it move to the output's "
+        "residual sidecar, counts at or above it to the main table",
+    )
+    _add_store_layout_arguments(rethreshold)
+
+    for kind, title in (
+        ("diff-stores", "the n-grams of store A absent from store B"),
+        ("intersect-stores", "the n-grams shared by stores A and B"),
+    ):
+        analytics = subparsers.add_parser(
+            kind,
+            help=f"stream or materialise {title} (exact ordered co-scan)",
+        )
+        analytics.add_argument("store_a", help="left store directory (A)")
+        analytics.add_argument("store_b", help="right store directory (B)")
+        analytics.add_argument(
+            "--output",
+            default=None,
+            metavar="DIR",
+            help="write the result as a queryable store directory instead of "
+            "printing records",
+        )
+        analytics.add_argument(
+            "--min-frequency",
+            type=int,
+            default=1,
+            metavar="TAU",
+            help="keep only records whose count reaches TAU "
+            "(both stores' counts for intersect; default: 1 = everything)",
+        )
+        analytics.add_argument(
+            "--mode",
+            choices=("count", "ratio"),
+            default="count",
+            help="printed value: raw counts, or counts normalised by each "
+            "store's corpus size (manifest unigram_total) — 'ratio' is a "
+            "report, so it cannot combine with --output",
+        )
+        analytics.add_argument(
+            "--limit",
+            type=int,
+            default=None,
+            metavar="N",
+            help="print at most N records (default: all)",
+        )
+        analytics.add_argument(
+            "--ids",
+            action="store_true",
+            help="print integer term ids instead of surface terms",
+        )
+        analytics.add_argument(
+            "--allow-thresholded",
+            action="store_true",
+            help="permit comparing residual-less stores built with a "
+            "threshold > 1: the co-scan then sees their filtered serving "
+            "views, so absence claims below tau are unreliable",
+        )
+        _add_store_layout_arguments(analytics)
 
     ingest = subparsers.add_parser(
         "ingest",
@@ -894,6 +1002,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             shard_index=args.shard_index,
             slow_query_ms=args.slow_query_ms,
             slow_query_log=args.slow_query_log,
+            extra_store=args.extra_store,
         )
         if args.metrics_interval is not None:
             if args.metrics_interval <= 0:
@@ -1135,17 +1244,10 @@ def _cmd_merge_stores(args: argparse.Namespace) -> int:
     from repro.ngramstore.merge import merge_stores
 
     try:
-        store = StoreConfig(
-            num_partitions=args.partitions,
-            codec=args.codec,
-            records_per_block=args.records_per_block,
-            sample_size=args.sample_size,
-            bloom_bits_per_key=args.bloom_bits,
-        )
         merge_stores(
             args.inputs,
             args.output,
-            store=store,
+            store=_store_config_from_args(args),
             min_frequency=args.tau,
             allow_lower_bound=args.allow_lower_bound,
         )
@@ -1164,6 +1266,140 @@ def _cmd_merge_stores(args: argparse.Namespace) -> int:
             f"({merged.num_records} n-grams, {merged.num_partitions} partitions, "
             f"codec={args.codec}{residual_note})"
         )
+    return 0
+
+
+def _cmd_rethreshold(args: argparse.Namespace) -> int:
+    from repro.ngramstore import NGramStore
+    from repro.ngramstore.merge import merge_stores
+
+    try:
+        merge_stores(
+            [args.store],
+            args.output,
+            store=_store_config_from_args(args),
+            min_frequency=args.tau,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with NGramStore.open(args.output) as result:
+        residual = result.manifest.get("residual")
+        residual_note = (
+            f", residual={residual['num_records']} sub-τ records" if residual else ""
+        )
+        print(
+            f"rethresholded {args.store} at tau={args.tau} into {args.output} "
+            f"({result.num_records} n-grams, {result.num_partitions} partitions"
+            f"{residual_note})"
+        )
+    return 0
+
+
+def _analytics_totals(store_a, store_b):
+    """Both stores' corpus sizes for ratio mode, loudly when unavailable."""
+    totals = []
+    for store in (store_a, store_b):
+        total = store.metadata.get("unigram_total")
+        if not isinstance(total, int) or isinstance(total, bool) or total <= 0:
+            raise ReproError(
+                f"--mode ratio needs the corpus size, but {store.store_dir!r} "
+                "carries no unigram_total metadata (stores written by "
+                "count --store-dir do)"
+            )
+        totals.append(total)
+    return tuple(totals)
+
+
+def _cmd_analytics(args: argparse.Namespace) -> int:
+    from itertools import islice
+
+    from repro.ngramstore import NGramStore
+    from repro.ngramstore.analytics import (
+        diff_records,
+        diff_stores,
+        intersect_records,
+        intersect_stores,
+    )
+
+    kind = "diff" if args.command == "diff-stores" else "intersect"
+    if args.output is not None and args.mode == "ratio":
+        print(
+            "error: --mode ratio prints a normalised report; a store holds "
+            "counts — drop --output or --mode ratio",
+            file=sys.stderr,
+        )
+        return 2
+    if args.limit is not None and args.limit < 0:
+        print(f"error: --limit must be >= 0, got {args.limit}", file=sys.stderr)
+        return 2
+    try:
+        if args.output is not None:
+            write = diff_stores if kind == "diff" else intersect_stores
+            write(
+                args.store_a,
+                args.store_b,
+                args.output,
+                store=_store_config_from_args(args),
+                min_frequency=args.min_frequency,
+                allow_thresholded=args.allow_thresholded,
+            )
+            with NGramStore.open(args.output) as result:
+                print(
+                    f"wrote {kind} of {args.store_a} vs {args.store_b} to "
+                    f"{args.output} ({result.num_records} n-grams, "
+                    f"{result.num_partitions} partitions, codec={args.codec})"
+                )
+            return 0
+        stream = diff_records if kind == "diff" else intersect_records
+        with NGramStore.open(args.store_a) as store_a, NGramStore.open(
+            args.store_b
+        ) as store_b:
+            totals = (
+                _analytics_totals(store_a, store_b) if args.mode == "ratio" else None
+            )
+            surface = store_a.vocabulary is not None and not args.ids
+            records = stream(
+                store_a,
+                store_b,
+                min_frequency=args.min_frequency,
+                allow_thresholded=args.allow_thresholded,
+            )
+            if args.limit is not None:
+                records = islice(records, args.limit)
+            printed = 0
+            for key, value in records:
+                rendered = (
+                    " ".join(store_a.render_ngrams([key])[0])
+                    if surface
+                    else " ".join(str(token) for token in key)
+                )
+                if kind == "diff":
+                    count_a = value
+                    cells = (
+                        f"{count_a}"
+                        if totals is None
+                        else f"{count_a / totals[0]:.3e}"
+                    )
+                else:
+                    count_a, count_b = value
+                    if totals is None:
+                        cells = f"{count_a}\t{count_b}"
+                    else:
+                        relative_a = count_a / totals[0]
+                        relative_b = count_b / totals[1]
+                        cells = f"{relative_a / relative_b:.6f}"
+                print(f"{cells}\t{rendered}")
+                printed += 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Streaming into a closed pipe (e.g. `| head`) is a normal way to
+        # consume these reports; exit quietly with the conventional status.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+    print(f"{printed} {kind} records", file=sys.stderr)
     return 0
 
 
@@ -1403,6 +1639,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
         "merge-stores": _cmd_merge_stores,
+        "rethreshold": _cmd_rethreshold,
+        "diff-stores": _cmd_analytics,
+        "intersect-stores": _cmd_analytics,
         "ingest": _cmd_ingest,
         "compact": _cmd_compact,
         "coderivatives": _cmd_coderivatives,

@@ -365,6 +365,11 @@ class ServerConfig:
         JSON-lines file the slow-query log appends to (parent directories
         are created).  ``None`` keeps slow queries in memory only —
         visible to in-process owners of the server object.
+    extra_store:
+        Directory of a second *comparison* store to mount read-only next
+        to the served store, enabling the ``compare`` operation (point
+        diff/intersect lookups across the two).  ``None`` (the default)
+        leaves ``compare`` unavailable.
     """
 
     host: str = "127.0.0.1"
@@ -377,8 +382,13 @@ class ServerConfig:
     shard_index: int = 0
     slow_query_ms: Optional[float] = None
     slow_query_log: Optional[str] = None
+    extra_store: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.extra_store is not None and not isinstance(self.extra_store, str):
+            raise ConfigurationError(
+                f"extra_store must be a store directory path, got {self.extra_store!r}"
+            )
         if not 0 <= self.port <= 65535:
             raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
         if self.cache_blocks < 1:

@@ -23,14 +23,31 @@ protocol, :class:`NGramStoreHTTPServer`/:class:`HttpStoreClient`
 range-sharded deployments, and :func:`merge_stores`
 (:mod:`repro.ngramstore.merge`) compacts several stores into one with a
 k-way merge of their sorted tables — exact at any τ thanks to per-store
-residual sidecar tables.  :mod:`repro.ngramstore.lsm` builds the
+residual sidecar tables.  :mod:`repro.ngramstore.analytics` reuses the
+same ordered co-scan for cross-store analytics: :func:`diff_stores` /
+:func:`intersect_stores` (and their streaming ``*_records`` twins) compare
+two stores' exact tables and can write the result as a new queryable
+store.  :mod:`repro.ngramstore.lsm` builds the
 incremental-ingestion tier on top: :class:`LSMStore` manages ordered store
 generations (``repro ingest`` / ``repro compact``) and
 :class:`GenerationView` serves the live generations as one ``StoreAPI``,
 so a store can absorb a rolling corpus while it is being queried.
 """
 
-from repro.ngramstore.api import NGramRecord, QueryEngine, StoreAPI
+from repro.ngramstore.analytics import (
+    diff_records,
+    diff_stores,
+    intersect_records,
+    intersect_stores,
+)
+from repro.ngramstore.api import (
+    DEFAULT_COMPLETE_K,
+    Completion,
+    NGramRecord,
+    QueryEngine,
+    StoreAPI,
+    complete_scan,
+)
 from repro.ngramstore.build import (
     RangePartitioner,
     build_store,
@@ -50,6 +67,8 @@ from repro.ngramstore.table import BlockCache, Table, TableWriter, TopKAccumulat
 
 __all__ = [
     "BlockCache",
+    "Completion",
+    "DEFAULT_COMPLETE_K",
     "GenerationView",
     "HttpStoreClient",
     "LSMStore",
@@ -72,6 +91,11 @@ __all__ = [
     "TopKAccumulator",
     "build_store",
     "check_slos",
+    "complete_scan",
+    "diff_records",
+    "diff_stores",
+    "intersect_records",
+    "intersect_stores",
     "is_lsm_dir",
     "load_manifest",
     "merge_stores",

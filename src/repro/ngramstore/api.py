@@ -9,6 +9,10 @@ is the one contract they all implement now:
 * ``get`` / ``multi_get`` — point lookups by n-gram key (term-id tuples);
 * ``prefix`` — bounded range scan of every n-gram starting with a key;
 * ``top_k`` — the k best records by frequency (or the first k by key);
+* ``complete`` — next-word prediction: the k best single-token
+  continuations of a prefix, in deterministic ``(-count, token)`` order;
+* ``compare`` — point diff/intersect lookup across the served store and a
+  second *comparison* store mounted server-side (``serve --extra-store``);
 * ``stats`` — store metadata (record/partition counts, vocabulary flag);
 * ``close`` + context-manager lifecycle;
 * surface-term variants (``get_terms`` / ``multi_get_terms`` /
@@ -63,6 +67,17 @@ class NGramRecord(NamedTuple):
 
 Record = NGramRecord
 
+
+class Completion(NamedTuple):
+    """One ``complete`` result: a continuation token and its frequency.
+
+    ``token`` is a term identifier — or a surface term string when produced
+    by ``complete_terms``.  Tuple-compatible, like :class:`NGramRecord`.
+    """
+
+    token: Any
+    value: Any
+
 #: Server-side result caps: a single response is one JSON payload held in
 #: memory, so unbounded prefix scans (or absurd k / batch sizes) must not
 #: let one request materialise a whole larger-than-RAM store.  Capped
@@ -72,6 +87,9 @@ MAX_PREFIX_RECORDS = 10_000
 MAX_TOP_K = 10_000
 MAX_BATCH_KEYS = 10_000
 
+#: Default result size of the ``complete`` operation.
+DEFAULT_COMPLETE_K = 5
+
 #: Operations of the unified wire protocol (also the metrics buckets).
 OPERATIONS = (
     "get",
@@ -79,6 +97,8 @@ OPERATIONS = (
     "prefix",
     "multi_prefix",
     "top_k",
+    "complete",
+    "compare",
     "translate",
     "render",
     "stats",
@@ -119,6 +139,72 @@ def normalize_request(request: Dict[str, Any]) -> Tuple[Dict[str, Any], Optional
         request = dict(request)
         del request[TRACE_FIELD]
     return request, "; ".join(notes) if notes else None
+
+
+def validate_complete_k(k: Any) -> int:
+    """Validate a ``complete`` result size: a positive int within the cap."""
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise StoreError(f"complete k must be a positive integer, got {k!r}")
+    if k > MAX_TOP_K:
+        raise StoreError(f"complete k must be <= {MAX_TOP_K}, got {k}")
+    return k
+
+
+def complete_scan(
+    records: Iterable[Record], prefix_length: int, k: int
+) -> Tuple[List[Completion], bool]:
+    """The canonical completion scan every implementation shares.
+
+    ``records`` streams the prefix-matching records in key order (a store's
+    ``prefix(key)``, or an equivalently sorted in-memory slice); records
+    one token longer than the prefix are the completion candidates, ranked
+    by ``(-value, token)`` — the explicit token tie-break is what makes
+    results byte-identical across the local store, every wire transport,
+    and :meth:`~repro.applications.language_model.NGramLanguageModel.
+    complete`, which all funnel through this function.  At most
+    ``MAX_PREFIX_RECORDS`` records are scanned; the returned flag reports
+    whether the scan was cut short (so very hot prefixes degrade loudly,
+    not wrongly).  Returns ``(top-k completions, truncated)``.
+    """
+    candidates: List[Tuple[Any, Any]] = []
+    truncated = False
+    scanned = 0
+    for key, value in records:
+        if scanned >= MAX_PREFIX_RECORDS:
+            truncated = True
+            break
+        scanned += 1
+        if len(key) != prefix_length + 1:
+            continue
+        candidates.append((key[prefix_length], value))
+    try:
+        candidates.sort(key=lambda item: (-item[1], item[0]))
+    except TypeError as exc:
+        raise StoreError(
+            f"complete requires numeric, mutually comparable frequencies ({exc})"
+        ) from exc
+    return [Completion(token, value) for token, value in candidates[:k]], truncated
+
+
+def ensure_comparable_vocabulary(primary: Any, extra: Any) -> None:
+    """Refuse mounting a comparison store whose vocabulary differs.
+
+    ``compare`` translates surface terms against the *primary* store's
+    dictionary and looks the resulting ids up in both stores, which is only
+    meaningful when both were encoded against the same dictionary.  Stores
+    without a persisted vocabulary are trusted (id-keyed deployments manage
+    agreement themselves).
+    """
+    vocabulary_a = getattr(primary, "vocabulary", None)
+    vocabulary_b = getattr(extra, "vocabulary", None)
+    if vocabulary_a is None or vocabulary_b is None:
+        return
+    if list(vocabulary_a.to_lines()) != list(vocabulary_b.to_lines()):
+        raise StoreError(
+            "cannot mount the comparison store: its vocabulary differs from "
+            "the served store's, so term ids are not comparable across the "
+            "two; re-count both against one shared dictionary"
+        )
 
 
 class StoreAPI:
@@ -215,6 +301,37 @@ class StoreAPI:
         rendered = self.render_ngrams([record[0] for record in records])
         return [
             NGramRecord(surface, record[1]) for surface, record in zip(rendered, records)
+        ]
+
+    def complete(self, ngram: Iterable[Any], k: int = DEFAULT_COMPLETE_K) -> List[Completion]:
+        """The ``k`` best single-token continuations of ``ngram``.
+
+        A prefix scan filtered to records exactly one token longer than the
+        prefix, ranked ``(-value, token)`` — see :func:`complete_scan` for
+        the canonical semantics every implementation shares.  An empty
+        prefix predicts first words (top unigrams).
+        """
+        key = tuple(ngram)
+        completions, _ = complete_scan(self.prefix(key), len(key), validate_complete_k(k))
+        return completions
+
+    def complete_terms(
+        self, terms: Sequence[str], k: int = DEFAULT_COMPLETE_K
+    ) -> List[Completion]:
+        """Completions keyed and rendered in surface terms.
+
+        Unknown prefix terms mean nothing can continue them: the result is
+        empty, not an error.  Ranking happens in id space (before
+        rendering), so the order matches the id-keyed ``complete`` exactly.
+        """
+        (key,) = self.translate_terms([tuple(terms)])
+        if key is None:
+            return []
+        completions = self.complete(key, k)
+        rendered = self.render_ngrams([(completion.token,) for completion in completions])
+        return [
+            Completion(surface[0], completion.value)
+            for surface, completion in zip(rendered, completions)
         ]
 
     def ping(self) -> bool:
@@ -363,6 +480,29 @@ class RemoteStore(StoreAPI):
         response = self._call({"op": "top_k", "k": k, "order": order, "surface": True})
         return [NGramRecord(tuple(key), value) for key, value in response["records"]]
 
+    # --------------------------------------------------- analytics serving
+    def complete(self, ngram: Iterable[Any], k: int = DEFAULT_COMPLETE_K) -> List[Completion]:
+        response = self._call({"op": "complete", "key": list(ngram), "k": k})
+        return [Completion(token, value) for token, value in response["completions"]]
+
+    def complete_terms(
+        self, terms: Sequence[str], k: int = DEFAULT_COMPLETE_K
+    ) -> List[Completion]:
+        response = self._call({"op": "complete", "terms": list(terms), "k": k})
+        return [Completion(token, value) for token, value in response["completions"]]
+
+    def compare(self, ngram: Iterable[Any]) -> Dict[str, Any]:
+        """Point lookup of ``ngram`` in the served store *and* the mounted
+        comparison store: ``{"found_a", "value_a", "found_b", "value_b"}``.
+
+        Raises :class:`StoreError` when the server was started without
+        ``--extra-store``.
+        """
+        return self._strip_envelope(self._call({"op": "compare", "key": list(ngram)}))
+
+    def compare_terms(self, terms: Sequence[str]) -> Dict[str, Any]:
+        return self._strip_envelope(self._call({"op": "compare", "terms": list(terms)}))
+
 
 def _validated_terms_batch(data: Any, field: str) -> List[Tuple[str, ...]]:
     if not isinstance(data, list):
@@ -404,10 +544,16 @@ class QueryEngine:
     serve byte-identical payloads by construction.  ``server_stats`` is
     *not* handled here — it belongs to the transport (metrics, cache,
     connection counts), not to the store.
+
+    ``extra_store`` is an optional second store (``serve --extra-store``)
+    the ``compare`` operation looks keys up in alongside the primary;
+    without one, ``compare`` is a clean :class:`StoreError`.  Surface
+    terms are always translated against the *primary* store's vocabulary.
     """
 
-    def __init__(self, store: Any) -> None:
+    def __init__(self, store: Any, extra_store: Any = None) -> None:
         self.store = store
+        self.extra_store = extra_store
 
     # ------------------------------------------------------------ helpers
     def _request_key(self, request: Dict[str, Any], surface: bool) -> Optional[Tuple]:
@@ -546,6 +692,50 @@ class QueryEngine:
             with trace.stage("read"):
                 records = self.store.top_k(k, order)
                 return {"records": self._record_payload(records, surface)}
+        if operation == "complete":
+            with trace.stage("route"):
+                key = self._request_key(request, surface)
+                k = validate_complete_k(request.get("k", DEFAULT_COMPLETE_K))
+            with trace.stage("read"):
+                if key is None:  # unknown surface term: nothing continues it
+                    completions, truncated = [], False
+                else:
+                    completions, truncated = complete_scan(
+                        self.store.prefix(key), len(key), k
+                    )
+                if surface:
+                    rendered = self.store.render_ngrams(
+                        [(completion.token,) for completion in completions]
+                    )
+                    payload = [
+                        [terms[0], completion.value]
+                        for terms, completion in zip(rendered, completions)
+                    ]
+                else:
+                    payload = [
+                        [completion.token, completion.value]
+                        for completion in completions
+                    ]
+            return {"completions": payload, "truncated": truncated}
+        if operation == "compare":
+            with trace.stage("route"):
+                if self.extra_store is None:
+                    raise StoreError(
+                        "no comparison store mounted; start the server with "
+                        "--extra-store to enable 'compare'"
+                    )
+                key = self._request_key(request, surface)
+            with trace.stage("read"):
+                value_a = _MISSING if key is None else self.store.get(key, _MISSING)
+                value_b = (
+                    _MISSING if key is None else self.extra_store.get(key, _MISSING)
+                )
+            return {
+                "found_a": value_a is not _MISSING,
+                "value_a": None if value_a is _MISSING else value_a,
+                "found_b": value_b is not _MISSING,
+                "value_b": None if value_b is _MISSING else value_b,
+            }
         if operation == "translate":
             with trace.stage("route"):
                 batch = _validated_terms_batch(request.get("terms"), "terms")

@@ -21,6 +21,8 @@ same :class:`~repro.ngramstore.api.QueryEngine` the socket server uses
       GET /get?key=3,7      | GET /get?terms=the,quick
       GET /prefix?key=3&limit=100
       GET /top_k?k=10&order=frequency&surface=1
+      GET /complete?terms=new,york&k=5
+      GET /compare?key=3,7  | GET /compare?terms=new,york
 
 ``key`` is comma-separated term identifiers; ``terms`` is comma-separated
 surface terms (translated server-side); ``surface=1`` renders ``top_k``
@@ -47,7 +49,13 @@ from urllib import parse as urllib_parse
 
 from repro.config import ServerConfig
 from repro.exceptions import StoreConnectionError, StoreError
-from repro.ngramstore.api import OPERATIONS, QueryEngine, RemoteStore, normalize_request
+from repro.ngramstore.api import (
+    OPERATIONS,
+    QueryEngine,
+    RemoteStore,
+    ensure_comparable_vocabulary,
+    normalize_request,
+)
 from repro.ngramstore.reader import NGramStore
 from repro.ngramstore.server import (
     MAX_REQUEST_BYTES,
@@ -64,7 +72,16 @@ from repro.util.timer import Stopwatch
 from repro.util.tracing import SlowQueryLog, TraceContext, attach_trace
 
 #: GET routes that map straight to unified-schema operations.
-_GET_OPERATIONS = ("ping", "stats", "server_stats", "get", "prefix", "top_k")
+_GET_OPERATIONS = (
+    "ping",
+    "stats",
+    "server_stats",
+    "get",
+    "prefix",
+    "top_k",
+    "complete",
+    "compare",
+)
 
 #: Content type of the ``GET /metrics`` exposition (Prometheus text 0.0.4).
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -277,7 +294,23 @@ class NGramStoreHTTPServer:
         else:
             self.store = store
             self.cache = getattr(store, "cache", None)
-        self.engine = QueryEngine(self.store)
+        self.extra_store: Any = None
+        if self.config.extra_store is not None:
+            from repro.ngramstore.lsm import open_store_auto
+
+            # Mirrors the socket server: the comparison store rides the
+            # shared block cache and must agree on the vocabulary.
+            try:
+                self.extra_store = open_store_auto(
+                    self.config.extra_store, cache=self.cache
+                )
+                ensure_comparable_vocabulary(self.store, self.extra_store)
+            except Exception:
+                if self.extra_store is not None:
+                    self.extra_store.close()
+                self.store.close()
+                raise
+        self.engine = QueryEngine(self.store, extra_store=self.extra_store)
         self.metrics = ServerMetrics()
         self.slow_log = (
             SlowQueryLog(self.config.slow_query_ms, self.config.slow_query_log)
@@ -326,6 +359,8 @@ class NGramStoreHTTPServer:
             self._thread.join(timeout=5.0)
         if self.slow_log is not None:
             self.slow_log.close()
+        if self.extra_store is not None:
+            self.extra_store.close()
         self.store.close()
 
     def __enter__(self) -> "NGramStoreHTTPServer":

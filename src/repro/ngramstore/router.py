@@ -33,7 +33,14 @@ from itertools import islice
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import StoreConnectionError, StoreError
-from repro.ngramstore.api import NGramRecord, Record, StoreAPI
+from repro.ngramstore.api import (
+    DEFAULT_COMPLETE_K,
+    Completion,
+    NGramRecord,
+    Record,
+    StoreAPI,
+    validate_complete_k,
+)
 from repro.ngramstore.reader import NGramStore
 from repro.ngramstore.table import (
     TopKAccumulator,
@@ -379,6 +386,20 @@ class ReplicaPool(StoreAPI):
     def top_k(self, k: int, order: str = "frequency") -> List[Record]:
         return self._invoke("top_k", k, order)
 
+    def complete(self, ngram: Any, k: int = DEFAULT_COMPLETE_K) -> List[Completion]:
+        return self._invoke("complete", ngram, k)
+
+    def complete_terms(
+        self, terms: Sequence[str], k: int = DEFAULT_COMPLETE_K
+    ) -> List[Completion]:
+        return self._invoke("complete_terms", terms, k)
+
+    def compare(self, ngram: Any) -> Dict[str, Any]:
+        return self._invoke("compare", ngram)
+
+    def compare_terms(self, terms: Sequence[str]) -> Dict[str, Any]:
+        return self._invoke("compare_terms", terms)
+
     def stats(self) -> Dict[str, Any]:
         return self._invoke("stats")
 
@@ -678,6 +699,75 @@ class ShardRouter(StoreAPI):
             for key, value in shard_records:
                 accumulator.offer(key, value)
         return [NGramRecord(key, value) for key, value in accumulator.results()]
+
+    def complete(self, ngram: Any, k: int = DEFAULT_COMPLETE_K) -> List[Completion]:
+        """Exact global completions merged from the prefix-relevant shards.
+
+        Every key extending the prefix lives in exactly one shard, so the
+        per-shard completion lists carry disjoint tokens and each is a
+        superset of its shard's contribution to the global top-k; the
+        concatenation re-ranked with the canonical ``(-value, token)``
+        tie-break is therefore byte-identical to a single-store answer.
+        """
+        key = tuple(ngram)
+        k = validate_complete_k(k)
+        relevant = [
+            entry for entry in self._active if entry.may_contain_prefix(key)
+        ]
+        per_shard = self._fan_out(
+            relevant,
+            lambda entry: entry.client.complete(key, k),
+            op="complete",
+        )
+        candidates = [
+            completion for shard_completions in per_shard
+            for completion in shard_completions
+        ]
+        try:
+            candidates.sort(key=lambda item: (-item[1], item[0]))
+        except TypeError as exc:
+            raise StoreError(
+                f"completion values are not orderable across shards: {exc}"
+            ) from exc
+        return [Completion(token, value) for token, value in candidates[:k]]
+
+    def compare(self, ngram: Any) -> Dict[str, Any]:
+        """Point diff/intersect lookup routed to the key's owning shard.
+
+        Shard servers mount the comparison store whole (it is not
+        sharded), so the owner answers for both sides; a key no shard owns
+        can exist in neither store and short-circuits to all-missing.
+        """
+        key = tuple(ngram)
+        owner = self._owner(key)
+        watch = Stopwatch()
+        try:
+            if owner is None:
+                # Only possible when every shard is empty; the engine's
+                # answer for a key absent from both stores.
+                return {
+                    "found_a": False,
+                    "value_a": None,
+                    "found_b": False,
+                    "value_b": None,
+                }
+            return owner.client.compare(key)
+        finally:
+            self._router_requests.inc(op="compare")
+            self._fanout_seconds.observe(watch.elapsed(), op="compare")
+            self._fanout_shards.observe(0.0 if owner is None else 1.0, op="compare")
+
+    def compare_terms(self, terms: Sequence[str]) -> Dict[str, Any]:
+        (key,) = self._any_client().translate_terms([tuple(terms)])
+        if key is None:
+            # The engine's unknown-surface-term answer: found nowhere.
+            return {
+                "found_a": False,
+                "value_a": None,
+                "found_b": False,
+                "value_b": None,
+            }
+        return self.compare(key)
 
     def stats(self) -> Dict[str, Any]:
         """Aggregated topology stats: store totals plus per-shard summary."""

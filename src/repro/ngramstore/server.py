@@ -30,6 +30,13 @@ adapter in :mod:`repro.ngramstore.http`)::
     -> {"op": "top_k", "k": 10, "order": "frequency"}
     <- {"ok": true, "records": [[[0], 981], ...]}
 
+    -> {"op": "complete", "terms": ["new", "york"], "k": 5}
+    <- {"ok": true, "completions": [["times", 87], ...], "truncated": false}
+
+    -> {"op": "compare", "key": [3, 7]}       # needs serve --extra-store
+    <- {"ok": true, "found_a": true, "value_a": 42,
+        "found_b": false, "value_b": null}
+
     -> {"op": "translate", "terms": [["the", "quick"]]}
     <- {"ok": true, "keys": [[0, 17]]}          # null for unknown terms
 
@@ -82,6 +89,7 @@ from repro.ngramstore.api import (
     OPERATIONS,
     QueryEngine,
     RemoteStore,
+    ensure_comparable_vocabulary,
     normalize_request,
 )
 from repro.ngramstore.reader import NGramStore
@@ -117,7 +125,9 @@ Record = Tuple[Any, Any]
 MAX_REQUEST_BYTES = 1 << 20
 
 #: Operations that read blocks — the ones worth per-request I/O deltas.
-_READ_OPERATIONS = frozenset(("get", "multi_get", "prefix", "multi_prefix", "top_k"))
+_READ_OPERATIONS = frozenset(
+    ("get", "multi_get", "prefix", "multi_prefix", "top_k", "complete", "compare")
+)
 
 
 def percentile(sorted_samples: List[float], fraction: float) -> float:
@@ -472,7 +482,24 @@ class NGramStoreServer:
             # an orphan cache no table feeds.
             self.store = store
             self.cache = getattr(store, "cache", None)
-        self.engine = QueryEngine(self.store)
+        self.extra_store: Any = None
+        if self.config.extra_store is not None:
+            from repro.ngramstore.lsm import open_store_auto
+
+            # The comparison store shares the process-wide block cache when
+            # one exists (entries are namespaced by path, so the two stores
+            # never collide) and must speak the served store's vocabulary.
+            try:
+                self.extra_store = open_store_auto(
+                    self.config.extra_store, cache=self.cache
+                )
+                ensure_comparable_vocabulary(self.store, self.extra_store)
+            except Exception:
+                if self.extra_store is not None:
+                    self.extra_store.close()
+                self.store.close()
+                raise
+        self.engine = QueryEngine(self.store, extra_store=self.extra_store)
         self.metrics = ServerMetrics()
         self.slow_log: Optional[SlowQueryLog] = None
         if self.config.slow_query_ms is not None:
@@ -542,6 +569,8 @@ class NGramStoreServer:
             self._accept_thread.join(timeout=5.0)
         if self.slow_log is not None:
             self.slow_log.close()
+        if self.extra_store is not None:
+            self.extra_store.close()
         self.store.close()
 
     def __enter__(self) -> "NGramStoreServer":

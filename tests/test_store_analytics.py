@@ -1,0 +1,442 @@
+"""Cross-store analytics (diff/intersect) and exact completion semantics.
+
+The analytics module's claim is byte-identity: :func:`diff_records` /
+:func:`intersect_records` over two stores' ``exact_items()`` streams must
+equal the brute-force set computation over the same streams — fuzzed here
+across codecs and thresholds τ ∈ {1, 2, 3} (τ > 1 exercises the residual
+sidecar reconstruction inside the co-scan).  The store-writing twins must
+produce directories whose ``exact_items()`` replay the record streams.
+
+The completion half pins the serving tier's ``complete`` to one canonical
+ranking: the local store, the :class:`QueryEngine`, a dict-backed
+:class:`NGramLanguageModel`, a store-backed one, and an LSM
+:class:`GenerationView` all funnel through
+:func:`repro.ngramstore.api.complete_scan`, so ties break identically
+everywhere.  (Cross-transport identity lives in ``test_store_api.py``.)
+"""
+
+import random
+
+import pytest
+
+from repro.applications.language_model import NGramLanguageModel
+from repro.cli import main
+from repro.config import StoreConfig
+from repro.corpus.vocabulary import Vocabulary
+from repro.exceptions import StoreError
+from repro.ngrams.statistics import NGramStatistics
+from repro.ngramstore import (
+    LSMStore,
+    NGramStore,
+    QueryEngine,
+    build_store,
+    diff_records,
+    diff_stores,
+    intersect_records,
+    intersect_stores,
+)
+
+MAX_TERM = 30
+
+
+def term_for(term_id):
+    return f"w{term_id:02d}"
+
+
+def make_vocabulary(max_term=MAX_TERM):
+    return Vocabulary.from_term_frequencies(
+        {term_for(index): 1000 - index for index in range(max_term + 1)}
+    )
+
+
+def make_counts(count, seed, max_len=3, max_count=12):
+    rng = random.Random(seed)
+    keys = set()
+    while len(keys) < count:
+        keys.add(
+            tuple(rng.randint(0, MAX_TERM) for _ in range(rng.randint(1, max_len)))
+        )
+    return {key: rng.randint(1, max_count) for key in keys}
+
+
+def overlapping_counts(seed, size_a=120, size_b=90, shared=40):
+    """Two count tables sharing ``shared`` keys (with independent counts)."""
+    counts_a = make_counts(size_a, seed=seed)
+    rng = random.Random(seed + 1)
+    counts_b = make_counts(size_b - shared, seed=seed + 2)
+    for key in sorted(counts_a)[:shared]:
+        counts_b[key] = rng.randint(1, 12)
+    return counts_a, counts_b
+
+
+def brute_diff(counts_a, counts_b, min_frequency=1):
+    return sorted(
+        (key, value)
+        for key, value in counts_a.items()
+        if key not in counts_b and value >= min_frequency
+    )
+
+
+def brute_intersect(counts_a, counts_b, min_frequency=1):
+    return sorted(
+        (key, [counts_a[key], counts_b[key]])
+        for key in counts_a.keys() & counts_b.keys()
+        if counts_a[key] >= min_frequency and counts_b[key] >= min_frequency
+    )
+
+
+def build_pair(tmp_path, counts_a, counts_b, tau=1, codec="none", vocabulary=None):
+    a_dir, b_dir = str(tmp_path / "a"), str(tmp_path / "b")
+    layout = dict(num_partitions=2, records_per_block=16, codec=codec)
+    build_store(
+        sorted(counts_a.items()),
+        a_dir,
+        store=StoreConfig(min_frequency=tau, **layout),
+        vocabulary=vocabulary,
+    )
+    build_store(
+        sorted(counts_b.items()),
+        b_dir,
+        store=StoreConfig(min_frequency=tau, **layout),
+        vocabulary=vocabulary,
+    )
+    return a_dir, b_dir
+
+
+class TestAnalyticsFuzz:
+    """diff/intersect == brute force, across codecs, thresholds and seeds."""
+
+    @pytest.mark.parametrize("codec", ("none", "gzip"))
+    @pytest.mark.parametrize("tau", (1, 2, 3))
+    def test_streams_match_brute_force(self, tmp_path, codec, tau):
+        for seed in (11, 37, 91):
+            counts_a, counts_b = overlapping_counts(seed)
+            a_dir, b_dir = build_pair(
+                tmp_path / f"s{seed}", counts_a, counts_b, tau=tau, codec=codec
+            )
+            assert list(diff_records(a_dir, b_dir)) == brute_diff(counts_a, counts_b)
+            assert list(intersect_records(a_dir, b_dir)) == brute_intersect(
+                counts_a, counts_b
+            )
+
+    @pytest.mark.parametrize("tau", (1, 3))
+    def test_min_frequency_filters_the_analysis(self, tmp_path, tau):
+        counts_a, counts_b = overlapping_counts(5)
+        a_dir, b_dir = build_pair(tmp_path, counts_a, counts_b, tau=tau)
+        for bound in (2, 5):
+            assert list(
+                diff_records(a_dir, b_dir, min_frequency=bound)
+            ) == brute_diff(counts_a, counts_b, min_frequency=bound)
+            assert list(
+                intersect_records(a_dir, b_dir, min_frequency=bound)
+            ) == brute_intersect(counts_a, counts_b, min_frequency=bound)
+
+    def test_open_stores_accepted_in_place_of_paths(self, tmp_path):
+        counts_a, counts_b = overlapping_counts(7)
+        a_dir, b_dir = build_pair(tmp_path, counts_a, counts_b, tau=2)
+        with NGramStore.open(a_dir) as store_a, NGramStore.open(b_dir) as store_b:
+            assert list(diff_records(store_a, store_b)) == brute_diff(
+                counts_a, counts_b
+            )
+            # The caller's stores stay open for reuse.
+            assert store_a.get(next(iter(sorted(counts_a)))) is not None
+
+
+class TestAnalyticsStores:
+    def test_store_output_replays_the_stream(self, tmp_path):
+        counts_a, counts_b = overlapping_counts(13)
+        a_dir, b_dir = build_pair(
+            tmp_path, counts_a, counts_b, tau=2, vocabulary=make_vocabulary()
+        )
+        diff_dir = diff_stores(a_dir, b_dir, str(tmp_path / "diff"))
+        intersect_dir = intersect_stores(a_dir, b_dir, str(tmp_path / "int"))
+        with NGramStore.open(diff_dir) as diff:
+            assert list(diff.exact_items()) == brute_diff(counts_a, counts_b)
+            assert diff.metadata["analytics"] == "diff"
+            assert diff.metadata["analytics_inputs"] == ["a", "b"]
+            assert diff.vocabulary is not None
+        with NGramStore.open(intersect_dir) as shared:
+            assert list(shared.exact_items()) == brute_intersect(counts_a, counts_b)
+            assert shared.metadata["analytics"] == "intersect"
+
+    def test_diff_store_is_a_valid_count_store(self, tmp_path):
+        """Diff values are plain A-counts, so the output store queries and
+        rethresholds like any other count table."""
+        counts_a, counts_b = overlapping_counts(17)
+        a_dir, b_dir = build_pair(tmp_path, counts_a, counts_b)
+        diff_dir = diff_stores(a_dir, b_dir, str(tmp_path / "diff"))
+        expected = dict(brute_diff(counts_a, counts_b))
+        with NGramStore.open(diff_dir) as diff:
+            some = sorted(expected)[::7]
+            assert diff.multi_get(some) == [expected[key] for key in some]
+            assert diff.top_k(3) == sorted(
+                ((key, value) for key, value in expected.items()),
+                key=lambda item: (-item[1], item[0]),
+            )[:3]
+
+    def test_output_dir_cannot_be_an_input(self, tmp_path):
+        counts_a, counts_b = overlapping_counts(19)
+        a_dir, b_dir = build_pair(tmp_path, counts_a, counts_b)
+        with pytest.raises(StoreError, match="cannot be one of the inputs"):
+            diff_stores(a_dir, b_dir, a_dir)
+
+    def test_min_frequency_carries_into_the_store(self, tmp_path):
+        counts_a, counts_b = overlapping_counts(23)
+        a_dir, b_dir = build_pair(tmp_path, counts_a, counts_b)
+        out = intersect_stores(
+            a_dir, b_dir, str(tmp_path / "out"), min_frequency=3
+        )
+        with NGramStore.open(out) as store:
+            assert list(store.exact_items()) == brute_intersect(
+                counts_a, counts_b, min_frequency=3
+            )
+            assert store.metadata["analytics_min_frequency"] == 3
+
+
+class TestAnalyticsRefusals:
+    def test_thresholded_residual_less_inputs_refused(self, tmp_path):
+        counts_a, counts_b = overlapping_counts(29)
+        a_dir, b_dir = str(tmp_path / "a"), str(tmp_path / "b")
+        # Legacy layout: τ stamped but no residual sidecar — the sub-τ
+        # counts are gone, so absence claims below τ would be wrong.
+        build_store(
+            sorted((k, v) for k, v in counts_a.items() if v >= 2),
+            a_dir,
+            metadata={"min_frequency": 2},
+        )
+        build_store(sorted(counts_b.items()), b_dir)
+        with pytest.raises(StoreError, match="allow_thresholded"):
+            list(diff_records(a_dir, b_dir))
+        served_a = {key: value for key, value in counts_a.items() if value >= 2}
+        assert list(
+            diff_records(a_dir, b_dir, allow_thresholded=True)
+        ) == brute_diff(served_a, counts_b)
+
+    def test_vocabulary_mismatch_refused(self, tmp_path):
+        counts_a, counts_b = overlapping_counts(31)
+        a_dir, b_dir = str(tmp_path / "a"), str(tmp_path / "b")
+        build_store(sorted(counts_a.items()), a_dir, vocabulary=make_vocabulary())
+        build_store(
+            sorted(counts_b.items()),
+            b_dir,
+            vocabulary=Vocabulary.from_term_frequencies({"other": 1}),
+        )
+        with pytest.raises(StoreError, match="vocabular"):
+            list(diff_records(a_dir, b_dir))
+
+    def test_bad_min_frequency_rejected(self, tmp_path):
+        counts_a, counts_b = overlapping_counts(41)
+        a_dir, b_dir = build_pair(tmp_path, counts_a, counts_b)
+        with pytest.raises(StoreError, match="min_frequency"):
+            list(diff_records(a_dir, b_dir, min_frequency=0))
+        with pytest.raises(StoreError, match="min_frequency"):
+            list(intersect_records(a_dir, b_dir, min_frequency=True))
+
+
+class TestAnalyticsCLI:
+    def _run(self, capsys, argv):
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out
+
+    def test_cli_writes_stores(self, capsys, tmp_path):
+        counts_a, counts_b = overlapping_counts(43)
+        a_dir, b_dir = build_pair(tmp_path, counts_a, counts_b, tau=2)
+        out = str(tmp_path / "diff")
+        code, output = self._run(
+            capsys, ["diff-stores", a_dir, b_dir, "--output", out]
+        )
+        assert code == 0 and "wrote diff" in output
+        with NGramStore.open(out) as store:
+            assert list(store.exact_items()) == brute_diff(counts_a, counts_b)
+        out = str(tmp_path / "int")
+        code, output = self._run(
+            capsys,
+            ["intersect-stores", a_dir, b_dir, "--output", out, "--min-frequency", "2"],
+        )
+        assert code == 0 and "wrote intersect" in output
+        with NGramStore.open(out) as store:
+            assert list(store.exact_items()) == brute_intersect(
+                counts_a, counts_b, min_frequency=2
+            )
+
+    def test_cli_prints_counts_and_ids(self, capsys, tmp_path):
+        counts_a = {(0,): 4, (0, 1): 2, (1,): 3}
+        counts_b = {(0,): 2, (2,): 5}
+        a_dir, b_dir = build_pair(
+            tmp_path, counts_a, counts_b, vocabulary=make_vocabulary()
+        )
+        code, output = self._run(capsys, ["diff-stores", a_dir, b_dir])
+        assert code == 0
+        assert output.splitlines() == ["2\tw00 w01", "3\tw01"]
+        code, output = self._run(capsys, ["diff-stores", a_dir, b_dir, "--ids"])
+        assert code == 0
+        assert output.splitlines() == ["2\t0 1", "3\t1"]
+        code, output = self._run(capsys, ["intersect-stores", a_dir, b_dir])
+        assert code == 0
+        assert output.splitlines() == ["4\t2\tw00"]
+        code, output = self._run(
+            capsys, ["diff-stores", a_dir, b_dir, "--limit", "1"]
+        )
+        assert code == 0
+        assert output.splitlines() == ["2\tw00 w01"]
+
+    def test_cli_ratio_mode(self, capsys, tmp_path):
+        counts_a = {(0,): 8, (0, 1): 2}
+        counts_b = {(0,): 2}
+        a_dir, b_dir = str(tmp_path / "a"), str(tmp_path / "b")
+        build_store(
+            sorted(counts_a.items()), a_dir, metadata={"unigram_total": 8}
+        )
+        build_store(
+            sorted(counts_b.items()), b_dir, metadata={"unigram_total": 2}
+        )
+        code, output = self._run(
+            capsys, ["intersect-stores", a_dir, b_dir, "--mode", "ratio"]
+        )
+        assert code == 0
+        # (8/8) / (2/2) = 1.0: equal relative frequency in both corpora.
+        assert output.splitlines() == ["1.000000\t0"]
+        # Ratio is a report, not a count table.
+        assert (
+            main(
+                [
+                    "diff-stores",
+                    a_dir,
+                    b_dir,
+                    "--mode",
+                    "ratio",
+                    "--output",
+                    str(tmp_path / "no"),
+                ]
+            )
+            == 2
+        )
+        capsys.readouterr()
+
+    def test_cli_ratio_needs_corpus_sizes(self, capsys, tmp_path):
+        counts_a, counts_b = overlapping_counts(47)
+        a_dir, b_dir = build_pair(tmp_path, counts_a, counts_b)
+        assert main(["diff-stores", a_dir, b_dir, "--mode", "ratio"]) == 2
+        assert "unigram_total" in capsys.readouterr().err
+
+    def test_cli_refusals_exit_2(self, capsys, tmp_path):
+        counts_a, counts_b = overlapping_counts(53)
+        a_dir, b_dir = str(tmp_path / "a"), str(tmp_path / "b")
+        build_store(
+            sorted((k, v) for k, v in counts_a.items() if v >= 2),
+            a_dir,
+            metadata={"min_frequency": 2},
+        )
+        build_store(sorted(counts_b.items()), b_dir)
+        assert main(["diff-stores", a_dir, b_dir]) == 2
+        assert "--allow-thresholded" in capsys.readouterr().err
+        assert main(["diff-stores", a_dir, b_dir, "--allow-thresholded"]) == 0
+        capsys.readouterr()
+
+
+class TestRethresholdCLI:
+    def test_rethreshold_is_exact(self, capsys, tmp_path):
+        counts = make_counts(150, seed=61)
+        in_dir, out_dir = str(tmp_path / "in"), str(tmp_path / "out")
+        build_store(
+            sorted(counts.items()),
+            in_dir,
+            store=StoreConfig(num_partitions=2, min_frequency=2),
+        )
+        assert main(["rethreshold", in_dir, "--output", out_dir, "--tau", "4"]) == 0
+        assert "tau=4" in capsys.readouterr().out
+        with NGramStore.open(out_dir) as store:
+            # The full count table survives exactly; only the main/residual
+            # split moves.
+            assert list(store.exact_items()) == sorted(counts.items())
+            assert list(store.items()) == sorted(
+                (key, value) for key, value in counts.items() if value >= 4
+            )
+            assert store.min_frequency == 4
+
+    def test_rethreshold_refuses_residual_less_input(self, capsys, tmp_path):
+        in_dir = str(tmp_path / "in")
+        build_store([((1,), 5)], in_dir, metadata={"min_frequency": 3})
+        assert (
+            main(
+                ["rethreshold", in_dir, "--output", str(tmp_path / "out"), "--tau", "2"]
+            )
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompletionSemantics:
+    """One canonical ranking across model, store, engine and LSM view."""
+
+    RECORDS = [
+        ((0,), 9),
+        ((0, 1), 5),
+        ((0, 2), 5),
+        ((0, 3), 5),
+        ((0, 4), 7),
+        ((0, 1, 2), 3),
+        ((1,), 6),
+        ((1, 2), 2),
+        ((2,), 5),
+    ]
+
+    def test_tie_break_is_deterministic(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(self.RECORDS, store_dir)
+        with NGramStore.open(store_dir) as store:
+            completions = store.complete((0,), 4)
+        # Value order first, then token order among the 5-count ties.
+        assert [(c.token, c.value) for c in completions] == [
+            (4, 7),
+            (1, 5),
+            (2, 5),
+            (3, 5),
+        ]
+
+    def test_model_store_and_engine_agree(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(self.RECORDS, store_dir)
+        dict_model = NGramLanguageModel(
+            NGramStatistics(dict(self.RECORDS)), order=3, total_tokens=20
+        )
+        store_model = NGramLanguageModel.from_store(store_dir, order=3)
+        with NGramStore.open(store_dir) as store:
+            for prefix in ((), (0,), (0, 1), (1,), (9,)):
+                expected = store.complete(prefix, 3)
+                assert dict_model.complete(prefix, 3) == expected
+                assert store_model.complete(prefix, 3) == expected
+                response = QueryEngine(store).handle(
+                    {"op": "complete", "key": list(prefix), "k": 3}
+                )
+                assert response["completions"] == [
+                    [c.token, c.value] for c in expected
+                ]
+                assert response["truncated"] is False
+        store_model.statistics.store.close()
+
+    def test_generation_view_completes_across_generations(self, tmp_path):
+        store = LSMStore.init(str(tmp_path / "lsm"), min_frequency=1)
+        store.ingest_records([((0,), 3), ((0, 1), 2)])
+        store.ingest_records([((0, 1), 1), ((0, 2), 4)])
+        union_dir = str(tmp_path / "union")
+        build_store([((0,), 3), ((0, 1), 3), ((0, 2), 4)], union_dir)
+        with store.view() as view, NGramStore.open(union_dir) as union:
+            assert view.complete((0,), 5) == union.complete((0,), 5)
+
+    def test_engine_compare_requires_extra_store(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(self.RECORDS, store_dir)
+        with NGramStore.open(store_dir) as store:
+            with pytest.raises(StoreError, match="--extra-store"):
+                QueryEngine(store).handle({"op": "compare", "key": [0]})
+
+    def test_complete_k_validation(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(self.RECORDS, store_dir)
+        with NGramStore.open(store_dir) as store:
+            with pytest.raises(StoreError, match="k"):
+                store.complete((0,), 0)
+            with pytest.raises(StoreError, match="k"):
+                store.complete((0,), True)

@@ -28,6 +28,7 @@ from repro.ngramstore import (
     NGramStore,
     NGramStoreHTTPServer,
     NGramStoreServer,
+    QueryEngine,
     ReplicaPool,
     ShardRouter,
     ShardView,
@@ -52,30 +53,60 @@ def term_for(term_id):
     return f"w{term_id:02d}"
 
 
+def _test_vocabulary():
+    # Descending frequency with lexicographic tie-break assigns w00 -> id 0,
+    # w01 -> id 1, ... — a bijection the term-op assertions rely on.
+    return Vocabulary.from_term_frequencies(
+        {term_for(index): 1000 - index for index in range(MAX_TERM + 1)}
+    )
+
+
 @pytest.fixture(scope="module")
 def store_dir(tmp_path_factory):
     directory = str(tmp_path_factory.mktemp("api-store") / "store")
-    # Descending frequency with lexicographic tie-break assigns w00 -> id 0,
-    # w01 -> id 1, ... — a bijection the term-op assertions rely on.
-    vocabulary = Vocabulary.from_term_frequencies(
-        {term_for(index): 1000 - index for index in range(MAX_TERM + 1)}
-    )
     build_store(
         make_records(),
         directory,
         store=StoreConfig(num_partitions=5, records_per_block=32),
-        vocabulary=vocabulary,
+        vocabulary=_test_vocabulary(),
         metadata={"origin": "test_store_api"},
     )
     return directory
 
 
 @pytest.fixture(scope="module")
-def reference(store_dir):
+def extra_store_dir(tmp_path_factory):
+    """The comparison store every server mounts: same vocabulary, partially
+    overlapping records, so ``compare`` sees all four found/missing shapes."""
+    directory = str(tmp_path_factory.mktemp("api-extra") / "store")
+    build_store(
+        make_records(count=400, seed=29),
+        directory,
+        store=StoreConfig(num_partitions=3, records_per_block=32),
+        vocabulary=_test_vocabulary(),
+        metadata={"origin": "test_store_api_extra"},
+    )
+    return directory
+
+
+@pytest.fixture(scope="module")
+def reference(store_dir, extra_store_dir):
     """Ground truth computed once from the local store."""
     expected = dict(make_records())
     with NGramStore.open(store_dir) as store:
         first_terms = sorted({key[0] for key in expected})[:4]
+        complete_prefixes = [(), (first_terms[0],)] + [
+            key for key in sorted(expected) if len(key) == 2
+        ][:3]
+        with NGramStore.open(extra_store_dir) as extra:
+            engine = QueryEngine(store, extra_store=extra)
+            compare_keys = sorted(
+                set(expected) | set(dict(make_records(count=400, seed=29)))
+            )[::37] + [(MAX_TERM + 1000,)]
+            compares = {
+                key: engine.handle({"op": "compare", "key": list(key)})
+                for key in compare_keys
+            }
         return {
             "expected": expected,
             "top_frequency": store.top_k(12),
@@ -85,11 +116,15 @@ def reference(store_dir):
             },
             "stats": store.stats(),
             "top_terms": store.top_k_terms(8),
+            "completions": {
+                prefix: store.complete(prefix, 6) for prefix in complete_prefixes
+            },
+            "compares": compares,
         }
 
 
 @pytest.fixture(scope="module")
-def topology(store_dir):
+def topology(store_dir, extra_store_dir):
     """All the servers the remote implementations talk to, started once."""
     servers = []
 
@@ -98,19 +133,32 @@ def topology(store_dir):
         servers.append(server)
         return server
 
-    socket_a = start(NGramStoreServer(store_dir, config=ServerConfig(port=0, cache_blocks=32)))
-    socket_b = start(NGramStoreServer(store_dir, config=ServerConfig(port=0, cache_blocks=32)))
+    socket_a = start(
+        NGramStoreServer(
+            store_dir,
+            config=ServerConfig(port=0, cache_blocks=32, extra_store=extra_store_dir),
+        )
+    )
+    socket_b = start(
+        NGramStoreServer(
+            store_dir,
+            config=ServerConfig(port=0, cache_blocks=32, extra_store=extra_store_dir),
+        )
+    )
     shards = [
         start(
             NGramStoreServer(
                 ShardView(NGramStore.open(store_dir, cache=BlockCache(16)), index, 3),
-                config=ServerConfig(port=0),
+                config=ServerConfig(port=0, extra_store=extra_store_dir),
             )
         )
         for index in range(3)
     ]
     http = start(
-        NGramStoreHTTPServer(store_dir, config=ServerConfig(port=0, protocol="http"))
+        NGramStoreHTTPServer(
+            store_dir,
+            config=ServerConfig(port=0, protocol="http", extra_store=extra_store_dir),
+        )
     )
     yield {
         "socket": (socket_a.host, socket_a.port),
@@ -224,6 +272,69 @@ class TestConformance:
         ngram, value = record
         assert record == (ngram, value)
         assert isinstance(record, tuple)
+
+    def test_complete(self, api, reference):
+        for prefix, completions in reference["completions"].items():
+            assert api.complete(prefix, 6) == completions
+        assert api.complete((MAX_TERM + 1000,), 6) == []
+
+    def test_complete_terms(self, api, reference):
+        for prefix, completions in reference["completions"].items():
+            terms = [term_for(term_id) for term_id in prefix]
+            rendered = [
+                (term_for(completion.token), completion.value)
+                for completion in completions
+            ]
+            assert api.complete_terms(terms, 6) == rendered
+        assert api.complete_terms(["no-such-term"], 6) == []
+
+    def _comparer(self, api, extra_store_dir):
+        """``compare``/``compare_terms`` callables for this implementation.
+
+        Remote implementations carry the operations natively (the servers
+        mount the extra store); the local store is compared through a
+        :class:`QueryEngine` over both stores — the reference semantics the
+        transports must match byte for byte.
+        """
+        if hasattr(api, "compare"):
+            return api.compare, api.compare_terms, None
+        extra = NGramStore.open(extra_store_dir)
+        engine = QueryEngine(api, extra_store=extra)
+
+        def compare(key):
+            return engine.handle({"op": "compare", "key": list(key)})
+
+        def compare_terms(terms):
+            return engine.handle({"op": "compare", "terms": list(terms)})
+
+        return compare, compare_terms, extra
+
+    def test_compare(self, api, reference, extra_store_dir):
+        compare, _, extra = self._comparer(api, extra_store_dir)
+        try:
+            for key, expected in reference["compares"].items():
+                assert compare(key) == expected
+        finally:
+            if extra is not None:
+                extra.close()
+
+    def test_compare_terms(self, api, reference, extra_store_dir):
+        _, compare_terms, extra = self._comparer(api, extra_store_dir)
+        missing = {
+            "found_a": False,
+            "value_a": None,
+            "found_b": False,
+            "value_b": None,
+        }
+        try:
+            for key, expected in list(reference["compares"].items())[:5]:
+                terms = [term_for(term_id) for term_id in key]
+                if all(term_id <= MAX_TERM for term_id in key):
+                    assert compare_terms(terms) == expected
+            assert compare_terms(["no-such-term"]) == missing
+        finally:
+            if extra is not None:
+                extra.close()
 
 
 class TestQueryCLIRemote:
